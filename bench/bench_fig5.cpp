@@ -1,0 +1,61 @@
+/// \file bench_fig5.cpp
+/// Reproduces Table I + Figure 5: fuel-consumption saving of the DRL-based
+/// opportunistic intermittent control as the front-vehicle velocity range
+/// shrinks (Ex.1 .. Ex.5), with random bounded acceleration |v'f| <= 20.
+///
+/// Paper's qualitative result: a smaller vf range is easier for the DQN to
+/// learn and exploit, so the saving INCREASES monotonically from Ex.1
+/// (vf in [30, 50]) to Ex.5 (vf in [39, 41]) -- roughly 7 % to 13 % on the
+/// authors' SUMO setup.
+///
+/// Flags: --cases=N (default 100; paper 500), --episodes=N (default 100),
+/// --steps=N (default 100).
+
+#include <cstdio>
+
+#include "bench_scenario_common.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oic;
+  const std::size_t cases = benchutil::flag(argc, argv, "cases", 100);
+  const std::size_t episodes = benchutil::flag(argc, argv, "episodes", 200);
+  const std::size_t steps = benchutil::flag(argc, argv, "steps", 100);
+
+  std::printf("=== Table I + Figure 5: saving vs front-vehicle velocity range ===\n");
+  std::printf("cases=%zu/scenario, steps=%zu, DQN episodes=%zu (scenarios in "
+              "parallel)\n\n",
+              cases, steps, episodes);
+
+  const acc::AccParams params;
+  std::vector<acc::Scenario> scenarios;
+  for (int i = 1; i <= 5; ++i) scenarios.push_back(acc::range_scenario(i, params));
+
+  const auto results =
+      benchutil::evaluate_scenarios(scenarios, cases, episodes, steps, 515001);
+
+  benchutil::rule('=');
+  std::printf("%-6s %-16s %-14s %-14s %-12s %-6s\n", "Ex.", "range of vf",
+              "DRL saving", "bang-bang", "skipped/100", "safe?");
+  benchutil::rule();
+  static const char* kRanges[5] = {"[30,50]", "[32.5,47.5]", "[35,45]", "[38,42]",
+                                   "[39,41]"};
+  bool any_violation = false;
+  bool monotone = true;
+  double prev = -1.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-6s %-16s %6.2f %%       %6.2f %%       %6.1f       %-6s\n",
+                r.id.c_str(), kRanges[i], 100.0 * r.drl_saving, 100.0 * r.bb_saving,
+                r.drl_skipped, r.violation ? "NO!" : "yes");
+    any_violation |= r.violation;
+    if (r.drl_saving < prev - 0.02) monotone = false;  // allow 2 pp noise
+    prev = r.drl_saving;
+  }
+  benchutil::rule();
+  std::printf("\npaper series (Fig. 5): ~7 %% -> ~13 %% increasing as the range "
+              "narrows\n");
+  std::printf("observed trend: %s\n",
+              monotone ? "non-decreasing (matches the paper)" : "NOT monotone");
+  return any_violation ? 1 : 0;
+}

@@ -1,0 +1,66 @@
+/// \file bench_fig6.cpp
+/// Reproduces Figure 6: fuel-consumption saving of the DRL-based
+/// opportunistic intermittent control as the *regularity* of the front
+/// vehicle's velocity increases (Ex.6 .. Ex.10):
+///
+///   Ex.6  -- vf purely random in [30, 50] each step;
+///   Ex.7  -- continuous random (bounded acceleration), same range;
+///   Ex.8  -- sinusoid af = 5 with noise [-5, 5];
+///   Ex.9  -- sinusoid af = 8 with noise [-2, 2];
+///   Ex.10 -- sinusoid af = 9 with noise [-1, 1].
+///
+/// Paper's qualitative result: savings increase from Ex.7 to Ex.10 (more
+/// regularity = easier learning), with Ex.6 an outlier that still saves a
+/// lot (the paper attributes this to RMPC's own mismatch under purely
+/// random vf).
+///
+/// Flags: --cases=N (default 100; paper 500), --episodes=N (default 100),
+/// --steps=N (default 100).
+
+#include <cstdio>
+
+#include "bench_scenario_common.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oic;
+  const std::size_t cases = benchutil::flag(argc, argv, "cases", 100);
+  const std::size_t episodes = benchutil::flag(argc, argv, "episodes", 200);
+  const std::size_t steps = benchutil::flag(argc, argv, "steps", 100);
+
+  std::printf("=== Figure 6: saving vs regularity of the front vehicle ===\n");
+  std::printf("cases=%zu/scenario, steps=%zu, DQN episodes=%zu (scenarios in "
+              "parallel)\n\n",
+              cases, steps, episodes);
+
+  const acc::AccParams params;
+  std::vector<acc::Scenario> scenarios;
+  for (int i = 6; i <= 10; ++i) scenarios.push_back(acc::regularity_scenario(i, params));
+
+  const auto results =
+      benchutil::evaluate_scenarios(scenarios, cases, episodes, steps, 606001);
+
+  benchutil::rule('=');
+  std::printf("%-6s %-40s %-12s %-10s %-6s\n", "Ex.", "front-vehicle pattern",
+              "DRL saving", "bang-bang", "safe?");
+  benchutil::rule();
+  bool any_violation = false;
+  for (const auto& r : results) {
+    std::printf("%-6s %-40s %6.2f %%     %6.2f %%  %-6s\n", r.id.c_str(),
+                r.description.substr(0, 40).c_str(), 100.0 * r.drl_saving,
+                100.0 * r.bb_saving, r.violation ? "NO!" : "yes");
+    any_violation |= r.violation;
+  }
+  benchutil::rule();
+
+  // Trend check over the continuous-pattern scenarios Ex.7 .. Ex.10.
+  bool increasing = true;
+  for (std::size_t i = 2; i < results.size(); ++i) {
+    if (results[i].drl_saving < results[i - 1].drl_saving - 0.02) increasing = false;
+  }
+  std::printf("\npaper series (Fig. 6): rising from Ex.7 to Ex.10 (~8 %% -> ~22 %%), "
+              "Ex.6 high outlier\n");
+  std::printf("observed Ex.7->Ex.10 trend: %s\n",
+              increasing ? "non-decreasing (matches the paper)" : "NOT monotone");
+  return any_violation ? 1 : 0;
+}

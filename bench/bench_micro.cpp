@@ -1,0 +1,170 @@
+/// \file bench_micro.cpp
+/// Throughput micro-benchmarks of the substrate primitives every
+/// experiment leans on: the simplex LP solver, polytope queries, Minkowski
+/// operations, Fourier-Motzkin projection, and DQN inference/training
+/// steps.  These establish the per-operation budgets behind the Sec. IV-A
+/// computation-saving claim.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "linalg/lu.hpp"
+#include "lp/simplex.hpp"
+#include "poly/fourier_motzkin.hpp"
+#include "poly/hpolytope.hpp"
+#include "poly/ops.hpp"
+#include "rl/dqn.hpp"
+
+namespace {
+
+using namespace oic;
+using linalg::Matrix;
+using linalg::Vector;
+using poly::HPolytope;
+
+lp::Problem random_lp(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  lp::Problem p(n);
+  Vector c(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    c[j] = rng.uniform(-1, 1);
+    p.set_bounds(j, 0.0, rng.uniform(0.5, 3.0));
+  }
+  p.set_objective(c);
+  for (std::size_t i = 0; i < m; ++i) {
+    Vector a(n);
+    for (std::size_t j = 0; j < n; ++j) a[j] = rng.uniform(-1, 1);
+    p.add_constraint(a, lp::Relation::kLessEq, rng.uniform(0.5, 2.0));
+  }
+  return p;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = random_lp(n, 2 * n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(p));
+  }
+  state.SetLabel(std::to_string(n) + " vars, " + std::to_string(2 * n) + " rows");
+}
+BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Matrix a(n, n);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    a(i, i) += static_cast<double>(n);
+    b[i] = rng.uniform(-1, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve(a, b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PolytopeContains(benchmark::State& state) {
+  const HPolytope p = HPolytope::l1_ball(2, 3.0).intersect(
+      HPolytope::sym_box(Vector{2.5, 2.5}));
+  const Vector x{0.3, -0.7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.contains(x));
+  }
+}
+BENCHMARK(BM_PolytopeContains);
+
+void BM_PolytopeSupport(benchmark::State& state) {
+  const HPolytope p = HPolytope::l1_ball(2, 3.0).intersect(
+      HPolytope::sym_box(Vector{2.5, 2.5}));
+  const Vector d{0.6, 0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.support(d));
+  }
+}
+BENCHMARK(BM_PolytopeSupport);
+
+void BM_RemoveRedundancy(benchmark::State& state) {
+  // A 2-D set described by many rows, most redundant.
+  const auto dirs = poly::uniform_directions_2d(static_cast<std::size_t>(state.range(0)));
+  const HPolytope ball = HPolytope::sym_box(Vector{1, 1});
+  const HPolytope p = poly::template_outer(2, dirs, [&](const Vector& d) {
+    return ball.support(d).value + 0.5;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.remove_redundancy());
+  }
+}
+BENCHMARK(BM_RemoveRedundancy)->Arg(16)->Arg(64);
+
+void BM_MinkowskiSum2d(benchmark::State& state) {
+  const HPolytope a = HPolytope::l1_ball(2, 1.0);
+  const HPolytope b = HPolytope::sym_box(Vector{0.5, 0.25});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly::minkowski_sum(a, b));
+  }
+}
+BENCHMARK(BM_MinkowskiSum2d);
+
+void BM_PontryaginDiff(benchmark::State& state) {
+  const HPolytope a = HPolytope::sym_box(Vector{3, 3});
+  const HPolytope b = HPolytope::l1_ball(2, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.pontryagin_diff(b));
+  }
+}
+BENCHMARK(BM_PontryaginDiff);
+
+void BM_FourierMotzkinProject(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Vector lo(dim), hi(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    lo[i] = -1.0;
+    hi[i] = 1.0;
+  }
+  HPolytope box = HPolytope::box(lo, hi);
+  // Couple the coordinates so elimination does real work.
+  Rng rng(5);
+  Matrix extra(dim, dim);
+  Vector be(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) extra(i, j) = rng.uniform(-1, 1);
+    be[i] = rng.uniform(0.5, 1.5);
+  }
+  const HPolytope p = box.intersect(HPolytope(extra, be));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly::project_prefix(p, 2));
+  }
+  state.SetLabel("eliminate " + std::to_string(dim - 2) + " of " + std::to_string(dim));
+}
+BENCHMARK(BM_FourierMotzkinProject)->Arg(3)->Arg(4)->Arg(6);
+
+void BM_DqnTrainStep(benchmark::State& state) {
+  rl::DqnConfig cfg;
+  cfg.min_replay = 32;
+  rl::DoubleDqn agent(4, 2, cfg, Rng(1));
+  Rng rng(2);
+  // Warm the replay buffer.
+  for (int i = 0; i < 64; ++i) {
+    rl::Transition t;
+    t.state = Vector{rng.uniform(-1, 1), rng.uniform(-1, 1), 0, 0};
+    t.action = rng.uniform_int(0, 1);
+    t.reward = rng.uniform(-1, 1);
+    t.next_state = t.state;
+    agent.observe(std::move(t));
+  }
+  for (auto _ : state) {
+    rl::Transition t;
+    t.state = Vector{rng.uniform(-1, 1), rng.uniform(-1, 1), 0, 0};
+    t.action = rng.uniform_int(0, 1);
+    t.reward = rng.uniform(-1, 1);
+    t.next_state = t.state;
+    benchmark::DoNotOptimize(agent.observe(std::move(t)));
+  }
+}
+BENCHMARK(BM_DqnTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+/// \file bench_timing.cpp
+/// Reproduces the computation-saving analysis of Sec. IV-A (text):
+///
+///   "the computation time for checking the satisfaction of strengthened
+///    safe set X' and invoking the neural network to decide skipping choice
+///    z is in average 0.02 s; while the average computation time for RMPC
+///    is 0.12 s ... out of 100 steps, the average number of steps that
+///    skip the RMPC computation is 79.4.  Thus, overall, there is around
+///    60 % saving in computation time."
+///
+/// We measure the same three quantities on this implementation (absolute
+/// times differ from the authors' MATLAB/GPU stack; the *ratio* and the
+/// resulting saving formula are the reproduction target) and evaluate
+///   (T_rmpc*100 - (T_monitor*100 + T_rmpc*(100 - skipped))) / (T_rmpc*100).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "acc/harness.hpp"
+#include "acc/trainer.hpp"
+#include "core/drl_policy.hpp"
+
+namespace {
+
+oic::acc::AccCase& acc_case() {
+  static oic::acc::AccCase acc;
+  return acc;
+}
+
+const oic::acc::TrainedAgent& trained_agent() {
+  static oic::acc::TrainedAgent trained = [] {
+    oic::acc::TrainerConfig cfg;
+    cfg.episodes = 40;  // timing only needs a representative network
+    const auto scen = oic::acc::fig4_scenario(acc_case().params());
+    return oic::acc::train_dqn(acc_case(), scen, cfg);
+  }();
+  return trained;
+}
+
+void BM_RmpcControl(benchmark::State& state) {
+  auto& acc = acc_case();
+  oic::Rng rng(1);
+  const auto x = acc.sample_x0(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.rmpc().control(x));
+  }
+}
+BENCHMARK(BM_RmpcControl);
+
+void BM_MonitorCheckXPrime(benchmark::State& state) {
+  auto& acc = acc_case();
+  oic::Rng rng(2);
+  const auto x = acc.sample_x0(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.sets().x_prime.contains(x));
+  }
+}
+BENCHMARK(BM_MonitorCheckXPrime);
+
+void BM_DqnForward(benchmark::State& state) {
+  auto& acc = acc_case();
+  const auto& trained = trained_agent();
+  oic::Rng rng(3);
+  const auto x = acc.sample_x0(rng);
+  const auto s = oic::core::apply_state_scale(
+      oic::core::build_drl_state(x, {oic::linalg::Vector{0.5, 0.0}},
+                                 trained.memory, 2),
+      trained.state_scale);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trained.agent->greedy_action(s));
+  }
+}
+BENCHMARK(BM_DqnForward);
+
+void BM_MonitorPlusDqn(benchmark::State& state) {
+  // The full per-step cost of the intermittent framework on a skipped step.
+  auto& acc = acc_case();
+  const auto drl = trained_agent().make_policy();
+  oic::Rng rng(4);
+  const auto x = acc.sample_x0(rng);
+  std::vector<oic::linalg::Vector> hist{oic::linalg::Vector{0.5, 0.0}};
+  for (auto _ : state) {
+    bool in = acc.sets().x_prime.contains(x);
+    benchmark::DoNotOptimize(in);
+    if (in) benchmark::DoNotOptimize(drl->decide(x, hist));
+  }
+}
+BENCHMARK(BM_MonitorPlusDqn);
+
+/// Measure mean wall time of fn over `iters` calls, in seconds.
+template <typename F>
+double time_call(F&& fn, int iters) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / iters;
+}
+
+void print_section_iva_summary() {
+  auto& acc = acc_case();
+  const auto drl = trained_agent().make_policy();
+  oic::Rng rng(7);
+  const auto x = acc.sample_x0(rng);
+  std::vector<oic::linalg::Vector> hist{oic::linalg::Vector{0.5, 0.0}};
+
+  const double t_rmpc = time_call([&] { acc.rmpc().control(x); }, 200);
+  const double t_monitor = time_call(
+      [&] {
+        if (acc.sets().x_prime.contains(x)) drl->decide(x, hist);
+      },
+      2000);
+
+  // Skip count from an actual evaluation (same scenario as Fig. 4).
+  const auto scen = oic::acc::fig4_scenario(acc.params());
+  const auto cmp = oic::acc::compare_policies(acc, scen, {drl.get()}, 20, 100, 424242);
+  const double skipped = cmp.mean_skipped[0];
+
+  const double total_rmpc_only = t_rmpc * 100.0;
+  const double total_ours = t_monitor * 100.0 + t_rmpc * (100.0 - skipped);
+  const double saving = (total_rmpc_only - total_ours) / total_rmpc_only;
+
+  std::printf("\n=== Sec. IV-A computation-saving summary ===\n");
+  std::printf("mean RMPC solve time            : %8.3f ms   (paper: 120 ms)\n",
+              1e3 * t_rmpc);
+  std::printf("mean monitor + DQN decision time: %8.4f ms   (paper: 20 ms)\n",
+              1e3 * t_monitor);
+  std::printf("monitor+DQN / RMPC cost ratio   : %8.4f     (paper: 0.167)\n",
+              t_monitor / t_rmpc);
+  std::printf("mean skipped steps per 100      : %8.1f      (paper: 79.4)\n", skipped);
+  std::printf("computation-time saving         : %8.1f %%    (paper: ~60 %%)\n",
+              100.0 * saving);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_section_iva_summary();
+  return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+/// \file bench_util.hpp
+/// Tiny shared utilities for the experiment harnesses: command-line
+/// parsing (--cases=N, --episodes=N, --steps=N) and table printing.
+///
+/// Every experiment binary accepts overrides so the full paper-scale run
+/// (500 cases) can be requested explicitly while the default stays sized
+/// for a CI-friendly wall clock.  Defaults are documented per bench in
+/// EXPERIMENTS.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace oic::benchutil {
+
+/// Parse "--key=value" integer flags; returns `fallback` when absent.
+inline std::size_t flag(int argc, char** argv, const char* key, std::size_t fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<std::size_t>(std::strtoull(argv[i] + prefix.size(), nullptr, 10));
+    }
+  }
+  // Environment fallback: OIC_<KEY> upper-cased.
+  std::string env = "OIC_" + std::string(key);
+  for (auto& c : env) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (const char* v = std::getenv(env.c_str())) {
+    return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }
+  return fallback;
+}
+
+/// Print a horizontal rule sized for the standard table width.
+inline void rule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+/// Simple ASCII bar for histogram rows (one '#' per `unit` counts).
+inline std::string bar(std::size_t count, double unit = 4.0) {
+  const auto n = static_cast<std::size_t>(static_cast<double>(count) / unit + 0.5);
+  return std::string(n, '#');
+}
+
+}  // namespace oic::benchutil

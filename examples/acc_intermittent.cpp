@@ -1,0 +1,76 @@
+/// \file acc_intermittent.cpp
+/// The paper's headline case study end-to-end: adaptive cruise control
+/// with a tube-RMPC safe controller, opportunistically skipped by a
+/// double-DQN agent (Sec. IV).  Trains a small agent, then compares
+/// RMPC-only, bang-bang, and DRL-based intermittent control on the
+/// sinusoidal front-vehicle scenario and prints a per-policy summary.
+///
+/// Run: ./build/examples/acc_intermittent  [--episodes=N] [--cases=N]
+
+#include <cstdio>
+#include <cstring>
+
+#include "acc/harness.hpp"
+#include "acc/trainer.hpp"
+#include "common/stats.hpp"
+#include "core/drl_policy.hpp"
+
+namespace {
+std::size_t arg_flag(int argc, char** argv, const char* key, std::size_t fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+  }
+  return fallback;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oic;
+  const std::size_t episodes = arg_flag(argc, argv, "episodes", 120);
+  const std::size_t cases = arg_flag(argc, argv, "cases", 25);
+
+  std::printf("ACC case study (Sec. IV): ego follows a front vehicle with\n");
+  std::printf("sinusoidal speed; gap must stay in [120, 180] m.\n\n");
+
+  std::printf("[1/4] building plant, RMPC (N=10), XI = feasible set, X'...\n");
+  acc::AccCase acc_case;
+  const auto bb_xi = acc_case.sets().xi.bounding_box();
+  const auto bb_xp = acc_case.sets().x_prime.bounding_box();
+  std::printf("      XI: %zu facets, gap-error range [%.1f, %.1f] m\n",
+              acc_case.sets().xi.num_constraints(), bb_xi->first[0], bb_xi->second[0]);
+  std::printf("      X': %zu facets, speed-error range [%.2f, %.2f] m/s\n",
+              acc_case.sets().x_prime.num_constraints(), bb_xp->first[1],
+              bb_xp->second[1]);
+
+  const acc::Scenario scen = acc::fig4_scenario(acc_case.params());
+  std::printf("[2/4] training the DQN skipping agent (%zu episodes)...\n", episodes);
+  acc::TrainerConfig tcfg;
+  tcfg.episodes = episodes;
+  acc::TrainingLog log;
+  const acc::TrainedAgent trained = acc::train_dqn(acc_case, scen, tcfg, &log);
+  std::printf("      done; final-episode skip ratio %.2f, reward %.4f\n",
+              log.episode_skip_ratio.back(), log.episode_reward.back());
+
+  std::printf("[3/4] evaluating %zu paired cases x 100 steps...\n", cases);
+  core::BangBangPolicy bangbang;
+  const auto drl = trained.make_policy();
+  const auto cmp = acc::compare_policies(acc_case, scen, {&bangbang, drl.get()},
+                                         cases, 100, 4242);
+
+  std::printf("[4/4] results (fuel saving vs RMPC-only):\n\n");
+  std::printf("  %-34s %10s %12s %10s\n", "policy", "saving", "skipped/100", "safe");
+  std::printf("  %-34s %9.2f%% %12s %10s\n", "RMPC-only (baseline)", 0.0, "0.0", "yes");
+  for (std::size_t p = 0; p < cmp.policy_names.size(); ++p) {
+    std::printf("  %-34s %9.2f%% %12.1f %10s\n", cmp.policy_names[p].c_str(),
+                100.0 * mean(cmp.savings[p]), cmp.mean_skipped[p],
+                cmp.any_violation[p] ? "NO!" : "yes");
+  }
+
+  std::printf("\nInterpretation: both skipping schemes save fuel while Theorem 1\n");
+  std::printf("keeps the loop inside the invariant set.  With a full training\n");
+  std::printf("budget (bench_fig4 uses 200 episodes) the learned policy overtakes\n");
+  std::printf("blind bang-bang by timing its controller runs to the vf pattern.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "acc/acc.hpp"
+
+#include "common/error.hpp"
+#include "control/lqr.hpp"
+
+namespace oic::acc {
+
+using control::AffineLTI;
+using linalg::Matrix;
+using linalg::Vector;
+using poly::HPolytope;
+
+control::RmpcConfig AccCase::default_rmpc() {
+  control::RmpcConfig cfg;
+  cfg.horizon = 10;      // Sec. IV: "prediction horizon set to 10"
+  cfg.state_weight = 1.0;
+  cfg.input_weight = 1.0;
+  return cfg;
+}
+
+AffineLTI AccCase::build_system(const AccParams& p) {
+  OIC_REQUIRE(p.delta > 0.0, "AccCase: control period must be positive");
+  OIC_REQUIRE(p.s_min < p.s_max && p.v_min < p.v_max && p.u_min < p.u_max &&
+                  p.vf_min < p.vf_max,
+              "AccCase: degenerate constraint ranges");
+  const double d = p.delta;
+  Matrix a{{1.0, -d}, {0.0, 1.0 - p.drag * d}};
+  Matrix b{{0.0}, {d}};
+  Matrix e{{d}, {0.0}};
+
+  const double sr = p.s_ref();
+  const double vr = p.v_ref();
+  const double ue = p.u_eq();
+  const HPolytope x = HPolytope::box(Vector{p.s_min - sr, p.v_min - vr},
+                                     Vector{p.s_max - sr, p.v_max - vr});
+  const HPolytope u = HPolytope::box(Vector{p.u_min - ue}, Vector{p.u_max - ue});
+  const HPolytope w = HPolytope::box(Vector{p.vf_min - vr}, Vector{p.vf_max - vr});
+  return AffineLTI(a, b, e, Vector{0.0, 0.0}, x, u, w);
+}
+
+AccCase::AccCase(AccParams params, control::RmpcConfig rmpc)
+    : params_(params), sys_(build_system(params)) {
+  // Local stabilizing gain for the tube machinery (and for the analytic
+  // kappa used by the model-based policy).
+  const auto lqr =
+      control::dlqr(sys_.a(), sys_.b(), Matrix::identity(2), Matrix{{1.0}});
+  OIC_CHECK(lqr.converged, "AccCase: LQR synthesis did not converge");
+  k_lqr_ = lqr.k;
+
+  rmpc_ = std::make_unique<control::TubeMpc>(sys_, k_lqr_, rmpc);
+
+  // Prop. 1: the RMPC's feasible region is its robust control invariant set.
+  const HPolytope xi = rmpc_->compute_feasible_set();
+  OIC_CHECK(!xi.is_empty(), "AccCase: RMPC feasible set is empty");
+
+  u_skip_ = Vector{-params_.u_eq()};           // raw u = 0
+  energy_offset_ = Vector{-params_.u_eq()};    // ||u_raw||_1 = ||u~ + u_eq||_1
+  sets_ = core::compute_safe_sets(sys_, xi, u_skip_);
+
+  // Fuel map: the ACC's u already includes the tractive force per unit
+  // mass net of nothing -- the drag k v is modelled separately in the
+  // dynamics -- so the fuel power is the engine power m v u alone (drag and
+  // rolling terms are zeroed to avoid double counting).
+  sim::FuelParams fp;
+  fp.drag_coeff = 0.0;
+  fp.rolling_coeff = 0.0;
+  fuel_ = sim::FuelModel(fp);
+}
+
+double AccCase::energy_raw(const Vector& u_shifted) const {
+  return (u_shifted - energy_offset_).norm1();
+}
+
+Vector AccCase::to_shifted(double s, double v) const {
+  return Vector{s - params_.s_ref(), v - params_.v_ref()};
+}
+
+std::pair<double, double> AccCase::from_shifted(const Vector& x) const {
+  OIC_REQUIRE(x.size() == 2, "AccCase::from_shifted: state must be planar");
+  return {x[0] + params_.s_ref(), x[1] + params_.v_ref()};
+}
+
+double AccCase::u_raw(const Vector& u_shifted) const {
+  OIC_REQUIRE(u_shifted.size() == 1, "AccCase::u_raw: input must be scalar");
+  return u_shifted[0] + params_.u_eq();
+}
+
+double AccCase::fuel_step(const Vector& x, const Vector& u) const {
+  const auto [s, v] = from_shifted(x);
+  (void)s;
+  const double a_engine = u_raw(u);  // engine-commanded acceleration
+  return fuel_.consume(v, a_engine, params_.delta);
+}
+
+Vector AccCase::sample_x0(Rng& rng) const {
+  const auto bb = sets_.x_prime.bounding_box();
+  OIC_CHECK(bb.has_value(), "AccCase::sample_x0: X' unbounded");
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    Vector x{rng.uniform(bb->first[0], bb->second[0]),
+             rng.uniform(bb->first[1], bb->second[1])};
+    if (sets_.x_prime.contains(x, -1e-9)) return x;
+  }
+  throw NumericalError("AccCase::sample_x0: rejection sampling failed (X' too thin?)");
+}
+
+}  // namespace oic::acc

@@ -1,0 +1,128 @@
+#pragma once
+/// \file acc.hpp
+/// The adaptive cruise control case study of Sec. IV.
+///
+/// Two vehicles drive in a lane; the ego vehicle controls its acceleration
+/// u against a velocity-proportional drag k v, the front vehicle moves at
+/// vf(t) in [30, 50].  With gap s and ego speed v (Fig. 3):
+///
+///   s(t+1) = s(t) - (v(t) - vf(t)) delta,
+///   v(t+1) = v(t) - (k v(t) - u(t)) delta,
+///
+/// delta = 0.1, k = 0.2, safety s in [120, 180], v in [25, 55],
+/// u in [-40, 40].
+///
+/// The paper's framework wants 0 in X, U, W (Sec. II), so the model is
+/// shifted to the equilibrium (s, v, u, vf) = (150, 40, k*40, 40):
+///   x = (s - 150, v - 40),  u~ = u - 8,  w = vf - 40 in [-10, 10],
+/// giving  x+ = A x + B u~ + E w  with
+///   A = [[1, -delta], [0, 1 - k delta]],  B = [0, delta]^T,
+///   E = [delta, 0]^T.
+/// Skipping actuates raw u = 0, i.e. u~ = -8 -- the framework's designated
+/// skip input; physical energy is ||u||_1 = ||u~ + 8||_1.
+
+#include <memory>
+
+#include "common/random.hpp"
+#include "control/tube_mpc.hpp"
+#include "core/safe_sets.hpp"
+#include "sim/fuel.hpp"
+
+namespace oic::acc {
+
+/// Physical constants of the case study (paper values by default).
+struct AccParams {
+  double delta = 0.1;   ///< control period [s]
+  double drag = 0.2;    ///< drag coefficient k [1/s]
+  double s_min = 120.0; ///< safe gap lower bound [m]
+  double s_max = 180.0; ///< safe gap upper bound [m]
+  double v_min = 25.0;  ///< ego speed lower bound [m/s]
+  double v_max = 55.0;  ///< ego speed upper bound [m/s]
+  double u_min = -40.0; ///< actuation lower bound
+  double u_max = 40.0;  ///< actuation upper bound
+  double vf_min = 30.0; ///< front-vehicle speed lower bound [m/s]
+  double vf_max = 50.0; ///< front-vehicle speed upper bound [m/s]
+
+  /// Reference (shift) point: gap mid-range and front nominal speed.
+  double s_ref() const { return 0.5 * (s_min + s_max); }
+  double v_ref() const { return 0.5 * (vf_min + vf_max); }
+  /// Equilibrium input balancing drag at the reference speed.
+  double u_eq() const { return drag * v_ref(); }
+};
+
+/// Everything the experiments need, built once: the shifted LTI model, the
+/// tube RMPC kappa_R, its robust-invariant feasible set XI (Prop. 1), and
+/// the strengthened safe set X' (Definition 3).
+class AccCase {
+ public:
+  /// Build with the paper's parameters; `rmpc` defaults to horizon 10 with
+  /// unit 1-norm weights (Sec. IV).
+  explicit AccCase(AccParams params = {}, control::RmpcConfig rmpc = default_rmpc());
+
+  /// The paper's RMPC configuration (N = 10, P = Q = 1).
+  static control::RmpcConfig default_rmpc();
+
+  /// Physical constants.
+  const AccParams& params() const { return params_; }
+
+  /// Shifted-coordinate plant model.
+  const control::AffineLTI& system() const { return sys_; }
+
+  /// The underlying safe controller kappa_R (tube RMPC).
+  control::TubeMpc& rmpc() { return *rmpc_; }
+  const control::TubeMpc& rmpc() const { return *rmpc_; }
+
+  /// Local LQR gain used inside the RMPC (also a valid analytic kappa for
+  /// the model-based policy).
+  const linalg::Matrix& lqr_gain() const { return k_lqr_; }
+
+  /// X, XI = X_F (Prop. 1), X' (Definition 3), all in shifted coordinates.
+  const core::SafeSets& sets() const { return sets_; }
+
+  /// Skip input in shifted coordinates (raw u = 0 => u~ = -u_eq).
+  const linalg::Vector& u_skip() const { return u_skip_; }
+
+  /// Energy offset such that physical energy = || u~ - offset ||_1.
+  const linalg::Vector& energy_offset() const { return energy_offset_; }
+
+  /// Physical actuation energy of a shifted input.
+  double energy_raw(const linalg::Vector& u_shifted) const;
+
+  // ---- coordinate helpers -------------------------------------------------
+
+  /// (s, v) -> shifted state.
+  linalg::Vector to_shifted(double s, double v) const;
+  /// Shifted state -> (s, v).
+  std::pair<double, double> from_shifted(const linalg::Vector& x) const;
+  /// Raw input from shifted input.
+  double u_raw(const linalg::Vector& u_shifted) const;
+  /// Front-vehicle speed -> scalar disturbance w = vf - v_ref.
+  double w_from_vf(double vf) const { return vf - params_.v_ref(); }
+
+  // ---- experiment utilities ----------------------------------------------
+
+  /// Fuel consumed over one control period at shifted state x actuating
+  /// shifted input u (SUMO/HBEFA-style map; see sim/fuel.hpp).
+  double fuel_step(const linalg::Vector& x, const linalg::Vector& u) const;
+
+  /// Uniform sample from the strengthened safe set X' (rejection sampling
+  /// from its bounding box).
+  linalg::Vector sample_x0(Rng& rng) const;
+
+  /// The fuel model in use.
+  const sim::FuelModel& fuel_model() const { return fuel_; }
+
+ private:
+  AccParams params_;
+  control::AffineLTI sys_;
+  linalg::Matrix k_lqr_;
+  std::unique_ptr<control::TubeMpc> rmpc_;
+  core::SafeSets sets_;
+  linalg::Vector u_skip_;
+  linalg::Vector energy_offset_;
+  sim::FuelModel fuel_;
+
+  static control::AffineLTI build_system(const AccParams& p);
+};
+
+}  // namespace oic::acc

@@ -1,0 +1,90 @@
+#include "acc/harness.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::acc {
+
+using linalg::Vector;
+
+CaseData make_case(const AccCase& acc, const Scenario& scenario, Rng& rng,
+                   std::size_t steps) {
+  CaseData data;
+  Rng x0_rng = rng.split();
+  // sample_x0 needs a non-const AccCase only for rng; it is logically const.
+  data.x0 = acc.sample_x0(x0_rng);
+  auto profile = scenario.profile->clone();
+  profile->reset(rng.split());
+  data.vf.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t) data.vf.push_back(profile->next());
+  return data;
+}
+
+EpisodeResult run_episode(AccCase& acc, core::SkipPolicy& policy, const CaseData& data) {
+  core::IntermittentConfig icfg;
+  icfg.u_skip = acc.u_skip();
+  icfg.w_memory = 4;  // retain a few observations; policies use what they need
+  core::IntermittentController ic(acc.system(), acc.sets(), acc.rmpc(), policy, icfg);
+  ic.reset();
+
+  core::RunConfig rcfg;
+  rcfg.steps = data.vf.size();
+
+  double fuel = 0.0;
+  double energy = 0.0;
+  const auto hook = [&](sim::TraceStep& step, const Vector&) {
+    step.fuel = acc.fuel_step(step.x, step.u);
+    fuel += step.fuel;
+    energy += acc.energy_raw(step.u);
+  };
+  const auto disturbance = [&](std::size_t t) {
+    return Vector{acc.w_from_vf(data.vf[t])};
+  };
+
+  const core::RunResult rr =
+      core::run_closed_loop(acc.system(), ic, data.x0, disturbance, rcfg, hook);
+
+  EpisodeResult out;
+  out.fuel = fuel;
+  out.energy = energy;
+  out.skipped = rr.trace.skipped_steps();
+  out.forced = rr.trace.forced_steps();
+  out.steps = rr.trace.size();
+  out.left_x = rr.left_x;
+  out.left_xi = rr.left_xi;
+  return out;
+}
+
+double fuel_saving(const EpisodeResult& baseline, const EpisodeResult& ours) {
+  OIC_REQUIRE(baseline.fuel > 0.0, "fuel_saving: baseline consumed no fuel");
+  return (baseline.fuel - ours.fuel) / baseline.fuel;
+}
+
+ComparisonResult compare_policies(AccCase& acc, const Scenario& scenario,
+                                  const std::vector<core::SkipPolicy*>& policies,
+                                  std::size_t cases, std::size_t steps,
+                                  std::uint64_t seed) {
+  OIC_REQUIRE(!policies.empty(), "compare_policies: need at least one policy");
+  ComparisonResult out;
+  out.policy_names.reserve(policies.size());
+  for (const auto* p : policies) out.policy_names.push_back(p->name());
+  out.savings.assign(policies.size(), {});
+  out.mean_skipped.assign(policies.size(), 0.0);
+  out.any_violation.assign(policies.size(), false);
+
+  core::AlwaysRunPolicy baseline;
+  Rng rng(seed);
+  for (std::size_t c = 0; c < cases; ++c) {
+    const CaseData data = make_case(acc, scenario, rng, steps);
+    const EpisodeResult base = run_episode(acc, baseline, data);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const EpisodeResult r = run_episode(acc, *policies[p], data);
+      out.savings[p].push_back(fuel_saving(base, r));
+      out.mean_skipped[p] += static_cast<double>(r.skipped);
+      if (r.left_x || r.left_xi) out.any_violation[p] = true;
+    }
+  }
+  for (auto& m : out.mean_skipped) m /= static_cast<double>(cases);
+  return out;
+}
+
+}  // namespace oic::acc

@@ -1,0 +1,71 @@
+#include "acc/scenarios.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace oic::acc {
+
+Scenario& Scenario::operator=(const Scenario& other) {
+  if (this != &other) {
+    id = other.id;
+    description = other.description;
+    profile = other.profile->clone();
+  }
+  return *this;
+}
+
+Scenario fig4_scenario(const AccParams& p) {
+  return Scenario(
+      "Fig.4", "sinusoidal vf (Eq. 8): ve=40, af=9, w in [-1,1]",
+      std::make_unique<sim::SinusoidalProfile>(p.v_ref(), 9.0, p.delta, 1.0, p.vf_min,
+                                               p.vf_max));
+}
+
+Scenario range_scenario(int index, const AccParams& p) {
+  OIC_REQUIRE(index >= 1 && index <= 5, "range_scenario: index must be 1..5");
+  // Table I.
+  static constexpr double kLo[5] = {30.0, 32.5, 35.0, 38.0, 39.0};
+  static constexpr double kHi[5] = {50.0, 47.5, 45.0, 42.0, 41.0};
+  const double lo = kLo[index - 1];
+  const double hi = kHi[index - 1];
+  char desc[64];
+  std::snprintf(desc, sizeof desc, "bounded-accel vf in [%.1f, %.1f], |v'f| <= 20", lo,
+                hi);
+  return Scenario("Ex." + std::to_string(index), desc,
+                  std::make_unique<sim::BoundedAccelProfile>(lo, hi, 20.0, p.delta));
+}
+
+Scenario regularity_scenario(int index, const AccParams& p) {
+  OIC_REQUIRE(index >= 6 && index <= 10, "regularity_scenario: index must be 6..10");
+  switch (index) {
+    case 6:
+      return Scenario("Ex.6", "vf uniformly random in [30, 50] (no continuity)",
+                      std::make_unique<sim::UniformRandomProfile>(p.vf_min, p.vf_max));
+    case 7: {
+      Scenario s = range_scenario(1, p);
+      s.id = "Ex.7";
+      return s;
+    }
+    case 8:
+      return Scenario("Ex.8", "sinusoid af=5, noise [-5, 5]",
+                      std::make_unique<sim::SinusoidalProfile>(p.v_ref(), 5.0, p.delta,
+                                                               5.0, p.vf_min, p.vf_max));
+    case 9:
+      return Scenario("Ex.9", "sinusoid af=8, noise [-2, 2]",
+                      std::make_unique<sim::SinusoidalProfile>(p.v_ref(), 8.0, p.delta,
+                                                               2.0, p.vf_min, p.vf_max));
+    case 10:
+    default:
+      return Scenario("Ex.10", "sinusoid af=9, noise [-1, 1]",
+                      std::make_unique<sim::SinusoidalProfile>(p.v_ref(), 9.0, p.delta,
+                                                               1.0, p.vf_min, p.vf_max));
+  }
+}
+
+Scenario stop_and_go_scenario(const AccParams& p) {
+  return Scenario("Jam", "stop-and-go traffic: dwell/ramp between 32 and 48 m/s",
+                  std::make_unique<sim::StopAndGoProfile>(32.0, 48.0, 25, 15, 0.3));
+}
+
+}  // namespace oic::acc

@@ -1,0 +1,61 @@
+#pragma once
+/// \file scenarios.hpp
+/// The driving scenarios of the paper's evaluation (Sec. IV):
+///
+///   * fig4_scenario()    -- Equation (8) sinusoid: ve = 40, af = 9,
+///                           disturbance w in [-1, 1] (Fig. 4 and Ex.10);
+///   * range_scenario(i)  -- Ex.1..Ex.5 of Table I: bounded-acceleration
+///                           random vf over shrinking ranges;
+///   * regularity_scenario(i) -- Ex.6..Ex.10 of Fig. 6: from pure random
+///                           to clean sinusoid.
+///
+/// Each scenario owns a VelocityProfile prototype; experiments clone and
+/// reseed it per test case.
+
+#include <memory>
+#include <string>
+
+#include "acc/acc.hpp"
+#include "sim/profile.hpp"
+
+namespace oic::acc {
+
+/// One experiment configuration.
+struct Scenario {
+  std::string id;          ///< "Fig.4", "Ex.1", ..., "Ex.10"
+  std::string description; ///< human-readable summary for tables
+  std::unique_ptr<sim::VelocityProfile> profile;
+
+  Scenario() = default;
+  Scenario(std::string id_, std::string desc, std::unique_ptr<sim::VelocityProfile> p)
+      : id(std::move(id_)), description(std::move(desc)), profile(std::move(p)) {}
+
+  Scenario(const Scenario& other)
+      : id(other.id), description(other.description), profile(other.profile->clone()) {}
+  Scenario& operator=(const Scenario& other);
+  Scenario(Scenario&&) = default;
+  Scenario& operator=(Scenario&&) = default;
+};
+
+/// The Fig. 4 workload: sinusoidal front vehicle with minor disturbance
+/// (Equation 8, ve = 40, af = 9, w in [-1, 1]).
+Scenario fig4_scenario(const AccParams& params);
+
+/// Table I / Fig. 5 workloads Ex.1 .. Ex.5: vf ranges
+/// [30,50], [32.5,47.5], [35,45], [38,42], [39,41]; front acceleration
+/// bounded by 20 m/s^2.
+Scenario range_scenario(int index, const AccParams& params);
+
+/// Fig. 6 workloads Ex.6 .. Ex.10 (increasing regularity):
+///   Ex.6  -- vf uniformly random in [30, 50] each step;
+///   Ex.7  -- Ex.1 (continuous random);
+///   Ex.8  -- sinusoid af = 5, noise [-5, 5];
+///   Ex.9  -- sinusoid af = 8, noise [-2, 2];
+///   Ex.10 -- sinusoid af = 9, noise [-1, 1].
+Scenario regularity_scenario(int index, const AccParams& params);
+
+/// A stop-and-go traffic-jam scenario from the paper's introduction
+/// (motivating example; used by examples and extension benches).
+Scenario stop_and_go_scenario(const AccParams& params);
+
+}  // namespace oic::acc

@@ -1,0 +1,127 @@
+#include "acc/trainer.hpp"
+
+#include "common/error.hpp"
+#include "core/drl_policy.hpp"
+
+namespace oic::acc {
+
+using linalg::Vector;
+
+rl::DqnConfig TrainerConfig::default_dqn() {
+  rl::DqnConfig cfg;
+  cfg.hidden = {64, 64};
+  cfg.learning_rate = 1e-3;
+  // The fuel-relevant horizon is the ~40-step sinusoid period, so the
+  // discount must keep several tens of steps in view.
+  cfg.gamma = 0.99;
+  cfg.batch_size = 32;
+  cfg.replay_capacity = 20000;
+  cfg.min_replay = 500;
+  cfg.target_sync_interval = 500;
+  cfg.epsilon_start = 1.0;
+  cfg.epsilon_end = 0.05;
+  cfg.epsilon_decay_steps = 8000;
+  return cfg;
+}
+
+std::unique_ptr<core::DrlPolicy> TrainedAgent::make_policy() const {
+  OIC_REQUIRE(agent != nullptr, "TrainedAgent::make_policy: no agent");
+  const std::size_t nx = (state_scale.size()) / (memory + 1);
+  return std::make_unique<core::DrlPolicy>(agent, memory, nx, state_scale);
+}
+
+TrainedAgent train_dqn(AccCase& acc, const Scenario& scenario,
+                       const TrainerConfig& cfg, TrainingLog* log) {
+  OIC_REQUIRE(cfg.episodes >= 1 && cfg.steps_per_episode >= 2,
+              "train_dqn: degenerate training budget");
+  const std::size_t nx = acc.system().nx();
+  const std::size_t state_dim = core::drl_state_dim(nx, nx, cfg.memory);
+  const linalg::Vector scale = core::drl_state_scale(acc.system(), cfg.memory);
+
+  Rng master(cfg.seed);
+  // Fit the exploration schedule to the training budget: decay over ~60 %
+  // of all action selections so the final third of training is near-greedy.
+  rl::DqnConfig dqn_cfg = cfg.dqn;
+  const std::size_t budget = cfg.episodes * cfg.steps_per_episode;
+  dqn_cfg.epsilon_decay_steps =
+      std::max<std::size_t>(500, std::min(dqn_cfg.epsilon_decay_steps, budget * 6 / 10));
+  auto agent = std::make_shared<rl::DoubleDqn>(state_dim, 2, dqn_cfg, master.split());
+
+  const auto& sets = acc.sets();
+  const Vector u_skip = acc.u_skip();
+
+  for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
+    Rng ep_rng = master.split();
+    Vector x = acc.sample_x0(ep_rng);
+    auto profile = scenario.profile->clone();
+    profile->reset(ep_rng.split());
+
+    std::vector<Vector> w_history;  // state-space disturbances, oldest first
+    double ep_reward = 0.0;
+    double ep_energy = 0.0;
+    std::size_t ep_skips = 0;
+
+    for (std::size_t t = 0; t < cfg.steps_per_episode; ++t) {
+      const Vector s1 = core::apply_state_scale(
+          core::build_drl_state(x, w_history, cfg.memory, nx), scale);
+      const bool in_xprime = sets.x_prime.contains(x);
+
+      // The agent is consulted every step; the monitor overrides outside X'.
+      const int desired = agent->select_action(s1);
+      const int z = in_xprime ? desired : 1;
+
+      Vector u;
+      double kappa_energy = 0.0;
+      if (z == 1) {
+        u = acc.rmpc().control(x);
+        kappa_energy = cfg.energy_mode == EnergyMode::kFuel
+                           ? acc.fuel_step(x, u) / acc.params().delta
+                           : acc.energy_raw(u);
+      } else {
+        u = u_skip;
+        ++ep_skips;
+      }
+      ep_energy += acc.energy_raw(u);
+
+      const double vf = profile->next();
+      const Vector w{acc.w_from_vf(vf)};
+      const Vector x_next = acc.system().step(x, u, w);
+
+      // Observed state-space disturbance for the next agent state.
+      const Vector ew =
+          x_next - acc.system().a() * x - acc.system().b() * u - acc.system().c();
+      w_history.push_back(ew);
+      if (w_history.size() > cfg.memory) w_history.erase(w_history.begin());
+
+      const double reward =
+          core::skipping_reward(sets, x, z, x_next, kappa_energy, cfg.w1, cfg.w2);
+      ep_reward += reward;
+
+      const Vector s2 = core::apply_state_scale(
+          core::build_drl_state(x_next, w_history, cfg.memory, nx), scale);
+      rl::Transition tr;
+      tr.state = s1;
+      tr.action = z;
+      tr.reward = reward;
+      tr.next_state = s2;
+      tr.terminal = false;  // time-limit truncation: keep bootstrapping
+      agent->observe(std::move(tr));
+
+      x = x_next;
+    }
+
+    if (log != nullptr) {
+      log->episode_reward.push_back(ep_reward);
+      log->episode_skip_ratio.push_back(static_cast<double>(ep_skips) /
+                                        static_cast<double>(cfg.steps_per_episode));
+      log->episode_energy.push_back(ep_energy);
+    }
+  }
+  TrainedAgent out;
+  out.agent = agent;
+  out.state_scale = scale;
+  out.memory = cfg.memory;
+  return out;
+}
+
+}  // namespace oic::acc

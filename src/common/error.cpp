@@ -1,0 +1,26 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace oic::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << expr << " at " << file << ":" << line << "]";
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(format("precondition violated", expr, file, line, msg));
+}
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InternalError(format("internal invariant violated", expr, file, line, msg));
+}
+
+}  // namespace oic::detail

@@ -1,0 +1,66 @@
+#pragma once
+/// \file error.hpp
+/// Error-handling primitives shared by every oic module.
+///
+/// The library reports contract violations with exceptions derived from
+/// oic::Error so that callers can distinguish library failures from
+/// standard-library ones.  OIC_REQUIRE is used for precondition checks on
+/// public interfaces; OIC_CHECK for internal invariants (both always on:
+/// this library computes safety certificates, silent corruption is worse
+/// than the branch cost).
+
+#include <stdexcept>
+#include <string>
+
+namespace oic {
+
+/// Base class for all exceptions thrown by the oic library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a public-API precondition is violated (bad dimensions,
+/// out-of-range arguments, ...).
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails; indicates a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine cannot produce a trustworthy result
+/// (singular matrix, unbounded LP asked for a finite optimum, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace oic
+
+/// Precondition check for public entry points.  Always enabled.
+#define OIC_REQUIRE(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::oic::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check.  Always enabled.
+#define OIC_CHECK(expr, msg)                                           \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::oic::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,50 @@
+#include "common/random.hpp"
+
+#include "common/error.hpp"
+
+namespace oic {
+
+double Rng::uniform(double lo, double hi) {
+  OIC_REQUIRE(lo <= hi, "uniform: lo must not exceed hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  OIC_REQUIRE(lo <= hi, "uniform_int: lo must not exceed hi");
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  OIC_REQUIRE(stddev >= 0.0, "normal: stddev must be non-negative");
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  OIC_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p must be a probability");
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::uniform_box(const std::vector<double>& lo,
+                                     const std::vector<double>& hi) {
+  OIC_REQUIRE(lo.size() == hi.size(), "uniform_box: bound dimension mismatch");
+  std::vector<double> x(lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) x[i] = uniform(lo[i], hi[i]);
+  return x;
+}
+
+Rng Rng::split() {
+  // Two draws feed a splitmix-style mix so children are decorrelated from
+  // both the parent stream and each other.
+  std::uint64_t a = engine_();
+  std::uint64_t b = engine_();
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ull + (b << 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return Rng(z ^ (z >> 31));
+}
+
+}  // namespace oic

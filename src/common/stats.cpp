@@ -1,0 +1,78 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace oic {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(const std::vector<double>& xs) {
+  OIC_REQUIRE(!xs.empty(), "min_of: empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  OIC_REQUIRE(!xs.empty(), "max_of: empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(const std::vector<double>& xs) {
+  OIC_REQUIRE(!xs.empty(), "median: empty sample");
+  std::vector<double> s = xs;
+  std::sort(s.begin(), s.end());
+  const std::size_t n = s.size();
+  if (n % 2 == 1) return s[n / 2];
+  return 0.5 * (s[n / 2 - 1] + s[n / 2]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  OIC_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  OIC_REQUIRE(bins > 0, "Histogram: need at least one bucket");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(std::floor(t * static_cast<double>(counts_.size())));
+  idx = std::clamp(idx, 0l, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t i) const {
+  OIC_REQUIRE(i < counts_.size(), "Histogram::count: bucket out of range");
+  return counts_[i];
+}
+
+std::string Histogram::label(std::size_t i, bool percent) const {
+  OIC_REQUIRE(i < counts_.size(), "Histogram::label: bucket out of range");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double a = lo_ + w * static_cast<double>(i);
+  const double b = a + w;
+  std::ostringstream os;
+  if (percent) {
+    os << a * 100.0 << "%-" << b * 100.0 << "%";
+  } else {
+    os << a << "-" << b;
+  }
+  return os.str();
+}
+
+}  // namespace oic

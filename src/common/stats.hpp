@@ -1,0 +1,58 @@
+#pragma once
+/// \file stats.hpp
+/// Small statistics helpers used by the benchmark harnesses to aggregate
+/// per-case results into the rows/series the paper reports.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oic {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Smallest element; throws PreconditionError on an empty sample.
+double min_of(const std::vector<double>& xs);
+
+/// Largest element; throws PreconditionError on an empty sample.
+double max_of(const std::vector<double>& xs);
+
+/// Median (average of middle pair for even sizes); throws on empty sample.
+double median(const std::vector<double>& xs);
+
+/// A fixed-width histogram over [lo, hi) with uniform bins, matching the
+/// bucketed presentation of the paper's Figure 4 (e.g. 0-10 %, 10-20 %, ...).
+class Histogram {
+ public:
+  /// Create `bins` uniform buckets spanning [lo, hi).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one sample.  Samples below lo clamp into the first bucket and
+  /// samples at or above hi clamp into the last, so totals always equal the
+  /// number of add() calls.
+  void add(double x);
+
+  /// Number of samples in bucket i.
+  std::size_t count(std::size_t i) const;
+
+  /// Number of buckets.
+  std::size_t bins() const { return counts_.size(); }
+
+  /// Total number of samples added.
+  std::size_t total() const { return total_; }
+
+  /// Human-readable label of bucket i, e.g. "10%-20%" with percent=true.
+  std::string label(std::size_t i, bool percent) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace oic

@@ -1,0 +1,21 @@
+#include "control/controller.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::control {
+
+LinearFeedback::LinearFeedback(linalg::Matrix k)
+    : k_(std::move(k)), k0_(k_.rows()) {}
+
+LinearFeedback::LinearFeedback(linalg::Matrix k, linalg::Vector k0)
+    : k_(std::move(k)), k0_(std::move(k0)) {
+  OIC_REQUIRE(k0_.size() == k_.rows(), "LinearFeedback: offset dimension mismatch");
+}
+
+linalg::Vector LinearFeedback::control(const linalg::Vector& x) {
+  OIC_REQUIRE(x.size() == k_.cols(), "LinearFeedback: state dimension mismatch");
+  count_invocation();
+  return k_ * x + k0_;
+}
+
+}  // namespace oic::control

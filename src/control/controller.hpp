@@ -1,0 +1,76 @@
+#pragma once
+/// \file controller.hpp
+/// The safe-controller abstraction kappa of the paper, plus the linear
+/// state-feedback implementation.  Advanced controllers (TubeMpc) implement
+/// the same interface, which is what lets the intermittent framework treat
+/// "run kappa" as a black box (Sec. III).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace oic::control {
+
+/// Abstract feedback controller u = kappa(x).
+///
+/// control() is non-const on purpose: real controllers keep internal state
+/// (warm starts, solve counters) and the framework's computation-saving
+/// claim is precisely about avoiding these calls.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Compute the control input for the given state.  Implementations throw
+  /// NumericalError when the control law is undefined at x (e.g. an MPC
+  /// whose optimization is infeasible outside its feasible region).
+  virtual linalg::Vector control(const linalg::Vector& x) = 0;
+
+  /// State dimension this controller expects.
+  virtual std::size_t state_dim() const = 0;
+
+  /// Input dimension this controller produces.
+  virtual std::size_t input_dim() const = 0;
+
+  /// Diagnostic name for logs and experiment tables.
+  virtual std::string name() const = 0;
+
+  /// Number of control() invocations so far -- the measure behind the
+  /// paper's computation-saving statistic (Sec. IV-A).
+  std::size_t invocations() const { return invocations_; }
+
+ protected:
+  /// Implementations call this at the top of control().
+  void count_invocation() { ++invocations_; }
+
+ private:
+  std::size_t invocations_ = 0;
+};
+
+/// Linear (affine) state feedback u = K x + k0.
+class LinearFeedback : public Controller {
+ public:
+  /// Pure linear feedback u = K x.
+  explicit LinearFeedback(linalg::Matrix k);
+
+  /// Affine feedback u = K x + k0.
+  LinearFeedback(linalg::Matrix k, linalg::Vector k0);
+
+  linalg::Vector control(const linalg::Vector& x) override;
+  std::size_t state_dim() const override { return k_.cols(); }
+  std::size_t input_dim() const override { return k_.rows(); }
+  std::string name() const override { return "linear-feedback"; }
+
+  /// Gain matrix K.
+  const linalg::Matrix& gain() const { return k_; }
+  /// Affine offset k0.
+  const linalg::Vector& offset() const { return k0_; }
+
+ private:
+  linalg::Matrix k_;
+  linalg::Vector k0_;
+};
+
+}  // namespace oic::control

@@ -1,0 +1,168 @@
+#include "control/invariant.hpp"
+
+#include "common/error.hpp"
+#include "poly/ops.hpp"
+#include "poly/support_sum.hpp"
+
+namespace oic::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+using poly::HPolytope;
+
+MrpiResult mrpi_outer(const Matrix& a_cl, const HPolytope& d, const MrpiOptions& opt) {
+  OIC_REQUIRE(a_cl.rows() == a_cl.cols(), "mrpi_outer: A_cl must be square");
+  OIC_REQUIRE(d.dim() == a_cl.rows(), "mrpi_outer: disturbance dimension mismatch");
+  OIC_REQUIRE(opt.alpha > 0.0 && opt.alpha < 1.0, "mrpi_outer: alpha must be in (0,1)");
+  OIC_REQUIRE(!d.is_empty(), "mrpi_outer: disturbance set is empty");
+  OIC_REQUIRE(d.is_bounded(), "mrpi_outer: disturbance set must be bounded");
+
+  const std::size_t n = a_cl.rows();
+
+  // Find the smallest order s with  A_cl^s D  inside  alpha * D:
+  //   h_{A^s D}(d_i) = h_D((A^s)^T d_i) <= alpha * b_i  for every facet i of D.
+  std::size_t order = 0;
+  Matrix apow = Matrix::identity(n);
+  bool contracted = false;
+  for (order = 1; order <= opt.max_order; ++order) {
+    apow = apow * a_cl;
+    bool ok = true;
+    for (std::size_t i = 0; i < d.num_constraints() && ok; ++i) {
+      const Vector dir = linalg::transpose_mul(apow, d.normal(i));
+      const auto s = d.support(dir);
+      OIC_CHECK(s.bounded && s.feasible, "mrpi_outer: support evaluation failed");
+      ok = s.value <= opt.alpha * d.offset(i) + 1e-12;
+    }
+    if (ok) {
+      contracted = true;
+      break;
+    }
+  }
+  if (!contracted) {
+    throw NumericalError(
+        "mrpi_outer: A_cl^n W did not contract below alpha*W within the order cap; "
+        "is the closed loop stable?");
+  }
+
+  // F_s = W (+) A W (+) ... (+) A^{s-1} W, materialized over template
+  // directions and scaled by 1/(1-alpha).
+  poly::SupportSum chain;
+  Matrix m = Matrix::identity(n);
+  for (std::size_t i = 0; i < order; ++i) {
+    chain.add_term(m, d);
+    m = m * a_cl;
+  }
+  chain.set_scale(1.0 / (1.0 - opt.alpha));
+
+  std::vector<Vector> dirs = opt.directions;
+  if (dirs.empty()) {
+    dirs = (n == 2) ? poly::uniform_directions_2d(32) : poly::box_diag_directions(n);
+  }
+
+  // The template outer approximation of an RPI set is not itself RPI (it is
+  // exact only along template directions).  Restore true invariance by
+  // taking the maximal RPI subset of the template polytope: it still
+  // contains the exact mRPI (which is invariant and inside the template
+  // set), so the sandwich  mRPI  subset  result  subset  (1/(1-alpha)) F_s
+  // is preserved while Definition 1 holds exactly.
+  const HPolytope outer = chain.outer_polytope(dirs).remove_redundancy();
+  InvariantOptions fix_opt;
+  fix_opt.max_iterations = 200;
+  const InvariantResult fixed = maximal_rpi(a_cl, Vector(n), d, outer, fix_opt);
+  if (!fixed.converged || fixed.set.is_empty()) {
+    throw NumericalError(
+        "mrpi_outer: invariance restoration did not converge; increase the "
+        "template direction count or lower alpha");
+  }
+
+  MrpiResult out;
+  out.set = fixed.set;
+  out.order = order;
+  out.alpha = opt.alpha;
+  return out;
+}
+
+InvariantResult maximal_rpi(const Matrix& a_cl, const Vector& c, const HPolytope& d,
+                            const HPolytope& constraint, const InvariantOptions& opt) {
+  OIC_REQUIRE(a_cl.rows() == a_cl.cols(), "maximal_rpi: A_cl must be square");
+  OIC_REQUIRE(c.size() == a_cl.rows(), "maximal_rpi: offset dimension mismatch");
+  OIC_REQUIRE(d.dim() == a_cl.rows(), "maximal_rpi: disturbance dimension mismatch");
+  OIC_REQUIRE(constraint.dim() == a_cl.rows(),
+              "maximal_rpi: constraint dimension mismatch");
+
+  InvariantResult out;
+  HPolytope omega = opt.prune ? constraint.remove_redundancy() : constraint;
+  for (std::size_t it = 0; it < opt.max_iterations; ++it) {
+    out.iterations = it + 1;
+    // Pre(Omega) = { x | A x + c + d in Omega for all d in D }
+    //            = preimage of (Omega (-) D) under x -> A x + c.
+    const HPolytope shrunk = omega.pontryagin_diff(d);
+    const HPolytope pre = shrunk.affine_preimage(a_cl, c);
+    HPolytope next = omega.intersect(pre);
+    if (opt.prune) next = next.remove_redundancy();
+    if (next.is_empty()) {
+      out.set = next;
+      out.converged = true;  // fixed point: the empty set is (vacuously) invariant
+      return out;
+    }
+    // Omega_{i+1} subset Omega_i holds by construction; the fixed point is
+    // reached when the reverse inclusion holds too.
+    if (poly::contains_polytope(next, omega, opt.tol)) {
+      out.set = next;
+      out.converged = true;
+      return out;
+    }
+    omega = std::move(next);
+  }
+  out.set = omega;
+  out.converged = false;
+  return out;
+}
+
+InvariantResult maximal_robust_control_invariant(const AffineLTI& sys, const Matrix& k,
+                                                 const Vector& k0,
+                                                 const InvariantOptions& opt) {
+  OIC_REQUIRE(k.rows() == sys.nu() && k.cols() == sys.nx(),
+              "maximal_robust_control_invariant: gain shape mismatch");
+  OIC_REQUIRE(k0.size() == sys.nu(),
+              "maximal_robust_control_invariant: offset dimension mismatch");
+
+  const Matrix a_cl = sys.a() + sys.b() * k;
+  const Vector c_cl = sys.c() + sys.b() * k0;
+  const HPolytope d = sys.disturbance_in_state_space();
+  // States where the law itself is admissible: K x + k0 in U.
+  const HPolytope input_ok = sys.u_set().affine_preimage(k, k0);
+  const HPolytope constraint = sys.x_set().intersect(input_ok);
+  return maximal_rpi(a_cl, c_cl, d, constraint, opt);
+}
+
+bool is_robust_invariant(const AffineLTI& sys, const Matrix& k, const Vector& k0,
+                         const HPolytope& xi, double tol) {
+  OIC_REQUIRE(xi.dim() == sys.nx(), "is_robust_invariant: set dimension mismatch");
+  if (xi.is_empty()) return true;
+
+  const Matrix a_cl = sys.a() + sys.b() * k;
+  const Vector c_cl = sys.c() + sys.b() * k0;
+  const HPolytope d = sys.disturbance_in_state_space();
+
+  // (A_cl XI + c_cl) (+) D inside XI, via support functions facet by facet.
+  for (std::size_t i = 0; i < xi.num_constraints(); ++i) {
+    const Vector ai = xi.normal(i);
+    const auto s_state = xi.support(linalg::transpose_mul(a_cl, ai));
+    const auto s_dist = d.support(ai);
+    if (!s_state.bounded || !s_dist.bounded) return false;
+    const double reach = s_state.value + linalg::dot(ai, c_cl) + s_dist.value;
+    if (reach > xi.offset(i) + tol) return false;
+  }
+  // Input admissibility over XI: K x + k0 in U for every x in XI.
+  for (std::size_t j = 0; j < sys.u_set().num_constraints(); ++j) {
+    const Vector gj = sys.u_set().normal(j);
+    const auto s = xi.support(linalg::transpose_mul(k, gj));
+    if (!s.bounded) return false;
+    if (s.value + linalg::dot(gj, k0) > sys.u_set().offset(j) + tol) return false;
+  }
+  // State admissibility: XI inside X.
+  return poly::contains_polytope(sys.x_set(), xi, tol);
+}
+
+}  // namespace oic::control

@@ -1,0 +1,77 @@
+#include "control/lqr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+
+namespace oic::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+LqrResult dlqr(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
+               double tol, std::size_t max_iterations) {
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  OIC_REQUIRE(a.cols() == n, "dlqr: A must be square");
+  OIC_REQUIRE(b.rows() == n, "dlqr: B row count mismatch");
+  OIC_REQUIRE(q.rows() == n && q.cols() == n, "dlqr: Q shape mismatch");
+  OIC_REQUIRE(r.rows() == m && r.cols() == m, "dlqr: R shape mismatch");
+
+  Matrix p = q;
+  LqrResult out;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    // K_it = (R + B'PB)^{-1} B'PA
+    const Matrix bt = b.transposed();
+    const Matrix btp = bt * p;
+    const Matrix gram = r + btp * b;
+    const linalg::LU lu(gram);
+    if (lu.singular()) throw NumericalError("dlqr: R + B'PB is singular");
+    const Matrix kbar = lu.solve(btp * a);  // without the minus sign
+    const Matrix at = a.transposed();
+    const Matrix p_next = q + at * p * a - at * p * b * kbar;
+
+    const double delta = (p_next - p).norm_inf_elem();
+    p = p_next;
+    if (delta < tol) {
+      out.converged = true;
+      out.iterations = it + 1;
+      break;
+    }
+    out.iterations = it + 1;
+  }
+
+  const Matrix bt = b.transposed();
+  const Matrix gram = r + bt * p * b;
+  const linalg::LU lu(gram);
+  if (lu.singular()) throw NumericalError("dlqr: R + B'PB is singular at the fixed point");
+  out.k = -(lu.solve(bt * p * a));
+  out.p = p;
+  return out;
+}
+
+double spectral_radius_estimate(const Matrix& a, std::size_t iterations) {
+  OIC_REQUIRE(a.rows() == a.cols(), "spectral_radius_estimate: matrix must be square");
+  // rho(A) = lim_k ||A^k||_F^{1/k}.  Repeated squaring with renormalization
+  // reaches k = 2^iterations applications in `iterations` multiplies.
+  Matrix m = a;
+  double log_scale = 0.0;  // log ||A^k|| accumulated across renormalizations
+  double k = 1.0;
+  for (std::size_t it = 0; it < std::min<std::size_t>(iterations, 40); ++it) {
+    const double nf = m.norm_fro();
+    if (nf == 0.0) return 0.0;
+    m *= 1.0 / nf;
+    log_scale += std::log(nf);
+    const double estimate = std::exp(log_scale / k);
+    m = m * m;
+    log_scale *= 2.0;
+    k *= 2.0;
+    if (it > 8 && estimate < 1e-12) return 0.0;
+  }
+  const double nf = m.norm_fro();
+  if (nf == 0.0) return 0.0;
+  return std::exp((log_scale + std::log(nf)) / k);
+}
+
+}  // namespace oic::control

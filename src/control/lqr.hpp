@@ -1,0 +1,36 @@
+#pragma once
+/// \file lqr.hpp
+/// Discrete-time LQR synthesis via fixed-point iteration of the algebraic
+/// Riccati equation.  Used to produce the stabilizing gain K that the
+/// paper's set pipeline needs: the mRPI construction for linear feedback
+/// (Sec. III-A) and the tube-MPC terminal controller kappa_L.
+
+#include "linalg/matrix.hpp"
+
+namespace oic::control {
+
+/// Result of a Riccati solve.
+struct LqrResult {
+  linalg::Matrix k;  ///< feedback gain, convention u = K x (K includes the minus sign)
+  linalg::Matrix p;  ///< stabilizing solution of the DARE
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Solve the discrete algebraic Riccati equation
+///   P = Q + A' P A - A' P B (R + B' P B)^{-1} B' P A
+/// by value iteration and return the gain K = -(R + B' P B)^{-1} B' P A.
+///
+/// Q must be positive semidefinite and R positive definite (only symmetry
+/// and invertibility of R + B'PB are checked at runtime).  Convergence is
+/// declared when successive P iterates differ by less than `tol` in the
+/// max-abs norm.
+LqrResult dlqr(const linalg::Matrix& a, const linalg::Matrix& b,
+               const linalg::Matrix& q, const linalg::Matrix& r, double tol = 1e-10,
+               std::size_t max_iterations = 10000);
+
+/// Spectral radius estimate of a square matrix by power iteration on A A^T
+/// pairs -- used by tests to assert closed-loop stability of A + B K.
+double spectral_radius_estimate(const linalg::Matrix& a, std::size_t iterations = 200);
+
+}  // namespace oic::control

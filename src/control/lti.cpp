@@ -1,0 +1,63 @@
+#include "control/lti.hpp"
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "poly/ops.hpp"
+
+namespace oic::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+using poly::HPolytope;
+
+AffineLTI::AffineLTI(Matrix a, Matrix b, Matrix e, Vector c, HPolytope x_set,
+                     HPolytope u_set, HPolytope w_set)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      e_(std::move(e)),
+      c_(std::move(c)),
+      x_set_(std::move(x_set)),
+      u_set_(std::move(u_set)),
+      w_set_(std::move(w_set)) {
+  OIC_REQUIRE(a_.rows() == a_.cols(), "AffineLTI: A must be square");
+  OIC_REQUIRE(b_.rows() == a_.rows(), "AffineLTI: B row count must match A");
+  OIC_REQUIRE(e_.rows() == a_.rows(), "AffineLTI: E row count must match A");
+  OIC_REQUIRE(c_.size() == a_.rows(), "AffineLTI: c dimension must match A");
+  OIC_REQUIRE(x_set_.dim() == nx(), "AffineLTI: X dimension mismatch");
+  OIC_REQUIRE(u_set_.dim() == nu(), "AffineLTI: U dimension mismatch");
+  OIC_REQUIRE(w_set_.dim() == nw(), "AffineLTI: W dimension mismatch");
+}
+
+AffineLTI AffineLTI::canonical(Matrix a, Matrix b, HPolytope x_set, HPolytope u_set,
+                               HPolytope w_set) {
+  const std::size_t n = a.rows();
+  return AffineLTI(std::move(a), std::move(b), Matrix::identity(n), Vector(n),
+                   std::move(x_set), std::move(u_set), std::move(w_set));
+}
+
+Vector AffineLTI::step(const Vector& x, const Vector& u, const Vector& w) const {
+  OIC_REQUIRE(x.size() == nx(), "AffineLTI::step: state dimension mismatch");
+  OIC_REQUIRE(u.size() == nu(), "AffineLTI::step: input dimension mismatch");
+  OIC_REQUIRE(w.size() == nw(), "AffineLTI::step: disturbance dimension mismatch");
+  return a_ * x + b_ * u + e_ * w + c_;
+}
+
+Vector AffineLTI::step_nominal(const Vector& x, const Vector& u) const {
+  OIC_REQUIRE(x.size() == nx(), "AffineLTI::step_nominal: state dimension mismatch");
+  OIC_REQUIRE(u.size() == nu(), "AffineLTI::step_nominal: input dimension mismatch");
+  return a_ * x + b_ * u + c_;
+}
+
+HPolytope AffineLTI::disturbance_in_state_space() const {
+  // E W as a polytope in R^nx.  For square invertible E the image is exact;
+  // otherwise project the graph (handles rectangular / singular E).
+  if (e_.rows() == e_.cols()) {
+    const linalg::LU lu(e_);
+    if (!lu.singular()) {
+      return w_set_.affine_image_invertible(e_, Vector(nx()));
+    }
+  }
+  return poly::affine_image_projection(w_set_, e_, Vector(nx()));
+}
+
+}  // namespace oic::control

@@ -1,0 +1,113 @@
+#include "control/reach.hpp"
+
+#include "common/error.hpp"
+#include "poly/fourier_motzkin.hpp"
+#include "poly/ops.hpp"
+
+namespace oic::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+using poly::HPolytope;
+
+HPolytope backward_reach_const_input(const AffineLTI& sys, const HPolytope& y,
+                                     const Vector& u_skip) {
+  OIC_REQUIRE(y.dim() == sys.nx(), "backward_reach_const_input: set dimension mismatch");
+  OIC_REQUIRE(u_skip.size() == sys.nu(),
+              "backward_reach_const_input: input dimension mismatch");
+  // { x | A x + (B u_skip + c) in Y (-) EW }.
+  const HPolytope shrunk = y.pontryagin_diff(sys.disturbance_in_state_space());
+  const Vector offset = sys.b() * u_skip + sys.c();
+  return shrunk.affine_preimage(sys.a(), offset);
+}
+
+HPolytope backward_reach_feedback(const AffineLTI& sys, const HPolytope& y,
+                                  const Matrix& k, const Vector& k0) {
+  OIC_REQUIRE(y.dim() == sys.nx(), "backward_reach_feedback: set dimension mismatch");
+  OIC_REQUIRE(k.rows() == sys.nu() && k.cols() == sys.nx(),
+              "backward_reach_feedback: gain shape mismatch");
+  OIC_REQUIRE(k0.size() == sys.nu(), "backward_reach_feedback: offset mismatch");
+  const HPolytope shrunk = y.pontryagin_diff(sys.disturbance_in_state_space());
+  const Matrix a_cl = sys.a() + sys.b() * k;
+  const Vector offset = sys.b() * k0 + sys.c();
+  return shrunk.affine_preimage(a_cl, offset);
+}
+
+namespace {
+
+/// Shared implementation of the exists-u Pre operator; `target` is the set
+/// the successor must reach (already disturbance-shrunk when robust).
+HPolytope pre_exists_impl(const AffineLTI& sys, const HPolytope& target,
+                          const HPolytope& state_constraint,
+                          const HPolytope& input_constraint) {
+  const std::size_t nx = sys.nx();
+  const std::size_t nu = sys.nu();
+
+  // Lifted polytope over (x, u):
+  //   H_t (A x + B u + c) <= b_t,   H_u u <= b_u,   H_x x <= b_x.
+  const std::size_t rows =
+      target.num_constraints() + input_constraint.num_constraints() +
+      state_constraint.num_constraints();
+  Matrix a(rows, nx + nu);
+  Vector b(rows);
+  std::size_t r = 0;
+  const Matrix ha = target.a() * sys.a();
+  const Matrix hb = target.a() * sys.b();
+  const Vector hc = target.a() * sys.c();
+  for (std::size_t i = 0; i < target.num_constraints(); ++i, ++r) {
+    for (std::size_t j = 0; j < nx; ++j) a(r, j) = ha(i, j);
+    for (std::size_t j = 0; j < nu; ++j) a(r, nx + j) = hb(i, j);
+    b[r] = target.b()[i] - hc[i];
+  }
+  for (std::size_t i = 0; i < input_constraint.num_constraints(); ++i, ++r) {
+    for (std::size_t j = 0; j < nu; ++j) a(r, nx + j) = input_constraint.a()(i, j);
+    b[r] = input_constraint.b()[i];
+  }
+  for (std::size_t i = 0; i < state_constraint.num_constraints(); ++i, ++r) {
+    for (std::size_t j = 0; j < nx; ++j) a(r, j) = state_constraint.a()(i, j);
+    b[r] = state_constraint.b()[i];
+  }
+
+  const HPolytope lifted(std::move(a), std::move(b));
+  return poly::project_prefix(lifted, nx);
+}
+
+}  // namespace
+
+HPolytope pre_exists_input(const AffineLTI& sys, const HPolytope& y,
+                           const HPolytope& state_constraint,
+                           const HPolytope& input_constraint) {
+  OIC_REQUIRE(y.dim() == sys.nx(), "pre_exists_input: set dimension mismatch");
+  const HPolytope shrunk = y.pontryagin_diff(sys.disturbance_in_state_space());
+  return pre_exists_impl(sys, shrunk, state_constraint, input_constraint);
+}
+
+HPolytope pre_exists_input_nominal(const AffineLTI& sys, const HPolytope& y,
+                                   const HPolytope& state_constraint,
+                                   const HPolytope& input_constraint) {
+  OIC_REQUIRE(y.dim() == sys.nx(), "pre_exists_input_nominal: set dimension mismatch");
+  return pre_exists_impl(sys, y, state_constraint, input_constraint);
+}
+
+HPolytope forward_reach_const_input(const AffineLTI& sys, const HPolytope& s,
+                                    const Vector& u) {
+  OIC_REQUIRE(s.dim() == sys.nx(), "forward_reach_const_input: set dimension mismatch");
+  OIC_REQUIRE(u.size() == sys.nu(), "forward_reach_const_input: input mismatch");
+  const Vector offset = sys.b() * u + sys.c();
+  // A S + offset.
+  HPolytope mapped = [&] {
+    if (sys.nx() == 2) {
+      // Exact planar path through vertices.
+      const auto verts = s.vertices_2d();
+      OIC_REQUIRE(!verts.empty(), "forward_reach_const_input: source set unbounded");
+      std::vector<Vector> imgs;
+      imgs.reserve(verts.size());
+      for (const auto& v : verts) imgs.push_back(sys.a() * v + offset);
+      return HPolytope::from_vertices_2d(imgs);
+    }
+    return poly::affine_image_projection(s, sys.a(), offset);
+  }();
+  return poly::minkowski_sum(mapped, sys.disturbance_in_state_space());
+}
+
+}  // namespace oic::control

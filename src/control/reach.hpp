@@ -1,0 +1,53 @@
+#pragma once
+/// \file reach.hpp
+/// Backward reachable sets (Definition 2) and Pre-operators.
+///
+/// B(Y, z) is the set of states guaranteed to land in Y at the next step
+/// for *every* disturbance, under the control implied by the skipping
+/// choice z: the fixed skip input (z = 0) or a linear feedback law (z = 1).
+/// The strengthened safe set of the paper is X' = B(XI, 0) intersect XI
+/// (Definition 3); see core/safe_sets.hpp.
+
+#include "control/lti.hpp"
+#include "poly/hpolytope.hpp"
+
+namespace oic::control {
+
+/// B(Y, 0) with a designated constant skip input u_skip (the paper uses
+/// u_skip = 0):  { x | A x + B u_skip + c + E w in Y  for all w in W }.
+poly::HPolytope backward_reach_const_input(const AffineLTI& sys,
+                                           const poly::HPolytope& y,
+                                           const linalg::Vector& u_skip);
+
+/// B(Y, 1) for an affine feedback law u = K x + k0:
+///   { x | (A + B K) x + B k0 + c + E w in Y  for all w in W }.
+poly::HPolytope backward_reach_feedback(const AffineLTI& sys, const poly::HPolytope& y,
+                                        const linalg::Matrix& k,
+                                        const linalg::Vector& k0);
+
+/// Robust Pre with an existentially quantified admissible input:
+///   { x in X_k | exists u in U :  A x + B u + c + E w in Y for all w in W },
+/// computed by Fourier-Motzkin elimination of u.  `state_constraint` is
+/// intersected into the result (pass sys.x_set() or a tightened X(k)).
+/// This is the controllability-set operator used to build the RMPC feasible
+/// region (Prop. 1).
+poly::HPolytope pre_exists_input(const AffineLTI& sys, const poly::HPolytope& y,
+                                 const poly::HPolytope& state_constraint,
+                                 const poly::HPolytope& input_constraint);
+
+/// Nominal (disturbance-free) variant of pre_exists_input:
+///   { x in X_k | exists u in U :  A x + B u + c in Y }.
+/// The Chisci-style RMPC handles disturbances through constraint
+/// tightening, so its feasible-set recursion uses the *nominal* Pre.
+poly::HPolytope pre_exists_input_nominal(const AffineLTI& sys, const poly::HPolytope& y,
+                                         const poly::HPolytope& state_constraint,
+                                         const poly::HPolytope& input_constraint);
+
+/// Forward one-step reachable set of a polytope under constant input:
+///   A S + B u + c (+) E W,  materialized exactly for planar systems and by
+/// template outer approximation otherwise.  Used by tests to cross-check
+/// backward sets and by examples for visualization.
+poly::HPolytope forward_reach_const_input(const AffineLTI& sys, const poly::HPolytope& s,
+                                          const linalg::Vector& u);
+
+}  // namespace oic::control

@@ -1,0 +1,234 @@
+#include "control/tube_mpc.hpp"
+
+#include "common/error.hpp"
+#include "control/reach.hpp"
+#include "lp/simplex.hpp"
+#include "poly/ops.hpp"
+
+namespace oic::control {
+
+using linalg::Matrix;
+using linalg::Vector;
+using poly::HPolytope;
+
+TubeMpc::TubeMpc(AffineLTI sys, Matrix k_local, RmpcConfig config)
+    : sys_(std::move(sys)), k_local_(std::move(k_local)), config_(config) {
+  OIC_REQUIRE(config_.horizon >= 1, "TubeMpc: horizon must be at least 1");
+  OIC_REQUIRE(k_local_.rows() == sys_.nu() && k_local_.cols() == sys_.nx(),
+              "TubeMpc: local gain shape mismatch");
+
+  const std::size_t n = config_.horizon;
+  const HPolytope d = sys_.disturbance_in_state_space();
+  const Matrix m_tighten =
+      config_.closed_loop_tightening ? sys_.a() + sys_.b() * k_local_ : sys_.a();
+
+  // X(0) = X;  X(k) = X(k-1) (-) M^{k-1} D.
+  tightened_.clear();
+  tightened_.push_back(sys_.x_set().remove_redundancy());
+  Matrix mpow = Matrix::identity(sys_.nx());  // M^{k-1} for k = 1 is I
+  for (std::size_t k = 1; k <= n; ++k) {
+    // Materialize M^{k-1} D.
+    const HPolytope dk = [&]() {
+      if (sys_.nx() == 2) {
+        const auto verts = d.vertices_2d();
+        OIC_CHECK(!verts.empty(), "TubeMpc: disturbance set has no vertices");
+        std::vector<Vector> imgs;
+        imgs.reserve(verts.size());
+        for (const auto& v : verts) imgs.push_back(mpow * v);
+        return HPolytope::from_vertices_2d(imgs);
+      }
+      return poly::affine_image_projection(d, mpow, Vector(sys_.nx()));
+    }();
+    HPolytope next = tightened_.back().pontryagin_diff(dk).remove_redundancy();
+    OIC_REQUIRE(!next.is_empty(),
+                "TubeMpc: constraint tightening emptied X(k); disturbance too large "
+                "for this horizon");
+    tightened_.push_back(std::move(next));
+    mpow = mpow * m_tighten;
+  }
+
+  // Terminal set: maximal RPI of the nominal closed loop x+ = (A+BK)x + c
+  // under the residual disturbance M^N D, inside the most-tightened state
+  // set intersected with input admissibility { x | K x in U }.
+  const Matrix a_cl = sys_.a() + sys_.b() * k_local_;
+  const HPolytope d_residual = [&]() {
+    if (sys_.nx() == 2) {
+      const auto verts = d.vertices_2d();
+      std::vector<Vector> imgs;
+      imgs.reserve(verts.size());
+      for (const auto& v : verts) imgs.push_back(mpow * v);  // mpow == M^N here
+      return HPolytope::from_vertices_2d(imgs);
+    }
+    return poly::affine_image_projection(d, mpow, Vector(sys_.nx()));
+  }();
+  const HPolytope input_ok = sys_.u_set().affine_preimage(k_local_, Vector(sys_.nu()));
+  const HPolytope constraint = tightened_.back().intersect(input_ok);
+  const InvariantResult terminal =
+      maximal_rpi(a_cl, sys_.c(), d_residual, constraint, config_.terminal_options);
+  OIC_REQUIRE(terminal.converged, "TubeMpc: terminal-set iteration did not converge");
+  OIC_REQUIRE(!terminal.set.is_empty(),
+              "TubeMpc: terminal set is empty; loosen constraints or shorten horizon");
+  terminal_ = terminal.set;
+}
+
+const HPolytope& TubeMpc::tightened(std::size_t k) const {
+  OIC_REQUIRE(k < tightened_.size(), "TubeMpc::tightened: index out of range");
+  return tightened_[k];
+}
+
+lp::Problem TubeMpc::build_lp(const Vector& x0, bool with_objective,
+                              LpLayout& layout) const {
+  const std::size_t nx = sys_.nx();
+  const std::size_t nu = sys_.nu();
+  const std::size_t n = config_.horizon;
+
+  // Variable blocks: states x(0..N), inputs u(0..N-1), then (only when the
+  // objective is wanted) auxiliaries tx(0..N-1) >= |x| and tu(0..N-1) >= |u|.
+  layout.x0 = 0;
+  layout.u0 = nx * (n + 1);
+  layout.tx0 = layout.u0 + nu * n;
+  layout.tu0 = layout.tx0 + (with_objective ? nx * n : 0);
+  layout.total = layout.tu0 + (with_objective ? nu * n : 0);
+
+  lp::Problem p(layout.total);
+  auto xv = [&](std::size_t k, std::size_t i) { return layout.x0 + k * nx + i; };
+  auto uv = [&](std::size_t k, std::size_t i) { return layout.u0 + k * nu + i; };
+  auto txv = [&](std::size_t k, std::size_t i) { return layout.tx0 + k * nx + i; };
+  auto tuv = [&](std::size_t k, std::size_t i) { return layout.tu0 + k * nu + i; };
+
+  if (with_objective) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        p.set_objective_coeff(txv(k, i), config_.state_weight);
+        p.set_bounds(txv(k, i), 0.0, lp::Problem::kInf);
+      }
+      for (std::size_t i = 0; i < nu; ++i) {
+        p.set_objective_coeff(tuv(k, i), config_.input_weight);
+        p.set_bounds(tuv(k, i), 0.0, lp::Problem::kInf);
+      }
+    }
+  }
+
+  auto dense_row = [&](std::initializer_list<std::pair<std::size_t, double>> entries) {
+    Vector row(layout.total);
+    for (const auto& [idx, val] : entries) row[idx] = val;
+    return row;
+  };
+
+  // x(0) = x0.
+  for (std::size_t i = 0; i < nx; ++i) {
+    p.add_constraint(dense_row({{xv(0, i), 1.0}}), lp::Relation::kEqual, x0[i]);
+  }
+
+  // Nominal dynamics x(k+1) = A x(k) + B u(k) + c.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      Vector row(layout.total);
+      row[xv(k + 1, i)] = 1.0;
+      for (std::size_t j = 0; j < nx; ++j) row[xv(k, j)] -= sys_.a()(i, j);
+      for (std::size_t j = 0; j < nu; ++j) row[uv(k, j)] -= sys_.b()(i, j);
+      p.add_constraint(row, lp::Relation::kEqual, sys_.c()[i]);
+    }
+  }
+
+  // Tightened state constraints x(k) in X(k) for 1 <= k <= N-1 (k = 0 is
+  // pinned by the equality; k = N is covered by the terminal set, which was
+  // built inside X(N)).  Including k = 0 rows would only re-test x0.
+  for (std::size_t k = 1; k < n; ++k) {
+    const HPolytope& xk = tightened_[k];
+    for (std::size_t r = 0; r < xk.num_constraints(); ++r) {
+      Vector row(layout.total);
+      for (std::size_t j = 0; j < nx; ++j) row[xv(k, j)] = xk.a()(r, j);
+      p.add_constraint(row, lp::Relation::kLessEq, xk.b()[r]);
+    }
+  }
+
+  // Terminal constraint x(N) in X_t.
+  for (std::size_t r = 0; r < terminal_.num_constraints(); ++r) {
+    Vector row(layout.total);
+    for (std::size_t j = 0; j < nx; ++j) row[xv(n, j)] = terminal_.a()(r, j);
+    p.add_constraint(row, lp::Relation::kLessEq, terminal_.b()[r]);
+  }
+
+  // Input constraints u(k) in U.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t r = 0; r < sys_.u_set().num_constraints(); ++r) {
+      Vector row(layout.total);
+      for (std::size_t j = 0; j < nu; ++j) row[uv(k, j)] = sys_.u_set().a()(r, j);
+      p.add_constraint(row, lp::Relation::kLessEq, sys_.u_set().b()[r]);
+    }
+  }
+
+  // 1-norm epigraph rows: tx >= x, tx >= -x (and likewise for u).
+  if (with_objective) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        p.add_constraint(dense_row({{xv(k, i), 1.0}, {txv(k, i), -1.0}}),
+                         lp::Relation::kLessEq, 0.0);
+        p.add_constraint(dense_row({{xv(k, i), -1.0}, {txv(k, i), -1.0}}),
+                         lp::Relation::kLessEq, 0.0);
+      }
+      for (std::size_t i = 0; i < nu; ++i) {
+        p.add_constraint(dense_row({{uv(k, i), 1.0}, {tuv(k, i), -1.0}}),
+                         lp::Relation::kLessEq, 0.0);
+        p.add_constraint(dense_row({{uv(k, i), -1.0}, {tuv(k, i), -1.0}}),
+                         lp::Relation::kLessEq, 0.0);
+      }
+    }
+  }
+  return p;
+}
+
+Vector TubeMpc::control(const Vector& x) {
+  OIC_REQUIRE(x.size() == sys_.nx(), "TubeMpc::control: state dimension mismatch");
+  count_invocation();
+
+  LpLayout layout;
+  const lp::Problem p = build_lp(x, /*with_objective=*/true, layout);
+  const lp::Result r = lp::solve(p);
+  if (r.status == lp::Status::kInfeasible) {
+    throw NumericalError("TubeMpc::control: optimization infeasible at this state");
+  }
+  OIC_CHECK(r.status == lp::Status::kOptimal, "TubeMpc::control: unexpected LP status");
+
+  const std::size_t nx = sys_.nx();
+  const std::size_t nu = sys_.nu();
+  const std::size_t n = config_.horizon;
+  last_.cost = r.objective;
+  last_.planned_x.clear();
+  last_.planned_u.clear();
+  for (std::size_t k = 0; k <= n; ++k) {
+    Vector xs(nx);
+    for (std::size_t i = 0; i < nx; ++i) xs[i] = r.x[layout.x0 + k * nx + i];
+    last_.planned_x.push_back(std::move(xs));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    Vector us(nu);
+    for (std::size_t i = 0; i < nu; ++i) us[i] = r.x[layout.u0 + k * nu + i];
+    last_.planned_u.push_back(std::move(us));
+  }
+  return last_.planned_u.front();
+}
+
+bool TubeMpc::feasible(const Vector& x) const {
+  OIC_REQUIRE(x.size() == sys_.nx(), "TubeMpc::feasible: state dimension mismatch");
+  LpLayout layout;
+  const lp::Problem p = build_lp(x, /*with_objective=*/false, layout);
+  return lp::solve(p).status != lp::Status::kInfeasible;
+}
+
+HPolytope TubeMpc::compute_feasible_set() const {
+  // Backward controllability recursion over the nominal dynamics:
+  //   C_0 = X_t,   C_{j+1} = { x in X(N-j-1) | exists u in U : A x + B u + c in C_j }.
+  // C_N is the feasible region X_F of Equation (5), and by Prop. 1 the
+  // robust control invariant set of this controller.
+  HPolytope c = terminal_;
+  const std::size_t n = config_.horizon;
+  for (std::size_t j = 0; j < n; ++j) {
+    const HPolytope& xk = tightened_[n - j - 1];
+    c = pre_exists_input_nominal(sys_, c, xk, sys_.u_set());
+  }
+  return c.remove_redundancy();
+}
+
+}  // namespace oic::control

@@ -1,0 +1,87 @@
+#include "core/drl_policy.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::core {
+
+using linalg::Vector;
+
+Vector build_drl_state(const Vector& x, const std::vector<Vector>& w_history,
+                       std::size_t r, std::size_t w_dim) {
+  OIC_REQUIRE(r >= 1, "build_drl_state: memory length must be positive");
+  Vector s(x.size() + r * w_dim);
+  for (std::size_t i = 0; i < x.size(); ++i) s[i] = x[i];
+  // Most recent r observations, oldest first, front-padded with zeros.
+  const std::size_t have = std::min(r, w_history.size());
+  const std::size_t pad = r - have;
+  for (std::size_t k = 0; k < have; ++k) {
+    const Vector& w = w_history[w_history.size() - have + k];
+    OIC_REQUIRE(w.size() == w_dim, "build_drl_state: disturbance dimension mismatch");
+    for (std::size_t i = 0; i < w_dim; ++i) {
+      s[x.size() + (pad + k) * w_dim + i] = w[i];
+    }
+  }
+  return s;
+}
+
+std::size_t drl_state_dim(std::size_t nx, std::size_t w_dim, std::size_t r) {
+  return nx + r * w_dim;
+}
+
+Vector drl_state_scale(const control::AffineLTI& sys, std::size_t r) {
+  const std::size_t nx = sys.nx();
+  Vector scale(drl_state_dim(nx, nx, r), 1.0);
+
+  auto half_widths = [](const poly::HPolytope& p) {
+    Vector hw(p.dim(), 0.0);
+    const auto bb = p.bounding_box();
+    if (!bb.has_value()) return hw;
+    for (std::size_t i = 0; i < p.dim(); ++i) {
+      hw[i] = 0.5 * (bb->second[i] - bb->first[i]);
+    }
+    return hw;
+  };
+  const Vector hx = half_widths(sys.x_set());
+  const Vector hw = half_widths(sys.disturbance_in_state_space());
+  for (std::size_t i = 0; i < nx; ++i) {
+    if (hx[i] > 1e-9) scale[i] = 1.0 / hx[i];
+  }
+  for (std::size_t k = 0; k < r; ++k) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      if (hw[i] > 1e-9) scale[nx + k * nx + i] = 1.0 / hw[i];
+    }
+  }
+  return scale;
+}
+
+Vector apply_state_scale(Vector state, const Vector& scale) {
+  if (scale.empty()) return state;
+  OIC_REQUIRE(scale.size() == state.size(),
+              "apply_state_scale: scale dimension mismatch");
+  for (std::size_t i = 0; i < state.size(); ++i) state[i] *= scale[i];
+  return state;
+}
+
+double skipping_reward(const SafeSets& sets, const Vector& x1, int z, const Vector& x2,
+                       double kappa_energy, double w1, double w2) {
+  const double r1 = sets.x_prime.contains(x2) ? 0.0 : 1.0;
+  const bool free_skip = (z == 0) && sets.x_prime.contains(x1);
+  const double r2 = free_skip ? 0.0 : kappa_energy;
+  return -w1 * r1 - w2 * r2;
+}
+
+DrlPolicy::DrlPolicy(std::shared_ptr<const rl::DoubleDqn> agent, std::size_t r,
+                     std::size_t w_dim, Vector state_scale)
+    : agent_(std::move(agent)), r_(r), w_dim_(w_dim),
+      state_scale_(std::move(state_scale)) {
+  OIC_REQUIRE(agent_ != nullptr, "DrlPolicy: agent must not be null");
+  OIC_REQUIRE(r_ >= 1, "DrlPolicy: memory length must be positive");
+}
+
+int DrlPolicy::decide(const Vector& x, const std::vector<Vector>& w_history) {
+  const Vector s =
+      apply_state_scale(build_drl_state(x, w_history, r_, w_dim_), state_scale_);
+  return agent_->greedy_action(s);
+}
+
+}  // namespace oic::core

@@ -1,0 +1,72 @@
+#pragma once
+/// \file drl_policy.hpp
+/// DRL-based skipping policy (Sec. III-B.2): a double-DQN agent maps
+/// {x(t), w(t-r+1), ..., w(t)} to the skipping choice z(t).  This header
+/// holds the inference-side policy plus the pieces shared with training:
+/// the DQN state builder and the paper's reward function.
+
+#include <memory>
+
+#include "core/policy.hpp"
+#include "core/safe_sets.hpp"
+#include "rl/dqn.hpp"
+
+namespace oic::core {
+
+/// Assemble the DQN state vector {x, w-history} with memory length r:
+/// the r most recent state-space disturbance observations, zero-padded at
+/// the front when the episode is younger than r (the paper initializes
+/// w(-r+1..-1) = 0).
+linalg::Vector build_drl_state(const linalg::Vector& x,
+                               const std::vector<linalg::Vector>& w_history,
+                               std::size_t r, std::size_t w_dim);
+
+/// Per-feature normalization for the DQN state: the reciprocal half-widths
+/// of the state box X and the state-space disturbance set E W, so every
+/// network input lands in roughly [-1, 1].  Tiny half-widths (degenerate
+/// disturbance coordinates) get scale 1 -- the feature is constant anyway.
+/// Unscaled inputs make the tiny disturbance features invisible next to
+/// the large position coordinates and cripple pattern learning.
+linalg::Vector drl_state_scale(const control::AffineLTI& sys, std::size_t r);
+
+/// Elementwise product helper used by the trainer and DrlPolicy to apply
+/// the normalization; `scale` may be empty (no scaling).
+linalg::Vector apply_state_scale(linalg::Vector state, const linalg::Vector& scale);
+
+/// DQN state dimension for the given plant dimensions and memory length.
+std::size_t drl_state_dim(std::size_t nx, std::size_t w_dim, std::size_t r);
+
+/// The paper's reward (penalty) R(s1, z, s2) = -w1 R1 - w2 R2 with
+///   R1 = [x2 outside X'] and R2 = ||kappa(x1)||_1 unless (z = 0 and x1 in X').
+/// `kappa_energy` is ||kappa(x1)||_1 supplied by the caller (computing it
+/// may require an extra controller invocation during training only).
+double skipping_reward(const SafeSets& sets, const linalg::Vector& x1, int z,
+                       const linalg::Vector& x2, double kappa_energy, double w1,
+                       double w2);
+
+/// Inference-side policy wrapping a trained agent (greedy actions).
+class DrlPolicy final : public SkipPolicy {
+ public:
+  /// `agent` is shared with the trainer that produced it; `r` is the
+  /// disturbance memory length (the paper's ACC study uses r = 1) and
+  /// `w_dim` the dimension of the stored disturbance observations.
+  /// `state_scale` must match the normalization used during training
+  /// (drl_state_scale); pass an empty vector for raw states.
+  DrlPolicy(std::shared_ptr<const rl::DoubleDqn> agent, std::size_t r,
+            std::size_t w_dim, linalg::Vector state_scale = {});
+
+  int decide(const linalg::Vector& x,
+             const std::vector<linalg::Vector>& w_history) override;
+  std::string name() const override { return "drl-dqn"; }
+
+  /// Memory length r.
+  std::size_t memory() const { return r_; }
+
+ private:
+  std::shared_ptr<const rl::DoubleDqn> agent_;
+  std::size_t r_;
+  std::size_t w_dim_;
+  linalg::Vector state_scale_;
+};
+
+}  // namespace oic::core

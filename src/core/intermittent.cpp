@@ -1,0 +1,80 @@
+#include "core/intermittent.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::core {
+
+using linalg::Vector;
+
+IntermittentController::IntermittentController(const control::AffineLTI& sys,
+                                               const SafeSets& sets,
+                                               control::Controller& kappa,
+                                               SkipPolicy& omega,
+                                               IntermittentConfig config)
+    : sys_(sys), sets_(sets), kappa_(kappa), omega_(omega), config_(std::move(config)) {
+  OIC_REQUIRE(config_.u_skip.size() == sys_.nu(),
+              "IntermittentController: skip input dimension mismatch");
+  OIC_REQUIRE(config_.w_memory >= 1,
+              "IntermittentController: disturbance memory must be positive");
+  OIC_REQUIRE(kappa_.state_dim() == sys_.nx() && kappa_.input_dim() == sys_.nu(),
+              "IntermittentController: controller dimensions mismatch");
+  OIC_REQUIRE(verify_nesting(sets_),
+              "IntermittentController: sets must satisfy X' subset XI subset X");
+  OIC_REQUIRE(sys_.u_set().contains(config_.u_skip, 1e-9),
+              "IntermittentController: skip input must be admissible (in U)");
+}
+
+StepDecision IntermittentController::decide(const Vector& x) {
+  OIC_REQUIRE(x.size() == sys_.nx(), "IntermittentController::decide: state mismatch");
+  ++total_steps_;
+
+  StepDecision d;
+  if (config_.strict_invariant && !sets_.xi.contains(x, 1e-6)) {
+    throw NumericalError(
+        "IntermittentController: state left the robust invariant set XI; the "
+        "plant violates the model assumptions (Algorithm 1 precondition)");
+  }
+
+  if (sets_.x_prime.contains(x)) {
+    // Line 6: the policy decides freely -- safety holds either way.
+    d.policy_consulted = true;
+    d.z = omega_.decide(x, w_history_) == 0 ? 0 : 1;
+  } else {
+    // Line 8: outside X' the controller must run.
+    d.z = 1;
+    d.forced = true;
+    ++forced_steps_;
+  }
+
+  if (d.z == 1) {
+    d.u = kappa_.control(x);
+  } else {
+    d.u = config_.u_skip;
+    ++skipped_steps_;
+  }
+  return d;
+}
+
+void IntermittentController::record_transition(const Vector& x, const Vector& u,
+                                               const Vector& x_next) {
+  OIC_REQUIRE(x.size() == sys_.nx() && x_next.size() == sys_.nx() && u.size() == sys_.nu(),
+              "IntermittentController::record_transition: dimension mismatch");
+  const Vector ew = x_next - sys_.a() * x - sys_.b() * u - sys_.c();
+  w_history_.push_back(ew);
+  if (w_history_.size() > config_.w_memory) {
+    w_history_.erase(w_history_.begin());
+  }
+}
+
+void IntermittentController::reset() {
+  w_history_.clear();
+  omega_.reset();
+}
+
+void IntermittentController::reset_stats() {
+  total_steps_ = 0;
+  skipped_steps_ = 0;
+  forced_steps_ = 0;
+}
+
+}  // namespace oic::core

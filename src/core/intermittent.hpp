@@ -1,0 +1,91 @@
+#pragma once
+/// \file intermittent.hpp
+/// Algorithm 1: the online opportunistic intermittent-control framework.
+///
+/// Per control period the monitor checks x(t) against the strengthened
+/// safe set X'.  Inside X' the skipping policy Omega chooses z(t) freely;
+/// outside (but inside XI) the monitor forces z(t) = 1.  The actuated
+/// input is kappa(x) when z = 1 and the designated skip input otherwise.
+/// Theorem 1 guarantees the loop never leaves XI.
+
+#include <memory>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/lti.hpp"
+#include "core/policy.hpp"
+#include "core/safe_sets.hpp"
+
+namespace oic::core {
+
+/// Framework configuration.
+struct IntermittentConfig {
+  linalg::Vector u_skip;      ///< input actuated on skipped steps (paper: 0)
+  std::size_t w_memory = 1;   ///< disturbance observations retained (r)
+  /// When true, a state outside XI raises NumericalError instead of
+  /// silently running the controller -- XI membership is the framework's
+  /// precondition (Algorithm 1 line 2) and losing it means the certificate
+  /// was violated by the plant model.
+  bool strict_invariant = true;
+};
+
+/// Outcome of one framework step.
+struct StepDecision {
+  linalg::Vector u;  ///< input to actuate
+  int z = 1;         ///< skipping choice actually used
+  bool forced = false;   ///< monitor overrode the policy (x outside X')
+  bool policy_consulted = false;  ///< Omega was asked (x inside X')
+};
+
+/// The runtime of Algorithm 1.  Holds references to the plant description,
+/// sets, controller, and policy; the caller owns their lifetimes.
+class IntermittentController {
+ public:
+  IntermittentController(const control::AffineLTI& sys, const SafeSets& sets,
+                         control::Controller& kappa, SkipPolicy& omega,
+                         IntermittentConfig config);
+
+  /// Lines 4-14 of Algorithm 1 for the current state.
+  StepDecision decide(const linalg::Vector& x);
+
+  /// Tell the framework what actually happened so it can reconstruct the
+  /// realized disturbance  E w = x_next - A x - B u - c  and maintain the
+  /// history consumed by learning-based policies.
+  void record_transition(const linalg::Vector& x, const linalg::Vector& u,
+                         const linalg::Vector& x_next);
+
+  /// Observed state-space disturbances, oldest first (up to w_memory).
+  const std::vector<linalg::Vector>& w_history() const { return w_history_; }
+
+  /// Reset per-episode state (history, counters stay cumulative; use
+  /// reset_stats for those).  Also resets the policy.
+  void reset();
+
+  /// Zero the cumulative statistics.
+  void reset_stats();
+
+  /// Steps decided so far.
+  std::size_t total_steps() const { return total_steps_; }
+  /// Steps where the controller was skipped.
+  std::size_t skipped_steps() const { return skipped_steps_; }
+  /// Steps where the monitor forced z = 1.
+  std::size_t forced_steps() const { return forced_steps_; }
+
+  /// The safe sets in use.
+  const SafeSets& sets() const { return sets_; }
+  /// The configured skip input.
+  const linalg::Vector& u_skip() const { return config_.u_skip; }
+
+ private:
+  const control::AffineLTI& sys_;
+  SafeSets sets_;
+  control::Controller& kappa_;
+  SkipPolicy& omega_;
+  IntermittentConfig config_;
+  std::vector<linalg::Vector> w_history_;
+  std::size_t total_steps_ = 0;
+  std::size_t skipped_steps_ = 0;
+  std::size_t forced_steps_ = 0;
+};
+
+}  // namespace oic::core

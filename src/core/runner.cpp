@@ -1,0 +1,47 @@
+#include "core/runner.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::core {
+
+using linalg::Vector;
+
+RunResult run_closed_loop(const control::AffineLTI& sys, IntermittentController& ic,
+                          const Vector& x0, const DisturbanceFn& disturbance,
+                          const RunConfig& cfg, const StepHook& hook) {
+  OIC_REQUIRE(x0.size() == sys.nx(), "run_closed_loop: initial state mismatch");
+  OIC_REQUIRE(static_cast<bool>(disturbance), "run_closed_loop: disturbance fn required");
+
+  RunResult out;
+  Vector x = x0;
+  for (std::size_t t = 0; t < cfg.steps; ++t) {
+    const StepDecision d = ic.decide(x);
+    const Vector w = disturbance(t);
+    const Vector x_next = sys.step(x, d.u, w);
+    ic.record_transition(x, d.u, x_next);
+
+    sim::TraceStep step;
+    step.t = t;
+    step.x = x;
+    step.u = d.u;
+    step.z = d.z;
+    step.forced = d.forced;
+    step.disturbance = w.size() == 1 ? w[0] : w.norm2();
+    if (hook) hook(step, x_next);
+    out.trace.add(std::move(step));
+
+    if (!out.left_xi && !ic.sets().xi.contains(x_next, 1e-6)) {
+      out.left_xi = true;
+      out.first_violation = t;
+    }
+    if (!out.left_x && !ic.sets().x.contains(x_next, 1e-6)) {
+      out.left_x = true;
+      if (!out.left_xi) out.first_violation = t;
+    }
+    x = x_next;
+  }
+  out.final_state = x;
+  return out;
+}
+
+}  // namespace oic::core

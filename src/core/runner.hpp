@@ -1,0 +1,45 @@
+#pragma once
+/// \file runner.hpp
+/// Generic closed-loop rollout of the intermittent framework against the
+/// true (disturbed) plant: steps the plant, consults Algorithm 1, records a
+/// sim::Trace, and flags safety violations.  Domain harnesses (the ACC case
+/// study) hook per-step callbacks to add domain metrics such as fuel.
+
+#include <functional>
+
+#include "core/intermittent.hpp"
+#include "sim/trace.hpp"
+
+namespace oic::core {
+
+/// Rollout configuration.
+struct RunConfig {
+  std::size_t steps = 100;  ///< the paper evaluates 100-step episodes
+};
+
+/// Rollout outcome.
+struct RunResult {
+  sim::Trace trace;
+  bool left_x = false;            ///< original safe set violated (never, by Thm 1)
+  bool left_xi = false;           ///< invariant set violated (model mismatch)
+  std::size_t first_violation = 0;
+  linalg::Vector final_state;
+};
+
+/// Source of the true disturbance at each step, in W-space (dimension nw).
+using DisturbanceFn = std::function<linalg::Vector(std::size_t t)>;
+
+/// Optional per-step hook: called after the plant stepped; may annotate the
+/// TraceStep (e.g. fuel) before it is committed to the trace.
+using StepHook = std::function<void(sim::TraceStep&, const linalg::Vector& x_next)>;
+
+/// Run `cfg.steps` periods of Algorithm 1 from x0.  The plant evolves with
+/// the *true* disturbance from `disturbance`; the framework only observes
+/// states.  Violations are recorded, not thrown (the runner is also used to
+/// probe deliberately broken configurations in tests); configure the
+/// controller with strict_invariant = false for such probes.
+RunResult run_closed_loop(const control::AffineLTI& sys, IntermittentController& ic,
+                          const linalg::Vector& x0, const DisturbanceFn& disturbance,
+                          const RunConfig& cfg = {}, const StepHook& hook = {});
+
+}  // namespace oic::core

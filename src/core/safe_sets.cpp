@@ -1,0 +1,65 @@
+#include "core/safe_sets.hpp"
+
+#include "common/error.hpp"
+#include "control/reach.hpp"
+
+namespace oic::core {
+
+using linalg::Vector;
+using poly::HPolytope;
+
+SafeSets compute_safe_sets(const control::AffineLTI& sys, const HPolytope& xi,
+                           const Vector& u_skip) {
+  OIC_REQUIRE(xi.dim() == sys.nx(), "compute_safe_sets: XI dimension mismatch");
+  OIC_REQUIRE(u_skip.size() == sys.nu(), "compute_safe_sets: skip-input mismatch");
+  OIC_REQUIRE(!xi.is_empty(), "compute_safe_sets: XI is empty");
+  OIC_REQUIRE(poly::contains_polytope(sys.x_set(), xi, 1e-6),
+              "compute_safe_sets: XI must be inside the original safe set X");
+
+  SafeSets sets;
+  sets.x = sys.x_set();
+  sets.xi = xi.remove_redundancy();
+  const HPolytope b0 = control::backward_reach_const_input(sys, sets.xi, u_skip);
+  sets.x_prime = b0.intersect(sets.xi).remove_redundancy();
+  return sets;
+}
+
+bool verify_nesting(const SafeSets& sets, double tol) {
+  return poly::contains_polytope(sets.xi, sets.x_prime, tol) &&
+         poly::contains_polytope(sets.x, sets.xi, tol);
+}
+
+std::vector<HPolytope> compute_multi_step_safe_sets(const control::AffineLTI& sys,
+                                                    const HPolytope& xi,
+                                                    const Vector& u_skip,
+                                                    std::size_t k) {
+  OIC_REQUIRE(k >= 1, "compute_multi_step_safe_sets: need k >= 1");
+  OIC_REQUIRE(!xi.is_empty(), "compute_multi_step_safe_sets: XI is empty");
+  std::vector<HPolytope> chain;
+  HPolytope target = xi.remove_redundancy();
+  for (std::size_t i = 0; i < k; ++i) {
+    const HPolytope pre = control::backward_reach_const_input(sys, target, u_skip);
+    HPolytope next = pre.intersect(xi).remove_redundancy();
+    if (next.is_empty()) break;
+    chain.push_back(next);
+    target = chain.back();
+  }
+  return chain;
+}
+
+bool verify_strengthened_property(const control::AffineLTI& sys, const SafeSets& sets,
+                                  const Vector& u_skip, double tol) {
+  if (sys.nx() != 2) return true;
+  const auto xverts = sets.x_prime.vertices_2d();
+  const auto wverts = sys.disturbance_in_state_space().vertices_2d();
+  if (xverts.empty()) return !sets.x_prime.is_empty() ? false : true;
+  for (const auto& x : xverts) {
+    const Vector base = sys.a() * x + sys.b() * u_skip + sys.c();
+    for (const auto& ew : wverts) {
+      if (sets.xi.violation(base + ew) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace oic::core

@@ -1,0 +1,59 @@
+#pragma once
+/// \file safe_sets.hpp
+/// The three nested safe sets of the paper (Fig. 1 / Sec. III-A):
+///
+///   X   -- original safe set (given with the plant),
+///   XI  -- a robust control invariant set of the underlying controller,
+///   X'  -- strengthened safe set  X' = B(XI, 0) intersect XI (Definition 3):
+///          states from which even the *skip* input keeps the successor
+///          inside XI for every disturbance.
+///
+/// Theorem 1: with the monitor of Algorithm 1 the closed loop never leaves
+/// XI, for ANY skipping decision function.  verify_* helpers below let
+/// tests and callers check the premises explicitly.
+
+#include "control/lti.hpp"
+#include "poly/hpolytope.hpp"
+
+namespace oic::core {
+
+/// The nested triple X' subset XI subset X.
+struct SafeSets {
+  poly::HPolytope x;        ///< original safe set
+  poly::HPolytope xi;       ///< robust control invariant set of kappa
+  poly::HPolytope x_prime;  ///< strengthened safe set
+};
+
+/// Build the strengthened safe set from a robust control invariant set XI
+/// of the underlying controller:  X' = B(XI, u_skip) intersect XI, with
+/// B(., z=0) the robust backward reachable set under the constant skip
+/// input (Definition 2).  Throws PreconditionError when XI is empty or not
+/// inside X; the invariance of XI itself is the caller's certificate (use
+/// control::is_robust_invariant or TubeMpc::compute_feasible_set).
+SafeSets compute_safe_sets(const control::AffineLTI& sys, const poly::HPolytope& xi,
+                           const linalg::Vector& u_skip);
+
+/// Check the nesting X' subset XI subset X (up to tolerance).
+bool verify_nesting(const SafeSets& sets, double tol = 1e-6);
+
+/// Check Definition 3's defining property on the computed X': for every
+/// vertex-sampled x in X' and every disturbance vertex, the skip-input
+/// successor stays in XI.  Exact for linear maps because the extremes are
+/// attained at vertices.  (2-D sets only; returns true vacuously otherwise.)
+bool verify_strengthened_property(const control::AffineLTI& sys, const SafeSets& sets,
+                                  const linalg::Vector& u_skip, double tol = 1e-6);
+
+/// Extension beyond the paper: k-step strengthened safe sets
+///   X'_1 = B(XI, 0) n XI        (the paper's X'),
+///   X'_k = B(X'_{k-1}, 0) n XI  for k >= 2,
+/// i.e. states from which k consecutive *skipped* periods are guaranteed to
+/// stay inside XI under every disturbance sequence.  Enables burst skipping
+/// with a safety certificate for the whole burst, amortizing the monitor
+/// check itself.  Returns sets[0] = X'_1, ..., sets[k-1] = X'_k; the chain
+/// is nested (X'_k subset X'_{k-1}) and may become empty -- computation
+/// stops early and returns the non-empty prefix.
+std::vector<poly::HPolytope> compute_multi_step_safe_sets(
+    const control::AffineLTI& sys, const poly::HPolytope& xi,
+    const linalg::Vector& u_skip, std::size_t k);
+
+}  // namespace oic::core

@@ -1,0 +1,78 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oic::linalg {
+
+LU::LU(const Matrix& a, double pivot_tol) : n_(a.rows()), lu_(a), piv_(a.rows()) {
+  OIC_REQUIRE(a.rows() == a.cols(), "LU: matrix must be square");
+  for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t p = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best < pivot_tol) {
+      singular_ = true;
+      continue;  // keep factoring the remaining columns for det() fidelity
+    }
+    if (p != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(p, c), lu_(k, c));
+      std::swap(piv_[p], piv_[k]);
+      sign_ = -sign_;
+    }
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      lu_(i, k) /= lu_(k, k);
+      const double m = lu_(i, k);
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) lu_(i, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+double LU::det() const {
+  double d = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < n_; ++i) d *= lu_(i, i);
+  return d;
+}
+
+Vector LU::solve(const Vector& b) const {
+  OIC_REQUIRE(b.size() == n_, "LU::solve: dimension mismatch");
+  if (singular_) throw NumericalError("LU::solve: matrix is singular");
+  // Apply permutation, then forward/back substitution.
+  Vector y(n_);
+  for (std::size_t i = 0; i < n_; ++i) y[i] = b[piv_[i]];
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < i; ++j) y[i] -= lu_(i, j) * y[j];
+  for (std::size_t ii = n_; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n_; ++j) y[ii] -= lu_(ii, j) * y[j];
+    y[ii] /= lu_(ii, ii);
+  }
+  return y;
+}
+
+Matrix LU::solve(const Matrix& b) const {
+  OIC_REQUIRE(b.rows() == n_, "LU::solve: dimension mismatch");
+  Matrix x(n_, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  return x;
+}
+
+Matrix LU::inverse() const { return solve(Matrix::identity(n_)); }
+
+Vector solve(const Matrix& a, const Vector& b) { return LU(a).solve(b); }
+
+Matrix inverse(const Matrix& a) { return LU(a).inverse(); }
+
+double det(const Matrix& a) { return LU(a).det(); }
+
+}  // namespace oic::linalg

@@ -1,0 +1,60 @@
+#pragma once
+/// \file lu.hpp
+/// LU factorization with partial pivoting.  Backs matrix inversion for
+/// backward-reachability preimages and linear solves inside the simplex and
+/// Riccati routines.
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace oic::linalg {
+
+/// PA = LU factorization of a square matrix with partial (row) pivoting.
+///
+/// Construction performs the factorization once; solve/inverse reuse it.
+/// A matrix whose pivot falls below `pivot_tol` is reported singular rather
+/// than silently producing garbage.
+class LU {
+ public:
+  /// Factor `a` (must be square).  Does not throw on singular input; check
+  /// singular() before calling solve()/inverse().
+  explicit LU(const Matrix& a, double pivot_tol = 1e-12);
+
+  /// True when a near-zero pivot was encountered.
+  bool singular() const { return singular_; }
+
+  /// Dimension of the factored matrix.
+  std::size_t size() const { return n_; }
+
+  /// Determinant of the original matrix (0 when singular() is true only if
+  /// an exactly-zero pivot occurred; otherwise the signed product of pivots).
+  double det() const;
+
+  /// Solve A x = b.  Throws NumericalError when singular().
+  Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-by-column.  Throws NumericalError when singular().
+  Matrix solve(const Matrix& b) const;
+
+  /// A^{-1}.  Throws NumericalError when singular().
+  Matrix inverse() const;
+
+ private:
+  std::size_t n_ = 0;
+  Matrix lu_;                    // packed L (unit diagonal) and U
+  std::vector<std::size_t> piv_; // row permutation
+  int sign_ = 1;                 // permutation sign for det()
+  bool singular_ = false;
+};
+
+/// Convenience: solve A x = b in one call.  Throws NumericalError if A is
+/// singular.
+Vector solve(const Matrix& a, const Vector& b);
+
+/// Convenience: A^{-1}.  Throws NumericalError if A is singular.
+Matrix inverse(const Matrix& a);
+
+/// Convenience: determinant of a square matrix.
+double det(const Matrix& a);
+
+}  // namespace oic::linalg

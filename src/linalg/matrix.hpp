@@ -1,0 +1,111 @@
+#pragma once
+/// \file matrix.hpp
+/// Dense row-major matrix.  System matrices in this library are small
+/// (states n <= ~20, MPC horizons <= ~30), so the implementation is a plain
+/// checked dense type; no expression templates, no allocator games.
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace oic::linalg {
+
+/// Dense matrix of doubles with value semantics, row-major storage.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Matrix of the given shape filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Construct from nested braces, e.g. Matrix{{1,2},{3,4}}.  All rows must
+  /// have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n-by-n identity.
+  static Matrix identity(std::size_t n);
+  /// Zero matrix (alias of the shape constructor, reads better at call sites).
+  static Matrix zero(std::size_t rows, std::size_t cols);
+  /// Diagonal matrix from a vector of diagonal entries.
+  static Matrix diag(const Vector& d);
+  /// Build a matrix from explicit rows.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Checked element access.
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Copy of row r as a Vector.
+  Vector row(std::size_t r) const;
+  /// Copy of column c as a Vector.
+  Vector col(std::size_t c) const;
+  /// Overwrite row r.
+  void set_row(std::size_t r, const Vector& v);
+  /// Overwrite column c.
+  void set_col(std::size_t c, const Vector& v);
+
+  /// In-place arithmetic; shapes must match.
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Max absolute entry (used for convergence tests on Riccati iterations).
+  double norm_inf_elem() const;
+
+  /// Frobenius norm.
+  double norm_fro() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix sum; shapes must match.
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+/// Matrix difference; shapes must match.
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+/// Scalar product.
+Matrix operator*(double s, Matrix m);
+/// Scalar product.
+Matrix operator*(Matrix m, double s);
+/// Matrix product; inner dimensions must match.
+Matrix operator*(const Matrix& a, const Matrix& b);
+/// Matrix-vector product; dimensions must match.
+Vector operator*(const Matrix& a, const Vector& x);
+/// Negation.
+Matrix operator-(Matrix m);
+
+/// a^T * x for a row extracted implicitly: y = x^T * A, returned as Vector.
+Vector transpose_mul(const Matrix& a, const Vector& x);
+
+/// Integer matrix power A^k (k >= 0); A must be square.
+Matrix pow(const Matrix& a, unsigned k);
+
+/// Approximate elementwise equality within tolerance.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol);
+
+/// Horizontal concatenation [A | B]; row counts must match.
+Matrix hcat(const Matrix& a, const Matrix& b);
+/// Vertical concatenation [A ; B]; column counts must match.
+Matrix vcat(const Matrix& a, const Matrix& b);
+
+/// Stream in a human-readable multi-line form.
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace oic::linalg

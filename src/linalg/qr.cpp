@@ -1,0 +1,89 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oic::linalg {
+
+QR::QR(const Matrix& a) : m_(a.rows()), n_(a.cols()), qr_(a), beta_(a.cols(), 0.0) {
+  OIC_REQUIRE(m_ >= n_, "QR: requires rows >= cols");
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Build the Householder reflector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m_; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      beta_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+    double vnorm2 = 0.0;
+    qr_(k, k) -= alpha;  // v = x - alpha*e1 stored in place
+    for (std::size_t i = k; i < m_; ++i) vnorm2 += qr_(i, k) * qr_(i, k);
+    beta_[k] = vnorm2 == 0.0 ? 0.0 : 2.0 / vnorm2;
+
+    // Apply the reflector to the trailing columns.
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m_; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= beta_[k];
+      for (std::size_t i = k; i < m_; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+    // Stash alpha (the R diagonal) where the solve expects it: we keep v in
+    // the strict lower part and remember R(k,k) separately via the diagonal
+    // trick of storing it after application.  Here we simply re-store alpha.
+    // To keep both, move v_k (the diagonal element of v) into beta bookkeeping:
+    // we store R(k,k) = alpha and scale v so its k-th entry is implicit.
+    const double vk = qr_(k, k);
+    if (vk != 0.0) {
+      for (std::size_t i = k + 1; i < m_; ++i) qr_(i, k) /= vk;
+      beta_[k] = beta_[k] * vk * vk;  // beta for normalized v with v_k = 1
+    }
+    qr_(k, k) = alpha;
+  }
+}
+
+bool QR::rank_deficient(double tol) const {
+  for (std::size_t k = 0; k < n_; ++k)
+    if (std::fabs(qr_(k, k)) < tol) return true;
+  return false;
+}
+
+Vector QR::qt_mul(const Vector& b) const {
+  OIC_REQUIRE(b.size() == m_, "QR::qt_mul: dimension mismatch");
+  Vector y = b;
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (beta_[k] == 0.0) continue;
+    // v has implicit v_k = 1 and explicit tail in the strict lower triangle.
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m_; ++i) s += qr_(i, k) * y[i];
+    s *= beta_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m_; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Vector QR::solve(const Vector& b) const {
+  if (rank_deficient()) throw NumericalError("QR::solve: rank-deficient matrix");
+  Vector y = qt_mul(b);
+  Vector x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) s -= qr_(ii, j) * x[j];
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+Matrix QR::r() const {
+  Matrix r(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i; j < n_; ++j) r(i, j) = qr_(i, j);
+  return r;
+}
+
+Vector lstsq(const Matrix& a, const Vector& b) { return QR(a).solve(b); }
+
+}  // namespace oic::linalg

@@ -1,0 +1,41 @@
+#pragma once
+/// \file qr.hpp
+/// Householder QR factorization and least-squares solves.  Used by the RL
+/// module's diagnostics and available as a numerically robust alternative
+/// to LU for tall systems.
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace oic::linalg {
+
+/// Thin Householder QR of an m-by-n matrix with m >= n.
+class QR {
+ public:
+  /// Factor `a`; requires rows >= cols.
+  explicit QR(const Matrix& a);
+
+  /// True when a diagonal entry of R is (near) zero, i.e. rank-deficient.
+  bool rank_deficient(double tol = 1e-10) const;
+
+  /// Minimum-residual solution of A x = b (least squares when m > n).
+  /// Throws NumericalError when rank-deficient.
+  Vector solve(const Vector& b) const;
+
+  /// The upper-triangular factor R (n-by-n).
+  Matrix r() const;
+
+  /// Apply Q^T to a vector of length m.
+  Vector qt_mul(const Vector& b) const;
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  Matrix qr_;           // Householder vectors below diagonal, R on/above
+  std::vector<double> beta_;
+};
+
+/// Convenience least-squares solve: argmin_x ||A x - b||_2.
+Vector lstsq(const Matrix& a, const Vector& b);
+
+}  // namespace oic::linalg

@@ -1,0 +1,77 @@
+#pragma once
+/// \file problem.hpp
+/// Linear-program model builder.
+///
+/// A Problem is the user-facing description:
+///   minimize    c^T x
+///   subject to  a_i^T x  (<= | >= | =)  b_i        for every constraint i
+///               lo_j <= x_j <= hi_j                for every variable j
+/// Bounds may be infinite (use Problem::kInf / -Problem::kInf).
+/// The solver (simplex.hpp) consumes this structure.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace oic::lp {
+
+/// Direction of a linear constraint row.
+enum class Relation {
+  kLessEq,     ///< a^T x <= b
+  kGreaterEq,  ///< a^T x >= b
+  kEqual,      ///< a^T x  = b
+};
+
+/// One dense constraint row.
+struct Constraint {
+  linalg::Vector coeffs;  ///< dense coefficient row a (dimension = num variables)
+  Relation rel = Relation::kLessEq;
+  double rhs = 0.0;
+};
+
+/// LP model builder; see the file comment for the canonical form.
+class Problem {
+ public:
+  /// Convention for "no bound".
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  /// Create a problem with `num_vars` variables, all free, zero objective.
+  explicit Problem(std::size_t num_vars);
+
+  /// Number of variables.
+  std::size_t num_vars() const { return lo_.size(); }
+  /// Number of constraint rows.
+  std::size_t num_constraints() const { return rows_.size(); }
+
+  /// Add a variable with bounds [lo, hi]; returns its index.
+  std::size_t add_variable(double lo = -kInf, double hi = kInf);
+
+  /// Set the bounds of an existing variable.
+  void set_bounds(std::size_t j, double lo, double hi);
+  /// Lower bound of variable j.
+  double lower(std::size_t j) const;
+  /// Upper bound of variable j.
+  double upper(std::size_t j) const;
+
+  /// Set one objective coefficient (objective is minimized).
+  void set_objective_coeff(std::size_t j, double cj);
+  /// Replace the whole objective vector; dimension must equal num_vars().
+  void set_objective(const linalg::Vector& c);
+  /// Current objective vector (always dimension num_vars()).
+  const linalg::Vector& objective() const { return c_; }
+
+  /// Append a dense constraint row; `coeffs` must have num_vars() entries.
+  void add_constraint(const linalg::Vector& coeffs, Relation rel, double rhs);
+  /// Constraint row i.
+  const Constraint& constraint(std::size_t i) const;
+
+ private:
+  linalg::Vector c_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::vector<Constraint> rows_;
+};
+
+}  // namespace oic::lp

@@ -1,0 +1,53 @@
+#pragma once
+/// \file simplex.hpp
+/// Dense two-phase primal simplex.
+///
+/// This is the single LP engine behind every polytope operation (support
+/// functions, redundancy removal, containment, Chebyshev centers), the
+/// 1-norm tube-MPC solve, and the MIP branch-and-bound relaxations.  The
+/// LPs in this domain are small (tens to a few hundred rows), so a dense
+/// tableau with an anti-cycling fallback is both simple and fast enough.
+
+#include <cstddef>
+
+#include "linalg/vector.hpp"
+#include "lp/problem.hpp"
+
+namespace oic::lp {
+
+/// Outcome of an LP solve.
+enum class Status {
+  kOptimal,    ///< finite optimum found
+  kInfeasible, ///< constraint system has no solution
+  kUnbounded,  ///< objective decreases without bound over the feasible set
+  kIterLimit,  ///< iteration budget exhausted before convergence
+};
+
+/// Human-readable status name (for logs and test diagnostics).
+const char* to_string(Status s);
+
+/// Solver knobs.  Defaults are tuned for the small, well-scaled LPs this
+/// library generates; they rarely need changing.
+struct SimplexOptions {
+  std::size_t max_iterations = 20000;  ///< per phase
+  double cost_tol = 1e-9;              ///< reduced-cost optimality tolerance
+  double pivot_tol = 1e-10;            ///< minimum acceptable pivot magnitude
+  double feas_tol = 1e-7;              ///< phase-1 residual counted as feasible
+  /// After this many non-improving iterations the solver switches from the
+  /// Dantzig rule to Bland's rule, which provably cannot cycle.
+  std::size_t stall_limit = 200;
+};
+
+/// Solution report.
+struct Result {
+  Status status = Status::kIterLimit;
+  double objective = 0.0;  ///< valid only when status == kOptimal
+  linalg::Vector x;        ///< valid only when status == kOptimal
+};
+
+/// Solve the given LP (minimization).  Never throws on infeasible/unbounded
+/// models -- that is reported via Result::status; throws PreconditionError
+/// only for malformed input.
+Result solve(const Problem& problem, const SimplexOptions& options = {});
+
+}  // namespace oic::lp

@@ -1,0 +1,179 @@
+#include "mip/mip.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace oic::mip {
+
+void MipProblem::set_integer(std::size_t j, bool flag) {
+  OIC_REQUIRE(j < integer_.size(), "MipProblem::set_integer: variable out of range");
+  integer_[j] = flag;
+}
+
+void MipProblem::set_binary(std::size_t j) {
+  OIC_REQUIRE(j < integer_.size(), "MipProblem::set_binary: variable out of range");
+  integer_[j] = true;
+  lp_.set_bounds(j, 0.0, 1.0);
+}
+
+bool MipProblem::is_integer(std::size_t j) const {
+  OIC_REQUIRE(j < integer_.size(), "MipProblem::is_integer: variable out of range");
+  return integer_[j];
+}
+
+const char* to_string(MipStatus s) {
+  switch (s) {
+    case MipStatus::kOptimal:
+      return "optimal";
+    case MipStatus::kInfeasible:
+      return "infeasible";
+    case MipStatus::kUnbounded:
+      return "unbounded";
+    case MipStatus::kNodeLimit:
+      return "node-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// A branch node: extra variable-bound overrides on top of the root LP.
+struct Node {
+  std::vector<std::pair<std::size_t, std::pair<double, double>>> bounds;
+  double lp_bound;  // objective of the parent relaxation (lower bound)
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.lp_bound > b.lp_bound;  // best-first: smallest bound on top
+  }
+};
+
+/// Find the integer-marked variable whose relaxation value is farthest from
+/// integral; returns num_vars when the point is integral within tol.
+std::size_t most_fractional(const MipProblem& p, const linalg::Vector& x,
+                            double int_tol) {
+  std::size_t best = p.num_vars();
+  double best_frac = int_tol;
+  for (std::size_t j = 0; j < p.num_vars(); ++j) {
+    if (!p.is_integer(j)) continue;
+    const double f = x[j] - std::floor(x[j]);
+    const double dist = std::min(f, 1.0 - f);
+    if (dist > best_frac) {
+      best_frac = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult solve(const MipProblem& problem, const MipOptions& opt) {
+  MipResult out;
+
+  // Root relaxation.
+  {
+    const lp::Result root = lp::solve(problem.lp(), opt.lp_options);
+    if (root.status == lp::Status::kInfeasible) {
+      out.status = MipStatus::kInfeasible;
+      return out;
+    }
+    if (root.status == lp::Status::kUnbounded) {
+      out.status = MipStatus::kUnbounded;
+      return out;
+    }
+    OIC_CHECK(root.status == lp::Status::kOptimal, "mip: root LP did not solve");
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{{}, -std::numeric_limits<double>::infinity()});
+
+  double incumbent_obj = std::numeric_limits<double>::infinity();
+  linalg::Vector incumbent_x;
+  bool have_incumbent = false;
+
+  while (!open.empty()) {
+    if (out.nodes_explored >= opt.max_nodes) {
+      out.status = MipStatus::kNodeLimit;
+      out.has_incumbent = have_incumbent;
+      if (have_incumbent) {
+        out.objective = incumbent_obj;
+        out.x = incumbent_x;
+      }
+      return out;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.lp_bound >= incumbent_obj - opt.gap_tol) continue;  // pruned
+
+    ++out.nodes_explored;
+
+    // Build the node LP: root problem plus bound overrides.
+    lp::Problem node_lp = problem.lp();
+    bool empty_domain = false;
+    for (const auto& [j, lohl] : node.bounds) {
+      const double lo = std::max(node_lp.lower(j), lohl.first);
+      const double hi = std::min(node_lp.upper(j), lohl.second);
+      if (lo > hi) {
+        empty_domain = true;
+        break;
+      }
+      node_lp.set_bounds(j, lo, hi);
+    }
+    if (empty_domain) continue;
+
+    const lp::Result rel = lp::solve(node_lp, opt.lp_options);
+    if (rel.status == lp::Status::kInfeasible) continue;
+    if (rel.status == lp::Status::kUnbounded) {
+      // An unbounded node with bounded binaries means the continuous part is
+      // unbounded; report conservatively.
+      out.status = MipStatus::kUnbounded;
+      return out;
+    }
+    OIC_CHECK(rel.status == lp::Status::kOptimal, "mip: node LP did not solve");
+    if (rel.objective >= incumbent_obj - opt.gap_tol) continue;  // bound prune
+
+    const std::size_t frac = most_fractional(problem, rel.x, opt.int_tol);
+    if (frac == problem.num_vars()) {
+      // Integral: new incumbent (round to kill numerical fuzz).
+      linalg::Vector xi = rel.x;
+      for (std::size_t j = 0; j < problem.num_vars(); ++j) {
+        if (problem.is_integer(j)) xi[j] = std::round(xi[j]);
+      }
+      incumbent_obj = rel.objective;
+      incumbent_x = std::move(xi);
+      have_incumbent = true;
+      continue;
+    }
+
+    // Branch.
+    const double v = rel.x[frac];
+    Node down = node;
+    down.lp_bound = rel.objective;
+    down.bounds.emplace_back(frac,
+                             std::make_pair(-std::numeric_limits<double>::infinity(),
+                                            std::floor(v)));
+    Node up = node;
+    up.lp_bound = rel.objective;
+    up.bounds.emplace_back(
+        frac, std::make_pair(std::ceil(v), std::numeric_limits<double>::infinity()));
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (have_incumbent) {
+    out.status = MipStatus::kOptimal;
+    out.has_incumbent = true;
+    out.objective = incumbent_obj;
+    out.x = incumbent_x;
+  } else {
+    out.status = MipStatus::kInfeasible;
+  }
+  return out;
+}
+
+}  // namespace oic::mip

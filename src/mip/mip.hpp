@@ -1,0 +1,79 @@
+#pragma once
+/// \file mip.hpp
+/// Mixed-integer linear programming by LP-based branch & bound.
+///
+/// The paper's model-based skipping decision (Equation 6) is a MIP over
+/// binary skip variables z(k|t).  This solver is the general-purpose engine
+/// for that formulation; core/model_based.hpp also offers a specialized
+/// exact search that exploits the fact that fixing z determines the whole
+/// trajectory (ablated against this solver in bench_ablation_horizon).
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace oic::mip {
+
+/// A mixed-integer LP: an lp::Problem plus integrality marks.
+class MipProblem {
+ public:
+  /// Create a problem with `num_vars` variables, all continuous and free.
+  explicit MipProblem(std::size_t num_vars) : lp_(num_vars), integer_(num_vars, false) {}
+
+  /// Access the underlying LP model (objective, constraints, bounds).
+  lp::Problem& lp() { return lp_; }
+  const lp::Problem& lp() const { return lp_; }
+
+  /// Mark variable j as integer-valued.
+  void set_integer(std::size_t j, bool flag = true);
+
+  /// Mark variable j as binary: integer with bounds [0, 1].
+  void set_binary(std::size_t j);
+
+  /// True when variable j must take an integer value.
+  bool is_integer(std::size_t j) const;
+
+  /// Number of variables.
+  std::size_t num_vars() const { return integer_.size(); }
+
+ private:
+  lp::Problem lp_;
+  std::vector<bool> integer_;
+};
+
+/// Branch & bound outcome.
+enum class MipStatus {
+  kOptimal,    ///< proven optimal integer solution
+  kInfeasible, ///< no integer-feasible point exists
+  kUnbounded,  ///< LP relaxation unbounded (reported conservatively)
+  kNodeLimit,  ///< node budget exhausted; best incumbent (if any) returned
+};
+
+/// Human-readable status name.
+const char* to_string(MipStatus s);
+
+/// Solver knobs.
+struct MipOptions {
+  double int_tol = 1e-6;        ///< how close to integral counts as integral
+  double gap_tol = 1e-9;        ///< absolute optimality gap for pruning
+  std::size_t max_nodes = 200000;
+  lp::SimplexOptions lp_options = {};
+};
+
+/// Solution report.
+struct MipResult {
+  MipStatus status = MipStatus::kNodeLimit;
+  bool has_incumbent = false;   ///< true when x/objective hold a feasible point
+  double objective = 0.0;
+  linalg::Vector x;
+  std::size_t nodes_explored = 0;
+};
+
+/// Solve the MIP (minimization) by best-first branch & bound with
+/// most-fractional branching.  Deterministic for a fixed problem.
+MipResult solve(const MipProblem& problem, const MipOptions& options = {});
+
+}  // namespace oic::mip

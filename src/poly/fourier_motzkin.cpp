@@ -1,0 +1,108 @@
+#include "poly/fourier_motzkin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oic::poly {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+HPolytope eliminate_variable(const HPolytope& p, std::size_t var,
+                             const FourierMotzkinOptions& opt) {
+  OIC_REQUIRE(var < p.dim(), "eliminate_variable: variable out of range");
+  const std::size_t n = p.dim();
+  const std::size_t m = p.num_constraints();
+
+  // Classify rows by the sign of the coefficient on `var`.
+  std::vector<std::size_t> pos, neg, zer;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double c = p.a()(i, var);
+    if (c > opt.zero_tol)
+      pos.push_back(i);
+    else if (c < -opt.zero_tol)
+      neg.push_back(i);
+    else
+      zer.push_back(i);
+  }
+
+  const std::size_t out_rows = zer.size() + pos.size() * neg.size();
+  OIC_CHECK(out_rows <= opt.max_rows,
+            "eliminate_variable: intermediate row count exceeds cap");
+
+  Matrix a(out_rows, n - 1);
+  Vector b(out_rows);
+  std::size_t r = 0;
+
+  auto copy_without_var = [&](std::size_t src_row, double scale, std::size_t dst_row) {
+    std::size_t dst_col = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == var) continue;
+      a(dst_row, dst_col) += scale * p.a()(src_row, c);
+      ++dst_col;
+    }
+  };
+
+  for (std::size_t i : zer) {
+    copy_without_var(i, 1.0, r);
+    b[r] = p.b()[i];
+    ++r;
+  }
+  // Combine p (coef > 0) with q (coef < 0):
+  //   (1/cp) row_p + (-1/cq) row_q eliminates the variable.
+  for (std::size_t ip : pos) {
+    const double cp = p.a()(ip, var);
+    for (std::size_t iq : neg) {
+      const double cq = p.a()(iq, var);
+      copy_without_var(ip, 1.0 / cp, r);
+      copy_without_var(iq, -1.0 / cq, r);
+      b[r] = p.b()[ip] / cp - p.b()[iq] / cq;
+      ++r;
+    }
+  }
+  OIC_CHECK(r == out_rows, "eliminate_variable: row bookkeeping mismatch");
+
+  HPolytope out(std::move(a), std::move(b));
+  if (opt.prune) out = out.remove_redundancy();
+  return out;
+}
+
+HPolytope project(const HPolytope& p, const std::vector<std::size_t>& keep,
+                  const FourierMotzkinOptions& opt) {
+  const std::size_t n = p.dim();
+  for (std::size_t k : keep)
+    OIC_REQUIRE(k < n, "project: kept coordinate out of range");
+
+  // Reorder columns so the kept coordinates come first in the requested
+  // order, then eliminate the tail one variable at a time (from the last
+  // column inward, so indices stay stable).
+  std::vector<bool> kept(n, false);
+  for (std::size_t k : keep) {
+    OIC_REQUIRE(!kept[k], "project: duplicate kept coordinate");
+    kept[k] = true;
+  }
+  std::vector<std::size_t> order = keep;
+  for (std::size_t j = 0; j < n; ++j)
+    if (!kept[j]) order.push_back(j);
+
+  Matrix a(p.num_constraints(), n);
+  for (std::size_t newc = 0; newc < n; ++newc) a.set_col(newc, p.a().col(order[newc]));
+  HPolytope q(std::move(a), p.b());
+
+  for (std::size_t col = n; col-- > keep.size();) {
+    q = eliminate_variable(q, col, opt);
+  }
+  return q;
+}
+
+HPolytope project_prefix(const HPolytope& p, std::size_t k,
+                         const FourierMotzkinOptions& opt) {
+  OIC_REQUIRE(k <= p.dim(), "project_prefix: prefix longer than dimension");
+  std::vector<std::size_t> keep(k);
+  for (std::size_t i = 0; i < k; ++i) keep[i] = i;
+  return project(p, keep, opt);
+}
+
+}  // namespace oic::poly

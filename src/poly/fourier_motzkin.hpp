@@ -1,0 +1,46 @@
+#pragma once
+/// \file fourier_motzkin.hpp
+/// Fourier-Motzkin variable elimination (polytope projection).
+///
+/// Projection is the workhorse behind two pieces of the paper's set
+/// pipeline: the Pre-operator with an existentially quantified input
+/// ({x | exists u in U : A x + B u in Y}) used to compute the RMPC feasible
+/// region (Prop. 1), and exact Minkowski sums / affine images of
+/// low-dimensional polytopes.  Each elimination step is followed by LP
+/// redundancy removal to keep the row count from exploding.
+
+#include <cstddef>
+#include <vector>
+
+#include "poly/hpolytope.hpp"
+
+namespace oic::poly {
+
+/// Options for the eliminator.
+struct FourierMotzkinOptions {
+  /// Remove redundant rows after each elimination step.  Disable only in
+  /// micro-benchmarks; real use without pruning grows doubly exponentially.
+  bool prune = true;
+  /// Coefficient magnitudes below this are treated as zero when classifying
+  /// rows by the sign of the eliminated variable.
+  double zero_tol = 1e-11;
+  /// Safety cap on the intermediate row count; exceeded => InternalError.
+  std::size_t max_rows = 100000;
+};
+
+/// Eliminate the single variable `var` from P, producing its projection
+/// onto the remaining coordinates (dimension drops by one, coordinate
+/// order of the remaining variables is preserved).
+HPolytope eliminate_variable(const HPolytope& p, std::size_t var,
+                             const FourierMotzkinOptions& opt = {});
+
+/// Project P onto the coordinates listed in `keep` (in the given order),
+/// eliminating every other variable.
+HPolytope project(const HPolytope& p, const std::vector<std::size_t>& keep,
+                  const FourierMotzkinOptions& opt = {});
+
+/// Project onto the first `k` coordinates.
+HPolytope project_prefix(const HPolytope& p, std::size_t k,
+                         const FourierMotzkinOptions& opt = {});
+
+}  // namespace oic::poly

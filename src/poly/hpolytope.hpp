@@ -1,0 +1,147 @@
+#pragma once
+/// \file hpolytope.hpp
+/// Convex polyhedra in halfspace representation: P = { x | A x <= b }.
+///
+/// Every safe set in the paper (X, the robust invariant XI, the strengthened
+/// set X', the MPC's tightened constraint sets and terminal set) is such a
+/// polytope, and every set operation the paper needs (Sec. III-A) reduces to
+/// LPs over this representation.
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace oic::poly {
+
+/// Result of a support-function evaluation  h_P(d) = max { d.x | x in P }.
+struct Support {
+  bool bounded = false;     ///< false when the LP is unbounded in direction d
+  bool feasible = true;     ///< false when P is empty
+  double value = 0.0;       ///< h_P(d), valid when bounded && feasible
+  linalg::Vector maximizer; ///< an argmax, valid when bounded && feasible
+};
+
+/// Chebyshev ball: the largest inscribed ball's center and radius.
+struct ChebyshevBall {
+  bool feasible = false;  ///< false when the polytope is empty
+  linalg::Vector center;
+  double radius = 0.0;    ///< negative radius never returned; 0 => flat/empty interior
+};
+
+/// A convex polytope (possibly unbounded polyhedron) { x | A x <= b }.
+///
+/// The representation is intentionally not kept minimal on every mutation;
+/// call remove_redundancy() after composing many operations.  All queries
+/// are exact up to LP tolerances.
+class HPolytope {
+ public:
+  /// The empty 0-dimensional polytope.
+  HPolytope() = default;
+
+  /// Construct from A (m-by-n) and b (m).  Rows with all-zero coefficients
+  /// are rejected unless their rhs is non-negative (0 <= b is trivially
+  /// true) -- a 0 <= b row with b < 0 denotes the empty set and is kept.
+  HPolytope(linalg::Matrix a, linalg::Vector b);
+
+  /// Whole space R^n (no constraints).
+  static HPolytope universe(std::size_t dim);
+  /// Axis-aligned box given by per-coordinate bounds.
+  static HPolytope box(const linalg::Vector& lo, const linalg::Vector& hi);
+  /// Symmetric box { |x_i| <= r_i }.
+  static HPolytope sym_box(const linalg::Vector& r);
+  /// 1-norm ball of radius r in the given dimension (cross-polytope).
+  static HPolytope l1_ball(std::size_t dim, double r);
+  /// Convex hull of 2-D points (exact, via monotone chain).  Degenerate
+  /// inputs (all collinear) produce the corresponding flat polytope.
+  static HPolytope from_vertices_2d(const std::vector<linalg::Vector>& pts);
+
+  /// State-space dimension n.
+  std::size_t dim() const { return a_.cols(); }
+  /// Number of halfspaces m.
+  std::size_t num_constraints() const { return a_.rows(); }
+  /// Constraint matrix A.
+  const linalg::Matrix& a() const { return a_; }
+  /// Offset vector b.
+  const linalg::Vector& b() const { return b_; }
+  /// Normal of facet i.
+  linalg::Vector normal(std::size_t i) const { return a_.row(i); }
+  /// Offset of facet i.
+  double offset(std::size_t i) const { return b_[i]; }
+
+  /// Membership test with absolute slack tolerance.
+  bool contains(const linalg::Vector& x, double tol = 1e-9) const;
+
+  /// Worst constraint violation at x: max_i (a_i.x - b_i); <= 0 inside.
+  double violation(const linalg::Vector& x) const;
+
+  /// Emptiness via phase-1 LP.
+  bool is_empty() const;
+
+  /// True when P is bounded (support finite along +/- every axis).
+  bool is_bounded() const;
+
+  /// Support function in direction d.
+  Support support(const linalg::Vector& d) const;
+
+  /// Largest inscribed ball (LP).  Useful for sampling interior points and
+  /// for measuring how much margin a safe set retains.
+  ChebyshevBall chebyshev() const;
+
+  /// Intersection: concatenates constraint rows (call remove_redundancy()
+  /// afterwards if a minimal description matters).
+  HPolytope intersect(const HPolytope& other) const;
+
+  /// Preimage under the affine map x -> M x + t:
+  ///   { x | M x + t in P }  =  { x | (A M) x <= b - A t }.
+  /// This is how backward reachable sets B(Y, z) are computed (Sec. III-A)
+  /// without inverting the dynamics matrix.
+  HPolytope affine_preimage(const linalg::Matrix& m, const linalg::Vector& t) const;
+
+  /// Exact image under an *invertible* affine map x -> M x + t.
+  /// Throws NumericalError when M is singular; use ops.hpp's
+  /// affine_image_projection for the general case.
+  HPolytope affine_image_invertible(const linalg::Matrix& m,
+                                    const linalg::Vector& t) const;
+
+  /// Pontryagin (Minkowski) difference P (-) Q = { x | x + q in P for all q in Q }:
+  /// shrinks every facet by the support of Q in its normal direction.
+  HPolytope pontryagin_diff(const HPolytope& q) const;
+
+  /// Translate by t.
+  HPolytope translate(const linalg::Vector& t) const;
+
+  /// Scale about the origin by factor s > 0.
+  HPolytope scale(double s) const;
+
+  /// Drop rows implied by the others (one LP per row).  Also drops exact
+  /// duplicates.  The result describes the same set.
+  HPolytope remove_redundancy(double tol = 1e-9) const;
+
+  /// Tight axis-aligned bounding box; nullopt when empty or unbounded.
+  std::optional<std::pair<linalg::Vector, linalg::Vector>> bounding_box() const;
+
+  /// Vertices of a bounded 2-D polytope in counter-clockwise order.
+  /// Requires dim() == 2; throws PreconditionError otherwise.
+  std::vector<linalg::Vector> vertices_2d(double tol = 1e-7) const;
+
+ private:
+  linalg::Matrix a_;
+  linalg::Vector b_;
+};
+
+/// True when P is a subset of Q up to tolerance (support of P along each
+/// facet normal of Q stays below Q's offsets).  An empty P is contained in
+/// everything.
+bool contains_polytope(const HPolytope& outer, const HPolytope& inner,
+                       double tol = 1e-7);
+
+/// Approximate set equality (mutual containment).
+bool approx_equal(const HPolytope& p, const HPolytope& q, double tol = 1e-7);
+
+/// Stream as "HPolytope{m constraints in R^n}".
+std::ostream& operator<<(std::ostream& os, const HPolytope& p);
+
+}  // namespace oic::poly

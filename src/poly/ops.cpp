@@ -1,0 +1,123 @@
+#include "poly/ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "poly/fourier_motzkin.hpp"
+
+namespace oic::poly {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/// Minkowski sum via the graph construction in (x, s) space with s = x + y:
+/// { s | exists x : A_p x <= b_p, A_q (s - x) <= b_q }, projected onto s.
+HPolytope minkowski_sum_projection(const HPolytope& p, const HPolytope& q) {
+  const std::size_t n = p.dim();
+  // Variables: (s, x) stacked, dimension 2n; keep the first n.
+  Matrix a(p.num_constraints() + q.num_constraints(), 2 * n);
+  Vector b(p.num_constraints() + q.num_constraints());
+  for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, n + j) = p.a()(i, j);
+    b[i] = p.b()[i];
+  }
+  for (std::size_t i = 0; i < q.num_constraints(); ++i) {
+    const std::size_t r = p.num_constraints() + i;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(r, j) = q.a()(i, j);       // on s
+      a(r, n + j) = -q.a()(i, j);  // on -x
+    }
+    b[r] = q.b()[i];
+  }
+  return project_prefix(HPolytope(std::move(a), std::move(b)), n);
+}
+
+}  // namespace
+
+HPolytope minkowski_sum(const HPolytope& p, const HPolytope& q) {
+  OIC_REQUIRE(p.dim() == q.dim(), "minkowski_sum: dimension mismatch");
+  OIC_REQUIRE(p.dim() >= 1, "minkowski_sum: zero-dimensional operands");
+  if (p.dim() == 2) {
+    // Fast exact path: sum of vertex clouds, then the hull of the sums.
+    const auto vp = p.vertices_2d();
+    const auto vq = q.vertices_2d();
+    OIC_REQUIRE(!vp.empty() && !vq.empty(),
+                "minkowski_sum: planar operands must be bounded and non-empty");
+    std::vector<Vector> sums;
+    sums.reserve(vp.size() * vq.size());
+    for (const auto& u : vp)
+      for (const auto& v : vq) sums.push_back(u + v);
+    return HPolytope::from_vertices_2d(sums);
+  }
+  return minkowski_sum_projection(p, q);
+}
+
+HPolytope affine_image_projection(const HPolytope& p, const Matrix& m,
+                                  const Vector& t) {
+  OIC_REQUIRE(m.cols() == p.dim(), "affine_image_projection: map domain mismatch");
+  OIC_REQUIRE(t.size() == m.rows(), "affine_image_projection: offset mismatch");
+  const std::size_t n = p.dim();
+  const std::size_t k = m.rows();
+  // Variables (y, x); constraints A x <= b plus y - Mx = t as two inequalities.
+  const std::size_t rows = p.num_constraints() + 2 * k;
+  Matrix a(rows, k + n);
+  Vector b(rows);
+  for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, k + j) = p.a()(i, j);
+    b[i] = p.b()[i];
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t r1 = p.num_constraints() + 2 * i;
+    const std::size_t r2 = r1 + 1;
+    a(r1, i) = 1.0;
+    a(r2, i) = -1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(r1, k + j) = -m(i, j);
+      a(r2, k + j) = m(i, j);
+    }
+    b[r1] = t[i];
+    b[r2] = -t[i];
+  }
+  return project_prefix(HPolytope(std::move(a), std::move(b)), k);
+}
+
+std::vector<Vector> uniform_directions_2d(std::size_t count) {
+  OIC_REQUIRE(count >= 3, "uniform_directions_2d: need at least 3 directions");
+  std::vector<Vector> dirs;
+  dirs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double th = 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(count);
+    dirs.push_back(Vector{std::cos(th), std::sin(th)});
+  }
+  return dirs;
+}
+
+std::vector<Vector> box_diag_directions(std::size_t dim) {
+  OIC_REQUIRE(dim >= 1, "box_diag_directions: dimension must be positive");
+  std::vector<Vector> dirs;
+  // Axis directions.
+  for (std::size_t j = 0; j < dim; ++j) {
+    Vector d(dim);
+    d[j] = 1.0;
+    dirs.push_back(d);
+    d[j] = -1.0;
+    dirs.push_back(d);
+  }
+  // All +-1 diagonals (2^dim of them), skipping dim == 1 where they coincide
+  // with the axes.
+  if (dim >= 2) {
+    const std::size_t total = std::size_t{1} << dim;
+    for (std::size_t mask = 0; mask < total; ++mask) {
+      Vector d(dim);
+      for (std::size_t j = 0; j < dim; ++j) d[j] = ((mask >> j) & 1u) ? 1.0 : -1.0;
+      const double nrm = d.norm2();
+      d /= nrm;
+      dirs.push_back(d);
+    }
+  }
+  return dirs;
+}
+
+}  // namespace oic::poly

@@ -1,0 +1,48 @@
+#pragma once
+/// \file ops.hpp
+/// Higher-level polytope operations composed from HPolytope primitives and
+/// Fourier-Motzkin projection: Minkowski sums, general affine images, and
+/// template-direction outer approximations.
+
+#include <vector>
+
+#include "poly/hpolytope.hpp"
+
+namespace oic::poly {
+
+/// Exact Minkowski sum P (+) Q.
+///
+/// Planar inputs use the fast path (vertex clouds + convex hull); higher
+/// dimensions fall back to projecting { (x, y) | y - x in Q_shifted ... }
+/// via Fourier-Motzkin.  Both operands must be bounded.
+HPolytope minkowski_sum(const HPolytope& p, const HPolytope& q);
+
+/// Exact image of P under an arbitrary affine map x -> M x + t (M may be
+/// rectangular or singular), computed by projecting the graph polytope
+/// { (y, x) | A x <= b, y = M x + t } onto y.
+HPolytope affine_image_projection(const HPolytope& p, const linalg::Matrix& m,
+                                  const linalg::Vector& t);
+
+/// Outer approximation of any support-function-evaluable set by template
+/// directions: { x | d_i . x <= h(d_i) }.  `support_fn` must return the
+/// exact support value in the given direction.
+template <typename SupportFn>
+HPolytope template_outer(std::size_t dim, const std::vector<linalg::Vector>& dirs,
+                         SupportFn&& support_fn) {
+  linalg::Matrix a(dirs.size(), dim);
+  linalg::Vector b(dirs.size());
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    a.set_row(i, dirs[i]);
+    b[i] = support_fn(dirs[i]);
+  }
+  return HPolytope(std::move(a), std::move(b));
+}
+
+/// `count` unit directions uniformly spaced on the plane (count >= 3).
+std::vector<linalg::Vector> uniform_directions_2d(std::size_t count);
+
+/// The +/- axis directions plus all +/-1 diagonal sign patterns in R^n
+/// (octahedral template), a good default template in low dimension.
+std::vector<linalg::Vector> box_diag_directions(std::size_t dim);
+
+}  // namespace oic::poly

@@ -1,0 +1,51 @@
+#include "poly/support_sum.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::poly {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+void SupportSum::add_term(Matrix m, HPolytope w) {
+  OIC_REQUIRE(m.cols() == w.dim(), "SupportSum::add_term: map domain mismatch");
+  if (!ms_.empty())
+    OIC_REQUIRE(m.rows() == ms_.front().rows(),
+                "SupportSum::add_term: term range dimension mismatch");
+  ms_.push_back(std::move(m));
+  ws_.push_back(std::move(w));
+}
+
+void SupportSum::set_scale(double s) {
+  OIC_REQUIRE(s > 0.0, "SupportSum::set_scale: scale must be positive");
+  scale_ = s;
+}
+
+double SupportSum::support(const Vector& d) const {
+  OIC_REQUIRE(!ms_.empty(), "SupportSum::support: empty chain");
+  OIC_REQUIRE(d.size() == dim(), "SupportSum::support: dimension mismatch");
+  double h = 0.0;
+  for (std::size_t i = 0; i < ms_.size(); ++i) {
+    const Vector dt = linalg::transpose_mul(ms_[i], d);  // M^T d
+    const Support s = ws_[i].support(dt);
+    OIC_REQUIRE(s.feasible, "SupportSum::support: empty term polytope");
+    if (!s.bounded) throw NumericalError("SupportSum::support: unbounded term");
+    h += s.value;
+  }
+  return scale_ * h;
+}
+
+HPolytope SupportSum::outer_polytope(const std::vector<Vector>& dirs) const {
+  OIC_REQUIRE(!dirs.empty(), "SupportSum::outer_polytope: need directions");
+  Matrix a(dirs.size(), dim());
+  Vector b(dirs.size());
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    a.set_row(i, dirs[i]);
+    b[i] = support(dirs[i]);
+  }
+  return HPolytope(std::move(a), std::move(b));
+}
+
+std::size_t SupportSum::dim() const { return ms_.empty() ? 0 : ms_.front().rows(); }
+
+}  // namespace oic::poly

@@ -1,0 +1,55 @@
+#pragma once
+/// \file support_sum.hpp
+/// Lazy Minkowski-sum chains represented through their support function.
+///
+/// The minimal robust positively invariant (mRPI) approximation of
+/// Sec. III-A is alpha-scaled sum  W (+) A_K W (+) ... (+) A_K^{n-1} W.
+/// Materializing that sum exactly is wasteful; its support function is just
+///   h(d) = sum_i h_W(M_i^T d),
+/// which this class evaluates exactly (one small LP per term) and converts
+/// to an H-polytope over caller-chosen template directions.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "poly/hpolytope.hpp"
+
+namespace oic::poly {
+
+/// The set  scale * ( M_0 W_0 (+) M_1 W_1 (+) ... )  accessed through its
+/// support function.
+class SupportSum {
+ public:
+  /// Empty chain; represents {0} until terms are added.
+  SupportSum() = default;
+
+  /// Append a term M * W to the chain.
+  void add_term(linalg::Matrix m, HPolytope w);
+
+  /// Number of terms.
+  std::size_t terms() const { return ms_.size(); }
+
+  /// Multiply the whole chain by a positive factor.
+  void set_scale(double s);
+
+  /// Current scale factor.
+  double scale() const { return scale_; }
+
+  /// Exact support value  h(d) = scale * sum_i h_{W_i}(M_i^T d).
+  /// Throws NumericalError when any term is unbounded in the direction.
+  double support(const linalg::Vector& d) const;
+
+  /// Outer H-polytope over the given template directions.  Exact (tight) on
+  /// every template direction; an over-approximation elsewhere.
+  HPolytope outer_polytope(const std::vector<linalg::Vector>& dirs) const;
+
+  /// Dimension of the represented set (0 when no terms yet).
+  std::size_t dim() const;
+
+ private:
+  std::vector<linalg::Matrix> ms_;
+  std::vector<HPolytope> ws_;
+  double scale_ = 1.0;
+};
+
+}  // namespace oic::poly

@@ -1,0 +1,142 @@
+#include "rl/dqn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oic::rl {
+
+using linalg::Vector;
+
+EpsilonSchedule::EpsilonSchedule(double start, double end, std::size_t decay_steps)
+    : start_(start), end_(end), decay_steps_(decay_steps) {
+  OIC_REQUIRE(start >= 0.0 && start <= 1.0, "EpsilonSchedule: start out of range");
+  OIC_REQUIRE(end >= 0.0 && end <= 1.0, "EpsilonSchedule: end out of range");
+  OIC_REQUIRE(decay_steps >= 1, "EpsilonSchedule: decay_steps must be positive");
+}
+
+double EpsilonSchedule::at(std::size_t step) const {
+  if (step >= decay_steps_) return end_;
+  const double t = static_cast<double>(step) / static_cast<double>(decay_steps_);
+  return start_ + t * (end_ - start_);
+}
+
+namespace {
+
+std::vector<std::size_t> net_sizes(std::size_t in, const std::vector<std::size_t>& hidden,
+                                   std::size_t out) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(in);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(out);
+  return sizes;
+}
+
+std::size_t argmax(const Vector& q) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    if (q[i] > q[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+DoubleDqn::DoubleDqn(std::size_t state_dim, std::size_t num_actions, DqnConfig config,
+                     Rng rng)
+    : state_dim_(state_dim),
+      num_actions_(num_actions),
+      config_(std::move(config)),
+      rng_(rng),
+      online_(net_sizes(state_dim, config_.hidden, num_actions), rng_),
+      target_(net_sizes(state_dim, config_.hidden, num_actions), rng_),
+      optimizer_(config_.learning_rate),
+      replay_(config_.replay_capacity),
+      epsilon_schedule_(config_.epsilon_start, config_.epsilon_end,
+                        config_.epsilon_decay_steps) {
+  OIC_REQUIRE(num_actions >= 2, "DoubleDqn: need at least two actions");
+  OIC_REQUIRE(state_dim >= 1, "DoubleDqn: state dimension must be positive");
+  target_.copy_from(online_);
+}
+
+int DoubleDqn::select_action(const Vector& state) {
+  OIC_REQUIRE(state.size() == state_dim_, "DoubleDqn::select_action: state mismatch");
+  const double eps = epsilon_schedule_.at(action_steps_);
+  ++action_steps_;
+  if (rng_.bernoulli(eps)) {
+    return rng_.uniform_int(0, static_cast<int>(num_actions_) - 1);
+  }
+  return static_cast<int>(argmax(online_.forward(state)));
+}
+
+int DoubleDqn::greedy_action(const Vector& state) const {
+  OIC_REQUIRE(state.size() == state_dim_, "DoubleDqn::greedy_action: state mismatch");
+  return static_cast<int>(argmax(online_.forward(state)));
+}
+
+Vector DoubleDqn::q_values(const Vector& state) const {
+  OIC_REQUIRE(state.size() == state_dim_, "DoubleDqn::q_values: state mismatch");
+  return online_.forward(state);
+}
+
+double DoubleDqn::observe(Transition t) {
+  OIC_REQUIRE(t.state.size() == state_dim_, "DoubleDqn::observe: state mismatch");
+  OIC_REQUIRE(t.next_state.size() == state_dim_,
+              "DoubleDqn::observe: next-state mismatch");
+  OIC_REQUIRE(t.action >= 0 && t.action < static_cast<int>(num_actions_),
+              "DoubleDqn::observe: action out of range");
+  replay_.add(std::move(t));
+  if (replay_.size() < std::max<std::size_t>(config_.min_replay, config_.batch_size)) {
+    return 0.0;
+  }
+  const double loss = train_minibatch();
+  if (config_.target_sync_interval > 0 &&
+      train_steps_ % config_.target_sync_interval == 0) {
+    sync_target();
+  }
+  return loss;
+}
+
+double DoubleDqn::train_minibatch() {
+  const auto batch = replay_.sample(config_.batch_size, rng_);
+  Gradients grad = online_.zero_gradients();
+  double loss = 0.0;
+
+  for (const Transition* tr : batch) {
+    ForwardCache cache;
+    const Vector q = online_.forward_cached(tr->state, cache);
+
+    // Double-DQN target: evaluate the online argmax under the target net.
+    double target_value = tr->reward;
+    if (!tr->terminal) {
+      const Vector q_next_online = online_.forward(tr->next_state);
+      const std::size_t a_star = argmax(q_next_online);
+      const Vector q_next_target = target_.forward(tr->next_state);
+      target_value += config_.gamma * q_next_target[a_star];
+    }
+
+    const double td = q[static_cast<std::size_t>(tr->action)] - target_value;
+    loss += td * td;
+
+    // dLoss/dq is nonzero only at the taken action (MSE/2 convention).
+    Vector dout(q.size());
+    dout[static_cast<std::size_t>(tr->action)] = td;
+    grad.add(online_.backward(cache, dout));
+  }
+
+  grad.scale(1.0 / static_cast<double>(batch.size()));
+  if (config_.grad_clip > 0.0) {
+    const double n = grad.norm_inf();
+    if (n > config_.grad_clip) grad.scale(config_.grad_clip / n);
+  }
+  optimizer_.step(online_, grad);
+  ++train_steps_;
+  return loss / static_cast<double>(batch.size());
+}
+
+void DoubleDqn::sync_target() { target_.copy_from(online_); }
+
+double DoubleDqn::epsilon() const { return epsilon_schedule_.at(action_steps_); }
+
+}  // namespace oic::rl

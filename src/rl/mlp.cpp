@@ -1,0 +1,136 @@
+#include "rl/mlp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oic::rl {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+void Gradients::add(const Gradients& other) {
+  OIC_REQUIRE(dw.size() == other.dw.size(), "Gradients::add: layer count mismatch");
+  for (std::size_t l = 0; l < dw.size(); ++l) {
+    dw[l] += other.dw[l];
+    db[l] += other.db[l];
+  }
+}
+
+void Gradients::scale(double s) {
+  for (auto& m : dw) m *= s;
+  for (auto& v : db) v *= s;
+}
+
+double Gradients::norm_inf() const {
+  double n = 0.0;
+  for (const auto& m : dw) n = std::max(n, m.norm_inf_elem());
+  for (const auto& v : db) n = std::max(n, v.norm_inf());
+  return n;
+}
+
+Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng) : sizes_(std::move(sizes)) {
+  OIC_REQUIRE(sizes_.size() >= 2, "Mlp: need at least input and output sizes");
+  for (std::size_t s : sizes_) OIC_REQUIRE(s >= 1, "Mlp: zero-width layer");
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    const std::size_t in = sizes_[l];
+    const std::size_t out = sizes_[l + 1];
+    Matrix w(out, in);
+    const double std_dev = std::sqrt(2.0 / static_cast<double>(in));  // He init
+    for (std::size_t i = 0; i < out; ++i)
+      for (std::size_t j = 0; j < in; ++j) w(i, j) = rng.normal(0.0, std_dev);
+    w_.push_back(std::move(w));
+    b_.emplace_back(out);
+  }
+}
+
+Vector Mlp::forward(const Vector& in) const {
+  OIC_REQUIRE(in.size() == sizes_.front(), "Mlp::forward: input dimension mismatch");
+  Vector h = in;
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    h = w_[l] * h + b_[l];
+    if (l + 1 < w_.size()) {
+      for (double& v : h) v = v > 0.0 ? v : 0.0;  // ReLU on hidden layers
+    }
+  }
+  return h;
+}
+
+Vector Mlp::forward_cached(const Vector& in, ForwardCache& cache) const {
+  OIC_REQUIRE(in.size() == sizes_.front(),
+              "Mlp::forward_cached: input dimension mismatch");
+  cache.pre.clear();
+  cache.post.clear();
+  cache.post.push_back(in);
+  Vector h = in;
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    Vector z = w_[l] * h + b_[l];
+    cache.pre.push_back(z);
+    if (l + 1 < w_.size()) {
+      for (double& v : z) v = v > 0.0 ? v : 0.0;
+    }
+    cache.post.push_back(z);
+    h = std::move(z);
+  }
+  return h;
+}
+
+Gradients Mlp::backward(const ForwardCache& cache, const Vector& dout) const {
+  OIC_REQUIRE(cache.pre.size() == w_.size(), "Mlp::backward: cache layer mismatch");
+  OIC_REQUIRE(dout.size() == sizes_.back(), "Mlp::backward: output grad mismatch");
+
+  Gradients g = zero_gradients();
+  Vector delta = dout;  // dLoss/d pre-activation of the current layer
+  for (std::size_t li = w_.size(); li-- > 0;) {
+    if (li + 1 < w_.size()) {
+      // Coming from a ReLU layer above: gate by its pre-activation sign.
+      // (delta currently holds dLoss/d post-activation of layer li.)
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        if (cache.pre[li][i] <= 0.0) delta[i] = 0.0;
+      }
+    }
+    // dW = delta * input^T ; db = delta.
+    const Vector& input = cache.post[li];
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      if (delta[i] == 0.0) continue;
+      for (std::size_t j = 0; j < input.size(); ++j) {
+        g.dw[li](i, j) += delta[i] * input[j];
+      }
+    }
+    g.db[li] += delta;
+    if (li > 0) delta = linalg::transpose_mul(w_[li], delta);
+  }
+  return g;
+}
+
+Gradients Mlp::zero_gradients() const {
+  Gradients g;
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    g.dw.emplace_back(w_[l].rows(), w_[l].cols());
+    g.db.emplace_back(b_[l].size());
+  }
+  return g;
+}
+
+void Mlp::copy_from(const Mlp& other) {
+  OIC_REQUIRE(sizes_ == other.sizes_, "Mlp::copy_from: architecture mismatch");
+  w_ = other.w_;
+  b_ = other.b_;
+}
+
+void Mlp::soft_update_from(const Mlp& other, double tau) {
+  OIC_REQUIRE(sizes_ == other.sizes_, "Mlp::soft_update_from: architecture mismatch");
+  OIC_REQUIRE(tau >= 0.0 && tau <= 1.0, "Mlp::soft_update_from: tau out of range");
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    w_[l] = tau * other.w_[l] + (1.0 - tau) * w_[l];
+    b_[l] = tau * other.b_[l] + (1.0 - tau) * b_[l];
+  }
+}
+
+std::size_t Mlp::num_params() const {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < w_.size(); ++l) n += w_[l].rows() * w_[l].cols() + b_[l].size();
+  return n;
+}
+
+}  // namespace oic::rl

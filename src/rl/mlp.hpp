@@ -1,0 +1,83 @@
+#pragma once
+/// \file mlp.hpp
+/// Minimal fully-connected network with ReLU hidden activations and a
+/// linear output layer, with hand-written backpropagation.  Sized for the
+/// paper's DQN: the ACC agent maps {x(t), w-history} (3 inputs) to two
+/// Q-values, so a dependency-free dense net is the right tool.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace oic::rl {
+
+/// Per-layer parameter gradients produced by Mlp::backward.
+struct Gradients {
+  std::vector<linalg::Matrix> dw;
+  std::vector<linalg::Vector> db;
+
+  /// Accumulate another gradient (for minibatch averaging).
+  void add(const Gradients& other);
+  /// Scale all entries (e.g. by 1/batch).
+  void scale(double s);
+  /// Max-abs entry across all blocks (for gradient-clipping and tests).
+  double norm_inf() const;
+};
+
+/// Forward-pass activations retained for backprop.
+struct ForwardCache {
+  std::vector<linalg::Vector> pre;   ///< pre-activations per layer
+  std::vector<linalg::Vector> post;  ///< post-activations (post[0] = input)
+};
+
+/// Dense feed-forward network: sizes = {in, h1, ..., out}.
+class Mlp {
+ public:
+  /// He-initialized network; biases start at zero.
+  Mlp(std::vector<std::size_t> sizes, Rng& rng);
+
+  /// Layer sizes as given at construction.
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+
+  /// Plain inference.
+  linalg::Vector forward(const linalg::Vector& in) const;
+
+  /// Inference that records activations for a subsequent backward().
+  linalg::Vector forward_cached(const linalg::Vector& in, ForwardCache& cache) const;
+
+  /// Backpropagate dLoss/dOutput through the cached activations; returns
+  /// parameter gradients (does not modify the network).
+  Gradients backward(const ForwardCache& cache, const linalg::Vector& dout) const;
+
+  /// Zero-initialized gradient buffer with this network's shapes.
+  Gradients zero_gradients() const;
+
+  /// Overwrite parameters from another network of identical shape (target-
+  /// network sync in DQN).
+  void copy_from(const Mlp& other);
+
+  /// Soft update: theta <- tau * other + (1 - tau) * theta.
+  void soft_update_from(const Mlp& other, double tau);
+
+  /// Number of layers (weight matrices).
+  std::size_t num_layers() const { return w_.size(); }
+  /// Weight matrix of layer l (out-by-in).
+  const linalg::Matrix& weight(std::size_t l) const { return w_[l]; }
+  linalg::Matrix& weight(std::size_t l) { return w_[l]; }
+  /// Bias vector of layer l.
+  const linalg::Vector& bias(std::size_t l) const { return b_[l]; }
+  linalg::Vector& bias(std::size_t l) { return b_[l]; }
+
+  /// Total scalar parameter count.
+  std::size_t num_params() const;
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<linalg::Matrix> w_;
+  std::vector<linalg::Vector> b_;
+};
+
+}  // namespace oic::rl

@@ -1,0 +1,69 @@
+#include "rl/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oic::rl {
+
+Sgd::Sgd(double learning_rate, double momentum) : lr_(learning_rate), momentum_(momentum) {
+  OIC_REQUIRE(learning_rate > 0.0, "Sgd: learning rate must be positive");
+  OIC_REQUIRE(momentum >= 0.0 && momentum < 1.0, "Sgd: momentum out of range");
+}
+
+void Sgd::step(Mlp& net, const Gradients& g) {
+  if (!initialized_) {
+    velocity_ = net.zero_gradients();
+    initialized_ = true;
+  }
+  OIC_REQUIRE(velocity_.dw.size() == g.dw.size(), "Sgd::step: gradient shape mismatch");
+  for (std::size_t l = 0; l < g.dw.size(); ++l) {
+    velocity_.dw[l] = momentum_ * velocity_.dw[l] + g.dw[l];
+    velocity_.db[l] = momentum_ * velocity_.db[l] + g.db[l];
+    net.weight(l) -= lr_ * velocity_.dw[l];
+    net.bias(l) -= lr_ * velocity_.db[l];
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double eps)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  OIC_REQUIRE(learning_rate > 0.0, "Adam: learning rate must be positive");
+  OIC_REQUIRE(beta1 >= 0.0 && beta1 < 1.0, "Adam: beta1 out of range");
+  OIC_REQUIRE(beta2 >= 0.0 && beta2 < 1.0, "Adam: beta2 out of range");
+}
+
+void Adam::step(Mlp& net, const Gradients& g) {
+  if (!initialized_) {
+    m_ = net.zero_gradients();
+    v_ = net.zero_gradients();
+    initialized_ = true;
+  }
+  OIC_REQUIRE(m_.dw.size() == g.dw.size(), "Adam::step: gradient shape mismatch");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t l = 0; l < g.dw.size(); ++l) {
+    auto& w = net.weight(l);
+    auto& b = net.bias(l);
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      for (std::size_t j = 0; j < w.cols(); ++j) {
+        const double grad = g.dw[l](i, j);
+        double& m = m_.dw[l](i, j);
+        double& v = v_.dw[l](i, j);
+        m = beta1_ * m + (1.0 - beta1_) * grad;
+        v = beta2_ * v + (1.0 - beta2_) * grad * grad;
+        w(i, j) -= lr_ * (m / bc1) / (std::sqrt(v / bc2) + eps_);
+      }
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const double grad = g.db[l][i];
+      double& m = m_.db[l][i];
+      double& v = v_.db[l][i];
+      m = beta1_ * m + (1.0 - beta1_) * grad;
+      v = beta2_ * v + (1.0 - beta2_) * grad * grad;
+      b[i] -= lr_ * (m / bc1) / (std::sqrt(v / bc2) + eps_);
+    }
+  }
+}
+
+}  // namespace oic::rl

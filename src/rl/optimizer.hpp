@@ -1,0 +1,46 @@
+#pragma once
+/// \file optimizer.hpp
+/// First-order optimizers for the Mlp parameters: SGD (with momentum) and
+/// Adam.  DQN training in the paper uses Adam-style adaptive steps; SGD is
+/// kept for ablations and tests.
+
+#include "rl/mlp.hpp"
+
+namespace oic::rl {
+
+/// Plain SGD with optional momentum:  v <- mu v + g;  theta <- theta - lr v.
+class Sgd {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0);
+
+  /// Apply one update from the given gradients.
+  void step(Mlp& net, const Gradients& g);
+
+ private:
+  double lr_;
+  double momentum_;
+  bool initialized_ = false;
+  Gradients velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam {
+ public:
+  explicit Adam(double learning_rate = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+
+  /// Apply one update from the given gradients.
+  void step(Mlp& net, const Gradients& g);
+
+  /// Number of updates applied so far.
+  std::size_t steps() const { return t_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  bool initialized_ = false;
+  Gradients m_;
+  Gradients v_;
+};
+
+}  // namespace oic::rl

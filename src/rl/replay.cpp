@@ -1,0 +1,34 @@
+#include "rl/replay.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : storage_(capacity) {
+  OIC_REQUIRE(capacity >= 1, "ReplayBuffer: capacity must be positive");
+}
+
+void ReplayBuffer::add(Transition t) {
+  storage_[head_] = std::move(t);
+  head_ = (head_ + 1) % storage_.size();
+  if (size_ < storage_.size()) ++size_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch, Rng& rng) const {
+  OIC_REQUIRE(size_ > 0, "ReplayBuffer::sample: buffer is empty");
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(size_) - 1));
+    out.push_back(&storage_[idx]);
+  }
+  return out;
+}
+
+const Transition& ReplayBuffer::at(std::size_t i) const {
+  OIC_REQUIRE(i < size_, "ReplayBuffer::at: index out of range");
+  return storage_[i];
+}
+
+}  // namespace oic::rl

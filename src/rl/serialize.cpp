@@ -1,0 +1,72 @@
+#include "rl/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace oic::rl {
+
+void save_mlp(const Mlp& net, std::ostream& os) {
+  os << "oic-mlp v1\n";
+  os << "sizes:";
+  for (std::size_t s : net.sizes()) os << ' ' << s;
+  os << '\n';
+  os << std::setprecision(17);
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const auto& w = net.weight(l);
+    for (std::size_t i = 0; i < w.rows(); ++i)
+      for (std::size_t j = 0; j < w.cols(); ++j) os << w(i, j) << '\n';
+    const auto& b = net.bias(l);
+    for (std::size_t i = 0; i < b.size(); ++i) os << b[i] << '\n';
+  }
+  if (!os) throw NumericalError("save_mlp: stream write failed");
+}
+
+Mlp load_mlp(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  if (!is || magic != "oic-mlp" || version != "v1") {
+    throw NumericalError("load_mlp: bad magic/version header");
+  }
+  std::string sizes_tag;
+  is >> sizes_tag;
+  if (!is || sizes_tag != "sizes:") throw NumericalError("load_mlp: missing sizes");
+  std::vector<std::size_t> sizes;
+  {
+    std::string line;
+    std::getline(is, line);
+    std::istringstream ls(line);
+    std::size_t v;
+    while (ls >> v) sizes.push_back(v);
+  }
+  if (sizes.size() < 2) throw NumericalError("load_mlp: need at least two layer sizes");
+
+  Rng dummy(0);
+  Mlp net(sizes, dummy);
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    auto& w = net.weight(l);
+    for (std::size_t i = 0; i < w.rows(); ++i)
+      for (std::size_t j = 0; j < w.cols(); ++j)
+        if (!(is >> w(i, j))) throw NumericalError("load_mlp: truncated weights");
+    auto& b = net.bias(l);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      if (!(is >> b[i])) throw NumericalError("load_mlp: truncated biases");
+  }
+  return net;
+}
+
+void save_mlp_file(const Mlp& net, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw NumericalError("save_mlp_file: cannot open " + path);
+  save_mlp(net, os);
+}
+
+Mlp load_mlp_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NumericalError("load_mlp_file: cannot open " + path);
+  return load_mlp(is);
+}
+
+}  // namespace oic::rl

@@ -1,0 +1,30 @@
+#pragma once
+/// \file serialize.hpp
+/// Plain-text serialization of Mlp parameters so trained skipping agents
+/// can be stored and deployed without retraining (the paper trains offline
+/// and deploys the frozen policy online -- this is the "deploy" half).
+///
+/// Format (line-oriented, locale-independent, versioned):
+///   oic-mlp v1
+///   sizes: n0 n1 ... nk
+///   <weights layer 0 row-major> <biases layer 0> ... (one value per token)
+
+#include <iosfwd>
+#include <string>
+
+#include "rl/mlp.hpp"
+
+namespace oic::rl {
+
+/// Write the network to a stream.  Throws on I/O failure.
+void save_mlp(const Mlp& net, std::ostream& os);
+
+/// Read a network written by save_mlp.  Throws NumericalError on malformed
+/// input (wrong magic, dimension mismatch, truncated data).
+Mlp load_mlp(std::istream& is);
+
+/// Convenience file wrappers.
+void save_mlp_file(const Mlp& net, const std::string& path);
+Mlp load_mlp_file(const std::string& path);
+
+}  // namespace oic::rl

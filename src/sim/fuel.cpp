@@ -1,0 +1,44 @@
+#include "sim/fuel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oic::sim {
+
+FuelModel::FuelModel(FuelParams params) : params_(params) {
+  OIC_REQUIRE(params_.mass > 0.0, "FuelModel: mass must be positive");
+  OIC_REQUIRE(params_.idle_rate >= 0.0, "FuelModel: idle rate must be non-negative");
+  OIC_REQUIRE(params_.willans_slope >= 0.0,
+              "FuelModel: willans slope must be non-negative");
+  OIC_REQUIRE(params_.regen_fraction >= 0.0 && params_.regen_fraction <= 1.0,
+              "FuelModel: regen fraction must be a fraction");
+}
+
+double FuelModel::power_kw(double v, double a) const {
+  const double v_abs = std::max(v, 0.0);
+  const double inertial = params_.mass * a * v_abs;
+  const double aero = 0.5 * params_.air_density * params_.drag_coeff *
+                      params_.frontal_area * v_abs * v_abs * v_abs;
+  const double rolling = params_.mass * params_.gravity * params_.rolling_coeff * v_abs;
+  return (inertial + aero + rolling) / 1000.0;
+}
+
+double FuelModel::rate(double v, double a) const {
+  const double p = power_kw(v, a);
+  if (p <= 0.0) {
+    // Overrun: engine at idle, optionally crediting regenerated energy
+    // (never below zero consumption).
+    return std::max(0.0, params_.idle_rate -
+                             params_.regen_fraction * params_.willans_slope * (-p));
+  }
+  return params_.idle_rate + params_.willans_slope * p;
+}
+
+double FuelModel::consume(double v, double a, double dt) const {
+  OIC_REQUIRE(dt >= 0.0, "FuelModel::consume: dt must be non-negative");
+  return rate(v, a) * dt;
+}
+
+}  // namespace oic::sim

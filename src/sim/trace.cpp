@@ -1,0 +1,25 @@
+#include "sim/trace.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::sim {
+
+void Trace::add(TraceStep step) {
+  total_fuel_ += step.fuel;
+  total_energy_ += step.u.norm1();
+  if (step.z == 0) ++skipped_;
+  if (step.forced) ++forced_;
+  steps_.push_back(std::move(step));
+}
+
+const TraceStep& Trace::operator[](std::size_t i) const {
+  OIC_REQUIRE(i < steps_.size(), "Trace: step index out of range");
+  return steps_[i];
+}
+
+double Trace::skip_ratio() const {
+  if (steps_.empty()) return 0.0;
+  return static_cast<double>(skipped_) / static_cast<double>(steps_.size());
+}
+
+}  // namespace oic::sim

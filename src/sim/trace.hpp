@@ -1,0 +1,66 @@
+#pragma once
+/// \file trace.hpp
+/// Closed-loop simulation traces and the aggregate metrics the paper's
+/// evaluation reports: fuel consumption, actuation energy sum ||u||_1,
+/// skip counts, and safety-violation counters.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace oic::sim {
+
+/// One simulated control period.
+struct TraceStep {
+  std::size_t t = 0;          ///< step index
+  linalg::Vector x;           ///< plant state at the start of the period
+  linalg::Vector u;           ///< actuated input
+  int z = 1;                  ///< skipping choice (1 = controller ran)
+  bool forced = false;        ///< monitor forced z = 1 (x outside X')
+  double fuel = 0.0;          ///< fuel consumed in this period (ml)
+  double disturbance = 0.0;   ///< scalar disturbance applied (experiment logs)
+};
+
+/// A full rollout plus cached aggregates.
+class Trace {
+ public:
+  /// Append one step.
+  void add(TraceStep step);
+
+  /// Number of recorded steps.
+  std::size_t size() const { return steps_.size(); }
+
+  /// Step access.
+  const TraceStep& operator[](std::size_t i) const;
+
+  /// Sum of per-step fuel (ml).
+  double total_fuel() const { return total_fuel_; }
+
+  /// Sum of ||u(t)||_1 -- the paper's actuation-energy objective (Problem 1).
+  double total_energy() const { return total_energy_; }
+
+  /// Steps where the underlying controller was skipped (z = 0).
+  std::size_t skipped_steps() const { return skipped_; }
+
+  /// Steps where the monitor forced the controller to run.
+  std::size_t forced_steps() const { return forced_; }
+
+  /// Steps where the controller ran (z = 1).
+  std::size_t controller_steps() const { return steps_.size() - skipped_; }
+
+  /// Fraction of steps skipped.
+  double skip_ratio() const;
+
+  /// All steps (read-only).
+  const std::vector<TraceStep>& steps() const { return steps_; }
+
+ private:
+  std::vector<TraceStep> steps_;
+  double total_fuel_ = 0.0;
+  double total_energy_ = 0.0;
+  std::size_t skipped_ = 0;
+  std::size_t forced_ = 0;
+};
+
+}  // namespace oic::sim

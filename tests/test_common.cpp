@@ -1,0 +1,138 @@
+// Unit tests for oic::common - error macros, RNG determinism, statistics.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using oic::Histogram;
+using oic::Rng;
+
+TEST(Error, RequireThrowsPrecondition) {
+  EXPECT_THROW(OIC_REQUIRE(false, "boom"), oic::PreconditionError);
+  EXPECT_NO_THROW(OIC_REQUIRE(true, "fine"));
+}
+
+TEST(Error, CheckThrowsInternal) {
+  EXPECT_THROW(OIC_CHECK(false, "bug"), oic::InternalError);
+  EXPECT_NO_THROW(OIC_CHECK(true, "fine"));
+}
+
+TEST(Error, MessageContainsContext) {
+  try {
+    OIC_REQUIRE(1 == 2, "my message");
+    FAIL() << "expected throw";
+  } catch (const oic::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my message"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LE(x, 5.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(7);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 2000; ++i) ++seen[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, BernoulliRespectsProbabilityRoughly) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, UniformBoxDimensionsAndRanges) {
+  Rng rng(3);
+  const auto x = rng.uniform_box({0.0, -1.0}, {1.0, 1.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_GE(x[0], 0.0);
+  EXPECT_LE(x[0], 1.0);
+  EXPECT_GE(x[1], -1.0);
+  EXPECT_LE(x[1], 1.0);
+}
+
+TEST(Rng, SplitStreamsAreIndependentButDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng c1 = parent1.split();
+  Rng c2 = parent2.split();
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(c1.uniform(0, 1), c2.uniform(0, 1));
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), oic::PreconditionError);
+  EXPECT_THROW(rng.bernoulli(1.5), oic::PreconditionError);
+  EXPECT_THROW(rng.normal(0.0, -1.0), oic::PreconditionError);
+}
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(oic::mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(oic::mean({}), 0.0);
+  EXPECT_NEAR(oic::stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138089935, 1e-8);
+  EXPECT_DOUBLE_EQ(oic::stddev({5.0}), 0.0);
+}
+
+TEST(Stats, MinMaxMedian) {
+  EXPECT_DOUBLE_EQ(oic::min_of({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(oic::max_of({3, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(oic::median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(oic::median({4, 1, 2, 3}), 2.5);
+  EXPECT_THROW(oic::median({}), oic::PreconditionError);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 0.6, 6);
+  h.add(0.05);   // bucket 0
+  h.add(0.15);   // bucket 1
+  h.add(0.15);   // bucket 1
+  h.add(-0.3);   // clamps to bucket 0
+  h.add(0.99);   // clamps to bucket 5
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, LabelsMatchPaperStyle) {
+  Histogram h(0.0, 0.6, 6);
+  EXPECT_EQ(h.label(0, true), "0%-10%");
+  EXPECT_EQ(h.label(5, true), "50%-60%");
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 3), oic::PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), oic::PreconditionError);
+}
+
+}  // namespace

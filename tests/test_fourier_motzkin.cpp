@@ -1,0 +1,125 @@
+// Tests for Fourier-Motzkin elimination / projection.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "poly/fourier_motzkin.hpp"
+#include "poly/hpolytope.hpp"
+
+namespace {
+
+using oic::linalg::Matrix;
+using oic::linalg::Vector;
+using oic::poly::eliminate_variable;
+using oic::poly::HPolytope;
+using oic::poly::project;
+using oic::poly::project_prefix;
+
+TEST(FourierMotzkin, ProjectBoxDropsCoordinate) {
+  const HPolytope box = HPolytope::box(Vector{-1, -2, -3}, Vector{1, 2, 3});
+  const HPolytope p = project_prefix(box, 2);
+  ASSERT_EQ(p.dim(), 2u);
+  EXPECT_TRUE(approx_equal(p, HPolytope::box(Vector{-1, -2}, Vector{1, 2}), 1e-7));
+}
+
+TEST(FourierMotzkin, EliminateMiddleVariable) {
+  const HPolytope box = HPolytope::box(Vector{-1, -2, -3}, Vector{1, 2, 3});
+  const HPolytope p = eliminate_variable(box, 1);
+  ASSERT_EQ(p.dim(), 2u);
+  // Remaining coordinates are (x0, x2).
+  EXPECT_TRUE(approx_equal(p, HPolytope::box(Vector{-1, -3}, Vector{1, 3}), 1e-7));
+}
+
+TEST(FourierMotzkin, ProjectionOfSimplex) {
+  // Simplex x,y,z >= 0, x+y+z <= 1 projected to (x,y): triangle x,y >= 0, x+y <= 1.
+  Matrix a{{-1, 0, 0}, {0, -1, 0}, {0, 0, -1}, {1, 1, 1}};
+  Vector b{0, 0, 0, 1};
+  const HPolytope simplex(a, b);
+  const HPolytope tri = project_prefix(simplex, 2);
+  EXPECT_TRUE(tri.contains(Vector{0.5, 0.5}));
+  EXPECT_TRUE(tri.contains(Vector{0, 0}));
+  EXPECT_FALSE(tri.contains(Vector{0.7, 0.7}));
+}
+
+TEST(FourierMotzkin, CouplingConstraintPropagates) {
+  // { (x, u) | 0 <= u <= 1, x = 2u } projected onto x gives [0, 2].
+  Matrix a{{0, 1}, {0, -1}, {1, -2}, {-1, 2}};
+  Vector b{1, 0, 0, 0};
+  const HPolytope p(a, b);
+  const HPolytope px = project_prefix(p, 1);
+  const auto bb = px.bounding_box();
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_NEAR(bb->first[0], 0.0, 1e-7);
+  EXPECT_NEAR(bb->second[0], 2.0, 1e-7);
+}
+
+TEST(FourierMotzkin, ProjectArbitraryCoordinates) {
+  const HPolytope box = HPolytope::box(Vector{0, 10, 20}, Vector{1, 11, 21});
+  const HPolytope p = project(box, {2, 0});
+  // Kept order (x2, x0).
+  ASSERT_EQ(p.dim(), 2u);
+  EXPECT_TRUE(p.contains(Vector{20.5, 0.5}));
+  EXPECT_FALSE(p.contains(Vector{0.5, 20.5}));
+}
+
+TEST(FourierMotzkin, ProjectionPreservesEmptiness) {
+  Matrix a{{1, 0}, {-1, 0}};
+  Vector b{0.0, -1.0};  // x <= 0 and x >= 1
+  const HPolytope empty(a, b);
+  const HPolytope p = eliminate_variable(empty, 1);
+  EXPECT_TRUE(p.is_empty());
+}
+
+TEST(FourierMotzkin, UnboundedVariableEliminationKeepsRest) {
+  // { (x, y) | 0 <= x <= 1 } with y free: eliminating y returns [0, 1].
+  Matrix a{{1, 0}, {-1, 0}};
+  Vector b{1.0, 0.0};
+  const HPolytope p(a, b);
+  const HPolytope q = eliminate_variable(p, 1);
+  ASSERT_EQ(q.dim(), 1u);
+  EXPECT_TRUE(q.contains(Vector{0.5}));
+  EXPECT_FALSE(q.contains(Vector{1.5}));
+}
+
+TEST(FourierMotzkin, InvalidVariableThrows) {
+  const HPolytope box = HPolytope::box(Vector{0}, Vector{1});
+  EXPECT_THROW(eliminate_variable(box, 1), oic::PreconditionError);
+  EXPECT_THROW(project(box, {0, 0}), oic::PreconditionError);
+}
+
+// Property: projection commutes with membership on random boxes rotated by
+// shear maps -- a point is in the projection iff some lift is feasible, which
+// for boxes can be checked directly.
+class ProjectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionProperty, ProjectionMatchesSupportFunction) {
+  // For any polytope P and projection pi onto coordinates K,
+  //   h_{pi(P)}(d) = h_P(lift(d)).
+  oic::Rng rng{static_cast<std::uint64_t>(GetParam() * 977 + 3)};
+  // Random bounded 3-D polytope: box intersected with random halfspaces.
+  HPolytope p = HPolytope::box(Vector{-2, -2, -2}, Vector{2, 2, 2});
+  Matrix extra(3, 3);
+  Vector be(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) extra(i, j) = rng.uniform(-1, 1);
+    be[i] = rng.uniform(0.5, 2.0);
+  }
+  p = p.intersect(HPolytope(extra, be));
+  ASSERT_FALSE(p.is_empty());
+
+  const HPolytope proj = project_prefix(p, 2);
+  for (int k = 0; k < 8; ++k) {
+    Vector d2{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (d2.norm2() < 1e-6) continue;
+    Vector d3{d2[0], d2[1], 0.0};
+    const auto s2 = proj.support(d2);
+    const auto s3 = p.support(d3);
+    ASSERT_TRUE(s2.bounded && s3.bounded);
+    EXPECT_NEAR(s2.value, s3.value, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionProperty, ::testing::Range(0, 20));
+
+}  // namespace

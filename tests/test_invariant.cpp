@@ -1,0 +1,219 @@
+// Tests for invariant-set computations: mRPI outer approximation, maximal
+// RPI, and the maximal robust control invariant set of Definition 1.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "control/invariant.hpp"
+#include "control/lqr.hpp"
+#include "control/lti.hpp"
+
+namespace {
+
+using oic::control::AffineLTI;
+using oic::control::InvariantOptions;
+using oic::control::maximal_robust_control_invariant;
+using oic::control::maximal_rpi;
+using oic::control::mrpi_outer;
+using oic::control::MrpiOptions;
+using oic::linalg::Matrix;
+using oic::linalg::Vector;
+using oic::poly::HPolytope;
+
+AffineLTI double_integrator(double wmag = 0.02) {
+  const double dt = 0.1;
+  Matrix a{{1, dt}, {0, 1}};
+  Matrix b{{0.5 * dt * dt}, {dt}};
+  return AffineLTI::canonical(a, b, HPolytope::sym_box(Vector{5, 5}),
+                              HPolytope::sym_box(Vector{2}),
+                              HPolytope::sym_box(Vector{wmag, wmag}));
+}
+
+TEST(MrpiOuter, ScalarContractionMatchesClosedForm) {
+  // x+ = 0.5 x + w, |w| <= 1: the minimal RPI set is [-2, 2].
+  // With contraction factor alpha the outer approximation is
+  // [-2, 2] * 1/(1-alpha)-ish but converges as alpha -> small.
+  Matrix a{{0.5, 0.0}, {0.0, 0.5}};
+  const HPolytope w = HPolytope::sym_box(Vector{1.0, 1.0});
+  MrpiOptions opt;
+  opt.alpha = 0.01;
+  const auto res = mrpi_outer(a, w, opt);
+  const auto bb = res.set.bounding_box();
+  ASSERT_TRUE(bb.has_value());
+  // True minimal RPI: sum of 0.5^i = 2.  Outer approx within 1/(1-alpha).
+  EXPECT_GE(bb->second[0], 2.0 - 1e-9);
+  EXPECT_LE(bb->second[0], 2.0 / (1 - opt.alpha) + 1e-9);
+}
+
+TEST(MrpiOuter, SetIsRobustlyInvariant) {
+  // The mRPI outer approximation must itself be robust positively invariant:
+  // A F + W inside F.
+  const AffineLTI sys = double_integrator();
+  const auto lqr = oic::control::dlqr(sys.a(), sys.b(), Matrix::identity(2),
+                                      Matrix{{1.0}});
+  const Matrix a_cl = sys.a() + sys.b() * lqr.k;
+  const auto res = mrpi_outer(a_cl, sys.disturbance_in_state_space());
+  // Check via support functions: h_{A F (+) W}(d_i) <= b_i for each facet.
+  const HPolytope& f = res.set;
+  const HPolytope w = sys.disturbance_in_state_space();
+  for (std::size_t i = 0; i < f.num_constraints(); ++i) {
+    const Vector di = f.normal(i);
+    const auto sf = f.support(oic::linalg::transpose_mul(a_cl, di));
+    const auto sw = w.support(di);
+    ASSERT_TRUE(sf.bounded && sw.bounded);
+    EXPECT_LE(sf.value + sw.value, f.offset(i) + 1e-7);
+  }
+}
+
+TEST(MrpiOuter, UnstableDynamicsRejected) {
+  Matrix a{{1.5, 0.0}, {0.0, 0.3}};
+  MrpiOptions opt;
+  opt.max_order = 20;
+  EXPECT_THROW(mrpi_outer(a, HPolytope::sym_box(Vector{1, 1}), opt),
+               oic::NumericalError);
+}
+
+TEST(MrpiOuter, HigherOrderGivesTighterSet) {
+  Matrix a{{0.9, 0.0}, {0.0, 0.9}};
+  const HPolytope w = HPolytope::sym_box(Vector{1, 1});
+  MrpiOptions loose, tight;
+  loose.alpha = 0.5;
+  tight.alpha = 0.02;
+  const auto r_loose = mrpi_outer(a, w, loose);
+  const auto r_tight = mrpi_outer(a, w, tight);
+  EXPECT_GT(r_tight.order, r_loose.order);
+  EXPECT_TRUE(contains_polytope(r_loose.set, r_tight.set, 1e-6));
+}
+
+TEST(MaximalRpi, StableScalarKeepsWholeBoxWhenDisturbanceSmall) {
+  // x+ = 0.5x + d, |d| <= 0.1, constraint |x| <= 1.  Every |x| <= 1 maps to
+  // |x+| <= 0.6 < 1, so the whole box is invariant.
+  const auto res = maximal_rpi(Matrix{{0.5}}, Vector{0.0},
+                               HPolytope::sym_box(Vector{0.1}),
+                               HPolytope::sym_box(Vector{1.0}));
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(approx_equal(res.set, HPolytope::sym_box(Vector{1.0}), 1e-7));
+  EXPECT_EQ(res.iterations, 1u);
+}
+
+TEST(MaximalRpi, ShrinksWhenDynamicsPush) {
+  // Stable shear: x+ = 0.9x + 0.5y, y+ = 0.9y.  The invariant subset of the
+  // unit box excludes corner states whose shear pushes them out.
+  Matrix a{{0.9, 0.5}, {0.0, 0.9}};
+  const auto res = maximal_rpi(a, Vector{0, 0}, HPolytope::sym_box(Vector{0.0, 0.0}),
+                               HPolytope::sym_box(Vector{1.0, 1.0}));
+  ASSERT_TRUE(res.converged);
+  // (1, 1) maps to (1.4, 0.9): out of the box, so not in the invariant set.
+  EXPECT_FALSE(res.set.contains(Vector{1.0, 1.0}, 1e-6));
+  // The x-axis segment is invariant (0.9-contractive there).
+  EXPECT_TRUE(res.set.contains(Vector{0.5, 0.0}, 1e-6));
+}
+
+TEST(MaximalRpi, MarginallyStableShearReportsNonConvergence) {
+  // x+ = x + 0.5y, y+ = y: the maximal invariant set is the measure-zero
+  // x-axis segment, which the polytopic fixed point only approaches
+  // asymptotically.  The iteration must terminate and say so honestly.
+  Matrix a{{1.0, 0.5}, {0.0, 1.0}};
+  oic::control::InvariantOptions opt;
+  opt.max_iterations = 30;
+  const auto res = maximal_rpi(a, Vector{0, 0}, HPolytope::sym_box(Vector{0.0, 0.0}),
+                               HPolytope::sym_box(Vector{1.0, 1.0}), opt);
+  EXPECT_FALSE(res.converged);
+  // Iterates still shrink toward the axis: after 30 sweeps the y-extent is
+  // well below the starting unit box.
+  const auto bb = res.set.bounding_box();
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_LT(bb->second[1], 0.15);
+}
+
+TEST(MaximalRpi, EmptyWhenDisturbanceDominates) {
+  // x+ = x + d, |d| <= 1, |x| <= 0.4: no invariant subset survives.
+  const auto res = maximal_rpi(Matrix{{1.0}}, Vector{0.0},
+                               HPolytope::sym_box(Vector{1.0}),
+                               HPolytope::sym_box(Vector{0.4}));
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(res.set.is_empty());
+}
+
+TEST(MaximalRpi, InvarianceVerifiedBySimulation) {
+  const AffineLTI sys = double_integrator(0.05);
+  const auto lqr = oic::control::dlqr(sys.a(), sys.b(), Matrix::identity(2),
+                                      Matrix{{1.0}});
+  const auto res = maximal_robust_control_invariant(sys, lqr.k, Vector{0.0});
+  ASSERT_TRUE(res.converged);
+  ASSERT_FALSE(res.set.is_empty());
+
+  // Random rollouts from random interior points must stay inside.
+  oic::Rng rng(2024);
+  const auto bb = res.set.bounding_box();
+  ASSERT_TRUE(bb.has_value());
+  int tested = 0;
+  for (int trial = 0; trial < 200 && tested < 40; ++trial) {
+    Vector x{rng.uniform(bb->first[0], bb->second[0]),
+             rng.uniform(bb->first[1], bb->second[1])};
+    if (!res.set.contains(x, -1e-6)) continue;  // want strict interior-ish
+    ++tested;
+    for (int t = 0; t < 60; ++t) {
+      const Vector u = lqr.k * x;
+      ASSERT_TRUE(sys.u_set().contains(u, 1e-6))
+          << "input constraint violated inside the invariant set";
+      const Vector w{rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05)};
+      x = sys.step(x, u, w);
+      ASSERT_TRUE(res.set.contains(x, 1e-6)) << "left the invariant set at step " << t;
+    }
+  }
+  EXPECT_GT(tested, 10);
+}
+
+TEST(MaximalRci, IsRobustInvariantPredicate) {
+  const AffineLTI sys = double_integrator(0.05);
+  const auto lqr = oic::control::dlqr(sys.a(), sys.b(), Matrix::identity(2),
+                                      Matrix{{1.0}});
+  const auto res = maximal_robust_control_invariant(sys, lqr.k, Vector{0.0});
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(oic::control::is_robust_invariant(sys, lqr.k, Vector{0.0}, res.set));
+  // The whole state box is NOT robust invariant (inputs saturate).
+  EXPECT_FALSE(
+      oic::control::is_robust_invariant(sys, lqr.k, Vector{0.0}, sys.x_set()));
+}
+
+TEST(MaximalRci, SubsetOfStateConstraint) {
+  const AffineLTI sys = double_integrator(0.05);
+  const auto lqr = oic::control::dlqr(sys.a(), sys.b(), Matrix::identity(2),
+                                      Matrix{{1.0}});
+  const auto res = maximal_robust_control_invariant(sys, lqr.k, Vector{0.0});
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(contains_polytope(sys.x_set(), res.set, 1e-6));
+}
+
+// Property sweep: for random stable 2-D closed loops, the mRPI outer
+// approximation is invariant and contains the disturbance set.
+class MrpiProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrpiProperty, OuterSetInvariantAndContainsW) {
+  oic::Rng rng{static_cast<std::uint64_t>(GetParam() * 7 + 1)};
+  // Random contraction: rho < 0.95 guaranteed by construction.
+  const double r1 = rng.uniform(0.2, 0.9);
+  const double r2 = rng.uniform(0.2, 0.9);
+  const double shear = rng.uniform(-0.3, 0.3);
+  Matrix a{{r1, shear}, {0.0, r2}};
+  const HPolytope w = HPolytope::sym_box(
+      Vector{rng.uniform(0.05, 0.5), rng.uniform(0.05, 0.5)});
+  const auto res = mrpi_outer(a, w);
+  const HPolytope& f = res.set;
+  // W inside F (since F = sum includes the identity term).
+  EXPECT_TRUE(contains_polytope(f, w, 1e-6));
+  // Invariance via support functions.
+  for (std::size_t i = 0; i < f.num_constraints(); ++i) {
+    const Vector di = f.normal(i);
+    const auto sf = f.support(oic::linalg::transpose_mul(a, di));
+    const auto sw = w.support(di);
+    ASSERT_TRUE(sf.bounded && sw.bounded);
+    EXPECT_LE(sf.value + sw.value, f.offset(i) + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrpiProperty, ::testing::Range(0, 25));
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Unit and property tests for the two-phase simplex (oic::lp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "linalg/vector.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace {
+
+using oic::linalg::Vector;
+using oic::lp::Problem;
+using oic::lp::Relation;
+using oic::lp::Result;
+using oic::lp::Status;
+
+TEST(Simplex, SimpleBoundedMinimum) {
+  // min x + y  s.t. x + y >= 1, x,y >= 0  ->  objective 1.
+  Problem p(2);
+  p.set_objective(Vector{1, 1});
+  p.set_bounds(0, 0.0, Problem::kInf);
+  p.set_bounds(1, 0.0, Problem::kInf);
+  p.add_constraint(Vector{1, 1}, Relation::kGreaterEq, 1.0);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, ClassicMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6) with value 36 (textbook Dantzig example).
+  Problem p(2);
+  p.set_objective(Vector{-3, -5});
+  p.set_bounds(0, 0.0, Problem::kInf);
+  p.set_bounds(1, 0.0, Problem::kInf);
+  p.add_constraint(Vector{1, 0}, Relation::kLessEq, 4.0);
+  p.add_constraint(Vector{0, 2}, Relation::kLessEq, 12.0);
+  p.add_constraint(Vector{3, 2}, Relation::kLessEq, 18.0);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -36.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-8);
+}
+
+TEST(Simplex, FreeVariables) {
+  // min x s.t. x >= -7 with x free: optimum -7.
+  Problem p(1);
+  p.set_objective(Vector{1});
+  p.add_constraint(Vector{1}, Relation::kGreaterEq, -7.0);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -7.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min 2x + 3y s.t. x + y = 4, x - y = 0  ->  x = y = 2, objective 10.
+  Problem p(2);
+  p.set_objective(Vector{2, 3});
+  p.add_constraint(Vector{1, 1}, Relation::kEqual, 4.0);
+  p.add_constraint(Vector{1, -1}, Relation::kEqual, 0.0);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-8);
+  EXPECT_NEAR(r.objective, 10.0, 1e-8);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Problem p(1);
+  p.add_constraint(Vector{1}, Relation::kLessEq, 0.0);
+  p.add_constraint(Vector{1}, Relation::kGreaterEq, 1.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Problem p(1);
+  p.set_objective(Vector{-1});  // maximize x
+  p.add_constraint(Vector{1}, Relation::kGreaterEq, 0.0);
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, VariableBoundsRespected) {
+  // min -x - y with box bounds: solution at the upper corner.
+  Problem p(2);
+  p.set_objective(Vector{-1, -1});
+  p.set_bounds(0, -1.0, 2.0);
+  p.set_bounds(1, 0.5, 1.5);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 1.5, 1e-8);
+}
+
+TEST(Simplex, UpperBoundOnlyVariable) {
+  // min x with x <= 3 (no lower bound) is unbounded.
+  Problem p(1);
+  p.set_objective(Vector{1});
+  p.set_bounds(0, -Problem::kInf, 3.0);
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+  // max x with x <= 3 hits the bound.
+  p.set_objective(Vector{-1});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsRowsNormalizedCorrectly) {
+  // min y s.t. -x - y <= -2 (i.e. x + y >= 2), 0 <= x <= 1, y >= 0.
+  Problem p(2);
+  p.set_objective(Vector{0, 1});
+  p.set_bounds(0, 0.0, 1.0);
+  p.set_bounds(1, 0.0, Problem::kInf);
+  p.add_constraint(Vector{-1, -1}, Relation::kLessEq, -2.0);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-8);  // y = 2 - x >= 1
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-style degeneracy: many redundant rows through the optimum.
+  Problem p(2);
+  p.set_objective(Vector{-1, 0});
+  p.set_bounds(0, 0.0, Problem::kInf);
+  p.set_bounds(1, 0.0, Problem::kInf);
+  for (int i = 0; i < 20; ++i) {
+    p.add_constraint(Vector{1.0, static_cast<double>(i) * 1e-3}, Relation::kLessEq, 1.0);
+  }
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-7);
+}
+
+TEST(Simplex, ObjectiveOffsetWithShiftedVariables) {
+  // min x with -5 <= x <= -2: optimum -5 (bounds both negative exercises
+  // the shifted-variable bookkeeping).
+  Problem p(1);
+  p.set_objective(Vector{1});
+  p.set_bounds(0, -5.0, -2.0);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-9);
+}
+
+TEST(Simplex, OneNormMinimizationViaSplit) {
+  // min |x - 3| as min p + q with x - 3 = p - q, p,q >= 0.
+  Problem p(3);  // x, pos, neg
+  p.set_objective(Vector{0, 1, 1});
+  p.set_bounds(1, 0.0, Problem::kInf);
+  p.set_bounds(2, 0.0, Problem::kInf);
+  p.add_constraint(Vector{1, -1, 1}, Relation::kEqual, 3.0);
+  p.add_constraint(Vector{1, 0, 0}, Relation::kLessEq, 10.0);
+  p.add_constraint(Vector{1, 0, 0}, Relation::kGreaterEq, -10.0);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-8);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-7);
+}
+
+// Property: for random feasible bounded LPs over a box, the simplex optimum
+// must (a) be feasible and (b) not beat exhaustive corner enumeration
+// (for LPs over boxes the optimum is at a box corner).
+class BoxLpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxLpProperty, MatchesCornerEnumeration) {
+  oic::Rng rng{static_cast<std::uint64_t>(GetParam() * 7919 + 13)};
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  Vector c(n), lo(n), hi(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    c[j] = rng.uniform(-2, 2);
+    lo[j] = rng.uniform(-3, 0);
+    hi[j] = lo[j] + rng.uniform(0.1, 4.0);
+  }
+  Problem p(n);
+  p.set_objective(c);
+  for (std::size_t j = 0; j < n; ++j) p.set_bounds(j, lo[j], hi[j]);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      v += c[j] * (((mask >> j) & 1u) ? hi[j] : lo[j]);
+    best = std::min(best, v);
+  }
+  EXPECT_NEAR(r.objective, best, 1e-7);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_GE(r.x[j], lo[j] - 1e-7);
+    EXPECT_LE(r.x[j], hi[j] + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxLpProperty, ::testing::Range(0, 40));
+
+// Property: duality spot-check on random inequality-form LPs.
+// min c.x s.t. Ax >= b, x >= 0 has dual max b.y s.t. A^T y <= c, y >= 0.
+class DualityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualityProperty, WeakDualityHolds) {
+  oic::Rng rng{static_cast<std::uint64_t>(GetParam() * 104729 + 7)};
+  const std::size_t n = 3, m = 3;
+  std::vector<Vector> rows;
+  Vector b(m), c(n);
+  for (std::size_t j = 0; j < n; ++j) c[j] = rng.uniform(0.5, 3.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    Vector a(n);
+    for (std::size_t j = 0; j < n; ++j) a[j] = rng.uniform(0.1, 2.0);
+    rows.push_back(a);
+    b[i] = rng.uniform(0.1, 2.0);
+  }
+
+  Problem primal(n);
+  primal.set_objective(c);
+  for (std::size_t j = 0; j < n; ++j) primal.set_bounds(j, 0.0, Problem::kInf);
+  for (std::size_t i = 0; i < m; ++i)
+    primal.add_constraint(rows[i], Relation::kGreaterEq, b[i]);
+  const Result rp = solve(primal);
+  ASSERT_EQ(rp.status, Status::kOptimal);
+
+  Problem dual(m);
+  Vector negb = -b;
+  dual.set_objective(negb);  // maximize b.y
+  for (std::size_t i = 0; i < m; ++i) dual.set_bounds(i, 0.0, Problem::kInf);
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector col(m);
+    for (std::size_t i = 0; i < m; ++i) col[i] = rows[i][j];
+    dual.add_constraint(col, Relation::kLessEq, c[j]);
+  }
+  const Result rd = solve(dual);
+  ASSERT_EQ(rd.status, Status::kOptimal);
+
+  // Strong duality for feasible bounded LPs.
+  EXPECT_NEAR(rp.objective, -rd.objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualityProperty, ::testing::Range(0, 25));
+
+}  // namespace

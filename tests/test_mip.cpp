@@ -1,0 +1,174 @@
+// Tests for the branch & bound MIP solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "mip/mip.hpp"
+
+namespace {
+
+using oic::linalg::Vector;
+using oic::lp::Relation;
+using oic::mip::MipProblem;
+using oic::mip::MipResult;
+using oic::mip::MipStatus;
+
+TEST(Mip, PureLpPassesThrough) {
+  // No integer variables: result equals the LP optimum.
+  MipProblem p(2);
+  p.lp().set_objective(Vector{1, 1});
+  p.lp().set_bounds(0, 0.0, oic::lp::Problem::kInf);
+  p.lp().set_bounds(1, 0.0, oic::lp::Problem::kInf);
+  p.lp().add_constraint(Vector{1, 1}, Relation::kGreaterEq, 1.5);
+  const MipResult r = solve(p);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.5, 1e-8);
+}
+
+TEST(Mip, SimpleBinaryChoice) {
+  // min x + 2y, x + y >= 1, x, y binary: optimum x = 1, y = 0.
+  MipProblem p(2);
+  p.lp().set_objective(Vector{1, 2});
+  p.set_binary(0);
+  p.set_binary(1);
+  p.lp().add_constraint(Vector{1, 1}, Relation::kGreaterEq, 1.0);
+  const MipResult r = solve(p);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-8);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-9);
+}
+
+TEST(Mip, KnapsackSmall) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary.
+  // Feasible best: b + c (weight 6, value 20).
+  MipProblem p(3);
+  p.lp().set_objective(Vector{-10, -13, -7});
+  for (std::size_t j = 0; j < 3; ++j) p.set_binary(j);
+  p.lp().add_constraint(Vector{3, 4, 2}, Relation::kLessEq, 6.0);
+  const MipResult r = solve(p);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -20.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[2], 1.0, 1e-9);
+}
+
+TEST(Mip, IntegerRounding) {
+  // min -x with x <= 2.5, x integer >= 0: optimum x = 2.
+  MipProblem p(1);
+  p.lp().set_objective(Vector{-1});
+  p.set_integer(0);
+  p.lp().set_bounds(0, 0.0, oic::lp::Problem::kInf);
+  p.lp().add_constraint(Vector{1}, Relation::kLessEq, 2.5);
+  const MipResult r = solve(p);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+}
+
+TEST(Mip, InfeasibleIntegerDetected) {
+  // 0.4 <= x <= 0.6 with x integer: no integer point.
+  MipProblem p(1);
+  p.set_integer(0);
+  p.lp().set_bounds(0, 0.4, 0.6);
+  const MipResult r = solve(p);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+  EXPECT_FALSE(r.has_incumbent);
+}
+
+TEST(Mip, LpInfeasibleDetected) {
+  MipProblem p(1);
+  p.set_binary(0);
+  p.lp().add_constraint(Vector{1}, Relation::kGreaterEq, 2.0);
+  EXPECT_EQ(solve(p).status, MipStatus::kInfeasible);
+}
+
+TEST(Mip, UnboundedDetected) {
+  MipProblem p(2);
+  p.set_binary(0);
+  p.lp().set_objective(Vector{0, 1});  // y free, minimize y
+  const MipResult r = solve(p);
+  EXPECT_EQ(r.status, MipStatus::kUnbounded);
+}
+
+TEST(Mip, MixedIntegerContinuous) {
+  // min y s.t. y >= 1.3 z, y >= 0.8 (1 - z), z binary, y >= 0.
+  // z = 0 gives y = 0.8; z = 1 gives y = 1.3; optimum 0.8.
+  MipProblem p(2);  // z, y
+  p.set_binary(0);
+  p.lp().set_bounds(1, 0.0, oic::lp::Problem::kInf);
+  p.lp().set_objective(Vector{0, 1});
+  p.lp().add_constraint(Vector{-1.3, 1}, Relation::kGreaterEq, 0.0);
+  p.lp().add_constraint(Vector{0.8, 1}, Relation::kGreaterEq, 0.8);
+  const MipResult r = solve(p);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.8, 1e-7);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+}
+
+TEST(Mip, NodeLimitReportsIncumbent) {
+  // A problem needing branching, with a node budget of 1: no proof of
+  // optimality, status kNodeLimit.
+  MipProblem p(2);
+  p.lp().set_objective(Vector{-1, -1});
+  p.set_binary(0);
+  p.set_binary(1);
+  p.lp().add_constraint(Vector{1, 1}, Relation::kLessEq, 1.5);
+  oic::mip::MipOptions opt;
+  opt.max_nodes = 1;
+  const MipResult r = solve(p, opt);
+  EXPECT_EQ(r.status, MipStatus::kNodeLimit);
+}
+
+// Property: branch & bound must agree with brute-force enumeration on
+// random small binary programs.
+class MipBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipBruteForce, MatchesEnumeration) {
+  oic::Rng rng{static_cast<std::uint64_t>(GetParam() * 2654435761u + 11)};
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 4));
+
+  Vector c(n);
+  for (std::size_t j = 0; j < n; ++j) c[j] = rng.uniform(-3, 3);
+  std::vector<Vector> rows(m, Vector(n));
+  Vector rhs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) rows[i][j] = rng.uniform(-2, 2);
+    rhs[i] = rng.uniform(-1, static_cast<double>(n));
+  }
+
+  MipProblem p(n);
+  p.lp().set_objective(c);
+  for (std::size_t j = 0; j < n; ++j) p.set_binary(j);
+  for (std::size_t i = 0; i < m; ++i)
+    p.lp().add_constraint(rows[i], Relation::kLessEq, rhs[i]);
+  const MipResult r = solve(p);
+
+  // Brute force over all 2^n assignments.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    bool ok = true;
+    double obj = 0.0;
+    for (std::size_t i = 0; i < m && ok; ++i) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += rows[i][j] * (((mask >> j) & 1u) ? 1.0 : 0.0);
+      ok = lhs <= rhs[i] + 1e-9;
+    }
+    if (!ok) continue;
+    for (std::size_t j = 0; j < n; ++j) obj += c[j] * (((mask >> j) & 1u) ? 1.0 : 0.0);
+    best = std::min(best, obj);
+  }
+
+  if (std::isinf(best)) {
+    EXPECT_EQ(r.status, MipStatus::kInfeasible);
+  } else {
+    ASSERT_EQ(r.status, MipStatus::kOptimal) << "brute force found " << best;
+    EXPECT_NEAR(r.objective, best, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MipBruteForce, ::testing::Range(0, 40));
+
+}  // namespace

@@ -1,0 +1,336 @@
+// Unit and property tests for oic::poly HPolytope primitives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "poly/hpolytope.hpp"
+#include "poly/ops.hpp"
+#include "poly/support_sum.hpp"
+
+namespace {
+
+using oic::linalg::Matrix;
+using oic::linalg::Vector;
+using oic::poly::HPolytope;
+
+HPolytope unit_square() { return HPolytope::box(Vector{0, 0}, Vector{1, 1}); }
+
+TEST(HPolytope, BoxMembership) {
+  const HPolytope p = unit_square();
+  EXPECT_TRUE(p.contains(Vector{0.5, 0.5}));
+  EXPECT_TRUE(p.contains(Vector{0.0, 1.0}));
+  EXPECT_FALSE(p.contains(Vector{1.1, 0.5}));
+  EXPECT_FALSE(p.contains(Vector{-0.1, 0.5}));
+}
+
+TEST(HPolytope, ViolationSign) {
+  const HPolytope p = unit_square();
+  EXPECT_LE(p.violation(Vector{0.5, 0.5}), 0.0);
+  EXPECT_NEAR(p.violation(Vector{1.5, 0.5}), 0.5, 1e-12);
+}
+
+TEST(HPolytope, EmptinessDetection) {
+  const HPolytope nonempty = unit_square();
+  EXPECT_FALSE(nonempty.is_empty());
+  // x <= 0 and x >= 1 simultaneously.
+  Matrix a{{1, 0}, {-1, 0}};
+  Vector b{0.0, -1.0};
+  const HPolytope empty(a, b);
+  EXPECT_TRUE(empty.is_empty());
+}
+
+TEST(HPolytope, UniverseIsUnboundedAndNonEmpty) {
+  const HPolytope u = HPolytope::universe(2);
+  EXPECT_FALSE(u.is_empty());
+  EXPECT_FALSE(u.is_bounded());
+  EXPECT_TRUE(u.contains(Vector{1e9, -1e9}));
+}
+
+TEST(HPolytope, SupportOfBox) {
+  const HPolytope p = HPolytope::box(Vector{-1, -2}, Vector{3, 4});
+  const auto s1 = p.support(Vector{1, 0});
+  ASSERT_TRUE(s1.bounded && s1.feasible);
+  EXPECT_NEAR(s1.value, 3.0, 1e-9);
+  const auto s2 = p.support(Vector{-1, -1});
+  EXPECT_NEAR(s2.value, 1.0 + 2.0, 1e-9);
+  const auto s3 = p.support(Vector{1, 1});
+  EXPECT_NEAR(s3.value, 7.0, 1e-9);
+}
+
+TEST(HPolytope, SupportUnboundedDirectionReported) {
+  // Half-plane x <= 1: unbounded along +y.
+  const HPolytope p(Matrix{{1, 0}}, Vector{1.0});
+  EXPECT_TRUE(p.support(Vector{1, 0}).bounded);
+  EXPECT_FALSE(p.support(Vector{0, 1}).bounded);
+}
+
+TEST(HPolytope, ChebyshevOfSquare) {
+  const HPolytope p = unit_square();
+  const auto ball = p.chebyshev();
+  ASSERT_TRUE(ball.feasible);
+  EXPECT_NEAR(ball.radius, 0.5, 1e-8);
+  EXPECT_NEAR(ball.center[0], 0.5, 1e-7);
+  EXPECT_NEAR(ball.center[1], 0.5, 1e-7);
+}
+
+TEST(HPolytope, ChebyshevOfEmptySetInfeasible) {
+  const HPolytope empty(Matrix{{1}, {-1}}, Vector{0.0, -1.0});
+  EXPECT_FALSE(empty.chebyshev().feasible);
+}
+
+TEST(HPolytope, IntersectionShrinks) {
+  const HPolytope p = unit_square();
+  const HPolytope q = HPolytope::box(Vector{0.5, -1}, Vector{2, 2});
+  const HPolytope i = p.intersect(q);
+  EXPECT_TRUE(i.contains(Vector{0.75, 0.5}));
+  EXPECT_FALSE(i.contains(Vector{0.25, 0.5}));
+  EXPECT_TRUE(contains_polytope(p, i));
+  EXPECT_TRUE(contains_polytope(q, i));
+}
+
+TEST(HPolytope, AffinePreimage) {
+  // P = unit square; map x -> 2x. Preimage is the half-size square.
+  const HPolytope p = unit_square();
+  const Matrix m{{2, 0}, {0, 2}};
+  const HPolytope pre = p.affine_preimage(m, Vector{0, 0});
+  EXPECT_TRUE(pre.contains(Vector{0.5, 0.5}));
+  EXPECT_FALSE(pre.contains(Vector{0.75, 0.25}));
+  EXPECT_TRUE(approx_equal(pre, HPolytope::box(Vector{0, 0}, Vector{0.5, 0.5}), 1e-7));
+}
+
+TEST(HPolytope, AffinePreimageWithTranslation) {
+  // { x | x + t in P }: shifted box.
+  const HPolytope p = unit_square();
+  const HPolytope pre = p.affine_preimage(Matrix::identity(2), Vector{1.0, 0.0});
+  EXPECT_TRUE(approx_equal(pre, HPolytope::box(Vector{-1, 0}, Vector{0, 1}), 1e-7));
+}
+
+TEST(HPolytope, AffineImageInvertible) {
+  const HPolytope p = unit_square();
+  const Matrix rot{{0, -1}, {1, 0}};  // 90 degree rotation
+  const HPolytope img = p.affine_image_invertible(rot, Vector{0, 0});
+  EXPECT_TRUE(img.contains(Vector{-0.5, 0.5}));
+  EXPECT_FALSE(img.contains(Vector{0.5, 0.5}));
+}
+
+TEST(HPolytope, AffineImageSingularThrows) {
+  const Matrix sing{{1, 0}, {1, 0}};
+  EXPECT_THROW(unit_square().affine_image_invertible(sing, Vector{0, 0}),
+               oic::NumericalError);
+}
+
+TEST(HPolytope, PontryaginDiffOfBoxes) {
+  const HPolytope p = HPolytope::box(Vector{-2, -2}, Vector{2, 2});
+  const HPolytope w = HPolytope::sym_box(Vector{0.5, 1.0});
+  const HPolytope d = p.pontryagin_diff(w);
+  EXPECT_TRUE(approx_equal(d, HPolytope::box(Vector{-1.5, -1}, Vector{1.5, 1}), 1e-7));
+}
+
+TEST(HPolytope, PontryaginDiffThenSumIsSubset) {
+  // (P - W) + W is always a subset of P (equality for boxes).
+  const HPolytope p = HPolytope::box(Vector{-2, -1}, Vector{2, 1});
+  const HPolytope w = HPolytope::sym_box(Vector{0.3, 0.3});
+  const HPolytope d = p.pontryagin_diff(w);
+  const HPolytope s = oic::poly::minkowski_sum(d, w);
+  EXPECT_TRUE(contains_polytope(p, s, 1e-6));
+}
+
+TEST(HPolytope, TranslateMovesSet) {
+  const HPolytope p = unit_square().translate(Vector{2, 3});
+  EXPECT_TRUE(p.contains(Vector{2.5, 3.5}));
+  EXPECT_FALSE(p.contains(Vector{0.5, 0.5}));
+}
+
+TEST(HPolytope, ScaleAboutOrigin) {
+  const HPolytope p = HPolytope::sym_box(Vector{1, 1}).scale(2.0);
+  EXPECT_TRUE(p.contains(Vector{1.5, -1.5}));
+  EXPECT_FALSE(p.contains(Vector{2.5, 0}));
+}
+
+TEST(HPolytope, RemoveRedundancyDropsImpliedRows) {
+  // Unit square plus a slack row x <= 5 (redundant) and a duplicate.
+  Matrix a{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 0}, {1, 0}};
+  Vector b{1, 0, 1, 0, 5, 1};
+  const HPolytope p(a, b);
+  const HPolytope r = p.remove_redundancy();
+  EXPECT_EQ(r.num_constraints(), 4u);
+  EXPECT_TRUE(approx_equal(r, unit_square(), 1e-7));
+}
+
+TEST(HPolytope, BoundingBox) {
+  const HPolytope p = HPolytope::l1_ball(2, 2.0);
+  const auto bb = p.bounding_box();
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_NEAR(bb->first[0], -2.0, 1e-8);
+  EXPECT_NEAR(bb->second[1], 2.0, 1e-8);
+  EXPECT_FALSE(HPolytope::universe(2).bounding_box().has_value());
+}
+
+TEST(HPolytope, Vertices2dOfSquare) {
+  const auto verts = unit_square().vertices_2d();
+  ASSERT_EQ(verts.size(), 4u);
+  // All four corners present.
+  auto has = [&](double x, double y) {
+    for (const auto& v : verts)
+      if (std::fabs(v[0] - x) < 1e-8 && std::fabs(v[1] - y) < 1e-8) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(0, 0));
+  EXPECT_TRUE(has(1, 0));
+  EXPECT_TRUE(has(1, 1));
+  EXPECT_TRUE(has(0, 1));
+}
+
+TEST(HPolytope, FromVertices2dRoundTrip) {
+  std::vector<Vector> pts = {Vector{0, 0}, Vector{2, 0}, Vector{2, 1},
+                             Vector{0, 1}, Vector{1, 0.5}};  // interior point
+  const HPolytope p = HPolytope::from_vertices_2d(pts);
+  EXPECT_TRUE(approx_equal(p, HPolytope::box(Vector{0, 0}, Vector{2, 1}), 1e-7));
+}
+
+TEST(HPolytope, L1BallGeometry) {
+  const HPolytope p = HPolytope::l1_ball(2, 1.0);
+  EXPECT_TRUE(p.contains(Vector{0.5, 0.5}));
+  EXPECT_TRUE(p.contains(Vector{1.0, 0.0}));
+  EXPECT_FALSE(p.contains(Vector{0.75, 0.75}));
+}
+
+TEST(ContainsPolytope, NestedBoxes) {
+  const HPolytope outer = HPolytope::sym_box(Vector{2, 2});
+  const HPolytope inner = HPolytope::sym_box(Vector{1, 1});
+  EXPECT_TRUE(contains_polytope(outer, inner));
+  EXPECT_FALSE(contains_polytope(inner, outer));
+  EXPECT_TRUE(contains_polytope(inner, inner));
+}
+
+TEST(MinkowskiSum2d, BoxesAdd) {
+  const HPolytope a = HPolytope::box(Vector{0, 0}, Vector{1, 1});
+  const HPolytope b = HPolytope::sym_box(Vector{0.5, 0.25});
+  const HPolytope s = oic::poly::minkowski_sum(a, b);
+  EXPECT_TRUE(approx_equal(s, HPolytope::box(Vector{-0.5, -0.25}, Vector{1.5, 1.25}),
+                           1e-6));
+}
+
+TEST(MinkowskiSum2d, SquarePlusDiamondIsOctagon) {
+  const HPolytope sq = HPolytope::sym_box(Vector{1, 1});
+  const HPolytope di = HPolytope::l1_ball(2, 1.0);
+  const HPolytope s = oic::poly::minkowski_sum(sq, di);
+  // Octagon: support along axes = 2, along diagonal = sqrt(2)*... check key pts.
+  EXPECT_TRUE(s.contains(Vector{2, 0}));
+  EXPECT_TRUE(s.contains(Vector{1.5, 1.5 - 1e-9}));
+  EXPECT_FALSE(s.contains(Vector{1.9, 1.9}));
+  const auto verts = s.vertices_2d();
+  EXPECT_EQ(verts.size(), 8u);
+}
+
+TEST(AffineImageProjection, ProjectsToLowerDim) {
+  // Project the unit square onto its first coordinate scaled by 3.
+  const HPolytope p = unit_square();
+  const Matrix m{{3, 0}};
+  const HPolytope img = oic::poly::affine_image_projection(p, m, Vector{1.0});
+  ASSERT_EQ(img.dim(), 1u);
+  const auto bb = img.bounding_box();
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_NEAR(bb->first[0], 1.0, 1e-7);
+  EXPECT_NEAR(bb->second[0], 4.0, 1e-7);
+}
+
+TEST(SupportSum, MatchesExplicitSum) {
+  // W (+) M W for box W must match the explicit Minkowski sum.
+  const HPolytope w = HPolytope::sym_box(Vector{1, 0.5});
+  const Matrix m{{0.5, 0}, {0, 0.5}};
+  oic::poly::SupportSum chain;
+  chain.add_term(Matrix::identity(2), w);
+  chain.add_term(m, w);
+  const HPolytope explicit_sum =
+      oic::poly::minkowski_sum(w, w.affine_image_invertible(m, Vector{0, 0}));
+  for (const auto& d : oic::poly::uniform_directions_2d(16)) {
+    const auto s = explicit_sum.support(d);
+    ASSERT_TRUE(s.bounded);
+    EXPECT_NEAR(chain.support(d), s.value, 1e-7) << "direction mismatch";
+  }
+}
+
+TEST(SupportSum, ScaleMultipliesSupport) {
+  oic::poly::SupportSum chain;
+  chain.add_term(Matrix::identity(2), HPolytope::sym_box(Vector{1, 1}));
+  const double h0 = chain.support(Vector{1, 0});
+  chain.set_scale(2.5);
+  EXPECT_NEAR(chain.support(Vector{1, 0}), 2.5 * h0, 1e-12);
+}
+
+TEST(SupportSum, OuterPolytopeContainsChain) {
+  oic::poly::SupportSum chain;
+  chain.add_term(Matrix::identity(2), HPolytope::l1_ball(2, 1.0));
+  chain.add_term(Matrix{{0.3, 0.1}, {-0.1, 0.3}}, HPolytope::sym_box(Vector{1, 1}));
+  const HPolytope outer = chain.outer_polytope(oic::poly::uniform_directions_2d(12));
+  // The outer polytope's support in each template direction equals the chain's.
+  for (const auto& d : oic::poly::uniform_directions_2d(12)) {
+    const auto s = outer.support(d);
+    ASSERT_TRUE(s.bounded);
+    EXPECT_GE(s.value + 1e-7, chain.support(d));
+  }
+}
+
+TEST(Directions, GeneratorsHaveUnitNorm) {
+  for (const auto& d : oic::poly::uniform_directions_2d(8)) {
+    EXPECT_NEAR(d.norm2(), 1.0, 1e-12);
+  }
+  for (const auto& d : oic::poly::box_diag_directions(3)) {
+    EXPECT_NEAR(d.norm2(), 1.0, 1e-12);
+  }
+}
+
+// Property: for random 2-D polytopes built from vertex clouds, every
+// generating point lies inside the hull polytope, and the Chebyshev center
+// is feasible.
+class RandomHull2d : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomHull2d, HullContainsGenerators) {
+  oic::Rng rng{static_cast<std::uint64_t>(GetParam() * 31 + 5)};
+  std::vector<Vector> pts;
+  const int npts = rng.uniform_int(3, 12);
+  for (int i = 0; i < npts; ++i)
+    pts.push_back(Vector{rng.uniform(-5, 5), rng.uniform(-5, 5)});
+  const HPolytope hull = HPolytope::from_vertices_2d(pts);
+  for (const auto& p : pts) EXPECT_TRUE(hull.contains(p, 1e-6));
+  const auto ball = hull.chebyshev();
+  EXPECT_TRUE(ball.feasible);
+  if (ball.radius > 1e-9) {
+    EXPECT_TRUE(hull.contains(ball.center, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomHull2d, ::testing::Range(0, 30));
+
+// Property: Minkowski sum via the 2-D fast path agrees with support-function
+// addition: h_{P+Q}(d) = h_P(d) + h_Q(d) in every direction.
+class MinkowskiSupportProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinkowskiSupportProperty, SupportAdds) {
+  oic::Rng rng{static_cast<std::uint64_t>(GetParam() * 131 + 17)};
+  auto random_poly = [&]() {
+    std::vector<Vector> pts;
+    const int npts = rng.uniform_int(3, 8);
+    for (int i = 0; i < npts; ++i)
+      pts.push_back(Vector{rng.uniform(-3, 3), rng.uniform(-3, 3)});
+    return HPolytope::from_vertices_2d(pts);
+  };
+  const HPolytope p = random_poly();
+  const HPolytope q = random_poly();
+  const HPolytope s = oic::poly::minkowski_sum(p, q);
+  for (const auto& d : oic::poly::uniform_directions_2d(12)) {
+    const auto sp = p.support(d);
+    const auto sq = q.support(d);
+    const auto ss = s.support(d);
+    ASSERT_TRUE(sp.bounded && sq.bounded && ss.bounded);
+    EXPECT_NEAR(ss.value, sp.value + sq.value, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinkowskiSupportProperty, ::testing::Range(0, 30));
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Tests for the RL substrate: MLP forward/backward (with numerical
+// gradient checks), optimizers, replay buffer, epsilon schedule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "rl/dqn.hpp"
+#include "rl/mlp.hpp"
+#include "rl/optimizer.hpp"
+#include "rl/replay.hpp"
+
+namespace {
+
+using oic::Rng;
+using oic::linalg::Vector;
+using oic::rl::ForwardCache;
+using oic::rl::Gradients;
+using oic::rl::Mlp;
+
+TEST(Mlp, OutputShapeAndDeterminism) {
+  Rng rng(3);
+  Mlp net({3, 8, 2}, rng);
+  const Vector out1 = net.forward(Vector{0.1, -0.2, 0.3});
+  const Vector out2 = net.forward(Vector{0.1, -0.2, 0.3});
+  ASSERT_EQ(out1.size(), 2u);
+  EXPECT_TRUE(approx_equal(out1, out2, 0.0));
+}
+
+TEST(Mlp, ForwardCachedMatchesForward) {
+  Rng rng(4);
+  Mlp net({4, 16, 16, 3}, rng);
+  const Vector in{0.5, -1.0, 2.0, 0.0};
+  ForwardCache cache;
+  EXPECT_TRUE(approx_equal(net.forward(in), net.forward_cached(in, cache), 1e-14));
+  EXPECT_EQ(cache.pre.size(), 3u);
+  EXPECT_EQ(cache.post.size(), 4u);
+}
+
+TEST(Mlp, NumParamsCountsEverything) {
+  Rng rng(5);
+  Mlp net({3, 8, 2}, rng);
+  EXPECT_EQ(net.num_params(), 3u * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(Mlp, CopyFromMakesNetsIdentical) {
+  Rng rng(6);
+  Mlp a({2, 4, 1}, rng);
+  Mlp b({2, 4, 1}, rng);
+  const Vector in{0.3, -0.7};
+  EXPECT_FALSE(approx_equal(a.forward(in), b.forward(in), 1e-12));
+  b.copy_from(a);
+  EXPECT_TRUE(approx_equal(a.forward(in), b.forward(in), 0.0));
+}
+
+TEST(Mlp, SoftUpdateInterpolates) {
+  Rng rng(7);
+  Mlp a({1, 2, 1}, rng);
+  Mlp b({1, 2, 1}, rng);
+  Mlp b0({1, 2, 1}, rng);
+  b0.copy_from(b);
+  b.soft_update_from(a, 1.0);  // tau = 1: full copy
+  const Vector in{0.5};
+  EXPECT_TRUE(approx_equal(b.forward(in), a.forward(in), 1e-14));
+  b.copy_from(b0);
+  b.soft_update_from(a, 0.0);  // tau = 0: unchanged
+  EXPECT_TRUE(approx_equal(b.forward(in), b0.forward(in), 1e-14));
+}
+
+// Finite-difference gradient check across several architectures/seeds.
+class MlpGradCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlpGradCheck, BackwardMatchesFiniteDifferences) {
+  Rng rng{static_cast<std::uint64_t>(GetParam() * 1299709 + 19)};
+  const std::vector<std::size_t> archs[] = {
+      {2, 5, 1}, {3, 4, 4, 2}, {1, 8, 3}, {4, 6, 2}};
+  Mlp net(archs[GetParam() % 4], rng);
+
+  Vector in(net.sizes().front());
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.uniform(-1.5, 1.5);
+  Vector dout(net.sizes().back());
+  for (std::size_t i = 0; i < dout.size(); ++i) dout[i] = rng.uniform(-1, 1);
+
+  // Loss = dout . f(in); analytic parameter gradient via backward.
+  ForwardCache cache;
+  net.forward_cached(in, cache);
+  const Gradients g = net.backward(cache, dout);
+
+  const double eps = 1e-6;
+  // Spot-check a handful of coordinates in every layer.
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(net.weight(l).rows()) - 1));
+      const std::size_t j =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(net.weight(l).cols()) - 1));
+      Mlp pert = net;
+      pert.weight(l)(i, j) += eps;
+      const double up = dot(dout, pert.forward(in));
+      pert.weight(l)(i, j) -= 2 * eps;
+      const double dn = dot(dout, pert.forward(in));
+      const double fd = (up - dn) / (2 * eps);
+      EXPECT_NEAR(g.dw[l](i, j), fd, 1e-4)
+          << "layer " << l << " weight (" << i << "," << j << ")";
+    }
+    const std::size_t bi =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(net.bias(l).size()) - 1));
+    Mlp pert = net;
+    pert.bias(l)[bi] += eps;
+    const double up = dot(dout, pert.forward(in));
+    pert.bias(l)[bi] -= 2 * eps;
+    const double dn = dot(dout, pert.forward(in));
+    EXPECT_NEAR(g.db[l][bi], (up - dn) / (2 * eps), 1e-4) << "layer " << l << " bias";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlpGradCheck, ::testing::Range(0, 12));
+
+TEST(Optimizers, SgdReducesQuadraticLoss) {
+  // Fit y = 2x with a linear net (no hidden ReLU nonlinearity on output).
+  Rng rng(11);
+  Mlp net({1, 1}, rng);
+  oic::rl::Sgd opt(0.1);
+  for (int it = 0; it < 200; ++it) {
+    ForwardCache cache;
+    const Vector pred = net.forward_cached(Vector{1.0}, cache);
+    const double err = pred[0] - 2.0;
+    opt.step(net, net.backward(cache, Vector{err}));
+  }
+  EXPECT_NEAR(net.forward(Vector{1.0})[0], 2.0, 1e-3);
+}
+
+TEST(Optimizers, AdamFitsSmallRegression) {
+  // Fit y = sin-ish table with a small net; the loss must fall
+  // substantially from its initial value.
+  Rng rng(13);
+  Mlp net({1, 16, 1}, rng);
+  oic::rl::Adam opt(5e-3);
+  const double xs[] = {-1.0, -0.5, 0.0, 0.5, 1.0};
+  const double ys[] = {-0.8, -0.45, 0.0, 0.45, 0.8};
+  auto loss = [&]() {
+    double s = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      const double e = net.forward(Vector{xs[i]})[0] - ys[i];
+      s += e * e;
+    }
+    return s;
+  };
+  const double initial = loss();
+  for (int it = 0; it < 500; ++it) {
+    Gradients g = net.zero_gradients();
+    for (int i = 0; i < 5; ++i) {
+      ForwardCache cache;
+      const Vector pred = net.forward_cached(Vector{xs[i]}, cache);
+      g.add(net.backward(cache, Vector{pred[0] - ys[i]}));
+    }
+    g.scale(1.0 / 5.0);
+    opt.step(net, g);
+  }
+  EXPECT_LT(loss(), 0.05 * initial);
+}
+
+TEST(Replay, RingBufferOverwritesOldest) {
+  oic::rl::ReplayBuffer buf(3);
+  for (int i = 0; i < 5; ++i) {
+    oic::rl::Transition t;
+    t.state = Vector{static_cast<double>(i)};
+    t.next_state = Vector{0.0};
+    buf.add(std::move(t));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  // Entries 2, 3, 4 remain in some slot order.
+  std::vector<double> seen;
+  for (std::size_t i = 0; i < buf.size(); ++i) seen.push_back(buf.at(i).state[0]);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(Replay, SampleReturnsStoredPointers) {
+  oic::rl::ReplayBuffer buf(10);
+  oic::rl::Transition t;
+  t.state = Vector{7.0};
+  t.next_state = Vector{8.0};
+  buf.add(t);
+  Rng rng(1);
+  const auto batch = buf.sample(4, rng);
+  ASSERT_EQ(batch.size(), 4u);
+  for (const auto* p : batch) EXPECT_DOUBLE_EQ(p->state[0], 7.0);
+}
+
+TEST(Replay, EmptySampleThrows) {
+  oic::rl::ReplayBuffer buf(4);
+  Rng rng(1);
+  EXPECT_THROW(buf.sample(1, rng), oic::PreconditionError);
+}
+
+TEST(Epsilon, LinearDecaySaturates) {
+  oic::rl::EpsilonSchedule sched(1.0, 0.1, 100);
+  EXPECT_DOUBLE_EQ(sched.at(0), 1.0);
+  EXPECT_NEAR(sched.at(50), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(sched.at(100), 0.1);
+  EXPECT_DOUBLE_EQ(sched.at(1000), 0.1);
+}
+
+}  // namespace
