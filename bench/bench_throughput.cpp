@@ -1,0 +1,197 @@
+/// \file bench_throughput.cpp
+/// Episode-throughput benchmark: the Fig-4-style policy-comparison sweep
+/// (paired fuel savings of skipping policies vs the always-run baseline)
+/// timed three ways:
+///
+///   legacy          -- the pre-PR path: IntermittentController rebuilt and
+///                      re-verified per episode, the MPC LP rebuilt and
+///                      converted from scratch every step
+///                      (RmpcConfig::reuse_lp = false + harness
+///                      compare_policies);
+///   engine-serial   -- EpisodeEngine contexts (hoisted construction,
+///                      prepared LP, warm-started dual simplex), 1 worker;
+///   engine-parallel -- the same sharded over a thread pool.
+///
+/// Reports episodes/sec and per-step latency, checks that the parallel
+/// sweep is bit-identical to the serial one, and writes machine-readable
+/// BENCH_throughput.json for the performance trajectory.
+///
+/// Flags: --cases=N (default 24), --steps=N (default 100), --workers=N
+/// (default hardware), --json=PATH (default ./BENCH_throughput.json).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "acc/engine.hpp"
+#include "acc/harness.hpp"
+#include "acc/scenarios.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/policy.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Timing {
+  double wall_s = 0.0;
+  std::size_t episodes = 0;
+  std::size_t steps = 0;
+  double episodes_per_s() const { return episodes / wall_s; }
+  double step_ns() const { return 1e9 * wall_s / static_cast<double>(steps); }
+};
+
+void print_timing(const char* label, const Timing& t) {
+  std::printf("%-16s : %8.2f s wall  |  %8.1f episodes/s  |  %9.0f ns/step\n", label,
+              t.wall_s, t.episodes_per_s(), t.step_ns());
+}
+
+const char* json_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "BENCH_throughput.json";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oic;
+  // Unparsable flag values come back as 0; a zero-case or zero-step sweep is
+  // meaningless, so clamp rather than crash deep in the harness.
+  const std::size_t cases = std::max<std::size_t>(1, benchutil::flag(argc, argv, "cases", 24));
+  const std::size_t steps = std::max<std::size_t>(1, benchutil::flag(argc, argv, "steps", 100));
+  const std::size_t workers = benchutil::flag(
+      argc, argv, "workers", std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  const std::uint64_t seed = 20200406;
+
+  std::printf("=== Episode throughput: policy-comparison sweep ===\n");
+  std::printf("cases=%zu, steps/case=%zu, workers=%zu, policies=bang-bang+periodic-5\n\n",
+              cases, steps, workers);
+
+  // Per-sweep episode count: always-run baseline + 2 policies per case.
+  const std::size_t episodes_per_sweep = cases * 3;
+  const std::size_t steps_per_sweep = episodes_per_sweep * steps;
+
+  // ---- Legacy path (pre-PR behavior) ----
+  std::printf("[setup] building legacy AccCase (rebuild-every-step solver)...\n");
+  control::RmpcConfig legacy_rmpc = acc::AccCase::default_rmpc();
+  legacy_rmpc.reuse_lp = false;
+  acc::AccCase acc_legacy({}, legacy_rmpc);
+  const acc::Scenario scen = acc::fig4_scenario(acc_legacy.params());
+
+  core::BangBangPolicy bb_legacy;
+  core::PeriodicPolicy per_legacy(5);
+  auto t0 = Clock::now();
+  const auto cmp_legacy = acc::compare_policies(acc_legacy, scen,
+                                                {&bb_legacy, &per_legacy}, cases, steps, seed);
+  Timing legacy{seconds_since(t0), episodes_per_sweep, steps_per_sweep};
+  print_timing("legacy", legacy);
+
+  // ---- Engine paths ----
+  std::printf("[setup] building engine AccCase (prepared LP + warm start)...\n");
+  acc::AccCase acc_fast;
+  const acc::PolicySetFactory factory = [] {
+    std::vector<std::unique_ptr<core::SkipPolicy>> ps;
+    ps.push_back(std::make_unique<core::BangBangPolicy>());
+    ps.push_back(std::make_unique<core::PeriodicPolicy>(5));
+    return ps;
+  };
+
+  acc::SweepConfig sweep;
+  sweep.cases = cases;
+  sweep.steps = steps;
+  sweep.seed = seed;
+
+  sweep.workers = 1;
+  t0 = Clock::now();
+  const auto cmp_serial = acc::compare_policies_parallel(acc_fast, scen, factory, sweep);
+  Timing serial{seconds_since(t0), episodes_per_sweep, steps_per_sweep};
+  print_timing("engine-serial", serial);
+
+  sweep.workers = workers;
+  t0 = Clock::now();
+  const auto cmp_parallel = acc::compare_policies_parallel(acc_fast, scen, factory, sweep);
+  Timing parallel{seconds_since(t0), episodes_per_sweep, steps_per_sweep};
+  print_timing("engine-parallel", parallel);
+
+  // ---- Parallel == serial, bit for bit ----
+  bool identical = cmp_serial.savings.size() == cmp_parallel.savings.size();
+  for (std::size_t p = 0; identical && p < cmp_serial.savings.size(); ++p) {
+    identical = cmp_serial.savings[p] == cmp_parallel.savings[p] &&
+                cmp_serial.mean_skipped[p] == cmp_parallel.mean_skipped[p];
+  }
+
+  // ---- Result agreement between paths ----
+  // legacy/engine trajectories may differ where the MPC LP has multiple
+  // optima (the warm-started dual simplex is free to return another
+  // argmin), so savings agree closely but not bitwise.
+  double max_delta = 0.0;
+  for (std::size_t p = 0; p < cmp_legacy.savings.size(); ++p) {
+    for (std::size_t c = 0; c < cases; ++c) {
+      max_delta = std::max(max_delta,
+                           std::abs(cmp_legacy.savings[p][c] - cmp_serial.savings[p][c]));
+    }
+  }
+
+  const double speedup_serial = legacy.wall_s / serial.wall_s;
+  const double speedup_parallel = legacy.wall_s / parallel.wall_s;
+  benchutil::rule('=');
+  std::printf("speedup (engine-serial  vs legacy): %6.2fx\n", speedup_serial);
+  std::printf("speedup (engine-parallel vs legacy): %6.2fx  (%zu workers)\n",
+              speedup_parallel, workers);
+  std::printf("parallel bit-identical to serial  : %s\n", identical ? "yes" : "NO (BUG!)");
+  std::printf("max |saving delta| legacy vs engine: %.2e\n", max_delta);
+  for (std::size_t p = 0; p < cmp_serial.policy_names.size(); ++p) {
+    std::printf("  %-12s mean saving: engine %6.2f %% (legacy %6.2f %%), "
+                "mean skipped %5.1f\n",
+                cmp_serial.policy_names[p].c_str(), 100.0 * mean(cmp_serial.savings[p]),
+                100.0 * mean(cmp_legacy.savings[p]), cmp_serial.mean_skipped[p]);
+  }
+  bool violation = false;
+  for (bool v : cmp_serial.any_violation) violation = violation || v;
+  for (bool v : cmp_legacy.any_violation) violation = violation || v;
+  std::printf("safety violations: %s (Theorem 1: must be none)\n\n",
+              violation ? "YES (BUG!)" : "none");
+
+  // ---- JSON ----
+  const char* json_path = json_flag(argc, argv);
+  bool json_written = false;
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"throughput\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"cases\": %zu, \"steps\": %zu, \"workers\": %zu, "
+                 "\"policies\": [\"bang-bang\", \"periodic-5\"], \"seed\": %llu},\n",
+                 cases, steps, workers, static_cast<unsigned long long>(seed));
+    auto emit = [&](const char* k, const Timing& t) {
+      std::fprintf(f,
+                   "  \"%s\": {\"wall_s\": %.6f, \"episodes\": %zu, "
+                   "\"episodes_per_s\": %.3f, \"step_ns\": %.1f},\n",
+                   k, t.wall_s, t.episodes, t.episodes_per_s(), t.step_ns());
+    };
+    emit("legacy", legacy);
+    emit("engine_serial", serial);
+    emit("engine_parallel", parallel);
+    std::fprintf(f, "  \"speedup_serial\": %.3f,\n", speedup_serial);
+    std::fprintf(f, "  \"speedup_parallel\": %.3f,\n", speedup_parallel);
+    std::fprintf(f, "  \"parallel_bit_identical\": %s,\n", identical ? "true" : "false");
+    std::fprintf(f, "  \"max_saving_delta_vs_legacy\": %.3e,\n", max_delta);
+    std::fprintf(f, "  \"safety_violations\": %s\n", violation ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    json_written = true;
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path);
+  }
+
+  return (identical && !violation && json_written) ? 0 : 1;
+}

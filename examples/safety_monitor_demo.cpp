@@ -20,8 +20,7 @@ namespace {
 class AdversarialPolicy final : public oic::core::SkipPolicy {
  public:
   explicit AdversarialPolicy(std::uint64_t seed) : rng_(seed) {}
-  int decide(const oic::linalg::Vector&,
-             const std::vector<oic::linalg::Vector>&) override {
+  int decide(const oic::linalg::Vector&, const oic::core::WHistory&) override {
     return rng_.bernoulli(0.5) ? 1 : 0;
   }
   std::string name() const override { return "adversarial-random"; }

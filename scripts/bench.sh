@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Refresh the committed throughput numbers: builds (Release) and runs
+# bench_throughput, rewriting BENCH_throughput.json at the repo root.
+#
+#   scripts/bench.sh [--cases=N] [--steps=N] [--workers=N]
+#
+# Equivalent CMake target: cmake --build build --target bench-refresh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" --target bench_throughput -j"$(nproc)"
+
+"${build_dir}/bench_throughput" --json="${repo_root}/BENCH_throughput.json" "$@"
+echo "refreshed ${repo_root}/BENCH_throughput.json"

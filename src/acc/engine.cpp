@@ -1,0 +1,131 @@
+#include "acc/engine.hpp"
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace oic::acc {
+
+using linalg::Vector;
+
+namespace {
+
+core::IntermittentConfig engine_icfg(const AccCase& acc) {
+  core::IntermittentConfig icfg;
+  icfg.u_skip = acc.u_skip();
+  icfg.w_memory = kEpisodeWMemory;  // must match run_episode for bit-parity
+  return icfg;
+}
+
+}  // namespace
+
+EpisodeEngine::EpisodeEngine(const AccCase& acc, core::SkipPolicy& policy)
+    : acc_(acc),
+      policy_(policy),
+      rmpc_(acc.rmpc()),
+      ic_(acc.system(), acc.sets(), rmpc_, policy, engine_icfg(acc)),
+      w_(acc.system().nw()) {
+  OIC_REQUIRE(acc.system().nw() == 1,
+              "EpisodeEngine: the ACC disturbance is the scalar front-vehicle speed");
+}
+
+EpisodeResult EpisodeEngine::run(const CaseData& data) {
+  OIC_REQUIRE(!data.vf.empty(), "EpisodeEngine::run: empty case");
+  ic_.reset();
+  ic_.reset_stats();
+  rmpc_.reset_solver();
+
+  const control::AffineLTI& sys = acc_.system();
+  EpisodeResult out;
+  x_ = data.x0;
+  // Same step sequence as core::run_closed_loop + the harness fuel hook,
+  // with the per-step temporaries replaced by engine-owned scratch.
+  for (std::size_t t = 0; t < data.vf.size(); ++t) {
+    const core::StepDecision d = ic_.decide(x_);
+    w_[0] = acc_.w_from_vf(data.vf[t]);
+    sys.step_into(x_, d.u, w_, x_next_);
+    ic_.record_transition(x_, d.u, x_next_);
+
+    out.fuel += acc_.fuel_step(x_, d.u);
+    out.energy += acc_.energy_raw(d.u);
+
+    if (!out.left_xi && !ic_.sets().xi.contains(x_next_, 1e-6)) {
+      out.left_xi = true;
+    }
+    if (!out.left_x && !ic_.sets().x.contains(x_next_, 1e-6)) {
+      out.left_x = true;
+    }
+    x_ = x_next_;
+  }
+  out.skipped = ic_.skipped_steps();
+  out.forced = ic_.forced_steps();
+  out.steps = data.vf.size();
+  return out;
+}
+
+ComparisonResult compare_policies_parallel(const AccCase& acc, const Scenario& scenario,
+                                           const PolicySetFactory& factory,
+                                           const SweepConfig& cfg) {
+  OIC_REQUIRE(static_cast<bool>(factory), "compare_policies_parallel: factory required");
+  OIC_REQUIRE(cfg.cases >= 1, "compare_policies_parallel: need at least one case");
+
+  // Draw every case up front on the calling thread: the exact Rng::split()
+  // stream of the serial harness, independent of worker count.
+  std::vector<CaseData> case_data;
+  case_data.reserve(cfg.cases);
+  Rng rng(cfg.seed);
+  for (std::size_t c = 0; c < cfg.cases; ++c) {
+    case_data.push_back(make_case(acc, scenario, rng, cfg.steps));
+  }
+
+  // Probe one worker's policy set for names/count.
+  const auto probe = factory();
+  OIC_REQUIRE(!probe.empty(), "compare_policies_parallel: factory returned no policies");
+  const std::size_t num_policies = probe.size();
+
+  ComparisonResult out;
+  for (const auto& p : probe) out.policy_names.push_back(p->name());
+  out.savings.assign(num_policies, std::vector<double>(cfg.cases, 0.0));
+  out.mean_skipped.assign(num_policies, 0.0);
+  out.any_violation.assign(num_policies, false);
+  std::vector<std::vector<std::size_t>> skipped(num_policies,
+                                                std::vector<std::size_t>(cfg.cases, 0));
+  std::vector<std::vector<unsigned char>> violated(
+      num_policies, std::vector<unsigned char>(cfg.cases, 0));
+
+  run_chunked(cfg.cases, cfg.workers,
+              [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                // Per-worker context: own policies, own engines (and thus
+                // own controller/solver state).
+                auto policies = factory();
+                OIC_REQUIRE(policies.size() == num_policies,
+                            "compare_policies_parallel: factory is not stable");
+                core::AlwaysRunPolicy baseline;
+                EpisodeEngine base_engine(acc, baseline);
+                std::vector<std::unique_ptr<EpisodeEngine>> engines;
+                engines.reserve(num_policies);
+                for (auto& p : policies) {
+                  engines.push_back(std::make_unique<EpisodeEngine>(acc, *p));
+                }
+
+                for (std::size_t c = begin; c < end; ++c) {
+                  const EpisodeResult base = base_engine.run(case_data[c]);
+                  for (std::size_t p = 0; p < num_policies; ++p) {
+                    const EpisodeResult r = engines[p]->run(case_data[c]);
+                    out.savings[p][c] = fuel_saving(base, r);
+                    skipped[p][c] = r.skipped;
+                    violated[p][c] = (r.left_x || r.left_xi) ? 1 : 0;
+                  }
+                }
+              });
+
+  for (std::size_t p = 0; p < num_policies; ++p) {
+    for (std::size_t c = 0; c < cfg.cases; ++c) {
+      out.mean_skipped[p] += static_cast<double>(skipped[p][c]);
+      if (violated[p][c]) out.any_violation[p] = true;
+    }
+    out.mean_skipped[p] /= static_cast<double>(cfg.cases);
+  }
+  return out;
+}
+
+}  // namespace oic::acc

@@ -22,9 +22,12 @@ CaseData make_case(const AccCase& acc, const Scenario& scenario, Rng& rng,
 EpisodeResult run_episode(AccCase& acc, core::SkipPolicy& policy, const CaseData& data) {
   core::IntermittentConfig icfg;
   icfg.u_skip = acc.u_skip();
-  icfg.w_memory = 4;  // retain a few observations; policies use what they need
+  icfg.w_memory = kEpisodeWMemory;  // policies use what they need of it
   core::IntermittentController ic(acc.system(), acc.sets(), acc.rmpc(), policy, icfg);
   ic.reset();
+  // Episodes are independent by contract (fresh controller runtime above);
+  // drop the RMPC's carried warm-start basis for the same reason.
+  acc.rmpc().reset_solver();
 
   core::RunConfig rcfg;
   rcfg.steps = data.vf.size();

@@ -39,6 +39,12 @@ struct EpisodeResult {
   bool left_xi = false;  ///< invariant violation (model mismatch)
 };
 
+/// Disturbance observations the framework retains per evaluation episode;
+/// shared by run_episode and the EpisodeEngine so their histories -- and
+/// therefore policy decisions -- agree bit for bit.  (The DQN trainer's
+/// state memory r is a separate knob: TrainerConfig::memory.)
+inline constexpr std::size_t kEpisodeWMemory = 4;
+
 /// Run one policy over one case through the intermittent framework with
 /// the ACC's RMPC as the underlying controller.
 EpisodeResult run_episode(AccCase& acc, core::SkipPolicy& policy, const CaseData& data);

@@ -63,7 +63,7 @@ Scenario regularity_scenario(int index, const AccParams& p) {
   }
 }
 
-Scenario stop_and_go_scenario(const AccParams& p) {
+Scenario stop_and_go_scenario(const AccParams& /*params*/) {
   return Scenario("Jam", "stop-and-go traffic: dwell/ramp between 32 and 48 m/s",
                   std::make_unique<sim::StopAndGoProfile>(32.0, 48.0, 25, 15, 0.3));
 }

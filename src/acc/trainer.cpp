@@ -52,11 +52,15 @@ TrainedAgent train_dqn(AccCase& acc, const Scenario& scenario,
 
   for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
     Rng ep_rng = master.split();
+    // Training episodes are independent like evaluation episodes: drop the
+    // RMPC's carried warm-start basis so trajectories do not depend on
+    // episode ordering (run_episode and the engine do the same).
+    acc.rmpc().reset_solver();
     Vector x = acc.sample_x0(ep_rng);
     auto profile = scenario.profile->clone();
     profile->reset(ep_rng.split());
 
-    std::vector<Vector> w_history;  // state-space disturbances, oldest first
+    core::WHistory w_history(cfg.memory);  // state-space disturbances, oldest first
     double ep_reward = 0.0;
     double ep_energy = 0.0;
     std::size_t ep_skips = 0;
@@ -90,8 +94,7 @@ TrainedAgent train_dqn(AccCase& acc, const Scenario& scenario,
       // Observed state-space disturbance for the next agent state.
       const Vector ew =
           x_next - acc.system().a() * x - acc.system().b() * u - acc.system().c();
-      w_history.push_back(ew);
-      if (w_history.size() > cfg.memory) w_history.erase(w_history.begin());
+      w_history.push(ew);
 
       const double reward =
           core::skipping_reward(sets, x, z, x_next, kappa_energy, cfg.w1, cfg.w2);

@@ -1,0 +1,111 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace oic {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   // workers wait for jobs
+  std::condition_variable idle_cv;   // wait_idle waits for drain
+  std::deque<std::function<void()>> jobs;
+  std::vector<std::thread> workers;
+  std::size_t in_flight = 0;
+  bool stopping = false;
+  std::exception_ptr first_error;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return stopping || !jobs.empty(); });
+        if (stopping && jobs.empty()) return;
+        job = std::move(jobs.front());
+        jobs.pop_front();
+      }
+      try {
+        job();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --in_flight;
+        if (in_flight == 0 && jobs.empty()) idle_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  num_threads_ = threads != 0 ? threads
+                              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  impl_->workers.reserve(num_threads_);
+  for (std::size_t i = 0; i < num_threads_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  OIC_REQUIRE(static_cast<bool>(job), "ThreadPool::submit: empty job");
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->jobs.push_back(std::move(job));
+    ++impl_->in_flight;
+  }
+  impl_->work_cv.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->idle_cv.wait(lock, [&] { return impl_->in_flight == 0 && impl_->jobs.empty(); });
+  if (impl_->first_error) {
+    std::exception_ptr e = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void run_chunked(std::size_t n, std::size_t chunks,
+                 const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunks == 0) chunks = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  chunks = std::min(chunks, n);
+  // Chunk c covers [c*q + min(c, r), ...) with q = n/chunks, r = n%chunks:
+  // the first r chunks get one extra item.  Purely a function of (n,
+  // chunks) -- deterministic partitioning.
+  const std::size_t q = n / chunks;
+  const std::size_t r = n % chunks;
+  auto begin_of = [&](std::size_t c) { return c * q + std::min(c, r); };
+  if (chunks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  ThreadPool pool(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t b = begin_of(c), e = begin_of(c + 1);
+    pool.submit([&fn, c, b, e] { fn(c, b, e); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace oic

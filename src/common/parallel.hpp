@@ -1,0 +1,59 @@
+#pragma once
+/// \file parallel.hpp
+/// Minimal thread pool for the evaluation sweeps.
+///
+/// The Monte-Carlo workloads (compare_policies over hundreds of cases) are
+/// embarrassingly parallel: cases are independent once their random streams
+/// have been drawn.  This pool runs submitted jobs on a fixed set of worker
+/// threads; work is partitioned into contiguous chunks *deterministically*
+/// (never work-stealing by arrival order), so results land in
+/// caller-indexed slots and are bit-identical no matter how many workers
+/// execute them.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace oic {
+
+/// Fixed-size thread pool.  Jobs may throw: the first exception is captured
+/// and rethrown from wait_idle() on the calling thread.
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks the hardware concurrency.  A pool of size 1 runs
+  /// jobs on its single worker (use run_chunked's inline path to avoid
+  /// threads entirely).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one job.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished; rethrows the first
+  /// exception any job raised.
+  void wait_idle();
+
+  /// Number of worker threads.
+  std::size_t size() const { return num_threads_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t num_threads_;
+};
+
+/// Split [0, n) into `chunks` contiguous ranges (sizes differing by at most
+/// one) and invoke fn(chunk_index, begin, end) for each -- on the calling
+/// thread when the effective chunk count is 1, otherwise one job per chunk
+/// on a pool of that many workers.  `chunks` = 0 picks the hardware
+/// concurrency; the count is clamped to n.  The chunk boundaries depend
+/// only on (n, chunks), so a caller writing results by index gets identical
+/// output for any worker count.
+void run_chunked(std::size_t n, std::size_t chunks,
+                 const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace oic

@@ -42,6 +42,31 @@ Vector AffineLTI::step(const Vector& x, const Vector& u, const Vector& w) const 
   return a_ * x + b_ * u + e_ * w + c_;
 }
 
+void AffineLTI::step_into(const Vector& x, const Vector& u, const Vector& w,
+                          Vector& out) const {
+  OIC_REQUIRE(x.size() == nx(), "AffineLTI::step_into: state dimension mismatch");
+  OIC_REQUIRE(u.size() == nu(), "AffineLTI::step_into: input dimension mismatch");
+  OIC_REQUIRE(w.size() == nw(), "AffineLTI::step_into: disturbance dimension mismatch");
+  OIC_REQUIRE(&out != &x && &out != &u && &out != &w,
+              "AffineLTI::step_into: out must not alias an input (row i reads "
+              "entries the loop has already overwritten)");
+  out.data().resize(nx());
+  const double* xp = x.data().data();
+  const double* up = u.data().data();
+  const double* wp = w.data().data();
+  // Same per-row grouping as step()'s ((A x + B u) + E w) + c.
+  for (std::size_t i = 0; i < nx(); ++i) {
+    double ax = 0.0, bu = 0.0, ew = 0.0;
+    const double* ar = a_.row_data(i);
+    for (std::size_t j = 0; j < nx(); ++j) ax += ar[j] * xp[j];
+    const double* br = b_.row_data(i);
+    for (std::size_t j = 0; j < nu(); ++j) bu += br[j] * up[j];
+    const double* er = e_.row_data(i);
+    for (std::size_t j = 0; j < nw(); ++j) ew += er[j] * wp[j];
+    out[i] = ((ax + bu) + ew) + c_[i];
+  }
+}
+
 Vector AffineLTI::step_nominal(const Vector& x, const Vector& u) const {
   OIC_REQUIRE(x.size() == nx(), "AffineLTI::step_nominal: state dimension mismatch");
   OIC_REQUIRE(u.size() == nu(), "AffineLTI::step_nominal: input dimension mismatch");

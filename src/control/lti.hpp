@@ -46,6 +46,11 @@ class AffineLTI {
   linalg::Vector step(const linalg::Vector& x, const linalg::Vector& u,
                       const linalg::Vector& w) const;
 
+  /// One exact step into a caller-owned vector (allocation-free once `out`
+  /// is warm); bit-identical to step().
+  void step_into(const linalg::Vector& x, const linalg::Vector& u,
+                 const linalg::Vector& w, linalg::Vector& out) const;
+
   /// Nominal step (w = 0).
   linalg::Vector step_nominal(const linalg::Vector& x, const linalg::Vector& u) const;
 

@@ -71,9 +71,52 @@ TubeMpc::TubeMpc(AffineLTI sys, Matrix k_local, RmpcConfig config)
   terminal_ = terminal.set;
 }
 
+TubeMpc::TubeMpc(const TubeMpc& other)
+    : Controller(other),
+      sys_(other.sys_),
+      k_local_(other.k_local_),
+      config_(other.config_),
+      tightened_(other.tightened_),
+      terminal_(other.terminal_),
+      last_(other.last_) {
+  // prepared_/ws_ are per-instance solver state; rebuilt lazily.
+}
+
+TubeMpc& TubeMpc::operator=(const TubeMpc& other) {
+  if (this == &other) return *this;
+  Controller::operator=(other);
+  sys_ = other.sys_;
+  k_local_ = other.k_local_;
+  config_ = other.config_;
+  tightened_ = other.tightened_;
+  terminal_ = other.terminal_;
+  last_ = other.last_;
+  prepared_.reset();
+  ws_ = lp::SolverWorkspace{};
+  warm_ = lp::PreparedProblem::WarmState{};
+  return *this;
+}
+
+void TubeMpc::reset_solver() { warm_.valid = false; }
+
 const HPolytope& TubeMpc::tightened(std::size_t k) const {
   OIC_REQUIRE(k < tightened_.size(), "TubeMpc::tightened: index out of range");
   return tightened_[k];
+}
+
+TubeMpc::LpLayout TubeMpc::make_layout(bool with_objective) const {
+  const std::size_t nx = sys_.nx();
+  const std::size_t nu = sys_.nu();
+  const std::size_t n = config_.horizon;
+  // Variable blocks: states x(0..N), inputs u(0..N-1), then (only when the
+  // objective is wanted) auxiliaries tx(0..N-1) >= |x| and tu(0..N-1) >= |u|.
+  LpLayout layout;
+  layout.x0 = 0;
+  layout.u0 = nx * (n + 1);
+  layout.tx0 = layout.u0 + nu * n;
+  layout.tu0 = layout.tx0 + (with_objective ? nx * n : 0);
+  layout.total = layout.tu0 + (with_objective ? nu * n : 0);
+  return layout;
 }
 
 lp::Problem TubeMpc::build_lp(const Vector& x0, bool with_objective,
@@ -82,13 +125,7 @@ lp::Problem TubeMpc::build_lp(const Vector& x0, bool with_objective,
   const std::size_t nu = sys_.nu();
   const std::size_t n = config_.horizon;
 
-  // Variable blocks: states x(0..N), inputs u(0..N-1), then (only when the
-  // objective is wanted) auxiliaries tx(0..N-1) >= |x| and tu(0..N-1) >= |u|.
-  layout.x0 = 0;
-  layout.u0 = nx * (n + 1);
-  layout.tx0 = layout.u0 + nu * n;
-  layout.tu0 = layout.tx0 + (with_objective ? nx * n : 0);
-  layout.total = layout.tu0 + (with_objective ? nu * n : 0);
+  layout = make_layout(with_objective);
 
   lp::Problem p(layout.total);
   auto xv = [&](std::size_t k, std::size_t i) { return layout.x0 + k * nx + i; };
@@ -183,9 +220,27 @@ Vector TubeMpc::control(const Vector& x) {
   OIC_REQUIRE(x.size() == sys_.nx(), "TubeMpc::control: state dimension mismatch");
   count_invocation();
 
-  LpLayout layout;
-  const lp::Problem p = build_lp(x, /*with_objective=*/true, layout);
-  const lp::Result r = lp::solve(p);
+  // The LP structure is state-independent: x enters Equation (5) only via
+  // the x(0) = x equality right-hand sides (the first nx constraint rows of
+  // build_lp).  With reuse_lp the standard-form tableau is prepared once and
+  // each step patches those nx values and re-solves through the workspace.
+  // The cold re-solve is bit-identical to rebuilding the Problem from
+  // scratch; with warm_start the dual-simplex continuation returns the same
+  // optimal value but may pick a different argmin where the optimum is
+  // non-unique (see RmpcConfig::warm_start).
+  LpLayout layout = make_layout(/*with_objective=*/true);
+  lp::Result r;
+  if (config_.reuse_lp) {
+    if (!prepared_) {
+      const lp::Problem p = build_lp(x, /*with_objective=*/true, layout);
+      prepared_ = std::make_unique<lp::PreparedProblem>(p);
+    }
+    for (std::size_t i = 0; i < sys_.nx(); ++i) prepared_->set_rhs(i, x[i]);
+    r = config_.warm_start ? prepared_->solve_warm(ws_, warm_) : prepared_->solve(ws_);
+  } else {
+    const lp::Problem p = build_lp(x, /*with_objective=*/true, layout);
+    r = lp::solve(p);
+  }
   if (r.status == lp::Status::kInfeasible) {
     throw NumericalError("TubeMpc::control: optimization infeasible at this state");
   }

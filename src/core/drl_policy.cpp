@@ -6,11 +6,11 @@ namespace oic::core {
 
 using linalg::Vector;
 
-Vector build_drl_state(const Vector& x, const std::vector<Vector>& w_history,
-                       std::size_t r, std::size_t w_dim) {
+void build_drl_state_into(Vector& out, const Vector& x, const WHistory& w_history,
+                          std::size_t r, std::size_t w_dim) {
   OIC_REQUIRE(r >= 1, "build_drl_state: memory length must be positive");
-  Vector s(x.size() + r * w_dim);
-  for (std::size_t i = 0; i < x.size(); ++i) s[i] = x[i];
+  out.data().assign(x.size() + r * w_dim, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i];
   // Most recent r observations, oldest first, front-padded with zeros.
   const std::size_t have = std::min(r, w_history.size());
   const std::size_t pad = r - have;
@@ -18,9 +18,15 @@ Vector build_drl_state(const Vector& x, const std::vector<Vector>& w_history,
     const Vector& w = w_history[w_history.size() - have + k];
     OIC_REQUIRE(w.size() == w_dim, "build_drl_state: disturbance dimension mismatch");
     for (std::size_t i = 0; i < w_dim; ++i) {
-      s[x.size() + (pad + k) * w_dim + i] = w[i];
+      out[x.size() + (pad + k) * w_dim + i] = w[i];
     }
   }
+}
+
+Vector build_drl_state(const Vector& x, const WHistory& w_history, std::size_t r,
+                       std::size_t w_dim) {
+  Vector s;
+  build_drl_state_into(s, x, w_history, r, w_dim);
   return s;
 }
 
@@ -54,11 +60,15 @@ Vector drl_state_scale(const control::AffineLTI& sys, std::size_t r) {
   return scale;
 }
 
-Vector apply_state_scale(Vector state, const Vector& scale) {
-  if (scale.empty()) return state;
+void apply_state_scale_inplace(Vector& state, const Vector& scale) {
+  if (scale.empty()) return;
   OIC_REQUIRE(scale.size() == state.size(),
               "apply_state_scale: scale dimension mismatch");
   for (std::size_t i = 0; i < state.size(); ++i) state[i] *= scale[i];
+}
+
+Vector apply_state_scale(Vector state, const Vector& scale) {
+  apply_state_scale_inplace(state, scale);
   return state;
 }
 
@@ -78,10 +88,10 @@ DrlPolicy::DrlPolicy(std::shared_ptr<const rl::DoubleDqn> agent, std::size_t r,
   OIC_REQUIRE(r_ >= 1, "DrlPolicy: memory length must be positive");
 }
 
-int DrlPolicy::decide(const Vector& x, const std::vector<Vector>& w_history) {
-  const Vector s =
-      apply_state_scale(build_drl_state(x, w_history, r_, w_dim_), state_scale_);
-  return agent_->greedy_action(s);
+int DrlPolicy::decide(const Vector& x, const WHistory& w_history) {
+  build_drl_state_into(state_scratch_, x, w_history, r_, w_dim_);
+  apply_state_scale_inplace(state_scratch_, state_scale_);
+  return agent_->greedy_action(state_scratch_, mlp_ws_);
 }
 
 }  // namespace oic::core

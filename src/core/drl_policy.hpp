@@ -17,9 +17,12 @@ namespace oic::core {
 /// the r most recent state-space disturbance observations, zero-padded at
 /// the front when the episode is younger than r (the paper initializes
 /// w(-r+1..-1) = 0).
-linalg::Vector build_drl_state(const linalg::Vector& x,
-                               const std::vector<linalg::Vector>& w_history,
+linalg::Vector build_drl_state(const linalg::Vector& x, const WHistory& w_history,
                                std::size_t r, std::size_t w_dim);
+
+/// Allocation-free variant: writes into `out` (resized once, then reused).
+void build_drl_state_into(linalg::Vector& out, const linalg::Vector& x,
+                          const WHistory& w_history, std::size_t r, std::size_t w_dim);
 
 /// Per-feature normalization for the DQN state: the reciprocal half-widths
 /// of the state box X and the state-space disturbance set E W, so every
@@ -32,6 +35,8 @@ linalg::Vector drl_state_scale(const control::AffineLTI& sys, std::size_t r);
 /// Elementwise product helper used by the trainer and DrlPolicy to apply
 /// the normalization; `scale` may be empty (no scaling).
 linalg::Vector apply_state_scale(linalg::Vector state, const linalg::Vector& scale);
+/// Same normalization applied in place (the allocation-free inference path).
+void apply_state_scale_inplace(linalg::Vector& state, const linalg::Vector& scale);
 
 /// DQN state dimension for the given plant dimensions and memory length.
 std::size_t drl_state_dim(std::size_t nx, std::size_t w_dim, std::size_t r);
@@ -55,8 +60,7 @@ class DrlPolicy final : public SkipPolicy {
   DrlPolicy(std::shared_ptr<const rl::DoubleDqn> agent, std::size_t r,
             std::size_t w_dim, linalg::Vector state_scale = {});
 
-  int decide(const linalg::Vector& x,
-             const std::vector<linalg::Vector>& w_history) override;
+  int decide(const linalg::Vector& x, const WHistory& w_history) override;
   std::string name() const override { return "drl-dqn"; }
 
   /// Memory length r.
@@ -67,6 +71,11 @@ class DrlPolicy final : public SkipPolicy {
   std::size_t r_;
   std::size_t w_dim_;
   linalg::Vector state_scale_;
+  // Per-policy inference scratch: the agent may be shared across threads
+  // (its inference is const); the mutable buffers live here so each worker
+  // owns its own and a steady-state decide() allocates nothing.
+  linalg::Vector state_scratch_;
+  rl::MlpWorkspace mlp_ws_;
 };
 
 }  // namespace oic::core

@@ -1,6 +1,7 @@
 #include "core/intermittent.hpp"
 
 #include "common/error.hpp"
+#include "linalg/kernels.hpp"
 
 namespace oic::core {
 
@@ -22,6 +23,7 @@ IntermittentController::IntermittentController(const control::AffineLTI& sys,
               "IntermittentController: sets must satisfy X' subset XI subset X");
   OIC_REQUIRE(sys_.u_set().contains(config_.u_skip, 1e-9),
               "IntermittentController: skip input must be admissible (in U)");
+  w_history_.set_capacity(config_.w_memory);
 }
 
 StepDecision IntermittentController::decide(const Vector& x) {
@@ -59,11 +61,15 @@ void IntermittentController::record_transition(const Vector& x, const Vector& u,
                                                const Vector& x_next) {
   OIC_REQUIRE(x.size() == sys_.nx() && x_next.size() == sys_.nx() && u.size() == sys_.nu(),
               "IntermittentController::record_transition: dimension mismatch");
-  const Vector ew = x_next - sys_.a() * x - sys_.b() * u - sys_.c();
-  w_history_.push_back(ew);
-  if (w_history_.size() > config_.w_memory) {
-    w_history_.erase(w_history_.begin());
-  }
+  // Realized disturbance E w = x_next - A x - B u - c, accumulated into the
+  // scratch vector (same operation order as the expression form) and pushed
+  // into the ring: no allocation in the steady state.
+  ew_scratch_ = x_next;
+  double* ew = ew_scratch_.data().data();
+  linalg::gemv_sub(sys_.a(), x.data().data(), ew);
+  linalg::gemv_sub(sys_.b(), u.data().data(), ew);
+  for (std::size_t i = 0; i < ew_scratch_.size(); ++i) ew[i] -= sys_.c()[i];
+  w_history_.push(ew_scratch_);
 }
 
 void IntermittentController::reset() {

@@ -15,6 +15,7 @@
 #include "control/lti.hpp"
 #include "core/policy.hpp"
 #include "core/safe_sets.hpp"
+#include "core/w_history.hpp"
 
 namespace oic::core {
 
@@ -55,7 +56,7 @@ class IntermittentController {
                          const linalg::Vector& x_next);
 
   /// Observed state-space disturbances, oldest first (up to w_memory).
-  const std::vector<linalg::Vector>& w_history() const { return w_history_; }
+  const WHistory& w_history() const { return w_history_; }
 
   /// Reset per-episode state (history, counters stay cumulative; use
   /// reset_stats for those).  Also resets the policy.
@@ -82,7 +83,8 @@ class IntermittentController {
   control::Controller& kappa_;
   SkipPolicy& omega_;
   IntermittentConfig config_;
-  std::vector<linalg::Vector> w_history_;
+  WHistory w_history_;        ///< ring of the last w_memory observations
+  linalg::Vector ew_scratch_; ///< residual scratch for record_transition
   std::size_t total_steps_ = 0;
   std::size_t skipped_steps_ = 0;
   std::size_t forced_steps_ = 0;

@@ -48,7 +48,7 @@ std::string ModelBasedPolicy::name() const {
   return os.str();
 }
 
-int ModelBasedPolicy::decide(const Vector& x, const std::vector<Vector>&) {
+int ModelBasedPolicy::decide(const Vector& x, const core::WHistory&) {
   OIC_REQUIRE(x.size() == sys_.nx(), "ModelBasedPolicy::decide: state mismatch");
   const int z = config_.solver == ModelBasedConfig::Solver::kExactSearch
                     ? decide_exact(x)

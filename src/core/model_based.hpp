@@ -88,8 +88,7 @@ class ModelBasedPolicy final : public SkipPolicy {
                    const control::LinearFeedback& kappa, linalg::Vector u_skip,
                    const DisturbanceOracle& oracle, ModelBasedConfig config = {});
 
-  int decide(const linalg::Vector& x,
-             const std::vector<linalg::Vector>& w_history) override;
+  int decide(const linalg::Vector& x, const WHistory& w_history) override;
   void reset() override { t_ = 0; }
   std::string name() const override;
 

@@ -11,7 +11,7 @@ PeriodicPolicy::PeriodicPolicy(std::size_t period) : period_(period) {
   OIC_REQUIRE(period >= 1, "PeriodicPolicy: period must be positive");
 }
 
-int PeriodicPolicy::decide(const linalg::Vector&, const std::vector<linalg::Vector>&) {
+int PeriodicPolicy::decide(const linalg::Vector&, const WHistory&) {
   const int z = (t_ % period_ == 0) ? 1 : 0;
   ++t_;
   return z;
@@ -43,8 +43,7 @@ void WeaklyHardPolicy::push(int z) {
   filled_ = std::min(filled_ + 1, k_);
 }
 
-int WeaklyHardPolicy::decide(const linalg::Vector& x,
-                             const std::vector<linalg::Vector>& w_history) {
+int WeaklyHardPolicy::decide(const linalg::Vector& x, const WHistory& w_history) {
   int z = inner_.decide(x, w_history) == 0 ? 0 : 1;
   if (z == 0 && skips_in_window() >= m_) z = 1;  // (m, K) bound would break
   push(z);

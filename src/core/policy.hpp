@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/w_history.hpp"
 #include "linalg/vector.hpp"
 
 namespace oic::core {
@@ -25,9 +26,9 @@ class SkipPolicy {
   /// `w_history` holds the most recent observed state-space disturbances
   /// (E w), oldest first; it may be shorter than the policy's memory at the
   /// start of an episode.  Return 1 to run the underlying controller, 0 to
-  /// skip and actuate the designated skip input.
-  virtual int decide(const linalg::Vector& x,
-                     const std::vector<linalg::Vector>& w_history) = 0;
+  /// skip and actuate the designated skip input.  (WHistory converts
+  /// implicitly from a std::vector of observations and from {}.)
+  virtual int decide(const linalg::Vector& x, const WHistory& w_history) = 0;
 
   /// Per-episode reset (clears internal clocks / caches).
   virtual void reset() {}
@@ -40,9 +41,7 @@ class SkipPolicy {
 /// paper compares against (RMPC-only in Sec. IV-A).
 class AlwaysRunPolicy final : public SkipPolicy {
  public:
-  int decide(const linalg::Vector&, const std::vector<linalg::Vector>&) override {
-    return 1;
-  }
+  int decide(const linalg::Vector&, const WHistory&) override { return 1; }
   std::string name() const override { return "always-run"; }
 };
 
@@ -51,9 +50,7 @@ class AlwaysRunPolicy final : public SkipPolicy {
 /// controller input once the monitor sees x outside X'.
 class BangBangPolicy final : public SkipPolicy {
  public:
-  int decide(const linalg::Vector&, const std::vector<linalg::Vector>&) override {
-    return 0;
-  }
+  int decide(const linalg::Vector&, const WHistory&) override { return 0; }
   std::string name() const override { return "bang-bang"; }
 };
 
@@ -64,7 +61,7 @@ class PeriodicPolicy final : public SkipPolicy {
  public:
   explicit PeriodicPolicy(std::size_t period);
 
-  int decide(const linalg::Vector&, const std::vector<linalg::Vector>&) override;
+  int decide(const linalg::Vector&, const WHistory&) override;
   void reset() override { t_ = 0; }
   std::string name() const override;
 
@@ -85,8 +82,7 @@ class WeaklyHardPolicy final : public SkipPolicy {
   /// Requires m <= K, K >= 1.
   WeaklyHardPolicy(SkipPolicy& inner, std::size_t m, std::size_t k);
 
-  int decide(const linalg::Vector& x,
-             const std::vector<linalg::Vector>& w_history) override;
+  int decide(const linalg::Vector& x, const WHistory& w_history) override;
   void reset() override;
   std::string name() const override;
 

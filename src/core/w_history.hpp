@@ -1,0 +1,92 @@
+#pragma once
+/// \file w_history.hpp
+/// Fixed-capacity ring buffer of disturbance observations.
+///
+/// The intermittent framework retains the last r observed state-space
+/// disturbances E w for the skipping policies (Sec. III-B).  The original
+/// std::vector storage paid an O(r) erase-front plus a Vector allocation on
+/// every step; the ring overwrites the oldest slot in place, so a steady-
+/// state episode records transitions with zero allocation.
+///
+/// Indexing is oldest-first ([0] is the oldest retained observation), the
+/// order the DRL state builder and the policy interface always used.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/vector.hpp"
+
+namespace oic::core {
+
+/// Ring buffer of the most recent disturbance observations, oldest first.
+class WHistory {
+ public:
+  /// Empty history with no capacity (set_capacity before pushing).
+  WHistory() = default;
+
+  /// Ring of the given capacity (the framework's w_memory r).
+  explicit WHistory(std::size_t capacity) { set_capacity(capacity); }
+
+  /// Adapter for call sites holding a plain vector (tests, trainers): the
+  /// values are copied, capacity = xs.size().  Intentionally implicit so
+  /// `decide(x, {})` and `decide(x, history_vector)` keep compiling.
+  WHistory(const std::vector<linalg::Vector>& xs)  // NOLINT(runtime/explicit)
+      : slots_(xs), head_(0), size_(xs.size()) {}
+
+  /// Same, from a braced list.
+  WHistory(std::initializer_list<linalg::Vector> xs)
+      : slots_(xs), head_(0), size_(slots_.size()) {}
+
+  /// Reset the capacity (drops contents).
+  void set_capacity(std::size_t capacity) {
+    slots_.assign(capacity, linalg::Vector());
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Retained observations (<= capacity).
+  std::size_t size() const { return size_; }
+  /// Maximum retained observations.
+  std::size_t capacity() const { return slots_.size(); }
+  /// True when nothing is retained.
+  bool empty() const { return size_ == 0; }
+
+  /// i-th retained observation, oldest first.
+  const linalg::Vector& operator[](std::size_t i) const {
+    OIC_REQUIRE(i < size_, "WHistory: index out of range");
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  /// Most recent observation; the history must be non-empty.
+  const linalg::Vector& latest() const {
+    OIC_REQUIRE(size_ > 0, "WHistory::latest: history is empty");
+    return (*this)[size_ - 1];
+  }
+
+  /// Append, evicting the oldest observation when full.  Copy-assigns into
+  /// the recycled slot: allocation-free once every slot has been sized.
+  void push(const linalg::Vector& w) {
+    if (slots_.empty()) return;  // capacity 0 retains nothing
+    const std::size_t tail = (head_ + size_) % slots_.size();
+    slots_[tail] = w;
+    if (size_ < slots_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % slots_.size();
+    }
+  }
+
+  /// Drop the contents, keep the capacity (and the slot allocations).
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<linalg::Vector> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace oic::core

@@ -1,0 +1,54 @@
+#pragma once
+/// \file kernels.hpp
+/// Allocation-free dense kernels for the per-step hot paths.
+///
+/// The Matrix/Vector operators return fresh values -- right for safe-set
+/// algebra, wasteful inside closed-loop inner loops that run millions of
+/// times per evaluation sweep.  These kernels write into caller-provided
+/// raw buffers and fuse the GEMV + bias (+ ReLU) chain of an MLP layer into
+/// one pass.  Accumulation order matches the operator forms exactly
+/// ((sum_j a_ij x_j) + b_i, j ascending), so results are bit-identical to
+/// the allocating expressions they replace.
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace oic::linalg {
+
+/// y = A x.  `x` must have a.cols() entries, `y` a.rows(); no aliasing.
+inline void gemv(const Matrix& a, const double* x, double* y) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  const double* p = a.data();
+  for (std::size_t i = 0; i < rows; ++i, p += cols) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) s += p[j] * x[j];
+    y[i] = s;
+  }
+}
+
+/// y -= A x (residual accumulation, e.g. w = x_next - A x - B u - c).
+inline void gemv_sub(const Matrix& a, const double* x, double* y) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  const double* p = a.data();
+  for (std::size_t i = 0; i < rows; ++i, p += cols) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) s += p[j] * x[j];
+    y[i] -= s;
+  }
+}
+
+/// y = A x + b, optionally ReLU-clamped: one fused pass per layer.
+inline void gemv_bias(const Matrix& a, const double* x, const double* b, double* y,
+                      bool relu) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  const double* p = a.data();
+  for (std::size_t i = 0; i < rows; ++i, p += cols) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) s += p[j] * x[j];
+    s += b[i];
+    y[i] = relu ? (s > 0.0 ? s : 0.0) : s;  // same clamp as the reference ReLU
+  }
+}
+
+}  // namespace oic::linalg

@@ -47,6 +47,13 @@ class Matrix {
   double& operator()(std::size_t r, std::size_t c);
   double operator()(std::size_t r, std::size_t c) const;
 
+  /// Raw row-major storage (hot loops; bounds are the caller's problem).
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+  /// Pointer to the first element of row r (contiguous cols() doubles).
+  const double* row_data(std::size_t r) const { return data_.data() + r * cols_; }
+  double* row_data(std::size_t r) { return data_.data() + r * cols_; }
+
   /// Copy of row r as a Vector.
   Vector row(std::size_t r) const;
   /// Copy of column c as a Vector.

@@ -1,0 +1,572 @@
+#include "lp/prepared.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace oic::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Monotonic token source shared by problem identities and warm-state /
+/// workspace pairing stamps.
+std::atomic<std::uint64_t> g_serial{0};
+
+/// The relation a row effectively has after the rhs-sign normalization
+/// (negating a row swaps <= and >=; equality is orientation-free).  Every
+/// cold/warm code path that reasons about a row's slack/artificial layout
+/// must agree with this one definition.
+Relation effective_relation(Relation rel, bool flipped) {
+  if (!flipped) return rel;
+  if (rel == Relation::kLessEq) return Relation::kGreaterEq;
+  if (rel == Relation::kGreaterEq) return Relation::kLessEq;
+  return Relation::kEqual;
+}
+
+/// One simplex phase over explicit reduced costs computed from `phase_cost`.
+/// Identical to the classical tableau phase previously embedded in
+/// lp::solve(); operates on the workspace copy of the tableau.  `blocked`
+/// may be null (no columns barred).
+Status run_phase(std::size_t m, std::size_t n, std::vector<double>& a,
+                 std::vector<double>& rhs, std::vector<std::size_t>& basis,
+                 const unsigned char* blocked, const std::vector<double>& phase_cost,
+                 std::vector<double>& z, const SimplexOptions& opt) {
+  auto at = [&](std::size_t r, std::size_t c) -> double& { return a[r * n + c]; };
+
+  // Reduced-cost row mirrors the classical bottom row.
+  z.assign(phase_cost.begin(), phase_cost.end());
+  double obj = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double cb = phase_cost[basis[i]];
+    if (cb == 0.0) continue;
+    obj += cb * rhs[i];
+    for (std::size_t j = 0; j < n; ++j) z[j] -= cb * at(i, j);
+  }
+
+  std::size_t stall = 0;
+  double best_obj = obj;
+  bool use_bland = false;
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    // --- Choose the entering column ---
+    std::size_t enter = n;
+    if (use_bland) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!(blocked && blocked[j]) && z[j] < -opt.cost_tol) {
+          enter = j;
+          break;
+        }
+      }
+    } else {
+      double best = -opt.cost_tol;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!(blocked && blocked[j]) && z[j] < best) {
+          best = z[j];
+          enter = j;
+        }
+      }
+    }
+    if (enter == n) return Status::kOptimal;
+
+    // --- Ratio test ---
+    std::size_t leave = m;
+    double best_ratio = kInf;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aie = at(i, enter);
+      if (aie > opt.pivot_tol) {
+        const double ratio = rhs[i] / aie;
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && leave != m && basis[i] < basis[leave])) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == m) return Status::kUnbounded;
+
+    // --- Pivot ---
+    const double piv = at(leave, enter);
+    OIC_CHECK(std::fabs(piv) > opt.pivot_tol, "simplex: degenerate pivot slipped through");
+    const double inv = 1.0 / piv;
+    double* arow = &a[leave * n];
+    for (std::size_t j = 0; j < n; ++j) arow[j] *= inv;
+    rhs[leave] *= inv;
+    arow[enter] = 1.0;  // clean exact value
+
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == leave) continue;
+      double* irow = &a[i * n];
+      const double f = irow[enter];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) irow[j] -= f * arow[j];
+      irow[enter] = 0.0;
+      rhs[i] -= f * rhs[leave];
+      if (rhs[i] < 0.0 && rhs[i] > -1e-11) rhs[i] = 0.0;
+    }
+    const double fz = z[enter];
+    if (fz != 0.0) {
+      for (std::size_t j = 0; j < n; ++j) z[j] -= fz * arow[j];
+      z[enter] = 0.0;
+      obj -= fz * rhs[leave];
+    }
+    basis[leave] = enter;
+
+    // --- Anti-cycling bookkeeping ---
+    if (obj < best_obj - 1e-12) {
+      best_obj = obj;
+      stall = 0;
+      use_bland = false;
+    } else if (++stall >= opt.stall_limit) {
+      use_bland = true;
+    }
+  }
+  return Status::kIterLimit;
+}
+
+}  // namespace
+
+void PreparedProblem::emit_structural(std::size_t r, const linalg::Vector& coeffs,
+                                      double sign) {
+  double* row = &a_[r * n_];
+  for (std::size_t j = 0; j < ncols_; ++j) row[j] = 0.0;
+  for (std::size_t j = 0; j < nv_; ++j) {
+    const double aij = coeffs[j] * sign;
+    if (aij == 0.0) continue;
+    switch (vmap_[j].kind) {
+      case VarMap::Kind::kShiftedLow:
+        row[vmap_[j].col] += aij;
+        break;
+      case VarMap::Kind::kShiftedHigh:
+        row[vmap_[j].col] -= aij;
+        break;
+      case VarMap::Kind::kSplit:
+        row[vmap_[j].col] += aij;
+        row[vmap_[j].col2] -= aij;
+        break;
+    }
+  }
+}
+
+PreparedProblem::PreparedProblem(const Problem& p,
+                                 const std::vector<std::size_t>& dynamic_rows) {
+  problem_id_ = ++g_serial;
+  nv_ = p.num_vars();
+  mc_ = p.num_constraints();
+  c_ = p.objective();
+
+  // ---------- Variable mapping ----------
+  // Variables become non-negative columns; finite upper bounds on shifted
+  // variables become extra <= rows appended after the user's rows.
+  vmap_.resize(nv_);
+  ncols_ = 0;
+  struct BoundRow {
+    std::size_t col;
+    double rhs;
+  };
+  std::vector<BoundRow> bound_rows;
+  for (std::size_t j = 0; j < nv_; ++j) {
+    const double lo = p.lower(j);
+    const double hi = p.upper(j);
+    if (std::isfinite(lo)) {
+      vmap_[j] = {VarMap::Kind::kShiftedLow, ncols_, 0, lo};
+      ++ncols_;
+      if (std::isfinite(hi)) bound_rows.push_back({vmap_[j].col, hi - lo});
+    } else if (std::isfinite(hi)) {
+      vmap_[j] = {VarMap::Kind::kShiftedHigh, ncols_, 0, hi};
+      ++ncols_;
+    } else {
+      vmap_[j] = {VarMap::Kind::kSplit, ncols_, ncols_ + 1, 0.0};
+      ncols_ += 2;
+    }
+  }
+
+  m_ = mc_ + bound_rows.size();
+  rows_.assign(m_, RowInfo{});
+  row_coeffs_.reserve(mc_);
+  for (std::size_t i = 0; i < mc_; ++i) {
+    const Constraint& row = p.constraint(i);
+    OIC_REQUIRE(row.coeffs.size() == nv_, "PreparedProblem: ragged constraint row");
+    row_coeffs_.push_back(row.coeffs);
+    rows_[i].rel = row.rel;
+  }
+  for (std::size_t i : dynamic_rows) {
+    OIC_REQUIRE(i < mc_, "PreparedProblem: dynamic row index out of range");
+    rows_[i].dynamic = true;
+  }
+
+  // ---------- Column reservation ----------
+  // Walk the rows in emission order assigning slack/artificial columns, so
+  // the layout matches what a fresh conversion of the same Problem builds
+  // (dynamic inequality rows additionally reserve an artificial up front).
+  std::size_t next_extra = ncols_;
+  for (std::size_t i = 0; i < mc_; ++i) {
+    RowInfo& info = rows_[i];
+    // The *effective* relation depends on the rhs sign at emission time.
+    double b = p.constraint(i).rhs;
+    const linalg::Vector& coeffs = row_coeffs_[i];
+    for (std::size_t j = 0; j < nv_; ++j) {
+      const double aij = coeffs[j];
+      if (aij == 0.0) continue;
+      if (vmap_[j].kind != VarMap::Kind::kSplit) b -= aij * vmap_[j].offset;
+    }
+    info.flipped = b < 0.0;
+    const Relation eff = effective_relation(info.rel, info.flipped);
+    if (eff == Relation::kEqual) {
+      info.art_col = next_extra++;
+    } else if (eff == Relation::kLessEq) {
+      info.slack_col = next_extra++;
+      if (info.dynamic) info.art_col = next_extra++;
+    } else {  // kGreaterEq
+      info.slack_col = next_extra++;
+      info.art_col = next_extra++;
+    }
+  }
+  for (std::size_t i = 0; i < bound_rows.size(); ++i) {
+    rows_[mc_ + i].rel = Relation::kLessEq;
+    rows_[mc_ + i].slack_col = next_extra++;
+  }
+  n_ = next_extra;
+
+  // ---------- Template tableau ----------
+  a_.assign(m_ * n_, 0.0);
+  rhs_.assign(m_, 0.0);
+  basis0_.assign(m_, 0);
+  phase1_cost_.assign(n_, 0.0);
+  blocked0_.assign(n_, 0);
+  any_artificial_ = false;
+  for (const RowInfo& info : rows_) {
+    if (info.art_col != kNoCol) {
+      blocked0_[info.art_col] = 1;
+      any_artificial_ = true;  // column layout is fixed; never changes again
+    }
+  }
+  for (std::size_t i = 0; i < mc_; ++i) set_rhs(i, p.constraint(i).rhs);
+  for (std::size_t i = 0; i < bound_rows.size(); ++i) {
+    const std::size_t r = mc_ + i;
+    a_[r * n_ + bound_rows[i].col] = 1.0;
+    a_[r * n_ + rows_[r].slack_col] = 1.0;
+    rhs_[r] = bound_rows[i].rhs;
+    basis0_[r] = rows_[r].slack_col;
+  }
+
+  set_objective(c_);
+}
+
+void PreparedProblem::set_rhs(std::size_t i, double rhs) {
+  OIC_REQUIRE(i < mc_, "PreparedProblem::set_rhs: row index out of range");
+  RowInfo& info = rows_[i];
+
+  // Normalized right-hand side, accumulated in the same order as a fresh
+  // standard-form conversion (bit-parity matters for reproducibility).
+  double b = rhs;
+  const linalg::Vector& coeffs = row_coeffs_[i];
+  for (std::size_t j = 0; j < nv_; ++j) {
+    const double aij = coeffs[j];
+    if (aij == 0.0) continue;
+    if (vmap_[j].kind != VarMap::Kind::kSplit) b -= aij * vmap_[j].offset;
+  }
+  const bool flip = b < 0.0;
+
+  // Hot path: orientation unchanged -- the structural row, slack/artificial
+  // layout, starting basis and phase-1 costs already in the template are
+  // all still correct; only the scalar rhs moves.
+  if (info.emitted && flip == info.flipped) {
+    rhs_[i] = flip ? -b : b;
+    return;
+  }
+
+  if (flip != info.flipped && info.rel != Relation::kEqual) {
+    OIC_REQUIRE(info.dynamic,
+                "PreparedProblem::set_rhs: rhs sign change on a non-dynamic "
+                "inequality row would alter the standard-form structure; "
+                "declare the row dynamic at construction");
+  }
+  info.flipped = flip;
+  const Relation eff = effective_relation(info.rel, flip);
+
+  emit_structural(i, coeffs, flip ? -1.0 : 1.0);
+  double* row = &a_[i * n_];
+  if (info.slack_col != kNoCol) row[info.slack_col] = 0.0;
+  if (info.art_col != kNoCol) {
+    row[info.art_col] = 0.0;
+    phase1_cost_[info.art_col] = 0.0;
+  }
+  if (eff == Relation::kLessEq) {
+    row[info.slack_col] = 1.0;
+    basis0_[i] = info.slack_col;
+  } else if (eff == Relation::kGreaterEq) {
+    row[info.slack_col] = -1.0;
+    row[info.art_col] = 1.0;
+    basis0_[i] = info.art_col;
+    phase1_cost_[info.art_col] = 1.0;
+  } else {  // kEqual
+    row[info.art_col] = 1.0;
+    basis0_[i] = info.art_col;
+    phase1_cost_[info.art_col] = 1.0;
+  }
+  rhs_[i] = flip ? -b : b;
+  info.emitted = true;
+}
+
+void PreparedProblem::set_objective(const linalg::Vector& c) {
+  OIC_REQUIRE(c.size() == nv_, "PreparedProblem::set_objective: dimension mismatch");
+  ++objective_revision_;  // carried warm bases priced the old objective
+  c_ = c;
+  cost_.assign(n_, 0.0);
+  for (std::size_t j = 0; j < nv_; ++j) {
+    const double cj = c_[j];
+    if (cj == 0.0) continue;
+    switch (vmap_[j].kind) {
+      case VarMap::Kind::kShiftedLow:
+        cost_[vmap_[j].col] += cj;
+        break;
+      case VarMap::Kind::kShiftedHigh:
+        cost_[vmap_[j].col] -= cj;
+        break;
+      case VarMap::Kind::kSplit:
+        cost_[vmap_[j].col] += cj;
+        cost_[vmap_[j].col2] -= cj;
+        break;
+    }
+  }
+}
+
+Result PreparedProblem::solve(SolverWorkspace& ws, const SimplexOptions& opt) const {
+  // Overwriting the tableau orphans any WarmState annotating this
+  // workspace; clear the pairing token so solve_warm notices.
+  ws.warm_serial = 0;
+  // Working copies; std::vector::assign reuses capacity, so repeated solves
+  // through one workspace do not allocate.
+  ws.a.assign(a_.begin(), a_.end());
+  ws.rhs.assign(rhs_.begin(), rhs_.end());
+  ws.basis.assign(basis0_.begin(), basis0_.end());
+  return run_phases(ws, opt);
+}
+
+Result PreparedProblem::solve_once(const SimplexOptions& opt) && {
+  // The template will never be reused: hand its buffers to the phase
+  // driver directly instead of copying them.
+  SolverWorkspace ws;
+  ws.a = std::move(a_);
+  ws.rhs = std::move(rhs_);
+  ws.basis = std::move(basis0_);
+  return run_phases(ws, opt);
+}
+
+Result PreparedProblem::run_phases(SolverWorkspace& ws, const SimplexOptions& opt) const {
+  // ---------- Phase 1 ----------
+  if (any_artificial_) {
+    const Status s1 = run_phase(m_, n_, ws.a, ws.rhs, ws.basis, nullptr, phase1_cost_,
+                                ws.z, opt);
+    if (s1 == Status::kIterLimit) return {Status::kIterLimit, 0.0, {}};
+    OIC_CHECK(s1 != Status::kUnbounded, "simplex: phase 1 cannot be unbounded");
+    // Residual infeasibility = sum of artificial basic values.
+    double resid = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (phase1_cost_[ws.basis[i]] > 0.0) resid += ws.rhs[i];
+    }
+    if (resid > opt.feas_tol) return {Status::kInfeasible, 0.0, {}};
+
+    // Drive remaining zero-level artificials out of the basis where possible.
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (phase1_cost_[ws.basis[i]] == 0.0) continue;
+      std::size_t piv_col = n_;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (phase1_cost_[j] > 0.0) continue;  // never pivot in an artificial
+        if (std::fabs(ws.a[i * n_ + j]) > opt.pivot_tol) {
+          piv_col = j;
+          break;
+        }
+      }
+      if (piv_col == n_) continue;  // redundant row; artificial stays at zero
+      const double piv = ws.a[i * n_ + piv_col];
+      const double inv = 1.0 / piv;
+      for (std::size_t j = 0; j < n_; ++j) ws.a[i * n_ + j] *= inv;
+      ws.rhs[i] *= inv;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == i) continue;
+        const double f = ws.a[r * n_ + piv_col];
+        if (f == 0.0) continue;
+        for (std::size_t j = 0; j < n_; ++j) ws.a[r * n_ + j] -= f * ws.a[i * n_ + j];
+        ws.rhs[r] -= f * ws.rhs[i];
+      }
+      ws.basis[i] = piv_col;
+    }
+  }
+
+  // ---------- Phase 2 ----------
+  // Artificial columns are barred from entering (blocked0_ marks them).
+  const Status s2 = run_phase(m_, n_, ws.a, ws.rhs, ws.basis,
+                              any_artificial_ ? blocked0_.data() : nullptr, cost_,
+                              ws.z, opt);
+  if (s2 != Status::kOptimal) return {s2, 0.0, {}};
+
+  return extract(ws);
+}
+
+Result PreparedProblem::extract(SolverWorkspace& ws) const {
+  // Recover the original variables from the basic solution.
+  ws.y.assign(n_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) ws.y[ws.basis[i]] = ws.rhs[i];
+
+  linalg::Vector x(nv_);
+  for (std::size_t j = 0; j < nv_; ++j) {
+    switch (vmap_[j].kind) {
+      case VarMap::Kind::kShiftedLow:
+        x[j] = vmap_[j].offset + ws.y[vmap_[j].col];
+        break;
+      case VarMap::Kind::kShiftedHigh:
+        x[j] = vmap_[j].offset - ws.y[vmap_[j].col];
+        break;
+      case VarMap::Kind::kSplit:
+        x[j] = ws.y[vmap_[j].col] - ws.y[vmap_[j].col2];
+        break;
+    }
+  }
+  // Recompute the objective from the original data; this is immune to any
+  // accumulated tableau round-off.
+  const double obj = linalg::dot(c_, x);
+  return {Status::kOptimal, obj, std::move(x)};
+}
+
+Result PreparedProblem::solve_warm(SolverWorkspace& ws, WarmState& warm,
+                                   const SimplexOptions& opt) const {
+  if (warm.objective_revision != objective_revision_) warm.valid = false;
+  // A valid WarmState annotates the tableau of the exact (problem,
+  // workspace, solve) triple it was produced with; any mismatch -- fresh
+  // workspace, foreign workspace of any shape, one since overwritten by
+  // another solve, or a snapshot taken by a different PreparedProblem --
+  // means the carried tableau is not ours: fall back cold.
+  if (warm.serial == 0 || warm.serial != ws.warm_serial ||
+      warm.problem_id != problem_id_) {
+    warm.valid = false;
+  }
+
+  // Cold path: run both phases, then snapshot the optimum so the next call
+  // can continue from it.
+  if (!warm.valid) {
+    const Result r = solve(ws, opt);
+    if (r.status == Status::kOptimal) {
+      warm.b.assign(rhs_.begin(), rhs_.end());
+      warm.flip.resize(m_);
+      for (std::size_t i = 0; i < m_; ++i) warm.flip[i] = rows_[i].flipped ? 1 : 0;
+      warm.valid = true;
+      warm.solves_since_cold = 0;
+      warm.objective_revision = objective_revision_;
+      warm.serial = ++g_serial;
+      warm.problem_id = problem_id_;
+      ws.warm_serial = warm.serial;
+    }
+    return r;
+  }
+
+  // ---- Rhs update in the carried basis ----
+  // The tableau rows keep the orientation they had at snapshot time; a row
+  // whose template orientation has since flipped (set_rhs crossed zero) is
+  // accounted for by negating the target value.  Each row's standard-form
+  // unit column -- the one that carried +1 at snapshot time: the slack for
+  // an effectively-<= row, the artificial for >= and equality rows -- holds
+  // the matching column of B^-1, so the basic solution shifts by
+  // B^-1 e_r * delta_r.
+  for (std::size_t r = 0; r < m_; ++r) {
+    const double oriented =
+        (rows_[r].flipped ? 1 : 0) == warm.flip[r] ? rhs_[r] : -rhs_[r];
+    const double delta = oriented - warm.b[r];
+    if (delta == 0.0) continue;
+    const Relation eff_snap = effective_relation(rows_[r].rel, warm.flip[r] != 0);
+    const std::size_t unit =
+        eff_snap == Relation::kLessEq ? rows_[r].slack_col : rows_[r].art_col;
+    for (std::size_t i = 0; i < m_; ++i) ws.rhs[i] += ws.a[i * n_ + unit] * delta;
+    warm.b[r] = oriented;
+  }
+
+  // ---- Dual simplex: restore primal feasibility, keep dual feasibility ----
+  const unsigned char* blocked = any_artificial_ ? blocked0_.data() : nullptr;
+  const std::size_t max_dual_iters = m_ + 200;
+  bool ok = false;
+  for (std::size_t iter = 0; iter <= max_dual_iters; ++iter) {
+    // Leaving row: most negative basic value.
+    std::size_t leave = m_;
+    double most_neg = -1e-9;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (ws.rhs[i] < most_neg) {
+        most_neg = ws.rhs[i];
+        leave = i;
+      }
+    }
+    if (leave == m_) {
+      ok = true;
+      break;
+    }
+    if (iter == max_dual_iters) break;  // stalled; fall back to a cold solve
+
+    // Entering column: dual ratio test over the leaving row's negative
+    // entries (artificials stay barred).
+    double* lrow = &ws.a[leave * n_];
+    std::size_t enter = n_;
+    double best_ratio = kInf;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (blocked && blocked[j]) continue;
+      if (lrow[j] < -opt.pivot_tol) {
+        const double ratio = ws.z[j] / -lrow[j];
+        // Strict improvement only: near-ties keep the earlier (lowest)
+        // column, since j scans ascending -- a Bland-style bias that
+        // guards against dual cycling.
+        if (ratio < best_ratio - 1e-12) {
+          best_ratio = ratio;
+          enter = j;
+        }
+      }
+    }
+    if (enter == n_) {
+      // No entering column: the carried tableau says the patched LP is
+      // primal infeasible.  The dual test triggers at a much tighter
+      // tolerance than the cold path's phase-1 feas_tol, so confirm through
+      // a cold solve rather than rejecting a marginally-feasible state the
+      // two-phase path would accept.  (Infeasible queries are rare; the
+      // extra cold solve is noise.)
+      warm.valid = false;
+      return solve_warm(ws, warm, opt);
+    }
+
+    // Pivot (identical mechanics to the primal phase).
+    const double piv = lrow[enter];
+    const double inv = 1.0 / piv;
+    for (std::size_t j = 0; j < n_; ++j) lrow[j] *= inv;
+    ws.rhs[leave] *= inv;
+    lrow[enter] = 1.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == leave) continue;
+      double* irow = &ws.a[i * n_];
+      const double f = irow[enter];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n_; ++j) irow[j] -= f * lrow[j];
+      irow[enter] = 0.0;
+      ws.rhs[i] -= f * ws.rhs[leave];
+      if (ws.rhs[i] < 0.0 && ws.rhs[i] > -1e-11) ws.rhs[i] = 0.0;
+    }
+    const double fz = ws.z[enter];
+    if (fz != 0.0) {
+      for (std::size_t j = 0; j < n_; ++j) ws.z[j] -= fz * lrow[j];
+      ws.z[enter] = 0.0;
+    }
+    ws.basis[leave] = enter;
+  }
+
+  if (!ok) {
+    // Dual iteration stalled (degenerate cycling); redo a cold solve.
+    warm.valid = false;
+    return solve_warm(ws, warm, opt);
+  }
+  // Scheduled refactorization: bound accumulated round-off in the carried
+  // tableau by forcing the next call through the cold path.
+  if (++warm.solves_since_cold >= 64) warm.valid = false;
+  return extract(ws);
+}
+
+}  // namespace oic::lp

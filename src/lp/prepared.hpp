@@ -1,0 +1,174 @@
+#pragma once
+/// \file prepared.hpp
+/// Workspace-reuse LP solving.
+///
+/// lp::solve() converts the Problem to a standard-form tableau from scratch
+/// on every call.  That conversion (column mapping, row normalization,
+/// slack/artificial placement) depends only on the problem *structure*, not
+/// on the numbers, yet it dominates the cost of the small LPs this library
+/// solves in inner loops (MPC steps, support functions).
+///
+/// A PreparedProblem performs the conversion once and caches the resulting
+/// tableau as an immutable template.  Each solve copies the template into a
+/// caller-provided SolverWorkspace (a pair of buffer reuses, no allocation
+/// after warm-up) and runs the identical two-phase simplex, so results are
+/// bit-for-bit the same as a fresh lp::solve() of the same Problem.
+///
+/// Between solves the caller may patch
+///   * the objective (set_objective)           -- any values, and
+///   * individual constraint right-hand sides (set_rhs) -- for kEqual rows
+///     always; for inequality rows only while the normalized rhs keeps its
+///     sign (the standard-form column structure would change otherwise;
+///     declare such rows "dynamic" at construction to reserve the extra
+///     slack+artificial columns up front).
+///
+/// This is the engine behind poly::SupportSolver (repeated support queries
+/// on one polytope) and the TubeMpc per-step solve (only the x(0) = x0
+/// equality rows change between control periods).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace oic::lp {
+
+/// Reusable solve-time scratch memory.  One workspace may be shared by any
+/// number of PreparedProblems, but not by concurrent solves; give each
+/// thread its own.
+struct SolverWorkspace {
+  std::vector<double> a;       ///< working tableau, m x n row-major
+  std::vector<double> rhs;
+  std::vector<double> z;       ///< reduced-cost row
+  std::vector<std::size_t> basis;
+  std::vector<double> y;       ///< basic-solution scratch for recovery
+  std::uint64_t warm_serial = 0;  ///< pairing token; see WarmState::serial
+};
+
+/// A Problem converted to standard form once, solvable many times.
+class PreparedProblem {
+ public:
+  /// Convert `p`.  `dynamic_rows` lists constraint rows whose rhs will be
+  /// patched with set_rhs to values that may flip the sign of the
+  /// normalized right-hand side; such inequality rows get both a slack and
+  /// an artificial column reserved eagerly.  kEqual rows never need to be
+  /// declared (their structure is sign-independent).  The Problem is copied
+  /// from; it may be destroyed afterwards.
+  explicit PreparedProblem(const Problem& p,
+                           const std::vector<std::size_t>& dynamic_rows = {});
+
+  /// Number of original variables.
+  std::size_t num_vars() const { return nv_; }
+  /// Number of original constraint rows.
+  std::size_t num_constraints() const { return mc_; }
+
+  /// Patch the right-hand side of constraint row `i`.  See the class
+  /// comment for which rows accept which values.
+  void set_rhs(std::size_t i, double rhs);
+
+  /// Replace the objective vector (minimized); dimension must be num_vars().
+  void set_objective(const linalg::Vector& c);
+
+  /// Solve with the current objective/rhs.  Identical semantics to
+  /// lp::solve() of the equivalent Problem.
+  Result solve(SolverWorkspace& ws, const SimplexOptions& options = {}) const;
+
+  /// Warm-start continuation state for solve_warm.  Owned by the caller
+  /// alongside the SolverWorkspace whose tableau it annotates.
+  struct WarmState {
+    bool valid = false;
+    std::vector<double> b;            ///< rhs snapshot, fixed row orientation
+    std::vector<unsigned char> flip;  ///< row orientation at snapshot time
+    std::size_t solves_since_cold = 0;
+    std::size_t objective_revision = 0;
+    /// Pairing token stamped into both this state and the workspace whose
+    /// tableau it annotates; a mismatch (foreign or reused workspace, even
+    /// of identical dimensions) forces the cold path instead of continuing
+    /// from an unrelated tableau.
+    std::uint64_t serial = 0;
+    /// Identity of the PreparedProblem the snapshot belongs to; a warm
+    /// state handed to a different problem instance falls back cold.
+    std::uint64_t problem_id = 0;
+  };
+
+  /// Solve like solve(), but when `warm` holds the optimum of a previous
+  /// solve through the same workspace, continue from that basis with the
+  /// dual simplex instead of restarting both phases.
+  ///
+  /// Rationale: between successive solves of a receding-horizon controller
+  /// only a few right-hand sides change.  The old optimal basis stays dual
+  /// feasible (the objective is unchanged), and the standard-form unit
+  /// columns of the final tableau hold B^-1, so the new basic solution is a
+  /// rank-k rhs update followed by a handful of dual pivots -- versus ~50
+  /// two-phase pivots for a cold MPC solve.  Falls back to the cold path on
+  /// any numerical trouble, after an objective change, or every 64 solves
+  /// (bounds round-off drift in the carried tableau).  The result is an
+  /// exact optimum either way; it may differ from the cold solve's argmin
+  /// only when the optimum is non-unique.
+  Result solve_warm(SolverWorkspace& ws, WarmState& warm,
+                    const SimplexOptions& options = {}) const;
+
+  /// One-shot solve for a PreparedProblem that will not be reused: moves
+  /// the template tableau into the phase driver instead of copying it.
+  /// Rvalue-qualified -- only callable on a temporary; leaves the object
+  /// unusable.  This is lp::solve()'s backend.
+  Result solve_once(const SimplexOptions& options = {}) &&;
+
+  /// Columns of the standard-form tableau (diagnostics / sizing).
+  std::size_t num_cols() const { return n_; }
+  /// Rows of the standard-form tableau (constraints + bound rows).
+  std::size_t num_rows() const { return m_; }
+
+ private:
+  /// How an original variable maps into the standard-form columns.
+  struct VarMap {
+    enum class Kind { kShiftedLow, kShiftedHigh, kSplit } kind = Kind::kSplit;
+    std::size_t col = 0;   ///< primary standard column
+    std::size_t col2 = 0;  ///< negative part for kSplit
+    double offset = 0.0;   ///< x = offset + y (kShiftedLow) / offset - y (kShiftedHigh)
+  };
+
+  /// Per-row patch metadata.
+  struct RowInfo {
+    Relation rel = Relation::kLessEq;
+    bool flipped = false;        ///< row was negated to make rhs >= 0
+    bool dynamic = false;        ///< eager slack+artificial columns reserved
+    bool emitted = false;        ///< structural row written into the template
+    std::size_t slack_col = kNoCol;
+    std::size_t art_col = kNoCol;
+  };
+  static constexpr std::size_t kNoCol = static_cast<std::size_t>(-1);
+
+  void emit_structural(std::size_t r, const linalg::Vector& coeffs, double sign);
+
+  std::size_t nv_ = 0;  ///< original variables
+  std::size_t mc_ = 0;  ///< original constraint rows
+  std::size_t m_ = 0;   ///< tableau rows (mc_ + bound rows)
+  std::size_t n_ = 0;   ///< tableau columns
+  std::size_t ncols_ = 0;  ///< structural columns (before slack/artificial)
+
+  std::vector<VarMap> vmap_;
+  std::vector<RowInfo> rows_;
+  std::vector<linalg::Vector> row_coeffs_;  ///< original coefficient rows (for re-emission)
+
+  // Immutable-per-structure template; rhs/cost blocks mutate via setters.
+  std::vector<double> a_;             ///< m_ x n_ template tableau
+  std::vector<double> rhs_;
+  std::vector<double> cost_;          ///< phase-2 costs over standard columns
+  std::vector<double> phase1_cost_;
+  std::vector<std::size_t> basis0_;   ///< starting basis
+  std::vector<unsigned char> blocked0_;
+  bool any_artificial_ = false;
+  std::size_t objective_revision_ = 0;  ///< bumped by set_objective (invalidates warm)
+  std::uint64_t problem_id_ = 0;        ///< unique per instance (warm-state pairing)
+
+  linalg::Vector c_;  ///< original objective (objective recovery)
+
+  Result run_phases(SolverWorkspace& ws, const SimplexOptions& options) const;
+  Result extract(SolverWorkspace& ws) const;
+};
+
+}  // namespace oic::lp

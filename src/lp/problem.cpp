@@ -55,6 +55,14 @@ void Problem::add_constraint(const linalg::Vector& coeffs, Relation rel, double 
   rows_.push_back(Constraint{coeffs, rel, rhs});
 }
 
+void Problem::add_constraint(const double* coeffs, std::size_t n, Relation rel,
+                             double rhs) {
+  OIC_REQUIRE(coeffs != nullptr && n == num_vars(),
+              "Problem::add_constraint: coefficient dimension mismatch");
+  rows_.push_back(
+      Constraint{linalg::Vector(std::vector<double>(coeffs, coeffs + n)), rel, rhs});
+}
+
 const Constraint& Problem::constraint(std::size_t i) const {
   OIC_REQUIRE(i < rows_.size(), "Problem::constraint: row out of range");
   return rows_[i];

@@ -64,6 +64,9 @@ class Problem {
 
   /// Append a dense constraint row; `coeffs` must have num_vars() entries.
   void add_constraint(const linalg::Vector& coeffs, Relation rel, double rhs);
+  /// Same, reading `num_vars()` coefficients from raw storage (lets callers
+  /// feed matrix rows without materializing a Vector per row).
+  void add_constraint(const double* coeffs, std::size_t n, Relation rel, double rhs);
   /// Constraint row i.
   const Constraint& constraint(std::size_t i) const;
 

@@ -1,10 +1,6 @@
 #include "lp/simplex.hpp"
 
-#include <cmath>
-#include <limits>
-#include <vector>
-
-#include "common/error.hpp"
+#include "lp/prepared.hpp"
 
 namespace oic::lp {
 
@@ -22,358 +18,13 @@ const char* to_string(Status s) {
   return "unknown";
 }
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// How an original variable maps into the standard-form columns.
-struct VarMap {
-  enum class Kind { kShiftedLow, kShiftedHigh, kSplit } kind;
-  std::size_t col = 0;   // primary standard column
-  std::size_t col2 = 0;  // negative part for kSplit
-  double offset = 0.0;   // x = offset + y (kShiftedLow) or x = offset - y (kShiftedHigh)
-};
-
-/// Dense standard-form tableau: minimize c.y s.t. T y = rhs, y >= 0.
-struct Tableau {
-  std::size_t m = 0;  // rows
-  std::size_t n = 0;  // columns (excluding rhs)
-  std::vector<double> a;  // m x n row-major
-  std::vector<double> rhs;
-  std::vector<double> cost;       // phase-2 costs over standard columns
-  std::vector<std::size_t> basis; // basis[i] = column basic in row i
-  std::vector<bool> blocked;      // columns barred from entering (artificials)
-
-  double& at(std::size_t r, std::size_t c) { return a[r * n + c]; }
-  double at(std::size_t r, std::size_t c) const { return a[r * n + c]; }
-};
-
-/// One simplex phase over explicit reduced costs computed from `phase_cost`.
-/// Returns kOptimal when reduced costs are non-negative, kUnbounded when an
-/// entering column has no blocking row, kIterLimit otherwise.
-Status run_phase(Tableau& t, const std::vector<double>& phase_cost,
-                 const SimplexOptions& opt) {
-  const std::size_t m = t.m;
-  const std::size_t n = t.n;
-
-  // Reduced-cost row (dual form): z_j = phase_cost_j - sum_i y_i * a_ij where
-  // y solves B^T y = c_B.  With a tableau kept in "basis = identity" form the
-  // reduced costs can be maintained by direct elimination, which is what we
-  // do: `z` mirrors the classical bottom row.
-  std::vector<double> z = phase_cost;
-  double obj = 0.0;
-  for (std::size_t i = 0; i < m; ++i) {
-    const double cb = phase_cost[t.basis[i]];
-    if (cb == 0.0) continue;
-    obj += cb * t.rhs[i];
-    for (std::size_t j = 0; j < n; ++j) z[j] -= cb * t.at(i, j);
-  }
-
-  std::size_t stall = 0;
-  double best_obj = obj;
-  bool use_bland = false;
-
-  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
-    // --- Choose the entering column ---
-    std::size_t enter = n;
-    if (use_bland) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (!t.blocked[j] && z[j] < -opt.cost_tol) {
-          enter = j;
-          break;
-        }
-      }
-    } else {
-      double best = -opt.cost_tol;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (!t.blocked[j] && z[j] < best) {
-          best = z[j];
-          enter = j;
-        }
-      }
-    }
-    if (enter == n) return Status::kOptimal;
-
-    // --- Ratio test ---
-    std::size_t leave = m;
-    double best_ratio = kInf;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double aie = t.at(i, enter);
-      if (aie > opt.pivot_tol) {
-        const double ratio = t.rhs[i] / aie;
-        if (ratio < best_ratio - 1e-12 ||
-            (ratio < best_ratio + 1e-12 && leave != m &&
-             t.basis[i] < t.basis[leave])) {
-          best_ratio = ratio;
-          leave = i;
-        }
-      }
-    }
-    if (leave == m) return Status::kUnbounded;
-
-    // --- Pivot ---
-    const double piv = t.at(leave, enter);
-    OIC_CHECK(std::fabs(piv) > opt.pivot_tol, "simplex: degenerate pivot slipped through");
-    const double inv = 1.0 / piv;
-    for (std::size_t j = 0; j < n; ++j) t.at(leave, j) *= inv;
-    t.rhs[leave] *= inv;
-    t.at(leave, enter) = 1.0;  // clean exact value
-
-    for (std::size_t i = 0; i < m; ++i) {
-      if (i == leave) continue;
-      const double f = t.at(i, enter);
-      if (f == 0.0) continue;
-      for (std::size_t j = 0; j < n; ++j) t.at(i, j) -= f * t.at(leave, j);
-      t.at(i, enter) = 0.0;
-      t.rhs[i] -= f * t.rhs[leave];
-      if (t.rhs[i] < 0.0 && t.rhs[i] > -1e-11) t.rhs[i] = 0.0;
-    }
-    const double fz = z[enter];
-    if (fz != 0.0) {
-      for (std::size_t j = 0; j < n; ++j) z[j] -= fz * t.at(leave, j);
-      z[enter] = 0.0;
-      obj -= fz * t.rhs[leave];
-    }
-    t.basis[leave] = enter;
-
-    // --- Anti-cycling bookkeeping ---
-    if (obj < best_obj - 1e-12) {
-      best_obj = obj;
-      stall = 0;
-      use_bland = false;
-    } else if (++stall >= opt.stall_limit) {
-      use_bland = true;
-    }
-  }
-  return Status::kIterLimit;
-}
-
-}  // namespace
-
 Result solve(const Problem& p, const SimplexOptions& opt) {
-  const std::size_t nv = p.num_vars();
-  const std::size_t mc = p.num_constraints();
-
-  // ---------- Standard-form conversion ----------
-  // Variables become non-negative columns; finite upper bounds on shifted
-  // variables become extra <= rows appended after the user's rows.
-  std::vector<VarMap> vmap(nv);
-  std::size_t ncols = 0;
-  struct BoundRow {
-    std::size_t col;
-    double rhs;
-  };
-  std::vector<BoundRow> bound_rows;
-
-  for (std::size_t j = 0; j < nv; ++j) {
-    const double lo = p.lower(j);
-    const double hi = p.upper(j);
-    if (std::isfinite(lo)) {
-      vmap[j] = {VarMap::Kind::kShiftedLow, ncols, 0, lo};
-      ++ncols;
-      if (std::isfinite(hi)) bound_rows.push_back({vmap[j].col, hi - lo});
-    } else if (std::isfinite(hi)) {
-      vmap[j] = {VarMap::Kind::kShiftedHigh, ncols, 0, hi};
-      ++ncols;
-    } else {
-      vmap[j] = {VarMap::Kind::kSplit, ncols, ncols + 1, 0.0};
-      ncols += 2;
-    }
-  }
-
-  const std::size_t m = mc + bound_rows.size();
-  // Each row gets a slack/surplus and possibly an artificial; reserve both.
-  const std::size_t max_cols = ncols + 2 * m;
-
-  Tableau t;
-  t.m = m;
-  t.n = max_cols;
-  t.a.assign(m * max_cols, 0.0);
-  t.rhs.assign(m, 0.0);
-  t.cost.assign(max_cols, 0.0);
-  t.basis.assign(m, 0);
-  t.blocked.assign(max_cols, false);
-
-  // Objective over standard columns.
-  for (std::size_t j = 0; j < nv; ++j) {
-    const double cj = p.objective()[j];
-    if (cj == 0.0) continue;
-    switch (vmap[j].kind) {
-      case VarMap::Kind::kShiftedLow:
-        t.cost[vmap[j].col] += cj;
-        break;
-      case VarMap::Kind::kShiftedHigh:
-        t.cost[vmap[j].col] -= cj;
-        break;
-      case VarMap::Kind::kSplit:
-        t.cost[vmap[j].col] += cj;
-        t.cost[vmap[j].col2] -= cj;
-        break;
-    }
-  }
-  // Constant objective offset from shifted variables.
-  double obj_offset = 0.0;
-  for (std::size_t j = 0; j < nv; ++j) {
-    if (vmap[j].kind != VarMap::Kind::kSplit) obj_offset += p.objective()[j] * vmap[j].offset;
-  }
-
-  // Fill constraint rows (user rows then bound rows).
-  std::size_t next_extra = ncols;  // next free column for slack/artificial
-  std::vector<std::size_t> artificial_cols;
-  std::vector<double> phase1_cost(max_cols, 0.0);
-
-  auto emit_row = [&](std::size_t r, const linalg::Vector* coeffs, Relation rel,
-                      double rhs, const BoundRow* brow) {
-    double b = rhs;
-    if (coeffs != nullptr) {
-      for (std::size_t j = 0; j < nv; ++j) {
-        const double aij = (*coeffs)[j];
-        if (aij == 0.0) continue;
-        switch (vmap[j].kind) {
-          case VarMap::Kind::kShiftedLow:
-            t.at(r, vmap[j].col) += aij;
-            b -= aij * vmap[j].offset;
-            break;
-          case VarMap::Kind::kShiftedHigh:
-            t.at(r, vmap[j].col) -= aij;
-            b -= aij * vmap[j].offset;
-            break;
-          case VarMap::Kind::kSplit:
-            t.at(r, vmap[j].col) += aij;
-            t.at(r, vmap[j].col2) -= aij;
-            break;
-        }
-      }
-    } else {
-      t.at(r, brow->col) = 1.0;
-      b = brow->rhs;
-      rel = Relation::kLessEq;
-    }
-
-    // Normalize to b >= 0.
-    bool flipped = false;
-    if (b < 0.0) {
-      for (std::size_t j = 0; j < ncols; ++j) t.at(r, j) = -t.at(r, j);
-      b = -b;
-      flipped = true;
-      if (rel == Relation::kLessEq)
-        rel = Relation::kGreaterEq;
-      else if (rel == Relation::kGreaterEq)
-        rel = Relation::kLessEq;
-    }
-    (void)flipped;
-    t.rhs[r] = b;
-
-    if (rel == Relation::kLessEq) {
-      const std::size_t s = next_extra++;
-      t.at(r, s) = 1.0;
-      t.basis[r] = s;
-    } else if (rel == Relation::kGreaterEq) {
-      const std::size_t s = next_extra++;
-      t.at(r, s) = -1.0;
-      const std::size_t art = next_extra++;
-      t.at(r, art) = 1.0;
-      t.basis[r] = art;
-      artificial_cols.push_back(art);
-      phase1_cost[art] = 1.0;
-    } else {  // kEqual
-      const std::size_t art = next_extra++;
-      t.at(r, art) = 1.0;
-      t.basis[r] = art;
-      artificial_cols.push_back(art);
-      phase1_cost[art] = 1.0;
-    }
-  };
-
-  for (std::size_t i = 0; i < mc; ++i) {
-    const Constraint& row = p.constraint(i);
-    emit_row(i, &row.coeffs, row.rel, row.rhs, nullptr);
-  }
-  for (std::size_t i = 0; i < bound_rows.size(); ++i) {
-    emit_row(mc + i, nullptr, Relation::kLessEq, 0.0, &bound_rows[i]);
-  }
-
-  // Shrink to the columns actually used.
-  const std::size_t used = next_extra;
-  if (used < max_cols) {
-    std::vector<double> a2(m * used);
-    for (std::size_t r = 0; r < m; ++r)
-      for (std::size_t c = 0; c < used; ++c) a2[r * used + c] = t.at(r, c);
-    t.a = std::move(a2);
-    t.n = used;
-    t.cost.resize(used);
-    t.blocked.resize(used);
-    phase1_cost.resize(used);
-  }
-
-  // ---------- Phase 1 ----------
-  if (!artificial_cols.empty()) {
-    const Status s1 = run_phase(t, phase1_cost, opt);
-    if (s1 == Status::kIterLimit) return {Status::kIterLimit, 0.0, {}};
-    OIC_CHECK(s1 != Status::kUnbounded, "simplex: phase 1 cannot be unbounded");
-    // Residual infeasibility = sum of artificial basic values.
-    double resid = 0.0;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (phase1_cost[t.basis[i]] > 0.0) resid += t.rhs[i];
-    }
-    if (resid > opt.feas_tol) return {Status::kInfeasible, 0.0, {}};
-
-    // Drive remaining zero-level artificials out of the basis where possible.
-    for (std::size_t i = 0; i < m; ++i) {
-      if (phase1_cost[t.basis[i]] == 0.0) continue;
-      std::size_t piv_col = t.n;
-      for (std::size_t j = 0; j < t.n; ++j) {
-        if (phase1_cost[j] > 0.0) continue;  // never pivot in an artificial
-        if (std::fabs(t.at(i, j)) > opt.pivot_tol) {
-          piv_col = j;
-          break;
-        }
-      }
-      if (piv_col == t.n) continue;  // redundant row; artificial stays at zero
-      const double piv = t.at(i, piv_col);
-      const double inv = 1.0 / piv;
-      for (std::size_t j = 0; j < t.n; ++j) t.at(i, j) *= inv;
-      t.rhs[i] *= inv;
-      for (std::size_t r = 0; r < m; ++r) {
-        if (r == i) continue;
-        const double f = t.at(r, piv_col);
-        if (f == 0.0) continue;
-        for (std::size_t j = 0; j < t.n; ++j) t.at(r, j) -= f * t.at(i, j);
-        t.rhs[r] -= f * t.rhs[i];
-      }
-      t.basis[i] = piv_col;
-    }
-    // Bar artificials from ever entering again.
-    for (std::size_t c : artificial_cols) t.blocked[c] = true;
-  }
-
-  // ---------- Phase 2 ----------
-  const Status s2 = run_phase(t, t.cost, opt);
-  if (s2 != Status::kOptimal) return {s2, 0.0, {}};
-
-  // ---------- Recover the original variables ----------
-  std::vector<double> y(t.n, 0.0);
-  for (std::size_t i = 0; i < m; ++i) y[t.basis[i]] = t.rhs[i];
-
-  linalg::Vector x(nv);
-  for (std::size_t j = 0; j < nv; ++j) {
-    switch (vmap[j].kind) {
-      case VarMap::Kind::kShiftedLow:
-        x[j] = vmap[j].offset + y[vmap[j].col];
-        break;
-      case VarMap::Kind::kShiftedHigh:
-        x[j] = vmap[j].offset - y[vmap[j].col];
-        break;
-      case VarMap::Kind::kSplit:
-        x[j] = y[vmap[j].col] - y[vmap[j].col2];
-        break;
-    }
-  }
-  // Recompute the objective from the original data; this is immune to any
-  // accumulated tableau round-off.
-  (void)obj_offset;
-  const double obj = linalg::dot(p.objective(), x);
-  return {Status::kOptimal, obj, std::move(x)};
+  // One-shot path: prepare, then solve by moving the template into the
+  // phase driver (no tableau copy).  Hot loops that solve the same
+  // structure repeatedly should hold a PreparedProblem + SolverWorkspace
+  // instead (see lp/prepared.hpp); the phases and the arithmetic are
+  // shared, so both paths return bit-identical results.
+  return PreparedProblem(p).solve_once(opt);
 }
 
 }  // namespace oic::lp

@@ -8,6 +8,7 @@
 #include "linalg/lu.hpp"
 #include "lp/problem.hpp"
 #include "lp/simplex.hpp"
+#include "poly/support_solver.hpp"
 
 namespace oic::poly {
 
@@ -48,6 +49,12 @@ HPolytope HPolytope::sym_box(const Vector& r) {
 
 HPolytope HPolytope::l1_ball(std::size_t dim, double r) {
   OIC_REQUIRE(dim >= 1, "HPolytope::l1_ball: dimension must be positive");
+  // The halfspace description of a cross-polytope needs one row per sign
+  // pattern -- 2^dim rows.  Beyond ~16 dimensions that is no longer a
+  // usable representation (65k+ rows), only a memory bomb; refuse early.
+  OIC_REQUIRE(dim <= kL1BallMaxDim,
+              "HPolytope::l1_ball: dimension too large (2^dim facet rows; "
+              "use sym_box or a custom template for high dimensions)");
   OIC_REQUIRE(r >= 0.0, "HPolytope::l1_ball: radius must be non-negative");
   // All sign patterns of sum(+-x_i) <= r.
   const std::size_t rows = std::size_t{1} << dim;
@@ -88,12 +95,14 @@ bool HPolytope::is_empty() const {
 }
 
 bool HPolytope::is_bounded() const {
+  SupportSolver solver(*this);
+  Vector d(dim());
   for (std::size_t j = 0; j < dim(); ++j) {
-    Vector d(dim());
     d[j] = 1.0;
-    if (!support(d).bounded) return false;
+    if (!solver.support(d).bounded) return false;
     d[j] = -1.0;
-    if (!support(d).bounded) return false;
+    if (!solver.support(d).bounded) return false;
+    d[j] = 0.0;
   }
   return true;
 }
@@ -191,9 +200,15 @@ HPolytope HPolytope::affine_image_invertible(const Matrix& m, const Vector& t) c
 
 HPolytope HPolytope::pontryagin_diff(const HPolytope& q) const {
   OIC_REQUIRE(dim() == q.dim(), "HPolytope::pontryagin_diff: dimension mismatch");
+  // One LP per facet, all over Q's constraint system: build Q's tableau
+  // once and only swap objectives.
+  SupportSolver q_support(q);
   Vector b2 = b_;
+  Vector normal(dim());
   for (std::size_t i = 0; i < num_constraints(); ++i) {
-    const Support s = q.support(a_.row(i));
+    const double* row = a_.row_data(i);
+    for (std::size_t j = 0; j < dim(); ++j) normal[j] = row[j];
+    const Support s = q_support.support(normal);
     OIC_REQUIRE(s.feasible, "pontryagin_diff: subtrahend is empty");
     OIC_REQUIRE(s.bounded, "pontryagin_diff: subtrahend unbounded along a facet normal");
     b2[i] -= s.value;
@@ -272,18 +287,20 @@ HPolytope HPolytope::remove_redundancy(double tol) const {
 }
 
 std::optional<std::pair<Vector, Vector>> HPolytope::bounding_box() const {
+  SupportSolver solver(*this);
   Vector lo(dim()), hi(dim());
+  Vector d(dim());
   for (std::size_t j = 0; j < dim(); ++j) {
-    Vector d(dim());
     d[j] = 1.0;
-    const Support up = support(d);
+    const Support up = solver.support(d);
     if (!up.feasible) return std::nullopt;
     if (!up.bounded) return std::nullopt;
     d[j] = -1.0;
-    const Support dn = support(d);
+    const Support dn = solver.support(d);
     if (!dn.feasible || !dn.bounded) return std::nullopt;
     hi[j] = up.value;
     lo[j] = -dn.value;
+    d[j] = 0.0;
   }
   return std::make_pair(lo, hi);
 }
@@ -407,8 +424,12 @@ HPolytope HPolytope::from_vertices_2d(const std::vector<Vector>& pts) {
 bool contains_polytope(const HPolytope& outer, const HPolytope& inner, double tol) {
   OIC_REQUIRE(outer.dim() == inner.dim(), "contains_polytope: dimension mismatch");
   if (inner.is_empty()) return true;
+  SupportSolver inner_support(inner);
+  Vector normal(outer.dim());
   for (std::size_t i = 0; i < outer.num_constraints(); ++i) {
-    const Support s = inner.support(outer.normal(i));
+    const double* row = outer.a().row_data(i);
+    for (std::size_t j = 0; j < outer.dim(); ++j) normal[j] = row[j];
+    const Support s = inner_support.support(normal);
     if (!s.bounded) return false;
     if (s.value > outer.offset(i) + tol) return false;
   }

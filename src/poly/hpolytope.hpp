@@ -53,7 +53,11 @@ class HPolytope {
   /// Symmetric box { |x_i| <= r_i }.
   static HPolytope sym_box(const linalg::Vector& r);
   /// 1-norm ball of radius r in the given dimension (cross-polytope).
+  /// The H-representation has 2^dim facets, so dim is capped at
+  /// kL1BallMaxDim; larger requests throw PreconditionError.
   static HPolytope l1_ball(std::size_t dim, double r);
+  /// Largest dimension l1_ball accepts (2^16 = 65536 facet rows).
+  static constexpr std::size_t kL1BallMaxDim = 16;
   /// Convex hull of 2-D points (exact, via monotone chain).  Degenerate
   /// inputs (all collinear) produce the corresponding flat polytope.
   static HPolytope from_vertices_2d(const std::vector<linalg::Vector>& pts);

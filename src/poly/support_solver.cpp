@@ -1,0 +1,51 @@
+#include "poly/support_solver.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::poly {
+
+namespace {
+
+lp::Problem constraint_system(const HPolytope& p) {
+  lp::Problem lp(p.dim());
+  const linalg::Matrix& a = p.a();
+  for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+    lp.add_constraint(a.row_data(i), a.cols(), lp::Relation::kLessEq, p.b()[i]);
+  }
+  return lp;
+}
+
+}  // namespace
+
+SupportSolver::SupportSolver(const HPolytope& p)
+    : dim_(p.dim()), prep_(constraint_system(p)), obj_(p.dim()) {}
+
+Support SupportSolver::support(const linalg::Vector& d) {
+  OIC_REQUIRE(d.size() == dim_, "SupportSolver::support: dimension mismatch");
+  // maximize d.x == minimize -d.x
+  for (std::size_t j = 0; j < dim_; ++j) obj_[j] = -d[j];
+  prep_.set_objective(obj_);
+  const lp::Result r = prep_.solve(ws_);
+  Support s;
+  switch (r.status) {
+    case lp::Status::kOptimal:
+      s.bounded = true;
+      s.feasible = true;
+      s.value = -r.objective;
+      s.maximizer = r.x;
+      break;
+    case lp::Status::kUnbounded:
+      s.bounded = false;
+      s.feasible = true;
+      break;
+    case lp::Status::kInfeasible:
+      s.bounded = true;
+      s.feasible = false;
+      break;
+    case lp::Status::kIterLimit:
+      throw NumericalError("SupportSolver::support: simplex iteration limit");
+  }
+  return s;
+}
+
+}  // namespace oic::poly

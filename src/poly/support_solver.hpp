@@ -1,0 +1,44 @@
+#pragma once
+/// \file support_solver.hpp
+/// Repeated support-function queries on one polytope.
+///
+/// HPolytope::support() builds a fresh lp::Problem (copying every
+/// constraint row through Matrix::row()) and converts it to a simplex
+/// tableau on every call.  The polytope operations the paper leans on --
+/// pontryagin_diff, contains_polytope, bounding_box, is_bounded -- all ask
+/// for supports of the *same* polytope in many directions, so the rebuild
+/// is pure waste.
+///
+/// A SupportSolver captures the constraint system once (rows read straight
+/// from the matrix storage, no per-row Vector copies) and answers each
+/// query by swapping the objective and re-solving through a reused
+/// workspace.  Answers are bit-identical to HPolytope::support(): the same
+/// Problem rows feed the same simplex.
+
+#include "linalg/vector.hpp"
+#include "lp/prepared.hpp"
+#include "poly/hpolytope.hpp"
+
+namespace oic::poly {
+
+/// Reusable support-function evaluator bound to one polytope's constraint
+/// system.  Not thread-safe (owns a solver workspace); copy per thread.
+class SupportSolver {
+ public:
+  /// Captures A and b; the polytope may be destroyed afterwards.
+  explicit SupportSolver(const HPolytope& p);
+
+  /// h_P(d) = max { d.x | A x <= b }, exactly as HPolytope::support().
+  Support support(const linalg::Vector& d);
+
+  /// Dimension of the underlying polytope.
+  std::size_t dim() const { return dim_; }
+
+ private:
+  std::size_t dim_;
+  lp::PreparedProblem prep_;
+  lp::SolverWorkspace ws_;
+  linalg::Vector obj_;  ///< scratch for -d (the LP minimizes)
+};
+
+}  // namespace oic::poly

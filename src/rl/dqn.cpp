@@ -75,6 +75,11 @@ int DoubleDqn::greedy_action(const Vector& state) const {
   return static_cast<int>(argmax(online_.forward(state)));
 }
 
+int DoubleDqn::greedy_action(const Vector& state, MlpWorkspace& ws) const {
+  OIC_REQUIRE(state.size() == state_dim_, "DoubleDqn::greedy_action: state mismatch");
+  return static_cast<int>(argmax(online_.forward_into(state, ws)));
+}
+
 Vector DoubleDqn::q_values(const Vector& state) const {
   OIC_REQUIRE(state.size() == state_dim_, "DoubleDqn::q_values: state mismatch");
   return online_.forward(state);

@@ -59,6 +59,11 @@ class DoubleDqn {
   /// Greedy action (evaluation mode); does not advance exploration.
   int greedy_action(const linalg::Vector& state) const;
 
+  /// Greedy action through caller-owned scratch: allocation-free and safe
+  /// for concurrent evaluation workers sharing one (const) agent, each with
+  /// its own workspace.
+  int greedy_action(const linalg::Vector& state, MlpWorkspace& ws) const;
+
   /// Q-values of the online network.
   linalg::Vector q_values(const linalg::Vector& state) const;
 

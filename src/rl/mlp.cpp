@@ -1,8 +1,11 @@
 #include "rl/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
+#include "linalg/kernels.hpp"
 
 namespace oic::rl {
 
@@ -54,6 +57,27 @@ Vector Mlp::forward(const Vector& in) const {
     }
   }
   return h;
+}
+
+const Vector& Mlp::forward_into(const Vector& in, MlpWorkspace& ws) const {
+  OIC_REQUIRE(in.size() == sizes_.front(), "Mlp::forward_into: input dimension mismatch");
+  std::size_t widest = 0;
+  for (std::size_t s : sizes_) widest = std::max(widest, s);
+  if (ws.ping.size() < widest) ws.ping.resize(widest);
+  if (ws.pong.size() < widest) ws.pong.resize(widest);
+
+  const double* src = in.data().data();
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    // Alternate destinations so a layer never writes the buffer it reads.
+    double* dst = l % 2 == 0 ? ws.pong.data() : ws.ping.data();
+    linalg::gemv_bias(w_[l], src, b_[l].data().data(), dst,
+                      /*relu=*/l + 1 < w_.size());
+    src = dst;
+  }
+  // src points at the output layer's activations; copy into the stable
+  // result vector (assign reuses its capacity).
+  ws.out.data().assign(src, src + sizes_.back());
+  return ws.out;
 }
 
 Vector Mlp::forward_cached(const Vector& in, ForwardCache& cache) const {

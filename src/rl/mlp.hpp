@@ -33,6 +33,14 @@ struct ForwardCache {
   std::vector<linalg::Vector> post;  ///< post-activations (post[0] = input)
 };
 
+/// Scratch buffers for the allocation-free forward pass.  One workspace per
+/// thread; it grows to the widest layer on first use and never shrinks.
+struct MlpWorkspace {
+  std::vector<double> ping;
+  std::vector<double> pong;
+  linalg::Vector out;  ///< forward_into's result lives here
+};
+
 /// Dense feed-forward network: sizes = {in, h1, ..., out}.
 class Mlp {
  public:
@@ -44,6 +52,11 @@ class Mlp {
 
   /// Plain inference.
   linalg::Vector forward(const linalg::Vector& in) const;
+
+  /// Inference into caller-owned buffers: no allocation once `ws` has
+  /// warmed up (fused GEMV+bias+ReLU per layer, ping-pong scratch).  The
+  /// returned reference aliases ws.out and is bit-identical to forward().
+  const linalg::Vector& forward_into(const linalg::Vector& in, MlpWorkspace& ws) const;
 
   /// Inference that records activations for a subsequent backward().
   linalg::Vector forward_cached(const linalg::Vector& in, ForwardCache& cache) const;

@@ -224,7 +224,7 @@ TEST(Runner, TraceAccountingAndHook) {
 class RandomPolicy final : public oic::core::SkipPolicy {
  public:
   explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
-  int decide(const Vector&, const std::vector<Vector>&) override {
+  int decide(const Vector&, const oic::core::WHistory&) override {
     return rng_.bernoulli(0.5) ? 1 : 0;
   }
   std::string name() const override { return "random"; }

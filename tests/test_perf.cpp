@@ -1,0 +1,301 @@
+// Unit tests for the performance layer: workspace-reuse LP solving
+// (PreparedProblem / solve_warm), SupportSolver parity, the allocation-free
+// MLP forward pass, the WHistory ring, and the l1_ball dimension guard.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "core/w_history.hpp"
+#include "lp/prepared.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "poly/hpolytope.hpp"
+#include "poly/support_solver.hpp"
+#include "rl/mlp.hpp"
+
+namespace {
+
+using oic::Rng;
+using oic::linalg::Matrix;
+using oic::linalg::Vector;
+using oic::lp::PreparedProblem;
+using oic::lp::Problem;
+using oic::lp::Relation;
+using oic::lp::SolverWorkspace;
+using oic::poly::HPolytope;
+
+/// Random bounded-feasible LP: box-bounded variables, mixed-relation rows
+/// through the box's interior, random objective.
+Problem random_lp(Rng& rng, std::size_t nv, std::size_t rows) {
+  Problem p(nv);
+  for (std::size_t j = 0; j < nv; ++j) {
+    p.set_bounds(j, -10.0, 10.0);
+    p.set_objective_coeff(j, rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    Vector a(nv);
+    for (std::size_t j = 0; j < nv; ++j) a[j] = rng.uniform(-1.0, 1.0);
+    // rhs large enough that the box keeps a feasible chunk.
+    p.add_constraint(a, Relation::kLessEq, rng.uniform(1.0, 5.0));
+  }
+  return p;
+}
+
+TEST(PreparedProblem, MatchesOneShotSolveExactly) {
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Problem p = random_lp(rng, 2 + trial % 4, 3 + trial % 5);
+    const oic::lp::Result fresh = oic::lp::solve(p);
+
+    PreparedProblem prep(p);
+    SolverWorkspace ws;
+    const oic::lp::Result reused1 = prep.solve(ws);
+    const oic::lp::Result reused2 = prep.solve(ws);  // workspace reuse
+
+    ASSERT_EQ(fresh.status, reused1.status);
+    ASSERT_EQ(fresh.status, reused2.status);
+    if (fresh.status != oic::lp::Status::kOptimal) continue;
+    EXPECT_EQ(fresh.objective, reused1.objective);
+    EXPECT_EQ(fresh.objective, reused2.objective);
+    for (std::size_t j = 0; j < p.num_vars(); ++j) {
+      EXPECT_EQ(fresh.x[j], reused1.x[j]);
+      EXPECT_EQ(fresh.x[j], reused2.x[j]);
+    }
+  }
+}
+
+TEST(PreparedProblem, SetRhsOnEqualityRowsMatchesRebuild) {
+  // The TubeMpc pattern: equality rows whose rhs is patched per solve.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Problem base(3);
+    for (std::size_t j = 0; j < 3; ++j) base.set_objective_coeff(j, rng.uniform(-1, 1));
+    // x0 = v (patched), plus static inequality rows.
+    base.add_constraint(Vector{1, 0, 0}, Relation::kEqual, 0.0);
+    for (int i = 0; i < 4; ++i) {
+      Vector a(3);
+      for (std::size_t j = 0; j < 3; ++j) a[j] = rng.uniform(-1, 1);
+      base.add_constraint(a, Relation::kLessEq, rng.uniform(1.0, 3.0));
+    }
+    for (std::size_t j = 0; j < 3; ++j) base.set_bounds(j, -8.0, 8.0);
+
+    PreparedProblem prep(base);
+    SolverWorkspace ws;
+    for (int k = 0; k < 6; ++k) {
+      const double v = rng.uniform(-2.0, 2.0);  // sign changes exercise the flip
+      prep.set_rhs(0, v);
+      const oic::lp::Result patched = prep.solve(ws);
+
+      Problem rebuilt(3);
+      for (std::size_t j = 0; j < 3; ++j) {
+        rebuilt.set_objective_coeff(j, base.objective()[j]);
+        rebuilt.set_bounds(j, -8.0, 8.0);
+      }
+      rebuilt.add_constraint(base.constraint(0).coeffs, Relation::kEqual, v);
+      for (std::size_t i = 1; i < base.num_constraints(); ++i) {
+        rebuilt.add_constraint(base.constraint(i).coeffs, Relation::kLessEq,
+                               base.constraint(i).rhs);
+      }
+      const oic::lp::Result fresh = oic::lp::solve(rebuilt);
+      ASSERT_EQ(fresh.status, patched.status) << "trial " << trial << " k " << k;
+      if (fresh.status != oic::lp::Status::kOptimal) continue;
+      EXPECT_EQ(fresh.objective, patched.objective);
+      for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(fresh.x[j], patched.x[j]);
+    }
+  }
+}
+
+TEST(PreparedProblem, SetRhsSignFlipOnNonDynamicInequalityThrows) {
+  Problem p(2);
+  p.add_constraint(Vector{1, 1}, Relation::kLessEq, 1.0);
+  p.set_bounds(0, 0.0, 5.0);
+  p.set_bounds(1, 0.0, 5.0);
+  PreparedProblem prep(p);
+  EXPECT_THROW(prep.set_rhs(0, -1.0), oic::PreconditionError);
+  // Declared dynamic, the same patch is legal.
+  PreparedProblem dyn(p, {0});
+  dyn.set_rhs(0, -1.0);  // must not throw
+  SolverWorkspace ws;
+  EXPECT_EQ(dyn.solve(ws).status, oic::lp::Status::kInfeasible);
+}
+
+TEST(PreparedProblem, WarmSolveMatchesColdOptimum) {
+  // A drifting-rhs sequence (the MPC pattern): warm continuation must track
+  // the cold optimum at every step.
+  Rng rng(23);
+  Problem p(3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    p.set_objective_coeff(j, rng.uniform(0.2, 1.0));  // bounded below on the box
+    p.set_bounds(j, -10.0, 10.0);
+  }
+  p.add_constraint(Vector{1, 0, 0}, Relation::kEqual, 0.0);
+  p.add_constraint(Vector{1, 1, 0}, Relation::kLessEq, 4.0);
+  p.add_constraint(Vector{0, 1, 1}, Relation::kGreaterEq, -4.0);
+
+  PreparedProblem prep(p);
+  SolverWorkspace ws_warm, ws_cold;
+  PreparedProblem::WarmState warm;
+  double x0 = -1.5;
+  for (int k = 0; k < 40; ++k) {
+    x0 += rng.uniform(-0.3, 0.35);  // drifts across zero
+    prep.set_rhs(0, x0);
+    const oic::lp::Result rw = prep.solve_warm(ws_warm, warm);
+    const oic::lp::Result rc = prep.solve(ws_cold);
+    ASSERT_EQ(rc.status, rw.status) << "step " << k;
+    if (rc.status != oic::lp::Status::kOptimal) continue;
+    EXPECT_NEAR(rc.objective, rw.objective, 1e-8) << "step " << k;
+  }
+}
+
+TEST(PreparedProblem, WarmSolveTracksDynamicInequalityRhs) {
+  // Regression: for a dynamic <=-row the warm path's B^-1 unit column is
+  // the slack, not the (all-zero) eagerly reserved artificial; a wrong
+  // column silently drops the rhs update.
+  Problem p(2);
+  p.set_objective_coeff(0, -1.0);  // maximize x0
+  p.set_bounds(0, 0.0, 10.0);
+  p.set_bounds(1, 0.0, 10.0);
+  p.add_constraint(Vector{1, 1}, Relation::kLessEq, 4.0);
+  PreparedProblem prep(p, {0});
+  SolverWorkspace ws;
+  PreparedProblem::WarmState warm;
+  EXPECT_NEAR(prep.solve_warm(ws, warm).objective, -4.0, 1e-9);
+  prep.set_rhs(0, 2.5);  // same sign class, warm continuation
+  EXPECT_NEAR(prep.solve_warm(ws, warm).objective, -2.5, 1e-9);
+  // Crossing zero flips the row's orientation: x0 + x1 <= -1 is infeasible
+  // over [0,10]^2, and the warm continuation must agree.
+  prep.set_rhs(0, -1.0);
+  EXPECT_EQ(prep.solve_warm(ws, warm).status, oic::lp::Status::kInfeasible);
+}
+
+TEST(PreparedProblem, WarmStateFromAnotherProblemFallsBackCold) {
+  // Two different problems sharing one (workspace, warm) pair: the second
+  // solve must not continue from the first problem's tableau.
+  Problem p1(1), p2(1);
+  p1.set_objective_coeff(0, 1.0);
+  p1.set_bounds(0, 2.0, 9.0);  // min x0 -> 2
+  p2.set_objective_coeff(0, 1.0);
+  p2.set_bounds(0, 5.0, 9.0);  // min x0 -> 5
+  PreparedProblem a(p1), b(p2);
+  SolverWorkspace ws;
+  PreparedProblem::WarmState warm;
+  EXPECT_NEAR(a.solve_warm(ws, warm).objective, 2.0, 1e-9);
+  EXPECT_NEAR(b.solve_warm(ws, warm).objective, 5.0, 1e-9);
+  EXPECT_NEAR(a.solve_warm(ws, warm).objective, 2.0, 1e-9);
+}
+
+TEST(PreparedProblem, WarmStateWithForeignWorkspaceFallsBackCold) {
+  Problem p(2);
+  p.set_objective_coeff(0, 1.0);
+  p.set_bounds(0, 0.0, 5.0);
+  p.set_bounds(1, 0.0, 5.0);
+  p.add_constraint(Vector{1, 1}, Relation::kGreaterEq, 1.0);
+  PreparedProblem prep(p);
+  SolverWorkspace ws1, ws2;
+  PreparedProblem::WarmState warm;
+  const auto r1 = prep.solve_warm(ws1, warm);
+  // Same warm state, different (fresh) workspace: must cold-solve, not UB.
+  const auto r2 = prep.solve_warm(ws2, warm);
+  ASSERT_EQ(r1.status, oic::lp::Status::kOptimal);
+  ASSERT_EQ(r2.status, oic::lp::Status::kOptimal);
+  EXPECT_EQ(r1.objective, r2.objective);
+}
+
+TEST(SupportSolver, MatchesFreshProblemAnswers) {
+  Rng rng(42);
+  for (int trial = 0; trial < 15; ++trial) {
+    // Random bounded polytope: a box intersected with random halfspaces.
+    Vector r(3);
+    for (std::size_t i = 0; i < 3; ++i) r[i] = rng.uniform(0.5, 3.0);
+    HPolytope p = HPolytope::sym_box(r);
+    for (int i = 0; i < 4; ++i) {
+      Vector a(3);
+      for (std::size_t j = 0; j < 3; ++j) a[j] = rng.uniform(-1, 1);
+      p = p.intersect(HPolytope(Matrix::from_rows({a}), Vector{rng.uniform(0.5, 2.0)}));
+    }
+    oic::poly::SupportSolver solver(p);
+    for (int q = 0; q < 10; ++q) {
+      Vector d(3);
+      for (std::size_t j = 0; j < 3; ++j) d[j] = rng.uniform(-1, 1);
+      const auto fresh = p.support(d);
+      const auto reused = solver.support(d);
+      ASSERT_EQ(fresh.bounded, reused.bounded);
+      ASSERT_EQ(fresh.feasible, reused.feasible);
+      if (!fresh.bounded || !fresh.feasible) continue;
+      EXPECT_EQ(fresh.value, reused.value);
+      for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(fresh.maximizer[j], reused.maximizer[j]);
+    }
+  }
+}
+
+TEST(Mlp, ForwardIntoMatchesReferenceForward) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    oic::rl::Mlp net({4, 32, 16, 2}, rng);
+    oic::rl::MlpWorkspace ws;
+    for (int s = 0; s < 20; ++s) {
+      Vector in(4);
+      for (std::size_t j = 0; j < 4; ++j) in[j] = rng.normal();
+      const Vector ref = net.forward(in);
+      const Vector& fast = net.forward_into(in, ws);
+      ASSERT_EQ(ref.size(), fast.size());
+      for (std::size_t j = 0; j < ref.size(); ++j) {
+        EXPECT_NEAR(ref[j], fast[j], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(WHistory, RingSemanticsOldestFirst) {
+  oic::core::WHistory h(3);
+  EXPECT_EQ(h.capacity(), 3u);
+  EXPECT_TRUE(h.empty());
+  h.push(Vector{1.0});
+  h.push(Vector{2.0});
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_DOUBLE_EQ(h[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(h.latest()[0], 2.0);
+  h.push(Vector{3.0});
+  h.push(Vector{4.0});  // evicts 1.0
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(h[1][0], 3.0);
+  EXPECT_DOUBLE_EQ(h[2][0], 4.0);
+  h.push(Vector{5.0});
+  EXPECT_DOUBLE_EQ(h[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(h.latest()[0], 5.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.capacity(), 3u);
+  h.push(Vector{9.0});
+  EXPECT_DOUBLE_EQ(h[0][0], 9.0);
+}
+
+TEST(WHistory, ZeroCapacityRetainsNothing) {
+  oic::core::WHistory h(0);
+  h.push(Vector{1.0});
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(WHistory, ConvertsFromVectorForAdHocCallers) {
+  std::vector<Vector> xs = {Vector{1.0}, Vector{2.0}};
+  oic::core::WHistory h = xs;
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_DOUBLE_EQ(h[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(h[1][0], 2.0);
+}
+
+TEST(HPolytope, L1BallGuardsAgainstHugeDimensions) {
+  // 2^dim facet rows: beyond the cap the representation is a memory bomb.
+  EXPECT_THROW(HPolytope::l1_ball(HPolytope::kL1BallMaxDim + 1, 1.0),
+               oic::PreconditionError);
+  EXPECT_THROW(HPolytope::l1_ball(64, 1.0), oic::PreconditionError);
+  // At and below the cap it still works.
+  const HPolytope small = HPolytope::l1_ball(3, 2.0);
+  EXPECT_EQ(small.num_constraints(), 8u);
+  EXPECT_TRUE(small.contains(Vector{2.0, 0.0, 0.0}));
+  EXPECT_FALSE(small.contains(Vector{1.5, 1.0, 0.0}));
+}
+
+}  // namespace
