@@ -2,16 +2,48 @@
 # Refresh the committed throughput numbers: builds (Release) and runs
 # bench_throughput, rewriting BENCH_throughput.json at the repo root.
 #
-#   scripts/bench.sh [--cases=N] [--steps=N] [--workers=N]
+#   scripts/bench.sh [--quick] [--json=PATH] [--cases=N] [--steps=N] [--workers=N]
+#
+#   --quick      CI smoke mode: reduced cases/steps, and the JSON goes to
+#                <build>/BENCH_smoke.json instead of the committed file
+#                (same schema; scripts/check_bench_json.py validates it).
+#   --json=PATH  explicit output path (overrides both defaults).
 #
 # Equivalent CMake target: cmake --build build --target bench-refresh
 set -euo pipefail
+trap 'echo "bench.sh: FAILED at line $LINENO: $BASH_COMMAND" >&2' ERR
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 
+quick=0
+json_path=""
+passthrough=()
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) quick=1 ;;
+    --json=*) json_path="${arg#--json=}" ;;
+    --cases=*|--steps=*|--workers=*) passthrough+=("${arg}") ;;
+    *)
+      echo "bench.sh: unknown argument '${arg}'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ ${quick} -eq 1 ]]; then
+  # Smoke sizing: exercises every code path (legacy + engine + parallel +
+  # JSON emission) in a few seconds.  Explicit --cases/--steps/--workers
+  # flags stay first so they win (bench_util takes the first match).
+  passthrough=("${passthrough[@]+"${passthrough[@]}"}" --cases=4 --steps=40 --workers=2)
+  json_path="${json_path:-${build_dir}/BENCH_smoke.json}"
+else
+  json_path="${json_path:-${repo_root}/BENCH_throughput.json}"
+fi
+
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" --target bench_throughput -j"$(nproc)"
 
-"${build_dir}/bench_throughput" --json="${repo_root}/BENCH_throughput.json" "$@"
-echo "refreshed ${repo_root}/BENCH_throughput.json"
+"${build_dir}/bench_throughput" --json="${json_path}" \
+  ${passthrough[@]+"${passthrough[@]}"}
+echo "refreshed ${json_path}"

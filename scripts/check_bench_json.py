@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON document against a reference document's schema.
+
+Usage: check_bench_json.py REFERENCE CANDIDATE
+
+Recursively compares the *key structure* of the two JSON documents: every
+key path present in REFERENCE must exist in CANDIDATE with the same JSON
+type, and vice versa (values are free to differ -- they are measurements).
+Array elements are checked against the first element of the reference
+array, so homogeneous result lists of different lengths compare fine.
+
+Also enforces the semantic invariants every bench document shares:
+  * "safety_violations" must be false (Theorem 1: the monitor never lets
+    the loop leave X);
+  * "parallel_bit_identical", when present, must be true.
+
+The CI bench-smoke job runs this over (committed BENCH_throughput.json,
+fresh smoke output); oic_eval documents can be checked against a committed
+reference the same way.
+"""
+
+import json
+import sys
+
+
+def type_name(value):
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "object"
+    return "null"
+
+
+def compare(reference, candidate, path, errors):
+    ref_type, cand_type = type_name(reference), type_name(candidate)
+    if ref_type != cand_type:
+        errors.append(f"{path or '<root>'}: type {cand_type}, expected {ref_type}")
+        return
+    if ref_type == "object":
+        for key in reference:
+            if key not in candidate:
+                errors.append(f"{path or '<root>'}: missing key '{key}'")
+            else:
+                compare(reference[key], candidate[key], f"{path}.{key}".lstrip("."),
+                        errors)
+        for key in candidate:
+            if key not in reference:
+                errors.append(f"{path or '<root>'}: unexpected key '{key}'")
+    elif ref_type == "array" and reference:
+        if not candidate:
+            errors.append(f"{path or '<root>'}: empty array, expected elements "
+                          f"shaped like the reference's")
+        for i, item in enumerate(candidate):
+            compare(reference[0], item, f"{path}[{i}]", errors)
+
+
+def check_semantics(candidate, errors):
+    if candidate.get("safety_violations") is not False:
+        errors.append("safety_violations: must be present and false (Theorem 1)")
+    if "parallel_bit_identical" in candidate and \
+            candidate["parallel_bit_identical"] is not True:
+        errors.append("parallel_bit_identical: must be true")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        reference = json.load(f)
+    with open(argv[2]) as f:
+        candidate = json.load(f)
+
+    errors = []
+    compare(reference, candidate, "", errors)
+    check_semantics(candidate, errors)
+
+    if errors:
+        print(f"{argv[2]}: schema check FAILED against {argv[1]}:")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print(f"{argv[2]}: schema matches {argv[1]}, safety invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml -- the single source of truth for
+# what CI runs, so the tier-1 command and the workflow cannot drift.  The
+# workflow jobs call this script with step flags; running it bare executes
+# the full pipeline for one matrix cell:
+#
+#   scripts/ci.sh [--compiler gcc|clang] [--config Release|Sanitize]
+#                 [--build-dir DIR] [--build-only] [--bench-only]
+#                 [--format-only]
+#
+#   build+test   configure with -Werror, build everything, ctest
+#   bench smoke  scripts/bench.sh --quick + JSON schema check against the
+#                committed BENCH_throughput.json
+#   format       clang-format --dry-run -Werror over src/ tests/ bench/
+#                tools/ (skipped with a warning when clang-format is absent)
+#
+# Config "Sanitize" is Debug + address/undefined sanitizers.
+set -euo pipefail
+trap 'echo "ci.sh: FAILED at line $LINENO: $BASH_COMMAND" >&2' ERR
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+compiler=gcc
+config=Release
+build_dir=""
+do_build=1
+do_bench=1
+do_format=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --compiler) compiler="$2"; shift 2 ;;
+    --compiler=*) compiler="${1#*=}"; shift ;;
+    --config) config="$2"; shift 2 ;;
+    --config=*) config="${1#*=}"; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --build-dir=*) build_dir="${1#*=}"; shift ;;
+    --build-only) do_bench=0; do_format=0; shift ;;
+    --bench-only) do_build=0; do_format=0; shift ;;
+    --format-only) do_build=0; do_bench=0; shift ;;
+    *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+case "${compiler}" in
+  gcc) cxx=g++ ;;
+  clang) cxx=clang++ ;;
+  *) echo "ci.sh: unknown compiler '${compiler}' (gcc|clang)" >&2; exit 2 ;;
+esac
+
+case "${config}" in
+  Release) cmake_type=Release; sanitize=OFF ;;
+  Sanitize) cmake_type=Debug; sanitize=ON ;;
+  *) echo "ci.sh: unknown config '${config}' (Release|Sanitize)" >&2; exit 2 ;;
+esac
+
+build_dir="${build_dir:-${repo_root}/build-ci-${compiler}-${config}}"
+
+if [[ ${do_build} -eq 1 ]]; then
+  if ! command -v "${cxx}" >/dev/null; then
+    echo "ci.sh: ${cxx} not installed" >&2
+    exit 2
+  fi
+  echo "=== [${compiler}/${config}] configure + build (${build_dir}) ==="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE="${cmake_type}" \
+    -DCMAKE_CXX_COMPILER="${cxx}" \
+    -DOIC_SANITIZE="${sanitize}" \
+    -DOIC_WERROR=ON
+  cmake --build "${build_dir}" -j"$(nproc)"
+
+  echo "=== [${compiler}/${config}] ctest ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
+fi
+
+if [[ ${do_bench} -eq 1 ]]; then
+  echo "=== bench smoke + JSON schema check ==="
+  "${repo_root}/scripts/bench.sh" --quick
+  python3 "${repo_root}/scripts/check_bench_json.py" \
+    "${repo_root}/BENCH_throughput.json" "${repo_root}/build/BENCH_smoke.json"
+fi
+
+if [[ ${do_format} -eq 1 ]]; then
+  echo "=== clang-format check (src/ tests/ bench/ tools/) ==="
+  # Advisory while the pre-.clang-format tree still carries drift (the
+  # config was introduced without a tree-wide reformat to avoid churn):
+  # violations are reported but do not fail the pipeline.  After a one-time
+  # `clang-format -i` pass, delete the `|| echo` fallback below to make the
+  # check blocking -- this script is the only place that decides.
+  if command -v clang-format >/dev/null; then
+    find "${repo_root}/src" "${repo_root}/tests" "${repo_root}/bench" \
+         "${repo_root}/tools" -name '*.cpp' -o -name '*.hpp' | sort \
+      | xargs clang-format --dry-run -Werror \
+      && echo "format check passed" \
+      || echo "ci.sh: WARNING: formatting drift (advisory until the one-time reformat)" >&2
+  else
+    echo "ci.sh: WARNING: clang-format not installed, format check skipped" >&2
+  fi
+fi
+
+echo "ci.sh: all requested steps passed"

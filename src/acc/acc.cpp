@@ -93,14 +93,9 @@ double AccCase::fuel_step(const Vector& x, const Vector& u) const {
 }
 
 Vector AccCase::sample_x0(Rng& rng) const {
-  const auto bb = sets_.x_prime.bounding_box();
-  OIC_CHECK(bb.has_value(), "AccCase::sample_x0: X' unbounded");
-  for (int attempt = 0; attempt < 10000; ++attempt) {
-    Vector x{rng.uniform(bb->first[0], bb->second[0]),
-             rng.uniform(bb->first[1], bb->second[1])};
-    if (sets_.x_prime.contains(x, -1e-9)) return x;
-  }
-  throw NumericalError("AccCase::sample_x0: rejection sampling failed (X' too thin?)");
+  // Same per-coordinate draw order as the historical 2-D sampler, so the
+  // case streams are unchanged.
+  return eval::sample_from_set(sets_.x_prime, rng, "AccCase::sample_x0");
 }
 
 }  // namespace oic::acc

@@ -26,6 +26,7 @@
 #include "common/random.hpp"
 #include "control/tube_mpc.hpp"
 #include "core/safe_sets.hpp"
+#include "eval/plant.hpp"
 #include "sim/fuel.hpp"
 
 namespace oic::acc {
@@ -52,8 +53,10 @@ struct AccParams {
 
 /// Everything the experiments need, built once: the shifted LTI model, the
 /// tube RMPC kappa_R, its robust-invariant feasible set XI (Prop. 1), and
-/// the strengthened safe set X' (Definition 3).
-class AccCase {
+/// the strengthened safe set X' (Definition 3).  Implements the generic
+/// eval::PlantCase contract -- the ACC is the first plant of the scenario
+/// registry, and all its harness/engine machinery now lives in src/eval.
+class AccCase final : public eval::PlantCase {
  public:
   /// Build with the paper's parameters; `rmpc` defaults to horizon 10 with
   /// unit 1-norm weights (Sec. IV).
@@ -62,31 +65,34 @@ class AccCase {
   /// The paper's RMPC configuration (N = 10, P = Q = 1).
   static control::RmpcConfig default_rmpc();
 
+  /// Registry id.
+  std::string name() const override { return "acc"; }
+
   /// Physical constants.
   const AccParams& params() const { return params_; }
 
   /// Shifted-coordinate plant model.
-  const control::AffineLTI& system() const { return sys_; }
+  const control::AffineLTI& system() const override { return sys_; }
 
   /// The underlying safe controller kappa_R (tube RMPC).
-  control::TubeMpc& rmpc() { return *rmpc_; }
-  const control::TubeMpc& rmpc() const { return *rmpc_; }
+  control::TubeMpc& rmpc() override { return *rmpc_; }
+  const control::TubeMpc& rmpc() const override { return *rmpc_; }
 
   /// Local LQR gain used inside the RMPC (also a valid analytic kappa for
   /// the model-based policy).
   const linalg::Matrix& lqr_gain() const { return k_lqr_; }
 
   /// X, XI = X_F (Prop. 1), X' (Definition 3), all in shifted coordinates.
-  const core::SafeSets& sets() const { return sets_; }
+  const core::SafeSets& sets() const override { return sets_; }
 
   /// Skip input in shifted coordinates (raw u = 0 => u~ = -u_eq).
-  const linalg::Vector& u_skip() const { return u_skip_; }
+  const linalg::Vector& u_skip() const override { return u_skip_; }
 
   /// Energy offset such that physical energy = || u~ - offset ||_1.
   const linalg::Vector& energy_offset() const { return energy_offset_; }
 
   /// Physical actuation energy of a shifted input.
-  double energy_raw(const linalg::Vector& u_shifted) const;
+  double energy_raw(const linalg::Vector& u_shifted) const override;
 
   // ---- coordinate helpers -------------------------------------------------
 
@@ -99,15 +105,29 @@ class AccCase {
   /// Front-vehicle speed -> scalar disturbance w = vf - v_ref.
   double w_from_vf(double vf) const { return vf - params_.v_ref(); }
 
+  /// PlantCase signal map: the ACC's scenario signal is the front-vehicle
+  /// speed, so w = vf - v_ref.
+  void signal_to_w(double vf, linalg::Vector& w) const override {
+    w[0] = w_from_vf(vf);
+  }
+
   // ---- experiment utilities ----------------------------------------------
 
   /// Fuel consumed over one control period at shifted state x actuating
   /// shifted input u (SUMO/HBEFA-style map; see sim/fuel.hpp).
   double fuel_step(const linalg::Vector& x, const linalg::Vector& u) const;
 
+  /// PlantCase running cost: the ACC reports fuel (the skipping saving is
+  /// physical -- coasting vs drag-compensating actuation -- so the per-run
+  /// flag is ignored).
+  double cost_step(const linalg::Vector& x, const linalg::Vector& u,
+                   bool /*controller_ran*/) const override {
+    return fuel_step(x, u);
+  }
+
   /// Uniform sample from the strengthened safe set X' (rejection sampling
   /// from its bounding box).
-  linalg::Vector sample_x0(Rng& rng) const;
+  linalg::Vector sample_x0(Rng& rng) const override;
 
   /// The fuel model in use.
   const sim::FuelModel& fuel_model() const { return fuel_; }

@@ -1,98 +1,21 @@
 #pragma once
 /// \file engine.hpp
-/// Throughput-oriented episode evaluation.
+/// ACC-named view of the plant-generic episode engine (src/eval).
 ///
-/// The original harness rebuilt the full Algorithm-1 runtime inside
-/// run_episode: a fresh IntermittentController per episode (whose
-/// constructor re-verifies the X' subset XI subset X nesting with a pile of
-/// LP solves) driving the shared, cold-started RMPC.  For one episode that
-/// is fine; for the paper's Monte-Carlo sweeps (hundreds of cases times
-/// several policies) it is the difference between minutes and seconds.
-///
-/// An EpisodeEngine is the hoisted per-policy context: controller
-/// construction, set verification and the MPC's prepared LP happen once,
-/// and each run() only resets per-episode state.  Engines own a private
-/// TubeMpc copy, so any number of engines can run concurrently against one
-/// shared (const) AccCase.
-///
-/// compare_policies_parallel shards the case list over a thread pool with
-/// one engine set per worker.  Cases are drawn serially up front with the
-/// same Rng::split() stream as the serial harness, each episode resets all
-/// carried solver state, and the partition is a pure function of
-/// (cases, workers) -- so the output is bit-identical to the serial path
-/// for a fixed seed, at any worker count.
-
-#include <functional>
-#include <memory>
-#include <vector>
+/// EpisodeEngine and compare_policies_parallel were lifted into eval/ when
+/// the evaluation went plant-generic; see eval/engine.hpp for the hoisting
+/// and bit-parity story.  The ACC spellings below keep the historical
+/// oic::acc:: call sites (benches, tests) on the shared code path.
 
 #include "acc/harness.hpp"
-#include "control/tube_mpc.hpp"
-#include "core/intermittent.hpp"
+#include "eval/engine.hpp"
 
 namespace oic::acc {
 
-/// Reusable per-policy evaluation context (see file comment).
-/// Not thread-safe; create one per worker.
-class EpisodeEngine {
- public:
-  /// Binds to a case study and a policy.  Builds the Algorithm-1 runtime
-  /// once: this is where the nesting verification LPs run.  The policy and
-  /// case must outlive the engine.
-  EpisodeEngine(const AccCase& acc, core::SkipPolicy& policy);
+using eval::EpisodeEngine;
+using eval::PolicySetFactory;
+using eval::SweepConfig;
 
-  /// Non-copyable/movable: the controller runtime holds a reference to the
-  /// engine's own RMPC instance.
-  EpisodeEngine(const EpisodeEngine&) = delete;
-  EpisodeEngine& operator=(const EpisodeEngine&) = delete;
-
-  /// Evaluate one episode.  Equivalent to harness run_episode() -- same
-  /// decisions, same fuel/energy/served counters -- minus the per-episode
-  /// setup.  Carried solver state is dropped first, so results do not
-  /// depend on what this engine ran before.
-  EpisodeResult run(const CaseData& data);
-
-  /// The policy driving this engine.
-  const core::SkipPolicy& policy() const { return policy_; }
-
- private:
-  const AccCase& acc_;
-  core::SkipPolicy& policy_;
-  control::TubeMpc rmpc_;  ///< private copy: per-engine solver state
-  core::IntermittentController ic_;
-  linalg::Vector x_;        ///< current state scratch
-  linalg::Vector x_next_;   ///< successor scratch
-  linalg::Vector w_;        ///< disturbance scratch (dimension nw)
-};
-
-/// Per-worker policy set builder for the parallel sweep.  Invoked once per
-/// worker; must return the same policies in the same order every time
-/// (they may share read-only state such as a trained DQN, but each call
-/// must produce independently mutable instances).  The bit-identical
-/// serial/parallel guarantee additionally requires reset()-complete
-/// policies: reset() must restore the exact initial decision state, so an
-/// episode's decisions depend only on (x, w_history) since reset.  A
-/// policy carrying unreset state (e.g. an internal RNG) voids the
-/// guarantee -- its decisions would depend on which cases its worker saw.
-using PolicySetFactory =
-    std::function<std::vector<std::unique_ptr<core::SkipPolicy>>()>;
-
-/// Sweep configuration.
-struct SweepConfig {
-  std::size_t cases = 200;
-  std::size_t steps = 100;
-  std::uint64_t seed = 20200406;
-  /// Worker count; 0 picks the hardware concurrency, 1 runs inline (no
-  /// threads).  Results are identical for every value given reset()-
-  /// complete policies (see PolicySetFactory).
-  std::size_t workers = 0;
-};
-
-/// Paired policy comparison against the always-run baseline, sharded over
-/// a thread pool.  Bit-identical to the serial compare_policies stream for
-/// the same seed (see the file comment for why).
-ComparisonResult compare_policies_parallel(const AccCase& acc, const Scenario& scenario,
-                                           const PolicySetFactory& factory,
-                                           const SweepConfig& cfg);
+using eval::compare_policies_parallel;
 
 }  // namespace oic::acc

@@ -1,73 +1,30 @@
 #pragma once
 /// \file harness.hpp
-/// Shared evaluation harness for the ACC experiments: generates test cases
-/// (initial state + front-vehicle velocity sequence), runs one policy over
-/// a case through Algorithm 1, and aggregates the fuel/energy statistics
-/// the paper reports.  All benches (Fig. 4/5/6) and the examples go
-/// through this code so numbers are comparable.
-
-#include <vector>
+/// ACC-named view of the plant-generic evaluation harness (src/eval).
+///
+/// The shared harness used to live here; it was lifted into eval/ when the
+/// evaluation went plant-generic (AccCase is an eval::PlantCase now).  The
+/// ACC benches, examples, and trainer keep their historical oic::acc::
+/// spelling through these aliases -- the code paths are the eval ones, so
+/// ACC numbers and registry-driven sweeps can never drift apart.
+///
+/// Note CaseData's signal field: for the ACC it is the front-vehicle speed
+/// trace (previously named `vf`).
 
 #include "acc/acc.hpp"
 #include "acc/scenarios.hpp"
-#include "core/intermittent.hpp"
-#include "core/policy.hpp"
-#include "core/runner.hpp"
+#include "eval/harness.hpp"
 
 namespace oic::acc {
 
-/// A fully materialized test case: every policy evaluated on it sees the
-/// same initial state and the same front-vehicle trace, so savings are
-/// paired comparisons as in the paper.
-struct CaseData {
-  linalg::Vector x0;        ///< initial shifted state, in X'
-  std::vector<double> vf;   ///< front-vehicle speed per step
-};
+using eval::CaseData;
+using eval::ComparisonResult;
+using eval::EpisodeResult;
+using eval::kEpisodeWMemory;
 
-/// Draw a case for the scenario: x0 uniform in X', vf from the profile.
-CaseData make_case(const AccCase& acc, const Scenario& scenario, Rng& rng,
-                   std::size_t steps);
-
-/// Result of one 100-step episode (fuel in ml, energy = sum ||u_raw||_1).
-struct EpisodeResult {
-  double fuel = 0.0;
-  double energy = 0.0;
-  std::size_t skipped = 0;
-  std::size_t forced = 0;
-  std::size_t steps = 0;
-  bool left_x = false;   ///< safety violation (Theorem 1 says: never)
-  bool left_xi = false;  ///< invariant violation (model mismatch)
-};
-
-/// Disturbance observations the framework retains per evaluation episode;
-/// shared by run_episode and the EpisodeEngine so their histories -- and
-/// therefore policy decisions -- agree bit for bit.  (The DQN trainer's
-/// state memory r is a separate knob: TrainerConfig::memory.)
-inline constexpr std::size_t kEpisodeWMemory = 4;
-
-/// Run one policy over one case through the intermittent framework with
-/// the ACC's RMPC as the underlying controller.
-EpisodeResult run_episode(AccCase& acc, core::SkipPolicy& policy, const CaseData& data);
-
-/// Relative fuel saving of `ours` against `baseline` (paper's Fig. 4/5/6
-/// metric): (baseline - ours) / baseline.
-double fuel_saving(const EpisodeResult& baseline, const EpisodeResult& ours);
-
-/// Paired comparison over n cases: returns per-case savings of each policy
-/// against the always-run (RMPC-only) baseline.
-struct ComparisonResult {
-  std::vector<std::string> policy_names;
-  /// savings[p][c]: fuel saving of policy p on case c vs RMPC-only.
-  std::vector<std::vector<double>> savings;
-  /// Mean skipped steps per episode for each policy.
-  std::vector<double> mean_skipped;
-  /// Any safety violation observed for each policy (must stay false).
-  std::vector<bool> any_violation;
-};
-
-ComparisonResult compare_policies(AccCase& acc, const Scenario& scenario,
-                                  const std::vector<core::SkipPolicy*>& policies,
-                                  std::size_t cases, std::size_t steps,
-                                  std::uint64_t seed);
+using eval::compare_policies;
+using eval::fuel_saving;
+using eval::make_case;
+using eval::run_episode;
 
 }  // namespace oic::acc

@@ -6,15 +6,6 @@
 
 namespace oic::acc {
 
-Scenario& Scenario::operator=(const Scenario& other) {
-  if (this != &other) {
-    id = other.id;
-    description = other.description;
-    profile = other.profile->clone();
-  }
-  return *this;
-}
-
 Scenario fig4_scenario(const AccParams& p) {
   return Scenario(
       "Fig.4", "sinusoidal vf (Eq. 8): ve=40, af=9, w in [-1,1]",

@@ -16,26 +16,14 @@
 #include <string>
 
 #include "acc/acc.hpp"
+#include "eval/plant.hpp"
 #include "sim/profile.hpp"
 
 namespace oic::acc {
 
-/// One experiment configuration.
-struct Scenario {
-  std::string id;          ///< "Fig.4", "Ex.1", ..., "Ex.10"
-  std::string description; ///< human-readable summary for tables
-  std::unique_ptr<sim::VelocityProfile> profile;
-
-  Scenario() = default;
-  Scenario(std::string id_, std::string desc, std::unique_ptr<sim::VelocityProfile> p)
-      : id(std::move(id_)), description(std::move(desc)), profile(std::move(p)) {}
-
-  Scenario(const Scenario& other)
-      : id(other.id), description(other.description), profile(other.profile->clone()) {}
-  Scenario& operator=(const Scenario& other);
-  Scenario(Scenario&&) = default;
-  Scenario& operator=(Scenario&&) = default;
-};
+/// One experiment configuration ("Fig.4", "Ex.1", ..., "Ex.10"); the
+/// generic struct lives with the plant-generic evaluation layer.
+using Scenario = eval::Scenario;
 
 /// The Fig. 4 workload: sinusoidal front vehicle with minor disturbance
 /// (Equation 8, ve = 40, af = 9, w in [-1, 1]).

@@ -1,52 +1,49 @@
-#include "acc/engine.hpp"
+#include "eval/engine.hpp"
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 
-namespace oic::acc {
+namespace oic::eval {
 
 using linalg::Vector;
 
 namespace {
 
-core::IntermittentConfig engine_icfg(const AccCase& acc) {
+core::IntermittentConfig engine_icfg(const PlantCase& plant) {
   core::IntermittentConfig icfg;
-  icfg.u_skip = acc.u_skip();
+  icfg.u_skip = plant.u_skip();
   icfg.w_memory = kEpisodeWMemory;  // must match run_episode for bit-parity
   return icfg;
 }
 
 }  // namespace
 
-EpisodeEngine::EpisodeEngine(const AccCase& acc, core::SkipPolicy& policy)
-    : acc_(acc),
+EpisodeEngine::EpisodeEngine(const PlantCase& plant, core::SkipPolicy& policy)
+    : plant_(plant),
       policy_(policy),
-      rmpc_(acc.rmpc()),
-      ic_(acc.system(), acc.sets(), rmpc_, policy, engine_icfg(acc)),
-      w_(acc.system().nw()) {
-  OIC_REQUIRE(acc.system().nw() == 1,
-              "EpisodeEngine: the ACC disturbance is the scalar front-vehicle speed");
-}
+      rmpc_(plant.rmpc()),
+      ic_(plant.system(), plant.sets(), rmpc_, policy, engine_icfg(plant)),
+      w_(plant.system().nw()) {}
 
 EpisodeResult EpisodeEngine::run(const CaseData& data) {
-  OIC_REQUIRE(!data.vf.empty(), "EpisodeEngine::run: empty case");
+  OIC_REQUIRE(!data.signal.empty(), "EpisodeEngine::run: empty case");
   ic_.reset();
   ic_.reset_stats();
   rmpc_.reset_solver();
 
-  const control::AffineLTI& sys = acc_.system();
+  const control::AffineLTI& sys = plant_.system();
   EpisodeResult out;
   x_ = data.x0;
-  // Same step sequence as core::run_closed_loop + the harness fuel hook,
+  // Same step sequence as core::run_closed_loop + the harness cost hook,
   // with the per-step temporaries replaced by engine-owned scratch.
-  for (std::size_t t = 0; t < data.vf.size(); ++t) {
+  for (std::size_t t = 0; t < data.signal.size(); ++t) {
     const core::StepDecision d = ic_.decide(x_);
-    w_[0] = acc_.w_from_vf(data.vf[t]);
+    plant_.signal_to_w(data.signal[t], w_);
     sys.step_into(x_, d.u, w_, x_next_);
     ic_.record_transition(x_, d.u, x_next_);
 
-    out.fuel += acc_.fuel_step(x_, d.u);
-    out.energy += acc_.energy_raw(d.u);
+    out.fuel += plant_.cost_step(x_, d.u, d.z == 1);
+    out.energy += plant_.energy_raw(d.u);
 
     if (!out.left_xi && !ic_.sets().xi.contains(x_next_, 1e-6)) {
       out.left_xi = true;
@@ -58,11 +55,12 @@ EpisodeResult EpisodeEngine::run(const CaseData& data) {
   }
   out.skipped = ic_.skipped_steps();
   out.forced = ic_.forced_steps();
-  out.steps = data.vf.size();
+  out.steps = data.signal.size();
   return out;
 }
 
-ComparisonResult compare_policies_parallel(const AccCase& acc, const Scenario& scenario,
+ComparisonResult compare_policies_parallel(const PlantCase& plant,
+                                           const Scenario& scenario,
                                            const PolicySetFactory& factory,
                                            const SweepConfig& cfg) {
   OIC_REQUIRE(static_cast<bool>(factory), "compare_policies_parallel: factory required");
@@ -74,7 +72,7 @@ ComparisonResult compare_policies_parallel(const AccCase& acc, const Scenario& s
   case_data.reserve(cfg.cases);
   Rng rng(cfg.seed);
   for (std::size_t c = 0; c < cfg.cases; ++c) {
-    case_data.push_back(make_case(acc, scenario, rng, cfg.steps));
+    case_data.push_back(make_case(plant, scenario, rng, cfg.steps));
   }
 
   // Probe one worker's policy set for names/count.
@@ -100,11 +98,11 @@ ComparisonResult compare_policies_parallel(const AccCase& acc, const Scenario& s
                 OIC_REQUIRE(policies.size() == num_policies,
                             "compare_policies_parallel: factory is not stable");
                 core::AlwaysRunPolicy baseline;
-                EpisodeEngine base_engine(acc, baseline);
+                EpisodeEngine base_engine(plant, baseline);
                 std::vector<std::unique_ptr<EpisodeEngine>> engines;
                 engines.reserve(num_policies);
                 for (auto& p : policies) {
-                  engines.push_back(std::make_unique<EpisodeEngine>(acc, *p));
+                  engines.push_back(std::make_unique<EpisodeEngine>(plant, *p));
                 }
 
                 for (std::size_t c = begin; c < end; ++c) {
@@ -128,4 +126,4 @@ ComparisonResult compare_policies_parallel(const AccCase& acc, const Scenario& s
   return out;
 }
 
-}  // namespace oic::acc
+}  // namespace oic::eval

@@ -1,50 +1,54 @@
-#include "acc/harness.hpp"
+#include "eval/harness.hpp"
 
 #include "common/error.hpp"
 
-namespace oic::acc {
+namespace oic::eval {
 
 using linalg::Vector;
 
-CaseData make_case(const AccCase& acc, const Scenario& scenario, Rng& rng,
+CaseData make_case(const PlantCase& plant, const Scenario& scenario, Rng& rng,
                    std::size_t steps) {
   CaseData data;
   Rng x0_rng = rng.split();
-  // sample_x0 needs a non-const AccCase only for rng; it is logically const.
-  data.x0 = acc.sample_x0(x0_rng);
+  data.x0 = plant.sample_x0(x0_rng);
   auto profile = scenario.profile->clone();
   profile->reset(rng.split());
-  data.vf.reserve(steps);
-  for (std::size_t t = 0; t < steps; ++t) data.vf.push_back(profile->next());
+  data.signal.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t) data.signal.push_back(profile->next());
   return data;
 }
 
-EpisodeResult run_episode(AccCase& acc, core::SkipPolicy& policy, const CaseData& data) {
+EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
+                          const CaseData& data) {
   core::IntermittentConfig icfg;
-  icfg.u_skip = acc.u_skip();
+  icfg.u_skip = plant.u_skip();
   icfg.w_memory = kEpisodeWMemory;  // policies use what they need of it
-  core::IntermittentController ic(acc.system(), acc.sets(), acc.rmpc(), policy, icfg);
+  core::IntermittentController ic(plant.system(), plant.sets(), plant.rmpc(), policy,
+                                  icfg);
   ic.reset();
   // Episodes are independent by contract (fresh controller runtime above);
   // drop the RMPC's carried warm-start basis for the same reason.
-  acc.rmpc().reset_solver();
+  plant.rmpc().reset_solver();
 
   core::RunConfig rcfg;
-  rcfg.steps = data.vf.size();
+  rcfg.steps = data.signal.size();
 
   double fuel = 0.0;
   double energy = 0.0;
   const auto hook = [&](sim::TraceStep& step, const Vector&) {
-    step.fuel = acc.fuel_step(step.x, step.u);
+    step.fuel = plant.cost_step(step.x, step.u, step.z == 1);
     fuel += step.fuel;
-    energy += acc.energy_raw(step.u);
+    energy += plant.energy_raw(step.u);
   };
+  const std::size_t nw = plant.system().nw();
   const auto disturbance = [&](std::size_t t) {
-    return Vector{acc.w_from_vf(data.vf[t])};
+    Vector w(nw);
+    plant.signal_to_w(data.signal[t], w);
+    return w;
   };
 
   const core::RunResult rr =
-      core::run_closed_loop(acc.system(), ic, data.x0, disturbance, rcfg, hook);
+      core::run_closed_loop(plant.system(), ic, data.x0, disturbance, rcfg, hook);
 
   EpisodeResult out;
   out.fuel = fuel;
@@ -62,7 +66,7 @@ double fuel_saving(const EpisodeResult& baseline, const EpisodeResult& ours) {
   return (baseline.fuel - ours.fuel) / baseline.fuel;
 }
 
-ComparisonResult compare_policies(AccCase& acc, const Scenario& scenario,
+ComparisonResult compare_policies(PlantCase& plant, const Scenario& scenario,
                                   const std::vector<core::SkipPolicy*>& policies,
                                   std::size_t cases, std::size_t steps,
                                   std::uint64_t seed) {
@@ -77,10 +81,10 @@ ComparisonResult compare_policies(AccCase& acc, const Scenario& scenario,
   core::AlwaysRunPolicy baseline;
   Rng rng(seed);
   for (std::size_t c = 0; c < cases; ++c) {
-    const CaseData data = make_case(acc, scenario, rng, steps);
-    const EpisodeResult base = run_episode(acc, baseline, data);
+    const CaseData data = make_case(plant, scenario, rng, steps);
+    const EpisodeResult base = run_episode(plant, baseline, data);
     for (std::size_t p = 0; p < policies.size(); ++p) {
-      const EpisodeResult r = run_episode(acc, *policies[p], data);
+      const EpisodeResult r = run_episode(plant, *policies[p], data);
       out.savings[p].push_back(fuel_saving(base, r));
       out.mean_skipped[p] += static_cast<double>(r.skipped);
       if (r.left_x || r.left_xi) out.any_violation[p] = true;
@@ -90,4 +94,4 @@ ComparisonResult compare_policies(AccCase& acc, const Scenario& scenario,
   return out;
 }
 
-}  // namespace oic::acc
+}  // namespace oic::eval

@@ -1,0 +1,76 @@
+#pragma once
+/// \file harness.hpp
+/// Plant-generic evaluation harness, lifted from the ACC experiments:
+/// generates test cases (initial state + disturbance-signal sequence), runs
+/// one policy over a case through Algorithm 1, and aggregates the running-
+/// cost statistics the paper reports.  All benches, the examples, and the
+/// oic_eval sweep driver go through this code so numbers are comparable
+/// across plants.
+
+#include <vector>
+
+#include "core/intermittent.hpp"
+#include "core/policy.hpp"
+#include "core/runner.hpp"
+#include "eval/plant.hpp"
+
+namespace oic::eval {
+
+/// A fully materialized test case: every policy evaluated on it sees the
+/// same initial state and the same disturbance signal, so savings are
+/// paired comparisons as in the paper.
+struct CaseData {
+  linalg::Vector x0;           ///< initial shifted state, in X'
+  std::vector<double> signal;  ///< scenario signal per step (ACC: vf)
+};
+
+/// Draw a case for the scenario: x0 uniform in X', signal from the profile.
+CaseData make_case(const PlantCase& plant, const Scenario& scenario, Rng& rng,
+                   std::size_t steps);
+
+/// Result of one episode.  `fuel` is the plant's running-cost metric (the
+/// ACC's ml of fuel; actuator duty / battery draw for other plants);
+/// `energy` is sum ||u_raw||_1.
+struct EpisodeResult {
+  double fuel = 0.0;
+  double energy = 0.0;
+  std::size_t skipped = 0;
+  std::size_t forced = 0;
+  std::size_t steps = 0;
+  bool left_x = false;   ///< safety violation (Theorem 1 says: never)
+  bool left_xi = false;  ///< invariant violation (model mismatch)
+};
+
+/// Disturbance observations the framework retains per evaluation episode;
+/// shared by run_episode and the EpisodeEngine so their histories -- and
+/// therefore policy decisions -- agree bit for bit.  (The DQN trainer's
+/// state memory r is a separate knob: TrainerConfig::memory.)
+inline constexpr std::size_t kEpisodeWMemory = 4;
+
+/// Run one policy over one case through the intermittent framework with
+/// the plant's RMPC as the underlying controller.
+EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
+                          const CaseData& data);
+
+/// Relative running-cost saving of `ours` against `baseline` (paper's
+/// Fig. 4/5/6 metric): (baseline - ours) / baseline.
+double fuel_saving(const EpisodeResult& baseline, const EpisodeResult& ours);
+
+/// Paired comparison over n cases: returns per-case savings of each policy
+/// against the always-run (RMPC-only) baseline.
+struct ComparisonResult {
+  std::vector<std::string> policy_names;
+  /// savings[p][c]: cost saving of policy p on case c vs RMPC-only.
+  std::vector<std::vector<double>> savings;
+  /// Mean skipped steps per episode for each policy.
+  std::vector<double> mean_skipped;
+  /// Any safety violation observed for each policy (must stay false).
+  std::vector<bool> any_violation;
+};
+
+ComparisonResult compare_policies(PlantCase& plant, const Scenario& scenario,
+                                  const std::vector<core::SkipPolicy*>& policies,
+                                  std::size_t cases, std::size_t steps,
+                                  std::uint64_t seed);
+
+}  // namespace oic::eval

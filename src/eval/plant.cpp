@@ -1,0 +1,49 @@
+#include "eval/plant.hpp"
+
+#include "common/error.hpp"
+#include "control/lqr.hpp"
+
+namespace oic::eval {
+
+Scenario& Scenario::operator=(const Scenario& other) {
+  if (this != &other) {
+    id = other.id;
+    description = other.description;
+    profile = other.profile->clone();
+  }
+  return *this;
+}
+
+PlantRuntime build_plant_runtime(const control::AffineLTI& sys, const linalg::Matrix& q,
+                                 const linalg::Matrix& r,
+                                 const control::RmpcConfig& rmpc_cfg,
+                                 const linalg::Vector& u_skip) {
+  PlantRuntime rt;
+  const auto lqr = control::dlqr(sys.a(), sys.b(), q, r);
+  OIC_CHECK(lqr.converged, "build_plant_runtime: LQR synthesis did not converge");
+  rt.k_lqr = lqr.k;
+
+  rt.rmpc = std::make_unique<control::TubeMpc>(sys, rt.k_lqr, rmpc_cfg);
+
+  // Prop. 1: the RMPC's feasible region is its robust control invariant set.
+  const poly::HPolytope xi = rt.rmpc->compute_feasible_set();
+  OIC_CHECK(!xi.is_empty(), "build_plant_runtime: RMPC feasible set is empty");
+  rt.sets = core::compute_safe_sets(sys, xi, u_skip);
+  return rt;
+}
+
+linalg::Vector sample_from_set(const poly::HPolytope& set, Rng& rng, const char* who) {
+  const auto bb = set.bounding_box();
+  OIC_CHECK(bb.has_value(), std::string(who) + ": set unbounded");
+  const std::size_t dim = bb->first.size();
+  linalg::Vector x(dim);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      x[i] = rng.uniform(bb->first[i], bb->second[i]);
+    }
+    if (set.contains(x, -1e-9)) return x;
+  }
+  throw NumericalError(std::string(who) + ": rejection sampling failed (set too thin?)");
+}
+
+}  // namespace oic::eval

@@ -1,0 +1,128 @@
+#pragma once
+/// \file plant.hpp
+/// Plant-generic evaluation: the PlantCase interface and Scenario bundle.
+///
+/// The paper's Algorithm 1 (tube-MPC feasible set + learned skip policy) is
+/// plant-agnostic: nothing in the monitor, the episode loop, or the sweep
+/// machinery cares that the first case study was adaptive cruise control.
+/// A PlantCase packages what an evaluation needs from a concrete plant:
+///
+///   * the shifted affine model x+ = A x + B u + E w + c with polytopic
+///     X / U / W (control::AffineLTI),
+///   * the underlying safe controller kappa_R (a tube RMPC) and its nested
+///     sets X' subset XI subset X (core::SafeSets),
+///   * the designated skip input,
+///   * a scalar-signal-to-disturbance map (scenarios drive plants through
+///     one scalar signal per step: the ACC's front-vehicle speed, a
+///     crosswind acceleration, a gust load, ...),
+///   * the per-step running cost the experiments report ("fuel" for the
+///     ACC; actuator duty / battery draw for other plants) and the raw
+///     actuation energy.
+///
+/// acc::AccCase is the first implementation; eval/plants/ holds the rest,
+/// and eval/registry.hpp catalogues them by string id.
+
+#include <memory>
+#include <string>
+
+#include "common/random.hpp"
+#include "control/lti.hpp"
+#include "control/tube_mpc.hpp"
+#include "core/safe_sets.hpp"
+#include "sim/profile.hpp"
+
+namespace oic::eval {
+
+/// A concrete plant wired for the intermittent-control evaluation.
+/// Implementations are expensive to build (feasible-set and strengthened-set
+/// LPs run in the constructor) and are not copyable; construct once and
+/// share const references across engines.
+class PlantCase {
+ public:
+  virtual ~PlantCase() = default;
+
+  /// Registry id ("acc", "lane-keep", ...).
+  virtual std::string name() const = 0;
+
+  /// Shifted-coordinate plant model.
+  virtual const control::AffineLTI& system() const = 0;
+
+  /// The underlying safe controller kappa_R (tube RMPC).  Engines copy it;
+  /// the legacy per-episode path drives this shared instance directly.
+  virtual control::TubeMpc& rmpc() = 0;
+  virtual const control::TubeMpc& rmpc() const = 0;
+
+  /// X, XI (Prop. 1), X' (Definition 3), in shifted coordinates.
+  virtual const core::SafeSets& sets() const = 0;
+
+  /// Skip input in shifted coordinates.
+  virtual const linalg::Vector& u_skip() const = 0;
+
+  /// Uniform sample from the strengthened safe set X'.
+  virtual linalg::Vector sample_x0(Rng& rng) const = 0;
+
+  /// Map one scalar scenario signal to the disturbance vector w (dimension
+  /// nw; `w` is caller-allocated scratch).  The ACC maps the front-vehicle
+  /// speed to w = vf - v_ref; plants whose scenarios emit the disturbance
+  /// directly just copy.
+  virtual void signal_to_w(double signal, linalg::Vector& w) const = 0;
+
+  /// Running cost of one control period at shifted state x actuating
+  /// shifted input u.  `controller_ran` is the realized skipping choice
+  /// (z = 1): plants whose savings come from the sensing / compute /
+  /// communication energy of the control loop itself (the paper's Sec. I
+  /// motivation) charge a per-run overhead on it; the ACC's fuel map
+  /// ignores it.  Must be strictly positive for the always-run baseline so
+  /// relative savings are well defined (model an idle floor).
+  virtual double cost_step(const linalg::Vector& x, const linalg::Vector& u,
+                           bool controller_ran) const = 0;
+
+  /// Physical actuation energy of a shifted input.
+  virtual double energy_raw(const linalg::Vector& u) const = 0;
+};
+
+/// One experiment configuration: a named disturbance-signal generator.
+/// Experiments clone and reseed the profile prototype per test case.
+struct Scenario {
+  std::string id;          ///< registry key ("Fig.4", "Ex.1", "sine", ...)
+  std::string description; ///< human-readable summary for tables
+  std::unique_ptr<sim::VelocityProfile> profile;
+
+  Scenario() = default;
+  Scenario(std::string id_, std::string desc, std::unique_ptr<sim::VelocityProfile> p)
+      : id(std::move(id_)), description(std::move(desc)), profile(std::move(p)) {}
+
+  Scenario(const Scenario& other)
+      : id(other.id), description(other.description), profile(other.profile->clone()) {}
+  Scenario& operator=(const Scenario& other);
+  Scenario(Scenario&&) = default;
+  Scenario& operator=(Scenario&&) = default;
+};
+
+/// The Algorithm-1 runtime pieces every PlantCase constructor derives from
+/// its model: a local LQR gain, the tube RMPC built on it, and the nested
+/// safe-set triple (XI from the RMPC's feasible region per Prop. 1, X' per
+/// Definition 3).  Mirrors the AccCase construction so new plants get the
+/// identical certificate chain.
+struct PlantRuntime {
+  linalg::Matrix k_lqr;
+  std::unique_ptr<control::TubeMpc> rmpc;
+  core::SafeSets sets;
+};
+
+/// Synthesize the runtime for a plant model.  `q` / `r` weight the LQR used
+/// as the local gain; throws NumericalError when LQR synthesis diverges or
+/// the RMPC feasible set comes out empty (horizon too long / disturbance
+/// too large for the constraints).
+PlantRuntime build_plant_runtime(const control::AffineLTI& sys, const linalg::Matrix& q,
+                                 const linalg::Matrix& r,
+                                 const control::RmpcConfig& rmpc_cfg,
+                                 const linalg::Vector& u_skip);
+
+/// Uniform sample from a bounded polytope by rejection sampling from its
+/// bounding box (dimension-generic; the AccCase sampler specialized to 2-D).
+/// `who` labels diagnostics.  Throws NumericalError when the set is
+/// unbounded or too thin for rejection sampling.
+linalg::Vector sample_from_set(const poly::HPolytope& set, Rng& rng, const char* who);
+
+}  // namespace oic::eval

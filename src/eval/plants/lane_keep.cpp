@@ -1,0 +1,42 @@
+#include "eval/plants/lane_keep.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::eval {
+
+using control::AffineLTI;
+using linalg::Matrix;
+using linalg::Vector;
+using poly::HPolytope;
+
+control::RmpcConfig LaneKeepCase::default_rmpc() {
+  control::RmpcConfig cfg;
+  cfg.horizon = 8;
+  cfg.state_weight = 1.0;
+  cfg.input_weight = 1.0;
+  // The undamped double integrator needs Chisci's closed-loop tightening:
+  // open-loop powers A^k do not decay, so the residual disturbance M^N D
+  // would swallow the terminal RPI set.
+  cfg.closed_loop_tightening = true;
+  return cfg;
+}
+
+AffineLTI LaneKeepCase::build_system(const LaneKeepParams& p) {
+  OIC_REQUIRE(p.y_max > 0.0 && p.v_max > 0.0 && p.u_max > 0.0 && p.w_max > 0.0,
+              "LaneKeepCase: degenerate constraint ranges");
+  const double d = p.delta;
+  Matrix a{{1.0, d}, {0.0, 1.0}};
+  Matrix b{{0.0}, {d}};
+  Matrix e{{0.0}, {d}};
+  const HPolytope x = HPolytope::box(Vector{-p.y_max, -p.v_max}, Vector{p.y_max, p.v_max});
+  const HPolytope u = HPolytope::box(Vector{-p.u_max}, Vector{p.u_max});
+  const HPolytope w = HPolytope::box(Vector{-p.w_max}, Vector{p.w_max});
+  return AffineLTI(a, b, e, Vector{0.0, 0.0}, x, u, w);
+}
+
+LaneKeepCase::LaneKeepCase(LaneKeepParams params, control::RmpcConfig rmpc)
+    : SecondOrderPlant("lane-keep", build_system(params), params.delta,
+                       params.idle_cost, params.run_cost, rmpc),
+      params_(params) {}
+
+}  // namespace oic::eval

@@ -1,0 +1,52 @@
+#pragma once
+/// \file lane_keep.hpp
+/// Double-integrator lane-keeping plant.
+///
+/// The ego vehicle drives at constant longitudinal speed; the controller
+/// regulates the lateral offset y from the lane center with a lateral
+/// acceleration command u against a crosswind / road-bank disturbance w:
+///
+///   y(t+1) = y(t) + v(t) delta,
+///   v(t+1) = v(t) + (u(t) + w(t)) delta,
+///
+/// with x = (y, v) already centered (no shift needed): y in [-y_max, y_max]
+/// (stay in lane), v in [-v_max, v_max], u in [-u_max, u_max],
+/// w in [-w_max, w_max].  Skipping releases the steering actuator (u = 0);
+/// the running cost models the steer-by-wire duty (see second_order.hpp).
+
+#include "eval/plants/second_order.hpp"
+
+namespace oic::eval {
+
+/// Physical constants of the lane-keeping case.
+struct LaneKeepParams {
+  double delta = 0.1;       ///< control period [s]
+  double y_max = 2.0;       ///< lane half-width margin [m]
+  double v_max = 5.0;       ///< lateral speed bound [m/s]
+  double u_max = 10.0;      ///< lateral acceleration bound [m/s^2]
+  double w_max = 1.0;       ///< crosswind acceleration bound [m/s^2]
+  double idle_cost = 0.5;   ///< always-on sensing duty floor [cost/s]
+  double run_cost = 1.0;    ///< camera+compute+actuator draw per run [cost/s]
+};
+
+/// Lane-keeping PlantCase; scenarios emit the crosswind acceleration
+/// directly as the scalar signal.
+class LaneKeepCase final : public SecondOrderPlant {
+ public:
+  explicit LaneKeepCase(LaneKeepParams params = {},
+                        control::RmpcConfig rmpc = default_rmpc());
+
+  /// Horizon 8 with unit 1-norm weights and closed-loop (Chisci)
+  /// tightening -- the undamped double integrator's open-loop powers do not
+  /// decay, so the paper's open-loop recursion would empty the terminal set.
+  static control::RmpcConfig default_rmpc();
+
+  const LaneKeepParams& params() const { return params_; }
+
+ private:
+  LaneKeepParams params_;
+
+  static control::AffineLTI build_system(const LaneKeepParams& p);
+};
+
+}  // namespace oic::eval

@@ -1,0 +1,45 @@
+#include "eval/plants/quad_alt.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::eval {
+
+using control::AffineLTI;
+using linalg::Matrix;
+using linalg::Vector;
+using poly::HPolytope;
+
+control::RmpcConfig QuadAltCase::default_rmpc() {
+  control::RmpcConfig cfg;
+  cfg.horizon = 6;
+  cfg.state_weight = 1.0;
+  cfg.input_weight = 1.0;
+  // Drag damps the climb rate but altitude integrates undamped (open-loop
+  // eigenvalue 1), so as with lane-keep the residual disturbance only
+  // decays under closed-loop (Chisci) tightening.
+  cfg.closed_loop_tightening = true;
+  return cfg;
+}
+
+AffineLTI QuadAltCase::build_system(const QuadAltParams& p) {
+  OIC_REQUIRE(p.delta > 0.0, "QuadAltCase: control period must be positive");
+  OIC_REQUIRE(p.drag >= 0.0 && p.drag * p.delta < 1.0,
+              "QuadAltCase: drag must keep the velocity map contractive");
+  OIC_REQUIRE(p.h_max > 0.0 && p.v_max > 0.0 && p.u_max > 0.0 && p.w_max > 0.0,
+              "QuadAltCase: degenerate constraint ranges");
+  const double d = p.delta;
+  Matrix a{{1.0, d}, {0.0, 1.0 - p.drag * d}};
+  Matrix b{{0.0}, {d}};
+  Matrix e{{0.0}, {d}};
+  const HPolytope x = HPolytope::box(Vector{-p.h_max, -p.v_max}, Vector{p.h_max, p.v_max});
+  const HPolytope u = HPolytope::box(Vector{-p.u_max}, Vector{p.u_max});
+  const HPolytope w = HPolytope::box(Vector{-p.w_max}, Vector{p.w_max});
+  return AffineLTI(a, b, e, Vector{0.0, 0.0}, x, u, w);
+}
+
+QuadAltCase::QuadAltCase(QuadAltParams params, control::RmpcConfig rmpc)
+    : SecondOrderPlant("quad-alt", build_system(params), params.delta,
+                       params.hover_power, params.run_cost, rmpc),
+      params_(params) {}
+
+}  // namespace oic::eval

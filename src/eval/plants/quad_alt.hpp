@@ -1,0 +1,52 @@
+#pragma once
+/// \file quad_alt.hpp
+/// Quadrotor altitude-hold plant.
+///
+/// A quadrotor holds a reference altitude; the controller commands a thrust
+/// deviation u from hover against vertical aerodynamic drag d v and gust
+/// load w:
+///
+///   h(t+1) = h(t) + v(t) delta,
+///   v(t+1) = v(t) - d v(t) delta + (u(t) + w(t)) delta,
+///
+/// with x = (h - h_ref, v) centered at hover: h error in [-h_max, h_max],
+/// v in [-v_max, v_max], u in [-u_max, u_max], w in [-w_max, w_max].
+/// Skipping holds the hover thrust (u = 0); the running cost models the
+/// battery draw (see second_order.hpp).
+
+#include "eval/plants/second_order.hpp"
+
+namespace oic::eval {
+
+/// Physical constants of the altitude-hold case.
+struct QuadAltParams {
+  double delta = 0.1;        ///< control period [s]
+  double drag = 0.35;        ///< vertical aero drag [1/s]
+  double h_max = 3.0;        ///< altitude error bound [m]
+  double v_max = 4.0;        ///< climb-rate bound [m/s]
+  double u_max = 6.0;        ///< thrust-deviation bound [m/s^2]
+  double w_max = 1.5;        ///< gust acceleration bound [m/s^2]
+  double hover_power = 2.0;  ///< battery-draw floor [cost/s]
+  double run_cost = 1.5;     ///< sensing+compute+radio draw per run [cost/s]
+};
+
+/// Altitude-hold PlantCase; scenarios emit the gust acceleration directly
+/// as the scalar signal.
+class QuadAltCase final : public SecondOrderPlant {
+ public:
+  explicit QuadAltCase(QuadAltParams params = {},
+                       control::RmpcConfig rmpc = default_rmpc());
+
+  /// Horizon 6 with unit 1-norm weights and closed-loop (Chisci)
+  /// tightening (altitude integrates undamped, like the lane-keep plant).
+  static control::RmpcConfig default_rmpc();
+
+  const QuadAltParams& params() const { return params_; }
+
+ private:
+  QuadAltParams params_;
+
+  static control::AffineLTI build_system(const QuadAltParams& p);
+};
+
+}  // namespace oic::eval

@@ -1,0 +1,38 @@
+#include "eval/plants/second_order.hpp"
+
+#include "common/error.hpp"
+
+namespace oic::eval {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+SecondOrderPlant::SecondOrderPlant(std::string name, control::AffineLTI sys,
+                                   double delta, double cost_floor, double run_cost,
+                                   const control::RmpcConfig& rmpc_cfg)
+    : name_(std::move(name)),
+      sys_(std::move(sys)),
+      delta_(delta),
+      cost_floor_(cost_floor),
+      run_cost_(run_cost),
+      u_skip_(Vector{0.0}) {
+  OIC_REQUIRE(sys_.nx() == 2 && sys_.nu() == 1 && sys_.nw() == 1,
+              name_ + ": SecondOrderPlant expects nx=2, nu=1, nw=1");
+  OIC_REQUIRE(delta_ > 0.0, name_ + ": control period must be positive");
+  OIC_REQUIRE(cost_floor_ > 0.0,
+              name_ + ": cost floor must be positive (savings are relative)");
+  OIC_REQUIRE(run_cost_ >= 0.0, name_ + ": run cost must be non-negative");
+  rt_ = build_plant_runtime(sys_, Matrix::identity(2), Matrix{{1.0}}, rmpc_cfg, u_skip_);
+}
+
+double SecondOrderPlant::cost_step(const Vector& /*x*/, const Vector& u,
+                                   bool controller_ran) const {
+  const double run = controller_ran ? run_cost_ : 0.0;
+  return (cost_floor_ + run + u.norm1()) * delta_;
+}
+
+Vector SecondOrderPlant::sample_x0(Rng& rng) const {
+  return sample_from_set(sets().x_prime, rng, name_.c_str());
+}
+
+}  // namespace oic::eval

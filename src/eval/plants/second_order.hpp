@@ -1,0 +1,57 @@
+#pragma once
+/// \file second_order.hpp
+/// Shared base for simple second-order evaluation plants.
+///
+/// Lane keeping and altitude hold (and most textbook regulation problems)
+/// share one shape: a 2-state box-constrained model whose scalar input and
+/// scalar disturbance enter the velocity row, u_skip = 0 at the centered
+/// equilibrium, scenarios that emit the disturbance directly as the scalar
+/// signal, and a running cost of the form
+///
+///   cost_step = (floor + [controller ran] * run_cost + |u|) * delta,
+///
+/// i.e. an always-on draw, the sensing/compute/actuation overhead of a
+/// period that runs the control loop (the paper's Sec. I motivation), and
+/// the actuation magnitude.  Derive, build the AffineLTI, and pass the
+/// cost constants -- everything else (runtime synthesis, sampling, the
+/// PlantCase plumbing) lives here once.
+
+#include "eval/plant.hpp"
+
+namespace oic::eval {
+
+/// PlantCase plumbing for the family above; derive and forward the model.
+class SecondOrderPlant : public PlantCase {
+ public:
+  std::string name() const override { return name_; }
+  const control::AffineLTI& system() const override { return sys_; }
+  control::TubeMpc& rmpc() override { return *rt_.rmpc; }
+  const control::TubeMpc& rmpc() const override { return *rt_.rmpc; }
+  const core::SafeSets& sets() const override { return rt_.sets; }
+  const linalg::Vector& u_skip() const override { return u_skip_; }
+  linalg::Vector sample_x0(Rng& rng) const override;
+  void signal_to_w(double signal, linalg::Vector& w) const override { w[0] = signal; }
+  double cost_step(const linalg::Vector& x, const linalg::Vector& u,
+                   bool controller_ran) const override;
+  double energy_raw(const linalg::Vector& u) const override { return u.norm1(); }
+
+ protected:
+  /// `cost_floor` / `run_cost` are rates [cost/s], integrated over `delta`
+  /// by cost_step.  Requires cost_floor > 0 (savings are relative) and
+  /// run_cost >= 0; builds the LQR gain, tube RMPC, and safe-set triple
+  /// from the model with unit weights.
+  SecondOrderPlant(std::string name, control::AffineLTI sys, double delta,
+                   double cost_floor, double run_cost,
+                   const control::RmpcConfig& rmpc_cfg);
+
+ private:
+  std::string name_;
+  control::AffineLTI sys_;
+  double delta_;
+  double cost_floor_;
+  double run_cost_;
+  linalg::Vector u_skip_;
+  PlantRuntime rt_;
+};
+
+}  // namespace oic::eval

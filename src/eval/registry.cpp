@@ -1,0 +1,179 @@
+#include "eval/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "acc/acc.hpp"
+#include "acc/scenarios.hpp"
+#include "common/error.hpp"
+#include "eval/plants/lane_keep.hpp"
+#include "eval/plants/quad_alt.hpp"
+
+namespace oic::eval {
+
+namespace {
+
+std::string join_ids(const std::vector<std::string>& ids) {
+  std::string out;
+  for (const auto& id : ids) {
+    if (!out.empty()) out += ", ";
+    out += id;
+  }
+  return out;
+}
+
+// ---- ACC (the paper's case study, Sec. IV) --------------------------------
+
+Scenario make_acc_scenario(const std::string& id) {
+  const acc::AccParams params;  // registry plants use paper parameters
+  if (id == "Fig.4") return acc::fig4_scenario(params);
+  if (id == "Jam") return acc::stop_and_go_scenario(params);
+  if (id.rfind("Ex.", 0) == 0) {
+    const int index = std::atoi(id.c_str() + 3);
+    if (index >= 1 && index <= 5) return acc::range_scenario(index, params);
+    if (index >= 6 && index <= 10) return acc::regularity_scenario(index, params);
+  }
+  throw PreconditionError("unknown acc scenario '" + id + "'");
+}
+
+PlantInfo acc_info() {
+  PlantInfo info;
+  info.id = "acc";
+  info.description = "adaptive cruise control (paper Sec. IV): gap/speed vs front vehicle";
+  info.make_plant = [] { return std::make_unique<acc::AccCase>(); };
+  info.scenario_ids = {"Fig.4"};
+  for (int i = 1; i <= 10; ++i) info.scenario_ids.push_back("Ex." + std::to_string(i));
+  info.scenario_ids.push_back("Jam");
+  info.make_scenario = make_acc_scenario;
+  return info;
+}
+
+// ---- Lane keeping ----------------------------------------------------------
+
+Scenario make_lane_keep_scenario(const std::string& id) {
+  const LaneKeepParams p;
+  const double w = p.w_max;
+  if (id == "sine") {
+    return Scenario("sine", "sinusoidal crosswind, amplitude 0.7 w_max, noise 0.1 w_max",
+                    std::make_unique<sim::SinusoidalProfile>(0.0, 0.7 * w, p.delta,
+                                                             0.1 * w, -w, w));
+  }
+  if (id == "rough") {
+    return Scenario("rough", "bounded-slew random crosswind over the full range",
+                    std::make_unique<sim::BoundedAccelProfile>(-w, w, 3.0 * w, p.delta));
+  }
+  if (id == "gusts") {
+    return Scenario("gusts", "stop-and-go gust fronts: dwell/ramp between -0.8/+0.8 w_max",
+                    std::make_unique<sim::StopAndGoProfile>(-0.8 * w, 0.8 * w, 20, 10, 0.3));
+  }
+  if (id == "white") {
+    return Scenario("white", "uncorrelated uniform crosswind (worst-case pattern-free)",
+                    std::make_unique<sim::UniformRandomProfile>(-w, w));
+  }
+  throw PreconditionError("unknown lane-keep scenario '" + id + "'");
+}
+
+PlantInfo lane_keep_info() {
+  PlantInfo info;
+  info.id = "lane-keep";
+  info.description = "double-integrator lane keeping: lateral offset vs crosswind";
+  info.make_plant = [] { return std::make_unique<LaneKeepCase>(); };
+  info.scenario_ids = {"sine", "rough", "gusts", "white"};
+  info.make_scenario = make_lane_keep_scenario;
+  return info;
+}
+
+// ---- Quadrotor altitude hold ----------------------------------------------
+
+Scenario make_quad_alt_scenario(const std::string& id) {
+  const QuadAltParams p;
+  const double w = p.w_max;
+  if (id == "sine") {
+    return Scenario("sine", "sinusoidal thermal cycle, amplitude 0.6 w_max, noise 0.15 w_max",
+                    std::make_unique<sim::SinusoidalProfile>(0.0, 0.6 * w, p.delta,
+                                                             0.15 * w, -w, w));
+  }
+  if (id == "rough") {
+    return Scenario("rough", "bounded-slew random gusts over the full range",
+                    std::make_unique<sim::BoundedAccelProfile>(-w, w, 4.0 * w, p.delta));
+  }
+  if (id == "gusts") {
+    return Scenario("gusts", "stop-and-go downdraft fronts between -0.7/+0.7 w_max",
+                    std::make_unique<sim::StopAndGoProfile>(-0.7 * w, 0.7 * w, 25, 12, 0.25));
+  }
+  throw PreconditionError("unknown quad-alt scenario '" + id + "'");
+}
+
+PlantInfo quad_alt_info() {
+  PlantInfo info;
+  info.id = "quad-alt";
+  info.description = "quadrotor altitude hold: height error vs vertical gusts";
+  info.make_plant = [] { return std::make_unique<QuadAltCase>(); };
+  info.scenario_ids = {"sine", "rough", "gusts"};
+  info.make_scenario = make_quad_alt_scenario;
+  return info;
+}
+
+}  // namespace
+
+void ScenarioRegistry::add(PlantInfo info) {
+  OIC_REQUIRE(!info.id.empty(), "ScenarioRegistry::add: empty plant id");
+  OIC_REQUIRE(!has_plant(info.id), "ScenarioRegistry::add: duplicate plant '" + info.id + "'");
+  OIC_REQUIRE(static_cast<bool>(info.make_plant),
+              "ScenarioRegistry::add: plant factory required");
+  OIC_REQUIRE(static_cast<bool>(info.make_scenario),
+              "ScenarioRegistry::add: scenario factory required");
+  OIC_REQUIRE(!info.scenario_ids.empty(),
+              "ScenarioRegistry::add: plant '" + info.id + "' lists no scenarios");
+  plants_.push_back(std::move(info));
+}
+
+std::vector<std::string> ScenarioRegistry::plant_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(plants_.size());
+  for (const auto& p : plants_) ids.push_back(p.id);
+  return ids;
+}
+
+bool ScenarioRegistry::has_plant(const std::string& id) const {
+  for (const auto& p : plants_) {
+    if (p.id == id) return true;
+  }
+  return false;
+}
+
+const PlantInfo& ScenarioRegistry::plant(const std::string& id) const {
+  for (const auto& p : plants_) {
+    if (p.id == id) return p;
+  }
+  throw PreconditionError("unknown plant '" + id + "' (known: " + join_ids(plant_ids()) +
+                          ")");
+}
+
+std::unique_ptr<PlantCase> ScenarioRegistry::make_plant(const std::string& id) const {
+  return plant(id).make_plant();
+}
+
+Scenario ScenarioRegistry::make_scenario(const std::string& plant_id,
+                                         const std::string& scenario_id) const {
+  const PlantInfo& info = plant(plant_id);
+  const auto& ids = info.scenario_ids;
+  if (std::find(ids.begin(), ids.end(), scenario_id) == ids.end()) {
+    throw PreconditionError("plant '" + plant_id + "' has no scenario '" + scenario_id +
+                            "' (known: " + join_ids(ids) + ")");
+  }
+  return info.make_scenario(scenario_id);
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry reg = [] {
+    ScenarioRegistry r;
+    r.add(acc_info());
+    r.add(lane_keep_info());
+    r.add(quad_alt_info());
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace oic::eval

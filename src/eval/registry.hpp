@@ -1,0 +1,71 @@
+#pragma once
+/// \file registry.hpp
+/// Catalogue of evaluation plants and their scenarios, keyed by string id.
+///
+/// The registry is what makes the sweep driver (and the CLI) plant-generic:
+/// a plant registers a factory plus a list of scenario ids, and oic_eval
+/// sweeps plant x scenario x policy x seed grids without knowing any plant
+/// concretely.  Scenario construction is deliberately independent of plant
+/// construction -- plants are expensive (their constructors run the
+/// feasible-set and strengthened-set LPs), scenarios are cheap profile
+/// prototypes -- so listing and validating a sweep never builds a plant.
+///
+/// Built-in plants ("acc", "lane-keep", "quad-alt") live in builtin();
+/// tests or downstream tools can assemble their own registries.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/plant.hpp"
+
+namespace oic::eval {
+
+/// One registered plant: id, factory, and its scenario catalogue.
+struct PlantInfo {
+  std::string id;           ///< registry key ("acc", "lane-keep", ...)
+  std::string description;  ///< one-line summary for listings
+  /// Builds the plant (expensive: runs the set-synthesis LPs).
+  std::function<std::unique_ptr<PlantCase>()> make_plant;
+  /// Scenario ids in catalogue order.
+  std::vector<std::string> scenario_ids;
+  /// Builds one scenario by id; must succeed for every id in scenario_ids.
+  std::function<Scenario(const std::string& scenario_id)> make_scenario;
+};
+
+/// Ordered plant catalogue with by-id lookup.
+class ScenarioRegistry {
+ public:
+  ScenarioRegistry() = default;
+
+  /// Register a plant; throws PreconditionError on duplicate or empty ids,
+  /// missing factories, or an empty scenario list.
+  void add(PlantInfo info);
+
+  /// Registered plant ids, in registration order.
+  std::vector<std::string> plant_ids() const;
+
+  bool has_plant(const std::string& id) const;
+
+  /// Lookup; throws PreconditionError for unknown ids (message lists the
+  /// known ones -- the CLI surfaces it verbatim).
+  const PlantInfo& plant(const std::string& id) const;
+
+  /// Build a plant by id.
+  std::unique_ptr<PlantCase> make_plant(const std::string& id) const;
+
+  /// Build one scenario; throws PreconditionError when the plant does not
+  /// list `scenario_id`.
+  Scenario make_scenario(const std::string& plant_id,
+                         const std::string& scenario_id) const;
+
+  /// The built-in catalogue: the ACC case study (Fig.4, Ex.1..Ex.10, Jam),
+  /// lane keeping, and quadrotor altitude hold.  Built once, immutable.
+  static const ScenarioRegistry& builtin();
+
+ private:
+  std::vector<PlantInfo> plants_;
+};
+
+}  // namespace oic::eval

@@ -1,0 +1,206 @@
+#include "eval/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace oic::eval {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void append_format(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_string_array(std::string& out, const std::vector<std::string>& items) {
+  out += "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + items[i] + "\"";
+  }
+  out += "]";
+}
+
+}  // namespace
+
+std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec) {
+  if (spec == "always-run") return std::make_unique<core::AlwaysRunPolicy>();
+  if (spec == "bang-bang") return std::make_unique<core::BangBangPolicy>();
+  const std::string periodic = "periodic-";
+  if (spec.rfind(periodic, 0) == 0) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(spec.c_str() + periodic.size(), &end, 10);
+    if (end && *end == '\0' && n >= 1) {
+      return std::make_unique<core::PeriodicPolicy>(static_cast<std::size_t>(n));
+    }
+  }
+  throw PreconditionError("unknown policy '" + spec +
+                          "' (known: always-run, bang-bang, periodic-N)");
+}
+
+PolicySetFactory make_policy_factory(const std::vector<std::string>& specs) {
+  OIC_REQUIRE(!specs.empty(), "make_policy_factory: need at least one policy");
+  for (const auto& s : specs) (void)make_policy(s);  // validate before any plant build
+  return [specs] {
+    std::vector<std::unique_ptr<core::SkipPolicy>> ps;
+    ps.reserve(specs.size());
+    for (const auto& s : specs) ps.push_back(make_policy(s));
+    return ps;
+  };
+}
+
+SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
+  OIC_REQUIRE(spec.cases >= 1, "run_sweep: need at least one case");
+  OIC_REQUIRE(spec.steps >= 1, "run_sweep: need at least one step");
+  OIC_REQUIRE(!spec.seeds.empty(), "run_sweep: need at least one seed");
+
+  const bool plants_defaulted = spec.plants.empty();
+  const std::vector<std::string> plant_ids =
+      plants_defaulted ? registry.plant_ids() : spec.plants;
+  OIC_REQUIRE(!plant_ids.empty(), "run_sweep: registry is empty");
+
+  // Resolve the grid up front: ids, scenario membership, policies.  Plants
+  // are expensive to build; a typo should fail in milliseconds.  Scenario
+  // ids are per-plant, so with explicit scenarios each plant sweeps the
+  // intersection with its catalogue; a plant the user *named* must list
+  // every requested scenario (typo protection), while a *defaulted* plant
+  // that lacks them is skipped (`--scenario sine` sweeps exactly the
+  // plants that have "sine").
+  std::vector<std::pair<std::string, std::vector<std::string>>> grid;
+  for (const auto& pid : plant_ids) {
+    const PlantInfo& info = registry.plant(pid);
+    std::vector<std::string> scenario_ids;
+    if (spec.scenarios.empty()) {
+      scenario_ids = info.scenario_ids;
+    } else {
+      for (const auto& sid : spec.scenarios) {
+        const bool listed = std::find(info.scenario_ids.begin(),
+                                      info.scenario_ids.end(),
+                                      sid) != info.scenario_ids.end();
+        if (listed) {
+          scenario_ids.push_back(sid);
+        } else if (!plants_defaulted) {
+          (void)registry.make_scenario(pid, sid);  // throws with the known ids
+        }
+      }
+    }
+    if (!scenario_ids.empty()) grid.emplace_back(pid, std::move(scenario_ids));
+  }
+  OIC_REQUIRE(!grid.empty(), "run_sweep: no registered plant lists the requested "
+                             "scenarios");
+  const PolicySetFactory factory = make_policy_factory(spec.policies);
+
+  SweepResult out;
+  const auto t0 = Clock::now();
+  for (const auto& [pid, scenario_ids] : grid) {
+    const PlantInfo& info = registry.plant(pid);
+    const auto plant = info.make_plant();
+    for (const auto& sid : scenario_ids) {
+      const Scenario scenario = registry.make_scenario(pid, sid);
+      for (const std::uint64_t seed : spec.seeds) {
+        SweepConfig cfg;
+        cfg.cases = spec.cases;
+        cfg.steps = spec.steps;
+        cfg.seed = seed;
+        cfg.workers = spec.workers;
+
+        SweepCell cell;
+        cell.plant = pid;
+        cell.scenario = sid;
+        cell.seed = seed;
+        const auto cell_t0 = Clock::now();
+        cell.result = compare_policies_parallel(*plant, scenario, factory, cfg);
+        cell.wall_s = seconds_since(cell_t0);
+
+        out.episodes += spec.cases * (cell.result.policy_names.size() + 1);
+        for (const bool v : cell.result.any_violation) {
+          out.safety_violations = out.safety_violations || v;
+        }
+        out.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  out.wall_s = seconds_since(t0);
+  out.total_steps = out.episodes * spec.steps;
+  return out;
+}
+
+std::string sweep_json(const SweepSpec& spec, const SweepResult& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"oic_eval\",\n";
+
+  // "config" carries the bench_throughput keys (cases, steps, workers,
+  // policies, seed) plus the sweep's grid axes.
+  append_format(out, "  \"config\": {\"cases\": %zu, \"steps\": %zu, \"workers\": %zu, ",
+                spec.cases, spec.steps, spec.workers);
+  out += "\"policies\": ";
+  append_string_array(out, spec.policies);
+  append_format(out, ", \"seed\": %llu, \"seeds\": [",
+                static_cast<unsigned long long>(spec.seeds.front()));
+  for (std::size_t i = 0; i < spec.seeds.size(); ++i) {
+    if (i) out += ", ";
+    append_format(out, "%llu", static_cast<unsigned long long>(spec.seeds[i]));
+  }
+  out += "], \"plants\": ";
+  append_string_array(out, spec.plants);
+  out += ", \"scenarios\": ";
+  append_string_array(out, spec.scenarios);
+  out += "},\n";
+
+  append_format(out,
+                "  \"sweep\": {\"wall_s\": %.6f, \"episodes\": %zu, "
+                "\"episodes_per_s\": %.3f, \"step_ns\": %.1f},\n",
+                result.wall_s, result.episodes, result.episodes_per_s(),
+                result.step_ns());
+
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const SweepCell& cell = result.cells[i];
+    append_format(out, "    {\"plant\": \"%s\", \"scenario\": \"%s\", \"seed\": %llu, ",
+                  cell.plant.c_str(), cell.scenario.c_str(),
+                  static_cast<unsigned long long>(cell.seed));
+    append_format(out, "\"wall_s\": %.6f, \"policies\": [\n", cell.wall_s);
+    const ComparisonResult& r = cell.result;
+    for (std::size_t p = 0; p < r.policy_names.size(); ++p) {
+      append_format(out,
+                    "      {\"name\": \"%s\", \"mean_saving\": %.17g, "
+                    "\"mean_skipped\": %.17g, \"violation\": %s, \"savings\": [",
+                    r.policy_names[p].c_str(), mean(r.savings[p]), r.mean_skipped[p],
+                    r.any_violation[p] ? "true" : "false");
+      for (std::size_t c = 0; c < r.savings[p].size(); ++c) {
+        if (c) out += ", ";
+        append_format(out, "%.17g", r.savings[p][c]);
+      }
+      out += (p + 1 < r.policy_names.size()) ? "]},\n" : "]}\n";
+    }
+    out += (i + 1 < result.cells.size()) ? "    ]},\n" : "    ]}\n";
+  }
+  out += "  ],\n";
+  append_format(out, "  \"safety_violations\": %s\n",
+                result.safety_violations ? "true" : "false");
+  out += "}\n";
+  return out;
+}
+
+}  // namespace oic::eval

@@ -1,0 +1,78 @@
+#pragma once
+/// \file sweep.hpp
+/// The oic_eval sweep driver: runs plant x scenario x policy x seed grids
+/// through compare_policies_parallel and emits one JSON document per sweep.
+///
+/// The JSON schema is shared with bench_throughput: a top-level "bench"
+/// tag, a "config" object ({cases, steps, workers, policies, seed}, plus
+/// the grid axes), timing objects with {wall_s, episodes, episodes_per_s,
+/// step_ns}, and a final "safety_violations" flag -- so the CI smoke job
+/// can validate both documents with one schema checker.
+///
+/// The CLI (tools/oic_eval.cpp) is a thin flag-parsing wrapper over
+/// run_sweep/sweep_json; tests drive the same entry points, so the binary
+/// and the test suite cannot drift.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/engine.hpp"
+#include "eval/registry.hpp"
+
+namespace oic::eval {
+
+/// Grid specification.  Empty plant / scenario lists mean "all registered".
+struct SweepSpec {
+  std::vector<std::string> plants;     ///< plant ids; empty = all
+  std::vector<std::string> scenarios;  ///< scenario ids; empty = all per plant;
+                                       ///< otherwise every id must exist on
+                                       ///< every selected plant
+  std::vector<std::string> policies = {"bang-bang", "periodic-5"};
+  std::size_t cases = 24;
+  std::size_t steps = 100;
+  std::vector<std::uint64_t> seeds = {20200406};
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+};
+
+/// One grid cell: the paired comparison of every policy against the
+/// always-run baseline on (plant, scenario, seed).
+struct SweepCell {
+  std::string plant;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  ComparisonResult result;
+  double wall_s = 0.0;
+};
+
+/// Whole-sweep outcome.
+struct SweepResult {
+  std::vector<SweepCell> cells;
+  double wall_s = 0.0;           ///< total wall time including plant builds
+  std::size_t episodes = 0;      ///< episodes run (baseline + each policy)
+  std::size_t total_steps = 0;   ///< control periods simulated
+  bool safety_violations = false;  ///< any left_x / left_xi anywhere (Thm 1: never)
+
+  double episodes_per_s() const { return static_cast<double>(episodes) / wall_s; }
+  double step_ns() const { return 1e9 * wall_s / static_cast<double>(total_steps); }
+};
+
+/// Parse one policy spec: "always-run", "bang-bang", or "periodic-N"
+/// (N >= 1).  Throws PreconditionError on anything else.
+std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec);
+
+/// Per-worker factory over a list of policy specs (validates every spec
+/// eagerly, so bad CLI input fails before any plant is built).
+PolicySetFactory make_policy_factory(const std::vector<std::string>& specs);
+
+/// Run the grid.  Plants are built once each and reused across their
+/// scenarios and seeds; each cell is a compare_policies_parallel call, so
+/// cell results are bit-identical to the serial harness for any worker
+/// count.  Throws PreconditionError for unknown ids or empty grids.
+SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec);
+
+/// Render the sweep as a JSON document (schema shared with
+/// bench_throughput; see file comment).
+std::string sweep_json(const SweepSpec& spec, const SweepResult& result);
+
+}  // namespace oic::eval

@@ -125,8 +125,10 @@ TEST(AccHarness, CaseGenerationIsDeterministic) {
   const auto c1 = oic::acc::make_case(acc, scen, rng1, 50);
   const auto c2 = oic::acc::make_case(acc, scen, rng2, 50);
   EXPECT_TRUE(approx_equal(c1.x0, c2.x0, 0.0));
-  ASSERT_EQ(c1.vf.size(), c2.vf.size());
-  for (std::size_t i = 0; i < c1.vf.size(); ++i) EXPECT_DOUBLE_EQ(c1.vf[i], c2.vf[i]);
+  ASSERT_EQ(c1.signal.size(), c2.signal.size());
+  for (std::size_t i = 0; i < c1.signal.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c1.signal[i], c2.signal[i]);
+  }
 }
 
 TEST(AccHarness, BangBangSavesFuelAndStaysSafe) {

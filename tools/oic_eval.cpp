@@ -1,0 +1,249 @@
+/// \file oic_eval.cpp
+/// Unified evaluation sweep driver over the plant/scenario registry.
+///
+///   oic_eval --plant acc --scenario Ex.1 --policies bang-bang,periodic-5 --cases 24
+///
+/// Sweeps plant x scenario x policy x seed grids through the parallel
+/// episode engine and prints a per-cell summary table; --json writes the
+/// machine-readable document (schema shared with bench_throughput).
+/// Cell results are bit-identical to the serial ACC harness for the same
+/// seed (see eval/engine.hpp), so this binary reproduces the paper's
+/// Fig. 4/5/6 numbers when pointed at the acc plant.
+///
+/// Flags (--key value and --key=value are both accepted):
+///   --plant/--plants a,b     plants to sweep           (default: all)
+///   --scenario/--scenarios   scenario ids              (default: all per plant)
+///   --policies a,b           skip policies             (default: bang-bang,periodic-5)
+///                            (always-run | bang-bang | periodic-N)
+///   --cases N                Monte-Carlo cases per cell (default 24)
+///   --steps N                steps per episode          (default 100)
+///   --seed/--seeds a,b       episode-stream seeds       (default 20200406)
+///   --workers N              sweep workers, 0 = auto    (default 0)
+///   --json PATH              write the JSON document
+///   --list                   list plants/scenarios and exit
+///
+/// Exit status: 0 on a clean sweep, 1 on safety violations or bad usage.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "eval/sweep.hpp"
+
+namespace {
+
+using oic::eval::ScenarioRegistry;
+using oic::eval::SweepResult;
+using oic::eval::SweepSpec;
+
+/// Minimal --key value / --key=value parser over the argv array.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// Value of --key (either form); empty option when absent.
+  /// Consumed flags are remembered so unknown ones can be reported.
+  bool value(const char* key, std::string& out) {
+    const std::string eq = std::string("--") + key + "=";
+    const std::string flat = std::string("--") + key;
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], eq.c_str(), eq.size()) == 0) {
+        seen_.push_back(i);
+        out = argv_[i] + eq.size();
+        return true;
+      }
+      if (flat == argv_[i] && i + 1 < argc_ && std::strncmp(argv_[i + 1], "--", 2) != 0) {
+        seen_.push_back(i);
+        seen_.push_back(i + 1);
+        out = argv_[i + 1];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool flag(const char* key) {
+    const std::string flat = std::string("--") + key;
+    for (int i = 1; i < argc_; ++i) {
+      if (flat == argv_[i]) {
+        seen_.push_back(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// First argv index that no lookup consumed; 0 when all were used.
+  int first_unknown() const {
+    for (int i = 1; i < argc_; ++i) {
+      bool used = false;
+      for (const int s : seen_) used = used || s == i;
+      if (!used) return i;
+    }
+    return 0;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  std::vector<int> seen_;
+};
+
+std::string join_or_all(const std::vector<std::string>& items) {
+  if (items.empty()) return "<all>";
+  std::string out;
+  for (const auto& s : items) {
+    if (!out.empty()) out += ",";
+    out += s;
+  }
+  return out;
+}
+
+/// Strict non-negative integer parse; rejects signs, empty, and trailing
+/// junk (strtoull would happily wrap "-1" to 2^64-1 and crash the sweep
+/// deep inside a reserve()).
+bool parse_count(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 19) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  out = std::strtoull(s.c_str(), nullptr, 10);
+  return true;
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void print_registry(const ScenarioRegistry& reg) {
+  std::printf("registered plants:\n");
+  for (const auto& pid : reg.plant_ids()) {
+    const auto& info = reg.plant(pid);
+    std::printf("  %-10s %s\n", info.id.c_str(), info.description.c_str());
+    std::printf("  %-10s scenarios:", "");
+    for (const auto& sid : info.scenario_ids) std::printf(" %s", sid.c_str());
+    std::printf("\n");
+  }
+}
+
+void print_summary(const SweepSpec& spec, const SweepResult& result) {
+  std::printf("\n%-10s %-10s %-12s %-14s %10s %10s %5s\n", "plant", "scenario", "seed",
+              "policy", "saving[%]", "skipped", "safe");
+  for (const auto& cell : result.cells) {
+    const auto& r = cell.result;
+    for (std::size_t p = 0; p < r.policy_names.size(); ++p) {
+      std::printf("%-10s %-10s %-12llu %-14s %10.2f %10.1f %5s\n", cell.plant.c_str(),
+                  cell.scenario.c_str(), static_cast<unsigned long long>(cell.seed),
+                  r.policy_names[p].c_str(), 100.0 * oic::mean(r.savings[p]),
+                  r.mean_skipped[p], r.any_violation[p] ? "NO!" : "yes");
+    }
+  }
+  std::printf("\nsweep: %zu cells, %zu episodes, %.2f s wall  |  %.1f episodes/s  |  "
+              "%.0f ns/step\n",
+              result.cells.size(), result.episodes, result.wall_s,
+              result.episodes_per_s(), result.step_ns());
+  std::printf("cases=%zu steps=%zu workers=%zu\n", spec.cases, spec.steps, spec.workers);
+  std::printf("safety violations: %s (Theorem 1: must be none)\n",
+              result.safety_violations ? "YES (BUG!)" : "none");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+
+  if (args.flag("help")) {
+    std::printf("usage: oic_eval [--plant a,b] [--scenario a,b] [--policies a,b]\n"
+                "                [--cases N] [--steps N] [--seeds a,b] [--workers N]\n"
+                "                [--json PATH] [--list]\n");
+    print_registry(registry);
+    return 0;
+  }
+  if (args.flag("list")) {
+    print_registry(registry);
+    return 0;
+  }
+
+  SweepSpec spec;
+  std::string v;
+  std::uint64_t n = 0;
+  const auto count_flag = [&](const char* key, std::size_t& target) {
+    if (!args.value(key, v)) return true;
+    if (!parse_count(v, n)) {
+      std::fprintf(stderr, "oic_eval: --%s expects a non-negative integer, got '%s'\n",
+                   key, v.c_str());
+      return false;
+    }
+    target = static_cast<std::size_t>(n);
+    return true;
+  };
+  if (args.value("plant", v) || args.value("plants", v)) spec.plants = split_list(v);
+  if (args.value("scenario", v) || args.value("scenarios", v)) {
+    spec.scenarios = split_list(v);
+  }
+  if (args.value("policies", v)) spec.policies = split_list(v);
+  if (!count_flag("cases", spec.cases) || !count_flag("steps", spec.steps) ||
+      !count_flag("workers", spec.workers)) {
+    return 1;
+  }
+  if (args.value("seed", v) || args.value("seeds", v)) {
+    spec.seeds.clear();
+    for (const auto& s : split_list(v)) {
+      if (!parse_count(s, n)) {
+        std::fprintf(stderr, "oic_eval: --seeds expects non-negative integers, got '%s'\n",
+                     s.c_str());
+        return 1;
+      }
+      spec.seeds.push_back(n);
+    }
+  }
+  std::string json_path;
+  const bool write_json = args.value("json", json_path);
+
+  if (const int unknown = args.first_unknown()) {
+    std::fprintf(stderr, "oic_eval: unknown argument '%s' (try --help)\n",
+                 argv[unknown]);
+    return 1;
+  }
+
+  try {
+    std::printf("=== oic_eval sweep ===\n");
+    std::printf("plants=%s scenarios=%s cases=%zu steps=%zu seeds=%zu workers=%zu\n",
+                join_or_all(spec.plants).c_str(), join_or_all(spec.scenarios).c_str(),
+                spec.cases, spec.steps, spec.seeds.size(), spec.workers);
+
+    const SweepResult result = oic::eval::run_sweep(registry, spec);
+    print_summary(spec, result);
+
+    if (write_json) {
+      const std::string doc = oic::eval::sweep_json(spec, result);
+      if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+      } else {
+        std::fprintf(stderr, "oic_eval: could not write %s\n", json_path.c_str());
+        return 1;
+      }
+    }
+    return result.safety_violations ? 1 : 0;
+  } catch (const oic::Error& e) {
+    std::fprintf(stderr, "oic_eval: %s\n", e.what());
+    return 1;
+  }
+}
