@@ -19,7 +19,9 @@
 /// Flags: --cases=N (default 24), --steps=N (default 100), --workers=N
 /// (default hardware), --json=PATH (default ./BENCH_throughput.json).
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -29,8 +31,10 @@
 #include "acc/harness.hpp"
 #include "acc/scenarios.hpp"
 #include "bench_util.hpp"
+#include "common/buildinfo.hpp"
 #include "common/stats.hpp"
 #include "core/policy.hpp"
+#include "rl/dqn.hpp"
 
 namespace {
 
@@ -60,16 +64,92 @@ const char* json_flag(int argc, char** argv) {
   return "BENCH_throughput.json";
 }
 
+/// DQN minibatch-update micro-bench: the identical training stream (same
+/// seeds, same transitions) through the per-sample and the batched
+/// forward/backward paths.  The batched path must be bit-identical -- the
+/// reported max |weight delta| is expected to be exactly 0 -- and faster
+/// (it replaces three allocating forwards plus a freshly allocated
+/// Gradients per transition with fused batched GEMM over reused buffers).
+struct TrainBenchResult {
+  double per_sample_us = 0.0;  ///< mean us per observe() once learning runs
+  double batched_us = 0.0;
+  double speedup = 0.0;
+  double max_weight_delta = 0.0;
+};
+
+TrainBenchResult bench_train_minibatch(std::size_t updates) {
+  using oic::Rng;
+  using oic::linalg::Vector;
+
+  oic::rl::DqnConfig cfg;
+  cfg.hidden = {64, 64};
+  cfg.min_replay = 128;
+  cfg.batch_size = 32;
+  const std::size_t state_dim = 8;  // a 2-state plant with memory r = 3
+  const std::size_t warmup = cfg.min_replay;
+
+  const auto run = [&](bool batched, double& mean_us) {
+    oic::rl::DqnConfig c = cfg;
+    c.batched = batched;
+    oic::rl::DoubleDqn agent(state_dim, 2, c, Rng(20200607));
+    Rng env(99);
+    Vector s(state_dim);
+    // Feed identical synthetic transitions; time only the learning phase.
+    const auto feed = [&](std::size_t count) {
+      for (std::size_t i = 0; i < count; ++i) {
+        for (std::size_t k = 0; k < state_dim; ++k) s[k] = env.uniform(-1.0, 1.0);
+        const int a = agent.select_action(s);
+        oic::rl::Transition t;
+        t.state = s;
+        t.action = a;
+        t.reward = env.uniform(-1.0, 1.0);
+        t.next_state = s;
+        t.terminal = false;
+        agent.observe(std::move(t));
+      }
+    };
+    feed(warmup);
+    const auto t0 = Clock::now();
+    feed(updates);
+    mean_us = 1e6 * seconds_since(t0) / static_cast<double>(updates);
+    return agent;
+  };
+
+  TrainBenchResult out;
+  const auto per_sample = run(false, out.per_sample_us);
+  const auto batched = run(true, out.batched_us);
+  out.speedup = out.per_sample_us / out.batched_us;
+  for (std::size_t l = 0; l < per_sample.online().num_layers(); ++l) {
+    const auto& wa = per_sample.online().weight(l);
+    const auto& wb = batched.online().weight(l);
+    for (std::size_t i = 0; i < wa.rows(); ++i) {
+      for (std::size_t j = 0; j < wa.cols(); ++j) {
+        out.max_weight_delta =
+            std::max(out.max_weight_delta, std::abs(wa(i, j) - wb(i, j)));
+      }
+    }
+    const auto& ba = per_sample.online().bias(l);
+    const auto& bb = batched.online().bias(l);
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+      out.max_weight_delta = std::max(out.max_weight_delta, std::abs(ba[i] - bb[i]));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace oic;
   // Unparsable flag values come back as 0; a zero-case or zero-step sweep is
   // meaningless, so clamp rather than crash deep in the harness.
-  const std::size_t cases = std::max<std::size_t>(1, benchutil::flag(argc, argv, "cases", 24));
-  const std::size_t steps = std::max<std::size_t>(1, benchutil::flag(argc, argv, "steps", 100));
+  const std::size_t cases =
+      std::max<std::size_t>(1, benchutil::flag(argc, argv, "cases", 24));
+  const std::size_t steps =
+      std::max<std::size_t>(1, benchutil::flag(argc, argv, "steps", 100));
   const std::size_t workers = benchutil::flag(
-      argc, argv, "workers", std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+      argc, argv, "workers",
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
   const std::uint64_t seed = 20200406;
 
   std::printf("=== Episode throughput: policy-comparison sweep ===\n");
@@ -90,8 +170,8 @@ int main(int argc, char** argv) {
   core::BangBangPolicy bb_legacy;
   core::PeriodicPolicy per_legacy(5);
   auto t0 = Clock::now();
-  const auto cmp_legacy = acc::compare_policies(acc_legacy, scen,
-                                                {&bb_legacy, &per_legacy}, cases, steps, seed);
+  const auto cmp_legacy = acc::compare_policies(
+      acc_legacy, scen, {&bb_legacy, &per_legacy}, cases, steps, seed);
   Timing legacy{seconds_since(t0), episodes_per_sweep, steps_per_sweep};
   print_timing("legacy", legacy);
 
@@ -118,7 +198,8 @@ int main(int argc, char** argv) {
 
   sweep.workers = workers;
   t0 = Clock::now();
-  const auto cmp_parallel = acc::compare_policies_parallel(acc_fast, scen, factory, sweep);
+  const auto cmp_parallel =
+      acc::compare_policies_parallel(acc_fast, scen, factory, sweep);
   Timing parallel{seconds_since(t0), episodes_per_sweep, steps_per_sweep};
   print_timing("engine-parallel", parallel);
 
@@ -147,7 +228,8 @@ int main(int argc, char** argv) {
   std::printf("speedup (engine-serial  vs legacy): %6.2fx\n", speedup_serial);
   std::printf("speedup (engine-parallel vs legacy): %6.2fx  (%zu workers)\n",
               speedup_parallel, workers);
-  std::printf("parallel bit-identical to serial  : %s\n", identical ? "yes" : "NO (BUG!)");
+  std::printf("parallel bit-identical to serial  : %s\n",
+              identical ? "yes" : "NO (BUG!)");
   std::printf("max |saving delta| legacy vs engine: %.2e\n", max_delta);
   for (std::size_t p = 0; p < cmp_serial.policy_names.size(); ++p) {
     std::printf("  %-12s mean saving: engine %6.2f %% (legacy %6.2f %%), "
@@ -161,12 +243,27 @@ int main(int argc, char** argv) {
   std::printf("safety violations: %s (Theorem 1: must be none)\n\n",
               violation ? "YES (BUG!)" : "none");
 
+  // ---- DQN minibatch path: per-sample vs batched ----
+  // Clamp like cases/steps above: zero updates would divide by zero and
+  // leak inf/nan into the JSON.
+  const std::size_t train_updates =
+      std::max<std::size_t>(1, benchutil::flag(argc, argv, "train-updates", 600));
+  std::printf("=== DQN minibatch update: per-sample vs batched ===\n");
+  const TrainBenchResult train = bench_train_minibatch(train_updates);
+  std::printf("per-sample : %8.1f us/update\n", train.per_sample_us);
+  std::printf("batched    : %8.1f us/update   (%0.2fx speedup)\n", train.batched_us,
+              train.speedup);
+  std::printf("max |weight delta| batched vs per-sample: %.3e (must be 0)\n\n",
+              train.max_weight_delta);
+  const bool train_identical = train.max_weight_delta == 0.0;
+
   // ---- JSON ----
   const char* json_path = json_flag(argc, argv);
   bool json_written = false;
   if (std::FILE* f = std::fopen(json_path, "w")) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"throughput\",\n");
+    std::fprintf(f, "  \"meta\": %s,\n", oic::build_meta_json().c_str());
     std::fprintf(f,
                  "  \"config\": {\"cases\": %zu, \"steps\": %zu, \"workers\": %zu, "
                  "\"policies\": [\"bang-bang\", \"periodic-5\"], \"seed\": %llu},\n",
@@ -184,6 +281,12 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"speedup_parallel\": %.3f,\n", speedup_parallel);
     std::fprintf(f, "  \"parallel_bit_identical\": %s,\n", identical ? "true" : "false");
     std::fprintf(f, "  \"max_saving_delta_vs_legacy\": %.3e,\n", max_delta);
+    std::fprintf(f,
+                 "  \"train_minibatch\": {\"updates\": %zu, \"per_sample_us\": %.2f, "
+                 "\"batched_us\": %.2f, \"speedup\": %.3f, "
+                 "\"max_weight_delta\": %.3e, \"bit_identical\": %s},\n",
+                 train_updates, train.per_sample_us, train.batched_us, train.speedup,
+                 train.max_weight_delta, train_identical ? "true" : "false");
     std::fprintf(f, "  \"safety_violations\": %s\n", violation ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -193,5 +296,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not write %s\n", json_path);
   }
 
-  return (identical && !violation && json_written) ? 0 : 1;
+  return (identical && train_identical && !violation && json_written) ? 0 : 1;
 }

@@ -21,7 +21,8 @@ inline std::size_t flag(int argc, char** argv, const char* key, std::size_t fall
   const std::string prefix = std::string("--") + key + "=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return static_cast<std::size_t>(std::strtoull(argv[i] + prefix.size(), nullptr, 10));
+      return static_cast<std::size_t>(
+          std::strtoull(argv[i] + prefix.size(), nullptr, 10));
     }
   }
   // Environment fallback: OIC_<KEY> upper-cased.

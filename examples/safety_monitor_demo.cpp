@@ -71,7 +71,8 @@ int main() {
     const int cx = static_cast<int>((px - x_lo) / (x_hi - x_lo) * (w - 1));
     const int cy = static_cast<int>((py - y_lo) / (y_hi - y_lo) * (h - 1));
     if (cx < 0 || cx >= w || cy < 0 || cy >= h) return;
-    char& cell = canvas[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)];
+    char& cell =
+        canvas[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)];
     // Trajectory marks win over set shading.
     if (c == '*' || cell == ' ' || (c == '+' && cell == '.')) cell = c;
   };

@@ -2,21 +2,28 @@
 """Validate a bench JSON document against a reference document's schema.
 
 Usage: check_bench_json.py REFERENCE CANDIDATE
+       check_bench_json.py --self CANDIDATE
 
 Recursively compares the *key structure* of the two JSON documents: every
 key path present in REFERENCE must exist in CANDIDATE with the same JSON
 type, and vice versa (values are free to differ -- they are measurements).
 Array elements are checked against the first element of the reference
 array, so homogeneous result lists of different lengths compare fine.
+With --self only the shared semantic invariants are enforced (for
+documents, like oic_train's, that have no committed reference).
 
 Also enforces the semantic invariants every bench document shares:
   * "safety_violations" must be false (Theorem 1: the monitor never lets
     the loop leave X);
-  * "parallel_bit_identical", when present, must be true.
+  * "parallel_bit_identical", when present, must be true;
+  * "meta" must carry the build provenance strings git_sha / compiler /
+    build_type (common/buildinfo.hpp);
+  * "train_minibatch.bit_identical", when present, must be true (the
+    batched DQN update path must match the per-sample path exactly).
 
 The CI bench-smoke job runs this over (committed BENCH_throughput.json,
-fresh smoke output); oic_eval documents can be checked against a committed
-reference the same way.
+fresh smoke output); the train-smoke job uses --self on the oic_train and
+oic_eval documents.
 """
 
 import json
@@ -67,26 +74,47 @@ def check_semantics(candidate, errors):
             candidate["parallel_bit_identical"] is not True:
         errors.append("parallel_bit_identical: must be true")
 
+    meta = candidate.get("meta")
+    if not isinstance(meta, dict):
+        errors.append("meta: must be present (build provenance object)")
+    else:
+        for key in ("git_sha", "compiler", "build_type"):
+            if not isinstance(meta.get(key), str) or not meta.get(key):
+                errors.append(f"meta.{key}: must be a non-empty string")
+
+    train = candidate.get("train_minibatch")
+    if train is not None and train.get("bit_identical") is not True:
+        errors.append("train_minibatch.bit_identical: must be true")
+
 
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) == 3 and argv[1] == "--self":
+        reference = None
+        candidate_path = argv[2]
+    elif len(argv) == 3:
+        with open(argv[1]) as f:
+            reference = json.load(f)
+        candidate_path = argv[2]
+    else:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1]) as f:
-        reference = json.load(f)
-    with open(argv[2]) as f:
+    with open(candidate_path) as f:
         candidate = json.load(f)
 
     errors = []
-    compare(reference, candidate, "", errors)
+    if reference is not None:
+        compare(reference, candidate, "", errors)
     check_semantics(candidate, errors)
 
     if errors:
-        print(f"{argv[2]}: schema check FAILED against {argv[1]}:")
+        against = "(self)" if reference is None else f"against {argv[1]}"
+        print(f"{candidate_path}: schema check FAILED {against}:")
         for e in errors:
             print(f"  - {e}")
         return 1
-    print(f"{argv[2]}: schema matches {argv[1]}, safety invariants hold")
+    verdict = "semantic invariants hold" if reference is None else \
+        f"schema matches {argv[1]}, safety invariants hold"
+    print(f"{candidate_path}: {verdict}")
     return 0
 
 

@@ -6,13 +6,17 @@
 #
 #   scripts/ci.sh [--compiler gcc|clang] [--config Release|Sanitize]
 #                 [--build-dir DIR] [--build-only] [--bench-only]
-#                 [--format-only]
+#                 [--train-only] [--format-only]
 #
 #   build+test   configure with -Werror, build everything, ctest
 #   bench smoke  scripts/bench.sh --quick + JSON schema check against the
 #                committed BENCH_throughput.json
+#   train smoke  tiny-budget oic_train on lane-keep, then oic_eval deploys
+#                the serialized agent via --policies drl:<path>; both JSON
+#                documents pass check_bench_json.py --self
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/
-#                tools/ (skipped with a warning when clang-format is absent)
+#                tools/ (blocking; skipped with a warning when clang-format
+#                is absent)
 #
 # Config "Sanitize" is Debug + address/undefined sanitizers.
 set -euo pipefail
@@ -25,6 +29,7 @@ config=Release
 build_dir=""
 do_build=1
 do_bench=1
+do_train=1
 do_format=1
 
 while [[ $# -gt 0 ]]; do
@@ -35,9 +40,10 @@ while [[ $# -gt 0 ]]; do
     --config=*) config="${1#*=}"; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --build-dir=*) build_dir="${1#*=}"; shift ;;
-    --build-only) do_bench=0; do_format=0; shift ;;
-    --bench-only) do_build=0; do_format=0; shift ;;
-    --format-only) do_build=0; do_bench=0; shift ;;
+    --build-only) do_bench=0; do_train=0; do_format=0; shift ;;
+    --bench-only) do_build=0; do_train=0; do_format=0; shift ;;
+    --train-only) do_build=0; do_bench=0; do_format=0; shift ;;
+    --format-only) do_build=0; do_bench=0; do_train=0; shift ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -80,19 +86,34 @@ if [[ ${do_bench} -eq 1 ]]; then
     "${repo_root}/BENCH_throughput.json" "${repo_root}/build/BENCH_smoke.json"
 fi
 
+if [[ ${do_train} -eq 1 ]]; then
+  echo "=== train smoke: oic_train -> serialize -> oic_eval --policies drl: ==="
+  smoke_build="${repo_root}/build"
+  cmake -B "${smoke_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${smoke_build}" --target oic_train oic_eval -j"$(nproc)"
+  agents_dir="${smoke_build}/ci-agents"
+  mkdir -p "${agents_dir}"
+  "${smoke_build}/oic_train" --plant lane-keep --scenario sine --seeds 7 \
+    --episodes 10 --steps 40 --workers 2 --out "${agents_dir}" \
+    --json "${smoke_build}/TRAIN_smoke.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${smoke_build}/TRAIN_smoke.json"
+  "${smoke_build}/oic_eval" --plant lane-keep --scenario sine \
+    --policies "bang-bang,drl:${agents_dir}/lane-keep__sine__seed7.agent" \
+    --cases 4 --steps 40 --workers 2 --json "${smoke_build}/EVAL_smoke.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${smoke_build}/EVAL_smoke.json"
+fi
+
 if [[ ${do_format} -eq 1 ]]; then
   echo "=== clang-format check (src/ tests/ bench/ tools/) ==="
-  # Advisory while the pre-.clang-format tree still carries drift (the
-  # config was introduced without a tree-wide reformat to avoid churn):
-  # violations are reported but do not fail the pipeline.  After a one-time
-  # `clang-format -i` pass, delete the `|| echo` fallback below to make the
-  # check blocking -- this script is the only place that decides.
+  # Blocking since the one-time tree-wide normalization pass: drift fails
+  # the pipeline.  This script is the only place that decides.
   if command -v clang-format >/dev/null; then
     find "${repo_root}/src" "${repo_root}/tests" "${repo_root}/bench" \
          "${repo_root}/tools" -name '*.cpp' -o -name '*.hpp' | sort \
-      | xargs clang-format --dry-run -Werror \
-      && echo "format check passed" \
-      || echo "ci.sh: WARNING: formatting drift (advisory until the one-time reformat)" >&2
+      | xargs clang-format --dry-run -Werror
+    echo "format check passed"
   else
     echo "ci.sh: WARNING: clang-format not installed, format check skipped" >&2
   fi

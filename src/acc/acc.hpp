@@ -125,6 +125,13 @@ class AccCase final : public eval::PlantCase {
     return fuel_step(x, u);
   }
 
+  /// Trainer energy hook: fuel rate (fuel per period / period), aligning
+  /// the training signal with the fuel metric the evaluation reports.
+  double train_cost_rate(const linalg::Vector& x,
+                         const linalg::Vector& u) const override {
+    return fuel_step(x, u) / params_.delta;
+  }
+
   /// Uniform sample from the strengthened safe set X' (rejection sampling
   /// from its bounding box).
   linalg::Vector sample_x0(Rng& rng) const override;

@@ -1,0 +1,50 @@
+#include "common/buildinfo.hpp"
+
+// The git SHA comes from a header regenerated at build time
+// (cmake/gitsha.cmake), so incremental builds after new commits report
+// the right commit; OIC_BUILD_TYPE is injected for this translation unit
+// only, and the compiler identifies itself via its own macros.
+#ifdef OIC_HAVE_GITSHA_HEADER
+#include "oic_git_sha.h"
+#endif
+
+namespace oic {
+
+const char* git_sha() {
+#ifdef OIC_GIT_SHA
+  return OIC_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_type() {
+#ifdef OIC_BUILD_TYPE
+  return OIC_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_meta_json() {
+  std::string out = "{\"git_sha\": \"";
+  out += git_sha();
+  out += "\", \"compiler\": \"";
+  out += compiler_id();
+  out += "\", \"build_type\": \"";
+  out += build_type();
+  out += "\"}";
+  return out;
+}
+
+}  // namespace oic

@@ -1,0 +1,26 @@
+#pragma once
+/// \file buildinfo.hpp
+/// Build provenance embedded in every machine-readable bench/sweep/train
+/// JSON document: which commit, compiler, and build configuration produced
+/// the numbers.  Committed BENCH files and CI smoke outputs carry the same
+/// "meta" object, so a regression can always be traced to its build.
+
+#include <string>
+
+namespace oic {
+
+/// Git commit (short SHA) the library was configured from; "unknown" when
+/// the build was not configured inside a git checkout.
+const char* git_sha();
+
+/// Compiler id + version, e.g. "gcc 12.2.0".
+const char* compiler_id();
+
+/// CMake build type, e.g. "Release"; "unknown" outside CMake.
+const char* build_type();
+
+/// The shared "meta" JSON object:
+///   {"git_sha": "...", "compiler": "...", "build_type": "..."}
+std::string build_meta_json();
+
+}  // namespace oic

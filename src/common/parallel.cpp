@@ -46,8 +46,9 @@ struct ThreadPool::Impl {
 };
 
 ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
-  num_threads_ = threads != 0 ? threads
-                              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  num_threads_ =
+      threads != 0 ? threads
+                   : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   impl_->workers.reserve(num_threads_);
   for (std::size_t i = 0; i < num_threads_; ++i) {
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });

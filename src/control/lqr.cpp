@@ -45,7 +45,9 @@ LqrResult dlqr(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& 
   const Matrix bt = b.transposed();
   const Matrix gram = r + bt * p * b;
   const linalg::LU lu(gram);
-  if (lu.singular()) throw NumericalError("dlqr: R + B'PB is singular at the fixed point");
+  if (lu.singular()) {
+    throw NumericalError("dlqr: R + B'PB is singular at the fixed point");
+  }
   out.k = -(lu.solve(bt * p * a));
   out.p = p;
   return out;

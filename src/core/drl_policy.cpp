@@ -82,16 +82,40 @@ double skipping_reward(const SafeSets& sets, const Vector& x1, int z, const Vect
 
 DrlPolicy::DrlPolicy(std::shared_ptr<const rl::DoubleDqn> agent, std::size_t r,
                      std::size_t w_dim, Vector state_scale)
-    : agent_(std::move(agent)), r_(r), w_dim_(w_dim),
-      state_scale_(std::move(state_scale)) {
-  OIC_REQUIRE(agent_ != nullptr, "DrlPolicy: agent must not be null");
+    : DrlPolicy(agent != nullptr
+                    // Aliasing pointer: shares the agent's lifetime, points
+                    // at its online network.
+                    ? std::shared_ptr<const rl::Mlp>(agent, &agent->online())
+                    : nullptr,
+                r, w_dim, std::move(state_scale), "drl-dqn") {}
+
+DrlPolicy::DrlPolicy(std::shared_ptr<const rl::Mlp> net, std::size_t r,
+                     std::size_t w_dim, Vector state_scale, std::string label)
+    : net_(std::move(net)), r_(r), w_dim_(w_dim),
+      state_scale_(std::move(state_scale)), label_(std::move(label)) {
+  OIC_REQUIRE(net_ != nullptr, "DrlPolicy: agent must not be null");
   OIC_REQUIRE(r_ >= 1, "DrlPolicy: memory length must be positive");
+  OIC_REQUIRE(!label_.empty(), "DrlPolicy: empty label");
+}
+
+std::unique_ptr<DrlPolicy> DrlPolicy::from_network(std::shared_ptr<const rl::Mlp> net,
+                                                   std::size_t r, std::size_t w_dim,
+                                                   Vector state_scale,
+                                                   std::string label) {
+  return std::unique_ptr<DrlPolicy>(new DrlPolicy(
+      std::move(net), r, w_dim, std::move(state_scale), std::move(label)));
 }
 
 int DrlPolicy::decide(const Vector& x, const WHistory& w_history) {
   build_drl_state_into(state_scratch_, x, w_history, r_, w_dim_);
   apply_state_scale_inplace(state_scratch_, state_scale_);
-  return agent_->greedy_action(state_scratch_, mlp_ws_);
+  // Same computation as DoubleDqn::greedy_action on the online network.
+  const Vector& q = net_->forward_into(state_scratch_, mlp_ws_);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    if (q[i] > q[best]) best = i;
+  }
+  return static_cast<int>(best);
 }
 
 }  // namespace oic::core

@@ -60,18 +60,34 @@ class DrlPolicy final : public SkipPolicy {
   DrlPolicy(std::shared_ptr<const rl::DoubleDqn> agent, std::size_t r,
             std::size_t w_dim, linalg::Vector state_scale = {});
 
+  /// Deployment-side construction from a bare network (a serialized
+  /// agent's online net): greedy decisions are identical to wrapping the
+  /// full agent -- greedy_action is argmax over the online forward pass.
+  /// `label` becomes name(), so sweeps over several loaded agents stay
+  /// distinguishable in tables and JSON.
+  static std::unique_ptr<DrlPolicy> from_network(std::shared_ptr<const rl::Mlp> net,
+                                                 std::size_t r, std::size_t w_dim,
+                                                 linalg::Vector state_scale = {},
+                                                 std::string label = "drl-dqn");
+
   int decide(const linalg::Vector& x, const WHistory& w_history) override;
-  std::string name() const override { return "drl-dqn"; }
+  std::string name() const override { return label_; }
 
   /// Memory length r.
   std::size_t memory() const { return r_; }
 
  private:
-  std::shared_ptr<const rl::DoubleDqn> agent_;
+  DrlPolicy(std::shared_ptr<const rl::Mlp> net, std::size_t r, std::size_t w_dim,
+            linalg::Vector state_scale, std::string label);
+
+  /// Greedy decisions only need the online network; the aliasing pointer
+  /// keeps a wrapped agent alive when one was supplied.
+  std::shared_ptr<const rl::Mlp> net_;
   std::size_t r_;
   std::size_t w_dim_;
   linalg::Vector state_scale_;
-  // Per-policy inference scratch: the agent may be shared across threads
+  std::string label_ = "drl-dqn";
+  // Per-policy inference scratch: the network may be shared across threads
   // (its inference is const); the mutable buffers live here so each worker
   // owns its own and a steady-state decide() allocates nothing.
   linalg::Vector state_scratch_;

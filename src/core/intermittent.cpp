@@ -59,7 +59,8 @@ StepDecision IntermittentController::decide(const Vector& x) {
 
 void IntermittentController::record_transition(const Vector& x, const Vector& u,
                                                const Vector& x_next) {
-  OIC_REQUIRE(x.size() == sys_.nx() && x_next.size() == sys_.nx() && u.size() == sys_.nu(),
+  OIC_REQUIRE(x.size() == sys_.nx() && x_next.size() == sys_.nx() &&
+                  u.size() == sys_.nu(),
               "IntermittentController::record_transition: dimension mismatch");
   // Realized disturbance E w = x_next - A x - B u - c, accumulated into the
   // scratch vector (same operation order as the expression form) and pushed

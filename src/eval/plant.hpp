@@ -79,6 +79,17 @@ class PlantCase {
 
   /// Physical actuation energy of a shifted input.
   virtual double energy_raw(const linalg::Vector& u) const = 0;
+
+  /// Per-plant hook for the DRL trainer's energy penalty R2 (Sec. III-B.2)
+  /// under train::EnergyMode::kCost: the running-cost *rate* of executing
+  /// kappa(x) = u, i.e. cost per unit time rather than per control period,
+  /// so reward weights transfer across plants with different periods.  The
+  /// default charges the per-step running cost of a controller-run period;
+  /// the ACC overrides it with its fuel map divided by the period.
+  virtual double train_cost_rate(const linalg::Vector& x,
+                                 const linalg::Vector& u) const {
+    return cost_step(x, u, /*controller_ran=*/true);
+  }
 };
 
 /// One experiment configuration: a named disturbance-signal generator.

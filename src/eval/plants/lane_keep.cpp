@@ -28,7 +28,8 @@ AffineLTI LaneKeepCase::build_system(const LaneKeepParams& p) {
   Matrix a{{1.0, d}, {0.0, 1.0}};
   Matrix b{{0.0}, {d}};
   Matrix e{{0.0}, {d}};
-  const HPolytope x = HPolytope::box(Vector{-p.y_max, -p.v_max}, Vector{p.y_max, p.v_max});
+  const HPolytope x =
+      HPolytope::box(Vector{-p.y_max, -p.v_max}, Vector{p.y_max, p.v_max});
   const HPolytope u = HPolytope::box(Vector{-p.u_max}, Vector{p.u_max});
   const HPolytope w = HPolytope::box(Vector{-p.w_max}, Vector{p.w_max});
   return AffineLTI(a, b, e, Vector{0.0, 0.0}, x, u, w);

@@ -39,7 +39,8 @@ Scenario make_acc_scenario(const std::string& id) {
 PlantInfo acc_info() {
   PlantInfo info;
   info.id = "acc";
-  info.description = "adaptive cruise control (paper Sec. IV): gap/speed vs front vehicle";
+  info.description =
+      "adaptive cruise control (paper Sec. IV): gap/speed vs front vehicle";
   info.make_plant = [] { return std::make_unique<acc::AccCase>(); };
   info.scenario_ids = {"Fig.4"};
   for (int i = 1; i <= 10; ++i) info.scenario_ids.push_back("Ex." + std::to_string(i));
@@ -63,8 +64,10 @@ Scenario make_lane_keep_scenario(const std::string& id) {
                     std::make_unique<sim::BoundedAccelProfile>(-w, w, 3.0 * w, p.delta));
   }
   if (id == "gusts") {
-    return Scenario("gusts", "stop-and-go gust fronts: dwell/ramp between -0.8/+0.8 w_max",
-                    std::make_unique<sim::StopAndGoProfile>(-0.8 * w, 0.8 * w, 20, 10, 0.3));
+    return Scenario("gusts",
+                    "stop-and-go gust fronts: dwell/ramp between -0.8/+0.8 w_max",
+                    std::make_unique<sim::StopAndGoProfile>(-0.8 * w, 0.8 * w, 20, 10,
+                                                            0.3));
   }
   if (id == "white") {
     return Scenario("white", "uncorrelated uniform crosswind (worst-case pattern-free)",
@@ -89,7 +92,8 @@ Scenario make_quad_alt_scenario(const std::string& id) {
   const QuadAltParams p;
   const double w = p.w_max;
   if (id == "sine") {
-    return Scenario("sine", "sinusoidal thermal cycle, amplitude 0.6 w_max, noise 0.15 w_max",
+    return Scenario("sine",
+                    "sinusoidal thermal cycle, amplitude 0.6 w_max, noise 0.15 w_max",
                     std::make_unique<sim::SinusoidalProfile>(0.0, 0.6 * w, p.delta,
                                                              0.15 * w, -w, w));
   }
@@ -99,7 +103,12 @@ Scenario make_quad_alt_scenario(const std::string& id) {
   }
   if (id == "gusts") {
     return Scenario("gusts", "stop-and-go downdraft fronts between -0.7/+0.7 w_max",
-                    std::make_unique<sim::StopAndGoProfile>(-0.7 * w, 0.7 * w, 25, 12, 0.25));
+                    std::make_unique<sim::StopAndGoProfile>(-0.7 * w, 0.7 * w, 25, 12,
+                                                            0.25));
+  }
+  if (id == "white") {
+    return Scenario("white", "uncorrelated uniform gusts (worst-case pattern-free)",
+                    std::make_unique<sim::UniformRandomProfile>(-w, w));
   }
   throw PreconditionError("unknown quad-alt scenario '" + id + "'");
 }
@@ -109,7 +118,10 @@ PlantInfo quad_alt_info() {
   info.id = "quad-alt";
   info.description = "quadrotor altitude hold: height error vs vertical gusts";
   info.make_plant = [] { return std::make_unique<QuadAltCase>(); };
-  info.scenario_ids = {"sine", "rough", "gusts"};
+  // "white" completes the uniform scenario family every non-ACC plant
+  // exposes (sine / rough / gusts / white), so cross-plant sweeps by
+  // scenario id cover both plants symmetrically.
+  info.scenario_ids = {"sine", "rough", "gusts", "white"};
   info.make_scenario = make_quad_alt_scenario;
   return info;
 }
@@ -118,7 +130,8 @@ PlantInfo quad_alt_info() {
 
 void ScenarioRegistry::add(PlantInfo info) {
   OIC_REQUIRE(!info.id.empty(), "ScenarioRegistry::add: empty plant id");
-  OIC_REQUIRE(!has_plant(info.id), "ScenarioRegistry::add: duplicate plant '" + info.id + "'");
+  OIC_REQUIRE(!has_plant(info.id),
+              "ScenarioRegistry::add: duplicate plant '" + info.id + "'");
   OIC_REQUIRE(static_cast<bool>(info.make_plant),
               "ScenarioRegistry::add: plant factory required");
   OIC_REQUIRE(static_cast<bool>(info.make_scenario),

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdarg>
-#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
+#include "common/buildinfo.hpp"
 #include "common/error.hpp"
+#include "common/jsonout.hpp"
 #include "common/stats.hpp"
+#include "core/drl_policy.hpp"
+#include "rl/serialize.hpp"
 
 namespace oic::eval {
 
@@ -20,26 +22,8 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-#if defined(__GNUC__)
-__attribute__((format(printf, 2, 3)))
-#endif
-void append_format(std::string& out, const char* fmt, ...) {
-  char buf[512];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, args);
-  va_end(args);
-  out += buf;
-}
-
-void append_string_array(std::string& out, const std::vector<std::string>& items) {
-  out += "[";
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (i) out += ", ";
-    out += "\"" + items[i] + "\"";
-  }
-  out += "]";
-}
+using jsonout::append_format;
+using jsonout::append_string_array;
 
 }  // namespace
 
@@ -54,8 +38,32 @@ std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec) {
       return std::make_unique<core::PeriodicPolicy>(static_cast<std::size_t>(n));
     }
   }
+  // "drl:<path>": a trained skipping agent serialized by oic_train.  Each
+  // call loads its own copy -- per-worker policy sets stay independently
+  // owned; the files are small (a few hundred KB of text).  Greedy
+  // decisions are stateless, so the policy is trivially reset()-complete
+  // (the parallel engine's bit-parity requirement).
+  const std::string drl = "drl:";
+  if (spec.rfind(drl, 0) == 0 && spec.size() > drl.size()) {
+    rl::AgentSnapshot snap = [&]() -> rl::AgentSnapshot {
+      try {
+        return rl::load_agent_file(spec.substr(drl.size()));
+      } catch (const Error& e) {
+        throw PreconditionError("policy '" + spec + "': " + std::string(e.what()));
+      }
+    }();
+    const std::size_t state_dim = snap.net.sizes().front();
+    // An empty scale is a documented format case ("no scaling"); a
+    // non-empty one must match the network input.
+    OIC_REQUIRE(snap.state_scale.empty() || snap.state_scale.size() == state_dim,
+                "policy '" + spec + "': scale/network dimension mismatch");
+    const std::size_t w_dim = state_dim / (snap.memory + 1);
+    return core::DrlPolicy::from_network(
+        std::make_shared<rl::Mlp>(std::move(snap.net)), snap.memory, w_dim,
+        std::move(snap.state_scale), spec);
+  }
   throw PreconditionError("unknown policy '" + spec +
-                          "' (known: always-run, bang-bang, periodic-N)");
+                          "' (known: always-run, bang-bang, periodic-N, drl:<path>)");
 }
 
 PolicySetFactory make_policy_factory(const std::vector<std::string>& specs) {
@@ -109,6 +117,25 @@ SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
   OIC_REQUIRE(!grid.empty(), "run_sweep: no registered plant lists the requested "
                              "scenarios");
   const PolicySetFactory factory = make_policy_factory(spec.policies);
+  // Trained agents are plant-specific: a drl:<path> policy carries the
+  // registry id it was trained on (the oic-agent header), and deploying it
+  // on another plant would silently compare meaningless decisions even
+  // when the state dimensions happen to match.  Reject the grid up front
+  // (the factory above already vetted that every file loads); agents
+  // without provenance (empty plant tag) are let through.
+  for (const auto& pspec : spec.policies) {
+    const std::string drl = "drl:";
+    if (pspec.rfind(drl, 0) != 0) continue;
+    const std::string trained_on =
+        rl::load_agent_header_file(pspec.substr(drl.size())).plant;
+    if (trained_on.empty()) continue;
+    for (const auto& [pid, scenario_ids] : grid) {
+      OIC_REQUIRE(pid == trained_on,
+                  "run_sweep: policy '" + pspec + "' was trained on plant '" +
+                      trained_on + "' but the sweep includes plant '" + pid +
+                      "' (restrict --plant or retrain)");
+    }
+  }
 
   SweepResult out;
   const auto t0 = Clock::now();
@@ -149,6 +176,7 @@ std::string sweep_json(const SweepSpec& spec, const SweepResult& result) {
   std::string out;
   out += "{\n";
   out += "  \"bench\": \"oic_eval\",\n";
+  out += "  \"meta\": " + build_meta_json() + ",\n";
 
   // "config" carries the bench_throughput keys (cases, steps, workers,
   // policies, seed) plus the sweep's grid axes.
@@ -183,10 +211,14 @@ std::string sweep_json(const SweepSpec& spec, const SweepResult& result) {
     append_format(out, "\"wall_s\": %.6f, \"policies\": [\n", cell.wall_s);
     const ComparisonResult& r = cell.result;
     for (std::size_t p = 0; p < r.policy_names.size(); ++p) {
+      // Policy names can be user-controlled drl:<path> specs: append them
+      // escaped and outside the fixed-size formatter.
+      out += "      {\"name\": ";
+      jsonout::append_string(out, r.policy_names[p]);
       append_format(out,
-                    "      {\"name\": \"%s\", \"mean_saving\": %.17g, "
+                    ", \"mean_saving\": %.17g, "
                     "\"mean_skipped\": %.17g, \"violation\": %s, \"savings\": [",
-                    r.policy_names[p].c_str(), mean(r.savings[p]), r.mean_skipped[p],
+                    mean(r.savings[p]), r.mean_skipped[p],
                     r.any_violation[p] ? "true" : "false");
       for (std::size_t c = 0; c < r.savings[p].size(); ++c) {
         if (c) out += ", ";

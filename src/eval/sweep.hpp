@@ -4,10 +4,12 @@
 /// through compare_policies_parallel and emits one JSON document per sweep.
 ///
 /// The JSON schema is shared with bench_throughput: a top-level "bench"
-/// tag, a "config" object ({cases, steps, workers, policies, seed}, plus
-/// the grid axes), timing objects with {wall_s, episodes, episodes_per_s,
-/// step_ns}, and a final "safety_violations" flag -- so the CI smoke job
-/// can validate both documents with one schema checker.
+/// tag, a "meta" object with build provenance (git SHA, compiler, build
+/// type; common/buildinfo.hpp), a "config" object ({cases, steps, workers,
+/// policies, seed}, plus the grid axes), timing objects with {wall_s,
+/// episodes, episodes_per_s, step_ns}, and a final "safety_violations"
+/// flag -- so the CI smoke job can validate both documents with one schema
+/// checker.
 ///
 /// The CLI (tools/oic_eval.cpp) is a thin flag-parsing wrapper over
 /// run_sweep/sweep_json; tests drive the same entry points, so the binary

@@ -51,4 +51,70 @@ inline void gemv_bias(const Matrix& a, const double* x, const double* b, double*
   }
 }
 
+// ---- batched (minibatch) kernels ------------------------------------------
+//
+// One MLP layer over a whole minibatch in a single fused pass.  Batches are
+// stored row-major (one sample per row) with an explicit leading dimension,
+// so callers can ping-pong through one max-width scratch buffer.  Every
+// per-row accumulation runs in exactly the per-sample kernel's order
+// (j ascending, then + bias), so a batched pass is bit-identical to looping
+// the per-sample kernels over the rows -- the property the DQN's batched
+// training path relies on for its parity guarantee.
+
+/// Y[r,:] = A X[r,:] + b for every row r, optionally ReLU-clamped.
+/// X has `batch` rows of a.cols() valid entries with stride ldx; Y gets
+/// `batch` rows of a.rows() entries with stride ldy.  No aliasing.
+inline void gemm_bias(const Matrix& a, const double* x, std::size_t batch,
+                      std::size_t ldx, const double* b, double* y, std::size_t ldy,
+                      bool relu) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  for (std::size_t r = 0; r < batch; ++r, x += ldx, y += ldy) {
+    const double* p = a.data();
+    for (std::size_t i = 0; i < rows; ++i, p += cols) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) s += p[j] * x[j];
+      s += b[i];
+      y[i] = relu ? (s > 0.0 ? s : 0.0) : s;
+    }
+  }
+}
+
+/// Back-propagate a batch of deltas through A: DP[r,:] = A^T D[r,:] per row.
+/// Matches transpose_mul's accumulation (i ascending, zero rows skipped).
+/// D has `batch` rows of a.rows() entries (stride ldd); DP gets a.cols()
+/// entries per row (stride ldp), overwritten.
+inline void gemm_transpose(const Matrix& a, const double* d, std::size_t batch,
+                           std::size_t ldd, double* dp, std::size_t ldp) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  for (std::size_t r = 0; r < batch; ++r, d += ldd, dp += ldp) {
+    for (std::size_t j = 0; j < cols; ++j) dp[j] = 0.0;
+    const double* p = a.data();
+    for (std::size_t i = 0; i < rows; ++i, p += cols) {
+      const double di = d[i];
+      if (di == 0.0) continue;
+      for (std::size_t j = 0; j < cols; ++j) dp[j] += p[j] * di;
+    }
+  }
+}
+
+/// Accumulate layer gradients over a minibatch: dW += sum_r D[r,:] X[r,:]^T
+/// and db += sum_r D[r,:], with the batch as the outermost loop -- the same
+/// order in which the per-sample path adds one sample gradient at a time
+/// (and with the same skip of zero delta entries), so the sums are
+/// bit-identical to per-sample accumulation.
+inline void gemm_grad_accum(const double* d, std::size_t batch, std::size_t ldd,
+                            const double* x, std::size_t ldx, Matrix& dw,
+                            double* db) {
+  const std::size_t rows = dw.rows(), cols = dw.cols();
+  for (std::size_t r = 0; r < batch; ++r, d += ldd, x += ldx) {
+    double* p = dw.data();
+    for (std::size_t i = 0; i < rows; ++i, p += cols) {
+      const double di = d[i];
+      db[i] += di;
+      if (di == 0.0) continue;
+      for (std::size_t j = 0; j < cols; ++j) p[j] += di * x[j];
+    }
+  }
+}
+
 }  // namespace oic::linalg

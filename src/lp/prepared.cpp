@@ -91,7 +91,8 @@ Status run_phase(std::size_t m, std::size_t n, std::vector<double>& a,
 
     // --- Pivot ---
     const double piv = at(leave, enter);
-    OIC_CHECK(std::fabs(piv) > opt.pivot_tol, "simplex: degenerate pivot slipped through");
+    OIC_CHECK(std::fabs(piv) > opt.pivot_tol,
+              "simplex: degenerate pivot slipped through");
     const double inv = 1.0 / piv;
     double* arow = &a[leave * n];
     for (std::size_t j = 0; j < n; ++j) arow[j] *= inv;

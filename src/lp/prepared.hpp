@@ -152,7 +152,7 @@ class PreparedProblem {
 
   std::vector<VarMap> vmap_;
   std::vector<RowInfo> rows_;
-  std::vector<linalg::Vector> row_coeffs_;  ///< original coefficient rows (for re-emission)
+  std::vector<linalg::Vector> row_coeffs_;  ///< original rows (for re-emission)
 
   // Immutable-per-structure template; rhs/cost blocks mutate via setters.
   std::vector<double> a_;             ///< m_ x n_ template tableau

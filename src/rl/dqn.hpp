@@ -44,6 +44,11 @@ struct DqnConfig {
   double epsilon_end = 0.05;
   std::size_t epsilon_decay_steps = 5000;
   double grad_clip = 10.0;             ///< max-abs gradient clip (0 = off)
+  /// Run minibatch updates through the batched forward/backward path
+  /// (contiguous SoA minibatch, fused batched GEMM, zero steady-state
+  /// allocation).  Bit-identical to the per-sample path -- `false` keeps
+  /// the original per-transition loop for parity tests and ablations.
+  bool batched = true;
 };
 
 /// Double DQN agent over a discrete action set {0, ..., num_actions-1}.
@@ -76,6 +81,11 @@ class DoubleDqn {
   /// configured interval).
   void sync_target();
 
+  /// Overwrite the online network's parameters (and re-sync the target) --
+  /// the "deploy" path: load a serialized agent without retraining.
+  /// Architecture must match.
+  void load_online(const Mlp& net);
+
   /// Number of gradient updates performed.
   std::size_t train_steps() const { return train_steps_; }
 
@@ -106,7 +116,22 @@ class DoubleDqn {
   std::size_t action_steps_ = 0;
   std::size_t train_steps_ = 0;
 
+  // Batched-update scratch, reused across minibatches (empty when
+  // config_.batched is off).
+  linalg::Matrix batch_states_;   ///< SoA minibatch: one state per row
+  linalg::Matrix batch_next_;     ///< next states, same layout
+  linalg::Matrix batch_dout_;     ///< per-sample dLoss/dQ rows
+  std::vector<int> batch_actions_;
+  std::vector<double> batch_rewards_;
+  std::vector<unsigned char> batch_terminal_;
+  BatchWorkspace ws_next_online_;
+  BatchWorkspace ws_next_target_;
+  BatchWorkspace ws_backward_;
+  BatchForwardCache batch_cache_;
+  Gradients grad_scratch_;
+
   double train_minibatch();
+  double train_minibatch_batched();
 };
 
 }  // namespace oic::rl

@@ -25,6 +25,11 @@ void Gradients::scale(double s) {
   for (auto& v : db) v *= s;
 }
 
+void Gradients::zero() {
+  for (auto& m : dw) std::fill(m.data(), m.data() + m.rows() * m.cols(), 0.0);
+  for (auto& v : db) std::fill(v.data().begin(), v.data().end(), 0.0);
+}
+
 double Gradients::norm_inf() const {
   double n = 0.0;
   for (const auto& m : dw) n = std::max(n, m.norm_inf_elem());
@@ -78,6 +83,110 @@ const Vector& Mlp::forward_into(const Vector& in, MlpWorkspace& ws) const {
   // result vector (assign reuses its capacity).
   ws.out.data().assign(src, src + sizes_.back());
   return ws.out;
+}
+
+namespace {
+
+/// Grow-only reshape: keep the allocation when the shape already matches.
+void ensure_shape(Matrix& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) m = Matrix(rows, cols);
+}
+
+}  // namespace
+
+const Matrix& Mlp::forward_batch_into(const Matrix& in, BatchWorkspace& ws) const {
+  OIC_REQUIRE(in.cols() == sizes_.front(),
+              "Mlp::forward_batch_into: input dimension mismatch");
+  const std::size_t batch = in.rows();
+  std::size_t widest = 0;
+  for (std::size_t s : sizes_) widest = std::max(widest, s);
+  ensure_shape(ws.ping, batch, widest);
+  ensure_shape(ws.pong, batch, widest);
+
+  const double* src = in.data();
+  std::size_t ld_src = in.cols();
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    // Alternate destinations so a layer never writes the buffer it reads.
+    double* dst = (l % 2 == 0 ? ws.pong : ws.ping).data();
+    linalg::gemm_bias(w_[l], src, batch, ld_src, b_[l].data().data(), dst, widest,
+                      /*relu=*/l + 1 < w_.size());
+    src = dst;
+    ld_src = widest;
+  }
+  ensure_shape(ws.out, batch, sizes_.back());
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* row = src + r * ld_src;
+    std::copy(row, row + sizes_.back(), ws.out.row_data(r));
+  }
+  return ws.out;
+}
+
+const Matrix& Mlp::forward_batch_cached(const Matrix& in,
+                                        BatchForwardCache& cache) const {
+  OIC_REQUIRE(in.cols() == sizes_.front(),
+              "Mlp::forward_batch_cached: input dimension mismatch");
+  const std::size_t batch = in.rows();
+  cache.pre.resize(w_.size());
+  cache.post.resize(w_.size() + 1);
+  cache.post[0] = in;
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    const std::size_t out_dim = sizes_[l + 1];
+    ensure_shape(cache.pre[l], batch, out_dim);
+    ensure_shape(cache.post[l + 1], batch, out_dim);
+    linalg::gemm_bias(w_[l], cache.post[l].data(), batch, sizes_[l],
+                      b_[l].data().data(), cache.pre[l].data(), out_dim,
+                      /*relu=*/false);
+    const double* z = cache.pre[l].data();
+    double* h = cache.post[l + 1].data();
+    const bool relu = l + 1 < w_.size();
+    for (std::size_t k = 0; k < batch * out_dim; ++k) {
+      h[k] = relu ? (z[k] > 0.0 ? z[k] : 0.0) : z[k];
+    }
+  }
+  return cache.post.back();
+}
+
+void Mlp::backward_batch(const BatchForwardCache& cache, const Matrix& dout,
+                         BatchWorkspace& ws, Gradients& g) const {
+  OIC_REQUIRE(cache.pre.size() == w_.size(),
+              "Mlp::backward_batch: cache layer mismatch");
+  OIC_REQUIRE(dout.cols() == sizes_.back(),
+              "Mlp::backward_batch: output grad mismatch");
+  OIC_REQUIRE(g.dw.size() == w_.size(), "Mlp::backward_batch: gradient shape mismatch");
+  const std::size_t batch = dout.rows();
+  std::size_t widest = 0;
+  for (std::size_t s : sizes_) widest = std::max(widest, s);
+  ensure_shape(ws.delta, batch, widest);
+  ensure_shape(ws.delta_prev, batch, widest);
+
+  // delta holds dLoss/d pre-activation of the current layer, one row per
+  // sample (stride = widest); starts as a copy of dout.
+  for (std::size_t r = 0; r < batch; ++r) {
+    std::copy(dout.row_data(r), dout.row_data(r) + dout.cols(),
+              ws.delta.data() + r * widest);
+  }
+  double* delta = ws.delta.data();
+  double* delta_prev = ws.delta_prev.data();
+  for (std::size_t li = w_.size(); li-- > 0;) {
+    const std::size_t out_dim = sizes_[li + 1];
+    if (li + 1 < w_.size()) {
+      // Coming from a ReLU layer above: gate by its pre-activation sign.
+      const double* pre = cache.pre[li].data();
+      for (std::size_t r = 0; r < batch; ++r) {
+        double* d = delta + r * widest;
+        const double* z = pre + r * out_dim;
+        for (std::size_t i = 0; i < out_dim; ++i) {
+          if (z[i] <= 0.0) d[i] = 0.0;
+        }
+      }
+    }
+    linalg::gemm_grad_accum(delta, batch, widest, cache.post[li].data(), sizes_[li],
+                            g.dw[li], g.db[li].data().data());
+    if (li > 0) {
+      linalg::gemm_transpose(w_[li], delta, batch, widest, delta_prev, widest);
+      std::swap(delta, delta_prev);
+    }
+  }
 }
 
 Vector Mlp::forward_cached(const Vector& in, ForwardCache& cache) const {
@@ -153,7 +262,9 @@ void Mlp::soft_update_from(const Mlp& other, double tau) {
 
 std::size_t Mlp::num_params() const {
   std::size_t n = 0;
-  for (std::size_t l = 0; l < w_.size(); ++l) n += w_[l].rows() * w_[l].cols() + b_[l].size();
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    n += w_[l].rows() * w_[l].cols() + b_[l].size();
+  }
   return n;
 }
 

@@ -23,6 +23,8 @@ struct Gradients {
   void add(const Gradients& other);
   /// Scale all entries (e.g. by 1/batch).
   void scale(double s);
+  /// Reset every entry to +0.0 (reuse a buffer across minibatches).
+  void zero();
   /// Max-abs entry across all blocks (for gradient-clipping and tests).
   double norm_inf() const;
 };
@@ -39,6 +41,26 @@ struct MlpWorkspace {
   std::vector<double> ping;
   std::vector<double> pong;
   linalg::Vector out;  ///< forward_into's result lives here
+};
+
+/// Scratch for the batched (minibatch) passes: layer activations ping-pong
+/// through two batch-by-widest buffers; backward ping-pongs deltas the same
+/// way.  Sized on first use for the largest (batch, net) seen, then reused
+/// allocation-free.
+struct BatchWorkspace {
+  linalg::Matrix ping;   ///< forward activations (batch x widest layer)
+  linalg::Matrix pong;
+  linalg::Matrix out;    ///< forward_batch_into's result (batch x out_dim)
+  linalg::Matrix delta;  ///< backward dLoss/d pre-activation ping
+  linalg::Matrix delta_prev;  ///< backward delta pong
+};
+
+/// Batched forward activations retained for backward_batch: one matrix per
+/// layer, one sample per row (post[0] = the input batch).  Shapes are exact
+/// per layer so backward can stream them without stride bookkeeping.
+struct BatchForwardCache {
+  std::vector<linalg::Matrix> pre;
+  std::vector<linalg::Matrix> post;
 };
 
 /// Dense feed-forward network: sizes = {in, h1, ..., out}.
@@ -64,6 +86,30 @@ class Mlp {
   /// Backpropagate dLoss/dOutput through the cached activations; returns
   /// parameter gradients (does not modify the network).
   Gradients backward(const ForwardCache& cache, const linalg::Vector& dout) const;
+
+  // ---- batched (minibatch) passes -----------------------------------------
+  // One sample per row of `in` (in.cols() == input dim).  Row r of every
+  // result is bit-identical to the corresponding per-sample pass on row r:
+  // the batched kernels reuse the per-sample accumulation order exactly
+  // (see linalg/kernels.hpp), they just stream the whole minibatch through
+  // fused loops with zero steady-state allocation.
+
+  /// Batched inference; the returned reference aliases ws.out (batch rows,
+  /// output-dim columns).
+  const linalg::Matrix& forward_batch_into(const linalg::Matrix& in,
+                                           BatchWorkspace& ws) const;
+
+  /// Batched inference recording per-layer activations for backward_batch.
+  /// Returns the output batch (aliases cache.post.back()).
+  const linalg::Matrix& forward_batch_cached(const linalg::Matrix& in,
+                                             BatchForwardCache& cache) const;
+
+  /// Backpropagate a batch of output gradients through the cached
+  /// activations, *accumulating* into `g` (callers zero() it first).  The
+  /// result is bit-identical to backward()-ing each row and Gradients::add-
+  /// ing the per-sample gradients in row order.
+  void backward_batch(const BatchForwardCache& cache, const linalg::Matrix& dout,
+                      BatchWorkspace& ws, Gradients& g) const;
 
   /// Zero-initialized gradient buffer with this network's shapes.
   Gradients zero_gradients() const;

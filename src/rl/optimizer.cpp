@@ -6,7 +6,8 @@
 
 namespace oic::rl {
 
-Sgd::Sgd(double learning_rate, double momentum) : lr_(learning_rate), momentum_(momentum) {
+Sgd::Sgd(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {
   OIC_REQUIRE(learning_rate > 0.0, "Sgd: learning rate must be positive");
   OIC_REQUIRE(momentum >= 0.0 && momentum < 1.0, "Sgd: momentum out of range");
 }

@@ -57,6 +57,78 @@ Mlp load_mlp(std::istream& is) {
   return net;
 }
 
+void save_agent(const AgentSnapshot& snap, std::ostream& os) {
+  if (snap.plant.find_first_of(" \t\n") != std::string::npos) {
+    throw NumericalError("save_agent: plant id must not contain whitespace");
+  }
+  os << "oic-agent v1\n";
+  os << "plant: " << (snap.plant.empty() ? "?" : snap.plant) << '\n';
+  os << "memory: " << snap.memory << '\n';
+  os << std::setprecision(17);
+  os << "scale:";
+  for (std::size_t i = 0; i < snap.state_scale.size(); ++i) {
+    os << ' ' << snap.state_scale[i];
+  }
+  os << '\n';
+  save_mlp(snap.net, os);
+  if (!os) throw NumericalError("save_agent: stream write failed");
+}
+
+namespace {
+
+AgentHeader read_agent_header(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  if (!is || magic != "oic-agent" || version != "v1") {
+    throw NumericalError("load_agent: bad magic/version header");
+  }
+  std::string tag, plant;
+  is >> tag >> plant;
+  if (!is || tag != "plant:") throw NumericalError("load_agent: missing plant id");
+  std::size_t memory = 0;
+  is >> tag >> memory;
+  if (!is || tag != "memory:" || memory < 1) {
+    throw NumericalError("load_agent: bad memory length");
+  }
+  return AgentHeader{plant == "?" ? std::string() : plant, memory};
+}
+
+}  // namespace
+
+AgentHeader load_agent_header_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NumericalError("load_agent_header_file: cannot open " + path);
+  return read_agent_header(is);
+}
+
+AgentSnapshot load_agent(std::istream& is) {
+  const AgentHeader header = read_agent_header(is);
+  std::string tag;
+  is >> tag;
+  if (!is || tag != "scale:") throw NumericalError("load_agent: missing scale");
+  linalg::Vector scale;
+  {
+    std::string line;
+    std::getline(is, line);
+    std::istringstream ls(line);
+    double v = 0.0;
+    while (ls >> v) scale.data().push_back(v);
+  }
+  return AgentSnapshot{header.plant, header.memory, std::move(scale), load_mlp(is)};
+}
+
+void save_agent_file(const AgentSnapshot& snap, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw NumericalError("save_agent_file: cannot open " + path);
+  save_agent(snap, os);
+}
+
+AgentSnapshot load_agent_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NumericalError("load_agent_file: cannot open " + path);
+  return load_agent(is);
+}
+
 void save_mlp_file(const Mlp& net, const std::string& path) {
   std::ofstream os(path);
   if (!os) throw NumericalError("save_mlp_file: cannot open " + path);

@@ -27,4 +27,41 @@ Mlp load_mlp(std::istream& is);
 void save_mlp_file(const Mlp& net, const std::string& path);
 Mlp load_mlp_file(const std::string& path);
 
+/// A deployable skipping agent: the trained online network plus the
+/// inference-side wiring (disturbance memory r, state normalization, and
+/// the plant it was trained for).  This is what `oic_train` writes and
+/// `oic_eval --policies drl:<path>` reads; the train layer converts to /
+/// from its TrainedAgent.
+///
+/// Format (extends the Mlp format with a header):
+///   oic-agent v1
+///   plant: <registry id>
+///   memory: <r>
+///   scale: s0 s1 ... (state_dim values; empty line-tail = no scaling)
+///   <embedded oic-mlp v1 document>
+struct AgentSnapshot {
+  std::string plant;           ///< registry id ("acc", "lane-keep", ...)
+  std::size_t memory = 1;      ///< disturbance memory r
+  linalg::Vector state_scale;  ///< training-time normalization
+  Mlp net;                     ///< online network
+};
+
+/// Write / read an agent snapshot.  Throws NumericalError on I/O failure
+/// or malformed input.
+void save_agent(const AgentSnapshot& snap, std::ostream& os);
+AgentSnapshot load_agent(std::istream& is);
+void save_agent_file(const AgentSnapshot& snap, const std::string& path);
+AgentSnapshot load_agent_file(const std::string& path);
+
+/// Agent-file header without the network payload (provenance checks read
+/// this instead of re-parsing hundreds of KB of weight text).
+struct AgentHeader {
+  std::string plant;
+  std::size_t memory = 1;
+};
+
+/// Read just the header of an agent file.  Throws NumericalError on
+/// malformed input.
+AgentHeader load_agent_header_file(const std::string& path);
+
 }  // namespace oic::rl

@@ -1,0 +1,194 @@
+#include "train/grid.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/buildinfo.hpp"
+#include "common/error.hpp"
+#include "common/jsonout.hpp"
+#include "common/parallel.hpp"
+
+namespace oic::train {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+using jsonout::append_format;
+using jsonout::append_string_array;
+
+}  // namespace
+
+double tail_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t tail = std::max<std::size_t>(1, xs.size() / 4);
+  double s = 0.0;
+  for (std::size_t i = xs.size() - tail; i < xs.size(); ++i) s += xs[i];
+  return s / static_cast<double>(tail);
+}
+
+std::vector<TrainJob> expand_jobs(const eval::ScenarioRegistry& registry,
+                                  const TrainGridSpec& spec) {
+  OIC_REQUIRE(!spec.seeds.empty(), "expand_jobs: need at least one seed");
+  const bool plants_defaulted = spec.plants.empty();
+  const std::vector<std::string> plant_ids =
+      plants_defaulted ? registry.plant_ids() : spec.plants;
+  OIC_REQUIRE(!plant_ids.empty(), "expand_jobs: registry is empty");
+
+  // Same per-plant scenario intersection semantics as eval::run_sweep: a
+  // named plant must list every requested scenario, a defaulted plant that
+  // lacks one is skipped.
+  std::vector<TrainJob> jobs;
+  for (const auto& pid : plant_ids) {
+    const eval::PlantInfo& info = registry.plant(pid);
+    std::vector<std::string> scenario_ids;
+    if (spec.scenarios.empty()) {
+      scenario_ids = info.scenario_ids;
+    } else {
+      for (const auto& sid : spec.scenarios) {
+        const bool listed = std::find(info.scenario_ids.begin(),
+                                      info.scenario_ids.end(),
+                                      sid) != info.scenario_ids.end();
+        if (listed) {
+          scenario_ids.push_back(sid);
+        } else if (!plants_defaulted) {
+          (void)registry.make_scenario(pid, sid);  // throws with the known ids
+        }
+      }
+    }
+    for (const auto& sid : scenario_ids) {
+      for (const std::uint64_t seed : spec.seeds) {
+        jobs.push_back(TrainJob{pid, sid, seed});
+      }
+    }
+  }
+  OIC_REQUIRE(!jobs.empty(),
+              "expand_jobs: no registered plant lists the requested scenarios");
+  return jobs;
+}
+
+TrainGridResult train_grid_parallel(const eval::ScenarioRegistry& registry,
+                                    const std::vector<TrainJob>& jobs,
+                                    const TrainerConfig& base, std::size_t workers) {
+  OIC_REQUIRE(!jobs.empty(), "train_grid_parallel: need at least one job");
+  for (const auto& job : jobs) {
+    // Validate before any expensive plant build; also rejects scenarios a
+    // plant does not list.
+    (void)registry.make_scenario(job.plant, job.scenario);
+  }
+
+  TrainGridResult out;
+  out.results.resize(jobs.size());
+  const auto t0 = Clock::now();
+  run_chunked(jobs.size(), workers,
+              [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                // Per-worker plants: training drives the plant's RMPC, so
+                // workers must not share instances.  Each distinct plant id
+                // in the chunk is built once and reused across its jobs
+                // (the trainer resets all carried solver state per
+                // episode, so reuse cannot leak state across jobs).
+                std::map<std::string, std::unique_ptr<eval::PlantCase>> plants;
+                for (std::size_t j = begin; j < end; ++j) {
+                  const TrainJob& job = jobs[j];
+                  auto it = plants.find(job.plant);
+                  if (it == plants.end()) {
+                    it = plants.emplace(job.plant, registry.make_plant(job.plant))
+                             .first;
+                  }
+                  const eval::Scenario scenario =
+                      registry.make_scenario(job.plant, job.scenario);
+                  TrainerConfig cfg = base;
+                  cfg.seed = job.seed;
+
+                  TrainJobResult& r = out.results[j];
+                  r.job = job;
+                  const auto job_t0 = Clock::now();
+                  r.agent = Trainer(*it->second, cfg).train(scenario, &r.log);
+                  r.wall_s = seconds_since(job_t0);
+                }
+              });
+  out.wall_s = seconds_since(t0);
+  for (const auto& r : out.results) {
+    out.safety_violations = out.safety_violations || r.log.left_x;
+  }
+  return out;
+}
+
+std::string agent_filename(const TrainJob& job) {
+  return job.plant + "__" + job.scenario + "__seed" + std::to_string(job.seed) +
+         ".agent";
+}
+
+std::string grid_json(const TrainGridSpec& spec, const std::vector<TrainJob>& jobs,
+                      const TrainGridResult& result,
+                      const std::vector<std::string>& agent_paths) {
+  OIC_REQUIRE(jobs.size() == result.results.size(),
+              "grid_json: job/result count mismatch");
+  OIC_REQUIRE(agent_paths.empty() || agent_paths.size() == jobs.size(),
+              "grid_json: agent path count mismatch");
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"oic_train\",\n";
+  out += "  \"meta\": " + build_meta_json() + ",\n";
+
+  append_format(out,
+                "  \"config\": {\"episodes\": %zu, \"steps\": %zu, \"workers\": %zu, "
+                "\"memory\": %zu, \"w1\": %.17g, \"w2\": %.17g, ",
+                spec.trainer.episodes, spec.trainer.steps_per_episode, spec.workers,
+                spec.trainer.memory, spec.trainer.w1, spec.trainer.w2);
+  out += "\"energy_mode\": \"";
+  out += spec.trainer.energy_mode == EnergyMode::kCost ? "cost" : "kappa-norm";
+  out += "\", \"seeds\": [";
+  for (std::size_t i = 0; i < spec.seeds.size(); ++i) {
+    if (i) out += ", ";
+    append_format(out, "%llu", static_cast<unsigned long long>(spec.seeds[i]));
+  }
+  out += "], \"plants\": ";
+  append_string_array(out, spec.plants);
+  out += ", \"scenarios\": ";
+  append_string_array(out, spec.scenarios);
+  out += "},\n";
+
+  append_format(out, "  \"grid\": {\"wall_s\": %.6f, \"jobs\": %zu},\n", result.wall_s,
+                jobs.size());
+
+  out += "  \"results\": [\n";
+  for (std::size_t j = 0; j < result.results.size(); ++j) {
+    const TrainJobResult& r = result.results[j];
+    // Variable-length strings (ids, agent paths) are appended escaped and
+    // outside the fixed-buffer formatter so they can never truncate or
+    // break the document.
+    out += "    {\"plant\": ";
+    jsonout::append_string(out, r.job.plant);
+    out += ", \"scenario\": ";
+    jsonout::append_string(out, r.job.scenario);
+    out += ", ";
+    append_format(out,
+                  "\"seed\": %llu, \"wall_s\": %.6f, \"episodes\": %zu, "
+                  "\"train_steps\": %zu, \"final_reward\": %.17g, "
+                  "\"final_skip_ratio\": %.17g, \"final_energy\": %.17g, "
+                  "\"left_x\": %s, ",
+                  static_cast<unsigned long long>(r.job.seed), r.wall_s,
+                  r.log.episode_reward.size(),
+                  r.agent.agent ? r.agent.agent->train_steps() : 0,
+                  tail_mean(r.log.episode_reward), tail_mean(r.log.episode_skip_ratio),
+                  tail_mean(r.log.episode_energy), r.log.left_x ? "true" : "false");
+    out += "\"agent\": ";
+    jsonout::append_string(out,
+                           agent_paths.empty() ? std::string() : agent_paths[j]);
+    out += "}";
+    out += (j + 1 < result.results.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  append_format(out, "  \"safety_violations\": %s\n",
+                result.safety_violations ? "true" : "false");
+  out += "}\n";
+  return out;
+}
+
+}  // namespace oic::train

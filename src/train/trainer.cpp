@@ -1,9 +1,10 @@
-#include "acc/trainer.hpp"
+#include "train/trainer.hpp"
+
+#include <algorithm>
 
 #include "common/error.hpp"
-#include "core/drl_policy.hpp"
 
-namespace oic::acc {
+namespace oic::train {
 
 using linalg::Vector;
 
@@ -11,8 +12,9 @@ rl::DqnConfig TrainerConfig::default_dqn() {
   rl::DqnConfig cfg;
   cfg.hidden = {64, 64};
   cfg.learning_rate = 1e-3;
-  // The fuel-relevant horizon is the ~40-step sinusoid period, so the
-  // discount must keep several tens of steps in view.
+  // The cost-relevant horizon is the scenario's dominant period (tens of
+  // steps for the sinusoidal workloads), so the discount must keep several
+  // tens of steps in view.
   cfg.gamma = 0.99;
   cfg.batch_size = 32;
   cfg.replay_capacity = 20000;
@@ -30,13 +32,41 @@ std::unique_ptr<core::DrlPolicy> TrainedAgent::make_policy() const {
   return std::make_unique<core::DrlPolicy>(agent, memory, nx, state_scale);
 }
 
-TrainedAgent train_dqn(AccCase& acc, const Scenario& scenario,
-                       const TrainerConfig& cfg, TrainingLog* log) {
-  OIC_REQUIRE(cfg.episodes >= 1 && cfg.steps_per_episode >= 2,
-              "train_dqn: degenerate training budget");
-  const std::size_t nx = acc.system().nx();
+rl::AgentSnapshot TrainedAgent::snapshot() const {
+  OIC_REQUIRE(agent != nullptr, "TrainedAgent::snapshot: no agent");
+  return rl::AgentSnapshot{plant, memory, state_scale, agent->online()};
+}
+
+TrainedAgent TrainedAgent::from_snapshot(const rl::AgentSnapshot& snap) {
+  const auto& sizes = snap.net.sizes();
+  OIC_REQUIRE(sizes.size() >= 2, "TrainedAgent::from_snapshot: malformed network");
+  rl::DqnConfig cfg;
+  cfg.hidden.assign(sizes.begin() + 1, sizes.end() - 1);
+  Rng dummy(0);
+  auto agent =
+      std::make_shared<rl::DoubleDqn>(sizes.front(), sizes.back(), cfg, dummy.split());
+  agent->load_online(snap.net);
+  TrainedAgent out;
+  out.agent = std::move(agent);
+  out.state_scale = snap.state_scale;
+  out.memory = snap.memory;
+  out.plant = snap.plant;
+  return out;
+}
+
+Trainer::Trainer(eval::PlantCase& plant, TrainerConfig config)
+    : plant_(plant), config_(std::move(config)) {
+  OIC_REQUIRE(config_.episodes >= 1 && config_.steps_per_episode >= 2,
+              "Trainer: degenerate training budget");
+  OIC_REQUIRE(config_.memory >= 1, "Trainer: memory length must be positive");
+}
+
+TrainedAgent Trainer::train(const eval::Scenario& scenario, TrainingLog* log) {
+  const TrainerConfig& cfg = config_;
+  const std::size_t nx = plant_.system().nx();
+  const std::size_t nw = plant_.system().nw();
   const std::size_t state_dim = core::drl_state_dim(nx, nx, cfg.memory);
-  const linalg::Vector scale = core::drl_state_scale(acc.system(), cfg.memory);
+  const Vector scale = core::drl_state_scale(plant_.system(), cfg.memory);
 
   Rng master(cfg.seed);
   // Fit the exploration schedule to the training budget: decay over ~60 %
@@ -47,16 +77,17 @@ TrainedAgent train_dqn(AccCase& acc, const Scenario& scenario,
       std::max<std::size_t>(500, std::min(dqn_cfg.epsilon_decay_steps, budget * 6 / 10));
   auto agent = std::make_shared<rl::DoubleDqn>(state_dim, 2, dqn_cfg, master.split());
 
-  const auto& sets = acc.sets();
-  const Vector u_skip = acc.u_skip();
+  const auto& sets = plant_.sets();
+  const Vector u_skip = plant_.u_skip();
+  Vector w(nw);
 
   for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
     Rng ep_rng = master.split();
     // Training episodes are independent like evaluation episodes: drop the
     // RMPC's carried warm-start basis so trajectories do not depend on
     // episode ordering (run_episode and the engine do the same).
-    acc.rmpc().reset_solver();
-    Vector x = acc.sample_x0(ep_rng);
+    plant_.rmpc().reset_solver();
+    Vector x = plant_.sample_x0(ep_rng);
     auto profile = scenario.profile->clone();
     profile->reset(ep_rng.split());
 
@@ -77,23 +108,22 @@ TrainedAgent train_dqn(AccCase& acc, const Scenario& scenario,
       Vector u;
       double kappa_energy = 0.0;
       if (z == 1) {
-        u = acc.rmpc().control(x);
-        kappa_energy = cfg.energy_mode == EnergyMode::kFuel
-                           ? acc.fuel_step(x, u) / acc.params().delta
-                           : acc.energy_raw(u);
+        u = plant_.rmpc().control(x);
+        kappa_energy = cfg.energy_mode == EnergyMode::kCost
+                           ? plant_.train_cost_rate(x, u)
+                           : plant_.energy_raw(u);
       } else {
         u = u_skip;
         ++ep_skips;
       }
-      ep_energy += acc.energy_raw(u);
+      ep_energy += plant_.energy_raw(u);
 
-      const double vf = profile->next();
-      const Vector w{acc.w_from_vf(vf)};
-      const Vector x_next = acc.system().step(x, u, w);
+      plant_.signal_to_w(profile->next(), w);
+      const Vector x_next = plant_.system().step(x, u, w);
 
       // Observed state-space disturbance for the next agent state.
-      const Vector ew =
-          x_next - acc.system().a() * x - acc.system().b() * u - acc.system().c();
+      const Vector ew = x_next - plant_.system().a() * x - plant_.system().b() * u -
+                        plant_.system().c();
       w_history.push(ew);
 
       const double reward =
@@ -110,6 +140,9 @@ TrainedAgent train_dqn(AccCase& acc, const Scenario& scenario,
       tr.terminal = false;  // time-limit truncation: keep bootstrapping
       agent->observe(std::move(tr));
 
+      if (log != nullptr && !log->left_x && !sets.x.contains(x_next, 1e-6)) {
+        log->left_x = true;
+      }
       x = x_next;
     }
 
@@ -124,7 +157,13 @@ TrainedAgent train_dqn(AccCase& acc, const Scenario& scenario,
   out.agent = agent;
   out.state_scale = scale;
   out.memory = cfg.memory;
+  out.plant = plant_.name();
   return out;
 }
 
-}  // namespace oic::acc
+TrainedAgent train_dqn(eval::PlantCase& plant, const eval::Scenario& scenario,
+                       const TrainerConfig& config, TrainingLog* log) {
+  return Trainer(plant, config).train(scenario, log);
+}
+
+}  // namespace oic::train

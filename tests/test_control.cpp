@@ -123,8 +123,9 @@ TEST(Dlqr, GainSatisfiesRiccatiFixedPoint) {
   const Matrix at = sys.a().transposed();
   const Matrix bt = sys.b().transposed();
   const Matrix gram = r + bt * lqr.p * sys.b();
-  const Matrix rhs = q + at * lqr.p * sys.a() -
-                     at * lqr.p * sys.b() * oic::linalg::LU(gram).solve(bt * lqr.p * sys.a());
+  const Matrix rhs =
+      q + at * lqr.p * sys.a() -
+      at * lqr.p * sys.b() * oic::linalg::LU(gram).solve(bt * lqr.p * sys.a());
   EXPECT_TRUE(approx_equal(lqr.p, rhs, 1e-6));
 }
 

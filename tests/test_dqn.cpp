@@ -139,6 +139,47 @@ TEST(DoubleDqn, ChainMdpValuesConverge) {
   EXPECT_GT(q1[1], q1[0]);
 }
 
+// The batched minibatch path (SoA buffers + fused batched GEMM) must be
+// bit-identical to the per-sample loop it replaces: identical training
+// stream in, identical weights and Q-values out.
+TEST(DoubleDqn, BatchedUpdatesBitIdenticalToPerSample) {
+  auto run = [](bool batched) {
+    DqnConfig cfg = small_config();
+    cfg.batched = batched;
+    DoubleDqn agent(2, 2, cfg, Rng(42));
+    Rng env(9);
+    for (int i = 0; i < 600; ++i) {
+      const Vector s{env.uniform(-1, 1), env.uniform(-1, 1)};
+      const int a = agent.select_action(s);
+      Transition t;
+      t.state = s;
+      t.action = a;
+      t.reward = env.uniform(-1, 1);
+      t.next_state = Vector{env.uniform(-1, 1), env.uniform(-1, 1)};
+      t.terminal = env.bernoulli(0.1);
+      agent.observe(std::move(t));
+    }
+    return agent;
+  };
+  const DoubleDqn a = run(false);
+  const DoubleDqn b = run(true);
+  ASSERT_GT(a.train_steps(), 0u);
+  EXPECT_EQ(a.train_steps(), b.train_steps());
+  for (std::size_t l = 0; l < a.online().num_layers(); ++l) {
+    for (std::size_t i = 0; i < a.online().weight(l).rows(); ++i) {
+      for (std::size_t j = 0; j < a.online().weight(l).cols(); ++j) {
+        EXPECT_EQ(a.online().weight(l)(i, j), b.online().weight(l)(i, j))
+            << "layer " << l;
+      }
+    }
+    for (std::size_t i = 0; i < a.online().bias(l).size(); ++i) {
+      EXPECT_EQ(a.online().bias(l)[i], b.online().bias(l)[i]) << "layer " << l;
+    }
+  }
+  const Vector probe{0.3, -0.7};
+  EXPECT_TRUE(approx_equal(a.q_values(probe), b.q_values(probe), 0.0));
+}
+
 TEST(DoubleDqn, DeterministicGivenSeeds) {
   auto run = [] {
     DoubleDqn agent(1, 2, small_config(), Rng(42));

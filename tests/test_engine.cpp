@@ -79,7 +79,8 @@ TEST(ParallelSweep, BitIdenticalToSerialForFixedSeed) {
   cfg.workers = 1;
   const auto serial = oic::acc::compare_policies_parallel(acc, scen, test_factory(), cfg);
   cfg.workers = 3;
-  const auto sharded = oic::acc::compare_policies_parallel(acc, scen, test_factory(), cfg);
+  const auto sharded =
+      oic::acc::compare_policies_parallel(acc, scen, test_factory(), cfg);
 
   ASSERT_EQ(serial.policy_names, sharded.policy_names);
   ASSERT_EQ(serial.savings.size(), sharded.savings.size());

@@ -153,7 +153,9 @@ TEST_P(MipBruteForce, MatchesEnumeration) {
     double obj = 0.0;
     for (std::size_t i = 0; i < m && ok; ++i) {
       double lhs = 0.0;
-      for (std::size_t j = 0; j < n; ++j) lhs += rows[i][j] * (((mask >> j) & 1u) ? 1.0 : 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        lhs += rows[i][j] * (((mask >> j) & 1u) ? 1.0 : 0.0);
+      }
       ok = lhs <= rhs[i] + 1e-9;
     }
     if (!ok) continue;

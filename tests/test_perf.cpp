@@ -224,7 +224,9 @@ TEST(SupportSolver, MatchesFreshProblemAnswers) {
       ASSERT_EQ(fresh.feasible, reused.feasible);
       if (!fresh.bounded || !fresh.feasible) continue;
       EXPECT_EQ(fresh.value, reused.value);
-      for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(fresh.maximizer[j], reused.maximizer[j]);
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(fresh.maximizer[j], reused.maximizer[j]);
+      }
     }
   }
 }

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/random.hpp"
@@ -92,10 +94,10 @@ TEST_P(MlpGradCheck, BackwardMatchesFiniteDifferences) {
   // Spot-check a handful of coordinates in every layer.
   for (std::size_t l = 0; l < net.num_layers(); ++l) {
     for (int probe = 0; probe < 4; ++probe) {
-      const std::size_t i =
-          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(net.weight(l).rows()) - 1));
-      const std::size_t j =
-          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(net.weight(l).cols()) - 1));
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(net.weight(l).rows()) - 1));
+      const std::size_t j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(net.weight(l).cols()) - 1));
       Mlp pert = net;
       pert.weight(l)(i, j) += eps;
       const double up = dot(dout, pert.forward(in));
@@ -105,8 +107,8 @@ TEST_P(MlpGradCheck, BackwardMatchesFiniteDifferences) {
       EXPECT_NEAR(g.dw[l](i, j), fd, 1e-4)
           << "layer " << l << " weight (" << i << "," << j << ")";
     }
-    const std::size_t bi =
-        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(net.bias(l).size()) - 1));
+    const std::size_t bi = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(net.bias(l).size()) - 1));
     Mlp pert = net;
     pert.bias(l)[bi] += eps;
     const double up = dot(dout, pert.forward(in));
@@ -196,12 +198,161 @@ TEST(Replay, EmptySampleThrows) {
   EXPECT_THROW(buf.sample(1, rng), oic::PreconditionError);
 }
 
+TEST(Replay, WraparoundOverwritesInInsertionOrder) {
+  // The ring's head walks slot 0, 1, 2, 0, 1, ...: after 8 adds into
+  // capacity 3, slot k holds the latest entry whose index is congruent to
+  // k mod 3 -- pinning the wraparound arithmetic, not just the surviving
+  // set.
+  oic::rl::ReplayBuffer buf(3);
+  for (int i = 0; i < 8; ++i) {
+    oic::rl::Transition t;
+    t.state = Vector{static_cast<double>(i)};
+    t.next_state = Vector{0.0};
+    buf.add(std::move(t));
+    EXPECT_EQ(buf.size(), std::min<std::size_t>(static_cast<std::size_t>(i) + 1, 3u));
+  }
+  EXPECT_DOUBLE_EQ(buf.at(0).state[0], 6.0);
+  EXPECT_DOUBLE_EQ(buf.at(1).state[0], 7.0);
+  EXPECT_DOUBLE_EQ(buf.at(2).state[0], 5.0);
+  EXPECT_THROW(buf.at(3), oic::PreconditionError);
+}
+
+TEST(Replay, CapacityOneAlwaysHoldsTheLatest) {
+  oic::rl::ReplayBuffer buf(1);
+  EXPECT_EQ(buf.capacity(), 1u);
+  for (int i = 0; i < 4; ++i) {
+    oic::rl::Transition t;
+    t.state = Vector{static_cast<double>(i)};
+    t.next_state = Vector{0.0};
+    buf.add(std::move(t));
+    EXPECT_EQ(buf.size(), 1u);
+    EXPECT_DOUBLE_EQ(buf.at(0).state[0], static_cast<double>(i));
+  }
+  Rng rng(3);
+  for (const auto* p : buf.sample(5, rng)) EXPECT_DOUBLE_EQ(p->state[0], 3.0);
+  EXPECT_THROW(oic::rl::ReplayBuffer(0), oic::PreconditionError);
+}
+
+TEST(Replay, SamplingIsDeterministicGivenTheRngAndUsesTheWholeBuffer) {
+  oic::rl::ReplayBuffer buf(16);
+  for (int i = 0; i < 16; ++i) {
+    oic::rl::Transition t;
+    t.state = Vector{static_cast<double>(i)};
+    t.next_state = Vector{0.0};
+    buf.add(std::move(t));
+  }
+  const auto draw = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> out;
+    for (const auto* p : buf.sample(64, rng)) out.push_back(p->state[0]);
+    return out;
+  };
+  const auto a = draw(42);
+  EXPECT_EQ(a, draw(42));       // same seed, same indices
+  EXPECT_NE(a, draw(43));       // another stream differs
+  // Uniform-with-replacement over 64 draws from 16 slots: every draw must
+  // be a stored value, and more than one distinct slot must appear.
+  std::vector<double> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GE(sorted.front(), 0.0);
+  EXPECT_LE(sorted.back(), 15.0);
+  EXPECT_GT(std::unique(sorted.begin(), sorted.end()) - sorted.begin(), 4);
+}
+
 TEST(Epsilon, LinearDecaySaturates) {
   oic::rl::EpsilonSchedule sched(1.0, 0.1, 100);
   EXPECT_DOUBLE_EQ(sched.at(0), 1.0);
   EXPECT_NEAR(sched.at(50), 0.55, 1e-12);
   EXPECT_DOUBLE_EQ(sched.at(100), 0.1);
   EXPECT_DOUBLE_EQ(sched.at(1000), 0.1);
+}
+
+TEST(Epsilon, BoundaryBehavior) {
+  // The step BEFORE decay_steps still interpolates; decay_steps itself is
+  // saturated (at() is right-continuous at the knee).
+  oic::rl::EpsilonSchedule sched(1.0, 0.0, 4);
+  EXPECT_DOUBLE_EQ(sched.at(3), 0.25);
+  EXPECT_DOUBLE_EQ(sched.at(4), 0.0);
+
+  // decay_steps = 1 is the steepest legal schedule: start at 0, end from 1.
+  oic::rl::EpsilonSchedule step(0.8, 0.2, 1);
+  EXPECT_DOUBLE_EQ(step.at(0), 0.8);
+  EXPECT_DOUBLE_EQ(step.at(1), 0.2);
+
+  // A flat schedule is legal and constant.
+  oic::rl::EpsilonSchedule flat(0.3, 0.3, 10);
+  EXPECT_DOUBLE_EQ(flat.at(0), 0.3);
+  EXPECT_DOUBLE_EQ(flat.at(5), 0.3);
+  EXPECT_DOUBLE_EQ(flat.at(100), 0.3);
+
+  // Rising schedules (end > start) are allowed -- "epsilon warmup".
+  oic::rl::EpsilonSchedule rising(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(rising.at(1), 0.5);
+
+  EXPECT_THROW(oic::rl::EpsilonSchedule(1.5, 0.1, 10), oic::PreconditionError);
+  EXPECT_THROW(oic::rl::EpsilonSchedule(1.0, -0.1, 10), oic::PreconditionError);
+  EXPECT_THROW(oic::rl::EpsilonSchedule(1.0, 0.1, 0), oic::PreconditionError);
+}
+
+TEST(Mlp, BatchedForwardMatchesPerSampleBitwise) {
+  Rng rng(21);
+  Mlp net({5, 32, 32, 3}, rng);
+  const std::size_t batch = 17;
+  oic::linalg::Matrix in(batch, 5);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) in(r, c) = rng.uniform(-2.0, 2.0);
+  }
+  oic::rl::BatchWorkspace ws;
+  const auto& out = net.forward_batch_into(in, ws);
+  oic::rl::BatchForwardCache cache;
+  const auto& out_cached = net.forward_batch_cached(in, cache);
+  ASSERT_EQ(out.rows(), batch);
+  ASSERT_EQ(out.cols(), 3u);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const Vector ref = net.forward(in.row(r));
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(out(r, c), ref[c]) << "row " << r;
+      EXPECT_EQ(out_cached(r, c), ref[c]) << "row " << r;
+    }
+  }
+}
+
+TEST(Mlp, BatchedBackwardMatchesPerSampleAccumulationBitwise) {
+  Rng rng(22);
+  Mlp net({4, 16, 2}, rng);
+  const std::size_t batch = 9;
+  oic::linalg::Matrix in(batch, 4);
+  oic::linalg::Matrix dout(batch, 2);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) in(r, c) = rng.uniform(-1.0, 1.0);
+    // Sparse rows like the TD loss: one nonzero entry per sample.
+    dout(r, r % 2) = rng.uniform(-1.0, 1.0);
+  }
+
+  // Per-sample reference: backward each row, add in row order.
+  Gradients ref = net.zero_gradients();
+  for (std::size_t r = 0; r < batch; ++r) {
+    ForwardCache cache;
+    net.forward_cached(in.row(r), cache);
+    ref.add(net.backward(cache, dout.row(r)));
+  }
+
+  oic::rl::BatchForwardCache bcache;
+  net.forward_batch_cached(in, bcache);
+  Gradients got = net.zero_gradients();
+  oic::rl::BatchWorkspace ws;
+  net.backward_batch(bcache, dout, ws, got);
+
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    for (std::size_t i = 0; i < ref.dw[l].rows(); ++i) {
+      for (std::size_t j = 0; j < ref.dw[l].cols(); ++j) {
+        EXPECT_EQ(ref.dw[l](i, j), got.dw[l](i, j)) << "layer " << l;
+      }
+    }
+    for (std::size_t i = 0; i < ref.db[l].size(); ++i) {
+      EXPECT_EQ(ref.db[l][i], got.db[l][i]) << "layer " << l;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#pragma once
+/// \file cli_util.hpp
+/// Shared CLI plumbing for the oic_* tools (oic_eval, oic_train): the
+/// --key value / --key=value argument parser, strict count parsing, CSV
+/// list splitting, and the registry listing.  One copy, so the binaries'
+/// flag grammar cannot drift apart.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "eval/registry.hpp"
+
+namespace oic::cliutil {
+
+/// Minimal --key value / --key=value parser over the argv array.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// Value of --key (either form); false when absent.  Consumed flags are
+  /// remembered so unknown ones can be reported.
+  bool value(const char* key, std::string& out) {
+    const std::string eq = std::string("--") + key + "=";
+    const std::string flat = std::string("--") + key;
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], eq.c_str(), eq.size()) == 0) {
+        seen_.push_back(i);
+        out = argv_[i] + eq.size();
+        return true;
+      }
+      if (flat == argv_[i] && i + 1 < argc_ &&
+          std::strncmp(argv_[i + 1], "--", 2) != 0) {
+        seen_.push_back(i);
+        seen_.push_back(i + 1);
+        out = argv_[i + 1];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool flag(const char* key) {
+    const std::string flat = std::string("--") + key;
+    for (int i = 1; i < argc_; ++i) {
+      if (flat == argv_[i]) {
+        seen_.push_back(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// First argv index that no lookup consumed; 0 when all were used.
+  int first_unknown() const {
+    for (int i = 1; i < argc_; ++i) {
+      bool used = false;
+      for (const int s : seen_) used = used || s == i;
+      if (!used) return i;
+    }
+    return 0;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  std::vector<int> seen_;
+};
+
+/// Strict non-negative integer parse; rejects signs, empty, and trailing
+/// junk (strtoull would happily wrap "-1" to 2^64-1 and crash the sweep
+/// deep inside a reserve()).
+inline bool parse_count(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 19) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  out = std::strtoull(s.c_str(), nullptr, 10);
+  return true;
+}
+
+/// Split a comma-separated list, dropping empty items.
+inline std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Print the registered plants and their scenario catalogues (--list).
+inline void print_registry(const eval::ScenarioRegistry& reg) {
+  std::printf("registered plants:\n");
+  for (const auto& pid : reg.plant_ids()) {
+    const auto& info = reg.plant(pid);
+    std::printf("  %-10s %s\n", info.id.c_str(), info.description.c_str());
+    std::printf("  %-10s scenarios:", "");
+    for (const auto& sid : info.scenario_ids) std::printf(" %s", sid.c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace oic::cliutil

@@ -14,7 +14,8 @@
 ///   --plant/--plants a,b     plants to sweep           (default: all)
 ///   --scenario/--scenarios   scenario ids              (default: all per plant)
 ///   --policies a,b           skip policies             (default: bang-bang,periodic-5)
-///                            (always-run | bang-bang | periodic-N)
+///                            (always-run | bang-bang | periodic-N |
+///                             drl:<path to an oic_train agent file>)
 ///   --cases N                Monte-Carlo cases per cell (default 24)
 ///   --steps N                steps per episode          (default 100)
 ///   --seed/--seeds a,b       episode-stream seeds       (default 20200406)
@@ -30,68 +31,20 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "eval/sweep.hpp"
 
 namespace {
 
+using oic::cliutil::Args;
+using oic::cliutil::parse_count;
+using oic::cliutil::print_registry;
+using oic::cliutil::split_list;
 using oic::eval::ScenarioRegistry;
 using oic::eval::SweepResult;
 using oic::eval::SweepSpec;
-
-/// Minimal --key value / --key=value parser over the argv array.
-class Args {
- public:
-  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
-
-  /// Value of --key (either form); empty option when absent.
-  /// Consumed flags are remembered so unknown ones can be reported.
-  bool value(const char* key, std::string& out) {
-    const std::string eq = std::string("--") + key + "=";
-    const std::string flat = std::string("--") + key;
-    for (int i = 1; i < argc_; ++i) {
-      if (std::strncmp(argv_[i], eq.c_str(), eq.size()) == 0) {
-        seen_.push_back(i);
-        out = argv_[i] + eq.size();
-        return true;
-      }
-      if (flat == argv_[i] && i + 1 < argc_ && std::strncmp(argv_[i + 1], "--", 2) != 0) {
-        seen_.push_back(i);
-        seen_.push_back(i + 1);
-        out = argv_[i + 1];
-        return true;
-      }
-    }
-    return false;
-  }
-
-  bool flag(const char* key) {
-    const std::string flat = std::string("--") + key;
-    for (int i = 1; i < argc_; ++i) {
-      if (flat == argv_[i]) {
-        seen_.push_back(i);
-        return true;
-      }
-    }
-    return false;
-  }
-
-  /// First argv index that no lookup consumed; 0 when all were used.
-  int first_unknown() const {
-    for (int i = 1; i < argc_; ++i) {
-      bool used = false;
-      for (const int s : seen_) used = used || s == i;
-      if (!used) return i;
-    }
-    return 0;
-  }
-
- private:
-  int argc_;
-  char** argv_;
-  std::vector<int> seen_;
-};
 
 std::string join_or_all(const std::vector<std::string>& items) {
   if (items.empty()) return "<all>";
@@ -101,43 +54,6 @@ std::string join_or_all(const std::vector<std::string>& items) {
     out += s;
   }
   return out;
-}
-
-/// Strict non-negative integer parse; rejects signs, empty, and trailing
-/// junk (strtoull would happily wrap "-1" to 2^64-1 and crash the sweep
-/// deep inside a reserve()).
-bool parse_count(const std::string& s, std::uint64_t& out) {
-  if (s.empty() || s.size() > 19) return false;
-  for (const char c : s) {
-    if (c < '0' || c > '9') return false;
-  }
-  out = std::strtoull(s.c_str(), nullptr, 10);
-  return true;
-}
-
-std::vector<std::string> split_list(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= csv.size()) {
-    const std::size_t comma = csv.find(',', start);
-    const std::string item = csv.substr(
-        start, comma == std::string::npos ? std::string::npos : comma - start);
-    if (!item.empty()) out.push_back(item);
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
-
-void print_registry(const ScenarioRegistry& reg) {
-  std::printf("registered plants:\n");
-  for (const auto& pid : reg.plant_ids()) {
-    const auto& info = reg.plant(pid);
-    std::printf("  %-10s %s\n", info.id.c_str(), info.description.c_str());
-    std::printf("  %-10s scenarios:", "");
-    for (const auto& sid : info.scenario_ids) std::printf(" %s", sid.c_str());
-    std::printf("\n");
-  }
 }
 
 void print_summary(const SweepSpec& spec, const SweepResult& result) {
@@ -170,7 +86,8 @@ int main(int argc, char** argv) {
   if (args.flag("help")) {
     std::printf("usage: oic_eval [--plant a,b] [--scenario a,b] [--policies a,b]\n"
                 "                [--cases N] [--steps N] [--seeds a,b] [--workers N]\n"
-                "                [--json PATH] [--list]\n");
+                "                [--json PATH] [--list]\n"
+                "policies: always-run | bang-bang | periodic-N | drl:<agent file>\n");
     print_registry(registry);
     return 0;
   }
@@ -205,7 +122,8 @@ int main(int argc, char** argv) {
     spec.seeds.clear();
     for (const auto& s : split_list(v)) {
       if (!parse_count(s, n)) {
-        std::fprintf(stderr, "oic_eval: --seeds expects non-negative integers, got '%s'\n",
+        std::fprintf(stderr,
+                     "oic_eval: --seeds expects non-negative integers, got '%s'\n",
                      s.c_str());
         return 1;
       }
