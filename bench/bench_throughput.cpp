@@ -24,16 +24,23 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <unistd.h>
+
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <thread>
 
 #include "acc/engine.hpp"
 #include "acc/harness.hpp"
 #include "acc/scenarios.hpp"
 #include "bench_util.hpp"
+#include "cert/io.hpp"
+#include "cert/store.hpp"
 #include "common/buildinfo.hpp"
 #include "common/stats.hpp"
 #include "core/policy.hpp"
+#include "eval/registry.hpp"
 #include "rl/dqn.hpp"
 
 namespace {
@@ -134,6 +141,54 @@ TrainBenchResult bench_train_minibatch(std::size_t updates) {
       out.max_weight_delta = std::max(out.max_weight_delta, std::abs(ba[i] - bb[i]));
     }
   }
+  return out;
+}
+
+/// Certificate cold-start bench: fresh offline synthesis (the LP-bound
+/// path every process start used to pay per plant) vs loading the cached
+/// `oic-cert v1` file (the --cert-dir path).  The loaded certificate must
+/// be bit-identical to fresh synthesis -- that is the golden-load contract
+/// the eval/train layers rely on for reproducibility.
+struct CertBenchResult {
+  std::size_t plants = 0;
+  double synth_ms = 0.0;  ///< total fresh-synthesis time over all plants
+  double load_ms = 0.0;   ///< total cache-load time over all plants
+  double speedup = 0.0;
+  bool bit_identical = true;
+};
+
+CertBenchResult bench_cert_cold_start() {
+  namespace fs = std::filesystem;
+  const auto& registry = oic::eval::ScenarioRegistry::builtin();
+  // Scratch store under the system temp dir, suffixed per process: the
+  // bench may run from the build dir or the repo root and must not litter
+  // either, and concurrent / multi-user runs must not collide on a shared
+  // path.
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("oic-bench-cert-cache-" + std::to_string(::getpid())))
+          .string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // measure a true cold cache
+  const oic::cert::Store store(dir);
+
+  CertBenchResult out;
+  for (const auto& pid : registry.plant_ids()) {
+    const oic::cert::PlantModel model = registry.make_model(pid);
+    auto t0 = Clock::now();
+    const oic::cert::PlantCertificate fresh = oic::cert::synthesize(model);
+    out.synth_ms += 1e3 * seconds_since(t0);
+    oic::cert::save_certificate_file(fresh, store.path_for(model));
+
+    t0 = Clock::now();
+    const oic::cert::PlantCertificate loaded = store.get(model);  // cache hit
+    out.load_ms += 1e3 * seconds_since(t0);
+
+    out.bit_identical = out.bit_identical && oic::cert::bit_equal(fresh, loaded);
+    ++out.plants;
+  }
+  fs::remove_all(dir, ec);
+  out.speedup = out.synth_ms / out.load_ms;
   return out;
 }
 
@@ -257,6 +312,15 @@ int main(int argc, char** argv) {
               train.max_weight_delta);
   const bool train_identical = train.max_weight_delta == 0.0;
 
+  // ---- Certificate cold start: offline synthesis vs cache load ----
+  std::printf("=== Certificate cold start: synthesize vs load (all plants) ===\n");
+  const CertBenchResult cert = bench_cert_cold_start();
+  std::printf("synthesize : %8.1f ms total (%zu plants)\n", cert.synth_ms, cert.plants);
+  std::printf("cache load : %8.2f ms total   (%0.0fx speedup)\n", cert.load_ms,
+              cert.speedup);
+  std::printf("loaded certificates bit-identical to synthesis: %s\n\n",
+              cert.bit_identical ? "yes" : "NO (BUG!)");
+
   // ---- JSON ----
   const char* json_path = json_flag(argc, argv);
   bool json_written = false;
@@ -287,6 +351,11 @@ int main(int argc, char** argv) {
                  "\"max_weight_delta\": %.3e, \"bit_identical\": %s},\n",
                  train_updates, train.per_sample_us, train.batched_us, train.speedup,
                  train.max_weight_delta, train_identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"cert_cold_start\": {\"plants\": %zu, \"synth_ms\": %.2f, "
+                 "\"load_ms\": %.3f, \"speedup\": %.1f, \"bit_identical\": %s},\n",
+                 cert.plants, cert.synth_ms, cert.load_ms, cert.speedup,
+                 cert.bit_identical ? "true" : "false");
     std::fprintf(f, "  \"safety_violations\": %s\n", violation ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -296,5 +365,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not write %s\n", json_path);
   }
 
-  return (identical && train_identical && !violation && json_written) ? 0 : 1;
+  return (identical && train_identical && cert.bit_identical && !violation &&
+          json_written)
+             ? 0
+             : 1;
 }

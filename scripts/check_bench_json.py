@@ -19,7 +19,11 @@ Also enforces the semantic invariants every bench document shares:
   * "meta" must carry the build provenance strings git_sha / compiler /
     build_type (common/buildinfo.hpp);
   * "train_minibatch.bit_identical", when present, must be true (the
-    batched DQN update path must match the per-sample path exactly).
+    batched DQN update path must match the per-sample path exactly);
+  * "cert_cold_start", when present, must report bit_identical == true
+    (a loaded certificate must reproduce fresh synthesis exactly) and a
+    speedup >= 1 over at least one plant (the cache must never be slower
+    than synthesizing).
 
 The CI bench-smoke job runs this over (committed BENCH_throughput.json,
 fresh smoke output); the train-smoke job uses --self on the oic_train and
@@ -85,6 +89,19 @@ def check_semantics(candidate, errors):
     train = candidate.get("train_minibatch")
     if train is not None and train.get("bit_identical") is not True:
         errors.append("train_minibatch.bit_identical: must be true")
+
+    cert = candidate.get("cert_cold_start")
+    if cert is not None:
+        if cert.get("bit_identical") is not True:
+            errors.append("cert_cold_start.bit_identical: must be true "
+                          "(load must reproduce synthesis exactly)")
+        if not isinstance(cert.get("plants"), int) or cert.get("plants") < 1:
+            errors.append("cert_cold_start.plants: must be a positive integer")
+        speedup = cert.get("speedup")
+        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool) \
+                or speedup < 1.0:
+            errors.append("cert_cold_start.speedup: must be a number >= 1 "
+                          "(the cache must never lose to synthesis)")
 
 
 def main(argv):

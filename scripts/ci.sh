@@ -6,7 +6,7 @@
 #
 #   scripts/ci.sh [--compiler gcc|clang] [--config Release|Sanitize]
 #                 [--build-dir DIR] [--build-only] [--bench-only]
-#                 [--train-only] [--format-only]
+#                 [--train-only] [--cert-only] [--format-only]
 #
 #   build+test   configure with -Werror, build everything, ctest
 #   bench smoke  scripts/bench.sh --quick + JSON schema check against the
@@ -14,6 +14,9 @@
 #   train smoke  tiny-budget oic_train on lane-keep, then oic_eval deploys
 #                the serialized agent via --policies drl:<path>; both JSON
 #                documents pass check_bench_json.py --self
+#   cert smoke   oic_cert synth -> verify over the registry, then oic_eval
+#                --cert-dir reuses the cache (including a burst:<k> policy);
+#                the sweep JSON passes check_bench_json.py --self
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/
 #                tools/ (blocking; skipped with a warning when clang-format
 #                is absent)
@@ -30,6 +33,7 @@ build_dir=""
 do_build=1
 do_bench=1
 do_train=1
+do_cert=1
 do_format=1
 
 while [[ $# -gt 0 ]]; do
@@ -40,10 +44,11 @@ while [[ $# -gt 0 ]]; do
     --config=*) config="${1#*=}"; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --build-dir=*) build_dir="${1#*=}"; shift ;;
-    --build-only) do_bench=0; do_train=0; do_format=0; shift ;;
-    --bench-only) do_build=0; do_train=0; do_format=0; shift ;;
-    --train-only) do_build=0; do_bench=0; do_format=0; shift ;;
-    --format-only) do_build=0; do_bench=0; do_train=0; shift ;;
+    --build-only) do_bench=0; do_train=0; do_cert=0; do_format=0; shift ;;
+    --bench-only) do_build=0; do_train=0; do_cert=0; do_format=0; shift ;;
+    --train-only) do_build=0; do_bench=0; do_cert=0; do_format=0; shift ;;
+    --cert-only) do_build=0; do_bench=0; do_train=0; do_format=0; shift ;;
+    --format-only) do_build=0; do_bench=0; do_train=0; do_cert=0; shift ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -103,6 +108,25 @@ if [[ ${do_train} -eq 1 ]]; then
     --cases 4 --steps 40 --workers 2 --json "${smoke_build}/EVAL_smoke.json"
   python3 "${repo_root}/scripts/check_bench_json.py" --self \
     "${smoke_build}/EVAL_smoke.json"
+fi
+
+if [[ ${do_cert} -eq 1 ]]; then
+  echo "=== cert smoke: oic_cert synth -> verify -> oic_eval --cert-dir reuse ==="
+  smoke_build="${repo_root}/build"
+  cmake -B "${smoke_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${smoke_build}" --target oic_cert oic_eval -j"$(nproc)"
+  certs_dir="${smoke_build}/ci-certs"
+  rm -rf "${certs_dir}"
+  "${smoke_build}/oic_cert" synth --cert-dir "${certs_dir}"
+  "${smoke_build}/oic_cert" verify --cert-dir "${certs_dir}"
+  "${smoke_build}/oic_cert" ls --cert-dir "${certs_dir}"
+  # The sweep must *reuse* the cache (no synthesis): a burst:<k> policy
+  # exercises the certificate's k-step ladder end to end.
+  "${smoke_build}/oic_eval" --plant lane-keep,toy2d --scenario sine \
+    --policies "bang-bang,burst:3" --cases 4 --steps 40 --workers 2 \
+    --cert-dir "${certs_dir}" --json "${smoke_build}/EVAL_cert_smoke.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${smoke_build}/EVAL_cert_smoke.json"
 fi
 
 if [[ ${do_format} -eq 1 ]]; then

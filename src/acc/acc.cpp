@@ -1,7 +1,6 @@
 #include "acc/acc.hpp"
 
 #include "common/error.hpp"
-#include "control/lqr.hpp"
 
 namespace oic::acc {
 
@@ -38,24 +37,29 @@ AffineLTI AccCase::build_system(const AccParams& p) {
   return AffineLTI(a, b, e, Vector{0.0, 0.0}, x, u, w);
 }
 
-AccCase::AccCase(AccParams params, control::RmpcConfig rmpc)
+cert::PlantModel AccCase::model(const AccParams& params,
+                                const control::RmpcConfig& rmpc) {
+  // Unit LQR weights for the local stabilizing gain; skip actuates raw
+  // u = 0, i.e. shifted u~ = -u_eq.
+  return cert::PlantModel{"acc",          build_system(params),
+                          Matrix::identity(2), Matrix{{1.0}},
+                          rmpc,           Vector{-params.u_eq()}};
+}
+
+AccCase::AccCase(AccParams params, control::RmpcConfig rmpc,
+                 const cert::Provider& provider)
     : params_(params), sys_(build_system(params)) {
-  // Local stabilizing gain for the tube machinery (and for the analytic
-  // kappa used by the model-based policy).
-  const auto lqr =
-      control::dlqr(sys_.a(), sys_.b(), Matrix::identity(2), Matrix{{1.0}});
-  OIC_CHECK(lqr.converged, "AccCase: LQR synthesis did not converge");
-  k_lqr_ = lqr.k;
-
-  rmpc_ = std::make_unique<control::TubeMpc>(sys_, k_lqr_, rmpc);
-
-  // Prop. 1: the RMPC's feasible region is its robust control invariant set.
-  const HPolytope xi = rmpc_->compute_feasible_set();
-  OIC_CHECK(!xi.is_empty(), "AccCase: RMPC feasible set is empty");
-
-  u_skip_ = Vector{-params_.u_eq()};           // raw u = 0
+  // The declarative model is the single source of the skip input: the
+  // certificate (X', ladder) is synthesized for m.u_skip, and the monitor
+  // must apply exactly that input or the certificate proves nothing.
+  const cert::PlantModel m = model(params_, rmpc);
+  u_skip_ = m.u_skip;                          // raw u = 0, i.e. u~ = -u_eq
   energy_offset_ = Vector{-params_.u_eq()};    // ||u_raw||_1 = ||u~ + u_eq||_1
-  sets_ = core::compute_safe_sets(sys_, xi, u_skip_);
+
+  // Offline artifacts (LQR gain, tightened/terminal sets, XI per Prop. 1,
+  // X' per Definition 3, the skip ladder) come from the certificate layer:
+  // synthesized fresh by default, read from a cert::Store cache otherwise.
+  rt_ = eval::build_plant_runtime(m, provider);
 
   // Fuel map: the ACC's u already includes the tractive force per unit
   // mass net of nothing -- the drag k v is modelled separately in the
@@ -95,7 +99,7 @@ double AccCase::fuel_step(const Vector& x, const Vector& u) const {
 Vector AccCase::sample_x0(Rng& rng) const {
   // Same per-coordinate draw order as the historical 2-D sampler, so the
   // case streams are unchanged.
-  return eval::sample_from_set(sets_.x_prime, rng, "AccCase::sample_x0");
+  return eval::sample_from_set(rt_.sets.x_prime, rng, "AccCase::sample_x0");
 }
 
 }  // namespace oic::acc

@@ -59,11 +59,19 @@ struct AccParams {
 class AccCase final : public eval::PlantCase {
  public:
   /// Build with the paper's parameters; `rmpc` defaults to horizon 10 with
-  /// unit 1-norm weights (Sec. IV).
-  explicit AccCase(AccParams params = {}, control::RmpcConfig rmpc = default_rmpc());
+  /// unit 1-norm weights (Sec. IV).  The safety artifacts are resolved
+  /// through `provider` (empty = fresh cert::synthesize; pass a
+  /// cert::Store provider to make construction file-read-bound).
+  explicit AccCase(AccParams params = {}, control::RmpcConfig rmpc = default_rmpc(),
+                   const cert::Provider& provider = {});
 
   /// The paper's RMPC configuration (N = 10, P = Q = 1).
   static control::RmpcConfig default_rmpc();
+
+  /// Declarative model (certificate synthesis inputs) for these params:
+  /// the shifted dynamics, unit LQR weights, and the raw-u = 0 skip input.
+  static cert::PlantModel model(const AccParams& params = {},
+                                const control::RmpcConfig& rmpc = default_rmpc());
 
   /// Registry id.
   std::string name() const override { return "acc"; }
@@ -75,15 +83,18 @@ class AccCase final : public eval::PlantCase {
   const control::AffineLTI& system() const override { return sys_; }
 
   /// The underlying safe controller kappa_R (tube RMPC).
-  control::TubeMpc& rmpc() override { return *rmpc_; }
-  const control::TubeMpc& rmpc() const override { return *rmpc_; }
+  control::TubeMpc& rmpc() override { return *rt_.rmpc; }
+  const control::TubeMpc& rmpc() const override { return *rt_.rmpc; }
 
   /// Local LQR gain used inside the RMPC (also a valid analytic kappa for
   /// the model-based policy).
-  const linalg::Matrix& lqr_gain() const { return k_lqr_; }
+  const linalg::Matrix& lqr_gain() const { return rt_.k_lqr; }
 
   /// X, XI = X_F (Prop. 1), X' (Definition 3), all in shifted coordinates.
-  const core::SafeSets& sets() const override { return sets_; }
+  const core::SafeSets& sets() const override { return rt_.sets; }
+
+  /// Certified k-step skip ladder (X'_1 == X').
+  const std::vector<poly::HPolytope>& ladder() const override { return rt_.ladder; }
 
   /// Skip input in shifted coordinates (raw u = 0 => u~ = -u_eq).
   const linalg::Vector& u_skip() const override { return u_skip_; }
@@ -142,9 +153,7 @@ class AccCase final : public eval::PlantCase {
  private:
   AccParams params_;
   control::AffineLTI sys_;
-  linalg::Matrix k_lqr_;
-  std::unique_ptr<control::TubeMpc> rmpc_;
-  core::SafeSets sets_;
+  eval::PlantRuntime rt_;
   linalg::Vector u_skip_;
   linalg::Vector energy_offset_;
   sim::FuelModel fuel_;

@@ -1,0 +1,49 @@
+#pragma once
+/// \file model.hpp
+/// The declarative half of a plant: everything the offline synthesis
+/// consumes, nothing it produces.
+///
+/// The paper's pipeline is offline synthesis (tube-RMPC feasible set XI of
+/// Prop. 1, strengthened set X' of Definition 3, the Theorem-1 nesting)
+/// followed by a cheap online monitor.  A PlantModel captures the
+/// synthesis *inputs* -- the shifted affine dynamics with their constraint
+/// polytopes, the LQR weights for the local gain, the tube-MPC
+/// configuration, the designated skip input, and the requested depth of
+/// the k-step skip ladder -- as a plain value type that is cheap to build
+/// and cheap to hash.  The synthesis *outputs* live in a
+/// cert::PlantCertificate (certificate.hpp), computed once by
+/// cert::synthesize and cached on disk by cert::Store.
+///
+/// Running-cost constants (fuel maps, duty rates) deliberately stay with
+/// the concrete eval::PlantCase: they shape what an evaluation reports,
+/// not what the safety certificate proves, so they are not part of the
+/// model hash and a cost retune never invalidates cached certificates.
+
+#include <cstddef>
+#include <string>
+
+#include "control/lti.hpp"
+#include "control/tube_mpc.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace oic::cert {
+
+/// Default depth of the k-step strengthened-set ladder X'_1..X'_k
+/// synthesized into every certificate (core::compute_multi_step_safe_sets).
+/// Deep enough for the burst:<k> policies the sweeps exercise; the chain
+/// stops early anyway once it goes empty.
+inline constexpr std::size_t kDefaultLadderDepth = 4;
+
+/// Synthesis inputs of one plant (see file comment).
+struct PlantModel {
+  std::string id;            ///< registry id ("acc", "lane-keep", ...)
+  control::AffineLTI sys;    ///< shifted-coordinate dynamics + X / U / W
+  linalg::Matrix q;          ///< LQR state weight for the local gain
+  linalg::Matrix r;          ///< LQR input weight
+  control::RmpcConfig rmpc;  ///< tube-MPC configuration (Equation 5)
+  linalg::Vector u_skip;     ///< designated skip input (shifted coordinates)
+  std::size_t ladder_depth = kDefaultLadderDepth;  ///< k of the skip ladder
+};
+
+}  // namespace oic::cert

@@ -1,0 +1,118 @@
+#include "cert/store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace oic::cert {
+
+namespace fs = std::filesystem;
+
+PlantCertificate resolve(const PlantModel& model, const Provider& provider) {
+  return provider ? provider(model) : synthesize(model);
+}
+
+Store::Store(std::string dir) : dir_(std::move(dir)) {
+  OIC_REQUIRE(!dir_.empty(), "cert::Store: directory path must be non-empty");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  OIC_REQUIRE(!ec && fs::is_directory(dir_),
+              "cert::Store: cannot create cache directory '" + dir_ + "'");
+}
+
+std::string Store::path_for(const PlantModel& model) const {
+  OIC_REQUIRE(!model.id.empty() &&
+                  model.id.find_first_of(" \t\n/") == std::string::npos,
+              "cert::Store: model id must be non-empty without whitespace or '/'");
+  return dir_ + "/" + model.id + ".cert";
+}
+
+std::optional<PlantCertificate> Store::load_if_fresh(const PlantModel& model) const {
+  const std::string path = path_for(model);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return std::nullopt;
+  try {
+    PlantCertificate cert = load_certificate_file(path);
+    if (cert.plant != model.id || cert.model_hash != model_hash(model)) {
+      return std::nullopt;  // stale: the model changed under the cache
+    }
+    return cert;
+  } catch (const Error&) {
+    return std::nullopt;  // unreadable entry: treat as a miss
+  } catch (const std::exception&) {
+    // A corrupted header can still fail outside the parser's own checks
+    // (e.g. an allocation error); any such file is a miss, never a crash.
+    return std::nullopt;
+  }
+}
+
+PlantCertificate Store::get(const PlantModel& model) const {
+  if (auto cached = load_if_fresh(model)) return std::move(*cached);
+  PlantCertificate cert = synthesize(model);
+  persist(cert, path_for(model));
+  return cert;
+}
+
+PlantCertificate Store::refresh(const PlantModel& model) const {
+  PlantCertificate cert = synthesize(model);
+  persist(cert, path_for(model));
+  return cert;
+}
+
+void Store::persist(const PlantCertificate& cert, const std::string& path) const {
+  // Write-then-rename: concurrent cold-cache workers synthesize the same
+  // deterministic bytes, and rename is atomic, so readers only ever see a
+  // complete document.  The tmp name carries pid AND thread id -- two
+  // *processes* sharing a cache volume must not interleave into one tmp
+  // file.  A failed persist is not fatal: the caller still gets its
+  // certificate, the next run just synthesizes again.
+  std::ostringstream tid;
+  tid << ::getpid() << '.' << std::this_thread::get_id();
+  const std::string tmp = path + ".tmp." + tid.str();
+  try {
+    save_certificate_file(cert, tmp);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) fs::remove(tmp, ec);
+  } catch (const Error&) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+  }
+}
+
+std::vector<StoreEntry> Store::ls() const {
+  std::vector<StoreEntry> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cert") continue;
+    StoreEntry row;
+    row.filename = entry.path().filename().string();
+    try {
+      const CertHeader header = load_certificate_header_file(entry.path().string());
+      row.plant = header.plant;
+      row.hash = hash_hex(header.model_hash);
+      row.readable = true;
+    } catch (const Error&) {
+      row.plant = "?";
+      row.hash = "?";
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StoreEntry& a, const StoreEntry& b) {
+              return a.filename < b.filename;
+            });
+  return out;
+}
+
+Provider Store::provider() const {
+  return [this](const PlantModel& model) { return get(model); };
+}
+
+}  // namespace oic::cert

@@ -1,0 +1,85 @@
+#pragma once
+/// \file store.hpp
+/// Directory cache of serialized plant certificates.
+///
+/// The offline synthesis (feasible-set Fourier-Motzkin, tightening and
+/// terminal-set LPs, the ladder recursion) costs hundreds of milliseconds
+/// per plant; the online side only ever *reads* its artifacts.  A Store
+/// maps each PlantModel to `<dir>/<id>.cert` and serves load-or-synthesize:
+/// a cached certificate whose recorded content hash matches the model is
+/// parsed straight from disk (file-read-bound), anything missing, stale,
+/// or unparsable is re-synthesized and rewritten.  Writes go through a
+/// temp-file rename so concurrent workers (the training grid builds plants
+/// per worker) can race on a cold cache without corrupting it -- they all
+/// write the identical deterministic bytes, and the last rename wins.
+///
+/// The Provider function type is how construction sites stay decoupled
+/// from caching policy: a PlantCase constructor takes a Provider, an empty
+/// Provider means "synthesize fresh" (the historical behavior), and
+/// Store::provider() plugs in the cache.  eval::ScenarioRegistry::make_plant
+/// threads a Provider through, and the `--cert-dir` CLI flags build one.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.hpp"
+
+namespace oic::cert {
+
+/// Resolves a model to its certificate.  Empty function = synthesize fresh.
+using Provider = std::function<PlantCertificate(const PlantModel&)>;
+
+/// Resolve through a Provider, falling back to fresh synthesis when the
+/// provider is empty -- the one call every construction site funnels through.
+PlantCertificate resolve(const PlantModel& model, const Provider& provider);
+
+/// One `ls` row: a cached certificate file and its header.
+struct StoreEntry {
+  std::string filename;  ///< basename within the store directory
+  std::string plant;     ///< header plant id ("?" when unreadable)
+  std::string hash;      ///< header hash in hex ("?" when unreadable)
+  bool readable = false; ///< header parsed cleanly
+};
+
+/// Directory cache (see file comment).
+class Store {
+ public:
+  /// Opens (and creates if needed) the cache directory; throws
+  /// PreconditionError when the path cannot be made a directory.
+  explicit Store(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Cache path for a model: `<dir>/<id>.cert`.
+  std::string path_for(const PlantModel& model) const;
+
+  /// Load the cached certificate when present, parsable, and hash-fresh
+  /// for this exact model; nullopt otherwise (never throws on a bad file
+  /// -- a stale or corrupt cache entry just misses).
+  std::optional<PlantCertificate> load_if_fresh(const PlantModel& model) const;
+
+  /// Load-or-synthesize: cache hit returns the parsed file, miss runs
+  /// cert::synthesize and persists the result before returning it.
+  PlantCertificate get(const PlantModel& model) const;
+
+  /// Re-synthesize unconditionally and atomically rewrite the cache entry
+  /// (`oic_cert synth --force`).
+  PlantCertificate refresh(const PlantModel& model) const;
+
+  /// All `*.cert` entries in the directory, sorted by filename.
+  std::vector<StoreEntry> ls() const;
+
+  /// A Provider backed by this store (captures `this`; the Store must
+  /// outlive every plant construction that uses it).
+  Provider provider() const;
+
+ private:
+  /// Atomic tmp+rename write shared by get() and refresh().
+  void persist(const PlantCertificate& cert, const std::string& path) const;
+
+  std::string dir_;
+};
+
+}  // namespace oic::cert

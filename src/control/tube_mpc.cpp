@@ -71,6 +71,25 @@ TubeMpc::TubeMpc(AffineLTI sys, Matrix k_local, RmpcConfig config)
   terminal_ = terminal.set;
 }
 
+TubeMpc::TubeMpc(AffineLTI sys, Matrix k_local, RmpcConfig config,
+                 std::vector<HPolytope> tightened, HPolytope terminal)
+    : sys_(std::move(sys)),
+      k_local_(std::move(k_local)),
+      config_(config),
+      tightened_(std::move(tightened)),
+      terminal_(std::move(terminal)) {
+  OIC_REQUIRE(config_.horizon >= 1, "TubeMpc: horizon must be at least 1");
+  OIC_REQUIRE(k_local_.rows() == sys_.nu() && k_local_.cols() == sys_.nx(),
+              "TubeMpc: local gain shape mismatch");
+  OIC_REQUIRE(tightened_.size() == config_.horizon + 1,
+              "TubeMpc: need one tightened set per step X(0)..X(N)");
+  for (const auto& t : tightened_) {
+    OIC_REQUIRE(t.dim() == sys_.nx(), "TubeMpc: tightened-set dimension mismatch");
+  }
+  OIC_REQUIRE(terminal_.dim() == sys_.nx() && !terminal_.is_empty(),
+              "TubeMpc: terminal set must be a non-empty state-space polytope");
+}
+
 TubeMpc::TubeMpc(const TubeMpc& other)
     : Controller(other),
       sys_(other.sys_),

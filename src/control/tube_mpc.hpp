@@ -69,6 +69,15 @@ class TubeMpc : public Controller {
   /// long / disturbance too large for the constraints).
   TubeMpc(AffineLTI sys, linalg::Matrix k_local, RmpcConfig config = {});
 
+  /// Rehydrate from precomputed tightened / terminal sets (the certificate
+  /// load path, src/cert): skips every synthesis LP and Minkowski
+  /// difference, so construction is allocation-and-validation only.  The
+  /// sets must be what the synthesizing constructor produced for the same
+  /// (sys, k_local, config) -- shapes and counts are validated here, the
+  /// semantic properties by cert::verify.
+  TubeMpc(AffineLTI sys, linalg::Matrix k_local, RmpcConfig config,
+          std::vector<poly::HPolytope> tightened, poly::HPolytope terminal);
+
   /// Copyable: each copy gets independent solver state (cached LP, solve
   /// diagnostics), which is what lets evaluation workers run concurrently
   /// on private controller instances without re-deriving the tightened and

@@ -1,5 +1,7 @@
 #include "core/intermittent.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "linalg/kernels.hpp"
 
@@ -23,6 +25,34 @@ IntermittentController::IntermittentController(const control::AffineLTI& sys,
               "IntermittentController: sets must satisfy X' subset XI subset X");
   OIC_REQUIRE(sys_.u_set().contains(config_.u_skip, 1e-9),
               "IntermittentController: skip input must be admissible (in U)");
+  if (config_.burst_depth >= 1) {
+    OIC_REQUIRE(!config_.ladder.empty(),
+                "IntermittentController: burst mode needs the k-step ladder "
+                "(certificate)");
+    max_burst_ = std::min(config_.burst_depth, config_.ladder.size());
+    for (const auto& rung : config_.ladder) {
+      OIC_REQUIRE(rung.dim() == sys_.nx(),
+                  "IntermittentController: ladder set dimension mismatch");
+    }
+    // The burst certificate composes with Theorem 1 only if the ladder's
+    // base is inside X' (one certified skip implies the monitor would have
+    // allowed it); deeper rungs must nest so "deepest containing rung"
+    // searches are sound.  A certificate-fed ladder already carries both
+    // properties (cert::synthesize is correct by construction, loads are
+    // payload-hash-checked against it, cert::verify re-proves them), so
+    // ladder_certified skips the LP-based re-checks -- the harness builds
+    // one controller per episode and must not pay them per episode.
+    if (!config_.ladder_certified) {
+      OIC_REQUIRE(
+          poly::contains_polytope(sets_.x_prime, config_.ladder.front(), 1e-6),
+          "IntermittentController: ladder base X'_1 must be inside X'");
+      for (std::size_t k = 1; k < max_burst_; ++k) {
+        OIC_REQUIRE(poly::contains_polytope(config_.ladder[k - 1], config_.ladder[k],
+                                            1e-6),
+                    "IntermittentController: ladder chain must be nested");
+      }
+    }
+  }
   w_history_.set_capacity(config_.w_memory);
 }
 
@@ -31,6 +61,18 @@ StepDecision IntermittentController::decide(const Vector& x) {
   ++total_steps_;
 
   StepDecision d;
+  if (burst_remaining_ > 0) {
+    // Inside a certified burst: the X'_k membership established when the
+    // burst started guarantees this period's skip keeps the state in XI
+    // for every disturbance, so neither the monitor nor the policy runs.
+    --burst_remaining_;
+    d.z = 0;
+    d.u = config_.u_skip;
+    ++skipped_steps_;
+    ++burst_steps_;
+    return d;
+  }
+
   if (config_.strict_invariant && !sets_.xi.contains(x, 1e-6)) {
     throw NumericalError(
         "IntermittentController: state left the robust invariant set XI; the "
@@ -53,6 +95,16 @@ StepDecision IntermittentController::decide(const Vector& x) {
   } else {
     d.u = config_.u_skip;
     ++skipped_steps_;
+    if (max_burst_ >= 2) {
+      // Certify the deepest burst the ladder supports at this state: the
+      // next k-1 periods then skip without any monitor work.
+      for (std::size_t k = max_burst_; k >= 2; --k) {
+        if (config_.ladder[k - 1].contains(x)) {
+          burst_remaining_ = k - 1;
+          break;
+        }
+      }
+    }
   }
   return d;
 }
@@ -75,6 +127,7 @@ void IntermittentController::record_transition(const Vector& x, const Vector& u,
 
 void IntermittentController::reset() {
   w_history_.clear();
+  burst_remaining_ = 0;
   omega_.reset();
 }
 
@@ -82,6 +135,7 @@ void IntermittentController::reset_stats() {
   total_steps_ = 0;
   skipped_steps_ = 0;
   forced_steps_ = 0;
+  burst_steps_ = 0;
 }
 
 }  // namespace oic::core

@@ -28,6 +28,23 @@ struct IntermittentConfig {
   /// precondition (Algorithm 1 line 2) and losing it means the certificate
   /// was violated by the plant model.
   bool strict_invariant = true;
+  /// Certified burst skipping (extension beyond the paper; the k-step
+  /// ladder of core::compute_multi_step_safe_sets): ladder[k-1] = X'_k is
+  /// the set of states from which k consecutive skipped periods provably
+  /// stay inside XI for every disturbance sequence.  With burst_depth >= 1
+  /// and a non-empty ladder, a skip decision at x in X'_k (deepest
+  /// k <= burst_depth) certifies the whole burst: the next k-1 periods
+  /// skip without membership checks or policy consultations, amortizing
+  /// the monitor over the burst.  Default off (burst_depth = 0): the
+  /// decision stream is bit-identical to the paper's per-period monitor.
+  std::vector<poly::HPolytope> ladder;
+  std::size_t burst_depth = 0;
+  /// Set ONLY when `ladder` comes from a cert::PlantCertificate (correct
+  /// by synthesis, or payload-hash-checked on load): skips the
+  /// constructor's LP-based base/chain containment re-checks, which would
+  /// otherwise run once per episode on the harness path.  Hand-assembled
+  /// ladders must leave this false and pay for the validation.
+  bool ladder_certified = false;
 };
 
 /// Outcome of one framework step.
@@ -71,6 +88,11 @@ class IntermittentController {
   std::size_t skipped_steps() const { return skipped_steps_; }
   /// Steps where the monitor forced z = 1.
   std::size_t forced_steps() const { return forced_steps_; }
+  /// Skipped steps covered by a burst certificate (no per-step monitor
+  /// check ran); always 0 with burst mode off.
+  std::size_t burst_steps() const { return burst_steps_; }
+  /// Remaining pre-certified skips of the burst in flight (diagnostics).
+  std::size_t burst_remaining() const { return burst_remaining_; }
 
   /// The safe sets in use.
   const SafeSets& sets() const { return sets_; }
@@ -85,9 +107,12 @@ class IntermittentController {
   IntermittentConfig config_;
   WHistory w_history_;        ///< ring of the last w_memory observations
   linalg::Vector ew_scratch_; ///< residual scratch for record_transition
+  std::size_t max_burst_ = 0; ///< effective depth: min(burst_depth, ladder size)
+  std::size_t burst_remaining_ = 0;  ///< certified skips left in the burst
   std::size_t total_steps_ = 0;
   std::size_t skipped_steps_ = 0;
   std::size_t forced_steps_ = 0;
+  std::size_t burst_steps_ = 0;
 };
 
 }  // namespace oic::core

@@ -23,6 +23,16 @@ std::string PeriodicPolicy::name() const {
   return os.str();
 }
 
+BurstSkipPolicy::BurstSkipPolicy(std::size_t depth) : depth_(depth) {
+  OIC_REQUIRE(depth >= 1, "BurstSkipPolicy: depth must be positive");
+}
+
+std::string BurstSkipPolicy::name() const {
+  std::ostringstream os;
+  os << "burst(" << depth_ << ")";
+  return os.str();
+}
+
 WeaklyHardPolicy::WeaklyHardPolicy(SkipPolicy& inner, std::size_t m, std::size_t k)
     : inner_(inner), m_(m), k_(k), window_(k, 1) {
   OIC_REQUIRE(k >= 1, "WeaklyHardPolicy: window must be positive");

@@ -35,6 +35,12 @@ class SkipPolicy {
 
   /// Diagnostic name for experiment tables.
   virtual std::string name() const = 0;
+
+  /// Certified burst depth this policy requests from the framework
+  /// (IntermittentConfig::burst_depth; the engines wire the plant's k-step
+  /// ladder when this is >= 1).  0 -- the default for every per-step
+  /// policy -- leaves the paper's per-period monitor untouched.
+  virtual std::size_t burst_depth() const { return 0; }
 };
 
 /// Never skip: recovers the traditional "controller only" baseline the
@@ -68,6 +74,25 @@ class PeriodicPolicy final : public SkipPolicy {
  private:
   std::size_t period_;
   std::size_t t_ = 0;
+};
+
+/// Burst-skip policy (extension; see core/safe_sets.hpp's k-step ladder):
+/// skips whenever consulted -- bang-bang's decision rule -- and requests
+/// certified bursts of up to `depth` periods from the framework.  When the
+/// monitor finds x in X'_k (deepest k <= depth), the whole k-step burst is
+/// certified at once and the next k-1 periods skip without set membership
+/// checks or policy consultations, amortizing the monitor itself.
+class BurstSkipPolicy final : public SkipPolicy {
+ public:
+  /// Requires depth >= 1 (depth 1 degenerates to bang-bang).
+  explicit BurstSkipPolicy(std::size_t depth);
+
+  int decide(const linalg::Vector&, const WHistory&) override { return 0; }
+  std::string name() const override;
+  std::size_t burst_depth() const override { return depth_; }
+
+ private:
+  std::size_t depth_;
 };
 
 /// Weakly-hard (m, K) governor (the constraint family of the paper's

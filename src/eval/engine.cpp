@@ -7,22 +7,12 @@ namespace oic::eval {
 
 using linalg::Vector;
 
-namespace {
-
-core::IntermittentConfig engine_icfg(const PlantCase& plant) {
-  core::IntermittentConfig icfg;
-  icfg.u_skip = plant.u_skip();
-  icfg.w_memory = kEpisodeWMemory;  // must match run_episode for bit-parity
-  return icfg;
-}
-
-}  // namespace
-
 EpisodeEngine::EpisodeEngine(const PlantCase& plant, core::SkipPolicy& policy)
     : plant_(plant),
       policy_(policy),
       rmpc_(plant.rmpc()),
-      ic_(plant.system(), plant.sets(), rmpc_, policy, engine_icfg(plant)),
+      ic_(plant.system(), plant.sets(), rmpc_, policy,
+          make_intermittent_config(plant, policy)),
       w_(plant.system().nw()) {}
 
 EpisodeResult EpisodeEngine::run(const CaseData& data) {

@@ -6,6 +6,25 @@ namespace oic::eval {
 
 using linalg::Vector;
 
+core::IntermittentConfig make_intermittent_config(const PlantCase& plant,
+                                                  const core::SkipPolicy& policy) {
+  core::IntermittentConfig icfg;
+  icfg.u_skip = plant.u_skip();
+  icfg.w_memory = kEpisodeWMemory;
+  // Burst-requesting policies get the plant certificate's skip ladder; for
+  // every per-step policy (burst_depth() == 0) the config -- and therefore
+  // the whole decision stream -- is exactly the historical one.
+  const std::size_t depth = policy.burst_depth();
+  if (depth >= 1) {
+    icfg.burst_depth = depth;
+    icfg.ladder = plant.ladder();
+    // Plant ladders come from the certificate layer (synthesized or
+    // payload-hash-checked load), so the controller skips its LP re-checks.
+    icfg.ladder_certified = true;
+  }
+  return icfg;
+}
+
 CaseData make_case(const PlantCase& plant, const Scenario& scenario, Rng& rng,
                    std::size_t steps) {
   CaseData data;
@@ -20,11 +39,8 @@ CaseData make_case(const PlantCase& plant, const Scenario& scenario, Rng& rng,
 
 EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
                           const CaseData& data) {
-  core::IntermittentConfig icfg;
-  icfg.u_skip = plant.u_skip();
-  icfg.w_memory = kEpisodeWMemory;  // policies use what they need of it
   core::IntermittentController ic(plant.system(), plant.sets(), plant.rmpc(), policy,
-                                  icfg);
+                                  make_intermittent_config(plant, policy));
   ic.reset();
   // Episodes are independent by contract (fresh controller runtime above);
   // drop the RMPC's carried warm-start basis for the same reason.

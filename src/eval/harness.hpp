@@ -47,6 +47,14 @@ struct EpisodeResult {
 /// state memory r is a separate knob: TrainerConfig::memory.)
 inline constexpr std::size_t kEpisodeWMemory = 4;
 
+/// The Algorithm-1 framework configuration run_episode and the
+/// EpisodeEngine share: episode disturbance memory, the plant's skip
+/// input, and -- for burst-requesting policies
+/// (core::SkipPolicy::burst_depth) -- the certificate's k-step ladder.
+/// One function so the two paths can never disagree (bit-parity tested).
+core::IntermittentConfig make_intermittent_config(const PlantCase& plant,
+                                                  const core::SkipPolicy& policy);
+
 /// Run one policy over one case through the intermittent framework with
 /// the plant's RMPC as the underlying controller.
 EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,

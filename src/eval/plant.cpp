@@ -1,35 +1,44 @@
 #include "eval/plant.hpp"
 
 #include "common/error.hpp"
-#include "control/lqr.hpp"
 
 namespace oic::eval {
+
+const std::vector<poly::HPolytope>& PlantCase::ladder() const {
+  static const std::vector<poly::HPolytope> kEmpty;
+  return kEmpty;
+}
 
 Scenario& Scenario::operator=(const Scenario& other) {
   if (this != &other) {
     id = other.id;
     description = other.description;
-    profile = other.profile->clone();
+    profile = other.profile ? other.profile->clone() : nullptr;
   }
   return *this;
 }
 
-PlantRuntime build_plant_runtime(const control::AffineLTI& sys, const linalg::Matrix& q,
-                                 const linalg::Matrix& r,
-                                 const control::RmpcConfig& rmpc_cfg,
-                                 const linalg::Vector& u_skip) {
+PlantRuntime runtime_from_certificate(const cert::PlantModel& model,
+                                      cert::PlantCertificate certificate) {
+  OIC_REQUIRE(certificate.plant == model.id,
+              "runtime_from_certificate: certificate is for plant '" +
+                  certificate.plant + "', model is '" + model.id + "'");
+  OIC_REQUIRE(certificate.model_hash == cert::model_hash(model),
+              "runtime_from_certificate: stale certificate for plant '" + model.id +
+                  "' (model hash mismatch)");
   PlantRuntime rt;
-  const auto lqr = control::dlqr(sys.a(), sys.b(), q, r);
-  OIC_CHECK(lqr.converged, "build_plant_runtime: LQR synthesis did not converge");
-  rt.k_lqr = lqr.k;
-
-  rt.rmpc = std::make_unique<control::TubeMpc>(sys, rt.k_lqr, rmpc_cfg);
-
-  // Prop. 1: the RMPC's feasible region is its robust control invariant set.
-  const poly::HPolytope xi = rt.rmpc->compute_feasible_set();
-  OIC_CHECK(!xi.is_empty(), "build_plant_runtime: RMPC feasible set is empty");
-  rt.sets = core::compute_safe_sets(sys, xi, u_skip);
+  rt.k_lqr = std::move(certificate.k_lqr);
+  rt.rmpc = std::make_unique<control::TubeMpc>(model.sys, rt.k_lqr, model.rmpc,
+                                               std::move(certificate.tightened),
+                                               std::move(certificate.terminal));
+  rt.sets = std::move(certificate.sets);
+  rt.ladder = std::move(certificate.ladder);
   return rt;
+}
+
+PlantRuntime build_plant_runtime(const cert::PlantModel& model,
+                                 const cert::Provider& provider) {
+  return runtime_from_certificate(model, cert::resolve(model, provider));
 }
 
 linalg::Vector sample_from_set(const poly::HPolytope& set, Rng& rng, const char* who) {

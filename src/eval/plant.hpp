@@ -24,7 +24,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "cert/store.hpp"
 #include "common/random.hpp"
 #include "control/lti.hpp"
 #include "control/tube_mpc.hpp"
@@ -34,9 +36,12 @@
 namespace oic::eval {
 
 /// A concrete plant wired for the intermittent-control evaluation.
-/// Implementations are expensive to build (feasible-set and strengthened-set
-/// LPs run in the constructor) and are not copyable; construct once and
-/// share const references across engines.
+/// Construction splits into a cheap declarative cert::PlantModel and the
+/// synthesized cert::PlantCertificate resolved through a cert::Provider
+/// (fresh synthesis by default, a cert::Store cache with --cert-dir), so
+/// building a plant is file-read-bound once certificates are cached.
+/// Instances are not copyable; construct once and share const references
+/// across engines.
 class PlantCase {
  public:
   virtual ~PlantCase() = default;
@@ -54,6 +59,12 @@ class PlantCase {
 
   /// X, XI (Prop. 1), X' (Definition 3), in shifted coordinates.
   virtual const core::SafeSets& sets() const = 0;
+
+  /// The certificate's k-step skip ladder X'_1..X'_k (X'_1 == X'),
+  /// certifying whole skip bursts (core::compute_multi_step_safe_sets).
+  /// The engines wire it into IntermittentConfig for burst:<k> policies;
+  /// the default is empty (no burst support).
+  virtual const std::vector<poly::HPolytope>& ladder() const;
 
   /// Skip input in shifted coordinates.
   virtual const linalg::Vector& u_skip() const = 0;
@@ -103,32 +114,40 @@ struct Scenario {
   Scenario(std::string id_, std::string desc, std::unique_ptr<sim::VelocityProfile> p)
       : id(std::move(id_)), description(std::move(desc)), profile(std::move(p)) {}
 
+  // Copies null-propagate: a default-constructed Scenario has no profile
+  // prototype, and copying one must not dereference the null pointer.
   Scenario(const Scenario& other)
-      : id(other.id), description(other.description), profile(other.profile->clone()) {}
+      : id(other.id),
+        description(other.description),
+        profile(other.profile ? other.profile->clone() : nullptr) {}
   Scenario& operator=(const Scenario& other);
   Scenario(Scenario&&) = default;
   Scenario& operator=(Scenario&&) = default;
 };
 
-/// The Algorithm-1 runtime pieces every PlantCase constructor derives from
-/// its model: a local LQR gain, the tube RMPC built on it, and the nested
-/// safe-set triple (XI from the RMPC's feasible region per Prop. 1, X' per
-/// Definition 3).  Mirrors the AccCase construction so new plants get the
-/// identical certificate chain.
+/// The Algorithm-1 runtime pieces every PlantCase assembles from its
+/// certificate: the local LQR gain, the tube RMPC rehydrated from the
+/// certificate's tightened / terminal sets, the nested safe-set triple
+/// (XI from the RMPC's feasible region per Prop. 1, X' per Definition 3),
+/// and the k-step skip ladder.
 struct PlantRuntime {
   linalg::Matrix k_lqr;
   std::unique_ptr<control::TubeMpc> rmpc;
   core::SafeSets sets;
+  std::vector<poly::HPolytope> ladder;  ///< X'_1 .. X'_k
 };
 
-/// Synthesize the runtime for a plant model.  `q` / `r` weight the LQR used
-/// as the local gain; throws NumericalError when LQR synthesis diverges or
-/// the RMPC feasible set comes out empty (horizon too long / disturbance
-/// too large for the constraints).
-PlantRuntime build_plant_runtime(const control::AffineLTI& sys, const linalg::Matrix& q,
-                                 const linalg::Matrix& r,
-                                 const control::RmpcConfig& rmpc_cfg,
-                                 const linalg::Vector& u_skip);
+/// Assemble the runtime from an already-resolved certificate (no synthesis
+/// LPs run here; the TubeMpc is rehydrated from the stored sets).
+PlantRuntime runtime_from_certificate(const cert::PlantModel& model,
+                                      cert::PlantCertificate certificate);
+
+/// Resolve the model's certificate through `provider` (empty = fresh
+/// cert::synthesize; a cert::Store provider makes this file-read-bound on
+/// cache hits) and assemble the runtime.  Throws NumericalError when
+/// synthesis degenerates (LQR divergence, empty feasible set, ...).
+PlantRuntime build_plant_runtime(const cert::PlantModel& model,
+                                 const cert::Provider& provider = {});
 
 /// Uniform sample from a bounded polytope by rejection sampling from its
 /// bounding box (dimension-generic; the AccCase sampler specialized to 2-D).

@@ -35,9 +35,15 @@ AffineLTI LaneKeepCase::build_system(const LaneKeepParams& p) {
   return AffineLTI(a, b, e, Vector{0.0, 0.0}, x, u, w);
 }
 
-LaneKeepCase::LaneKeepCase(LaneKeepParams params, control::RmpcConfig rmpc)
+cert::PlantModel LaneKeepCase::model(const LaneKeepParams& params,
+                                     const control::RmpcConfig& rmpc) {
+  return make_model("lane-keep", build_system(params), rmpc);
+}
+
+LaneKeepCase::LaneKeepCase(LaneKeepParams params, control::RmpcConfig rmpc,
+                           const cert::Provider& provider)
     : SecondOrderPlant("lane-keep", build_system(params), params.delta,
-                       params.idle_cost, params.run_cost, rmpc),
+                       params.idle_cost, params.run_cost, rmpc, provider),
       params_(params) {}
 
 }  // namespace oic::eval

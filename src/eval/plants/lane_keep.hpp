@@ -34,12 +34,17 @@ struct LaneKeepParams {
 class LaneKeepCase final : public SecondOrderPlant {
  public:
   explicit LaneKeepCase(LaneKeepParams params = {},
-                        control::RmpcConfig rmpc = default_rmpc());
+                        control::RmpcConfig rmpc = default_rmpc(),
+                        const cert::Provider& provider = {});
 
   /// Horizon 8 with unit 1-norm weights and closed-loop (Chisci)
   /// tightening -- the undamped double integrator's open-loop powers do not
   /// decay, so the paper's open-loop recursion would empty the terminal set.
   static control::RmpcConfig default_rmpc();
+
+  /// Declarative model (certificate synthesis inputs) for these params.
+  static cert::PlantModel model(const LaneKeepParams& params = {},
+                                const control::RmpcConfig& rmpc = default_rmpc());
 
   const LaneKeepParams& params() const { return params_; }
 

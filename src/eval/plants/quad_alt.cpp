@@ -38,9 +38,15 @@ AffineLTI QuadAltCase::build_system(const QuadAltParams& p) {
   return AffineLTI(a, b, e, Vector{0.0, 0.0}, x, u, w);
 }
 
-QuadAltCase::QuadAltCase(QuadAltParams params, control::RmpcConfig rmpc)
+cert::PlantModel QuadAltCase::model(const QuadAltParams& params,
+                                    const control::RmpcConfig& rmpc) {
+  return make_model("quad-alt", build_system(params), rmpc);
+}
+
+QuadAltCase::QuadAltCase(QuadAltParams params, control::RmpcConfig rmpc,
+                         const cert::Provider& provider)
     : SecondOrderPlant("quad-alt", build_system(params), params.delta,
-                       params.hover_power, params.run_cost, rmpc),
+                       params.hover_power, params.run_cost, rmpc, provider),
       params_(params) {}
 
 }  // namespace oic::eval

@@ -35,11 +35,16 @@ struct QuadAltParams {
 class QuadAltCase final : public SecondOrderPlant {
  public:
   explicit QuadAltCase(QuadAltParams params = {},
-                       control::RmpcConfig rmpc = default_rmpc());
+                       control::RmpcConfig rmpc = default_rmpc(),
+                       const cert::Provider& provider = {});
 
   /// Horizon 6 with unit 1-norm weights and closed-loop (Chisci)
   /// tightening (altitude integrates undamped, like the lane-keep plant).
   static control::RmpcConfig default_rmpc();
+
+  /// Declarative model (certificate synthesis inputs) for these params.
+  static cert::PlantModel model(const QuadAltParams& params = {},
+                                const control::RmpcConfig& rmpc = default_rmpc());
 
   const QuadAltParams& params() const { return params_; }
 

@@ -13,8 +13,11 @@
 /// i.e. an always-on draw, the sensing/compute/actuation overhead of a
 /// period that runs the control loop (the paper's Sec. I motivation), and
 /// the actuation magnitude.  Derive, build the AffineLTI, and pass the
-/// cost constants -- everything else (runtime synthesis, sampling, the
-/// PlantCase plumbing) lives here once.
+/// cost constants -- everything else (the declarative cert::PlantModel,
+/// certificate resolution, sampling, the PlantCase plumbing) lives here
+/// once.  Toy2dCase below is the undecorated member of the family, kept
+/// registered ("toy2d") so the registry, the certificate cache, and the
+/// burst sweeps always exercise a plain second-order plant.
 
 #include "eval/plant.hpp"
 
@@ -28,6 +31,7 @@ class SecondOrderPlant : public PlantCase {
   control::TubeMpc& rmpc() override { return *rt_.rmpc; }
   const control::TubeMpc& rmpc() const override { return *rt_.rmpc; }
   const core::SafeSets& sets() const override { return rt_.sets; }
+  const std::vector<poly::HPolytope>& ladder() const override { return rt_.ladder; }
   const linalg::Vector& u_skip() const override { return u_skip_; }
   linalg::Vector sample_x0(Rng& rng) const override;
   void signal_to_w(double signal, linalg::Vector& w) const override { w[0] = signal; }
@@ -35,14 +39,21 @@ class SecondOrderPlant : public PlantCase {
                    bool controller_ran) const override;
   double energy_raw(const linalg::Vector& u) const override { return u.norm1(); }
 
+  /// The declarative synthesis inputs of a family member: unit LQR weights
+  /// and u_skip = 0 over the given dynamics -- what the constructor hands
+  /// to the certificate provider, and what `oic_cert` synthesizes offline.
+  static cert::PlantModel make_model(std::string name, control::AffineLTI sys,
+                                     const control::RmpcConfig& rmpc_cfg);
+
  protected:
   /// `cost_floor` / `run_cost` are rates [cost/s], integrated over `delta`
   /// by cost_step.  Requires cost_floor > 0 (savings are relative) and
-  /// run_cost >= 0; builds the LQR gain, tube RMPC, and safe-set triple
-  /// from the model with unit weights.
+  /// run_cost >= 0; resolves the certificate through `provider` (empty =
+  /// fresh synthesis) and assembles the runtime from it.
   SecondOrderPlant(std::string name, control::AffineLTI sys, double delta,
                    double cost_floor, double run_cost,
-                   const control::RmpcConfig& rmpc_cfg);
+                   const control::RmpcConfig& rmpc_cfg,
+                   const cert::Provider& provider = {});
 
  private:
   std::string name_;
@@ -52,6 +63,44 @@ class SecondOrderPlant : public PlantCase {
   double run_cost_;
   linalg::Vector u_skip_;
   PlantRuntime rt_;
+};
+
+/// Physical constants of the plain second-order demo plant: a centered
+/// double integrator (position / velocity) with box constraints, e.g. a
+/// gimbal axis or positioning stage holding a setpoint against a bounded
+/// torque disturbance.
+struct Toy2dParams {
+  double delta = 0.1;      ///< control period [s]
+  double p_max = 1.5;      ///< position error bound
+  double v_max = 3.0;      ///< velocity bound
+  double u_max = 5.0;      ///< actuation bound
+  double w_max = 0.8;      ///< disturbance bound
+  double idle_cost = 0.6;  ///< always-on draw floor [cost/s]
+  double run_cost = 1.0;   ///< per-run sensing+compute draw [cost/s]
+};
+
+/// The undecorated second-order PlantCase, registered as "toy2d" with the
+/// sine / white scenarios; scenarios emit the disturbance directly.
+class Toy2dCase final : public SecondOrderPlant {
+ public:
+  explicit Toy2dCase(Toy2dParams params = {},
+                     control::RmpcConfig rmpc = default_rmpc(),
+                     const cert::Provider& provider = {});
+
+  /// Horizon 8, unit 1-norm weights, closed-loop (Chisci) tightening (the
+  /// undamped double integrator's open-loop powers do not decay).
+  static control::RmpcConfig default_rmpc();
+
+  /// Declarative model (certificate synthesis inputs) for these params.
+  static cert::PlantModel model(const Toy2dParams& params = {},
+                                const control::RmpcConfig& rmpc = default_rmpc());
+
+  const Toy2dParams& params() const { return params_; }
+
+ private:
+  Toy2dParams params_;
+
+  static control::AffineLTI build_system(const Toy2dParams& p);
 };
 
 }  // namespace oic::eval

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "eval/plants/lane_keep.hpp"
 #include "eval/plants/quad_alt.hpp"
+#include "eval/plants/second_order.hpp"
 
 namespace oic::eval {
 
@@ -41,7 +42,11 @@ PlantInfo acc_info() {
   info.id = "acc";
   info.description =
       "adaptive cruise control (paper Sec. IV): gap/speed vs front vehicle";
-  info.make_plant = [] { return std::make_unique<acc::AccCase>(); };
+  info.make_plant = [](const cert::Provider& provider) {
+    return std::make_unique<acc::AccCase>(acc::AccParams{},
+                                          acc::AccCase::default_rmpc(), provider);
+  };
+  info.make_model = [] { return acc::AccCase::model(); };
   info.scenario_ids = {"Fig.4"};
   for (int i = 1; i <= 10; ++i) info.scenario_ids.push_back("Ex." + std::to_string(i));
   info.scenario_ids.push_back("Jam");
@@ -80,7 +85,11 @@ PlantInfo lane_keep_info() {
   PlantInfo info;
   info.id = "lane-keep";
   info.description = "double-integrator lane keeping: lateral offset vs crosswind";
-  info.make_plant = [] { return std::make_unique<LaneKeepCase>(); };
+  info.make_plant = [](const cert::Provider& provider) {
+    return std::make_unique<LaneKeepCase>(LaneKeepParams{},
+                                          LaneKeepCase::default_rmpc(), provider);
+  };
+  info.make_model = [] { return LaneKeepCase::model(); };
   info.scenario_ids = {"sine", "rough", "gusts", "white"};
   info.make_scenario = make_lane_keep_scenario;
   return info;
@@ -117,12 +126,50 @@ PlantInfo quad_alt_info() {
   PlantInfo info;
   info.id = "quad-alt";
   info.description = "quadrotor altitude hold: height error vs vertical gusts";
-  info.make_plant = [] { return std::make_unique<QuadAltCase>(); };
+  info.make_plant = [](const cert::Provider& provider) {
+    return std::make_unique<QuadAltCase>(QuadAltParams{},
+                                         QuadAltCase::default_rmpc(), provider);
+  };
+  info.make_model = [] { return QuadAltCase::model(); };
   // "white" completes the uniform scenario family every non-ACC plant
   // exposes (sine / rough / gusts / white), so cross-plant sweeps by
   // scenario id cover both plants symmetrically.
   info.scenario_ids = {"sine", "rough", "gusts", "white"};
   info.make_scenario = make_quad_alt_scenario;
+  return info;
+}
+
+// ---- Plain second-order demo ----------------------------------------------
+
+Scenario make_toy2d_scenario(const std::string& id) {
+  const Toy2dParams p;
+  const double w = p.w_max;
+  if (id == "sine") {
+    return Scenario("sine",
+                    "sinusoidal torque disturbance, amplitude 0.7 w_max, "
+                    "noise 0.1 w_max",
+                    std::make_unique<sim::SinusoidalProfile>(0.0, 0.7 * w, p.delta,
+                                                             0.1 * w, -w, w));
+  }
+  if (id == "white") {
+    return Scenario("white",
+                    "uncorrelated uniform disturbance (worst-case pattern-free)",
+                    std::make_unique<sim::UniformRandomProfile>(-w, w));
+  }
+  throw PreconditionError("unknown toy2d scenario '" + id + "'");
+}
+
+PlantInfo toy2d_info() {
+  PlantInfo info;
+  info.id = "toy2d";
+  info.description = "plain second-order demo: double integrator holding a setpoint";
+  info.make_plant = [](const cert::Provider& provider) {
+    return std::make_unique<Toy2dCase>(Toy2dParams{}, Toy2dCase::default_rmpc(),
+                                       provider);
+  };
+  info.make_model = [] { return Toy2dCase::model(); };
+  info.scenario_ids = {"sine", "white"};
+  info.make_scenario = make_toy2d_scenario;
   return info;
 }
 
@@ -134,6 +181,8 @@ void ScenarioRegistry::add(PlantInfo info) {
               "ScenarioRegistry::add: duplicate plant '" + info.id + "'");
   OIC_REQUIRE(static_cast<bool>(info.make_plant),
               "ScenarioRegistry::add: plant factory required");
+  OIC_REQUIRE(static_cast<bool>(info.make_model),
+              "ScenarioRegistry::add: model factory required");
   OIC_REQUIRE(static_cast<bool>(info.make_scenario),
               "ScenarioRegistry::add: scenario factory required");
   OIC_REQUIRE(!info.scenario_ids.empty(),
@@ -163,8 +212,13 @@ const PlantInfo& ScenarioRegistry::plant(const std::string& id) const {
                           ")");
 }
 
-std::unique_ptr<PlantCase> ScenarioRegistry::make_plant(const std::string& id) const {
-  return plant(id).make_plant();
+std::unique_ptr<PlantCase> ScenarioRegistry::make_plant(
+    const std::string& id, const cert::Provider& provider) const {
+  return plant(id).make_plant(provider);
+}
+
+cert::PlantModel ScenarioRegistry::make_model(const std::string& id) const {
+  return plant(id).make_model();
 }
 
 Scenario ScenarioRegistry::make_scenario(const std::string& plant_id,
@@ -184,6 +238,7 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     r.add(acc_info());
     r.add(lane_keep_info());
     r.add(quad_alt_info());
+    r.add(toy2d_info());
     return r;
   }();
   return reg;

@@ -26,8 +26,13 @@ namespace oic::eval {
 struct PlantInfo {
   std::string id;           ///< registry key ("acc", "lane-keep", ...)
   std::string description;  ///< one-line summary for listings
-  /// Builds the plant (expensive: runs the set-synthesis LPs).
-  std::function<std::unique_ptr<PlantCase>()> make_plant;
+  /// Builds the plant, resolving its safety certificate through the given
+  /// provider (empty = synthesize fresh -- expensive, the set-synthesis
+  /// LPs run; a cert::Store provider makes this file-read-bound).
+  std::function<std::unique_ptr<PlantCase>(const cert::Provider&)> make_plant;
+  /// The plant's declarative synthesis inputs (cheap; no LP runs).  What
+  /// `oic_cert` synthesizes / verifies against without building the plant.
+  std::function<cert::PlantModel()> make_model;
   /// Scenario ids in catalogue order.
   std::vector<std::string> scenario_ids;
   /// Builds one scenario by id; must succeed for every id in scenario_ids.
@@ -52,8 +57,13 @@ class ScenarioRegistry {
   /// known ones -- the CLI surfaces it verbatim).
   const PlantInfo& plant(const std::string& id) const;
 
-  /// Build a plant by id.
-  std::unique_ptr<PlantCase> make_plant(const std::string& id) const;
+  /// Build a plant by id, resolving its certificate through `provider`
+  /// (empty = fresh synthesis, the historical behavior).
+  std::unique_ptr<PlantCase> make_plant(const std::string& id,
+                                        const cert::Provider& provider = {}) const;
+
+  /// Declarative synthesis inputs of a plant (cheap; no LPs).
+  cert::PlantModel make_model(const std::string& id) const;
 
   /// Build one scenario; throws PreconditionError when the plant does not
   /// list `scenario_id`.
@@ -61,7 +71,8 @@ class ScenarioRegistry {
                          const std::string& scenario_id) const;
 
   /// The built-in catalogue: the ACC case study (Fig.4, Ex.1..Ex.10, Jam),
-  /// lane keeping, and quadrotor altitude hold.  Built once, immutable.
+  /// lane keeping, quadrotor altitude hold, and the plain second-order
+  /// demo plant ("toy2d").  Built once, immutable.
   static const ScenarioRegistry& builtin();
 
  private:

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <utility>
 
+#include "cert/store.hpp"
 #include "common/buildinfo.hpp"
 #include "common/error.hpp"
 #include "common/jsonout.hpp"
@@ -25,18 +27,39 @@ double seconds_since(Clock::time_point t0) {
 using jsonout::append_format;
 using jsonout::append_string_array;
 
+/// Strict positive-count parse for policy-spec payloads: digits only (no
+/// sign, no trailing junk -- strtoul would wrap "-2" to a huge depth), at
+/// least 1.
+bool parse_policy_count(const std::string& payload, std::size_t& out) {
+  if (payload.empty() || payload.size() > 9 ||
+      payload.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  out = static_cast<std::size_t>(std::strtoul(payload.c_str(), nullptr, 10));
+  return out >= 1;
+}
+
 }  // namespace
 
 std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec) {
   if (spec == "always-run") return std::make_unique<core::AlwaysRunPolicy>();
   if (spec == "bang-bang") return std::make_unique<core::BangBangPolicy>();
   const std::string periodic = "periodic-";
-  if (spec.rfind(periodic, 0) == 0) {
-    char* end = nullptr;
-    const unsigned long n = std::strtoul(spec.c_str() + periodic.size(), &end, 10);
-    if (end && *end == '\0' && n >= 1) {
-      return std::make_unique<core::PeriodicPolicy>(static_cast<std::size_t>(n));
+  std::size_t n = 0;
+  if (spec.rfind(periodic, 0) == 0 &&
+      parse_policy_count(spec.substr(periodic.size()), n)) {
+    return std::make_unique<core::PeriodicPolicy>(n);
+  }
+  // "burst:<k>": bang-bang decisions plus a certified k-burst request; the
+  // engines wire the plant certificate's skip ladder into the framework
+  // (IntermittentConfig::burst_depth), which amortizes the monitor over
+  // each burst.  Depth is clamped to the ladder the plant actually carries.
+  const std::string burst = "burst:";
+  if (spec.rfind(burst, 0) == 0) {
+    if (parse_policy_count(spec.substr(burst.size()), n)) {
+      return std::make_unique<core::BurstSkipPolicy>(n);
     }
+    throw PreconditionError("policy '" + spec + "': burst depth must be >= 1");
   }
   // "drl:<path>": a trained skipping agent serialized by oic_train.  Each
   // call loads its own copy -- per-worker policy sets stay independently
@@ -62,8 +85,9 @@ std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec) {
         std::make_shared<rl::Mlp>(std::move(snap.net)), snap.memory, w_dim,
         std::move(snap.state_scale), spec);
   }
-  throw PreconditionError("unknown policy '" + spec +
-                          "' (known: always-run, bang-bang, periodic-N, drl:<path>)");
+  throw PreconditionError(
+      "unknown policy '" + spec +
+      "' (known: always-run, bang-bang, periodic-N, burst:<k>, drl:<path>)");
 }
 
 PolicySetFactory make_policy_factory(const std::vector<std::string>& specs) {
@@ -137,11 +161,21 @@ SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
     }
   }
 
+  // Certificate cache: with --cert-dir every plant build resolves its
+  // offline artifacts through the store (load on hit, synthesize-and-write
+  // on miss), so a warm sweep's cold start is file-read-bound.
+  std::unique_ptr<cert::Store> store;
+  cert::Provider provider;
+  if (!spec.cert_dir.empty()) {
+    store = std::make_unique<cert::Store>(spec.cert_dir);
+    provider = store->provider();
+  }
+
   SweepResult out;
   const auto t0 = Clock::now();
   for (const auto& [pid, scenario_ids] : grid) {
     const PlantInfo& info = registry.plant(pid);
-    const auto plant = info.make_plant();
+    const auto plant = info.make_plant(provider);
     for (const auto& sid : scenario_ids) {
       const Scenario scenario = registry.make_scenario(pid, sid);
       for (const std::uint64_t seed : spec.seeds) {
@@ -194,6 +228,8 @@ std::string sweep_json(const SweepSpec& spec, const SweepResult& result) {
   append_string_array(out, spec.plants);
   out += ", \"scenarios\": ";
   append_string_array(out, spec.scenarios);
+  out += ", \"cert_dir\": ";
+  jsonout::append_string(out, spec.cert_dir);
   out += "},\n";
 
   append_format(out,

@@ -35,6 +35,11 @@ struct SweepSpec {
   std::size_t steps = 100;
   std::vector<std::uint64_t> seeds = {20200406};
   std::size_t workers = 0;  ///< 0 = hardware concurrency
+  /// Certificate cache directory (cert::Store).  Empty = synthesize every
+  /// plant's safety artifacts fresh (the historical behavior); set, plant
+  /// construction loads cached `oic-cert v1` files and the sweep's cold
+  /// start is file-read-bound instead of LP-bound.
+  std::string cert_dir;
 };
 
 /// One grid cell: the paired comparison of every policy against the
@@ -59,8 +64,9 @@ struct SweepResult {
   double step_ns() const { return 1e9 * wall_s / static_cast<double>(total_steps); }
 };
 
-/// Parse one policy spec: "always-run", "bang-bang", or "periodic-N"
-/// (N >= 1).  Throws PreconditionError on anything else.
+/// Parse one policy spec: "always-run", "bang-bang", "periodic-N" (N >= 1),
+/// "burst:<k>" (k >= 1; certified burst skipping over the plant's k-step
+/// ladder), or "drl:<path>".  Throws PreconditionError on anything else.
 std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec);
 
 /// Per-worker factory over a list of policy specs (validates every spec

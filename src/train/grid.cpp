@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 
+#include "cert/store.hpp"
 #include "common/buildinfo.hpp"
 #include "common/error.hpp"
 #include "common/jsonout.hpp"
@@ -74,12 +76,23 @@ std::vector<TrainJob> expand_jobs(const eval::ScenarioRegistry& registry,
 
 TrainGridResult train_grid_parallel(const eval::ScenarioRegistry& registry,
                                     const std::vector<TrainJob>& jobs,
-                                    const TrainerConfig& base, std::size_t workers) {
+                                    const TrainerConfig& base, std::size_t workers,
+                                    const std::string& cert_dir) {
   OIC_REQUIRE(!jobs.empty(), "train_grid_parallel: need at least one job");
   for (const auto& job : jobs) {
     // Validate before any expensive plant build; also rejects scenarios a
     // plant does not list.
     (void)registry.make_scenario(job.plant, job.scenario);
+  }
+
+  // Shared certificate cache: workers race benignly on a cold cache (the
+  // Store's temp-file rename keeps entries complete) and all warm builds
+  // are file-read-bound.
+  std::unique_ptr<cert::Store> store;
+  cert::Provider provider;
+  if (!cert_dir.empty()) {
+    store = std::make_unique<cert::Store>(cert_dir);
+    provider = store->provider();
   }
 
   TrainGridResult out;
@@ -97,7 +110,9 @@ TrainGridResult train_grid_parallel(const eval::ScenarioRegistry& registry,
                   const TrainJob& job = jobs[j];
                   auto it = plants.find(job.plant);
                   if (it == plants.end()) {
-                    it = plants.emplace(job.plant, registry.make_plant(job.plant))
+                    it = plants
+                             .emplace(job.plant,
+                                      registry.make_plant(job.plant, provider))
                              .first;
                   }
                   const eval::Scenario scenario =

@@ -38,6 +38,11 @@ struct TrainGridSpec {
   std::vector<std::uint64_t> seeds = {20200607};
   TrainerConfig trainer;    ///< per-job seed overrides trainer.seed
   std::size_t workers = 0;  ///< 0 = hardware concurrency, 1 = inline
+  /// Certificate cache directory (cert::Store); empty = synthesize every
+  /// worker's plants fresh.  Set, per-worker plant builds load cached
+  /// `oic-cert v1` files (concurrent cold-cache misses are write-race-safe:
+  /// identical bytes through a temp-file rename).
+  std::string cert_dir;
 };
 
 /// Outcome of one job.
@@ -63,9 +68,13 @@ std::vector<TrainJob> expand_jobs(const eval::ScenarioRegistry& registry,
 /// Train every job, sharded over the thread pool with per-worker plant
 /// instances.  Agents and logs are bit-identical to workers = 1 for any
 /// worker count (each job is self-contained and seeded by job.seed).
+/// `cert_dir` (optional) caches plant certificates across workers and
+/// process runs; loaded certificates are bit-identical to fresh synthesis,
+/// so it cannot change any agent either.
 TrainGridResult train_grid_parallel(const eval::ScenarioRegistry& registry,
                                     const std::vector<TrainJob>& jobs,
-                                    const TrainerConfig& base, std::size_t workers);
+                                    const TrainerConfig& base, std::size_t workers,
+                                    const std::string& cert_dir = "");
 
 /// Canonical agent filename for a job: "<plant>__<scenario>__seed<seed>.agent".
 std::string agent_filename(const TrainJob& job);

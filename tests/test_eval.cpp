@@ -42,15 +42,19 @@ oic::eval::PlantCase& shared_plant(const std::string& id) {
 TEST(Registry, ListsBuiltinPlants) {
   const auto& reg = ScenarioRegistry::builtin();
   const auto ids = reg.plant_ids();
-  ASSERT_EQ(ids.size(), 3u);
+  ASSERT_EQ(ids.size(), 4u);
   EXPECT_EQ(ids[0], "acc");
   EXPECT_EQ(ids[1], "lane-keep");
   EXPECT_EQ(ids[2], "quad-alt");
+  EXPECT_EQ(ids[3], "toy2d");
   EXPECT_TRUE(reg.has_plant("acc"));
   EXPECT_FALSE(reg.has_plant("submarine"));
   EXPECT_THROW(reg.plant("submarine"), oic::PreconditionError);
   EXPECT_THROW(reg.make_scenario("acc", "sine"), oic::PreconditionError);
   EXPECT_THROW(reg.make_scenario("lane-keep", "Ex.1"), oic::PreconditionError);
+  EXPECT_THROW(reg.make_scenario("toy2d", "gusts"), oic::PreconditionError);
+  // Every plant exposes its declarative model with a matching id.
+  for (const auto& pid : ids) EXPECT_EQ(reg.make_model(pid).id, pid);
 }
 
 TEST(Registry, EveryScenarioConstructsClonesAndReseedsDeterministically) {
@@ -140,6 +144,8 @@ void expect_safe_full_sweep(const std::string& plant_id) {
 TEST(NewPlants, LaneKeepFullSweepIsSafe) { expect_safe_full_sweep("lane-keep"); }
 
 TEST(NewPlants, QuadAltFullSweepIsSafe) { expect_safe_full_sweep("quad-alt"); }
+
+TEST(NewPlants, Toy2dFullSweepIsSafe) { expect_safe_full_sweep("toy2d"); }
 
 TEST(NewPlants, EngineMatchesLegacyRunEpisode) {
   // The generic engine must agree with the generic per-episode harness on
@@ -326,8 +332,8 @@ TEST(SweepDriver, EndToEndMicroSweepPerPlantEmitsValidJson) {
 
 TEST(SweepDriver, DefaultedPlantsIntersectExplicitScenarios) {
   // `--scenario sine` with no --plant must sweep exactly the plants that
-  // list "sine" (lane-keep and quad-alt; the ACC does not), not hard-fail
-  // on the first plant lacking it.
+  // list "sine" (lane-keep, quad-alt, and toy2d; the ACC does not), not
+  // hard-fail on the first plant lacking it.
   const auto& reg = ScenarioRegistry::builtin();
   oic::eval::SweepSpec spec;
   spec.scenarios = {"sine"};
@@ -336,9 +342,10 @@ TEST(SweepDriver, DefaultedPlantsIntersectExplicitScenarios) {
   spec.steps = 20;
   spec.workers = 1;
   const auto result = oic::eval::run_sweep(reg, spec);
-  ASSERT_EQ(result.cells.size(), 2u);
+  ASSERT_EQ(result.cells.size(), 3u);
   EXPECT_EQ(result.cells[0].plant, "lane-keep");
   EXPECT_EQ(result.cells[1].plant, "quad-alt");
+  EXPECT_EQ(result.cells[2].plant, "toy2d");
   for (const auto& cell : result.cells) EXPECT_EQ(cell.scenario, "sine");
 
   // A scenario no plant lists is still an error, even with defaulted plants.

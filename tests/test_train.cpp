@@ -223,12 +223,14 @@ TEST(TrainGrid, ParallelBitIdenticalToSerialAtAnyWorkerCount) {
 TEST(TrainGrid, ExpandValidatesAndIntersects) {
   const auto& reg = ScenarioRegistry::builtin();
   oic::train::TrainGridSpec spec;
-  spec.scenarios = {"white"};  // lane-keep and quad-alt list it, the ACC not
+  // lane-keep, quad-alt, and toy2d list "white"; the ACC does not.
+  spec.scenarios = {"white"};
   spec.seeds = {1, 2};
   const auto jobs = oic::train::expand_jobs(reg, spec);
-  ASSERT_EQ(jobs.size(), 4u);
+  ASSERT_EQ(jobs.size(), 6u);
   EXPECT_EQ(jobs[0].plant, "lane-keep");
   EXPECT_EQ(jobs[2].plant, "quad-alt");
+  EXPECT_EQ(jobs[4].plant, "toy2d");
 
   spec.plants = {"acc"};
   EXPECT_THROW(oic::train::expand_jobs(reg, spec), oic::PreconditionError);

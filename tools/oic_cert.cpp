@@ -1,0 +1,168 @@
+/// \file oic_cert.cpp
+/// Offline certificate manager over the plant registry -- the "compute
+/// once" half of the certificate layer:
+///
+///   oic_cert synth  --cert-dir certs [--plant a,b] [--force]
+///   oic_cert verify --cert-dir certs [--plant a,b]
+///   oic_cert ls     --cert-dir certs
+///
+///   synth    resolve each plant's certificate through the cert::Store
+///            (load-or-synthesize; --force re-synthesizes and rewrites
+///            unconditionally) and report hash + set sizes
+///   verify   load each plant's cached file and run the independent
+///            re-check (hash freshness, the Theorem-1 nesting, the
+///            Definition-3 property, ladder chain nesting)
+///   ls       list the cache directory's entries with their headers
+///
+/// Evaluation and training then reuse the cache via
+/// `oic_eval/oic_train --cert-dir certs`: plant construction becomes
+/// file-read-bound, and a stale file (model changed) is rejected by
+/// content hash and transparently re-synthesized.
+///
+/// Exit status: 0 on success, 1 on any verification failure or bad usage.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cert/store.hpp"
+#include "cli_util.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+using oic::cliutil::Args;
+using oic::cliutil::split_list;
+using oic::eval::ScenarioRegistry;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void print_usage() {
+  std::printf(
+      "usage: oic_cert <synth|verify|ls> --cert-dir DIR [--plant a,b] [--force]\n"
+      "  synth   load-or-synthesize certificates into the cache directory\n"
+      "          (--force: re-synthesize and rewrite unconditionally)\n"
+      "  verify  re-check cached certificates (hash, nesting, Definition 3)\n"
+      "  ls      list the cache directory\n");
+}
+
+std::vector<std::string> resolve_plants(const ScenarioRegistry& registry,
+                                        Args& args) {
+  std::string v;
+  if (args.value("plant", v) || args.value("plants", v)) return split_list(v);
+  return registry.plant_ids();
+}
+
+int run_synth(const ScenarioRegistry& registry, const std::vector<std::string>& plants,
+              const oic::cert::Store& store, bool force) {
+  std::printf("%-10s %-18s %6s %6s %8s %10s  %s\n", "plant", "model-hash", "XI", "X'",
+              "ladder", "wall[ms]", "source");
+  for (const auto& pid : plants) {
+    const oic::cert::PlantModel model = registry.make_model(pid);
+    const auto t0 = Clock::now();
+    oic::cert::PlantCertificate cert;
+    bool cached = false;
+    if (force) {
+      cert = store.refresh(model);  // atomic rewrite, like every Store write
+    } else if (auto hit = store.load_if_fresh(model)) {
+      cert = std::move(*hit);
+      cached = true;
+    } else {
+      cert = store.get(model);
+    }
+    const double wall = ms_since(t0);
+    std::printf("%-10s %-18s %6zu %6zu %8zu %10.1f  %s\n", pid.c_str(),
+                oic::cert::hash_hex(cert.model_hash).c_str(),
+                cert.sets.xi.num_constraints(), cert.sets.x_prime.num_constraints(),
+                cert.ladder.size(), wall, cached ? "cache" : "synthesized");
+  }
+  std::printf("certificates in %s\n", store.dir().c_str());
+  return 0;
+}
+
+int run_verify(const ScenarioRegistry& registry,
+               const std::vector<std::string>& plants, const oic::cert::Store& store) {
+  bool all_ok = true;
+  for (const auto& pid : plants) {
+    const oic::cert::PlantModel model = registry.make_model(pid);
+    const std::string path = store.path_for(model);
+    try {
+      const oic::cert::PlantCertificate cert = oic::cert::load_certificate_file(path);
+      oic::cert::verify(model, cert);
+      std::printf("%-10s OK    %s (hash %s, ladder depth %zu)\n", pid.c_str(),
+                  path.c_str(), oic::cert::hash_hex(cert.model_hash).c_str(),
+                  cert.ladder.size());
+    } catch (const oic::Error& e) {
+      std::printf("%-10s FAIL  %s\n", pid.c_str(), e.what());
+      all_ok = false;
+    }
+  }
+  std::printf("verify: %s\n", all_ok ? "all certificates hold" : "FAILURES (see above)");
+  return all_ok ? 0 : 1;
+}
+
+int run_ls(const oic::cert::Store& store) {
+  const auto entries = store.ls();
+  if (entries.empty()) {
+    std::printf("no certificates in %s\n", store.dir().c_str());
+    return 0;
+  }
+  std::printf("%-24s %-10s %-18s %s\n", "file", "plant", "model-hash", "header");
+  for (const auto& e : entries) {
+    std::printf("%-24s %-10s %-18s %s\n", e.filename.c_str(), e.plant.c_str(),
+                e.hash.c_str(), e.readable ? "ok" : "UNREADABLE");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "--help") {
+    print_usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+  // Reject unknown subcommands before anything touches the filesystem --
+  // a typo'd command must not create the cache directory as a side effect.
+  if (command != "synth" && command != "verify" && command != "ls") {
+    std::fprintf(stderr, "oic_cert: unknown command '%s'\n", command.c_str());
+    print_usage();
+    return 1;
+  }
+  // Parse flags after the subcommand (Args scans the whole argv; the
+  // subcommand itself is consumed here).
+  Args args(argc - 1, argv + 1);
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+
+  std::string cert_dir;
+  if (!args.value("cert-dir", cert_dir)) {
+    std::fprintf(stderr, "oic_cert: --cert-dir DIR is required\n");
+    return 1;
+  }
+  const bool force = args.flag("force");
+
+  try {
+    const std::vector<std::string> plants = resolve_plants(registry, args);
+    for (const auto& pid : plants) (void)registry.plant(pid);  // typo check first
+
+    if (const int unknown = args.first_unknown()) {
+      std::fprintf(stderr, "oic_cert: unknown argument '%s' (try --help)\n",
+                   argv[unknown + 1]);
+      return 1;
+    }
+
+    const oic::cert::Store store(cert_dir);
+    if (command == "synth") return run_synth(registry, plants, store, force);
+    if (command == "verify") return run_verify(registry, plants, store);
+    return run_ls(store);
+  } catch (const oic::Error& e) {
+    std::fprintf(stderr, "oic_cert: %s\n", e.what());
+    return 1;
+  }
+}

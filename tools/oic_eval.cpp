@@ -20,6 +20,9 @@
 ///   --steps N                steps per episode          (default 100)
 ///   --seed/--seeds a,b       episode-stream seeds       (default 20200406)
 ///   --workers N              sweep workers, 0 = auto    (default 0)
+///   --cert-dir DIR           certificate cache (cert::Store): plant
+///                            construction loads cached `oic-cert v1`
+///                            files, synthesizing+writing only on miss
 ///   --json PATH              write the JSON document
 ///   --list                   list plants/scenarios and exit
 ///
@@ -86,8 +89,9 @@ int main(int argc, char** argv) {
   if (args.flag("help")) {
     std::printf("usage: oic_eval [--plant a,b] [--scenario a,b] [--policies a,b]\n"
                 "                [--cases N] [--steps N] [--seeds a,b] [--workers N]\n"
-                "                [--json PATH] [--list]\n"
-                "policies: always-run | bang-bang | periodic-N | drl:<agent file>\n");
+                "                [--cert-dir DIR] [--json PATH] [--list]\n"
+                "policies: always-run | bang-bang | periodic-N | burst:<k> | "
+                "drl:<agent file>\n");
     print_registry(registry);
     return 0;
   }
@@ -130,6 +134,7 @@ int main(int argc, char** argv) {
       spec.seeds.push_back(n);
     }
   }
+  (void)args.value("cert-dir", spec.cert_dir);
   std::string json_path;
   const bool write_json = args.value("json", json_path);
 

@@ -21,6 +21,8 @@
 ///   --memory N               disturbance memory r      (default 2)
 ///   --energy cost|kappa      R2 energy mode            (default cost)
 ///   --workers N              grid workers, 0 = auto    (default 0)
+///   --cert-dir DIR           certificate cache (cert::Store) for the
+///                            per-worker plant builds
 ///   --out DIR                agent output directory    (default .)
 ///   --json PATH              write the JSON document
 ///   --list                   list plants/scenarios and exit
@@ -62,8 +64,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: oic_train [--plant a,b] [--scenario a,b] [--seeds a,b]\n"
         "                 [--episodes N] [--steps N] [--memory N]\n"
-        "                 [--energy cost|kappa] [--workers N] [--out DIR]\n"
-        "                 [--json PATH] [--list]\n");
+        "                 [--energy cost|kappa] [--workers N] [--cert-dir DIR]\n"
+        "                 [--out DIR] [--json PATH] [--list]\n");
     print_registry(registry);
     return 0;
   }
@@ -118,6 +120,7 @@ int main(int argc, char** argv) {
       spec.seeds.push_back(n);
     }
   }
+  (void)args.value("cert-dir", spec.cert_dir);
   std::string out_dir = ".";
   (void)args.value("out", out_dir);
   std::string json_path;
@@ -145,8 +148,8 @@ int main(int argc, char** argv) {
                 jobs.size(), spec.trainer.episodes, spec.trainer.steps_per_episode,
                 spec.trainer.memory, spec.workers, out_dir.c_str());
 
-    const TrainGridResult result =
-        oic::train::train_grid_parallel(registry, jobs, spec.trainer, spec.workers);
+    const TrainGridResult result = oic::train::train_grid_parallel(
+        registry, jobs, spec.trainer, spec.workers, spec.cert_dir);
 
     std::vector<std::string> agent_paths;
     agent_paths.reserve(jobs.size());
