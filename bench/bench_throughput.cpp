@@ -41,6 +41,7 @@
 #include "common/stats.hpp"
 #include "core/policy.hpp"
 #include "eval/registry.hpp"
+#include "mc/campaign.hpp"
 #include "rl/dqn.hpp"
 
 namespace {
@@ -192,6 +193,70 @@ CertBenchResult bench_cert_cold_start() {
   return out;
 }
 
+/// Monte-Carlo campaign bench: randomized-scenario episode throughput
+/// through the blocked streaming engine (src/mc), serial vs sharded, with
+/// the worker-count bit-identity contract checked on the full statistics.
+struct McBenchResult {
+  std::uint64_t episodes = 0;  ///< episode runs per campaign (incl. baseline)
+  double serial_s = 0.0;
+  double parallel_s = 0.0;
+  double parallel_episodes_per_s = 0.0;
+  double step_ns = 0.0;
+  bool bit_identical = true;
+  bool violations = false;
+};
+
+McBenchResult bench_mc_campaign(std::uint64_t episodes, std::size_t steps,
+                                std::size_t workers) {
+  oic::mc::CampaignSpec spec;
+  spec.plants = {"toy2d"};
+  spec.families = {"mixed"};
+  spec.policies = {"bang-bang", "periodic-5"};
+  spec.episodes = episodes;
+  spec.steps = steps;
+  spec.seed = 20200406;
+  spec.block = 64;
+
+  const auto& registry = oic::eval::ScenarioRegistry::builtin();
+  McBenchResult out;
+
+  spec.workers = 1;
+  auto t0 = Clock::now();
+  const auto serial = oic::mc::run_campaign(registry, spec);
+  out.serial_s = seconds_since(t0);
+
+  spec.workers = workers;
+  t0 = Clock::now();
+  const auto parallel = oic::mc::run_campaign(registry, spec);
+  out.parallel_s = seconds_since(t0);
+
+  out.episodes = parallel.episodes;
+  out.parallel_episodes_per_s = parallel.episodes_per_s();
+  out.step_ns = parallel.step_ns();
+  out.violations = serial.safety_violations || parallel.safety_violations;
+
+  const auto same = [](const oic::mc::PolicyStats& a, const oic::mc::PolicyStats& b) {
+    const auto welford_eq = [](const oic::Welford& x, const oic::Welford& y) {
+      return x.count() == y.count() && x.mean() == y.mean() && x.m2() == y.m2() &&
+             (x.count() == 0 || (x.min() == y.min() && x.max() == y.max()));
+    };
+    return a.violations == b.violations && a.episodes == b.episodes &&
+           welford_eq(a.saving, b.saving) && welford_eq(a.cost, b.cost) &&
+           welford_eq(a.skipped, b.skipped);
+  };
+  out.bit_identical = serial.cells.size() == parallel.cells.size();
+  for (std::size_t c = 0; out.bit_identical && c < serial.cells.size(); ++c) {
+    const auto& sa = serial.cells[c];
+    const auto& pa = parallel.cells[c];
+    out.bit_identical = same(sa.baseline, pa.baseline) &&
+                        sa.policies.size() == pa.policies.size();
+    for (std::size_t p = 0; out.bit_identical && p < sa.policies.size(); ++p) {
+      out.bit_identical = same(sa.policies[p], pa.policies[p]);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,6 +386,20 @@ int main(int argc, char** argv) {
   std::printf("loaded certificates bit-identical to synthesis: %s\n\n",
               cert.bit_identical ? "yes" : "NO (BUG!)");
 
+  // ---- Monte-Carlo campaign: randomized-scenario throughput ----
+  const std::uint64_t mc_episodes =
+      std::max<std::uint64_t>(1, benchutil::flag(argc, argv, "mc-episodes", 200));
+  std::printf("=== MC campaign: randomized scenarios, streaming stats ===\n");
+  const McBenchResult mc = bench_mc_campaign(mc_episodes, steps, workers);
+  std::printf("serial     : %8.2f s   |   parallel: %8.2f s (%zu workers)\n",
+              mc.serial_s, mc.parallel_s, workers);
+  std::printf("throughput : %8.1f episodes/s  |  %9.0f ns/step (parallel)\n",
+              mc.parallel_episodes_per_s, mc.step_ns);
+  std::printf("stats bit-identical across worker counts: %s\n",
+              mc.bit_identical ? "yes" : "NO (BUG!)");
+  std::printf("campaign safety violations: %s\n\n",
+              mc.violations ? "YES (BUG!)" : "none");
+
   // ---- JSON ----
   const char* json_path = json_flag(argc, argv);
   bool json_written = false;
@@ -356,6 +435,14 @@ int main(int argc, char** argv) {
                  "\"load_ms\": %.3f, \"speedup\": %.1f, \"bit_identical\": %s},\n",
                  cert.plants, cert.synth_ms, cert.load_ms, cert.speedup,
                  cert.bit_identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"mc_campaign\": {\"episodes\": %llu, \"serial_s\": %.3f, "
+                 "\"parallel_s\": %.3f, \"episodes_per_s\": %.1f, "
+                 "\"step_ns\": %.1f, \"bit_identical\": %s, \"violations\": %s},\n",
+                 static_cast<unsigned long long>(mc.episodes), mc.serial_s,
+                 mc.parallel_s, mc.parallel_episodes_per_s, mc.step_ns,
+                 mc.bit_identical ? "true" : "false",
+                 mc.violations ? "true" : "false");
     std::fprintf(f, "  \"safety_violations\": %s\n", violation ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -365,8 +452,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not write %s\n", json_path);
   }
 
-  return (identical && train_identical && cert.bit_identical && !violation &&
-          json_written)
+  return (identical && train_identical && cert.bit_identical && mc.bit_identical &&
+          !mc.violations && !violation && json_written)
              ? 0
              : 1;
 }

@@ -23,11 +23,18 @@ Also enforces the semantic invariants every bench document shares:
   * "cert_cold_start", when present, must report bit_identical == true
     (a loaded certificate must reproduce fresh synthesis exactly) and a
     speedup >= 1 over at least one plant (the cache must never be slower
-    than synthesizing).
+    than synthesizing);
+  * "mc_campaign" (bench_throughput's Monte-Carlo section), when present,
+    must report bit_identical == true (campaign statistics must not depend
+    on the worker count) and violations == false;
+  * "campaign" (an oic_mc document), when present, must report at least
+    one aggregated episode, and every results[] entry must carry
+    violation_ci95 intervals with 0 <= lo <= hi <= 1 and hi > lo for the
+    baseline and every policy (the CI widths are the point of a campaign).
 
 The CI bench-smoke job runs this over (committed BENCH_throughput.json,
 fresh smoke output); the train-smoke job uses --self on the oic_train and
-oic_eval documents.
+oic_eval documents; the mc-smoke job uses --self on the oic_mc document.
 """
 
 import json
@@ -89,6 +96,37 @@ def check_semantics(candidate, errors):
     train = candidate.get("train_minibatch")
     if train is not None and train.get("bit_identical") is not True:
         errors.append("train_minibatch.bit_identical: must be true")
+
+    mc = candidate.get("mc_campaign")
+    if mc is not None:
+        if mc.get("bit_identical") is not True:
+            errors.append("mc_campaign.bit_identical: must be true (campaign "
+                          "stats must not depend on the worker count)")
+        if mc.get("violations") is not False:
+            errors.append("mc_campaign.violations: must be false (Theorem 1)")
+
+    campaign = candidate.get("campaign")
+    if campaign is not None:
+        episodes = campaign.get("episodes")
+        if not isinstance(episodes, int) or isinstance(episodes, bool) \
+                or episodes < 1:
+            errors.append("campaign.episodes: must be a positive integer")
+        for i, cell in enumerate(candidate.get("results") or []):
+            entries = [("baseline", cell.get("baseline"))] + \
+                [(f"policies[{j}]", p) for j, p in
+                 enumerate(cell.get("policies") or [])]
+            for label, entry in entries:
+                path = f"results[{i}].{label}"
+                if not isinstance(entry, dict):
+                    errors.append(f"{path}: missing stats object")
+                    continue
+                ci = entry.get("violation_ci95")
+                if not (isinstance(ci, list) and len(ci) == 2 and
+                        all(isinstance(v, (int, float)) and
+                            not isinstance(v, bool) for v in ci) and
+                        0.0 <= ci[0] <= ci[1] <= 1.0 and ci[1] > ci[0]):
+                    errors.append(f"{path}.violation_ci95: must be a "
+                                  f"[lo, hi] interval with 0 <= lo < hi <= 1")
 
     cert = candidate.get("cert_cold_start")
     if cert is not None:

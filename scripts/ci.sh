@@ -6,7 +6,7 @@
 #
 #   scripts/ci.sh [--compiler gcc|clang] [--config Release|Sanitize]
 #                 [--build-dir DIR] [--build-only] [--bench-only]
-#                 [--train-only] [--cert-only] [--format-only]
+#                 [--train-only] [--cert-only] [--mc-only] [--format-only]
 #
 #   build+test   configure with -Werror, build everything, ctest
 #   bench smoke  scripts/bench.sh --quick + JSON schema check against the
@@ -17,6 +17,11 @@
 #   cert smoke   oic_cert synth -> verify over the registry, then oic_eval
 #                --cert-dir reuses the cache (including a burst:<k> policy);
 #                the sweep JSON passes check_bench_json.py --self
+#   mc smoke     a tiny oic_mc campaign run twice: interrupted slices
+#                resuming a checkpoint vs one uninterrupted reference; the
+#                statistics must be bit-identical, and the campaign JSON
+#                (violation-rate Wilson CIs included) passes
+#                check_bench_json.py --self
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/
 #                tools/ (blocking; skipped with a warning when clang-format
 #                is absent)
@@ -34,6 +39,7 @@ do_build=1
 do_bench=1
 do_train=1
 do_cert=1
+do_mc=1
 do_format=1
 
 while [[ $# -gt 0 ]]; do
@@ -44,11 +50,12 @@ while [[ $# -gt 0 ]]; do
     --config=*) config="${1#*=}"; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --build-dir=*) build_dir="${1#*=}"; shift ;;
-    --build-only) do_bench=0; do_train=0; do_cert=0; do_format=0; shift ;;
-    --bench-only) do_build=0; do_train=0; do_cert=0; do_format=0; shift ;;
-    --train-only) do_build=0; do_bench=0; do_cert=0; do_format=0; shift ;;
-    --cert-only) do_build=0; do_bench=0; do_train=0; do_format=0; shift ;;
-    --format-only) do_build=0; do_bench=0; do_train=0; do_cert=0; shift ;;
+    --build-only) do_bench=0; do_train=0; do_cert=0; do_mc=0; do_format=0; shift ;;
+    --bench-only) do_build=0; do_train=0; do_cert=0; do_mc=0; do_format=0; shift ;;
+    --train-only) do_build=0; do_bench=0; do_cert=0; do_mc=0; do_format=0; shift ;;
+    --cert-only) do_build=0; do_bench=0; do_train=0; do_mc=0; do_format=0; shift ;;
+    --mc-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_format=0; shift ;;
+    --format-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0; shift ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -127,6 +134,41 @@ if [[ ${do_cert} -eq 1 ]]; then
     --cert-dir "${certs_dir}" --json "${smoke_build}/EVAL_cert_smoke.json"
   python3 "${repo_root}/scripts/check_bench_json.py" --self \
     "${smoke_build}/EVAL_cert_smoke.json"
+fi
+
+if [[ ${do_mc} -eq 1 ]]; then
+  echo "=== mc smoke: oic_mc campaign, checkpoint resume == uninterrupted ==="
+  smoke_build="${repo_root}/build"
+  cmake -B "${smoke_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${smoke_build}" --target oic_mc -j"$(nproc)"
+  mc_dir="${smoke_build}/ci-mc"
+  rm -rf "${mc_dir}"
+  mkdir -p "${mc_dir}"
+  mc_args=(--plants toy2d --families bursts,mixed --policies bang-bang,periodic-5
+           --episodes 48 --steps 40 --block 8 --cert-dir "${mc_dir}/certs")
+  # Uninterrupted reference...
+  "${smoke_build}/oic_mc" "${mc_args[@]}" --workers 2 \
+    --json "${mc_dir}/MC_ref.json"
+  # ...vs two interrupted slices resuming the checkpoint (different worker
+  # counts on purpose: neither slicing nor sharding may change the stats).
+  "${smoke_build}/oic_mc" "${mc_args[@]}" --workers 1 --checkpoint-blocks 2 \
+    --max-blocks 5 --checkpoint "${mc_dir}/mc.ck"
+  "${smoke_build}/oic_mc" "${mc_args[@]}" --workers 3 --checkpoint-blocks 2 \
+    --checkpoint "${mc_dir}/mc.ck" --json "${mc_dir}/MC_resumed.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self "${mc_dir}/MC_ref.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${mc_dir}/MC_resumed.json"
+  python3 - "${mc_dir}/MC_ref.json" "${mc_dir}/MC_resumed.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+for doc in (a, b):  # drop timing / execution-only fields
+    doc["campaign"] = None
+    doc["config"]["workers"] = doc["config"]["checkpoint"] = None
+if a != b:
+    sys.exit("mc smoke: resumed campaign statistics differ from the "
+             "uninterrupted reference")
+print("mc smoke: checkpoint-resumed statistics are bit-identical")
+EOF
 fi
 
 if [[ ${do_format} -eq 1 ]]; then

@@ -6,6 +6,7 @@
 
 #include "cert/io.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "control/lqr.hpp"
 
 namespace oic::cert {
@@ -16,29 +17,10 @@ using poly::HPolytope;
 
 namespace {
 
-/// FNV-1a 64 accumulator.  Doubles are hashed by their exact bit pattern,
-/// so two models hash equal iff every number is identical bit for bit --
-/// the same strictness the golden-load guarantee is phrased in.
-class Fnv1a {
+/// The shared FNV-1a core (common/hash.hpp) extended with the linalg
+/// aggregates certificates are made of.
+class Fnv1a : public oic::Fnv1a {
  public:
-  void bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      h_ ^= p[i];
-      h_ *= 0x100000001b3ull;
-    }
-  }
-  void str(const std::string& s) {
-    const std::size_t n = s.size();
-    bytes(&n, sizeof n);
-    bytes(s.data(), s.size());
-  }
-  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
-  void f64(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof bits);
-    u64(bits);
-  }
   void vec(const Vector& v) {
     u64(v.size());
     for (std::size_t i = 0; i < v.size(); ++i) f64(v[i]);
@@ -54,10 +36,6 @@ class Fnv1a {
     mat(p.a());
     vec(p.b());
   }
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = 0xcbf29ce484222325ull;
 };
 
 void expect_line_tag(std::istream& is, const char* tag, const char* what) {

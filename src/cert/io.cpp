@@ -1,5 +1,6 @@
 #include "cert/io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <iomanip>
@@ -40,6 +41,12 @@ double read_value(std::istream& is, const char* what) {
   double v = 0.0;
   if (!(is >> v)) {
     throw NumericalError(std::string("cert::io: truncated ") + what + " payload");
+  }
+  // No synthesized artifact is ever non-finite; a nan/inf token is a
+  // corrupted or hand-edited file.  (istream extraction of such tokens is
+  // implementation-defined -- reject explicitly rather than rely on it.)
+  if (!std::isfinite(v)) {
+    throw NumericalError(std::string("cert::io: non-finite ") + what + " value");
   }
   return v;
 }

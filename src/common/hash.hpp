@@ -1,0 +1,43 @@
+#pragma once
+/// \file hash.hpp
+/// FNV-1a 64 accumulator shared by the certificate content hash
+/// (cert/certificate.cpp) and the Monte-Carlo campaign spec fingerprint
+/// (mc/campaign.cpp).  Doubles hash by their exact bit pattern, so two
+/// inputs hash equal iff every number is identical bit for bit -- the
+/// strictness both the golden-load guarantee and the checkpoint-resume
+/// guard are phrased in.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace oic {
+
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  /// Length-prefixed, so concatenations cannot collide ("ab","c" vs "a","bc").
+  void str(const std::string& s) {
+    const std::size_t n = s.size();
+    bytes(&n, sizeof n);
+    bytes(s.data(), s.size());
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace oic

@@ -4,6 +4,19 @@
 
 namespace oic {
 
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed + index * 0x9e3779b97f4a7c15ull;
+  return splitmix64(state);
+}
+
 double Rng::uniform(double lo, double hi) {
   OIC_REQUIRE(lo <= hi, "uniform: lo must not exceed hi");
   std::uniform_real_distribution<double> dist(lo, hi);
@@ -37,14 +50,10 @@ std::vector<double> Rng::uniform_box(const std::vector<double>& lo,
 }
 
 Rng Rng::split() {
-  // Two draws feed a splitmix-style mix so children are decorrelated from
-  // both the parent stream and each other.
-  std::uint64_t a = engine_();
-  std::uint64_t b = engine_();
-  std::uint64_t z = a + 0x9e3779b97f4a7c15ull + (b << 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return Rng(z ^ (z >> 31));
+  // Children come from the parent's dedicated splitmix64 stream (see the
+  // header comment): finalized outputs make grandchild seeds of adjacent
+  // children independent, and the sampling engine stays untouched.
+  return Rng(splitmix64(stream_state_));
 }
 
 }  // namespace oic

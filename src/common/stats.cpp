@@ -42,6 +42,87 @@ double median(const std::vector<double>& xs) {
   return 0.5 * (s[n / 2 - 1] + s[n / 2]);
 }
 
+Welford::Welford(std::uint64_t n, double mean, double m2, double min, double max)
+    : n_(n), mean_(n ? mean : 0.0), m2_(n ? m2 : 0.0) {
+  OIC_REQUIRE(m2 >= 0.0 || n == 0, "Welford: m2 must be non-negative");
+  if (n_ > 0) {
+    OIC_REQUIRE(min <= max, "Welford: min must not exceed max");
+    min_ = min;
+    max_ = max;
+  }
+}
+
+void Welford::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double d = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += d * nb / n;
+  m2_ += other.m2_ + d * d * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Welford::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+double Welford::min() const {
+  OIC_REQUIRE(n_ > 0, "Welford::min: empty accumulator");
+  return min_;
+}
+
+double Welford::max() const {
+  OIC_REQUIRE(n_ > 0, "Welford::max: empty accumulator");
+  return max_;
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  OIC_REQUIRE(trials > 0, "wilson_interval: need at least one trial");
+  OIC_REQUIRE(successes <= trials, "wilson_interval: successes exceed trials");
+  OIC_REQUIRE(z > 0.0, "wilson_interval: z must be positive");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return Interval{std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Interval normal_interval(const Welford& w, double z) {
+  OIC_REQUIRE(w.count() > 0, "normal_interval: empty accumulator");
+  OIC_REQUIRE(z > 0.0, "normal_interval: z must be positive");
+  const double half =
+      w.count() < 2 ? 0.0
+                    : z * w.stddev() / std::sqrt(static_cast<double>(w.count()));
+  return Interval{w.mean() - half, w.mean() + half};
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   OIC_REQUIRE(hi > lo, "Histogram: hi must exceed lo");

@@ -1,9 +1,14 @@
 #pragma once
 /// \file stats.hpp
 /// Small statistics helpers used by the benchmark harnesses to aggregate
-/// per-case results into the rows/series the paper reports.
+/// per-case results into the rows/series the paper reports, plus the
+/// streaming estimators (Welford accumulators, Wilson / normal confidence
+/// intervals) behind the Monte-Carlo campaign layer -- campaigns run
+/// millions of episodes in constant memory, so nothing here stores
+/// samples.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +28,74 @@ double max_of(const std::vector<double>& xs);
 
 /// Median (average of middle pair for even sizes); throws on empty sample.
 double median(const std::vector<double>& xs);
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm):
+/// numerically stable single-pass updates, O(1) state, and an exact-shape
+/// merge (Chan's pairwise formula) so sharded campaign workers can
+/// aggregate per-block and combine deterministically.  The campaign
+/// checkpoint format serializes the raw state, so the restore constructor
+/// must reproduce an accumulator bit for bit.
+class Welford {
+ public:
+  Welford() = default;
+
+  /// Restore from serialized state (checkpoint resume).  `m2` is the sum
+  /// of squared deviations; for n == 0 the min/max arguments are ignored.
+  Welford(std::uint64_t n, double mean, double m2, double min, double max);
+
+  /// Add one sample.
+  void add(double x);
+
+  /// Fold another accumulator into this one.  The result equals what a
+  /// single accumulator over (this stream, then other's stream) would hold
+  /// up to floating-point association; a fixed merge order makes campaign
+  /// results a pure function of the block partition.
+  void merge(const Welford& other);
+
+  std::uint64_t count() const { return n_; }
+  /// Mean; 0 for an empty accumulator.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  /// sqrt(variance()).
+  double stddev() const;
+  /// Smallest / largest sample; throw PreconditionError when empty.
+  double min() const;
+  double max() const;
+  /// Raw sum of squared deviations (checkpoint serialization).
+  double m2() const { return m2_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A closed confidence interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double width() const { return hi - lo; }
+};
+
+/// Two-sided standard-normal quantile for 95% coverage (z_{0.975}).
+inline constexpr double kZ95 = 1.959963984540054;
+
+/// Wilson score interval for a binomial proportion: `successes` out of
+/// `trials`, normal quantile `z`.  Well-behaved at the boundaries the
+/// campaign layer cares about -- zero observed violations still yields a
+/// strictly positive upper bound of order z^2 / n, which is the honest
+/// "no violations seen over N episodes" statement.  Throws
+/// PreconditionError when trials == 0 or successes > trials.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = kZ95);
+
+/// Normal-approximation interval for the mean of a Welford accumulator:
+/// mean +/- z * stddev / sqrt(n).  Degenerates to [mean, mean] for n < 2.
+/// Throws PreconditionError when the accumulator is empty.
+Interval normal_interval(const Welford& w, double z = kZ95);
 
 /// A fixed-width histogram over [lo, hi) with uniform bins, matching the
 /// bucketed presentation of the paper's Figure 4 (e.g. 0-10 %, 10-20 %, ...).

@@ -103,6 +103,23 @@ class PlantCase {
   }
 };
 
+/// Envelope of a plant's scalar scenario signal, registered alongside the
+/// fixed scenario catalogue: the hard range the signal may take (the ACC's
+/// front-vehicle speed window, a crosswind's +/- w_max).  The Monte-Carlo
+/// layer (src/mc) synthesizes randomized scenario families inside this
+/// band without knowing the plant concretely -- a profile generated
+/// within the band maps to in-bounds disturbances through the plant's
+/// signal_to_w, so every sampled scenario respects the certificate's W.
+/// (Family spectra are drawn in *steps*, so no time scale is needed here:
+/// per-step generation is invariant to the plant's physical period.)
+struct SignalBand {
+  double lo = 0.0;  ///< smallest signal value scenarios may emit
+  double hi = 0.0;  ///< largest signal value scenarios may emit
+
+  double center() const { return 0.5 * (lo + hi); }
+  double halfwidth() const { return 0.5 * (hi - lo); }
+};
+
 /// One experiment configuration: a named disturbance-signal generator.
 /// Experiments clone and reseed the profile prototype per test case.
 struct Scenario {

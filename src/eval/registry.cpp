@@ -51,6 +51,8 @@ PlantInfo acc_info() {
   for (int i = 1; i <= 10; ++i) info.scenario_ids.push_back("Ex." + std::to_string(i));
   info.scenario_ids.push_back("Jam");
   info.make_scenario = make_acc_scenario;
+  const acc::AccParams p;
+  info.signal_band = {p.vf_min, p.vf_max};
   return info;
 }
 
@@ -92,6 +94,8 @@ PlantInfo lane_keep_info() {
   info.make_model = [] { return LaneKeepCase::model(); };
   info.scenario_ids = {"sine", "rough", "gusts", "white"};
   info.make_scenario = make_lane_keep_scenario;
+  const LaneKeepParams p;
+  info.signal_band = {-p.w_max, p.w_max};
   return info;
 }
 
@@ -136,6 +140,8 @@ PlantInfo quad_alt_info() {
   // scenario id cover both plants symmetrically.
   info.scenario_ids = {"sine", "rough", "gusts", "white"};
   info.make_scenario = make_quad_alt_scenario;
+  const QuadAltParams p;
+  info.signal_band = {-p.w_max, p.w_max};
   return info;
 }
 
@@ -170,6 +176,8 @@ PlantInfo toy2d_info() {
   info.make_model = [] { return Toy2dCase::model(); };
   info.scenario_ids = {"sine", "white"};
   info.make_scenario = make_toy2d_scenario;
+  const Toy2dParams p;
+  info.signal_band = {-p.w_max, p.w_max};
   return info;
 }
 
@@ -187,6 +195,9 @@ void ScenarioRegistry::add(PlantInfo info) {
               "ScenarioRegistry::add: scenario factory required");
   OIC_REQUIRE(!info.scenario_ids.empty(),
               "ScenarioRegistry::add: plant '" + info.id + "' lists no scenarios");
+  OIC_REQUIRE(info.signal_band.hi > info.signal_band.lo,
+              "ScenarioRegistry::add: plant '" + info.id +
+                  "' needs a non-degenerate signal band");
   plants_.push_back(std::move(info));
 }
 

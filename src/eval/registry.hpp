@@ -37,6 +37,9 @@ struct PlantInfo {
   std::vector<std::string> scenario_ids;
   /// Builds one scenario by id; must succeed for every id in scenario_ids.
   std::function<Scenario(const std::string& scenario_id)> make_scenario;
+  /// The plant's scalar-signal envelope: what the Monte-Carlo campaign
+  /// layer samples randomized scenario families within (mc::ScenarioFamily).
+  SignalBand signal_band;
 };
 
 /// Ordered plant catalogue with by-id lookup.

@@ -90,6 +90,25 @@ std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec) {
       "' (known: always-run, bang-bang, periodic-N, burst:<k>, drl:<path>)");
 }
 
+void require_policies_trained_for(const std::vector<std::string>& policy_specs,
+                                  const std::vector<std::string>& plant_ids,
+                                  const char* who) {
+  for (const auto& pspec : policy_specs) {
+    const std::string drl = "drl:";
+    if (pspec.rfind(drl, 0) != 0) continue;
+    const std::string trained_on =
+        rl::load_agent_header_file(pspec.substr(drl.size())).plant;
+    if (trained_on.empty()) continue;
+    for (const auto& pid : plant_ids) {
+      OIC_REQUIRE(pid == trained_on,
+                  std::string(who) + ": policy '" + pspec +
+                      "' was trained on plant '" + trained_on +
+                      "' but the grid includes plant '" + pid +
+                      "' (restrict the plants or retrain)");
+    }
+  }
+}
+
 PolicySetFactory make_policy_factory(const std::vector<std::string>& specs) {
   OIC_REQUIRE(!specs.empty(), "make_policy_factory: need at least one policy");
   for (const auto& s : specs) (void)make_policy(s);  // validate before any plant build
@@ -145,21 +164,10 @@ SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
   // registry id it was trained on (the oic-agent header), and deploying it
   // on another plant would silently compare meaningless decisions even
   // when the state dimensions happen to match.  Reject the grid up front
-  // (the factory above already vetted that every file loads); agents
-  // without provenance (empty plant tag) are let through.
-  for (const auto& pspec : spec.policies) {
-    const std::string drl = "drl:";
-    if (pspec.rfind(drl, 0) != 0) continue;
-    const std::string trained_on =
-        rl::load_agent_header_file(pspec.substr(drl.size())).plant;
-    if (trained_on.empty()) continue;
-    for (const auto& [pid, scenario_ids] : grid) {
-      OIC_REQUIRE(pid == trained_on,
-                  "run_sweep: policy '" + pspec + "' was trained on plant '" +
-                      trained_on + "' but the sweep includes plant '" + pid +
-                      "' (restrict --plant or retrain)");
-    }
-  }
+  // (the factory above already vetted that every file loads).
+  std::vector<std::string> grid_plants;
+  for (const auto& [pid, scenario_ids] : grid) grid_plants.push_back(pid);
+  require_policies_trained_for(spec.policies, grid_plants, "run_sweep");
 
   // Certificate cache: with --cert-dir every plant build resolves its
   // offline artifacts through the store (load on hit, synthesize-and-write

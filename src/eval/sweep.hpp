@@ -73,6 +73,15 @@ std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec);
 /// eagerly, so bad CLI input fails before any plant is built).
 PolicySetFactory make_policy_factory(const std::vector<std::string>& specs);
 
+/// Reject grids that would deploy a plant-specific trained agent on other
+/// plants: every `drl:<path>` spec whose agent header carries provenance
+/// (a non-empty plant tag) pins the whole grid to that plant; agents
+/// without provenance pass.  Shared by the sweep and campaign drivers so
+/// the rule cannot drift.  `who` prefixes the error message.
+void require_policies_trained_for(const std::vector<std::string>& policy_specs,
+                                  const std::vector<std::string>& plant_ids,
+                                  const char* who);
+
 /// Run the grid.  Plants are built once each and reused across their
 /// scenarios and seeds; each cell is a compare_policies_parallel call, so
 /// cell results are bit-identical to the serial harness for any worker

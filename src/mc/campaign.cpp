@@ -1,0 +1,559 @@
+#include "mc/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "cert/store.hpp"
+#include "common/buildinfo.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/jsonout.hpp"
+#include "common/parallel.hpp"
+#include "eval/engine.hpp"
+#include "eval/sweep.hpp"
+
+namespace oic::mc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Resolved campaign grid: plant-major (plant, family) cells.
+struct Grid {
+  std::vector<std::string> plants;
+  std::vector<std::string> families;
+  std::size_t cells() const { return plants.size() * families.size(); }
+};
+
+Grid resolve_grid(const eval::ScenarioRegistry& registry, const CampaignSpec& spec) {
+  Grid grid;
+  grid.plants = spec.plants.empty() ? registry.plant_ids() : spec.plants;
+  OIC_REQUIRE(!grid.plants.empty(), "run_campaign: registry is empty");
+  for (const auto& pid : grid.plants) (void)registry.plant(pid);  // typo check
+  grid.families = spec.families.empty() ? standard_family_ids() : spec.families;
+  // Families are band-generic; validate the ids once against any band.
+  const eval::SignalBand& band = registry.plant(grid.plants.front()).signal_band;
+  for (const auto& fid : grid.families) (void)family_by_id(band, fid);
+  return grid;
+}
+
+void check_token(const std::string& s, const char* what) {
+  OIC_REQUIRE(!s.empty() && s.find_first_of(" \t\n\r") == std::string::npos,
+              std::string("mc checkpoint: ") + what +
+                  " must be a non-empty whitespace-free token, got '" + s + "'");
+}
+
+void write_welford(std::ostream& os, const Welford& w) {
+  os << ' ' << w.count() << ' ' << w.mean() << ' ' << w.m2();
+  if (w.count() > 0) {
+    os << ' ' << w.min() << ' ' << w.max();
+  } else {
+    os << " 0 0";
+  }
+}
+
+Welford read_welford(std::istream& is) {
+  std::uint64_t n = 0;
+  double mean = 0.0, m2 = 0.0, lo = 0.0, hi = 0.0;
+  if (!(is >> n >> mean >> m2 >> lo >> hi)) {
+    throw NumericalError("mc checkpoint: truncated accumulator");
+  }
+  // Same discipline as cert::io / rl::serialize: no legitimate
+  // accumulator state is non-finite, and istream acceptance of
+  // "nan"/"inf" tokens is implementation-defined -- reject explicitly so
+  // a corrupted checkpoint cannot poison resumed statistics.
+  if (!std::isfinite(mean) || !std::isfinite(m2) || !std::isfinite(lo) ||
+      !std::isfinite(hi)) {
+    throw NumericalError("mc checkpoint: non-finite accumulator value");
+  }
+  return Welford(n, mean, m2, lo, hi);
+}
+
+void write_policy_stats(std::ostream& os, const PolicyStats& ps) {
+  check_token(ps.name, "policy name");
+  os << "stats " << ps.name << ' ' << ps.episodes << ' ' << ps.violations << ' '
+     << ps.left_x_episodes;
+  write_welford(os, ps.saving);
+  write_welford(os, ps.cost);
+  write_welford(os, ps.skipped);
+  os << '\n';
+}
+
+PolicyStats read_policy_stats(std::istream& is) {
+  std::string tag;
+  PolicyStats ps;
+  if (!(is >> tag) || tag != "stats" || !(is >> ps.name)) {
+    throw NumericalError("mc checkpoint: expected a stats line");
+  }
+  if (!(is >> ps.episodes >> ps.violations >> ps.left_x_episodes)) {
+    throw NumericalError("mc checkpoint: truncated stats counters");
+  }
+  OIC_REQUIRE(ps.violations <= ps.episodes && ps.left_x_episodes <= ps.violations,
+              "mc checkpoint: inconsistent violation counters");
+  ps.saving = read_welford(is);
+  ps.cost = read_welford(is);
+  ps.skipped = read_welford(is);
+  return ps;
+}
+
+/// Accumulate one baseline episode result.
+void add_baseline(PolicyStats& ps, const eval::EpisodeResult& r) {
+  ps.cost.add(r.fuel);
+  ps.skipped.add(static_cast<double>(r.skipped));
+  if (r.left_x || r.left_xi) ++ps.violations;
+  if (r.left_x) ++ps.left_x_episodes;
+  ++ps.episodes;
+}
+
+/// Accumulate one policy episode result (paired against `base`).
+void add_policy(PolicyStats& ps, const eval::EpisodeResult& base,
+                const eval::EpisodeResult& r) {
+  ps.saving.add(eval::fuel_saving(base, r));
+  ps.cost.add(r.fuel);
+  ps.skipped.add(static_cast<double>(r.skipped));
+  if (r.left_x || r.left_xi) ++ps.violations;
+  if (r.left_x) ++ps.left_x_episodes;
+  ++ps.episodes;
+}
+
+void merge_cell(CellStats& into, const CellStats& block) {
+  into.baseline.merge(block.baseline);
+  OIC_CHECK(into.policies.size() == block.policies.size(),
+            "merge_cell: policy count drifted");
+  for (std::size_t p = 0; p < into.policies.size(); ++p) {
+    into.policies[p].merge(block.policies[p]);
+  }
+}
+
+/// Per-worker evaluation context: one policy set plus one EpisodeEngine
+/// per policy (and the always-run baseline).  Engine construction runs
+/// the nesting-verification LPs and drl:<path> policies re-read their
+/// agent file, so contexts are built lazily per worker slot and reused
+/// across every round of a cell -- engines reset all carried state per
+/// run, which is exactly the bit-parity contract that makes reuse safe.
+struct WorkerCtx {
+  std::vector<std::unique_ptr<core::SkipPolicy>> policies;
+  core::AlwaysRunPolicy baseline;
+  eval::EpisodeEngine base_engine;
+  std::vector<std::unique_ptr<eval::EpisodeEngine>> engines;
+
+  WorkerCtx(const eval::PlantCase& plant, const eval::PolicySetFactory& factory,
+            std::size_t num_policies)
+      : policies(factory()), base_engine(plant, baseline) {
+    OIC_REQUIRE(policies.size() == num_policies,
+                "run_campaign: policy factory is not stable");
+    engines.reserve(policies.size());
+    for (auto& p : policies) {
+      engines.push_back(std::make_unique<eval::EpisodeEngine>(plant, *p));
+    }
+  }
+};
+
+/// Emit one Welford + CI group: {"mean":, "stddev":, "min":, "max":,
+/// "ci95": [lo, hi]}.
+void append_welford_json(std::string& out, const Welford& w) {
+  using jsonout::append_format;
+  append_format(out, "{\"mean\": %.17g, \"stddev\": %.17g, ", w.mean(), w.stddev());
+  append_format(out, "\"min\": %.17g, \"max\": %.17g, ", w.min(), w.max());
+  const Interval ci = normal_interval(w);
+  append_format(out, "\"ci95\": [%.17g, %.17g]}", ci.lo, ci.hi);
+}
+
+/// Emit the violation counters + Wilson interval fields shared by the
+/// baseline and policy objects.
+void append_violation_json(std::string& out, const PolicyStats& ps) {
+  using jsonout::append_format;
+  append_format(out, "\"violations\": %llu, \"left_x_episodes\": %llu, ",
+                static_cast<unsigned long long>(ps.violations),
+                static_cast<unsigned long long>(ps.left_x_episodes));
+  const Interval wilson = wilson_interval(ps.violations, ps.episodes);
+  append_format(out, "\"violation_rate\": %.17g, \"violation_ci95\": [%.17g, %.17g]",
+                ps.violation_rate(), wilson.lo, wilson.hi);
+}
+
+}  // namespace
+
+void PolicyStats::merge(const PolicyStats& other) {
+  OIC_CHECK(name == other.name, "PolicyStats::merge: policy name mismatch");
+  saving.merge(other.saving);
+  cost.merge(other.cost);
+  skipped.merge(other.skipped);
+  violations += other.violations;
+  left_x_episodes += other.left_x_episodes;
+  episodes += other.episodes;
+}
+
+std::uint64_t spec_fingerprint(const eval::ScenarioRegistry& registry,
+                               const CampaignSpec& spec) {
+  const Grid grid = resolve_grid(registry, spec);
+  Fnv1a h;
+  h.str("oic-mc");
+  h.u64(spec.seed);
+  h.u64(spec.episodes);
+  h.u64(spec.steps);
+  h.u64(spec.block);
+  h.u64(grid.plants.size());
+  for (const auto& pid : grid.plants) h.str(pid);
+  h.u64(grid.families.size());
+  for (const auto& fid : grid.families) h.str(fid);
+  h.u64(spec.policies.size());
+  for (const auto& p : spec.policies) h.str(p);
+  return h.value();
+}
+
+void save_checkpoint(const Checkpoint& ck, std::ostream& os) {
+  os << "oic-mc-checkpoint v1\n";
+  os << std::setprecision(17);
+  os << "fingerprint " << ck.fingerprint << '\n';
+  os << "cells " << ck.cells.size() << '\n';
+  for (const auto& cell : ck.cells) {
+    check_token(cell.plant, "plant id");
+    check_token(cell.family, "family id");
+    os << "cell " << cell.plant << ' ' << cell.family << ' ' << cell.blocks_done
+       << ' ' << cell.episodes << ' ' << cell.policies.size() << '\n';
+    write_policy_stats(os, cell.baseline);
+    for (const auto& ps : cell.policies) write_policy_stats(os, ps);
+  }
+  os << "end\n";
+  if (!os) throw NumericalError("save_checkpoint: stream write failed");
+}
+
+Checkpoint load_checkpoint(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  if (!is || magic != "oic-mc-checkpoint" || version != "v1") {
+    throw NumericalError("load_checkpoint: bad magic/version header");
+  }
+  std::string tag;
+  Checkpoint ck;
+  if (!(is >> tag >> ck.fingerprint) || tag != "fingerprint") {
+    throw NumericalError("load_checkpoint: missing fingerprint");
+  }
+  std::size_t cells = 0;
+  if (!(is >> tag >> cells) || tag != "cells" || cells > 65536) {
+    throw NumericalError("load_checkpoint: bad cell count");
+  }
+  for (std::size_t c = 0; c < cells; ++c) {
+    CellStats cell;
+    std::size_t policies = 0;
+    if (!(is >> tag) || tag != "cell" ||
+        !(is >> cell.plant >> cell.family >> cell.blocks_done >> cell.episodes >>
+          policies) ||
+        policies > 256) {
+      throw NumericalError("load_checkpoint: bad cell header");
+    }
+    cell.baseline = read_policy_stats(is);
+    for (std::size_t p = 0; p < policies; ++p) {
+      cell.policies.push_back(read_policy_stats(is));
+    }
+    ck.cells.push_back(std::move(cell));
+  }
+  if (!(is >> tag) || tag != "end") {
+    throw NumericalError("load_checkpoint: truncated document (missing end)");
+  }
+  return ck;
+}
+
+void save_checkpoint_file(const Checkpoint& ck, const std::string& path) {
+  // Temp-file rename, so a crash mid-write never destroys the previous
+  // resumable state (the same discipline as cert::Store::persist).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) throw NumericalError("save_checkpoint_file: cannot open " + tmp);
+    save_checkpoint(ck, os);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw NumericalError("save_checkpoint_file: rename to " + path + " failed: " +
+                         ec.message());
+  }
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NumericalError("load_checkpoint_file: cannot open " + path);
+  return load_checkpoint(is);
+}
+
+CampaignResult run_campaign(const eval::ScenarioRegistry& registry,
+                            const CampaignSpec& spec) {
+  OIC_REQUIRE(spec.episodes >= 1, "run_campaign: need at least one episode");
+  OIC_REQUIRE(spec.steps >= 1, "run_campaign: need at least one step");
+  OIC_REQUIRE(spec.block >= 1, "run_campaign: need a positive block size");
+  OIC_REQUIRE(spec.checkpoint_blocks >= 1,
+              "run_campaign: need a positive checkpoint cadence");
+  // A block budget without a checkpoint would throw the executed work
+  // away and report partial statistics as a finished campaign.
+  OIC_REQUIRE(spec.max_blocks == 0 || !spec.checkpoint.empty(),
+              "run_campaign: max_blocks without a checkpoint discards the "
+              "executed blocks; set spec.checkpoint to make slices resumable");
+
+  const Grid grid = resolve_grid(registry, spec);
+  const eval::PolicySetFactory factory = eval::make_policy_factory(spec.policies);
+  const std::size_t num_policies = spec.policies.size();
+
+  // Trained agents are plant-specific: a drl:<path> policy with
+  // provenance pins the whole grid to its plant (shared rule with
+  // eval::run_sweep).
+  eval::require_policies_trained_for(spec.policies, grid.plants, "run_campaign");
+
+  // Policy display names, probed once (block accumulators and restored
+  // checkpoints must agree on them).
+  std::vector<std::string> policy_names;
+  {
+    const auto probe = factory();
+    for (const auto& p : probe) policy_names.push_back(p->name());
+  }
+
+  std::unique_ptr<cert::Store> store;
+  cert::Provider provider;
+  if (!spec.cert_dir.empty()) {
+    store = std::make_unique<cert::Store>(spec.cert_dir);
+    provider = store->provider();
+  }
+
+  const std::uint64_t fingerprint = spec_fingerprint(registry, spec);
+  Checkpoint restored;
+  bool have_checkpoint = false;
+  if (!spec.checkpoint.empty() && std::filesystem::exists(spec.checkpoint)) {
+    restored = load_checkpoint_file(spec.checkpoint);
+    OIC_REQUIRE(restored.fingerprint == fingerprint,
+                "run_campaign: checkpoint '" + spec.checkpoint +
+                    "' belongs to a different campaign (fingerprint mismatch); "
+                    "delete it or fix the spec");
+    have_checkpoint = true;
+  }
+
+  const std::uint64_t total_blocks = (spec.episodes + spec.block - 1) / spec.block;
+
+  CampaignResult out;
+  const auto t0 = Clock::now();
+  std::unique_ptr<eval::PlantCase> plant;
+  std::string plant_built;
+  std::size_t cell_index = 0;
+  std::uint64_t blocks_budget_used = 0;
+  bool stopped = false;
+  for (const auto& pid : grid.plants) {
+    const eval::PlantInfo& info = registry.plant(pid);
+    for (const auto& fid : grid.families) {
+      const ScenarioFamily family = family_by_id(info.signal_band, fid);
+      CellStats cell;
+      if (have_checkpoint && cell_index < restored.cells.size()) {
+        cell = restored.cells[cell_index];
+        OIC_REQUIRE(cell.plant == pid && cell.family == fid &&
+                        cell.policies.size() == num_policies,
+                    "run_campaign: checkpoint cell grid mismatch");
+        for (std::size_t p = 0; p < num_policies; ++p) {
+          OIC_REQUIRE(cell.policies[p].name == policy_names[p],
+                      "run_campaign: checkpoint policy set mismatch");
+        }
+        out.resumed_blocks += cell.blocks_done;
+      } else {
+        cell.plant = pid;
+        cell.family = fid;
+        cell.baseline.name = "always-run";
+        cell.policies.resize(num_policies);
+        for (std::size_t p = 0; p < num_policies; ++p) {
+          cell.policies[p].name = policy_names[p];
+        }
+      }
+
+      const std::uint64_t cell_seed = derive_stream(spec.seed, cell_index);
+      // Worker slots for this cell, built lazily once the plant exists
+      // and reused across rounds (slot == chunk index; a round never
+      // assigns one slot to two concurrent chunks).
+      std::vector<std::unique_ptr<WorkerCtx>> worker_ctxs(
+          spec.workers ? spec.workers
+                       : std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+      while (!stopped && cell.blocks_done < total_blocks) {
+        if (plant_built != pid) {
+          plant = info.make_plant(provider);
+          plant_built = pid;
+        }
+        // A round is what runs before the next checkpoint write: all
+        // remaining blocks when checkpointing is off.  The per-process
+        // block budget (max_blocks) caps it further.
+        std::uint64_t round = total_blocks - cell.blocks_done;
+        if (!spec.checkpoint.empty()) {
+          round = std::min(round, spec.checkpoint_blocks);
+        }
+        if (spec.max_blocks > 0) {
+          OIC_CHECK(spec.max_blocks > blocks_budget_used,
+                    "run_campaign: block budget accounting drifted");
+          round = std::min(round, spec.max_blocks - blocks_budget_used);
+        }
+        const std::uint64_t first_block = cell.blocks_done;
+
+        // Per-block partial accumulators, merged in block order below:
+        // the block is the floating-point association unit, so results
+        // cannot depend on the worker partition.
+        std::vector<CellStats> blocks(round);
+        run_chunked(
+            static_cast<std::size_t>(round), spec.workers,
+            [&](std::size_t chunk, std::size_t b0, std::size_t b1) {
+              OIC_CHECK(chunk < worker_ctxs.size(),
+                        "run_campaign: chunk index exceeds worker slots");
+              if (!worker_ctxs[chunk]) {
+                worker_ctxs[chunk] =
+                    std::make_unique<WorkerCtx>(*plant, factory, num_policies);
+              }
+              WorkerCtx& ctx = *worker_ctxs[chunk];
+              eval::EpisodeEngine& base_engine = ctx.base_engine;
+              auto& engines = ctx.engines;
+              for (std::size_t b = b0; b < b1; ++b) {
+                CellStats& acc = blocks[b];
+                acc.baseline.name = "always-run";
+                acc.policies.resize(num_policies);
+                for (std::size_t p = 0; p < num_policies; ++p) {
+                  acc.policies[p].name = policy_names[p];
+                }
+                const std::uint64_t e0 = (first_block + b) * spec.block;
+                const std::uint64_t e1 = std::min(spec.episodes, e0 + spec.block);
+                for (std::uint64_t e = e0; e < e1; ++e) {
+                  // The episode stream is a pure function of
+                  // (seed, cell, episode); scenario parameters and the
+                  // case realization both come from it.
+                  Rng ep_rng(derive_stream(cell_seed, e));
+                  const eval::Scenario scenario = family.sample(ep_rng);
+                  const eval::CaseData data =
+                      eval::make_case(*plant, scenario, ep_rng, spec.steps);
+                  const eval::EpisodeResult base = base_engine.run(data);
+                  add_baseline(acc.baseline, base);
+                  for (std::size_t p = 0; p < num_policies; ++p) {
+                    add_policy(acc.policies[p], base, engines[p]->run(data));
+                  }
+                }
+              }
+            });
+        for (std::uint64_t b = 0; b < round; ++b) {
+          merge_cell(cell, blocks[static_cast<std::size_t>(b)]);
+          out.episodes_run +=
+              blocks[static_cast<std::size_t>(b)].baseline.episodes *
+              (num_policies + 1);
+        }
+        cell.blocks_done += round;
+        cell.episodes = cell.baseline.episodes;
+        blocks_budget_used += round;
+
+        if (!spec.checkpoint.empty()) {
+          Checkpoint ck;
+          ck.fingerprint = fingerprint;
+          ck.cells = out.cells;  // completed cells so far
+          ck.cells.push_back(cell);
+          save_checkpoint_file(ck, spec.checkpoint);
+        }
+        if (spec.max_blocks > 0 && blocks_budget_used >= spec.max_blocks) {
+          stopped = true;
+        }
+      }
+      out.cells.push_back(std::move(cell));
+      ++cell_index;
+      if (stopped) break;
+    }
+    if (stopped) break;
+  }
+  out.wall_s = seconds_since(t0);
+  out.total_steps = out.episodes_run * spec.steps;
+  for (const auto& cell : out.cells) {
+    out.episodes += cell.baseline.episodes;
+    out.safety_violations = out.safety_violations || cell.baseline.violations > 0;
+    for (const auto& ps : cell.policies) {
+      out.episodes += ps.episodes;
+      out.safety_violations = out.safety_violations || ps.violations > 0;
+    }
+  }
+  return out;
+}
+
+std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result) {
+  using jsonout::append_format;
+  using jsonout::append_string;
+  using jsonout::append_string_array;
+
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"oic_mc\",\n";
+  out += "  \"meta\": " + build_meta_json() + ",\n";
+
+  append_format(out,
+                "  \"config\": {\"episodes\": %llu, \"steps\": %zu, "
+                "\"workers\": %zu, \"block\": %llu, ",
+                static_cast<unsigned long long>(spec.episodes), spec.steps,
+                spec.workers, static_cast<unsigned long long>(spec.block));
+  out += "\"policies\": ";
+  append_string_array(out, spec.policies);
+  append_format(out, ", \"seed\": %llu, \"plants\": ",
+                static_cast<unsigned long long>(spec.seed));
+  append_string_array(out, spec.plants);
+  out += ", \"families\": ";
+  append_string_array(out, spec.families);
+  out += ", \"cert_dir\": ";
+  append_string(out, spec.cert_dir);
+  out += ", \"checkpoint\": ";
+  append_string(out, spec.checkpoint);
+  out += "},\n";
+
+  append_format(out,
+                "  \"campaign\": {\"wall_s\": %.6f, \"episodes\": %llu, "
+                "\"episodes_run\": %llu, \"episodes_per_s\": %.3f, "
+                "\"step_ns\": %.1f, \"cells\": %zu, \"resumed_blocks\": %llu},\n",
+                result.wall_s, static_cast<unsigned long long>(result.episodes),
+                static_cast<unsigned long long>(result.episodes_run),
+                result.episodes_per_s(), result.step_ns(), result.cells.size(),
+                static_cast<unsigned long long>(result.resumed_blocks));
+
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellStats& cell = result.cells[i];
+    out += "    {\"plant\": ";
+    append_string(out, cell.plant);
+    out += ", \"family\": ";
+    append_string(out, cell.family);
+    append_format(out, ", \"episodes\": %llu,\n",
+                  static_cast<unsigned long long>(cell.episodes));
+    out += "     \"baseline\": {\"cost\": ";
+    append_welford_json(out, cell.baseline.cost);
+    out += ", ";
+    append_violation_json(out, cell.baseline);
+    out += "},\n     \"policies\": [\n";
+    for (std::size_t p = 0; p < cell.policies.size(); ++p) {
+      const PolicyStats& ps = cell.policies[p];
+      out += "      {\"name\": ";
+      append_string(out, ps.name);
+      append_format(out, ", \"episodes\": %llu, \"saving\": ",
+                    static_cast<unsigned long long>(ps.episodes));
+      append_welford_json(out, ps.saving);
+      out += ", \"cost\": ";
+      append_welford_json(out, ps.cost);
+      out += ", \"skipped\": ";
+      append_welford_json(out, ps.skipped);
+      out += ", ";
+      append_violation_json(out, ps);
+      out += (p + 1 < cell.policies.size()) ? "},\n" : "}\n";
+    }
+    out += (i + 1 < result.cells.size()) ? "    ]},\n" : "    ]}\n";
+  }
+  out += "  ],\n";
+  append_format(out, "  \"safety_violations\": %s\n",
+                result.safety_violations ? "true" : "false");
+  out += "}\n";
+  return out;
+}
+
+}  // namespace oic::mc

@@ -1,0 +1,143 @@
+#include "mc/family.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace oic::mc {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Draw `count` sine components whose amplitudes sum to `budget`:
+/// unnormalized weights first, then one scale, so relative shapes and the
+/// total excursion are independent draws.  Periods span 8..120 steps --
+/// from near the skip-policy's reaction time to several episode lengths.
+std::vector<SineComponent> draw_sines(Rng& rng, int count, double budget) {
+  std::vector<double> weights;
+  double total = 0.0;
+  for (int i = 0; i < count; ++i) {
+    weights.push_back(rng.uniform(0.2, 1.0));
+    total += weights.back();
+  }
+  std::vector<SineComponent> sines;
+  for (int i = 0; i < count; ++i) {
+    SineComponent s;
+    s.amplitude = budget * weights[static_cast<std::size_t>(i)] / total;
+    s.omega = kTwoPi / rng.uniform(8.0, 120.0);
+    s.phase = rng.uniform(0.0, kTwoPi);
+    sines.push_back(s);
+  }
+  return sines;
+}
+
+}  // namespace
+
+ScenarioFamily::ScenarioFamily(std::string id, std::string description,
+                               FamilyKind kind, eval::SignalBand band)
+    : id_(std::move(id)),
+      description_(std::move(description)),
+      kind_(kind),
+      band_(band) {
+  OIC_REQUIRE(!id_.empty(), "ScenarioFamily: empty id");
+  OIC_REQUIRE(band_.hi > band_.lo, "ScenarioFamily: degenerate signal band");
+}
+
+eval::Scenario ScenarioFamily::sample(Rng& rng) const {
+  const double h = band_.halfwidth();
+  MixtureParams p;
+  p.label = id_;
+  p.center = band_.center();
+  p.lo = band_.lo;
+  p.hi = band_.hi;
+
+  // Each kind draws its parameters in a fixed order (determinism contract;
+  // see header).  Magnitudes are fractions of the halfwidth, so the same
+  // family stresses the ACC's 10 m/s speed window and a 0.5 m/s^2 gust
+  // band proportionally.
+  switch (kind_) {
+    case FamilyKind::kSineMix: {
+      const int count = rng.uniform_int(1, 3);
+      const double budget = 0.85 * h * rng.uniform(0.5, 1.0);
+      p.sines = draw_sines(rng, count, budget);
+      p.noise_gain = h * rng.uniform(0.05, 0.15);
+      p.noise_alpha = rng.uniform(0.4, 0.9);
+      break;
+    }
+    case FamilyKind::kFilteredNoise: {
+      p.noise_gain = h * rng.uniform(0.5, 1.0);
+      p.noise_alpha = rng.uniform(0.7, 0.98);
+      break;
+    }
+    case FamilyKind::kBursts: {
+      p.sines = draw_sines(rng, 1, 0.2 * h * rng.uniform(0.3, 1.0));
+      p.noise_gain = h * rng.uniform(0.02, 0.08);
+      p.noise_alpha = rng.uniform(0.4, 0.8);
+      p.burst_rate = rng.uniform(0.01, 0.06);
+      p.burst_len_min = 3;
+      p.burst_len_max = static_cast<std::size_t>(rng.uniform_int(6, 20));
+      p.burst_amp = h * rng.uniform(0.4, 0.8);
+      break;
+    }
+    case FamilyKind::kRamps: {
+      p.noise_gain = h * rng.uniform(0.02, 0.08);
+      p.noise_alpha = rng.uniform(0.4, 0.8);
+      p.ramp_rate = rng.uniform(0.02, 0.08);
+      p.ramp_span = h * rng.uniform(0.5, 0.9);
+      p.ramp_slew = h * rng.uniform(0.03, 0.12);
+      break;
+    }
+    case FamilyKind::kMixed: {
+      const int count = rng.uniform_int(1, 2);
+      p.sines = draw_sines(rng, count, 0.4 * h * rng.uniform(0.4, 1.0));
+      p.noise_gain = h * rng.uniform(0.1, 0.3);
+      p.noise_alpha = rng.uniform(0.6, 0.95);
+      p.burst_rate = rng.uniform(0.005, 0.03);
+      p.burst_len_min = 3;
+      p.burst_len_max = static_cast<std::size_t>(rng.uniform_int(6, 15));
+      p.burst_amp = h * rng.uniform(0.2, 0.4);
+      p.ramp_rate = rng.uniform(0.01, 0.05);
+      p.ramp_span = 0.3 * h;
+      p.ramp_slew = 0.05 * h;
+      break;
+    }
+  }
+  return eval::Scenario(id_, description_, std::make_unique<MixtureProfile>(p));
+}
+
+std::vector<std::string> standard_family_ids() {
+  return {"sine-mix", "filtered-noise", "bursts", "ramps", "mixed"};
+}
+
+std::vector<ScenarioFamily> standard_families(const eval::SignalBand& band) {
+  return {
+      ScenarioFamily("sine-mix", "bounded mixture of 1..3 sines + light noise",
+                     FamilyKind::kSineMix, band),
+      ScenarioFamily("filtered-noise", "one-pole filtered white noise over the band",
+                     FamilyKind::kFilteredNoise, band),
+      ScenarioFamily("bursts", "quiet base + random constant-offset bursts",
+                     FamilyKind::kBursts, band),
+      ScenarioFamily("ramps", "slew-limited walk between random targets",
+                     FamilyKind::kRamps, band),
+      ScenarioFamily("mixed", "moderated superposition of all family shapes",
+                     FamilyKind::kMixed, band),
+  };
+}
+
+ScenarioFamily family_by_id(const eval::SignalBand& band, const std::string& id) {
+  for (auto& fam : standard_families(band)) {
+    if (fam.id() == id) return fam;
+  }
+  std::string known;
+  for (const auto& fid : standard_family_ids()) {
+    if (!known.empty()) known += ", ";
+    known += fid;
+  }
+  throw PreconditionError("unknown scenario family '" + id + "' (known: " + known +
+                          ")");
+}
+
+}  // namespace oic::mc

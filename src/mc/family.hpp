@@ -1,0 +1,71 @@
+#pragma once
+/// \file family.hpp
+/// Parameterized random scenario families.
+///
+/// A fixed scenario (eval::Scenario) is one disturbance-signal generator;
+/// a ScenarioFamily is a *distribution over scenarios*: sample() draws a
+/// fresh parameter vector (sine mixture shapes, noise filters, burst and
+/// ramp statistics) from the caller's Rng and returns a concrete Scenario
+/// whose MixtureProfile realizes it.  Campaigns derive one Rng child
+/// stream per episode (common/random.hpp derive_stream), sample a
+/// scenario, then realize it -- so a million-episode campaign explores a
+/// million distinct workloads and is still fully determined by one seed.
+///
+/// Families are plant-generic: they are synthesized from the signal band
+/// (eval::SignalBand) every registry plant registers alongside its fixed
+/// scenario catalogue, so any plant supports the standard family ids
+/// ("sine-mix", "filtered-noise", "bursts", "ramps", "mixed") without
+/// plant-specific code.
+
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "eval/plant.hpp"
+#include "mc/profile.hpp"
+
+namespace oic::mc {
+
+/// The standard family shapes (see sample() for the parameter ranges).
+enum class FamilyKind {
+  kSineMix,        ///< 1..3 bounded sines + light filtered noise
+  kFilteredNoise,  ///< one-pole filtered white noise over the band
+  kBursts,         ///< quiet base signal + random constant-offset bursts
+  kRamps,          ///< slew-limited walk between random targets
+  kMixed,          ///< moderated superposition of all of the above
+};
+
+/// A named distribution over scenarios inside one plant's signal band.
+class ScenarioFamily {
+ public:
+  ScenarioFamily(std::string id, std::string description, FamilyKind kind,
+                 eval::SignalBand band);
+
+  const std::string& id() const { return id_; }
+  const std::string& description() const { return description_; }
+  FamilyKind kind() const { return kind_; }
+  const eval::SignalBand& band() const { return band_; }
+
+  /// Draw one concrete scenario.  All parameter randomness comes from
+  /// `rng` (a fixed draw order per kind), so a sample is a pure function
+  /// of the rng state -- the campaign reproducibility contract.
+  eval::Scenario sample(Rng& rng) const;
+
+ private:
+  std::string id_;
+  std::string description_;
+  FamilyKind kind_;
+  eval::SignalBand band_;
+};
+
+/// The standard family ids, in catalogue order.
+std::vector<std::string> standard_family_ids();
+
+/// The standard catalogue instantiated for one plant's band.
+std::vector<ScenarioFamily> standard_families(const eval::SignalBand& band);
+
+/// One standard family by id; throws PreconditionError for unknown ids
+/// (message lists the known ones -- the CLI surfaces it verbatim).
+ScenarioFamily family_by_id(const eval::SignalBand& band, const std::string& id);
+
+}  // namespace oic::mc

@@ -1,0 +1,92 @@
+#include "mc/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oic::mc {
+
+MixtureProfile::MixtureProfile(MixtureParams params) : params_(std::move(params)) {
+  const MixtureParams& p = params_;
+  OIC_REQUIRE(p.hi > p.lo, "MixtureProfile: hi must exceed lo");
+  OIC_REQUIRE(p.center >= p.lo && p.center <= p.hi,
+              "MixtureProfile: center must lie inside [lo, hi]");
+  for (const auto& s : p.sines) {
+    OIC_REQUIRE(s.amplitude >= 0.0 && s.omega >= 0.0,
+                "MixtureProfile: sine amplitude/omega must be non-negative");
+  }
+  OIC_REQUIRE(p.noise_gain >= 0.0, "MixtureProfile: noise gain must be non-negative");
+  OIC_REQUIRE(p.noise_alpha >= 0.0 && p.noise_alpha < 1.0,
+              "MixtureProfile: noise alpha must be in [0, 1)");
+  OIC_REQUIRE(p.burst_rate >= 0.0 && p.burst_rate <= 1.0,
+              "MixtureProfile: burst rate must be a probability");
+  OIC_REQUIRE(p.burst_rate == 0.0 ||
+                  (p.burst_len_min >= 1 && p.burst_len_min <= p.burst_len_max),
+              "MixtureProfile: burst length bounds must satisfy 1 <= min <= max");
+  OIC_REQUIRE(p.burst_amp >= 0.0, "MixtureProfile: burst amplitude must be "
+                                  "non-negative");
+  OIC_REQUIRE(p.ramp_rate >= 0.0 && p.ramp_rate <= 1.0,
+              "MixtureProfile: ramp rate must be a probability");
+  OIC_REQUIRE(p.ramp_span >= 0.0 && p.ramp_slew >= 0.0,
+              "MixtureProfile: ramp span/slew must be non-negative");
+}
+
+void MixtureProfile::reset(Rng rng) {
+  rng_ = rng;
+  t_ = 0;
+  noise_state_ = 0.0;
+  burst_left_ = 0;
+  burst_offset_ = 0.0;
+  ramp_offset_ = 0.0;
+  ramp_target_ = 0.0;
+}
+
+double MixtureProfile::next() {
+  const MixtureParams& p = params_;
+  double v = p.center;
+  const double t = static_cast<double>(t_);
+  for (const auto& s : p.sines) v += s.amplitude * std::sin(s.omega * t + s.phase);
+
+  // One-pole low-pass over uniform white noise; the filter state stays in
+  // [-1, 1], so the term is bounded by noise_gain.
+  if (p.noise_gain > 0.0) {
+    const double u = rng_.uniform(-1.0, 1.0);
+    noise_state_ = p.noise_alpha * noise_state_ + (1.0 - p.noise_alpha) * u;
+    v += p.noise_gain * noise_state_;
+  }
+
+  // Bursts: a Bernoulli arrival starts a constant offset of random sign
+  // held for a random number of steps.
+  if (p.burst_rate > 0.0) {
+    if (burst_left_ == 0 && rng_.bernoulli(p.burst_rate)) {
+      burst_left_ = static_cast<std::size_t>(rng_.uniform_int(
+          static_cast<int>(p.burst_len_min), static_cast<int>(p.burst_len_max)));
+      burst_offset_ = rng_.bernoulli(0.5) ? p.burst_amp : -p.burst_amp;
+    }
+    if (burst_left_ > 0) {
+      v += burst_offset_;
+      --burst_left_;
+    }
+  }
+
+  // Ramps: a slew-limited walk toward occasionally re-drawn targets.
+  if (p.ramp_rate > 0.0) {
+    if (rng_.bernoulli(p.ramp_rate)) {
+      ramp_target_ = rng_.uniform(-p.ramp_span, p.ramp_span);
+    }
+    const double dv =
+        std::clamp(ramp_target_ - ramp_offset_, -p.ramp_slew, p.ramp_slew);
+    ramp_offset_ += dv;
+    v += ramp_offset_;
+  }
+
+  ++t_;
+  return std::clamp(v, p.lo, p.hi);
+}
+
+std::unique_ptr<sim::VelocityProfile> MixtureProfile::clone() const {
+  return std::make_unique<MixtureProfile>(*this);
+}
+
+}  // namespace oic::mc

@@ -1,0 +1,84 @@
+#pragma once
+/// \file profile.hpp
+/// The randomized-campaign signal generator: one profile whose parameter
+/// vector spans everything the scenario families need -- bounded sine
+/// mixtures, one-pole filtered white noise, burst overlays, and
+/// slew-limited ramp walks -- so a single class realizes every family and
+/// arbitrary mixtures of them.
+///
+/// The split of randomness mirrors the prototype-clone-reset contract of
+/// the fixed sim:: profiles: a ScenarioFamily *samples the parameters*
+/// (amplitudes, frequencies, rates) from its own Rng child stream, while
+/// the per-episode Rng passed to reset() drives only the stochastic
+/// realization (noise draws, burst arrivals, ramp retargets).  A
+/// realization is therefore a pure function of (parameters, reset seed).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "sim/profile.hpp"
+
+namespace oic::mc {
+
+/// One bounded sinusoid: amplitude * sin(omega * t + phase), t in steps.
+struct SineComponent {
+  double amplitude = 0.0;
+  double omega = 0.0;
+  double phase = 0.0;
+};
+
+/// Full parameter vector of a MixtureProfile.  Every term is additive on
+/// top of `center` and the sum is clipped to [lo, hi], so any parameter
+/// draw yields a signal that respects the plant's registered band.
+struct MixtureParams {
+  std::string label = "mixture";  ///< diagnostic name (family id)
+  double center = 0.0;            ///< signal operating point
+  double lo = 0.0;                ///< hard clip range (the plant's band)
+  double hi = 0.0;
+
+  std::vector<SineComponent> sines;  ///< bounded sine mixture
+
+  double noise_gain = 0.0;   ///< filtered-white-noise amplitude
+  double noise_alpha = 0.0;  ///< one-pole low-pass coefficient in [0, 1)
+
+  double burst_rate = 0.0;        ///< per-step burst start probability
+  std::size_t burst_len_min = 0;  ///< burst duration bounds [steps]
+  std::size_t burst_len_max = 0;
+  double burst_amp = 0.0;  ///< burst offset magnitude (sign drawn per burst)
+
+  double ramp_rate = 0.0;  ///< per-step retarget probability
+  double ramp_span = 0.0;  ///< ramp targets drawn in [-span, span]
+  double ramp_slew = 0.0;  ///< max ramp-offset change per step
+};
+
+/// sim::VelocityProfile over a MixtureParams (see file comment).
+class MixtureProfile final : public sim::VelocityProfile {
+ public:
+  /// Validates the parameter vector (lo < hi, center inside, coefficients
+  /// in range); throws PreconditionError on nonsense.
+  explicit MixtureProfile(MixtureParams params);
+
+  void reset(Rng rng) override;
+  double next() override;
+  std::string name() const override { return params_.label; }
+  std::unique_ptr<sim::VelocityProfile> clone() const override;
+  double v_min() const override { return params_.lo; }
+  double v_max() const override { return params_.hi; }
+
+  const MixtureParams& params() const { return params_; }
+
+ private:
+  MixtureParams params_;
+  std::size_t t_ = 0;
+  double noise_state_ = 0.0;
+  std::size_t burst_left_ = 0;
+  double burst_offset_ = 0.0;
+  double ramp_offset_ = 0.0;
+  double ramp_target_ = 0.0;
+  Rng rng_{0};
+};
+
+}  // namespace oic::mc

@@ -1,5 +1,6 @@
 #include "rl/serialize.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -7,6 +8,32 @@
 #include "common/error.hpp"
 
 namespace oic::rl {
+
+namespace {
+
+/// Caps on parsed shapes: a corrupted or adversarial header must fail
+/// before it turns into a multi-gigabyte allocation.  Real skipping agents
+/// are a few layers of at most a few hundred units.
+constexpr std::size_t kMaxLayerSize = 4096;
+constexpr std::size_t kMaxLayers = 64;
+constexpr std::size_t kMaxMemory = 4096;
+
+/// Weight/bias/scale payload read: truncation and non-finite tokens both
+/// reject (istream behaviour on "nan"/"inf" is implementation-defined, so
+/// the finiteness check is explicit).
+double read_finite(std::istream& is, const char* what) {
+  double v = 0.0;
+  if (!(is >> v)) {
+    throw NumericalError(std::string("rl::serialize: truncated ") + what);
+  }
+  if (!std::isfinite(v)) {
+    throw NumericalError(std::string("rl::serialize: non-finite ") + what +
+                         " value");
+  }
+  return v;
+}
+
+}  // namespace
 
 void save_mlp(const Mlp& net, std::ostream& os) {
   os << "oic-mlp v1\n";
@@ -21,6 +48,11 @@ void save_mlp(const Mlp& net, std::ostream& os) {
     const auto& b = net.bias(l);
     for (std::size_t i = 0; i < b.size(); ++i) os << b[i] << '\n';
   }
+  // End sentinel: the payload length is implied by the sizes header, so
+  // without it a file truncated *inside the final value* would still
+  // parse (as a different number).  The sentinel makes every truncation
+  // detectable.
+  os << "end\n";
   if (!os) throw NumericalError("save_mlp: stream write failed");
 }
 
@@ -40,19 +72,38 @@ Mlp load_mlp(std::istream& is) {
     std::istringstream ls(line);
     std::size_t v;
     while (ls >> v) sizes.push_back(v);
+    // The whole line must be layer sizes: a stray token would silently
+    // reinterpret the network with a shorter shape.
+    std::string rest;
+    ls.clear();
+    if (ls >> rest) {
+      throw NumericalError("load_mlp: malformed sizes line near '" + rest + "'");
+    }
   }
   if (sizes.size() < 2) throw NumericalError("load_mlp: need at least two layer sizes");
+  if (sizes.size() > kMaxLayers) {
+    throw NumericalError("load_mlp: layer count exceeds " +
+                         std::to_string(kMaxLayers));
+  }
+  for (const std::size_t s : sizes) {
+    if (s < 1 || s > kMaxLayerSize) {
+      throw NumericalError("load_mlp: layer size " + std::to_string(s) +
+                           " outside [1, " + std::to_string(kMaxLayerSize) + "]");
+    }
+  }
 
   Rng dummy(0);
   Mlp net(sizes, dummy);
   for (std::size_t l = 0; l < net.num_layers(); ++l) {
     auto& w = net.weight(l);
     for (std::size_t i = 0; i < w.rows(); ++i)
-      for (std::size_t j = 0; j < w.cols(); ++j)
-        if (!(is >> w(i, j))) throw NumericalError("load_mlp: truncated weights");
+      for (std::size_t j = 0; j < w.cols(); ++j) w(i, j) = read_finite(is, "weights");
     auto& b = net.bias(l);
-    for (std::size_t i = 0; i < b.size(); ++i)
-      if (!(is >> b[i])) throw NumericalError("load_mlp: truncated biases");
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = read_finite(is, "biases");
+  }
+  std::string sentinel;
+  if (!(is >> sentinel) || sentinel != "end") {
+    throw NumericalError("load_mlp: truncated document (missing end sentinel)");
   }
   return net;
 }
@@ -87,7 +138,7 @@ AgentHeader read_agent_header(std::istream& is) {
   if (!is || tag != "plant:") throw NumericalError("load_agent: missing plant id");
   std::size_t memory = 0;
   is >> tag >> memory;
-  if (!is || tag != "memory:" || memory < 1) {
+  if (!is || tag != "memory:" || memory < 1 || memory > kMaxMemory) {
     throw NumericalError("load_agent: bad memory length");
   }
   return AgentHeader{plant == "?" ? std::string() : plant, memory};
@@ -112,7 +163,18 @@ AgentSnapshot load_agent(std::istream& is) {
     std::getline(is, line);
     std::istringstream ls(line);
     double v = 0.0;
-    while (ls >> v) scale.data().push_back(v);
+    while (ls >> v) {
+      if (!std::isfinite(v)) {
+        throw NumericalError("load_agent: non-finite scale value");
+      }
+      scale.data().push_back(v);
+    }
+    // The line must have been consumed entirely as numbers; stray tokens
+    // ("nan", a duplicated section header) are corruption, not padding.
+    std::string rest;
+    if (ls.clear(), ls >> rest) {
+      throw NumericalError("load_agent: malformed scale line near '" + rest + "'");
+    }
   }
   return AgentSnapshot{header.plant, header.memory, std::move(scale), load_mlp(is)};
 }

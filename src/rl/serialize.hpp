@@ -8,6 +8,10 @@
 ///   oic-mlp v1
 ///   sizes: n0 n1 ... nk
 ///   <weights layer 0 row-major> <biases layer 0> ... (one value per token)
+///   end
+/// The `end` sentinel makes trailing truncation detectable (the payload
+/// length is otherwise implied by the sizes header); readers reject
+/// non-finite values, zero/oversized layer sizes, and malformed headers.
 
 #include <iosfwd>
 #include <string>

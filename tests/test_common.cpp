@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "common/stats.hpp"
@@ -89,6 +92,51 @@ TEST(Rng, SplitStreamsAreIndependentButDeterministic) {
   for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(c1.uniform(0, 1), c2.uniform(0, 1));
 }
 
+TEST(Rng, SplitmixReferenceVectorsPinTheStream) {
+  // The splitmix64 outputs for state 0 are published reference values
+  // (Vigna's splitmix64.c).  Campaign checkpoints and every committed
+  // golden derived from Rng::split() depend on exactly this stream; a
+  // change here invalidates them all, so pin it hard.
+  std::uint64_t state = 0;
+  EXPECT_EQ(oic::splitmix64(state), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(oic::splitmix64(state), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(oic::splitmix64(state), 0x06c45d188009454full);
+  // derive_stream is splitmix64 evaluated at seed + (index + 1) * gamma:
+  // substream 0 of seed 0 equals the first splitmix64 output of state 0.
+  EXPECT_EQ(oic::derive_stream(0, 0), 0xe220a8397b1dcdafull);
+  EXPECT_NE(oic::derive_stream(0, 1), oic::derive_stream(0, 0));
+  EXPECT_NE(oic::derive_stream(1, 0), oic::derive_stream(0, 0));
+}
+
+TEST(Rng, SplitDoesNotPerturbTheParentDrawStream) {
+  // Splitting derives children from a dedicated splitmix64 stream; the
+  // parent's own sampling sequence must be unaffected (campaigns split
+  // once per episode and still expect the parent's draws to be stable).
+  Rng a(123), b(123);
+  (void)a.split();
+  (void)a.split();
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, AdjacentGrandchildStreamsAreDecorrelated) {
+  // The regression the splitmix64 derivation fixes: children of adjacent
+  // children must not share correlated seeds.  Draw the first value of
+  // grandchild streams across a grid of (child, grandchild) indices; all
+  // must be distinct.
+  Rng master(20200406);
+  std::vector<double> firsts;
+  for (int c = 0; c < 32; ++c) {
+    Rng child = master.split();
+    for (int g = 0; g < 4; ++g) {
+      Rng grandchild = child.split();
+      firsts.push_back(grandchild.uniform(0, 1));
+    }
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_TRUE(std::adjacent_find(firsts.begin(), firsts.end()) == firsts.end())
+      << "grandchild streams collided";
+}
+
 TEST(Rng, InvalidArgumentsThrow) {
   Rng rng(1);
   EXPECT_THROW(rng.uniform(2.0, 1.0), oic::PreconditionError);
@@ -109,6 +157,113 @@ TEST(Stats, MinMaxMedian) {
   EXPECT_DOUBLE_EQ(oic::median({3, 1, 2}), 2.0);
   EXPECT_DOUBLE_EQ(oic::median({4, 1, 2, 3}), 2.5);
   EXPECT_THROW(oic::median({}), oic::PreconditionError);
+}
+
+TEST(Welford, MatchesBatchStatisticsExactlyEnough) {
+  oic::Rng rng(5);
+  std::vector<double> xs;
+  oic::Welford w;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.uniform(-3.0, 7.0));
+    w.add(xs.back());
+  }
+  EXPECT_EQ(w.count(), 500u);
+  EXPECT_NEAR(w.mean(), oic::mean(xs), 1e-12);
+  EXPECT_NEAR(w.stddev(), oic::stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), oic::min_of(xs));
+  EXPECT_DOUBLE_EQ(w.max(), oic::max_of(xs));
+}
+
+TEST(Welford, EmptyAndSingleSampleEdges) {
+  oic::Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_THROW(w.min(), oic::PreconditionError);
+  w.add(2.5);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.5);
+  EXPECT_DOUBLE_EQ(w.max(), 2.5);
+}
+
+TEST(Welford, MergeEqualsConcatenatedStream) {
+  oic::Rng rng(9);
+  oic::Welford a, b, whole;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(1.0, 2.0);
+    (i < 37 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  // Merging an empty accumulator in either direction is the identity.
+  oic::Welford empty;
+  const double before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), before);
+  oic::Welford fresh;
+  fresh.merge(a);
+  EXPECT_EQ(fresh.count(), a.count());
+  EXPECT_DOUBLE_EQ(fresh.mean(), a.mean());
+}
+
+TEST(Welford, RestoreRoundTripsState) {
+  oic::Welford w;
+  for (double x : {1.0, 4.0, -2.0, 0.5}) w.add(x);
+  const oic::Welford restored(w.count(), w.mean(), w.m2(), w.min(), w.max());
+  EXPECT_EQ(restored.count(), w.count());
+  EXPECT_DOUBLE_EQ(restored.mean(), w.mean());
+  EXPECT_DOUBLE_EQ(restored.m2(), w.m2());
+  EXPECT_DOUBLE_EQ(restored.min(), w.min());
+  EXPECT_DOUBLE_EQ(restored.max(), w.max());
+  EXPECT_THROW(oic::Welford(2, 0.0, -1.0, 0.0, 1.0), oic::PreconditionError);
+  EXPECT_THROW(oic::Welford(2, 0.0, 1.0, 2.0, 1.0), oic::PreconditionError);
+}
+
+TEST(Intervals, WilsonKnownValuesAndEdges) {
+  // 0 successes out of n still has a strictly positive upper bound of
+  // order z^2 / n -- the "no violations observed" statement campaigns
+  // report.
+  const auto zero = oic::wilson_interval(0, 10000);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const double z2 = oic::kZ95 * oic::kZ95;
+  EXPECT_NEAR(zero.hi, z2 / (10000.0 + z2), 1e-12);  // closed form for k = 0
+  // All successes mirror to a lower bound below 1.
+  const auto all = oic::wilson_interval(10000, 10000);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  // Half: symmetric around 0.5, textbook width.
+  const auto half = oic::wilson_interval(50, 100);
+  EXPECT_NEAR(0.5 * (half.lo + half.hi), 0.5, 1e-12);
+  EXPECT_NEAR(half.hi - half.lo, 0.19, 0.01);
+  EXPECT_THROW(oic::wilson_interval(1, 0), oic::PreconditionError);
+  EXPECT_THROW(oic::wilson_interval(3, 2), oic::PreconditionError);
+}
+
+TEST(Intervals, NormalIntervalShrinksWithN) {
+  oic::Welford small, large;
+  oic::Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    if (i < 100) small.add(x);
+    large.add(x);
+  }
+  const auto ci_small = oic::normal_interval(small);
+  const auto ci_large = oic::normal_interval(large);
+  EXPECT_LT(ci_large.width(), ci_small.width());
+  EXPECT_NEAR(ci_large.width(), 2.0 * 1.96 / 100.0, 2e-3);  // 2 z sigma / sqrt(n)
+  oic::Welford one;
+  one.add(3.0);
+  const auto ci_one = oic::normal_interval(one);
+  EXPECT_DOUBLE_EQ(ci_one.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci_one.hi, 3.0);
+  EXPECT_THROW(oic::normal_interval(oic::Welford()), oic::PreconditionError);
 }
 
 TEST(Histogram, BucketsAndClamping) {

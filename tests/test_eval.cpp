@@ -171,17 +171,20 @@ TEST(NewPlants, EngineMatchesLegacyRunEpisode) {
 
 // ------------------------------------------------ ACC parity (golden values)
 
-TEST(SweepDriver, ReproducesPreLiftAccHarnessNumbers) {
-  // Golden values recorded from acc::compare_policies_parallel BEFORE the
-  // harness was lifted into src/eval (Ex.1, bang-bang + periodic-5,
-  // cases=4, steps=50, seed=20200406, workers=1).  The sweep driver -- the
-  // exact code path behind `oic_eval --plant acc --scenario Ex.1
-  // --policies bang-bang,periodic-5` -- must reproduce them bit for bit;
-  // test_engine separately pins the engine to the per-episode harness.
-  const double golden_bb[4] = {-0.053421307626973044, 0.45735969423762557,
-                               0.23359300418957221, 0.57531113816663249};
-  const double golden_p5[4] = {0.22026679762587403, 0.24831243160251873,
-                               0.12069115048650356, 0.54008771896987651};
+TEST(SweepDriver, ReproducesGoldenAccHarnessNumbers) {
+  // Golden values pinning the full sweep-driver stream (Ex.1, bang-bang +
+  // periodic-5, cases=4, steps=50, seed=20200406, workers=1) -- the exact
+  // code path behind `oic_eval --plant acc --scenario Ex.1 --policies
+  // bang-bang,periodic-5` must reproduce them bit for bit; test_engine
+  // separately pins the engine to the per-episode harness.  Re-pinned
+  // when Rng::split() moved to splitmix64 stream derivation (the case
+  // stream -- x0 draws and profile seeds -- changed with it); any further
+  // unintentional drift in sampling, dynamics, or solver behavior fails
+  // here.
+  const double golden_bb[4] = {0.7262241205374534, 0.1285438409626795,
+                               0.5876510688940016, 0.609735884535233};
+  const double golden_p5[4] = {0.42436035407122324, 0.0869432215180449,
+                               0.43116050789058047, 0.4027530005619023};
 
   oic::eval::SweepSpec spec;
   spec.plants = {"acc"};
@@ -202,7 +205,7 @@ TEST(SweepDriver, ReproducesPreLiftAccHarnessNumbers) {
     EXPECT_DOUBLE_EQ(r.savings[0][c], golden_bb[c]) << "case " << c;
     EXPECT_DOUBLE_EQ(r.savings[1][c], golden_p5[c]) << "case " << c;
   }
-  EXPECT_DOUBLE_EQ(r.mean_skipped[0], 37.75);
+  EXPECT_DOUBLE_EQ(r.mean_skipped[0], 43.25);
   EXPECT_DOUBLE_EQ(r.mean_skipped[1], 37.5);
   EXPECT_FALSE(result.safety_violations);
 }

@@ -1,0 +1,169 @@
+// Golden-trace regression corpus: one short canonical episode per registry
+// plant (x one fixed scenario), serialized at full precision into
+// tests/golden/ and byte-compared on every run.
+//
+// What this catches that the parity tests cannot: test_engine and
+// test_eval pin two *code paths* to each other, so a change that shifts
+// both paths identically -- a solver tweak, a kernel reassociation, a
+// sampling change -- sails through them.  The golden traces pin the
+// absolute state/input/skip stream of the full Algorithm-1 loop to
+// committed bytes, so any silent numeric drift anywhere in the stack
+// (linalg, LP, tube MPC, monitor, profiles, Rng) fails loudly here.
+//
+// Regenerating (after an *intentional* stream change -- say the PR-5
+// Rng::split derivation switch): run this binary with
+// OIC_GOLDEN_REGEN=1 in the environment, inspect the diff, commit.  The
+// corpus directory is injected at compile time (OIC_GOLDEN_DIR, set by
+// CMake to <repo>/tests/golden).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/random.hpp"
+#include "core/policy.hpp"
+#include "core/runner.hpp"
+#include "eval/harness.hpp"
+#include "eval/registry.hpp"
+
+namespace {
+
+using oic::Rng;
+using oic::eval::CaseData;
+using oic::eval::ScenarioRegistry;
+
+#ifndef OIC_GOLDEN_DIR
+#error "OIC_GOLDEN_DIR must point at the committed corpus (set by CMakeLists.txt)"
+#endif
+
+constexpr std::uint64_t kSeed = 0x601dc0deull;
+constexpr std::size_t kSteps = 40;
+
+/// The canonical (plant, scenario) pairs.  One scenario per plant keeps
+/// the corpus small; the scenario ids are the most structured ones so the
+/// trace exercises skips and forced runs alike.
+struct GoldenCase {
+  const char* plant;
+  const char* scenario;
+};
+constexpr GoldenCase kCases[] = {
+    {"acc", "Fig.4"},
+    {"lane-keep", "sine"},
+    {"quad-alt", "sine"},
+    {"toy2d", "sine"},
+};
+
+/// Render the full decision stream of one canonical episode: per step the
+/// state entering the period, the actuated input, the skip choice and the
+/// monitor's forced flag.  %.17g round-trips doubles exactly, so equal
+/// strings == equal bit patterns.
+std::string render_trace(const std::string& plant_id, const std::string& scenario_id) {
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+  const auto plant = registry.make_plant(plant_id);
+  const auto scenario = registry.make_scenario(plant_id, scenario_id);
+
+  Rng rng(kSeed);
+  const CaseData data = oic::eval::make_case(*plant, scenario, rng, kSteps);
+
+  oic::core::BangBangPolicy policy;
+  oic::core::IntermittentController ic(plant->system(), plant->sets(), plant->rmpc(),
+                                       policy,
+                                       make_intermittent_config(*plant, policy));
+  ic.reset();
+  plant->rmpc().reset_solver();
+
+  const std::size_t nw = plant->system().nw();
+  const auto disturbance = [&](std::size_t t) {
+    oic::linalg::Vector w(nw);
+    plant->signal_to_w(data.signal[t], w);
+    return w;
+  };
+  oic::core::RunConfig rcfg;
+  rcfg.steps = kSteps;
+  const oic::core::RunResult rr = oic::core::run_closed_loop(
+      plant->system(), ic, data.x0, disturbance, rcfg);
+
+  std::string out;
+  char buf[64];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, " %.17g", v);
+    out += buf;
+  };
+  out += "oic-golden-trace v1\n";
+  out += "plant " + plant_id + "\n";
+  out += "scenario " + scenario_id + "\n";
+  std::snprintf(buf, sizeof buf, "seed %llu steps %zu\n",
+                static_cast<unsigned long long>(kSeed), kSteps);
+  out += buf;
+  for (std::size_t t = 0; t < rr.trace.size(); ++t) {
+    const auto& step = rr.trace[t];
+    std::snprintf(buf, sizeof buf, "t %zu z %d forced %d x", t, step.z,
+                  step.forced ? 1 : 0);
+    out += buf;
+    for (std::size_t i = 0; i < step.x.size(); ++i) num(step.x[i]);
+    out += " u";
+    for (std::size_t i = 0; i < step.u.size(); ++i) num(step.u[i]);
+    out += " w";
+    num(step.disturbance);
+    out += "\n";
+  }
+  std::snprintf(buf, sizeof buf, "left_x %d left_xi %d\n", rr.left_x ? 1 : 0,
+                rr.left_xi ? 1 : 0);
+  out += buf;
+  out += "end\n";
+  return out;
+}
+
+std::string golden_path(const std::string& plant_id) {
+  // Scenario ids can contain '.' but stay filesystem-safe; plant ids are
+  // already slug-like.
+  return std::string(OIC_GOLDEN_DIR) + "/" + plant_id + ".trace";
+}
+
+TEST(GoldenTrace, EveryRegistryPlantReplaysByteExact) {
+  const bool regen = std::getenv("OIC_GOLDEN_REGEN") != nullptr;
+  for (const auto& gc : kCases) {
+    SCOPED_TRACE(gc.plant);
+    const std::string rendered = render_trace(gc.plant, gc.scenario);
+    const std::string path = golden_path(gc.plant);
+    if (regen) {
+      std::ofstream os(path, std::ios::binary);
+      ASSERT_TRUE(os) << "cannot write " << path;
+      os << rendered;
+      continue;
+    }
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is) << "missing golden file " << path
+                    << " (regenerate with OIC_GOLDEN_REGEN=1 and commit)";
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string committed = ss.str();
+    // Byte compare; on mismatch report the first differing line, which
+    // names the step where the streams diverged.
+    if (committed != rendered) {
+      std::istringstream a(committed), b(rendered);
+      std::string la, lb;
+      std::size_t line = 0;
+      while (std::getline(a, la) && std::getline(b, lb)) {
+        ++line;
+        ASSERT_EQ(la, lb) << gc.plant << ": first divergence at line " << line
+                          << " of " << path;
+      }
+      FAIL() << gc.plant << ": golden trace length changed (" << path << ")";
+    }
+  }
+}
+
+TEST(GoldenTrace, CoversTheWholeRegistry) {
+  // A new registry plant must come with a golden trace: this fails until
+  // kCases (and the corpus) grow with it.
+  const auto ids = ScenarioRegistry::builtin().plant_ids();
+  ASSERT_EQ(ids.size(), std::size(kCases));
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], kCases[i].plant);
+}
+
+}  // namespace

@@ -1,0 +1,307 @@
+// Tests for the Monte Carlo campaign layer (src/mc): scenario-family
+// determinism and band respect, the mixture profile's parameter
+// validation, campaign bit-identity across worker counts and across
+// checkpoint/resume boundaries, checkpoint format round-trip and
+// rejection, and the campaign JSON document.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "mc/campaign.hpp"
+#include "mc/family.hpp"
+#include "mc/profile.hpp"
+
+namespace {
+
+using oic::Rng;
+using oic::eval::ScenarioRegistry;
+using oic::eval::SignalBand;
+using oic::mc::CampaignResult;
+using oic::mc::CampaignSpec;
+using oic::mc::CellStats;
+using oic::mc::Checkpoint;
+using oic::mc::MixtureParams;
+using oic::mc::MixtureProfile;
+using oic::mc::PolicyStats;
+using oic::mc::ScenarioFamily;
+
+// Shared scratch directory: one certificate cache for every campaign in
+// this binary (toy2d synthesis runs once, later campaigns are
+// file-read-bound) plus checkpoint files.
+std::string scratch_dir() {
+  static const std::string dir = [] {
+    auto d = std::filesystem::temp_directory_path() / "oic-test-mc";
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d.string();
+  }();
+  return dir;
+}
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.plants = {"toy2d"};
+  spec.families = {"bursts", "ramps"};
+  spec.policies = {"bang-bang", "periodic-5"};
+  spec.episodes = 30;
+  spec.steps = 40;
+  spec.seed = 77;
+  spec.block = 8;
+  spec.workers = 1;
+  spec.cert_dir = scratch_dir() + "/certs";
+  return spec;
+}
+
+void expect_same_policy_stats(const PolicyStats& a, const PolicyStats& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.left_x_episodes, b.left_x_episodes);
+  const auto expect_same_welford = [](const oic::Welford& x, const oic::Welford& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.mean(), y.mean());
+    EXPECT_EQ(x.m2(), y.m2());
+    if (x.count() > 0 && y.count() > 0) {
+      EXPECT_EQ(x.min(), y.min());
+      EXPECT_EQ(x.max(), y.max());
+    }
+  };
+  expect_same_welford(a.saving, b.saving);
+  expect_same_welford(a.cost, b.cost);
+  expect_same_welford(a.skipped, b.skipped);
+}
+
+void expect_same_cells(const std::vector<CellStats>& a, const std::vector<CellStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].plant, b[i].plant);
+    EXPECT_EQ(a[i].family, b[i].family);
+    EXPECT_EQ(a[i].episodes, b[i].episodes);
+    expect_same_policy_stats(a[i].baseline, b[i].baseline);
+    ASSERT_EQ(a[i].policies.size(), b[i].policies.size());
+    for (std::size_t p = 0; p < a[i].policies.size(); ++p) {
+      expect_same_policy_stats(a[i].policies[p], b[i].policies[p]);
+    }
+  }
+}
+
+// ------------------------------------------------------------- families
+
+TEST(Family, SampleIsDeterministicInTheRngAndRespectsTheBand) {
+  const SignalBand band{-2.0, 6.0};
+  for (const auto& id : oic::mc::standard_family_ids()) {
+    const ScenarioFamily fam = oic::mc::family_by_id(band, id);
+    Rng r1(42), r2(42);
+    auto s1 = fam.sample(r1);
+    auto s2 = fam.sample(r2);
+    EXPECT_EQ(s1.id, id);
+    // Identical parameter draw + identical realization seed => identical
+    // signal stream, inside the band at every step.
+    s1.profile->reset(Rng(7));
+    s2.profile->reset(Rng(7));
+    for (int t = 0; t < 200; ++t) {
+      const double v1 = s1.profile->next();
+      EXPECT_DOUBLE_EQ(v1, s2.profile->next()) << id << " step " << t;
+      EXPECT_GE(v1, band.lo) << id;
+      EXPECT_LE(v1, band.hi) << id;
+    }
+    // A different parameter draw gives a different scenario (statistical
+    // smoke: first 50 steps not all equal).
+    Rng r3(43);
+    auto s3 = fam.sample(r3);
+    s3.profile->reset(Rng(7));
+    s1.profile->reset(Rng(7));
+    bool any_diff = false;
+    for (int t = 0; t < 50; ++t) {
+      any_diff = any_diff || s1.profile->next() != s3.profile->next();
+    }
+    EXPECT_TRUE(any_diff) << id;
+  }
+}
+
+TEST(Family, UnknownIdListsKnownOnes) {
+  const SignalBand band{-1.0, 1.0};
+  try {
+    (void)oic::mc::family_by_id(band, "nope");
+    FAIL() << "expected throw";
+  } catch (const oic::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("sine-mix"), std::string::npos);
+  }
+}
+
+TEST(MixtureProfile, ValidatesParameters) {
+  MixtureParams p;
+  p.lo = 1.0;
+  p.hi = -1.0;
+  EXPECT_THROW(MixtureProfile{p}, oic::PreconditionError);
+  p = {};
+  p.lo = -1.0;
+  p.hi = 1.0;
+  p.center = 5.0;
+  EXPECT_THROW(MixtureProfile{p}, oic::PreconditionError);
+  p.center = 0.0;
+  p.noise_alpha = 1.0;
+  EXPECT_THROW(MixtureProfile{p}, oic::PreconditionError);
+  p.noise_alpha = 0.5;
+  p.burst_rate = 0.1;  // burst lengths unset
+  EXPECT_THROW(MixtureProfile{p}, oic::PreconditionError);
+  p.burst_len_min = 2;
+  p.burst_len_max = 5;
+  EXPECT_NO_THROW(MixtureProfile{p});
+}
+
+// ------------------------------------------------------------- campaigns
+
+TEST(Campaign, BitIdenticalAcrossWorkerCounts) {
+  CampaignSpec spec = small_spec();
+  spec.workers = 1;
+  const CampaignResult serial = run_campaign(ScenarioRegistry::builtin(), spec);
+  spec.workers = 3;
+  const CampaignResult parallel = run_campaign(ScenarioRegistry::builtin(), spec);
+  expect_same_cells(serial.cells, parallel.cells);
+  EXPECT_FALSE(serial.safety_violations);
+  // toy2d under bang-bang/periodic must hold Theorem 1 on random families.
+  for (const auto& cell : serial.cells) {
+    for (const auto& ps : cell.policies) EXPECT_EQ(ps.violations, 0u) << ps.name;
+  }
+}
+
+TEST(Campaign, BitIdenticalAcrossCheckpointResume) {
+  const std::string ck = scratch_dir() + "/resume.ck";
+  std::filesystem::remove(ck);
+
+  CampaignSpec spec = small_spec();
+  const CampaignResult reference = run_campaign(ScenarioRegistry::builtin(), spec);
+
+  // Same campaign in three interrupted slices (budgeted blocks), resuming
+  // the checkpoint each time, with varying worker counts for good measure.
+  spec.checkpoint = ck;
+  spec.checkpoint_blocks = 1;
+  CampaignResult sliced;
+  for (int slice = 0; slice < 3; ++slice) {
+    spec.max_blocks = (slice < 2) ? 3 : 0;  // final slice runs to completion
+    spec.workers = 1 + slice;
+    sliced = run_campaign(ScenarioRegistry::builtin(), spec);
+  }
+  EXPECT_GT(sliced.resumed_blocks, 0u);
+  expect_same_cells(reference.cells, sliced.cells);
+
+  // Running again over the finished checkpoint is a no-op that still
+  // reports the full statistics.
+  spec.max_blocks = 0;
+  const CampaignResult again = run_campaign(ScenarioRegistry::builtin(), spec);
+  EXPECT_EQ(again.episodes_run, 0u);
+  expect_same_cells(reference.cells, again.cells);
+}
+
+TEST(Campaign, CheckpointRoundTripAndRejection) {
+  const std::string ck = scratch_dir() + "/roundtrip.ck";
+  std::filesystem::remove(ck);
+  CampaignSpec spec = small_spec();
+  spec.checkpoint = ck;
+  const CampaignResult result = run_campaign(ScenarioRegistry::builtin(), spec);
+
+  const Checkpoint loaded = oic::mc::load_checkpoint_file(ck);
+  EXPECT_EQ(loaded.fingerprint,
+            oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), spec));
+  expect_same_cells(loaded.cells, result.cells);
+
+  // Save/load through streams round-trips bit for bit.
+  std::stringstream ss;
+  oic::mc::save_checkpoint(loaded, ss);
+  const Checkpoint reloaded = oic::mc::load_checkpoint(ss);
+  EXPECT_EQ(reloaded.fingerprint, loaded.fingerprint);
+  expect_same_cells(reloaded.cells, loaded.cells);
+
+  // A different campaign must refuse to resume this checkpoint.
+  CampaignSpec other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_THROW(run_campaign(ScenarioRegistry::builtin(), other),
+               oic::PreconditionError);
+
+  // Fingerprint ignores execution-only knobs...
+  CampaignSpec exec = spec;
+  exec.workers = 7;
+  exec.checkpoint_blocks = 3;
+  exec.max_blocks = 5;
+  EXPECT_EQ(oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), spec),
+            oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), exec));
+  // ...but covers everything statistics-shaping.
+  CampaignSpec blocky = spec;
+  blocky.block = spec.block + 1;
+  EXPECT_NE(oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), spec),
+            oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), blocky));
+}
+
+TEST(Campaign, MalformedCheckpointsReject) {
+  const auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return oic::mc::load_checkpoint(ss);
+  };
+  EXPECT_THROW(parse(""), oic::NumericalError);
+  EXPECT_THROW(parse("oic-mc-checkpoint v2\n"), oic::NumericalError);
+  EXPECT_THROW(parse("oic-mc-checkpoint v1\nfingerprint 1\ncells 1\n"),
+               oic::NumericalError);
+  EXPECT_THROW(parse("oic-mc-checkpoint v1\nfingerprint 1\ncells 999999999\n"),
+               oic::NumericalError);
+  // A valid document truncated before the end sentinel rejects too.
+  Checkpoint ck;
+  ck.fingerprint = 42;
+  CellStats cell;
+  cell.plant = "toy2d";
+  cell.family = "bursts";
+  cell.baseline.name = "always-run";
+  cell.baseline.cost.add(1.0);
+  cell.baseline.episodes = 1;
+  ck.cells.push_back(cell);
+  std::stringstream ss;
+  oic::mc::save_checkpoint(ck, ss);
+  const std::string doc = ss.str();
+  std::stringstream truncated(doc.substr(0, doc.size() - 5));
+  EXPECT_THROW(oic::mc::load_checkpoint(truncated), oic::NumericalError);
+}
+
+TEST(Campaign, RejectsUnknownIdsAndEmptyGrids) {
+  CampaignSpec spec = small_spec();
+  spec.plants = {"warp-drive"};
+  EXPECT_THROW(run_campaign(ScenarioRegistry::builtin(), spec),
+               oic::PreconditionError);
+  spec = small_spec();
+  spec.families = {"nope"};
+  EXPECT_THROW(run_campaign(ScenarioRegistry::builtin(), spec),
+               oic::PreconditionError);
+  spec = small_spec();
+  spec.policies = {"bogus"};
+  EXPECT_THROW(run_campaign(ScenarioRegistry::builtin(), spec),
+               oic::PreconditionError);
+  spec = small_spec();
+  spec.episodes = 0;
+  EXPECT_THROW(run_campaign(ScenarioRegistry::builtin(), spec),
+               oic::PreconditionError);
+}
+
+TEST(Campaign, JsonDocumentCarriesTheStatsBlocks) {
+  CampaignSpec spec = small_spec();
+  spec.episodes = 10;
+  spec.families = {"mixed"};
+  const CampaignResult result = run_campaign(ScenarioRegistry::builtin(), spec);
+  const std::string doc = oic::mc::campaign_json(spec, result);
+  for (const char* needle :
+       {"\"bench\": \"oic_mc\"", "\"meta\"", "\"campaign\"", "\"episodes_per_s\"",
+        "\"violation_ci95\"", "\"saving\"", "\"ci95\"", "\"skipped\"",
+        "\"safety_violations\": false"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+  }
+  // CI bounds must be emitted as a two-element array with hi >= lo > -1.
+  EXPECT_NE(doc.find("\"violation_ci95\": [0, "), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,269 @@
+// Adversarial parser tests for the two text formats that cross trust
+// boundaries: safety certificates (`oic-cert v1`, cert/io +
+// cert/certificate) and serialized agents (`oic-agent v1` / `oic-mlp v1`,
+// rl/serialize).  Both are loaded from user-supplied paths (--cert-dir,
+// --policies drl:<path>), so a corrupted, truncated, or hostile file must
+// reject with a clean oic::Error -- never crash, hang, or allocate
+// unboundedly.  The whole suite runs under the CI Sanitize matrix leg, so
+// any UB a mutation provokes fails the ASan/UBSan job even when the parse
+// "succeeds".
+//
+// Beyond test_cert's example-based rejection cases, this fuzz-style
+// corpus sweeps: systematic truncations at many offsets, NaN/Inf and
+// overflow numeric fields, duplicated sections, and oversized dimension
+// headers (the allocation bombs).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "cert/io.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "eval/registry.hpp"
+#include "rl/serialize.hpp"
+
+namespace {
+
+using oic::Rng;
+
+// ---------------------------------------------------------------- corpus
+
+/// One valid certificate document (cheapest registry plant, synthesized
+/// once per binary).
+const std::string& cert_doc() {
+  static const std::string doc = [] {
+    const auto model = oic::eval::ScenarioRegistry::builtin().make_model("toy2d");
+    const auto cert = oic::cert::synthesize(model);
+    std::stringstream ss;
+    oic::cert::save_certificate(cert, ss);
+    return ss.str();
+  }();
+  return doc;
+}
+
+/// One valid agent document (tiny network, deterministic weights).
+const std::string& agent_doc() {
+  static const std::string doc = [] {
+    Rng rng(11);
+    oic::linalg::Vector scale(6);
+    for (std::size_t i = 0; i < 6; ++i) scale[i] = 0.5 + 0.1 * i;
+    oic::rl::AgentSnapshot snap{"acc", 2, std::move(scale),
+                                oic::rl::Mlp({6, 8, 2}, rng)};
+    std::stringstream ss;
+    oic::rl::save_agent(snap, ss);
+    return ss.str();
+  }();
+  return doc;
+}
+
+void expect_cert_rejects(const std::string& text, const std::string& why) {
+  std::stringstream ss(text);
+  EXPECT_THROW(oic::cert::load_certificate(ss), oic::Error) << why;
+}
+
+void expect_agent_rejects(const std::string& text, const std::string& why) {
+  std::stringstream ss(text);
+  EXPECT_THROW(oic::rl::load_agent(ss), oic::Error) << why;
+}
+
+/// Replace whitespace-separated token `index` with `repl`; returns the
+/// mutated document (or the original when there are fewer tokens).
+std::string replace_token(const std::string& doc, std::size_t index,
+                          const std::string& repl) {
+  std::size_t pos = 0, seen = 0;
+  while (pos < doc.size()) {
+    while (pos < doc.size() && std::isspace(static_cast<unsigned char>(doc[pos]))) {
+      ++pos;
+    }
+    if (pos >= doc.size()) break;
+    std::size_t end = pos;
+    while (end < doc.size() && !std::isspace(static_cast<unsigned char>(doc[end]))) {
+      ++end;
+    }
+    if (seen == index) return doc.substr(0, pos) + repl + doc.substr(end);
+    ++seen;
+    pos = end;
+  }
+  return doc;
+}
+
+bool token_is_number(const std::string& doc, std::size_t index) {
+  std::istringstream ss(replace_token(doc, index, "SENTINEL"));
+  // Cheap trick: find the original token by re-tokenizing the document.
+  std::istringstream orig(doc);
+  std::string tok;
+  for (std::size_t i = 0; i <= index; ++i) {
+    if (!(orig >> tok)) return false;
+  }
+  std::istringstream num(tok);
+  double v = 0.0;
+  return static_cast<bool>(num >> v);
+}
+
+// ------------------------------------------------------- certificates
+
+TEST(CertFuzz, ValidDocumentParses) {
+  std::stringstream ss(cert_doc());
+  EXPECT_NO_THROW(oic::cert::load_certificate(ss));
+}
+
+TEST(CertFuzz, EveryTruncationRejects) {
+  const std::string& doc = cert_doc();
+  // Any cut that loses part of the end sentinel (or anything before it)
+  // must reject; cuts beyond it only strip trailing whitespace, which is
+  // a complete document.  Stride through the body plus every byte of the
+  // tail (the last payload rows and the sentinel itself).
+  const std::size_t sentinel_end = doc.rfind("end") + 3;
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < sentinel_end; n += 13) cuts.push_back(n);
+  for (std::size_t n = sentinel_end > 64 ? sentinel_end - 64 : 0; n < sentinel_end;
+       ++n) {
+    cuts.push_back(n);
+  }
+  for (const std::size_t n : cuts) {
+    expect_cert_rejects(doc.substr(0, n),
+                        "truncation at byte " + std::to_string(n));
+  }
+}
+
+TEST(CertFuzz, NonFiniteAndOverflowFieldsReject) {
+  const std::string& doc = cert_doc();
+  // Mutate numeric tokens spread across the document (header counts are
+  // skipped by the is-number check only when non-numeric; counts mutated
+  // to nan also must reject).
+  for (std::size_t index = 3; index < 400; index += 19) {
+    if (!token_is_number(doc, index)) continue;
+    for (const char* bad : {"nan", "inf", "-inf", "1e999", "0x1p9999", "bogus"}) {
+      expect_cert_rejects(replace_token(doc, index, bad),
+                          std::string("token ") + std::to_string(index) + " -> " +
+                              bad);
+    }
+  }
+}
+
+TEST(CertFuzz, DuplicatedSectionsReject) {
+  const std::string& doc = cert_doc();
+  // Duplicate each of the first few lines in place: the reader expects a
+  // fixed tag sequence, so a repeated section must derail it.
+  std::istringstream ss(doc);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(ss, line)) lines.push_back(line);
+  ASSERT_GT(lines.size(), 6u);
+  for (std::size_t dup = 1; dup < std::min<std::size_t>(lines.size() - 1, 8); ++dup) {
+    std::string mutated;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      mutated += lines[i];
+      mutated += '\n';
+      if (i == dup) {
+        mutated += lines[dup];
+        mutated += '\n';
+      }
+    }
+    expect_cert_rejects(mutated, "duplicated line " + std::to_string(dup));
+  }
+  // Splicing a stray well-formed object mid-document also rejects.
+  std::string spliced = lines[0] + "\n" + lines[1] + "\n" + "vector 1 0\n";
+  for (std::size_t i = 2; i < lines.size(); ++i) spliced += lines[i] + "\n";
+  expect_cert_rejects(spliced, "spliced stray vector");
+}
+
+TEST(CertFuzz, OversizedDimensionHeadersRejectWithoutAllocating) {
+  // Direct io-layer probes: the count cap must fire before any payload
+  // allocation (a failure here under ASan would be an OOM/timeout).
+  for (const char* text : {
+           "vector 99999999 0",
+           "matrix 99999999 99999999 0",
+           "matrix 4097 4097 0",
+           "polytope 99999999 99999999 0",
+           "polytope 5000 5000 0",
+       }) {
+    std::stringstream ss(text);
+    const std::string what(text);
+    if (what.rfind("vector", 0) == 0) {
+      EXPECT_THROW(oic::cert::read_vector(ss), oic::Error) << text;
+    } else if (what.rfind("matrix", 0) == 0) {
+      EXPECT_THROW(oic::cert::read_matrix(ss), oic::Error) << text;
+    } else {
+      EXPECT_THROW(oic::cert::read_polytope(ss), oic::Error) << text;
+    }
+  }
+}
+
+// ------------------------------------------------------------- agents
+
+TEST(AgentFuzz, ValidDocumentParses) {
+  std::stringstream ss(agent_doc());
+  EXPECT_NO_THROW(oic::rl::load_agent(ss));
+}
+
+TEST(AgentFuzz, EveryTruncationRejects) {
+  const std::string& doc = agent_doc();
+  // The embedded oic-mlp document ends with its own sentinel (added for
+  // exactly this property); everything up to its last byte must reject.
+  const std::size_t sentinel_end = doc.rfind("end") + 3;
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < sentinel_end; n += 11) cuts.push_back(n);
+  for (std::size_t n = sentinel_end > 64 ? sentinel_end - 64 : 0; n < sentinel_end;
+       ++n) {
+    cuts.push_back(n);
+  }
+  for (const std::size_t n : cuts) {
+    expect_agent_rejects(doc.substr(0, n),
+                         "truncation at byte " + std::to_string(n));
+  }
+}
+
+TEST(AgentFuzz, NonFiniteFieldsReject) {
+  const std::string& doc = agent_doc();
+  for (std::size_t index = 4; index < 120; index += 7) {
+    if (!token_is_number(doc, index)) continue;
+    for (const char* bad : {"nan", "inf", "-inf", "1e999", "junk"}) {
+      expect_agent_rejects(replace_token(doc, index, bad),
+                           std::string("token ") + std::to_string(index) + " -> " +
+                               bad);
+    }
+  }
+}
+
+TEST(AgentFuzz, HeaderAbuseRejects) {
+  const std::string& doc = agent_doc();
+  // Duplicated header sections.
+  expect_agent_rejects("oic-agent v1\nplant: acc\nplant: acc\n" +
+                           doc.substr(doc.find("memory:")),
+                       "duplicated plant line");
+  expect_agent_rejects("oic-agent v1\nplant: acc\nmemory: 2\nmemory: 2\n" +
+                           doc.substr(doc.find("scale:")),
+                       "duplicated memory line");
+  // Memory bounds.
+  for (const char* mem : {"0", "999999999", "-3", "nan"}) {
+    const std::size_t at = doc.find("memory: 2");
+    ASSERT_NE(at, std::string::npos);
+    expect_agent_rejects(doc.substr(0, at) + "memory: " + mem +
+                             doc.substr(at + std::string("memory: 2").size()),
+                         std::string("memory -> ") + mem);
+  }
+  // Scale corruption: a non-numeric token inside the scale line.
+  const std::size_t at = doc.find("scale: ");
+  ASSERT_NE(at, std::string::npos);
+  expect_agent_rejects(doc.substr(0, at) + "scale: 0.5 nan 0.7" +
+                           doc.substr(doc.find('\n', at)),
+                       "nan inside scale");
+}
+
+TEST(AgentFuzz, OversizedNetworkShapesReject) {
+  const std::string tail = "\n0.0\n";  // whatever follows, the header must throw
+  for (const char* sizes : {"sizes: 99999 99999", "sizes: 0 4", "sizes: 4",
+                            "sizes: 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 "
+                            "4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 "
+                            "4 4 4 4 4 4 4 4 4 4 4 4 4 4 4 4"}) {
+    std::stringstream ss(std::string("oic-mlp v1\n") + sizes + tail);
+    EXPECT_THROW(oic::rl::load_mlp(ss), oic::Error) << sizes;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Property-based tests over the polytope layer (src/poly): seeded random
+// polytope/vector generators (tests/prop_util.hpp) drive invariant checks
+// across >= 1000 cases per property.  These complement the example-based
+// test_poly suite: instead of hand-picked sets they sweep random bounded
+// geometry -- redundant rows, sliver facets, oblique halfspaces -- and
+// check the *relations* every caller in the control stack relies on:
+//
+//   * P (-) Q is a subset of P whenever 0 in Q (tube tightening never
+//     grows a constraint set);
+//   * contains_polytope agrees with vertex sampling (the LP-based subset
+//     test and the pointwise definition cannot disagree);
+//   * bounding_box contains the set and is support-tight per axis.
+//
+// Every case derives from the suite seed; a failure message carries the
+// case index, which replays the generator stream exactly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.hpp"
+#include "poly/hpolytope.hpp"
+#include "prop_util.hpp"
+
+namespace {
+
+using oic::Rng;
+using oic::linalg::Vector;
+using oic::poly::HPolytope;
+using namespace oic::proptest;
+
+constexpr int kCases = 1000;
+
+// Dimension schedule 1..3, cycling: low dimensions hit degenerate
+// geometry more often; 3-D exercises the general LP paths.
+std::size_t dim_for(int c) { return 1 + static_cast<std::size_t>(c % 3); }
+
+TEST(PropPoly, PontryaginDiffIsContainedInMinuend) {
+  Rng rng(0xd1ff0001);
+  int nonempty = 0;
+  for (int c = 0; c < kCases; ++c) {
+    const std::size_t dim = dim_for(c);
+    const HPolytope p = random_polytope(rng, dim);
+    const HPolytope q = random_origin_polytope(rng, dim);
+    const HPolytope d = p.pontryagin_diff(q);
+    if (d.is_empty()) continue;
+    ++nonempty;
+    EXPECT_TRUE(contains_polytope(p, d, 1e-7)) << "case " << c << " dim " << dim;
+  }
+  // The generator keeps Q small relative to P, so emptiness must be the
+  // exception -- otherwise the property tested nothing.
+  EXPECT_GT(nonempty, kCases / 2);
+}
+
+TEST(PropPoly, PontryaginDiffPointwiseDefinitionHolds) {
+  // Stronger than containment: x in P (-) Q and q in Q imply x + q in P.
+  Rng rng(0xd1ff0002);
+  int checked = 0;
+  for (int c = 0; c < kCases; ++c) {
+    const std::size_t dim = dim_for(c);
+    const HPolytope p = random_polytope(rng, dim);
+    const HPolytope q = random_origin_polytope(rng, dim);
+    const HPolytope d = p.pontryagin_diff(q);
+    if (d.is_empty()) continue;
+    const auto x = sample_in(rng, d);
+    const auto qpt = sample_in(rng, q);
+    if (!x || !qpt) continue;
+    ++checked;
+    EXPECT_TRUE(p.contains(*x + *qpt, 1e-7)) << "case " << c << " dim " << dim;
+  }
+  EXPECT_GT(checked, kCases / 2);
+}
+
+TEST(PropPoly, ContainsPolytopeAgreesWithVertexSampling) {
+  // 2-D only: vertices_2d enumerates the inner set exactly, so the
+  // LP-based subset test has a ground truth to agree with.  A tolerance
+  // band keeps boundary-grazing cases out of the comparison (both answers
+  // are legitimate there).
+  Rng rng(0xd1ff0003);
+  int contained = 0;
+  for (int c = 0; c < kCases; ++c) {
+    const HPolytope outer = random_polytope(rng, 2);
+    // Half the cases shrink the inner set toward the outer's center so
+    // true containment actually occurs; the rest are unrelated sets.
+    const HPolytope inner = (c % 2 == 0)
+                                ? random_polytope(rng, sample_in(rng, outer).value(),
+                                                  /*extra_max=*/2,
+                                                  /*radius_lo=*/0.05,
+                                                  /*radius_hi=*/0.4)
+                                : random_polytope(rng, 2);
+    const bool verdict = contains_polytope(outer, inner, 1e-7);
+    double worst = 0.0;
+    for (const auto& v : inner.vertices_2d()) {
+      worst = std::max(worst, outer.violation(v));
+    }
+    if (verdict) {
+      ++contained;
+      EXPECT_LE(worst, 1e-5) << "case " << c
+                             << ": subset verdict but a vertex escapes";
+    } else {
+      EXPECT_GT(worst, -1e-9) << "case " << c
+                              << ": every vertex strictly inside but verdict "
+                                 "says not contained";
+    }
+  }
+  EXPECT_GT(contained, kCases / 4);  // the shrunk half must mostly contain
+}
+
+TEST(PropPoly, BoundingBoxContainsTheSetAndIsSupportTight) {
+  Rng rng(0xd1ff0004);
+  for (int c = 0; c < kCases; ++c) {
+    const std::size_t dim = dim_for(c);
+    const HPolytope p = random_polytope(rng, dim);
+    const auto bb = p.bounding_box();
+    ASSERT_TRUE(bb.has_value()) << "case " << c;
+    for (std::size_t i = 0; i < dim; ++i) {
+      Vector e(dim);
+      e[i] = 1.0;
+      const auto up = p.support(e);
+      e[i] = -1.0;
+      const auto dn = p.support(e);
+      ASSERT_TRUE(up.bounded && up.feasible && dn.bounded && dn.feasible)
+          << "case " << c;
+      // Containment: the support values never exceed the box...
+      EXPECT_LE(up.value, bb->second[i] + 1e-7) << "case " << c << " axis " << i;
+      EXPECT_LE(dn.value, -bb->first[i] + 1e-7) << "case " << c << " axis " << i;
+      // ...and tightness: the box never exceeds the support values.
+      EXPECT_NEAR(up.value, bb->second[i], 1e-6) << "case " << c << " axis " << i;
+      EXPECT_NEAR(-dn.value, bb->first[i], 1e-6) << "case " << c << " axis " << i;
+    }
+    // Sampled interior points respect the box exactly.
+    if (const auto x = sample_in(rng, p)) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        EXPECT_GE((*x)[i], bb->first[i] - 1e-9) << "case " << c;
+        EXPECT_LE((*x)[i], bb->second[i] + 1e-9) << "case " << c;
+      }
+    }
+  }
+}
+
+}  // namespace
