@@ -30,7 +30,16 @@ Also enforces the semantic invariants every bench document shares:
   * "campaign" (an oic_mc document), when present, must report at least
     one aggregated episode, and every results[] entry must carry
     violation_ci95 intervals with 0 <= lo <= hi <= 1 and hi > lo for the
-    baseline and every policy (the CI widths are the point of a campaign).
+    baseline and every policy (the CI widths are the point of a campaign);
+  * every campaign results[] entry must also carry the per-step fault
+    accounting: consistent counters (degraded_steps <= steps, stale_forced
+    and policy_unavail <= degraded_steps, meas/act_dropped <= steps) and a
+    well-formed degraded_ci95 Wilson interval -- all-zero counters on
+    fault-free campaigns, so one schema covers both modes;
+  * when config.faults is a non-empty spec string (a faulted campaign),
+    every results[] entry must report left_x_episodes == 0: under faults
+    XI excursions are measured degradation, but leaving the hard safe set
+    X is a safety violation and fails the document.
 
 The CI bench-smoke job runs this over (committed BENCH_throughput.json,
 fresh smoke output); the train-smoke job uses --self on the oic_train and
@@ -111,6 +120,16 @@ def check_semantics(candidate, errors):
         if not isinstance(episodes, int) or isinstance(episodes, bool) \
                 or episodes < 1:
             errors.append("campaign.episodes: must be a positive integer")
+        config = candidate.get("config") or {}
+        faulted = bool(config.get("faults"))
+
+        def count(entry, key, path):
+            v = entry.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(f"{path}.{key}: must be a non-negative integer")
+                return None
+            return v
+
         for i, cell in enumerate(candidate.get("results") or []):
             entries = [("baseline", cell.get("baseline"))] + \
                 [(f"policies[{j}]", p) for j, p in
@@ -120,13 +139,34 @@ def check_semantics(candidate, errors):
                 if not isinstance(entry, dict):
                     errors.append(f"{path}: missing stats object")
                     continue
-                ci = entry.get("violation_ci95")
-                if not (isinstance(ci, list) and len(ci) == 2 and
-                        all(isinstance(v, (int, float)) and
-                            not isinstance(v, bool) for v in ci) and
-                        0.0 <= ci[0] <= ci[1] <= 1.0 and ci[1] > ci[0]):
-                    errors.append(f"{path}.violation_ci95: must be a "
-                                  f"[lo, hi] interval with 0 <= lo < hi <= 1")
+                for key in ("violation_ci95", "degraded_ci95"):
+                    ci = entry.get(key)
+                    if not (isinstance(ci, list) and len(ci) == 2 and
+                            all(isinstance(v, (int, float)) and
+                                not isinstance(v, bool) for v in ci) and
+                            0.0 <= ci[0] <= ci[1] <= 1.0 and ci[1] > ci[0]):
+                        errors.append(f"{path}.{key}: must be a "
+                                      f"[lo, hi] interval with 0 <= lo < hi <= 1")
+                steps = count(entry, "steps", path)
+                degraded = count(entry, "degraded_steps", path)
+                stale = count(entry, "stale_forced", path)
+                policy_unavail = count(entry, "policy_unavail", path)
+                meas = count(entry, "meas_dropped", path)
+                act = count(entry, "act_dropped", path)
+                if None not in (steps, degraded, stale, policy_unavail,
+                                meas, act):
+                    if degraded > steps:
+                        errors.append(f"{path}: degraded_steps > steps")
+                    if stale > degraded or policy_unavail > degraded:
+                        errors.append(f"{path}: stale_forced/policy_unavail "
+                                      f"exceed degraded_steps")
+                    if meas > steps or act > steps:
+                        errors.append(f"{path}: meas/act_dropped > steps")
+                left_x = count(entry, "left_x_episodes", path)
+                if faulted and left_x:
+                    errors.append(f"{path}.left_x_episodes: must be 0 -- a "
+                                  f"faulted campaign may degrade (XI "
+                                  f"excursions) but never leave X")
 
     cert = candidate.get("cert_cold_start")
     if cert is not None:

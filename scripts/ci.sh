@@ -6,7 +6,8 @@
 #
 #   scripts/ci.sh [--compiler gcc|clang] [--config Release|Sanitize]
 #                 [--build-dir DIR] [--build-only] [--bench-only]
-#                 [--train-only] [--cert-only] [--mc-only] [--format-only]
+#                 [--train-only] [--cert-only] [--mc-only] [--fault-only]
+#                 [--format-only]
 #
 #   build+test   configure with -Werror, build everything, ctest
 #   bench smoke  scripts/bench.sh --quick + JSON schema check against the
@@ -22,6 +23,12 @@
 #                statistics must be bit-identical, and the campaign JSON
 #                (violation-rate Wilson CIs included) passes
 #                check_bench_json.py --self
+#   fault smoke  an oic_mc campaign under the lossy fault preset: the run
+#                must degrade (degraded steps > 0) without ever leaving the
+#                hard safe set X, its JSON must pass check_bench_json.py
+#                --self (which enforces left_x_episodes == 0 for faulted
+#                documents), and the CLI error paths (malformed --faults,
+#                unknown preset) must exit nonzero with a diagnostic
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/
 #                tools/ (blocking; skipped with a warning when clang-format
 #                is absent)
@@ -40,6 +47,7 @@ do_bench=1
 do_train=1
 do_cert=1
 do_mc=1
+do_fault=1
 do_format=1
 
 while [[ $# -gt 0 ]]; do
@@ -50,12 +58,20 @@ while [[ $# -gt 0 ]]; do
     --config=*) config="${1#*=}"; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --build-dir=*) build_dir="${1#*=}"; shift ;;
-    --build-only) do_bench=0; do_train=0; do_cert=0; do_mc=0; do_format=0; shift ;;
-    --bench-only) do_build=0; do_train=0; do_cert=0; do_mc=0; do_format=0; shift ;;
-    --train-only) do_build=0; do_bench=0; do_cert=0; do_mc=0; do_format=0; shift ;;
-    --cert-only) do_build=0; do_bench=0; do_train=0; do_mc=0; do_format=0; shift ;;
-    --mc-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_format=0; shift ;;
-    --format-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0; shift ;;
+    --build-only) do_bench=0; do_train=0; do_cert=0; do_mc=0; do_fault=0
+                  do_format=0; shift ;;
+    --bench-only) do_build=0; do_train=0; do_cert=0; do_mc=0; do_fault=0
+                  do_format=0; shift ;;
+    --train-only) do_build=0; do_bench=0; do_cert=0; do_mc=0; do_fault=0
+                  do_format=0; shift ;;
+    --cert-only) do_build=0; do_bench=0; do_train=0; do_mc=0; do_fault=0
+                 do_format=0; shift ;;
+    --mc-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_fault=0
+               do_format=0; shift ;;
+    --fault-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
+                  do_format=0; shift ;;
+    --format-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
+                   do_fault=0; shift ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -169,6 +185,59 @@ if a != b:
              "uninterrupted reference")
 print("mc smoke: checkpoint-resumed statistics are bit-identical")
 EOF
+fi
+
+if [[ ${do_fault} -eq 1 ]]; then
+  echo "=== fault smoke: oic_mc under the lossy preset + CLI error paths ==="
+  smoke_build="${repo_root}/build"
+  cmake -B "${smoke_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${smoke_build}" --target oic_mc oic_eval -j"$(nproc)"
+  fault_dir="${smoke_build}/ci-fault"
+  rm -rf "${fault_dir}"
+  mkdir -p "${fault_dir}"
+  # A faulted campaign must exit 0: the loop degrades (stale estimates,
+  # dropped packets) but never leaves the hard safe set X.
+  "${smoke_build}/oic_mc" --plants toy2d,quad-alt --families bursts,mixed \
+    --policies bang-bang --episodes 48 --steps 40 --block 8 --workers 2 \
+    --faults lossy --cert-dir "${fault_dir}/certs" \
+    --json "${fault_dir}/MC_fault.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${fault_dir}/MC_fault.json"
+  python3 - "${fault_dir}/MC_fault.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if not doc["config"]["faults"]:
+    sys.exit("fault smoke: config.faults must carry the canonical spec")
+degraded = sum(e["degraded_steps"]
+               for cell in doc["results"]
+               for e in [cell["baseline"]] + cell["policies"])
+if degraded == 0:
+    sys.exit("fault smoke: the lossy preset must produce degraded steps")
+print(f"fault smoke: {degraded} degraded steps, zero hard violations")
+EOF
+  # Error paths: malformed specs and unknown presets must die with a
+  # diagnostic and a nonzero exit, from both faulted CLIs.
+  for bad in "meas_drop:1.5" "no-such-preset" "meas_drop:0.1,meas_drop:0.2"; do
+    if "${smoke_build}/oic_mc" --plants toy2d --families mixed \
+         --episodes 8 --steps 10 --faults "${bad}" 2>"${fault_dir}/err.txt"; then
+      echo "fault smoke: oic_mc accepted bad --faults '${bad}'" >&2
+      exit 1
+    fi
+    grep -q "oic_mc:" "${fault_dir}/err.txt" || {
+      echo "fault smoke: no diagnostic for bad --faults '${bad}'" >&2
+      exit 1
+    }
+  done
+  if "${smoke_build}/oic_eval" --plant toy2d --scenario sine --cases 2 \
+       --steps 10 --faults "act_drop:2" 2>"${fault_dir}/err.txt"; then
+    echo "fault smoke: oic_eval accepted bad --faults" >&2
+    exit 1
+  fi
+  grep -q "oic_eval:" "${fault_dir}/err.txt" || {
+    echo "fault smoke: oic_eval emitted no diagnostic" >&2
+    exit 1
+  }
+  echo "fault smoke: CLI error paths diagnose and exit nonzero"
 fi
 
 if [[ ${do_format} -eq 1 ]]; then

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
 #include <system_error>
@@ -24,6 +25,30 @@ Store::Store(std::string dir) : dir_(std::move(dir)) {
   fs::create_directories(dir_, ec);
   OIC_REQUIRE(!ec && fs::is_directory(dir_),
               "cert::Store: cannot create cache directory '" + dir_ + "'");
+  sweep_stale_tmp();
+}
+
+void Store::sweep_stale_tmp() const {
+  // A crashed or killed writer leaves its `<id>.cert.tmp.<pid>.<tid>`
+  // behind; nothing ever reads those, so they accumulate silently.  Sweep
+  // any tmp file old enough that its writer cannot still be mid-persist
+  // (a persist takes milliseconds; the grace window is minutes, so a
+  // *live* concurrent writer is never raced).  Best effort throughout: a
+  // sweep failure must not break opening the store.
+  using namespace std::chrono_literals;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!entry.is_regular_file(ec) || name.find(".cert.tmp.") == std::string::npos) {
+      continue;
+    }
+    std::error_code tec;
+    const auto written = fs::last_write_time(entry.path(), tec);
+    if (tec) continue;
+    if (fs::file_time_type::clock::now() - written > 10min) {
+      fs::remove(entry.path(), tec);
+    }
+  }
 }
 
 std::string Store::path_for(const PlantModel& model) const {
@@ -70,19 +95,28 @@ void Store::persist(const PlantCertificate& cert, const std::string& path) const
   // deterministic bytes, and rename is atomic, so readers only ever see a
   // complete document.  The tmp name carries pid AND thread id -- two
   // *processes* sharing a cache volume must not interleave into one tmp
-  // file.  A failed persist is not fatal: the caller still gets its
-  // certificate, the next run just synthesizes again.
+  // file.  A failed write or rename removes its tmp file and throws a
+  // clear Error: silently dropping the persist would turn an unwritable
+  // cache volume into an invisible performance bug (every run pays full
+  // synthesis again) instead of a diagnosable one.
   std::ostringstream tid;
   tid << ::getpid() << '.' << std::this_thread::get_id();
   const std::string tmp = path + ".tmp." + tid.str();
   try {
     save_certificate_file(cert, tmp);
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) fs::remove(tmp, ec);
-  } catch (const Error&) {
+  } catch (const Error& e) {
     std::error_code ec;
     fs::remove(tmp, ec);
+    throw Error("cert::Store: cannot write '" + tmp +
+                "' (unwritable or full cache volume?): " + e.what());
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    throw Error("cert::Store: rename '" + tmp + "' -> '" + path +
+                "' failed: " + ec.message());
   }
 }
 

@@ -47,7 +47,9 @@ struct StoreEntry {
 class Store {
  public:
   /// Opens (and creates if needed) the cache directory; throws
-  /// PreconditionError when the path cannot be made a directory.
+  /// PreconditionError when the path cannot be made a directory.  Sweeps
+  /// orphaned `*.cert.tmp.*` files left by crashed writers (only ones old
+  /// enough that no live writer can still own them).
   explicit Store(std::string dir);
 
   const std::string& dir() const { return dir_; }
@@ -76,8 +78,12 @@ class Store {
   Provider provider() const;
 
  private:
-  /// Atomic tmp+rename write shared by get() and refresh().
+  /// Atomic tmp+rename write shared by get() and refresh(); throws Error
+  /// (with the tmp file removed) when the write or rename fails.
   void persist(const PlantCertificate& cert, const std::string& path) const;
+
+  /// Remove orphaned tmp files from crashed writers (best effort).
+  void sweep_stale_tmp() const;
 
   std::string dir_;
 };

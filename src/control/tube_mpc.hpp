@@ -108,6 +108,11 @@ class TubeMpc : public Controller {
   /// The underlying plant model.
   const AffineLTI& system() const { return sys_; }
 
+  /// The stabilizing local gain (u = K x) the tube was tightened with.
+  /// Degraded-mode consumers use it as a saturated recovery feedback when
+  /// the optimization is infeasible at the state estimate.
+  const linalg::Matrix& local_gain() const { return k_local_; }
+
   /// Configuration in effect.
   const RmpcConfig& config() const { return config_; }
 

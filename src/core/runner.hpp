@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "core/intermittent.hpp"
+#include "fault/fault.hpp"
 #include "sim/trace.hpp"
 
 namespace oic::core {
@@ -24,6 +25,12 @@ struct RunResult {
   bool left_xi = false;           ///< invariant set violated (model mismatch)
   std::size_t first_violation = 0;
   linalg::Vector final_state;
+  /// Fault accounting (all zero on the fault-free path).
+  std::size_t degraded_steps = 0;  ///< steps handled in degraded mode
+  std::size_t stale_forced = 0;    ///< stale/missing measurement forced z = 1
+  std::size_t policy_unavail = 0;  ///< conservative default for Omega outage
+  std::size_t meas_dropped = 0;    ///< measurement packets lost on the link
+  std::size_t act_dropped = 0;     ///< actuation packets lost on the link
 };
 
 /// Source of the true disturbance at each step, in W-space (dimension nw).
@@ -38,8 +45,21 @@ using StepHook = std::function<void(sim::TraceStep&, const linalg::Vector& x_nex
 /// states.  Violations are recorded, not thrown (the runner is also used to
 /// probe deliberately broken configurations in tests); configure the
 /// controller with strict_invariant = false for such probes.
+///
+/// With a non-null, active fault `link` the loop routes every channel
+/// through it: the monitor sees only measurements the link delivers
+/// (decide_measured, degraded mode), the plant receives the link's applied
+/// input (actuation drops), and the policy sees compute outages.  The
+/// disturbance-history residual is reconstructed only between consecutive
+/// FRESH measurements (from measured states and the commanded input): the
+/// framework never peeks at the true state.  The link must be reset for
+/// this episode's stream; configure strict_invariant = false (actuation
+/// drops can push the true state out of XI -- that is what left_xi
+/// accounts).  A null or inactive link takes the historical fault-free
+/// path, bit for bit.
 RunResult run_closed_loop(const control::AffineLTI& sys, IntermittentController& ic,
                           const linalg::Vector& x0, const DisturbanceFn& disturbance,
-                          const RunConfig& cfg = {}, const StepHook& hook = {});
+                          const RunConfig& cfg = {}, const StepHook& hook = {},
+                          fault::Link* link = nullptr);
 
 }  // namespace oic::core

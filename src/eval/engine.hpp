@@ -38,8 +38,12 @@ class EpisodeEngine {
  public:
   /// Binds to a plant and a policy.  Builds the Algorithm-1 runtime once:
   /// this is where the nesting verification LPs run.  The policy and plant
-  /// must outlive the engine.
-  EpisodeEngine(const PlantCase& plant, core::SkipPolicy& policy);
+  /// must outlive the engine.  An active fault spec routes every episode
+  /// through a per-engine fault::Link (re-armed from data.fault_stream);
+  /// the default (inactive) spec is the historical fault-free engine, bit
+  /// for bit.
+  EpisodeEngine(const PlantCase& plant, core::SkipPolicy& policy,
+                const fault::FaultSpec& faults = {});
 
   /// Non-copyable/movable: the controller runtime holds a reference to the
   /// engine's own RMPC instance.
@@ -49,20 +53,26 @@ class EpisodeEngine {
   /// Evaluate one episode.  Equivalent to harness run_episode() -- same
   /// decisions, same cost/energy/served counters -- minus the per-episode
   /// setup.  Carried solver state is dropped first, so results do not
-  /// depend on what this engine ran before.
+  /// depend on what this engine ran before.  Bit-parity with the harness
+  /// holds on both the fault-free and the faulted path (tested).
   EpisodeResult run(const CaseData& data);
 
   /// The policy driving this engine.
   const core::SkipPolicy& policy() const { return policy_; }
 
  private:
+  EpisodeResult run_faulted(const CaseData& data);
+
   const PlantCase& plant_;
   core::SkipPolicy& policy_;
   control::TubeMpc rmpc_;  ///< private copy: per-engine solver state
   core::IntermittentController ic_;
+  fault::Link link_;        ///< per-engine fault realization (inactive = unused)
   linalg::Vector x_;        ///< current state scratch
   linalg::Vector x_next_;   ///< successor scratch
   linalg::Vector w_;        ///< disturbance scratch (dimension nw)
+  linalg::Vector prev_meas_x_;  ///< last fresh measured state (fault path)
+  linalg::Vector prev_u_cmd_;   ///< input commanded at that step (fault path)
 };
 
 /// Per-worker policy set builder for the parallel sweep.  Invoked once per
@@ -86,6 +96,11 @@ struct SweepConfig {
   /// threads).  Results are identical for every value given reset()-
   /// complete policies (see PolicySetFactory).
   std::size_t workers = 0;
+  /// Fault model applied to every episode (inactive by default).  Each
+  /// case carries its own fault stream, so the baseline and every policy
+  /// face the SAME loss realization -- the paired comparison extends to
+  /// the fault axis -- and results stay worker-count invariant.
+  fault::FaultSpec faults;
 };
 
 /// Paired policy comparison against the always-run baseline, sharded over

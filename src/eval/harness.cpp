@@ -7,10 +7,21 @@ namespace oic::eval {
 using linalg::Vector;
 
 core::IntermittentConfig make_intermittent_config(const PlantCase& plant,
-                                                  const core::SkipPolicy& policy) {
+                                                  const core::SkipPolicy& policy,
+                                                  bool faults_active) {
   core::IntermittentConfig icfg;
   icfg.u_skip = plant.u_skip();
   icfg.w_memory = kEpisodeWMemory;
+  // Fault campaigns measure XI excursions instead of aborting on them:
+  // actuation drops ARE model mismatch, and left_xi is the statistic.
+  // The tube controller's own local gain doubles as the degraded-mode
+  // recovery feedback: infeasible-at-the-estimate steps actuate the
+  // saturated stabilizing feedback instead of holding the (uncertified
+  // outside X') skip input through an excursion.
+  if (faults_active) {
+    icfg.strict_invariant = false;
+    icfg.recovery_gain = plant.rmpc().local_gain();
+  }
   // Burst-requesting policies get the plant certificate's skip ladder; for
   // every per-step policy (burst_depth() == 0) the config -- and therefore
   // the whole decision stream -- is exactly the historical one.
@@ -26,7 +37,7 @@ core::IntermittentConfig make_intermittent_config(const PlantCase& plant,
 }
 
 CaseData make_case(const PlantCase& plant, const Scenario& scenario, Rng& rng,
-                   std::size_t steps) {
+                   std::size_t steps, bool with_fault_stream) {
   CaseData data;
   Rng x0_rng = rng.split();
   data.x0 = plant.sample_x0(x0_rng);
@@ -34,13 +45,21 @@ CaseData make_case(const PlantCase& plant, const Scenario& scenario, Rng& rng,
   profile->reset(rng.split());
   data.signal.reserve(steps);
   for (std::size_t t = 0; t < steps; ++t) data.signal.push_back(profile->next());
+  if (with_fault_stream) {
+    // A third split, taken ONLY on faulted runs: fault-free case streams
+    // stay bit-identical to the historical two-split sequence.
+    data.fault_stream = rng.split().engine()();
+  }
   return data;
 }
 
-EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
-                          const CaseData& data) {
+namespace {
+
+EpisodeResult run_episode_impl(PlantCase& plant, core::SkipPolicy& policy,
+                               const CaseData& data, fault::Link* link) {
+  const bool faulted = link != nullptr && link->active();
   core::IntermittentController ic(plant.system(), plant.sets(), plant.rmpc(), policy,
-                                  make_intermittent_config(plant, policy));
+                                  make_intermittent_config(plant, policy, faulted));
   ic.reset();
   // Episodes are independent by contract (fresh controller runtime above);
   // drop the RMPC's carried warm-start basis for the same reason.
@@ -63,8 +82,8 @@ EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
     return w;
   };
 
-  const core::RunResult rr =
-      core::run_closed_loop(plant.system(), ic, data.x0, disturbance, rcfg, hook);
+  const core::RunResult rr = core::run_closed_loop(plant.system(), ic, data.x0,
+                                                   disturbance, rcfg, hook, link);
 
   EpisodeResult out;
   out.fuel = fuel;
@@ -74,7 +93,26 @@ EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
   out.steps = rr.trace.size();
   out.left_x = rr.left_x;
   out.left_xi = rr.left_xi;
+  out.degraded_steps = rr.degraded_steps;
+  out.stale_forced = rr.stale_forced;
+  out.policy_unavail = rr.policy_unavail;
+  out.meas_dropped = rr.meas_dropped;
+  out.act_dropped = rr.act_dropped;
   return out;
+}
+
+}  // namespace
+
+EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
+                          const CaseData& data) {
+  return run_episode_impl(plant, policy, data, nullptr);
+}
+
+EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
+                          const CaseData& data, const fault::FaultSpec& faults) {
+  if (!faults.active()) return run_episode_impl(plant, policy, data, nullptr);
+  fault::Link link(faults, data.fault_stream);
+  return run_episode_impl(plant, policy, data, &link);
 }
 
 double fuel_saving(const EpisodeResult& baseline, const EpisodeResult& ours) {
@@ -93,6 +131,11 @@ ComparisonResult compare_policies(PlantCase& plant, const Scenario& scenario,
   out.savings.assign(policies.size(), {});
   out.mean_skipped.assign(policies.size(), 0.0);
   out.any_violation.assign(policies.size(), false);
+  out.any_left_x.assign(policies.size(), false);
+  out.any_left_xi.assign(policies.size(), false);
+  out.mean_degraded.assign(policies.size(), 0.0);
+  out.mean_stale_forced.assign(policies.size(), 0.0);
+  out.mean_act_dropped.assign(policies.size(), 0.0);
 
   core::AlwaysRunPolicy baseline;
   Rng rng(seed);
@@ -104,6 +147,8 @@ ComparisonResult compare_policies(PlantCase& plant, const Scenario& scenario,
       out.savings[p].push_back(fuel_saving(base, r));
       out.mean_skipped[p] += static_cast<double>(r.skipped);
       if (r.left_x || r.left_xi) out.any_violation[p] = true;
+      if (r.left_x) out.any_left_x[p] = true;
+      if (r.left_xi) out.any_left_xi[p] = true;
     }
   }
   for (auto& m : out.mean_skipped) m /= static_cast<double>(cases);

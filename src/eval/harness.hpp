@@ -18,15 +18,22 @@ namespace oic::eval {
 
 /// A fully materialized test case: every policy evaluated on it sees the
 /// same initial state and the same disturbance signal, so savings are
-/// paired comparisons as in the paper.
+/// paired comparisons as in the paper.  Under fault injection the case
+/// additionally carries the episode's fault-stream seed, so every policy
+/// faces the SAME packet-loss realization (paired comparison extends to
+/// the fault axis).
 struct CaseData {
   linalg::Vector x0;           ///< initial shifted state, in X'
   std::vector<double> signal;  ///< scenario signal per step (ACC: vf)
+  std::uint64_t fault_stream = 0;  ///< fault::Link stream (faulted runs only)
 };
 
 /// Draw a case for the scenario: x0 uniform in X', signal from the profile.
+/// `with_fault_stream` additionally draws the case's fault-stream seed.
+/// The extra draw is a third rng.split() -- taken ONLY when requested, so
+/// fault-free case streams stay bit-identical to the historical ones.
 CaseData make_case(const PlantCase& plant, const Scenario& scenario, Rng& rng,
-                   std::size_t steps);
+                   std::size_t steps, bool with_fault_stream = false);
 
 /// Result of one episode.  `fuel` is the plant's running-cost metric (the
 /// ACC's ml of fuel; actuator duty / battery draw for other plants);
@@ -39,6 +46,12 @@ struct EpisodeResult {
   std::size_t steps = 0;
   bool left_x = false;   ///< safety violation (Theorem 1 says: never)
   bool left_xi = false;  ///< invariant violation (model mismatch)
+  /// Fault accounting (all zero on fault-free runs).
+  std::size_t degraded_steps = 0;  ///< degraded-mode periods
+  std::size_t stale_forced = 0;    ///< stale/missing measurement forced z = 1
+  std::size_t policy_unavail = 0;  ///< Omega outage conservative defaults
+  std::size_t meas_dropped = 0;    ///< measurement packets lost
+  std::size_t act_dropped = 0;     ///< actuation packets lost
 };
 
 /// Disturbance observations the framework retains per evaluation episode;
@@ -52,13 +65,23 @@ inline constexpr std::size_t kEpisodeWMemory = 4;
 /// input, and -- for burst-requesting policies
 /// (core::SkipPolicy::burst_depth) -- the certificate's k-step ladder.
 /// One function so the two paths can never disagree (bit-parity tested).
+/// `faults_active` relaxes strict_invariant: actuation drops are genuine
+/// plant/model mismatch, and a fault campaign must measure XI excursions
+/// (left_xi) rather than abort on the first one.
 core::IntermittentConfig make_intermittent_config(const PlantCase& plant,
-                                                  const core::SkipPolicy& policy);
+                                                  const core::SkipPolicy& policy,
+                                                  bool faults_active = false);
 
 /// Run one policy over one case through the intermittent framework with
 /// the plant's RMPC as the underlying controller.
 EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
                           const CaseData& data);
+
+/// Same, with the episode routed through a faulted network link (spec
+/// realized from data.fault_stream).  An inactive spec is exactly the
+/// fault-free overload.
+EpisodeResult run_episode(PlantCase& plant, core::SkipPolicy& policy,
+                          const CaseData& data, const fault::FaultSpec& faults);
 
 /// Relative running-cost saving of `ours` against `baseline` (paper's
 /// Fig. 4/5/6 metric): (baseline - ours) / baseline.
@@ -72,8 +95,19 @@ struct ComparisonResult {
   std::vector<std::vector<double>> savings;
   /// Mean skipped steps per episode for each policy.
   std::vector<double> mean_skipped;
-  /// Any safety violation observed for each policy (must stay false).
+  /// Any violation (left_x or left_xi) observed per policy.  Fault-free
+  /// sweeps require false (Theorem 1); under faults XI excursions are the
+  /// measured degradation and only any_left_x is a hard violation.
   std::vector<bool> any_violation;
+  /// Hard safe-set (X) violations per policy -- must stay false even under
+  /// faults in conservative degraded mode.
+  std::vector<bool> any_left_x;
+  /// XI excursions per policy (expected under actuation drops).
+  std::vector<bool> any_left_xi;
+  /// Fault accounting, mean per episode (zero on fault-free sweeps).
+  std::vector<double> mean_degraded;
+  std::vector<double> mean_stale_forced;
+  std::vector<double> mean_act_dropped;
 };
 
 ComparisonResult compare_policies(PlantCase& plant, const Scenario& scenario,

@@ -243,6 +243,26 @@ Scenario ScenarioRegistry::make_scenario(const std::string& plant_id,
   return info.make_scenario(scenario_id);
 }
 
+void ScenarioRegistry::add_fault_preset(fault::FaultPreset preset) {
+  OIC_REQUIRE(!preset.id.empty(), "ScenarioRegistry::add_fault_preset: empty id");
+  for (const auto& p : fault_presets_) {
+    OIC_REQUIRE(p.id != preset.id,
+                "ScenarioRegistry::add_fault_preset: duplicate preset '" + preset.id +
+                    "'");
+  }
+  // Vet the spec at registration, so a broken preset fails loudly here and
+  // not in the middle of a campaign.
+  (void)fault::FaultSpec::parse(preset.spec);
+  fault_presets_.push_back(std::move(preset));
+}
+
+fault::FaultSpec ScenarioRegistry::resolve_faults(const std::string& text) const {
+  for (const auto& p : fault_presets_) {
+    if (p.id == text) return fault::FaultSpec::parse(p.spec);
+  }
+  return fault::FaultSpec::parse(text);
+}
+
 const ScenarioRegistry& ScenarioRegistry::builtin() {
   static const ScenarioRegistry reg = [] {
     ScenarioRegistry r;
@@ -250,6 +270,9 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     r.add(lane_keep_info());
     r.add(quad_alt_info());
     r.add(toy2d_info());
+    for (const auto& preset : fault::standard_fault_presets()) {
+      r.add_fault_preset(preset);
+    }
     return r;
   }();
   return reg;

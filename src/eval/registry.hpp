@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "eval/plant.hpp"
+#include "fault/fault.hpp"
 
 namespace oic::eval {
 
@@ -73,13 +74,30 @@ class ScenarioRegistry {
   Scenario make_scenario(const std::string& plant_id,
                          const std::string& scenario_id) const;
 
+  /// Register a named fault model (CLIs list these; resolve_faults prefers
+  /// them over the raw grammar).  Throws on duplicate/empty ids or specs
+  /// that do not parse.
+  void add_fault_preset(fault::FaultPreset preset);
+
+  /// Registered fault presets, in registration order.
+  const std::vector<fault::FaultPreset>& fault_presets() const {
+    return fault_presets_;
+  }
+
+  /// Resolve a --faults argument: "" / "off" = no faults, a registered
+  /// preset id = its spec, anything else = the FaultSpec::parse grammar
+  /// (throws PreconditionError on malformed input).
+  fault::FaultSpec resolve_faults(const std::string& text) const;
+
   /// The built-in catalogue: the ACC case study (Fig.4, Ex.1..Ex.10, Jam),
   /// lane keeping, quadrotor altitude hold, and the plain second-order
-  /// demo plant ("toy2d").  Built once, immutable.
+  /// demo plant ("toy2d"), plus the standard fault presets.  Built once,
+  /// immutable.
   static const ScenarioRegistry& builtin();
 
  private:
   std::vector<PlantInfo> plants_;
+  std::vector<fault::FaultPreset> fault_presets_;
 };
 
 }  // namespace oic::eval

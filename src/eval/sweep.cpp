@@ -179,7 +179,10 @@ SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
     provider = store->provider();
   }
 
+  const fault::FaultSpec faults = registry.resolve_faults(spec.faults);
+
   SweepResult out;
+  out.faults = faults;
   const auto t0 = Clock::now();
   for (const auto& [pid, scenario_ids] : grid) {
     const PlantInfo& info = registry.plant(pid);
@@ -192,6 +195,7 @@ SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
         cfg.steps = spec.steps;
         cfg.seed = seed;
         cfg.workers = spec.workers;
+        cfg.faults = faults;
 
         SweepCell cell;
         cell.plant = pid;
@@ -202,8 +206,17 @@ SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
         cell.wall_s = seconds_since(cell_t0);
 
         out.episodes += spec.cases * (cell.result.policy_names.size() + 1);
-        for (const bool v : cell.result.any_violation) {
-          out.safety_violations = out.safety_violations || v;
+        // Fault-free: any violation is a Theorem-1 bug.  Faulted: only a
+        // hard safe-set exit counts (XI excursions are the degradation the
+        // sweep measures).
+        if (faults.active()) {
+          for (const bool v : cell.result.any_left_x) {
+            out.safety_violations = out.safety_violations || v;
+          }
+        } else {
+          for (const bool v : cell.result.any_violation) {
+            out.safety_violations = out.safety_violations || v;
+          }
         }
         out.cells.push_back(std::move(cell));
       }
@@ -238,6 +251,8 @@ std::string sweep_json(const SweepSpec& spec, const SweepResult& result) {
   append_string_array(out, spec.scenarios);
   out += ", \"cert_dir\": ";
   jsonout::append_string(out, spec.cert_dir);
+  out += ", \"faults\": ";
+  jsonout::append_string(out, result.faults.canonical());
   out += "},\n";
 
   append_format(out,
@@ -261,9 +276,16 @@ std::string sweep_json(const SweepSpec& spec, const SweepResult& result) {
       jsonout::append_string(out, r.policy_names[p]);
       append_format(out,
                     ", \"mean_saving\": %.17g, "
-                    "\"mean_skipped\": %.17g, \"violation\": %s, \"savings\": [",
+                    "\"mean_skipped\": %.17g, \"violation\": %s, ",
                     mean(r.savings[p]), r.mean_skipped[p],
                     r.any_violation[p] ? "true" : "false");
+      append_format(out,
+                    "\"left_x\": %s, \"left_xi\": %s, \"mean_degraded\": %.17g, "
+                    "\"mean_stale_forced\": %.17g, \"mean_act_dropped\": %.17g, "
+                    "\"savings\": [",
+                    r.any_left_x[p] ? "true" : "false",
+                    r.any_left_xi[p] ? "true" : "false", r.mean_degraded[p],
+                    r.mean_stale_forced[p], r.mean_act_dropped[p]);
       for (std::size_t c = 0; c < r.savings[p].size(); ++c) {
         if (c) out += ", ";
         append_format(out, "%.17g", r.savings[p][c]);

@@ -40,6 +40,10 @@ struct SweepSpec {
   /// construction loads cached `oic-cert v1` files and the sweep's cold
   /// start is file-read-bound instead of LP-bound.
   std::string cert_dir;
+  /// Fault model for every episode: "" / "off" (default), a registered
+  /// preset id ("lossy", ...), or the FaultSpec::parse grammar.  Resolved
+  /// against the registry at sweep start.
+  std::string faults;
 };
 
 /// One grid cell: the paired comparison of every policy against the
@@ -58,7 +62,11 @@ struct SweepResult {
   double wall_s = 0.0;           ///< total wall time including plant builds
   std::size_t episodes = 0;      ///< episodes run (baseline + each policy)
   std::size_t total_steps = 0;   ///< control periods simulated
-  bool safety_violations = false;  ///< any left_x / left_xi anywhere (Thm 1: never)
+  /// Fault-free sweeps: any left_x / left_xi anywhere (Theorem 1: never).
+  /// Faulted sweeps: any left_x (hard safe-set violation) -- XI excursions
+  /// are the measured degradation there, not a bug.
+  bool safety_violations = false;
+  fault::FaultSpec faults;       ///< resolved fault model (inactive = none)
 
   double episodes_per_s() const { return static_cast<double>(episodes) / wall_s; }
   double step_ns() const { return 1e9 * wall_s / static_cast<double>(total_steps); }

@@ -86,10 +86,13 @@ Welford read_welford(std::istream& is) {
 void write_policy_stats(std::ostream& os, const PolicyStats& ps) {
   check_token(ps.name, "policy name");
   os << "stats " << ps.name << ' ' << ps.episodes << ' ' << ps.violations << ' '
-     << ps.left_x_episodes;
+     << ps.left_x_episodes << ' ' << ps.steps << ' ' << ps.degraded_steps << ' '
+     << ps.stale_forced << ' ' << ps.policy_unavail << ' ' << ps.meas_dropped
+     << ' ' << ps.act_dropped;
   write_welford(os, ps.saving);
   write_welford(os, ps.cost);
   write_welford(os, ps.skipped);
+  write_welford(os, ps.degraded);
   os << '\n';
 }
 
@@ -102,12 +105,33 @@ PolicyStats read_policy_stats(std::istream& is) {
   if (!(is >> ps.episodes >> ps.violations >> ps.left_x_episodes)) {
     throw NumericalError("mc checkpoint: truncated stats counters");
   }
+  if (!(is >> ps.steps >> ps.degraded_steps >> ps.stale_forced >>
+        ps.policy_unavail >> ps.meas_dropped >> ps.act_dropped)) {
+    throw NumericalError("mc checkpoint: truncated fault counters");
+  }
   OIC_REQUIRE(ps.violations <= ps.episodes && ps.left_x_episodes <= ps.violations,
               "mc checkpoint: inconsistent violation counters");
+  OIC_REQUIRE(ps.degraded_steps <= ps.steps && ps.stale_forced <= ps.degraded_steps &&
+                  ps.policy_unavail <= ps.degraded_steps &&
+                  ps.meas_dropped <= ps.steps && ps.act_dropped <= ps.steps,
+              "mc checkpoint: inconsistent fault counters");
   ps.saving = read_welford(is);
   ps.cost = read_welford(is);
   ps.skipped = read_welford(is);
+  ps.degraded = read_welford(is);
   return ps;
+}
+
+/// Accumulate the fault accounting of one episode (all zero when the
+/// campaign runs fault-free, so the counters stay zero there).
+void add_fault_accounting(PolicyStats& ps, const eval::EpisodeResult& r) {
+  ps.degraded.add(static_cast<double>(r.degraded_steps));
+  ps.steps += r.steps;
+  ps.degraded_steps += r.degraded_steps;
+  ps.stale_forced += r.stale_forced;
+  ps.policy_unavail += r.policy_unavail;
+  ps.meas_dropped += r.meas_dropped;
+  ps.act_dropped += r.act_dropped;
 }
 
 /// Accumulate one baseline episode result.
@@ -117,6 +141,7 @@ void add_baseline(PolicyStats& ps, const eval::EpisodeResult& r) {
   if (r.left_x || r.left_xi) ++ps.violations;
   if (r.left_x) ++ps.left_x_episodes;
   ++ps.episodes;
+  add_fault_accounting(ps, r);
 }
 
 /// Accumulate one policy episode result (paired against `base`).
@@ -128,6 +153,7 @@ void add_policy(PolicyStats& ps, const eval::EpisodeResult& base,
   if (r.left_x || r.left_xi) ++ps.violations;
   if (r.left_x) ++ps.left_x_episodes;
   ++ps.episodes;
+  add_fault_accounting(ps, r);
 }
 
 void merge_cell(CellStats& into, const CellStats& block) {
@@ -152,13 +178,13 @@ struct WorkerCtx {
   std::vector<std::unique_ptr<eval::EpisodeEngine>> engines;
 
   WorkerCtx(const eval::PlantCase& plant, const eval::PolicySetFactory& factory,
-            std::size_t num_policies)
-      : policies(factory()), base_engine(plant, baseline) {
+            std::size_t num_policies, const fault::FaultSpec& faults)
+      : policies(factory()), base_engine(plant, baseline, faults) {
     OIC_REQUIRE(policies.size() == num_policies,
                 "run_campaign: policy factory is not stable");
     engines.reserve(policies.size());
     for (auto& p : policies) {
-      engines.push_back(std::make_unique<eval::EpisodeEngine>(plant, *p));
+      engines.push_back(std::make_unique<eval::EpisodeEngine>(plant, *p, faults));
     }
   }
 };
@@ -185,6 +211,27 @@ void append_violation_json(std::string& out, const PolicyStats& ps) {
                 ps.violation_rate(), wilson.lo, wilson.hi);
 }
 
+/// Emit the per-step fault accounting: raw counters plus the Wilson
+/// interval of the degraded-step rate over all aggregated control periods
+/// (all zeros on fault-free campaigns -- the keys are unconditional so one
+/// schema covers both modes).
+void append_fault_json(std::string& out, const PolicyStats& ps) {
+  using jsonout::append_format;
+  append_format(out,
+                "\"steps\": %llu, \"degraded_steps\": %llu, "
+                "\"stale_forced\": %llu, \"policy_unavail\": %llu, "
+                "\"meas_dropped\": %llu, \"act_dropped\": %llu, ",
+                static_cast<unsigned long long>(ps.steps),
+                static_cast<unsigned long long>(ps.degraded_steps),
+                static_cast<unsigned long long>(ps.stale_forced),
+                static_cast<unsigned long long>(ps.policy_unavail),
+                static_cast<unsigned long long>(ps.meas_dropped),
+                static_cast<unsigned long long>(ps.act_dropped));
+  const Interval wilson = wilson_interval(ps.degraded_steps, ps.steps);
+  append_format(out, "\"degraded_rate\": %.17g, \"degraded_ci95\": [%.17g, %.17g]",
+                ps.degraded_rate(), wilson.lo, wilson.hi);
+}
+
 }  // namespace
 
 void PolicyStats::merge(const PolicyStats& other) {
@@ -192,9 +239,16 @@ void PolicyStats::merge(const PolicyStats& other) {
   saving.merge(other.saving);
   cost.merge(other.cost);
   skipped.merge(other.skipped);
+  degraded.merge(other.degraded);
   violations += other.violations;
   left_x_episodes += other.left_x_episodes;
   episodes += other.episodes;
+  degraded_steps += other.degraded_steps;
+  stale_forced += other.stale_forced;
+  policy_unavail += other.policy_unavail;
+  meas_dropped += other.meas_dropped;
+  act_dropped += other.act_dropped;
+  steps += other.steps;
 }
 
 std::uint64_t spec_fingerprint(const eval::ScenarioRegistry& registry,
@@ -212,11 +266,15 @@ std::uint64_t spec_fingerprint(const eval::ScenarioRegistry& registry,
   for (const auto& fid : grid.families) h.str(fid);
   h.u64(spec.policies.size());
   for (const auto& p : spec.policies) h.str(p);
+  // The CANONICAL fault string, so equal fault models always fingerprint
+  // equally regardless of CLI spelling ("" for fault-free campaigns).  A
+  // lossless checkpoint can then never resume a lossy campaign.
+  h.str(registry.resolve_faults(spec.faults).canonical());
   return h.value();
 }
 
 void save_checkpoint(const Checkpoint& ck, std::ostream& os) {
-  os << "oic-mc-checkpoint v1\n";
+  os << "oic-mc-checkpoint v2\n";
   os << std::setprecision(17);
   os << "fingerprint " << ck.fingerprint << '\n';
   os << "cells " << ck.cells.size() << '\n';
@@ -235,8 +293,10 @@ void save_checkpoint(const Checkpoint& ck, std::ostream& os) {
 Checkpoint load_checkpoint(std::istream& is) {
   std::string magic, version;
   is >> magic >> version;
-  if (!is || magic != "oic-mc-checkpoint" || version != "v1") {
-    throw NumericalError("load_checkpoint: bad magic/version header");
+  if (!is || magic != "oic-mc-checkpoint" || version != "v2") {
+    throw NumericalError("load_checkpoint: bad magic/version header (v2 "
+                         "required; v1 checkpoints predate fault accounting "
+                         "-- delete and rerun)");
   }
   std::string tag;
   Checkpoint ck;
@@ -269,19 +329,41 @@ Checkpoint load_checkpoint(std::istream& is) {
 }
 
 void save_checkpoint_file(const Checkpoint& ck, const std::string& path) {
-  // Temp-file rename, so a crash mid-write never destroys the previous
-  // resumable state (the same discipline as cert::Store::persist).
+  // Temp-file rename, so a crash (or any failure below) never destroys the
+  // previous resumable state (the same discipline as cert::Store::persist):
+  // `path` is only ever replaced by a complete, flushed document, and a
+  // failed attempt removes its temp file instead of leaking it.
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream os(tmp);
-    if (!os) throw NumericalError("save_checkpoint_file: cannot open " + tmp);
-    save_checkpoint(ck, os);
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      throw NumericalError("save_checkpoint_file: cannot open '" + tmp +
+                           "' (unwritable directory?); the previous checkpoint, "
+                           "if any, is intact");
+    }
+    try {
+      save_checkpoint(ck, os);
+      os.flush();
+      if (!os) {
+        throw NumericalError("save_checkpoint_file: write to '" + tmp +
+                             "' failed (disk full?); the previous checkpoint, "
+                             "if any, is intact");
+      }
+    } catch (...) {
+      os.close();
+      std::error_code rm;
+      std::filesystem::remove(tmp, rm);  // best effort; the throw wins
+      throw;
+    }
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
-    throw NumericalError("save_checkpoint_file: rename to " + path + " failed: " +
-                         ec.message());
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw NumericalError("save_checkpoint_file: rename to '" + path +
+                         "' failed: " + ec.message() +
+                         "; the previous checkpoint, if any, is intact");
   }
 }
 
@@ -307,6 +389,10 @@ CampaignResult run_campaign(const eval::ScenarioRegistry& registry,
   const Grid grid = resolve_grid(registry, spec);
   const eval::PolicySetFactory factory = eval::make_policy_factory(spec.policies);
   const std::size_t num_policies = spec.policies.size();
+  // Resolve the fault model once (preset id or raw grammar); every engine
+  // and every per-episode fault stream below derives from it.
+  const fault::FaultSpec faults = registry.resolve_faults(spec.faults);
+  const bool faulted = faults.active();
 
   // Trained agents are plant-specific: a drl:<path> policy with
   // provenance pins the whole grid to its plant (shared rule with
@@ -411,7 +497,7 @@ CampaignResult run_campaign(const eval::ScenarioRegistry& registry,
                         "run_campaign: chunk index exceeds worker slots");
               if (!worker_ctxs[chunk]) {
                 worker_ctxs[chunk] =
-                    std::make_unique<WorkerCtx>(*plant, factory, num_policies);
+                    std::make_unique<WorkerCtx>(*plant, factory, num_policies, faults);
               }
               WorkerCtx& ctx = *worker_ctxs[chunk];
               eval::EpisodeEngine& base_engine = ctx.base_engine;
@@ -432,7 +518,7 @@ CampaignResult run_campaign(const eval::ScenarioRegistry& registry,
                   Rng ep_rng(derive_stream(cell_seed, e));
                   const eval::Scenario scenario = family.sample(ep_rng);
                   const eval::CaseData data =
-                      eval::make_case(*plant, scenario, ep_rng, spec.steps);
+                      eval::make_case(*plant, scenario, ep_rng, spec.steps, faulted);
                   const eval::EpisodeResult base = base_engine.run(data);
                   add_baseline(acc.baseline, base);
                   for (std::size_t p = 0; p < num_policies; ++p) {
@@ -470,12 +556,20 @@ CampaignResult run_campaign(const eval::ScenarioRegistry& registry,
   }
   out.wall_s = seconds_since(t0);
   out.total_steps = out.episodes_run * spec.steps;
+  out.faults = faults;
+  // Fault-free campaigns: any violation (left_x or left_xi) is a bug
+  // (Theorem 1).  Faulted campaigns: XI excursions are the measured
+  // degradation; only leaving the hard safe set X counts as a violation.
   for (const auto& cell : out.cells) {
     out.episodes += cell.baseline.episodes;
-    out.safety_violations = out.safety_violations || cell.baseline.violations > 0;
+    out.safety_violations =
+        out.safety_violations ||
+        (faulted ? cell.baseline.left_x_episodes > 0 : cell.baseline.violations > 0);
     for (const auto& ps : cell.policies) {
       out.episodes += ps.episodes;
-      out.safety_violations = out.safety_violations || ps.violations > 0;
+      out.safety_violations =
+          out.safety_violations ||
+          (faulted ? ps.left_x_episodes > 0 : ps.violations > 0);
     }
   }
   return out;
@@ -507,6 +601,8 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
   append_string(out, spec.cert_dir);
   out += ", \"checkpoint\": ";
   append_string(out, spec.checkpoint);
+  out += ", \"faults\": ";
+  append_string(out, result.faults.canonical());
   out += "},\n";
 
   append_format(out,
@@ -531,6 +627,8 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
     append_welford_json(out, cell.baseline.cost);
     out += ", ";
     append_violation_json(out, cell.baseline);
+    out += ",\n      ";
+    append_fault_json(out, cell.baseline);
     out += "},\n     \"policies\": [\n";
     for (std::size_t p = 0; p < cell.policies.size(); ++p) {
       const PolicyStats& ps = cell.policies[p];
@@ -543,8 +641,12 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
       append_welford_json(out, ps.cost);
       out += ", \"skipped\": ";
       append_welford_json(out, ps.skipped);
-      out += ", ";
+      out += ", \"degraded\": ";
+      append_welford_json(out, ps.degraded);
+      out += ",\n       ";
       append_violation_json(out, ps);
+      out += ",\n       ";
+      append_fault_json(out, ps);
       out += (p + 1 < cell.policies.size()) ? "},\n" : "}\n";
     }
     out += (i + 1 < result.cells.size()) ? "    ]},\n" : "    ]}\n";

@@ -62,6 +62,13 @@ struct CampaignSpec {
   /// burns its budget -- and the final statistics are bit-identical to a
   /// single uninterrupted run.  Not part of the fingerprint.
   std::uint64_t max_blocks = 0;
+  /// Fault model for every episode: "" / "off" (default), a registered
+  /// preset id, or the fault::FaultSpec::parse grammar.  The CANONICAL
+  /// spec string is part of the fingerprint (a checkpoint from a lossless
+  /// campaign must not resume a lossy one), and the per-episode fault
+  /// stream is a pure function of (seed, cell, episode) -- worker-count
+  /// and resume bit-invariance hold with faults on.
+  std::string faults;
 };
 
 /// Streaming statistics of one policy within one cell.
@@ -70,13 +77,27 @@ struct PolicyStats {
   Welford saving;    ///< paired running-cost saving vs always-run
   Welford cost;      ///< running-cost total per episode
   Welford skipped;   ///< skipped steps per episode
+  Welford degraded;  ///< degraded-mode steps per episode (faulted runs)
   std::uint64_t violations = 0;       ///< episodes with left_x || left_xi
   std::uint64_t left_x_episodes = 0;  ///< episodes with left_x (Theorem 1)
   std::uint64_t episodes = 0;
+  /// Fault accounting over all aggregated control periods (zero on
+  /// fault-free campaigns).  `steps` is the Wilson-interval denominator
+  /// for the per-step degradation rates.
+  std::uint64_t degraded_steps = 0;
+  std::uint64_t stale_forced = 0;
+  std::uint64_t policy_unavail = 0;
+  std::uint64_t meas_dropped = 0;
+  std::uint64_t act_dropped = 0;
+  std::uint64_t steps = 0;
 
   double violation_rate() const {
     return episodes ? static_cast<double>(violations) / static_cast<double>(episodes)
                     : 0.0;
+  }
+  double degraded_rate() const {
+    return steps ? static_cast<double>(degraded_steps) / static_cast<double>(steps)
+                 : 0.0;
   }
 
   /// Fold `other` into this (fixed order: callers merge in block order).
@@ -102,7 +123,11 @@ struct CampaignResult {
   std::uint64_t episodes_run = 0;   ///< episode runs executed this process
   std::uint64_t total_steps = 0;    ///< control periods executed this process
   std::uint64_t resumed_blocks = 0; ///< blocks restored from a checkpoint
-  bool safety_violations = false;   ///< any violation anywhere (Thm 1: never)
+  /// Fault-free campaigns: any left_x / left_xi anywhere (Theorem 1:
+  /// never).  Faulted campaigns: any left_x (hard safe-set violation) --
+  /// XI excursions are the measured degradation there, not a bug.
+  bool safety_violations = false;
+  fault::FaultSpec faults;          ///< resolved fault model (inactive = none)
 
   double episodes_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(episodes_run) / wall_s : 0.0;
@@ -113,13 +138,14 @@ struct CampaignResult {
 };
 
 /// Fingerprint over the statistics-shaping spec fields (seed, episodes,
-/// steps, block, plants, families, policies -- NOT workers / cert_dir /
-/// checkpoint cadence, which cannot change results).  Guards checkpoint
-/// resumption against a mismatched campaign.
+/// steps, block, plants, families, policies, canonical fault spec -- NOT
+/// workers / cert_dir / checkpoint cadence, which cannot change results).
+/// Guards checkpoint resumption against a mismatched campaign.
 std::uint64_t spec_fingerprint(const eval::ScenarioRegistry& registry,
                                const CampaignSpec& spec);
 
-/// Serialized campaign progress (the `oic-mc-checkpoint v1` text format).
+/// Serialized campaign progress (the `oic-mc-checkpoint v2` text format;
+/// v2 added the per-policy fault accounting, so v1 files are rejected).
 struct Checkpoint {
   std::uint64_t fingerprint = 0;
   std::vector<CellStats> cells;  ///< prefix of cells with progress

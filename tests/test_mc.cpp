@@ -65,6 +65,12 @@ void expect_same_policy_stats(const PolicyStats& a, const PolicyStats& b) {
   EXPECT_EQ(a.episodes, b.episodes);
   EXPECT_EQ(a.violations, b.violations);
   EXPECT_EQ(a.left_x_episodes, b.left_x_episodes);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.degraded_steps, b.degraded_steps);
+  EXPECT_EQ(a.stale_forced, b.stale_forced);
+  EXPECT_EQ(a.policy_unavail, b.policy_unavail);
+  EXPECT_EQ(a.meas_dropped, b.meas_dropped);
+  EXPECT_EQ(a.act_dropped, b.act_dropped);
   const auto expect_same_welford = [](const oic::Welford& x, const oic::Welford& y) {
     EXPECT_EQ(x.count(), y.count());
     EXPECT_EQ(x.mean(), y.mean());
@@ -77,6 +83,7 @@ void expect_same_policy_stats(const PolicyStats& a, const PolicyStats& b) {
   expect_same_welford(a.saving, b.saving);
   expect_same_welford(a.cost, b.cost);
   expect_same_welford(a.skipped, b.skipped);
+  expect_same_welford(a.degraded, b.degraded);
 }
 
 void expect_same_cells(const std::vector<CellStats>& a, const std::vector<CellStats>& b) {
@@ -247,10 +254,13 @@ TEST(Campaign, MalformedCheckpointsReject) {
     return oic::mc::load_checkpoint(ss);
   };
   EXPECT_THROW(parse(""), oic::NumericalError);
-  EXPECT_THROW(parse("oic-mc-checkpoint v2\n"), oic::NumericalError);
-  EXPECT_THROW(parse("oic-mc-checkpoint v1\nfingerprint 1\ncells 1\n"),
+  // v1 predates the fault accounting; v3 does not exist.  Both reject at
+  // the header, before any stats parsing.
+  EXPECT_THROW(parse("oic-mc-checkpoint v1\n"), oic::NumericalError);
+  EXPECT_THROW(parse("oic-mc-checkpoint v3\n"), oic::NumericalError);
+  EXPECT_THROW(parse("oic-mc-checkpoint v2\nfingerprint 1\ncells 1\n"),
                oic::NumericalError);
-  EXPECT_THROW(parse("oic-mc-checkpoint v1\nfingerprint 1\ncells 999999999\n"),
+  EXPECT_THROW(parse("oic-mc-checkpoint v2\nfingerprint 1\ncells 999999999\n"),
                oic::NumericalError);
   // A valid document truncated before the end sentinel rejects too.
   Checkpoint ck;
@@ -267,6 +277,97 @@ TEST(Campaign, MalformedCheckpointsReject) {
   const std::string doc = ss.str();
   std::stringstream truncated(doc.substr(0, doc.size() - 5));
   EXPECT_THROW(oic::mc::load_checkpoint(truncated), oic::NumericalError);
+}
+
+TEST(Campaign, FaultedCampaignBitIdenticalAcrossWorkersAndResume) {
+  CampaignSpec spec = small_spec();
+  spec.faults = "meas_drop:0.1,meas_delay:1,act_drop:0.05,hold,policy_drop:0.05";
+  spec.workers = 1;
+  const CampaignResult serial = run_campaign(ScenarioRegistry::builtin(), spec);
+
+  // The fault model actually bites: degraded periods accumulate.
+  std::uint64_t degraded = 0;
+  for (const auto& cell : serial.cells) {
+    degraded += cell.baseline.degraded_steps;
+    for (const auto& ps : cell.policies) degraded += ps.degraded_steps;
+  }
+  EXPECT_GT(degraded, 0u);
+
+  // Worker-count invariance holds with faults on (the fault stream is a
+  // pure function of (seed, cell, episode), never of the partition).
+  spec.workers = 3;
+  const CampaignResult parallel = run_campaign(ScenarioRegistry::builtin(), spec);
+  expect_same_cells(serial.cells, parallel.cells);
+
+  // ...and so does checkpoint/resume slicing.
+  const std::string ck = scratch_dir() + "/faulted.ck";
+  std::filesystem::remove(ck);
+  spec.checkpoint = ck;
+  spec.checkpoint_blocks = 1;
+  CampaignResult sliced;
+  for (int slice = 0; slice < 3; ++slice) {
+    spec.max_blocks = (slice < 2) ? 3 : 0;
+    spec.workers = 1 + slice;
+    sliced = run_campaign(ScenarioRegistry::builtin(), spec);
+  }
+  EXPECT_GT(sliced.resumed_blocks, 0u);
+  expect_same_cells(serial.cells, sliced.cells);
+
+  // The fault model is part of the fingerprint: a lossless checkpoint can
+  // never resume a lossy campaign...
+  CampaignSpec off = spec;
+  off.faults = "";
+  EXPECT_NE(oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), spec),
+            oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), off));
+  // ...but equal fault models fingerprint equally regardless of spelling
+  // (the canonical string is hashed, not the raw flag).
+  CampaignSpec respelled = spec;
+  respelled.faults = "policy_drop:0.05,act_drop:0.05,meas_delay:1,hold,meas_drop:0.1";
+  EXPECT_EQ(oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), spec),
+            oic::mc::spec_fingerprint(ScenarioRegistry::builtin(), respelled));
+}
+
+TEST(Campaign, CheckpointWriteFailuresThrowAndPreserveThePreviousFile) {
+  const std::string dir = scratch_dir() + "/ckfail";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  Checkpoint ck;
+  ck.fingerprint = 7;
+  CellStats cell;
+  cell.plant = "toy2d";
+  cell.family = "bursts";
+  cell.baseline.name = "always-run";
+  cell.baseline.cost.add(1.0);
+  cell.baseline.episodes = 1;
+  ck.cells.push_back(cell);
+
+  // An unwritable destination (nonexistent directory) fails loudly, and
+  // leaves no temp file behind.
+  EXPECT_THROW(oic::mc::save_checkpoint_file(ck, dir + "/no-such-dir/x.ck"),
+               oic::NumericalError);
+
+  // A failed write must leave the previous checkpoint intact.  Blocking
+  // the temp path with a directory forces the open to fail even when the
+  // test runs with root privileges (chmod would be bypassed).
+  const std::string path = dir + "/progress.ck";
+  oic::mc::save_checkpoint_file(ck, path);
+  std::filesystem::create_directories(path + ".tmp");
+  Checkpoint bigger = ck;
+  bigger.cells[0].baseline.cost.add(2.0);
+  EXPECT_THROW(oic::mc::save_checkpoint_file(bigger, path), oic::NumericalError);
+  const Checkpoint survived = oic::mc::load_checkpoint_file(path);
+  EXPECT_EQ(survived.cells[0].baseline.cost.count(), 1u);
+  std::filesystem::remove_all(path + ".tmp");
+
+  // A failed rename (destination blocked by a directory) throws and
+  // removes its temp file.
+  const std::string blocked = dir + "/blocked.ck";
+  std::filesystem::create_directories(blocked);
+  EXPECT_THROW(oic::mc::save_checkpoint_file(ck, blocked), oic::NumericalError);
+  EXPECT_FALSE(std::filesystem::exists(blocked + ".tmp"));
+
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Campaign, RejectsUnknownIdsAndEmptyGrids) {

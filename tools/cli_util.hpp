@@ -109,4 +109,14 @@ inline void print_registry(const eval::ScenarioRegistry& reg) {
   }
 }
 
+/// Print the registered fault presets (what --faults accepts besides the
+/// raw key:value grammar).
+inline void print_fault_presets(const eval::ScenarioRegistry& reg) {
+  std::printf("fault presets (--faults <preset id> or key:value grammar):\n");
+  for (const auto& preset : reg.fault_presets()) {
+    std::printf("  %-15s %s  (%s)\n", preset.id.c_str(),
+                preset.description.c_str(), preset.spec.c_str());
+  }
+}
+
 }  // namespace oic::cliutil

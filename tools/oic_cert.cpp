@@ -164,5 +164,11 @@ int main(int argc, char** argv) {
   } catch (const oic::Error& e) {
     std::fprintf(stderr, "oic_cert: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Anything escaping the oic::Error hierarchy (bad_alloc, filesystem
+    // errors, ...) must still die with a diagnosable message and a
+    // nonzero exit, never a raw terminate().
+    std::fprintf(stderr, "oic_cert: unexpected error: %s\n", e.what());
+    return 1;
   }
 }

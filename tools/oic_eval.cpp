@@ -23,10 +23,16 @@
 ///   --cert-dir DIR           certificate cache (cert::Store): plant
 ///                            construction loads cached `oic-cert v1`
 ///                            files, synthesizing+writing only on miss
+///   --faults SPEC            network fault model: a preset id ("lossy",
+///                            ...) or the key:value grammar, e.g.
+///                            meas_drop:0.05,meas_delay:2,act_drop:0.02,hold
+///                            (default: off -- bit-identical legacy runs)
 ///   --json PATH              write the JSON document
-///   --list                   list plants/scenarios and exit
+///   --list                   list plants/scenarios/fault presets and exit
 ///
 /// Exit status: 0 on a clean sweep, 1 on safety violations or bad usage.
+/// Under --faults, "safety violation" means leaving the hard safe set X;
+/// XI excursions are the measured degradation, reported not fatal.
 
 #include <cstdint>
 #include <cstdio>
@@ -60,16 +66,26 @@ std::string join_or_all(const std::vector<std::string>& items) {
 }
 
 void print_summary(const SweepSpec& spec, const SweepResult& result) {
-  std::printf("\n%-10s %-10s %-12s %-14s %10s %10s %5s\n", "plant", "scenario", "seed",
-              "policy", "saving[%]", "skipped", "safe");
+  const bool faulted = result.faults.active();
+  std::printf("\n%-10s %-10s %-12s %-14s %10s %10s %10s %5s\n", "plant", "scenario",
+              "seed", "policy", "saving[%]", "skipped", "degraded", "safe");
   for (const auto& cell : result.cells) {
     const auto& r = cell.result;
     for (std::size_t p = 0; p < r.policy_names.size(); ++p) {
-      std::printf("%-10s %-10s %-12llu %-14s %10.2f %10.1f %5s\n", cell.plant.c_str(),
-                  cell.scenario.c_str(), static_cast<unsigned long long>(cell.seed),
+      // Fault-free: any excursion (X or XI) is a bug.  Faulted: only
+      // leaving the hard safe set X is; XI excursions are degradation.
+      const bool unsafe = faulted ? r.any_left_x[p] : r.any_violation[p];
+      std::printf("%-10s %-10s %-12llu %-14s %10.2f %10.1f %10.1f %5s\n",
+                  cell.plant.c_str(), cell.scenario.c_str(),
+                  static_cast<unsigned long long>(cell.seed),
                   r.policy_names[p].c_str(), 100.0 * oic::mean(r.savings[p]),
-                  r.mean_skipped[p], r.any_violation[p] ? "NO!" : "yes");
+                  r.mean_skipped[p], r.mean_degraded[p], unsafe ? "NO!" : "yes");
     }
+  }
+  if (faulted) {
+    std::printf("\nfaults: %s (hard violations = leaving X; XI excursions are "
+                "measured degradation)\n",
+                result.faults.canonical().c_str());
   }
   std::printf("\nsweep: %zu cells, %zu episodes, %.2f s wall  |  %.1f episodes/s  |  "
               "%.0f ns/step\n",
@@ -89,14 +105,17 @@ int main(int argc, char** argv) {
   if (args.flag("help")) {
     std::printf("usage: oic_eval [--plant a,b] [--scenario a,b] [--policies a,b]\n"
                 "                [--cases N] [--steps N] [--seeds a,b] [--workers N]\n"
-                "                [--cert-dir DIR] [--json PATH] [--list]\n"
+                "                [--cert-dir DIR] [--faults SPEC] [--json PATH]\n"
+                "                [--list]\n"
                 "policies: always-run | bang-bang | periodic-N | burst:<k> | "
                 "drl:<agent file>\n");
     print_registry(registry);
+    oic::cliutil::print_fault_presets(registry);
     return 0;
   }
   if (args.flag("list")) {
     print_registry(registry);
+    oic::cliutil::print_fault_presets(registry);
     return 0;
   }
 
@@ -135,6 +154,7 @@ int main(int argc, char** argv) {
     }
   }
   (void)args.value("cert-dir", spec.cert_dir);
+  (void)args.value("faults", spec.faults);
   std::string json_path;
   const bool write_json = args.value("json", json_path);
 
@@ -167,6 +187,12 @@ int main(int argc, char** argv) {
     return result.safety_violations ? 1 : 0;
   } catch (const oic::Error& e) {
     std::fprintf(stderr, "oic_eval: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything escaping the oic::Error hierarchy (bad_alloc, filesystem
+    // errors, ...) must still die with a diagnosable message and a
+    // nonzero exit, never a raw terminate().
+    std::fprintf(stderr, "oic_eval: unexpected error: %s\n", e.what());
     return 1;
   }
 }

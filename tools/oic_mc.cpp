@@ -29,10 +29,17 @@
 ///   --checkpoint-blocks N    checkpoint cadence in blocks (default 64)
 ///   --max-blocks N           per-process block budget: stop after N blocks
 ///                            (resume later from --checkpoint); 0 = run all
+///   --faults SPEC            network fault model: a preset id ("lossy",
+///                            ...) or the key:value grammar, e.g.
+///                            meas_drop:0.05,meas_delay:2,act_drop:0.02,hold
+///                            (default: off -- bit-identical legacy runs).
+///                            Part of the checkpoint fingerprint.
 ///   --json PATH              write the JSON document
-///   --list                   list plants/families and exit
+///   --list                   list plants/families/fault presets and exit
 ///
 /// Exit status: 0 on a clean campaign, 1 on safety violations or bad usage.
+/// Under --faults, "safety violation" means leaving the hard safe set X;
+/// XI excursions are the measured degradation, reported not fatal.
 
 #include <cstdint>
 #include <cstdio>
@@ -78,17 +85,23 @@ void print_families(const ScenarioRegistry& registry) {
 }
 
 void print_summary(const CampaignSpec& spec, const CampaignResult& result) {
-  std::printf("\n%-10s %-15s %-14s %12s %22s %10s %12s\n", "plant", "family", "policy",
-              "saving[%]", "ci95[%]", "skipped", "viol-ub95");
+  const bool faulted = result.faults.active();
+  std::printf("\n%-10s %-15s %-14s %12s %22s %10s %10s %12s\n", "plant", "family",
+              "policy", "saving[%]", "ci95[%]", "skipped", "degraded", "viol-ub95");
   for (const auto& cell : result.cells) {
     for (const auto& ps : cell.policies) {
       const oic::Interval saving = oic::normal_interval(ps.saving);
       const oic::Interval wilson = oic::wilson_interval(ps.violations, ps.episodes);
-      std::printf("%-10s %-15s %-14s %12.2f [%8.2f, %8.2f] %10.1f %12.2e\n",
+      std::printf("%-10s %-15s %-14s %12.2f [%8.2f, %8.2f] %10.1f %10.1f %12.2e\n",
                   cell.plant.c_str(), cell.family.c_str(), ps.name.c_str(),
                   100.0 * ps.saving.mean(), 100.0 * saving.lo, 100.0 * saving.hi,
-                  ps.skipped.mean(), wilson.hi);
+                  ps.skipped.mean(), ps.degraded.mean(), wilson.hi);
     }
+  }
+  if (faulted) {
+    std::printf("\nfaults: %s (hard violations = leaving X; XI excursions are "
+                "measured degradation)\n",
+                result.faults.canonical().c_str());
   }
   std::printf("\ncampaign: %zu cells, %llu episodes aggregated "
               "(%llu run now, %llu blocks resumed), %.2f s wall  |  "
@@ -115,15 +128,17 @@ int main(int argc, char** argv) {
         "usage: oic_mc [--plants a,b] [--families a,b] [--policies a,b]\n"
         "              [--episodes N] [--steps N] [--seed N] [--workers N]\n"
         "              [--block N] [--cert-dir DIR] [--checkpoint PATH]\n"
-        "              [--checkpoint-blocks N] [--max-blocks N] [--json PATH]\n"
-        "              [--list]\n"
+        "              [--checkpoint-blocks N] [--max-blocks N] [--faults SPEC]\n"
+        "              [--json PATH] [--list]\n"
         "policies: always-run | bang-bang | periodic-N | burst:<k> | "
         "drl:<agent file>\n");
     print_families(registry);
+    oic::cliutil::print_fault_presets(registry);
     return 0;
   }
   if (args.flag("list")) {
     print_families(registry);
+    oic::cliutil::print_fault_presets(registry);
     return 0;
   }
 
@@ -160,6 +175,7 @@ int main(int argc, char** argv) {
   }
   (void)args.value("cert-dir", spec.cert_dir);
   (void)args.value("checkpoint", spec.checkpoint);
+  (void)args.value("faults", spec.faults);
   std::string json_path;
   const bool write_json = args.value("json", json_path);
 
@@ -194,6 +210,12 @@ int main(int argc, char** argv) {
     return result.safety_violations ? 1 : 0;
   } catch (const oic::Error& e) {
     std::fprintf(stderr, "oic_mc: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything escaping the oic::Error hierarchy (bad_alloc, filesystem
+    // errors, ...) must still die with a diagnosable message and a
+    // nonzero exit, never a raw terminate().
+    std::fprintf(stderr, "oic_mc: unexpected error: %s\n", e.what());
     return 1;
   }
 }
