@@ -38,11 +38,14 @@
 #include "cert/io.hpp"
 #include "cert/store.hpp"
 #include "common/buildinfo.hpp"
+#include "common/jsonout.hpp"
 #include "common/stats.hpp"
 #include "core/policy.hpp"
 #include "eval/registry.hpp"
 #include "mc/campaign.hpp"
 #include "rl/dqn.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -257,6 +260,70 @@ McBenchResult bench_mc_campaign(std::uint64_t episodes, std::size_t steps,
   return out;
 }
 
+/// Serve-layer bench: the multi-session monitor service under
+/// scenario-family traffic (src/serve).  Loadgen clients replay
+/// mc::ScenarioFamily disturbances against an in-process Server at 10k+
+/// concurrent sessions; reported are decision-latency percentiles and the
+/// sustained session rate.  The batched decision path must be
+/// bit-identical to the per-session IntermittentController path
+/// (check_batched_parity compares z/forced/input/state bitwise).
+struct ServeBenchResult {
+  std::size_t sessions = 0;
+  std::size_t steps = 0;
+  std::size_t clients = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t errors = 0;
+  double wall_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double decisions_per_s = 0.0;
+  double sessions_per_s = 0.0;
+  bool bit_identical = true;
+  std::size_t parity_decisions = 0;
+  std::string parity_detail;
+};
+
+ServeBenchResult bench_serve(std::size_t sessions, std::size_t steps,
+                             std::size_t workers, std::uint64_t seed) {
+  const auto& registry = oic::eval::ScenarioRegistry::builtin();
+  ServeBenchResult out;
+
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = workers;
+  oic::serve::LoadgenConfig lg;
+  lg.plants = {"toy2d"};
+  lg.policy = "bang-bang";
+  lg.sessions = sessions;
+  lg.steps = steps;
+  lg.clients = 4;
+  lg.seed = seed;
+  {
+    oic::serve::Server server(registry, cfg);
+    const oic::serve::LoadgenResult res =
+        oic::serve::run_loadgen(server, registry, lg);
+    server.shutdown();
+    out.sessions = res.sessions;
+    out.steps = res.steps;
+    out.clients = lg.clients;
+    out.decisions = res.decisions;
+    out.errors = res.errors;
+    out.wall_s = res.wall_s;
+    out.p50_ms = res.p50_ms;
+    out.p99_ms = res.p99_ms;
+    out.decisions_per_s = res.decisions_per_s;
+    out.sessions_per_s = res.sessions_per_s;
+  }
+
+  // Small but adversarial parity census: interleaved sessions, policies
+  // round-robin across the monitor-only, periodic, and forced regimes.
+  const oic::serve::ParityReport parity = oic::serve::check_batched_parity(
+      registry, "toy2d", {"bang-bang", "periodic-3"}, 8, 40, seed);
+  out.bit_identical = parity.identical;
+  out.parity_decisions = parity.decisions;
+  out.parity_detail = parity.detail;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -400,60 +467,98 @@ int main(int argc, char** argv) {
   std::printf("campaign safety violations: %s\n\n",
               mc.violations ? "YES (BUG!)" : "none");
 
+  // ---- Serve layer: multi-session monitor service ----
+  const std::size_t serve_sessions =
+      std::max<std::size_t>(1, benchutil::flag(argc, argv, "serve-sessions", 10000));
+  const std::size_t serve_steps =
+      std::max<std::size_t>(1, benchutil::flag(argc, argv, "serve-steps", 10));
+  std::printf("=== Serve: batched monitor service, %zu concurrent sessions ===\n",
+              serve_sessions);
+  const ServeBenchResult srv = bench_serve(serve_sessions, serve_steps, workers, seed);
+  std::printf("loadgen    : %zu sessions x %zu steps, %zu clients, %.2f s wall\n",
+              srv.sessions, srv.steps, srv.clients, srv.wall_s);
+  std::printf("latency    : p50 %8.3f ms  |  p99 %8.3f ms (submit -> await)\n",
+              srv.p50_ms, srv.p99_ms);
+  std::printf("throughput : %8.0f decisions/s  |  %8.0f sessions/s sustained\n",
+              srv.decisions_per_s, srv.sessions_per_s);
+  std::printf("batched decisions bit-identical to per-session path: %s "
+              "(%zu decision pairs)\n",
+              srv.bit_identical ? "yes" : "NO (BUG!)", srv.parity_decisions);
+  if (!srv.bit_identical) {
+    std::printf("  first divergence: %s\n", srv.parity_detail.c_str());
+  }
+  std::printf("loadgen errors: %llu (must be 0)\n\n",
+              static_cast<unsigned long long>(srv.errors));
+
   // ---- JSON ----
   const char* json_path = json_flag(argc, argv);
   bool json_written = false;
-  if (std::FILE* f = std::fopen(json_path, "w")) {
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"throughput\",\n");
-    std::fprintf(f, "  \"meta\": %s,\n", oic::build_meta_json().c_str());
-    std::fprintf(f,
-                 "  \"config\": {\"cases\": %zu, \"steps\": %zu, \"workers\": %zu, "
-                 "\"policies\": [\"bang-bang\", \"periodic-5\"], \"seed\": %llu},\n",
-                 cases, steps, workers, static_cast<unsigned long long>(seed));
+  {
+    using oic::jsonout::append_format;
+    oic::jsonout::Doc doc("throughput");
+    std::string& out = doc.body();
+    append_format(out,
+                  "  \"config\": {\"cases\": %zu, \"steps\": %zu, \"workers\": %zu, "
+                  "\"policies\": [\"bang-bang\", \"periodic-5\"], \"seed\": %llu},\n",
+                  cases, steps, workers, static_cast<unsigned long long>(seed));
     auto emit = [&](const char* k, const Timing& t) {
-      std::fprintf(f,
-                   "  \"%s\": {\"wall_s\": %.6f, \"episodes\": %zu, "
-                   "\"episodes_per_s\": %.3f, \"step_ns\": %.1f},\n",
-                   k, t.wall_s, t.episodes, t.episodes_per_s(), t.step_ns());
+      append_format(out,
+                    "  \"%s\": {\"wall_s\": %.6f, \"episodes\": %zu, "
+                    "\"episodes_per_s\": %.3f, \"step_ns\": %.1f},\n",
+                    k, t.wall_s, t.episodes, t.episodes_per_s(), t.step_ns());
     };
     emit("legacy", legacy);
     emit("engine_serial", serial);
     emit("engine_parallel", parallel);
-    std::fprintf(f, "  \"speedup_serial\": %.3f,\n", speedup_serial);
-    std::fprintf(f, "  \"speedup_parallel\": %.3f,\n", speedup_parallel);
-    std::fprintf(f, "  \"parallel_bit_identical\": %s,\n", identical ? "true" : "false");
-    std::fprintf(f, "  \"max_saving_delta_vs_legacy\": %.3e,\n", max_delta);
-    std::fprintf(f,
-                 "  \"train_minibatch\": {\"updates\": %zu, \"per_sample_us\": %.2f, "
-                 "\"batched_us\": %.2f, \"speedup\": %.3f, "
-                 "\"max_weight_delta\": %.3e, \"bit_identical\": %s},\n",
-                 train_updates, train.per_sample_us, train.batched_us, train.speedup,
-                 train.max_weight_delta, train_identical ? "true" : "false");
-    std::fprintf(f,
-                 "  \"cert_cold_start\": {\"plants\": %zu, \"synth_ms\": %.2f, "
-                 "\"load_ms\": %.3f, \"speedup\": %.1f, \"bit_identical\": %s},\n",
-                 cert.plants, cert.synth_ms, cert.load_ms, cert.speedup,
-                 cert.bit_identical ? "true" : "false");
-    std::fprintf(f,
-                 "  \"mc_campaign\": {\"episodes\": %llu, \"serial_s\": %.3f, "
-                 "\"parallel_s\": %.3f, \"episodes_per_s\": %.1f, "
-                 "\"step_ns\": %.1f, \"bit_identical\": %s, \"violations\": %s},\n",
-                 static_cast<unsigned long long>(mc.episodes), mc.serial_s,
-                 mc.parallel_s, mc.parallel_episodes_per_s, mc.step_ns,
-                 mc.bit_identical ? "true" : "false",
-                 mc.violations ? "true" : "false");
-    std::fprintf(f, "  \"safety_violations\": %s\n", violation ? "true" : "false");
-    std::fprintf(f, "}\n");
-    std::fclose(f);
-    json_written = true;
-    std::printf("wrote %s\n", json_path);
-  } else {
-    std::fprintf(stderr, "could not write %s\n", json_path);
+    append_format(out, "  \"speedup_serial\": %.3f,\n", speedup_serial);
+    append_format(out, "  \"speedup_parallel\": %.3f,\n", speedup_parallel);
+    append_format(out, "  \"parallel_bit_identical\": %s,\n",
+                  identical ? "true" : "false");
+    append_format(out, "  \"max_saving_delta_vs_legacy\": %.3e,\n", max_delta);
+    append_format(out,
+                  "  \"train_minibatch\": {\"updates\": %zu, \"per_sample_us\": %.2f, "
+                  "\"batched_us\": %.2f, \"speedup\": %.3f, "
+                  "\"max_weight_delta\": %.3e, \"bit_identical\": %s},\n",
+                  train_updates, train.per_sample_us, train.batched_us, train.speedup,
+                  train.max_weight_delta, train_identical ? "true" : "false");
+    append_format(out,
+                  "  \"cert_cold_start\": {\"plants\": %zu, \"synth_ms\": %.2f, "
+                  "\"load_ms\": %.3f, \"speedup\": %.1f, \"bit_identical\": %s},\n",
+                  cert.plants, cert.synth_ms, cert.load_ms, cert.speedup,
+                  cert.bit_identical ? "true" : "false");
+    append_format(out,
+                  "  \"mc_campaign\": {\"episodes\": %llu, \"serial_s\": %.3f, "
+                  "\"parallel_s\": %.3f, \"episodes_per_s\": %.1f, "
+                  "\"step_ns\": %.1f, \"bit_identical\": %s, \"violations\": %s},\n",
+                  static_cast<unsigned long long>(mc.episodes), mc.serial_s,
+                  mc.parallel_s, mc.parallel_episodes_per_s, mc.step_ns,
+                  mc.bit_identical ? "true" : "false",
+                  mc.violations ? "true" : "false");
+    append_format(out,
+                  "  \"bench_serve\": {\"sessions\": %zu, \"steps\": %zu, "
+                  "\"clients\": %zu, \"decisions\": %llu, \"wall_s\": %.3f, "
+                  "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"decisions_per_s\": %.1f, "
+                  "\"sessions_per_s\": %.1f, \"bit_identical\": %s, "
+                  "\"errors\": %llu},\n",
+                  srv.sessions, srv.steps, srv.clients,
+                  static_cast<unsigned long long>(srv.decisions), srv.wall_s,
+                  srv.p50_ms, srv.p99_ms, srv.decisions_per_s, srv.sessions_per_s,
+                  srv.bit_identical ? "true" : "false",
+                  static_cast<unsigned long long>(srv.errors));
+    const std::string body = std::move(doc).finish(violation);
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      json_written = true;
+      std::printf("wrote %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "could not write %s\n", json_path);
+    }
   }
 
   return (identical && train_identical && cert.bit_identical && mc.bit_identical &&
-          !mc.violations && !violation && json_written)
+          srv.bit_identical && srv.errors == 0 && !mc.violations && !violation &&
+          json_written)
              ? 0
              : 1;
 }

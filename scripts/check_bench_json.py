@@ -15,6 +15,8 @@ documents, like oic_train's, that have no committed reference).
 Also enforces the semantic invariants every bench document shares:
   * "safety_violations" must be false (Theorem 1: the monitor never lets
     the loop leave X);
+  * "schema_version" must be a positive integer (the shared jsonout::Doc
+    envelope every producer stamps);
   * "parallel_bit_identical", when present, must be true;
   * "meta" must carry the build provenance strings git_sha / compiler /
     build_type (common/buildinfo.hpp);
@@ -39,7 +41,12 @@ Also enforces the semantic invariants every bench document shares:
   * when config.faults is a non-empty spec string (a faulted campaign),
     every results[] entry must report left_x_episodes == 0: under faults
     XI excursions are measured degradation, but leaving the hard safe set
-    X is a safety violation and fails the document.
+    X is a safety violation and fails the document;
+  * "bench_serve" (bench_throughput's monitor-service section), when
+    present, must report bit_identical == true (batched decisions must
+    reproduce the per-session IntermittentController path exactly),
+    errors == 0, sessions >= 10000 (the service-capacity contract),
+    0 <= p50_ms <= p99_ms, and sessions_per_s > 0.
 
 The CI bench-smoke job runs this over (committed BENCH_throughput.json,
 fresh smoke output); the train-smoke job uses --self on the oic_train and
@@ -90,6 +97,10 @@ def compare(reference, candidate, path, errors):
 def check_semantics(candidate, errors):
     if candidate.get("safety_violations") is not False:
         errors.append("safety_violations: must be present and false (Theorem 1)")
+    version = candidate.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        errors.append("schema_version: must be a positive integer (the shared "
+                      "jsonout::Doc envelope)")
     if "parallel_bit_identical" in candidate and \
             candidate["parallel_bit_identical"] is not True:
         errors.append("parallel_bit_identical: must be true")
@@ -167,6 +178,30 @@ def check_semantics(candidate, errors):
                     errors.append(f"{path}.left_x_episodes: must be 0 -- a "
                                   f"faulted campaign may degrade (XI "
                                   f"excursions) but never leave X")
+
+    serve = candidate.get("bench_serve")
+    if serve is not None:
+        if serve.get("bit_identical") is not True:
+            errors.append("bench_serve.bit_identical: must be true (batched "
+                          "decisions must reproduce the per-session path)")
+        if serve.get("errors") != 0:
+            errors.append("bench_serve.errors: must be 0 (fault-free traffic "
+                          "must never draw an error response)")
+        sessions = serve.get("sessions")
+        if not isinstance(sessions, int) or isinstance(sessions, bool) \
+                or sessions < 10000:
+            errors.append("bench_serve.sessions: must be an integer >= 10000 "
+                          "(the service-capacity contract)")
+        p50, p99 = serve.get("p50_ms"), serve.get("p99_ms")
+        numbers = all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                      for v in (p50, p99))
+        if not numbers or p50 < 0 or p50 > p99:
+            errors.append("bench_serve.p50_ms/p99_ms: must satisfy "
+                          "0 <= p50 <= p99")
+        rate = serve.get("sessions_per_s")
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool) \
+                or rate <= 0:
+            errors.append("bench_serve.sessions_per_s: must be > 0")
 
     cert = candidate.get("cert_cold_start")
     if cert is not None:

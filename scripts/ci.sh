@@ -7,7 +7,7 @@
 #   scripts/ci.sh [--compiler gcc|clang] [--config Release|Sanitize]
 #                 [--build-dir DIR] [--build-only] [--bench-only]
 #                 [--train-only] [--cert-only] [--mc-only] [--fault-only]
-#                 [--format-only]
+#                 [--serve-only] [--format-only]
 #
 #   build+test   configure with -Werror, build everything, ctest
 #   bench smoke  scripts/bench.sh --quick + JSON schema check against the
@@ -29,6 +29,12 @@
 #                --self (which enforces left_x_episodes == 0 for faulted
 #                documents), and the CLI error paths (malformed --faults,
 #                unknown preset) must exit nonzero with a diagnostic
+#   serve smoke  an oic_loadgen burst against the in-process monitor server
+#                (captured with --emit), the capture replayed through the
+#                standalone oic_serve, decision counts compared between the
+#                two runs, both JSON reports passing check_bench_json.py
+#                --self, and the malformed-request error path (garbage on
+#                --in must exit nonzero with an oic_serve: diagnostic)
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/
 #                tools/ (blocking; skipped with a warning when clang-format
 #                is absent)
@@ -48,6 +54,7 @@ do_train=1
 do_cert=1
 do_mc=1
 do_fault=1
+do_serve=1
 do_format=1
 
 while [[ $# -gt 0 ]]; do
@@ -59,19 +66,21 @@ while [[ $# -gt 0 ]]; do
     --build-dir) build_dir="$2"; shift 2 ;;
     --build-dir=*) build_dir="${1#*=}"; shift ;;
     --build-only) do_bench=0; do_train=0; do_cert=0; do_mc=0; do_fault=0
-                  do_format=0; shift ;;
+                  do_serve=0; do_format=0; shift ;;
     --bench-only) do_build=0; do_train=0; do_cert=0; do_mc=0; do_fault=0
-                  do_format=0; shift ;;
+                  do_serve=0; do_format=0; shift ;;
     --train-only) do_build=0; do_bench=0; do_cert=0; do_mc=0; do_fault=0
-                  do_format=0; shift ;;
+                  do_serve=0; do_format=0; shift ;;
     --cert-only) do_build=0; do_bench=0; do_train=0; do_mc=0; do_fault=0
-                 do_format=0; shift ;;
+                 do_serve=0; do_format=0; shift ;;
     --mc-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_fault=0
-               do_format=0; shift ;;
+               do_serve=0; do_format=0; shift ;;
     --fault-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
-                  do_format=0; shift ;;
+                  do_serve=0; do_format=0; shift ;;
+    --serve-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
+                  do_fault=0; do_format=0; shift ;;
     --format-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
-                   do_fault=0; shift ;;
+                   do_fault=0; do_serve=0; shift ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -238,6 +247,55 @@ EOF
     exit 1
   }
   echo "fault smoke: CLI error paths diagnose and exit nonzero"
+fi
+
+if [[ ${do_serve} -eq 1 ]]; then
+  echo "=== serve smoke: oic_loadgen burst -> oic_serve replay + error path ==="
+  smoke_build="${repo_root}/build"
+  cmake -B "${smoke_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${smoke_build}" --target oic_serve oic_loadgen -j"$(nproc)"
+  serve_dir="${smoke_build}/ci-serve"
+  rm -rf "${serve_dir}"
+  mkdir -p "${serve_dir}"
+  # Burst against the in-process server, capturing the exact request
+  # traffic (client-assigned session ids make the capture replayable).
+  "${smoke_build}/oic_loadgen" --plants toy2d --sessions 256 --steps 5 \
+    --clients 3 --workers 2 --emit "${serve_dir}/burst.reqs" \
+    --json "${serve_dir}/LOADGEN_smoke.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${serve_dir}/LOADGEN_smoke.json"
+  # Replay the capture through the standalone server; a fresh server fed
+  # the same requests must issue the same number of decisions and no
+  # errors.
+  "${smoke_build}/oic_serve" --in "${serve_dir}/burst.reqs" \
+    --out "${serve_dir}/burst.resps" --workers 2 \
+    --json "${serve_dir}/SERVE_smoke.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${serve_dir}/SERVE_smoke.json"
+  python3 - "${serve_dir}/LOADGEN_smoke.json" "${serve_dir}/SERVE_smoke.json" <<'EOF'
+import json, sys
+lg, sv = (json.load(open(p)) for p in sys.argv[1:3])
+want = lg["loadgen"]["decisions"]
+got = sv["serve"]["decisions"]
+if want == 0 or got != want:
+    sys.exit(f"serve smoke: replay produced {got} decisions, expected {want}")
+if sv["serve"]["errors"] or sv["serve"]["invariant_errors"]:
+    sys.exit("serve smoke: replay drew error responses from a clean capture")
+print(f"serve smoke: replay reproduced all {got} decisions, zero errors")
+EOF
+  # Error path: a malformed request stream must die with a diagnostic and
+  # a nonzero exit, never hang or answer garbage.
+  printf 'oic-serve v1\nrequests 1\nping 1\nend\n' >"${serve_dir}/bad.reqs"
+  if "${smoke_build}/oic_serve" --in "${serve_dir}/bad.reqs" \
+       --out /dev/null 2>"${serve_dir}/err.txt"; then
+    echo "serve smoke: oic_serve accepted a malformed request stream" >&2
+    exit 1
+  fi
+  grep -q "oic_serve:" "${serve_dir}/err.txt" || {
+    echo "serve smoke: no diagnostic for the malformed request stream" >&2
+    exit 1
+  }
+  echo "serve smoke: malformed streams diagnose and exit nonzero"
 fi
 
 if [[ ${do_format} -eq 1 ]]; then

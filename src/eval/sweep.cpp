@@ -11,7 +11,6 @@
 #include "common/error.hpp"
 #include "common/jsonout.hpp"
 #include "common/stats.hpp"
-#include "core/drl_policy.hpp"
 #include "rl/serialize.hpp"
 
 namespace oic::eval {
@@ -27,68 +26,7 @@ double seconds_since(Clock::time_point t0) {
 using jsonout::append_format;
 using jsonout::append_string_array;
 
-/// Strict positive-count parse for policy-spec payloads: digits only (no
-/// sign, no trailing junk -- strtoul would wrap "-2" to a huge depth), at
-/// least 1.
-bool parse_policy_count(const std::string& payload, std::size_t& out) {
-  if (payload.empty() || payload.size() > 9 ||
-      payload.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  out = static_cast<std::size_t>(std::strtoul(payload.c_str(), nullptr, 10));
-  return out >= 1;
-}
-
 }  // namespace
-
-std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec) {
-  if (spec == "always-run") return std::make_unique<core::AlwaysRunPolicy>();
-  if (spec == "bang-bang") return std::make_unique<core::BangBangPolicy>();
-  const std::string periodic = "periodic-";
-  std::size_t n = 0;
-  if (spec.rfind(periodic, 0) == 0 &&
-      parse_policy_count(spec.substr(periodic.size()), n)) {
-    return std::make_unique<core::PeriodicPolicy>(n);
-  }
-  // "burst:<k>": bang-bang decisions plus a certified k-burst request; the
-  // engines wire the plant certificate's skip ladder into the framework
-  // (IntermittentConfig::burst_depth), which amortizes the monitor over
-  // each burst.  Depth is clamped to the ladder the plant actually carries.
-  const std::string burst = "burst:";
-  if (spec.rfind(burst, 0) == 0) {
-    if (parse_policy_count(spec.substr(burst.size()), n)) {
-      return std::make_unique<core::BurstSkipPolicy>(n);
-    }
-    throw PreconditionError("policy '" + spec + "': burst depth must be >= 1");
-  }
-  // "drl:<path>": a trained skipping agent serialized by oic_train.  Each
-  // call loads its own copy -- per-worker policy sets stay independently
-  // owned; the files are small (a few hundred KB of text).  Greedy
-  // decisions are stateless, so the policy is trivially reset()-complete
-  // (the parallel engine's bit-parity requirement).
-  const std::string drl = "drl:";
-  if (spec.rfind(drl, 0) == 0 && spec.size() > drl.size()) {
-    rl::AgentSnapshot snap = [&]() -> rl::AgentSnapshot {
-      try {
-        return rl::load_agent_file(spec.substr(drl.size()));
-      } catch (const Error& e) {
-        throw PreconditionError("policy '" + spec + "': " + std::string(e.what()));
-      }
-    }();
-    const std::size_t state_dim = snap.net.sizes().front();
-    // An empty scale is a documented format case ("no scaling"); a
-    // non-empty one must match the network input.
-    OIC_REQUIRE(snap.state_scale.empty() || snap.state_scale.size() == state_dim,
-                "policy '" + spec + "': scale/network dimension mismatch");
-    const std::size_t w_dim = state_dim / (snap.memory + 1);
-    return core::DrlPolicy::from_network(
-        std::make_shared<rl::Mlp>(std::move(snap.net)), snap.memory, w_dim,
-        std::move(snap.state_scale), spec);
-  }
-  throw PreconditionError(
-      "unknown policy '" + spec +
-      "' (known: always-run, bang-bang, periodic-N, burst:<k>, drl:<path>)");
-}
 
 void require_policies_trained_for(const std::vector<std::string>& policy_specs,
                                   const std::vector<std::string>& plant_ids,
@@ -228,10 +166,8 @@ SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
 }
 
 std::string sweep_json(const SweepSpec& spec, const SweepResult& result) {
-  std::string out;
-  out += "{\n";
-  out += "  \"bench\": \"oic_eval\",\n";
-  out += "  \"meta\": " + build_meta_json() + ",\n";
+  jsonout::Doc doc("oic_eval");
+  std::string& out = doc.body();
 
   // "config" carries the bench_throughput keys (cases, steps, workers,
   // policies, seed) plus the sweep's grid axes.
@@ -295,10 +231,7 @@ std::string sweep_json(const SweepSpec& spec, const SweepResult& result) {
     out += (i + 1 < result.cells.size()) ? "    ]},\n" : "    ]}\n";
   }
   out += "  ],\n";
-  append_format(out, "  \"safety_violations\": %s\n",
-                result.safety_violations ? "true" : "false");
-  out += "}\n";
-  return out;
+  return std::move(doc).finish(result.safety_violations);
 }
 
 }  // namespace oic::eval

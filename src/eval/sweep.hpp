@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "eval/engine.hpp"
+#include "eval/policy_spec.hpp"
 #include "eval/registry.hpp"
 
 namespace oic::eval {
@@ -71,11 +72,6 @@ struct SweepResult {
   double episodes_per_s() const { return static_cast<double>(episodes) / wall_s; }
   double step_ns() const { return 1e9 * wall_s / static_cast<double>(total_steps); }
 };
-
-/// Parse one policy spec: "always-run", "bang-bang", "periodic-N" (N >= 1),
-/// "burst:<k>" (k >= 1; certified burst skipping over the plant's k-step
-/// ladder), or "drl:<path>".  Throws PreconditionError on anything else.
-std::unique_ptr<core::SkipPolicy> make_policy(const std::string& spec);
 
 /// Per-worker factory over a list of policy specs (validates every spec
 /// eagerly, so bad CLI input fails before any plant is built).

@@ -10,7 +10,9 @@
 /// ((sum_j a_ij x_j) + b_i, j ascending), so results are bit-identical to
 /// the allocating expressions they replace.
 
+#include <algorithm>
 #include <cstddef>
+#include <limits>
 
 #include "linalg/matrix.hpp"
 
@@ -114,6 +116,32 @@ inline void gemm_grad_accum(const double* d, std::size_t batch, std::size_t ldd,
       if (di == 0.0) continue;
       for (std::size_t j = 0; j < cols; ++j) p[j] += di * x[j];
     }
+  }
+}
+
+/// Batched polytope membership: worst[r] = max_i (a_i . X[r,:] - b_i) for
+/// every row r of an SoA state batch (stride ldx).  Per row this runs the
+/// exact accumulation of HPolytope::violation (s starts at -b_i, then
+/// j-ascending adds, running max), so worst[r] is bit-identical to calling
+/// violation on row r -- the property the multi-session monitor relies on
+/// to keep batched safe-set checks equal to the per-session path.  An empty
+/// constraint system reports 0.0, matching the scalar kernel.
+inline void batch_max_violation(const Matrix& a, const double* b, const double* x,
+                                std::size_t batch, std::size_t ldx, double* worst) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  for (std::size_t r = 0; r < batch; ++r, x += ldx) {
+    if (rows == 0) {
+      worst[r] = 0.0;
+      continue;
+    }
+    double w = -std::numeric_limits<double>::infinity();
+    const double* p = a.data();
+    for (std::size_t i = 0; i < rows; ++i, p += cols) {
+      double s = -b[i];
+      for (std::size_t j = 0; j < cols; ++j) s += p[j] * x[j];
+      w = std::max(w, s);
+    }
+    worst[r] = w;
   }
 }
 

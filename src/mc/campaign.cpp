@@ -580,10 +580,8 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
   using jsonout::append_string;
   using jsonout::append_string_array;
 
-  std::string out;
-  out += "{\n";
-  out += "  \"bench\": \"oic_mc\",\n";
-  out += "  \"meta\": " + build_meta_json() + ",\n";
+  jsonout::Doc doc("oic_mc");
+  std::string& out = doc.body();
 
   append_format(out,
                 "  \"config\": {\"episodes\": %llu, \"steps\": %zu, "
@@ -652,10 +650,7 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
     out += (i + 1 < result.cells.size()) ? "    ]},\n" : "    ]}\n";
   }
   out += "  ],\n";
-  append_format(out, "  \"safety_violations\": %s\n",
-                result.safety_violations ? "true" : "false");
-  out += "}\n";
-  return out;
+  return std::move(doc).finish(result.safety_violations);
 }
 
 }  // namespace oic::mc

@@ -1,0 +1,372 @@
+#include "serve/api.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace oic::serve {
+
+namespace {
+
+/// Next line of the document; truncation (EOF mid-batch) is malformed.
+std::string next_line(std::istream& is, const char* what) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw NumericalError(std::string("oic-serve: truncated document (expected ") +
+                         what + ")");
+  }
+  return line;
+}
+
+/// Strict u64 token: digits only, no sign, bounded length (strtoull would
+/// happily wrap "-1" to 2^64-1 and a hostile length would overflow it).
+std::uint64_t parse_u64(std::istringstream& iss, const char* what) {
+  std::string tok;
+  if (!(iss >> tok)) {
+    throw NumericalError(std::string("oic-serve: missing ") + what);
+  }
+  if (tok.empty() || tok.size() > 19 ||
+      tok.find_first_not_of("0123456789") != std::string::npos) {
+    throw NumericalError(std::string("oic-serve: malformed ") + what + " '" + tok +
+                         "'");
+  }
+  return std::strtoull(tok.c_str(), nullptr, 10);
+}
+
+/// Finite double token: extraction failure or nan/inf (including overflow
+/// spellings like 1e999) is malformed -- a non-finite state would poison
+/// every membership LP downstream.
+double read_finite(std::istringstream& iss, const char* what) {
+  double v = 0.0;
+  if (!(iss >> v) || !std::isfinite(v)) {
+    throw NumericalError(std::string("oic-serve: non-finite or malformed ") + what);
+  }
+  return v;
+}
+
+void expect_keyword(std::istringstream& iss, const char* kw) {
+  std::string tok;
+  if (!(iss >> tok) || tok != kw) {
+    throw NumericalError(std::string("oic-serve: expected keyword '") + kw +
+                         "', got '" + tok + "'");
+  }
+}
+
+void expect_line_end(std::istringstream& iss, const char* what) {
+  std::string extra;
+  if (iss >> extra) {
+    throw NumericalError(std::string("oic-serve: trailing tokens after ") + what +
+                         " ('" + extra + "')");
+  }
+}
+
+/// A single whitespace-free token (plant ids, policy specs).
+std::string parse_token(std::istringstream& iss, const char* what) {
+  std::string tok;
+  if (!(iss >> tok)) {
+    throw NumericalError(std::string("oic-serve: missing ") + what);
+  }
+  if (tok.size() > kMaxTokenLength) {
+    throw NumericalError(std::string("oic-serve: oversized ") + what);
+  }
+  return tok;
+}
+
+/// `<dim> <v...>` vector payload (the tag keyword was already consumed).
+void parse_vector_body(std::istringstream& iss, linalg::Vector& out) {
+  const std::uint64_t dim = parse_u64(iss, "vector dimension");
+  if (dim < 1 || dim > kMaxDim) {
+    throw NumericalError("oic-serve: vector dimension out of range (1.." +
+                         std::to_string(kMaxDim) + ")");
+  }
+  out.data().assign(static_cast<std::size_t>(dim), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = read_finite(iss, "vector entry");
+  }
+}
+
+/// `<tag> <dim> <v...>` vector payload with the grammar's dimension cap.
+void parse_vector(std::istringstream& iss, const char* tag, linalg::Vector& out) {
+  expect_keyword(iss, tag);
+  parse_vector_body(iss, out);
+}
+
+/// Read the batch header shared by both directions; returns the count.
+std::uint64_t read_header(std::istream& is, std::string& first_line,
+                          const char* count_keyword, bool& eof) {
+  // Skip blank separator lines between batch documents; clean EOF before a
+  // magic line is the normal end of stream.
+  eof = false;
+  std::string line;
+  do {
+    if (!std::getline(is, line)) {
+      eof = true;
+      return 0;
+    }
+  } while (line.empty());
+  if (line != kMagic) {
+    throw NumericalError("oic-serve: bad magic/version line '" + line +
+                         "' (expected '" + std::string(kMagic) + "')");
+  }
+  first_line = next_line(is, count_keyword);
+  std::istringstream iss(first_line);
+  expect_keyword(iss, count_keyword);
+  const std::uint64_t n = parse_u64(iss, "batch count");
+  if (n > kMaxBatchRequests) {
+    throw NumericalError("oic-serve: batch count " + std::to_string(n) +
+                         " exceeds the cap of " + std::to_string(kMaxBatchRequests));
+  }
+  expect_line_end(iss, "batch count");
+  return n;
+}
+
+void read_end_sentinel(std::istream& is) {
+  const std::string line = next_line(is, "'end' sentinel");
+  if (line != "end") {
+    throw NumericalError("oic-serve: expected 'end' sentinel, got '" + line + "'");
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " %.17g", v);
+  out += buf;
+}
+
+void append_vector(std::string& out, const char* tag, const linalg::Vector& v) {
+  OIC_REQUIRE(v.size() >= 1 && v.size() <= kMaxDim,
+              std::string("oic-serve: vector dimension out of range writing ") + tag);
+  out += ' ';
+  out += tag;
+  out += ' ';
+  out += std::to_string(v.size());
+  for (const double x : v) append_double(out, x);
+}
+
+/// Writers enforce the same single-token rule readers rely on, so a spec
+/// with embedded whitespace fails at save time instead of corrupting the
+/// line grammar.
+void require_token(const std::string& s, const char* what) {
+  OIC_REQUIRE(!s.empty() && s.size() <= kMaxTokenLength &&
+                  s.find_first_of(" \t\r\n") == std::string::npos,
+              std::string("oic-serve: ") + what +
+                  " must be a non-empty single token without whitespace");
+}
+
+}  // namespace
+
+bool read_request_batch(std::istream& is, std::vector<Request>& out) {
+  out.clear();
+  bool eof = false;
+  std::string header;
+  const std::uint64_t n = read_header(is, header, "requests", eof);
+  if (eof) return false;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::istringstream iss(next_line(is, "request line"));
+    std::string verb;
+    if (!(iss >> verb)) {
+      throw NumericalError("oic-serve: empty request line");
+    }
+    Request r;
+    if (verb == "open") {
+      r.kind = Request::Kind::kOpen;
+      r.ref = parse_u64(iss, "request ref");
+      expect_keyword(iss, "session");
+      r.session = parse_u64(iss, "session id");
+      expect_keyword(iss, "plant");
+      r.plant = parse_token(iss, "plant id");
+      expect_keyword(iss, "policy");
+      r.policy = parse_token(iss, "policy spec");
+      expect_line_end(iss, "open request");
+    } else if (verb == "decide") {
+      r.kind = Request::Kind::kDecide;
+      r.ref = parse_u64(iss, "request ref");
+      expect_keyword(iss, "session");
+      r.session = parse_u64(iss, "session id");
+      // Peek the next tag: `u` only on subsequent decides.
+      std::string tag;
+      if (!(iss >> tag)) {
+        throw NumericalError("oic-serve: decide request missing state vector");
+      }
+      if (tag == "u") {
+        parse_vector_body(iss, r.u);
+        r.has_u = true;
+        parse_vector(iss, "x", r.x);
+      } else if (tag == "x") {
+        parse_vector_body(iss, r.x);
+      } else {
+        throw NumericalError("oic-serve: decide request expected 'u' or 'x', got '" +
+                             tag + "'");
+      }
+      expect_line_end(iss, "decide request");
+    } else if (verb == "close") {
+      r.kind = Request::Kind::kClose;
+      r.ref = parse_u64(iss, "request ref");
+      expect_keyword(iss, "session");
+      r.session = parse_u64(iss, "session id");
+      expect_line_end(iss, "close request");
+    } else if (verb == "reload") {
+      r.kind = Request::Kind::kReload;
+      r.ref = parse_u64(iss, "request ref");
+      expect_line_end(iss, "reload request");
+    } else {
+      throw NumericalError("oic-serve: unknown request verb '" + verb + "'");
+    }
+    out.push_back(std::move(r));
+  }
+  read_end_sentinel(is);
+  return true;
+}
+
+void write_request_batch(const std::vector<Request>& batch, std::ostream& os) {
+  OIC_REQUIRE(batch.size() <= kMaxBatchRequests,
+              "oic-serve: batch exceeds the request cap");
+  std::string out;
+  out += kMagic;
+  out += "\nrequests ";
+  out += std::to_string(batch.size());
+  out += '\n';
+  for (const Request& r : batch) {
+    switch (r.kind) {
+      case Request::Kind::kOpen:
+        require_token(r.plant, "plant id");
+        require_token(r.policy, "policy spec");
+        out += "open " + std::to_string(r.ref) + " session " +
+               std::to_string(r.session) + " plant " + r.plant + " policy " +
+               r.policy;
+        break;
+      case Request::Kind::kDecide:
+        out += "decide " + std::to_string(r.ref) + " session " +
+               std::to_string(r.session);
+        if (r.has_u) append_vector(out, "u", r.u);
+        append_vector(out, "x", r.x);
+        break;
+      case Request::Kind::kClose:
+        out += "close " + std::to_string(r.ref) + " session " +
+               std::to_string(r.session);
+        break;
+      case Request::Kind::kReload:
+        out += "reload " + std::to_string(r.ref);
+        break;
+    }
+    out += '\n';
+  }
+  out += "end\n";
+  os << out;
+  OIC_REQUIRE(os.good(), "oic-serve: request write failed");
+}
+
+bool read_response_batch(std::istream& is, std::vector<Response>& out) {
+  out.clear();
+  bool eof = false;
+  std::string header;
+  const std::uint64_t n = read_header(is, header, "responses", eof);
+  if (eof) return false;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::istringstream iss(next_line(is, "response line"));
+    std::string verb;
+    if (!(iss >> verb)) {
+      throw NumericalError("oic-serve: empty response line");
+    }
+    Response r;
+    if (verb == "opened") {
+      r.kind = Response::Kind::kOpened;
+      r.ref = parse_u64(iss, "response ref");
+      expect_keyword(iss, "session");
+      r.session = parse_u64(iss, "session id");
+      expect_line_end(iss, "opened response");
+    } else if (verb == "decision") {
+      r.kind = Response::Kind::kDecision;
+      r.ref = parse_u64(iss, "response ref");
+      expect_keyword(iss, "session");
+      r.session = parse_u64(iss, "session id");
+      expect_keyword(iss, "z");
+      const std::uint64_t z = parse_u64(iss, "decision z");
+      expect_keyword(iss, "forced");
+      const std::uint64_t forced = parse_u64(iss, "decision forced");
+      if (z > 1 || forced > 1) {
+        throw NumericalError("oic-serve: decision flags must be 0 or 1");
+      }
+      r.z = static_cast<int>(z);
+      r.forced = forced == 1;
+      expect_line_end(iss, "decision response");
+    } else if (verb == "closed") {
+      r.kind = Response::Kind::kClosed;
+      r.ref = parse_u64(iss, "response ref");
+      expect_keyword(iss, "session");
+      r.session = parse_u64(iss, "session id");
+      expect_line_end(iss, "closed response");
+    } else if (verb == "reloaded") {
+      r.kind = Response::Kind::kReloaded;
+      r.ref = parse_u64(iss, "response ref");
+      expect_keyword(iss, "certs");
+      r.certs = parse_u64(iss, "reload cert count");
+      expect_keyword(iss, "agents");
+      r.agents = parse_u64(iss, "reload agent count");
+      expect_line_end(iss, "reloaded response");
+    } else if (verb == "error") {
+      r.kind = Response::Kind::kError;
+      r.ref = parse_u64(iss, "response ref");
+      expect_keyword(iss, "message");
+      std::getline(iss, r.error);
+      if (!r.error.empty() && r.error.front() == ' ') r.error.erase(0, 1);
+    } else {
+      throw NumericalError("oic-serve: unknown response verb '" + verb + "'");
+    }
+    out.push_back(std::move(r));
+  }
+  read_end_sentinel(is);
+  return true;
+}
+
+void write_response_batch(const std::vector<Response>& batch, std::ostream& os) {
+  std::string out;
+  out += kMagic;
+  out += "\nresponses ";
+  out += std::to_string(batch.size());
+  out += '\n';
+  for (const Response& r : batch) {
+    switch (r.kind) {
+      case Response::Kind::kOpened:
+        out += "opened " + std::to_string(r.ref) + " session " +
+               std::to_string(r.session);
+        break;
+      case Response::Kind::kDecision:
+        out += "decision " + std::to_string(r.ref) + " session " +
+               std::to_string(r.session) + " z " + std::to_string(r.z) +
+               " forced " + (r.forced ? std::string("1") : std::string("0"));
+        break;
+      case Response::Kind::kClosed:
+        out += "closed " + std::to_string(r.ref) + " session " +
+               std::to_string(r.session);
+        break;
+      case Response::Kind::kReloaded:
+        out += "reloaded " + std::to_string(r.ref) + " certs " +
+               std::to_string(r.certs) + " agents " + std::to_string(r.agents);
+        break;
+      case Response::Kind::kError: {
+        // The grammar is line-framed: a diagnostic with embedded newlines
+        // must not be able to forge extra response lines.
+        std::string text = r.error;
+        for (char& c : text) {
+          if (c == '\n' || c == '\r') c = ' ';
+        }
+        out += "error " + std::to_string(r.ref) + " message " + text;
+        break;
+      }
+    }
+    out += '\n';
+  }
+  out += "end\n";
+  os << out;
+  OIC_REQUIRE(os.good(), "oic-serve: response write failed");
+}
+
+}  // namespace oic::serve

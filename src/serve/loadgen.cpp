@@ -1,0 +1,444 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "control/tube_mpc.hpp"
+#include "core/intermittent.hpp"
+#include "eval/harness.hpp"
+#include "eval/policy_spec.hpp"
+#include "mc/family.hpp"
+#include "serve/service.hpp"
+
+namespace oic::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Cold-solving wrapper over the plant's tube RMPC: reset_solver() before
+/// every control() drops the carried warm-start basis, making the input a
+/// deterministic function of the state alone.  Both parity paths (and the
+/// loadgen clients) actuate through this so input streams are comparable
+/// across processes and orderings.
+class ColdKappa final : public control::Controller {
+ public:
+  explicit ColdKappa(const control::TubeMpc& mpc) : mpc_(mpc) {}
+
+  linalg::Vector control(const linalg::Vector& x) override {
+    count_invocation();
+    mpc_.reset_solver();
+    return mpc_.control(x);
+  }
+  std::size_t state_dim() const override { return mpc_.state_dim(); }
+  std::size_t input_dim() const override { return mpc_.input_dim(); }
+  std::string name() const override { return "cold-" + mpc_.name(); }
+
+ private:
+  control::TubeMpc mpc_;
+};
+
+bool bit_equal_vec(const linalg::Vector& a, const linalg::Vector& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data().data(), b.data().data(),
+                                       a.size() * sizeof(double)) == 0);
+}
+
+/// One loadgen-driven session's plant-side state.
+struct ClientSession {
+  std::uint64_t sid = 0;
+  std::size_t plant_index = 0;
+  std::unique_ptr<sim::VelocityProfile> profile;
+  linalg::Vector x;
+  linalg::Vector u;
+  linalg::Vector w;
+  linalg::Vector xnext;
+  bool alive = true;
+  bool first = true;
+};
+
+/// Shared capture stream for --emit (clients interleave whole batches; the
+/// format is self-framed, so the capture replays through oic_serve).
+struct EmitSink {
+  std::ofstream os;
+  std::mutex mu;
+
+  void write(const std::vector<Request>& batch) {
+    std::lock_guard<std::mutex> lock(mu);
+    write_request_batch(batch, os);
+  }
+};
+
+struct ClientStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t forced = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latency_ms;
+};
+
+}  // namespace
+
+LoadgenResult run_loadgen(Server& server, const eval::ScenarioRegistry& registry,
+                          const LoadgenConfig& cfg) {
+  OIC_REQUIRE(cfg.sessions >= 1, "run_loadgen: need at least one session");
+  OIC_REQUIRE(cfg.steps >= 1, "run_loadgen: need at least one step");
+  const std::size_t clients = std::max<std::size_t>(1, cfg.clients);
+
+  const std::vector<std::string> plant_ids =
+      cfg.plants.empty() ? registry.plant_ids() : cfg.plants;
+  OIC_REQUIRE(!plant_ids.empty(), "run_loadgen: registry is empty");
+
+  std::unique_ptr<cert::Store> store;
+  cert::Provider provider;
+  if (!cfg.cert_dir.empty()) {
+    store = std::make_unique<cert::Store>(cfg.cert_dir);
+    provider = store->provider();
+  }
+
+  // The plant-side fleet: one shared plant build per id (clients read the
+  // const surface and copy the RMPC), one family per id.
+  std::vector<std::unique_ptr<eval::PlantCase>> plants;
+  std::vector<mc::ScenarioFamily> families;
+  for (const auto& pid : plant_ids) {
+    const eval::PlantInfo& info = registry.plant(pid);
+    plants.push_back(info.make_plant(provider));
+    families.push_back(mc::family_by_id(info.signal_band, cfg.family));
+  }
+
+  std::unique_ptr<EmitSink> emit;
+  if (!cfg.emit_path.empty()) {
+    emit = std::make_unique<EmitSink>();
+    emit->os.open(cfg.emit_path);
+    OIC_REQUIRE(emit->os.good(),
+                "run_loadgen: cannot open emit file '" + cfg.emit_path + "'");
+  }
+
+  std::vector<ClientStats> stats(clients);
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+
+  for (std::size_t c = 0; c < clients; ++c) {
+    // Contiguous session partition per client; sid is the global index + 1
+    // so a captured stream replays through a fresh server.
+    const std::size_t base = cfg.sessions / clients, rem = cfg.sessions % clients;
+    const std::size_t begin = c * base + std::min(c, rem);
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    threads.emplace_back([&, c, begin, end] {
+      ClientStats& st = stats[c];
+      auto conn = server.connect();
+
+      std::vector<ClientSession> sessions;
+      std::vector<control::TubeMpc> mpcs;
+      for (const auto& plant : plants) mpcs.emplace_back(plant->rmpc());
+
+      for (std::size_t i = begin; i < end; ++i) {
+        ClientSession s;
+        s.sid = i + 1;
+        s.plant_index = i % plants.size();
+        const eval::PlantCase& plant = *plants[s.plant_index];
+        Rng rng(derive_stream(cfg.seed, i));
+        Rng x0_rng = rng.split();
+        s.x = plant.sample_x0(x0_rng);
+        eval::Scenario scenario = families[s.plant_index].sample(rng);
+        s.profile = scenario.profile->clone();
+        s.profile->reset(rng.split());
+        s.w = linalg::Vector(plant.system().nw());
+        sessions.push_back(std::move(s));
+      }
+
+      auto round_trip = [&](std::vector<Request> batch) {
+        const std::size_t n = batch.size();
+        if (emit) emit->write(batch);
+        const auto rt0 = Clock::now();
+        conn->submit(std::move(batch));
+        std::vector<Response> res = conn->await(n);
+        st.latency_ms.push_back(ms_since(rt0));
+        return res;
+      };
+
+      // Open every session.
+      std::vector<Request> batch;
+      for (const auto& s : sessions) {
+        Request r;
+        r.kind = Request::Kind::kOpen;
+        r.ref = s.sid;
+        r.session = s.sid;
+        r.plant = plants[s.plant_index]->name();
+        r.policy = cfg.policy;
+        batch.push_back(std::move(r));
+      }
+      {
+        const std::vector<Response> res = round_trip(std::move(batch));
+        for (std::size_t i = 0; i < res.size(); ++i) {
+          if (res[i].kind != Response::Kind::kOpened) {
+            ++st.errors;
+            sessions[i].alive = false;
+          }
+        }
+      }
+
+      // One decide per session per control period.
+      for (std::size_t t = 0; t < cfg.steps; ++t) {
+        batch.clear();
+        std::vector<std::size_t> index;  // batch row -> session
+        for (std::size_t i = 0; i < sessions.size(); ++i) {
+          ClientSession& s = sessions[i];
+          if (!s.alive) continue;
+          Request r;
+          r.kind = Request::Kind::kDecide;
+          r.ref = s.sid;
+          r.session = s.sid;
+          if (!s.first) {
+            r.has_u = true;
+            r.u = s.u;
+          }
+          r.x = s.x;
+          batch.push_back(std::move(r));
+          index.push_back(i);
+        }
+        if (batch.empty()) break;
+        const std::vector<Response> res = round_trip(std::move(batch));
+        for (std::size_t k = 0; k < res.size(); ++k) {
+          ClientSession& s = sessions[index[k]];
+          const eval::PlantCase& plant = *plants[s.plant_index];
+          if (res[k].kind != Response::Kind::kDecision) {
+            ++st.errors;
+            s.alive = false;
+            continue;
+          }
+          ++st.decisions;
+          if (res[k].z == 0) ++st.skipped;
+          if (res[k].forced) ++st.forced;
+          if (res[k].z == 1) {
+            try {
+              s.u = mpcs[s.plant_index].control(s.x);
+            } catch (const NumericalError&) {
+              ++st.errors;
+              s.alive = false;
+              continue;
+            }
+          } else {
+            s.u = plant.u_skip();
+          }
+          plant.signal_to_w(s.profile->next(), s.w);
+          plant.system().step_into(s.x, s.u, s.w, s.xnext);
+          s.x = s.xnext;
+          s.first = false;
+        }
+      }
+
+      // Close what survived.
+      batch.clear();
+      for (const auto& s : sessions) {
+        if (!s.alive) continue;
+        Request r;
+        r.kind = Request::Kind::kClose;
+        r.ref = s.sid;
+        r.session = s.sid;
+        batch.push_back(std::move(r));
+      }
+      if (!batch.empty()) {
+        const std::vector<Response> res = round_trip(std::move(batch));
+        for (const Response& r : res) {
+          if (r.kind != Response::Kind::kClosed) ++st.errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  LoadgenResult out;
+  out.sessions = cfg.sessions;
+  out.steps = cfg.steps;
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<double> latency;
+  for (const ClientStats& st : stats) {
+    out.decisions += st.decisions;
+    out.skipped += st.skipped;
+    out.forced += st.forced;
+    out.errors += st.errors;
+    latency.insert(latency.end(), st.latency_ms.begin(), st.latency_ms.end());
+  }
+  if (!latency.empty()) {
+    std::sort(latency.begin(), latency.end());
+    out.p50_ms = latency[latency.size() / 2];
+    out.p99_ms = latency[(latency.size() * 99) / 100 >= latency.size()
+                             ? latency.size() - 1
+                             : (latency.size() * 99) / 100];
+  }
+  if (out.wall_s > 0.0) {
+    out.decisions_per_s = static_cast<double>(out.decisions) / out.wall_s;
+    out.sessions_per_s = out.decisions_per_s;
+  }
+  return out;
+}
+
+ParityReport check_batched_parity(const eval::ScenarioRegistry& registry,
+                                  const std::string& plant_id,
+                                  const std::vector<std::string>& policies,
+                                  std::size_t sessions, std::size_t steps,
+                                  std::uint64_t seed,
+                                  const std::string& cert_dir) {
+  OIC_REQUIRE(!policies.empty(), "check_batched_parity: need at least one policy");
+  OIC_REQUIRE(sessions >= 1, "check_batched_parity: need at least one session");
+
+  cert::Provider provider;
+  std::unique_ptr<cert::Store> store;
+  if (!cert_dir.empty()) {
+    store = std::make_unique<cert::Store>(cert_dir);
+    provider = store->provider();
+  }
+  const std::unique_ptr<eval::PlantCase> plant =
+      registry.make_plant(plant_id, provider);
+  const control::AffineLTI& sys = plant->system();
+  const mc::ScenarioFamily family =
+      mc::family_by_id(registry.plant(plant_id).signal_band, "mixed");
+
+  ServiceConfig scfg;
+  scfg.cert_dir = cert_dir;
+  Service service(registry, scfg);
+
+  ParityReport report;
+  auto mismatch = [&](const std::string& what) {
+    if (report.identical) report.detail = what;
+    report.identical = false;
+  };
+
+  // Per-session reference machinery: an IntermittentController over a
+  // cold-solving RMPC copy, the exact per-session configuration the
+  // episode harness wires (make_intermittent_config).
+  struct RefSession {
+    std::unique_ptr<core::SkipPolicy> policy;
+    std::unique_ptr<ColdKappa> kappa_ref;   ///< actuates the reference path
+    std::unique_ptr<ColdKappa> kappa_srv;   ///< actuates the served path
+    std::unique_ptr<core::IntermittentController> ctrl;
+    std::unique_ptr<sim::VelocityProfile> profile;
+    linalg::Vector x_ref, x_srv, u_srv, w, xnext;
+    bool alive = true;
+    bool first = true;
+  };
+  std::vector<RefSession> refs(sessions);
+
+  std::vector<Request> batch;
+  std::vector<Response> res;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    RefSession& s = refs[i];
+    s.policy = eval::make_policy(policies[i % policies.size()]);
+    s.kappa_ref = std::make_unique<ColdKappa>(plant->rmpc());
+    s.kappa_srv = std::make_unique<ColdKappa>(plant->rmpc());
+    s.ctrl = std::make_unique<core::IntermittentController>(
+        sys, plant->sets(), *s.kappa_ref, *s.policy,
+        eval::make_intermittent_config(*plant, *s.policy));
+    Rng rng(derive_stream(seed, i));
+    Rng x0_rng = rng.split();
+    s.x_ref = plant->sample_x0(x0_rng);
+    s.x_srv = s.x_ref;
+    eval::Scenario scenario = family.sample(rng);
+    s.profile = scenario.profile->clone();
+    s.profile->reset(rng.split());
+    s.w = linalg::Vector(sys.nw());
+
+    Request r;
+    r.kind = Request::Kind::kOpen;
+    r.ref = i + 1;
+    r.session = i + 1;
+    r.plant = plant_id;
+    r.policy = policies[i % policies.size()];
+    batch.push_back(std::move(r));
+  }
+  service.serve(batch, res);
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    if (res[i].kind != Response::Kind::kOpened) {
+      mismatch("open of session " + std::to_string(i + 1) + " failed: " +
+               res[i].error);
+      refs[i].alive = false;
+    }
+  }
+
+  for (std::size_t t = 0; t < steps && report.identical; ++t) {
+    batch.clear();
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < sessions; ++i) {
+      RefSession& s = refs[i];
+      if (!s.alive) continue;
+      Request r;
+      r.kind = Request::Kind::kDecide;
+      r.ref = i + 1;
+      r.session = i + 1;
+      if (!s.first) {
+        r.has_u = true;
+        r.u = s.u_srv;
+      }
+      r.x = s.x_srv;
+      batch.push_back(std::move(r));
+      index.push_back(i);
+    }
+    if (batch.empty()) break;
+    service.serve(batch, res);
+    for (std::size_t k = 0; k < res.size(); ++k) {
+      RefSession& s = refs[index[k]];
+      const std::string tag = "session " + std::to_string(index[k] + 1) +
+                              " step " + std::to_string(t);
+      core::StepDecision d;
+      bool ref_abort = false;
+      try {
+        d = s.ctrl->decide(s.x_ref);
+      } catch (const NumericalError&) {
+        ref_abort = true;
+      }
+      const bool srv_abort = res[k].kind != Response::Kind::kDecision;
+      if (ref_abort != srv_abort) {
+        mismatch(tag + ": abort mismatch (reference " +
+                 (ref_abort ? "aborted" : "continued") + ", server " +
+                 (srv_abort ? "errored" : "answered") + ")");
+        s.alive = false;
+        continue;
+      }
+      if (ref_abort) {
+        s.alive = false;  // both paths closed the session
+        continue;
+      }
+      ++report.decisions;
+      if (d.z != res[k].z || d.forced != res[k].forced) {
+        mismatch(tag + ": decision mismatch (reference z=" + std::to_string(d.z) +
+                 " forced=" + std::to_string(d.forced) + ", server z=" +
+                 std::to_string(res[k].z) + " forced=" +
+                 std::to_string(res[k].forced) + ")");
+        s.alive = false;
+        continue;
+      }
+      s.u_srv = res[k].z == 1 ? s.kappa_srv->control(s.x_srv) : plant->u_skip();
+      if (!bit_equal_vec(d.u, s.u_srv)) {
+        mismatch(tag + ": actuated input diverged");
+        s.alive = false;
+        continue;
+      }
+      plant->signal_to_w(s.profile->next(), s.w);
+      sys.step_into(s.x_ref, d.u, s.w, s.xnext);
+      s.ctrl->record_transition(s.x_ref, d.u, s.xnext);
+      s.x_ref = s.xnext;
+      sys.step_into(s.x_srv, s.u_srv, s.w, s.xnext);
+      s.x_srv = s.xnext;
+      if (!bit_equal_vec(s.x_ref, s.x_srv)) {
+        mismatch(tag + ": state trajectory diverged");
+        s.alive = false;
+      }
+      s.first = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace oic::serve

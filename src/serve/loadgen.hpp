@@ -1,0 +1,83 @@
+#pragma once
+/// \file loadgen.hpp
+/// The serve layer's client of record: a multi-threaded load generator
+/// replaying mc::ScenarioFamily traffic against a Server, plus the
+/// batched-vs-per-session parity check the bit-identity guarantee is
+/// asserted with.
+///
+/// Each loadgen client owns a contiguous partition of the session space,
+/// drives every session like a real plant-side deployment would -- open,
+/// then one decide per control period carrying the previously actuated
+/// input and the measured state, close at the end -- and actuates the
+/// server's decisions through its own copy of the plant's tube RMPC.
+/// Latency is sampled per submit/await round trip.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/registry.hpp"
+#include "serve/server.hpp"
+
+namespace oic::serve {
+
+/// Load-generator configuration.
+struct LoadgenConfig {
+  std::vector<std::string> plants;   ///< registry ids; empty = all
+  std::string family = "mixed";      ///< mc::ScenarioFamily id
+  std::string policy = "bang-bang";  ///< policy spec every session opens with
+  std::size_t sessions = 10000;      ///< concurrent sessions
+  std::size_t steps = 10;            ///< control periods per session
+  std::size_t clients = 4;           ///< client threads
+  std::uint64_t seed = 20200406;
+  std::string cert_dir;              ///< client-side plant builds (cert::Store)
+  std::string emit_path;             ///< capture submitted request batches
+};
+
+/// Aggregated load-generation outcome.
+struct LoadgenResult {
+  std::size_t sessions = 0;
+  std::size_t steps = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t forced = 0;
+  std::uint64_t errors = 0;
+  double wall_s = 0.0;
+  double p50_ms = 0.0;  ///< median submit->await round-trip latency
+  double p99_ms = 0.0;
+  double decisions_per_s = 0.0;
+  /// Sessions the measured rate sustains at one decision per control
+  /// period and one period per second -- numerically the decision rate;
+  /// reported separately so capacity reads directly off the bench table.
+  double sessions_per_s = 0.0;
+};
+
+/// Drive `server` with cfg.sessions concurrent sessions (see file comment).
+/// Throws PreconditionError on unknown plant/family ids.
+LoadgenResult run_loadgen(Server& server, const eval::ScenarioRegistry& registry,
+                          const LoadgenConfig& cfg);
+
+/// Outcome of the batched-vs-per-session comparison.
+struct ParityReport {
+  bool identical = true;
+  std::size_t decisions = 0;  ///< decision pairs compared
+  std::string detail;         ///< first divergence, empty when identical
+};
+
+/// Drive a Service directly with `sessions` interleaved sessions on one
+/// plant (policies assigned round-robin) and compare every decision --
+/// z, forced, the actuated input, and the full state trajectory, all
+/// bitwise -- against a per-session IntermittentController reference fed
+/// the same disturbances.  Both paths actuate cold tube-MPC solves
+/// (reset_solver before every control), so the input is a deterministic
+/// function of the state on each side and any divergence is attributable
+/// to the batched monitor/policy pass.
+ParityReport check_batched_parity(const eval::ScenarioRegistry& registry,
+                                  const std::string& plant_id,
+                                  const std::vector<std::string>& policies,
+                                  std::size_t sessions, std::size_t steps,
+                                  std::uint64_t seed,
+                                  const std::string& cert_dir = "");
+
+}  // namespace oic::serve

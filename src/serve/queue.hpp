@@ -1,0 +1,90 @@
+#pragma once
+/// \file queue.hpp
+/// Minimal blocking channel used for the server's MPSC request inbox and
+/// each connection's SPSC response stream.  Producers push batches; the
+/// consumer drains everything pending in one lock acquisition, which is
+/// exactly the shape the tick loop wants (gather all pending requests,
+/// answer them in one fused batch).
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace oic::serve {
+
+template <typename T>
+class Channel {
+ public:
+  /// Enqueue one item.  No-op after close().
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_all();
+  }
+
+  /// Enqueue a batch in one lock acquisition.  No-op after close().
+  void push_all(std::vector<T>&& items) {
+    if (items.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      for (T& item : items) items_.push_back(std::move(item));
+    }
+    items.clear();
+    cv_.notify_all();
+  }
+
+  /// Block until at least one item is pending (or the channel closes), then
+  /// move everything pending into `out` (cleared first).  Returns false only
+  /// when the channel is closed and drained.
+  bool drain(std::vector<T>& out) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out.swap(items_);
+    return true;
+  }
+
+  /// Block until `n` items arrived, append them to `out`.  Returns false if
+  /// the channel closed before delivering all `n`.
+  bool pop_n(std::size_t n, std::vector<T>& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (n > 0) {
+      cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;
+      const std::size_t take = items_.size() < n ? items_.size() : n;
+      for (std::size_t i = 0; i < take; ++i) out.push_back(std::move(items_[i]));
+      items_.erase(items_.begin(), items_.begin() + static_cast<long>(take));
+      n -= take;
+    }
+    return true;
+  }
+
+  /// Wake all blocked consumers; pending items stay drainable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace oic::serve

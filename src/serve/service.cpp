@@ -1,0 +1,510 @@
+#include "serve/service.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "eval/harness.hpp"
+#include "linalg/kernels.hpp"
+#include "rl/serialize.hpp"
+
+namespace oic::serve {
+
+namespace {
+
+/// Exact bitwise parameter equality of two networks -- the agent
+/// hot-reload guard (a rewritten file with identical parameters must not
+/// count as a swap).
+bool mlp_bit_equal(const rl::Mlp& a, const rl::Mlp& b) {
+  if (a.sizes() != b.sizes()) return false;
+  for (std::size_t l = 0; l < a.num_layers(); ++l) {
+    const auto& wa = a.weight(l);
+    const auto& wb = b.weight(l);
+    if (std::memcmp(wa.data(), wb.data(), wa.rows() * wa.cols() * sizeof(double)) !=
+        0) {
+      return false;
+    }
+    const auto& ba = a.bias(l).data();
+    const auto& bb = b.bias(l).data();
+    if (std::memcmp(ba.data(), bb.data(), ba.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One DQN state row, replicating core::build_drl_state_into exactly
+/// (front-padded zeros for a young history) plus the in-place scale --
+/// pure copies and elementwise multiplies, so each row is bit-identical
+/// to the per-session state builder.
+void build_state_row(double* row, std::size_t state_dim, const linalg::Vector& x,
+                     const core::WHistory& hist, std::size_t r, std::size_t w_dim,
+                     const linalg::Vector& scale) {
+  for (std::size_t i = 0; i < state_dim; ++i) row[i] = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) row[i] = x[i];
+  const std::size_t have = hist.size() < r ? hist.size() : r;
+  const std::size_t pad = r - have;
+  for (std::size_t k = 0; k < have; ++k) {
+    const linalg::Vector& w = hist[hist.size() - have + k];
+    for (std::size_t i = 0; i < w_dim; ++i) {
+      row[x.size() + (pad + k) * w_dim + i] = w[i];
+    }
+  }
+  if (!scale.empty()) {
+    for (std::size_t i = 0; i < state_dim; ++i) row[i] *= scale[i];
+  }
+}
+
+/// Monitor tolerances -- the exact constants of the per-session framework
+/// (IntermittentController::decide_at): XI with 1e-6 slack, X' with the
+/// HPolytope::contains default of 1e-9.
+constexpr double kXiTol = 1e-6;
+constexpr double kXPrimeTol = 1e-9;
+
+}  // namespace
+
+struct Service::PlantEntry {
+  cert::PlantModel model;
+  cert::PlantCertificate cert;
+};
+
+struct Service::Group {
+  std::string plant_id;
+  eval::PolicySpec spec;
+  PlantEntry* plant = nullptr;
+
+  // DRL groups: the shared frozen network plus its inference wiring.
+  std::shared_ptr<const rl::Mlp> net;
+  linalg::Vector state_scale;
+  std::size_t memory = 0;
+  std::size_t w_dim = 0;
+  std::size_t state_dim = 0;
+
+  // Per-tick SoA scratch, grown on demand and reused allocation-free.
+  linalg::Matrix xbatch;           ///< pending states, one per row
+  std::vector<double> xi_viol;     ///< batched XI violations
+  std::vector<double> xp_viol;     ///< batched X' violations
+  linalg::Matrix sbatch;           ///< DQN state rows (inside-X' rows only)
+  rl::BatchWorkspace bws;          ///< forward_batch_into scratch
+
+  struct PendingDecide {
+    std::uint64_t session = 0;
+    std::size_t out_index = 0;
+    const Request* req = nullptr;
+  };
+  std::vector<PendingDecide> pending;
+};
+
+Service::Service(const eval::ScenarioRegistry& registry, ServiceConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  if (!config_.cert_dir.empty()) {
+    store_ = std::make_unique<cert::Store>(config_.cert_dir);
+    provider_ = store_->provider();
+  }
+  if (config_.workers != 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.workers);
+  }
+}
+
+Service::~Service() = default;
+
+Service::PlantEntry* Service::resolve_plant(const std::string& plant_id,
+                                            std::string& error) {
+  auto it = plants_.find(plant_id);
+  if (it != plants_.end()) return it->second.get();
+  try {
+    auto entry = std::make_unique<PlantEntry>(
+        PlantEntry{registry_.make_model(plant_id), cert::PlantCertificate{}});
+    entry->cert = cert::resolve(entry->model, provider_);
+    PlantEntry* raw = entry.get();
+    plants_.emplace(plant_id, std::move(entry));
+    return raw;
+  } catch (const Error& e) {
+    error = e.what();
+    return nullptr;
+  }
+}
+
+std::size_t Service::resolve_group(const std::string& plant_id,
+                                   const std::string& policy, std::string& error) {
+  const std::string key = plant_id + '\n' + policy;
+  auto it = group_index_.find(key);
+  if (it != group_index_.end()) return it->second;
+
+  eval::PolicySpec spec;
+  try {
+    spec = eval::parse_policy_spec(policy);
+  } catch (const Error& e) {
+    error = e.what();
+    return kNoGroup;
+  }
+  if (spec.kind == eval::PolicySpec::Kind::kBurst) {
+    error = "policy '" + policy +
+            "': burst policies are not yet served (per-period monitor only)";
+    return kNoGroup;
+  }
+  PlantEntry* plant = resolve_plant(plant_id, error);
+  if (plant == nullptr) return kNoGroup;
+
+  auto group = std::make_unique<Group>();
+  group->plant_id = plant_id;
+  group->spec = spec;
+  group->plant = plant;
+  if (spec.kind == eval::PolicySpec::Kind::kDrl) {
+    try {
+      rl::AgentSnapshot snap = rl::load_agent_file(spec.path);
+      const std::size_t nx = plant->model.sys.nx();
+      const std::size_t state_dim = snap.net.sizes().front();
+      if (!snap.plant.empty() && snap.plant != plant_id) {
+        error = "policy '" + policy + "': agent was trained on plant '" + snap.plant +
+                "', not '" + plant_id + "'";
+        return kNoGroup;
+      }
+      if (!snap.state_scale.empty() && snap.state_scale.size() != state_dim) {
+        error = "policy '" + policy + "': scale/network dimension mismatch";
+        return kNoGroup;
+      }
+      const std::size_t w_dim = state_dim / (snap.memory + 1);
+      if (w_dim != nx || state_dim != nx + snap.memory * w_dim) {
+        error = "policy '" + policy + "': agent dimensions do not fit plant '" +
+                plant_id + "'";
+        return kNoGroup;
+      }
+      group->memory = snap.memory;
+      group->w_dim = w_dim;
+      group->state_dim = state_dim;
+      group->state_scale = std::move(snap.state_scale);
+      group->net = std::make_shared<rl::Mlp>(std::move(snap.net));
+    } catch (const Error& e) {
+      error = "policy '" + policy + "': " + std::string(e.what());
+      return kNoGroup;
+    }
+  }
+  groups_.push_back(std::move(group));
+  group_index_.emplace(key, groups_.size() - 1);
+  return groups_.size() - 1;
+}
+
+void Service::reload(std::uint64_t& certs_swapped, std::uint64_t& agents_swapped) {
+  if (store_) {
+    for (auto& [id, entry] : plants_) {
+      auto fresh = store_->load_if_fresh(entry->model);
+      if (fresh && !cert::bit_equal(*fresh, entry->cert)) {
+        entry->cert = std::move(*fresh);
+        ++certs_swapped;
+      }
+    }
+  }
+  for (auto& group : groups_) {
+    if (group->spec.kind != eval::PolicySpec::Kind::kDrl) continue;
+    try {
+      rl::AgentSnapshot snap = rl::load_agent_file(group->spec.path);
+      const std::size_t state_dim = snap.net.sizes().front();
+      const std::size_t nx = group->plant->model.sys.nx();
+      const std::size_t w_dim = state_dim / (snap.memory + 1);
+      const bool fits =
+          (snap.plant.empty() || snap.plant == group->plant_id) &&
+          (snap.state_scale.empty() || snap.state_scale.size() == state_dim) &&
+          w_dim == nx && state_dim == nx + snap.memory * w_dim;
+      if (!fits) continue;  // keep the old agent; sessions keep running
+      const bool changed = snap.memory != group->memory ||
+                           snap.state_scale.data() != group->state_scale.data() ||
+                           !mlp_bit_equal(snap.net, *group->net);
+      if (!changed) continue;
+      group->memory = snap.memory;
+      group->w_dim = w_dim;
+      group->state_dim = state_dim;
+      group->state_scale = std::move(snap.state_scale);
+      group->net = std::make_shared<rl::Mlp>(std::move(snap.net));
+      ++agents_swapped;
+    } catch (const Error&) {
+      // Unreadable / malformed rewrite: keep serving the loaded agent.
+    }
+  }
+}
+
+void Service::serve(const std::vector<Request>& in, std::vector<Response>& out) {
+  out.assign(in.size(), Response{});
+
+  auto fail = [&](Response& res, std::string msg) {
+    res.kind = Response::Kind::kError;
+    res.error = std::move(msg);
+    ++counters_.errors;
+  };
+
+  // Phase 1: session-table mutations and decide validation, request order.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const Request& r = in[i];
+    Response& res = out[i];
+    res.ref = r.ref;
+    res.session = r.session;
+    switch (r.kind) {
+      case Request::Kind::kOpen: {
+        if (sessions_.count(r.session) != 0) {
+          fail(res, "session " + std::to_string(r.session) + " is already open");
+          break;
+        }
+        if (sessions_.size() >= config_.max_sessions) {
+          fail(res, "session table is full (" +
+                        std::to_string(config_.max_sessions) + " sessions)");
+          break;
+        }
+        std::string error;
+        const std::size_t gidx = resolve_group(r.plant, r.policy, error);
+        if (gidx == kNoGroup) {
+          fail(res, std::move(error));
+          break;
+        }
+        Session session;
+        session.group = gidx;
+        session.whist.set_capacity(eval::kEpisodeWMemory);
+        if (groups_[gidx]->spec.kind == eval::PolicySpec::Kind::kPeriodic) {
+          session.policy =
+              std::make_unique<core::PeriodicPolicy>(groups_[gidx]->spec.count);
+        }
+        sessions_.emplace(r.session, std::move(session));
+        res.kind = Response::Kind::kOpened;
+        break;
+      }
+      case Request::Kind::kClose: {
+        auto it = sessions_.find(r.session);
+        if (it == sessions_.end()) {
+          fail(res, "unknown session " + std::to_string(r.session));
+          break;
+        }
+        sessions_.erase(it);
+        res.kind = Response::Kind::kClosed;
+        break;
+      }
+      case Request::Kind::kReload: {
+        ++counters_.reloads;
+        std::uint64_t certs = 0, agents = 0;
+        reload(certs, agents);
+        counters_.cert_swaps += certs;
+        counters_.agent_swaps += agents;
+        res.kind = Response::Kind::kReloaded;
+        res.certs = certs;
+        res.agents = agents;
+        break;
+      }
+      case Request::Kind::kDecide: {
+        auto it = sessions_.find(r.session);
+        if (it == sessions_.end()) {
+          fail(res, "unknown session " + std::to_string(r.session));
+          break;
+        }
+        Session& session = it->second;
+        Group& group = *groups_[session.group];
+        const control::AffineLTI& sys = group.plant->model.sys;
+        if (r.x.size() != sys.nx()) {
+          fail(res, "state dimension mismatch (expected " +
+                        std::to_string(sys.nx()) + ", got " +
+                        std::to_string(r.x.size()) + ")");
+          break;
+        }
+        bool dup = false;
+        for (const auto& p : group.pending) dup = dup || p.session == r.session;
+        if (dup) {
+          fail(res, "session " + std::to_string(r.session) +
+                        " already has a pending decision in this batch");
+          break;
+        }
+        if (!session.seeded) {
+          if (r.has_u) {
+            fail(res, "first decide of a session must not carry u");
+            break;
+          }
+          session.seeded = true;
+          session.x_prev = r.x;
+        } else {
+          if (!r.has_u) {
+            fail(res, "decide must carry the previously actuated input u");
+            break;
+          }
+          if (r.u.size() != sys.nu()) {
+            fail(res, "input dimension mismatch (expected " +
+                          std::to_string(sys.nu()) + ", got " +
+                          std::to_string(r.u.size()) + ")");
+            break;
+          }
+          // Reconstruct the realized disturbance exactly like
+          // IntermittentController::record_transition:
+          //   E w = x - A x_prev - B u - c, accumulation order preserved.
+          session.ew_scratch = r.x;
+          double* ew = session.ew_scratch.data().data();
+          linalg::gemv_sub(sys.a(), session.x_prev.data().data(), ew);
+          linalg::gemv_sub(sys.b(), r.u.data().data(), ew);
+          for (std::size_t k = 0; k < sys.nx(); ++k) ew[k] -= sys.c()[k];
+          session.whist.push(session.ew_scratch);
+          session.x_prev = r.x;
+        }
+        group.pending.push_back({r.session, i, &r});
+        break;
+      }
+    }
+  }
+
+  // Phase 2: one fused batch per group.
+  for (auto& group : groups_) {
+    if (!group->pending.empty()) run_group(*group, out);
+  }
+}
+
+void Service::run_group(Group& group, std::vector<Response>& out) {
+  const std::size_t n = group.pending.size();
+  const std::size_t nx = group.plant->model.sys.nx();
+
+  if (group.xbatch.rows() < n || group.xbatch.cols() != nx) {
+    group.xbatch = linalg::Matrix(n + n / 2 + 1, nx);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    const linalg::Vector& x = group.pending[r].req->x;
+    double* row = group.xbatch.row_data(r);
+    for (std::size_t j = 0; j < nx; ++j) row[j] = x[j];
+  }
+  group.xi_viol.assign(n, 0.0);
+  group.xp_viol.assign(n, 0.0);
+
+  // Batched monitor: both membership checks in one SoA pass each,
+  // chunked over the pool (rows are independent, so any chunking is
+  // bit-identical to the scalar loop).
+  const poly::HPolytope& xi = group.plant->cert.sets.xi;
+  const poly::HPolytope& xp = group.plant->cert.sets.x_prime;
+  auto membership = [&](std::size_t begin, std::size_t end) {
+    const std::size_t count = end - begin;
+    if (count == 0) return;
+    const double* rows = group.xbatch.row_data(begin);
+    linalg::batch_max_violation(xi.a(), xi.b().data().data(), rows, count, nx,
+                                group.xi_viol.data() + begin);
+    linalg::batch_max_violation(xp.a(), xp.b().data().data(), rows, count, nx,
+                                group.xp_viol.data() + begin);
+  };
+  if (pool_ && n >= 256) {
+    const std::size_t chunks = pool_->size();
+    const std::size_t base = n / chunks, rem = n % chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t len = base + (c < rem ? 1 : 0);
+      const std::size_t end = begin + len;
+      pool_->submit([&membership, begin, end] { membership(begin, end); });
+      begin = end;
+    }
+    pool_->wait_idle();
+  } else {
+    membership(0, n);
+  }
+
+  // DRL groups: one fused forward_batch_into over the inside-X' rows.
+  std::vector<int> drl_z;
+  std::vector<std::size_t> drl_row;  // pending index per sbatch row
+  if (group.spec.kind == eval::PolicySpec::Kind::kDrl) {
+    drl_row.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (group.xi_viol[r] <= kXiTol && group.xp_viol[r] <= kXPrimeTol) {
+        drl_row.push_back(r);
+      }
+    }
+    const std::size_t m = drl_row.size();
+    if (m > 0) {
+      if (group.sbatch.rows() < m || group.sbatch.cols() != group.state_dim) {
+        group.sbatch = linalg::Matrix(m + m / 2 + 1, group.state_dim);
+      }
+      for (std::size_t s = 0; s < m; ++s) {
+        const auto& p = group.pending[drl_row[s]];
+        const Session& session = sessions_.at(p.session);
+        build_state_row(group.sbatch.row_data(s), group.state_dim, p.req->x,
+                        session.whist, group.memory, group.w_dim,
+                        group.state_scale);
+      }
+      // forward_batch_into reads exactly in.rows() rows; hand it a view
+      // with m rows.  The scratch matrix may be oversized, so build a
+      // tight alias only when needed.
+      const linalg::Matrix* input = &group.sbatch;
+      linalg::Matrix tight;
+      if (group.sbatch.rows() != m) {
+        tight = linalg::Matrix(m, group.state_dim);
+        std::memcpy(tight.data(), group.sbatch.data(),
+                    m * group.state_dim * sizeof(double));
+        input = &tight;
+      }
+      const linalg::Matrix& q = group.net->forward_batch_into(*input, group.bws);
+      drl_z.assign(m, 1);
+      const std::size_t out_dim = q.cols();
+      for (std::size_t s = 0; s < m; ++s) {
+        const double* row = q.row_data(s);
+        std::size_t best = 0;
+        for (std::size_t a = 1; a < out_dim; ++a) {
+          if (row[a] > row[best]) best = a;
+        }
+        drl_z[s] = best == 0 ? 0 : 1;
+      }
+    }
+  }
+
+  std::size_t drl_cursor = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& p = group.pending[r];
+    Response& res = out[p.out_index];
+    // Algorithm 1 line 2 precondition, strict mode: a state outside XI
+    // means the certificate's model assumptions were violated; mirror the
+    // per-session framework's abort by closing the session.
+    if (group.xi_viol[r] > kXiTol) {
+      res.kind = Response::Kind::kError;
+      res.error = "session " + std::to_string(p.session) +
+                  ": state left the robust invariant set XI (Algorithm 1 "
+                  "precondition); session closed";
+      ++counters_.errors;
+      ++counters_.invariant_errors;
+      sessions_.erase(p.session);
+      if (group.spec.kind == eval::PolicySpec::Kind::kDrl &&
+          drl_cursor < drl_row.size() && drl_row[drl_cursor] == r) {
+        ++drl_cursor;  // unreachable (outside XI is never inside X'), kept safe
+      }
+      continue;
+    }
+    const bool inside = group.xp_viol[r] <= kXPrimeTol;
+    int z = 1;
+    bool forced = false;
+    switch (group.spec.kind) {
+      case eval::PolicySpec::Kind::kAlwaysRun:
+        z = 1;
+        forced = !inside;
+        break;
+      case eval::PolicySpec::Kind::kBangBang:
+        z = inside ? 0 : 1;
+        forced = !inside;
+        break;
+      case eval::PolicySpec::Kind::kPeriodic: {
+        if (inside) {
+          Session& session = sessions_.at(p.session);
+          z = session.policy->decide(p.req->x, session.whist) == 0 ? 0 : 1;
+        } else {
+          z = 1;
+          forced = true;
+        }
+        break;
+      }
+      case eval::PolicySpec::Kind::kDrl: {
+        if (inside) {
+          z = drl_z[drl_cursor];
+          ++drl_cursor;
+        } else {
+          z = 1;
+          forced = true;
+        }
+        break;
+      }
+      case eval::PolicySpec::Kind::kBurst:
+        break;  // rejected at open
+    }
+    res.kind = Response::Kind::kDecision;
+    res.z = z;
+    res.forced = forced;
+    ++counters_.decisions;
+    if (z == 0) ++counters_.skipped;
+    if (forced) ++counters_.forced;
+  }
+  group.pending.clear();
+}
+
+}  // namespace oic::serve

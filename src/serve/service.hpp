@@ -1,0 +1,124 @@
+#pragma once
+/// \file service.hpp
+/// The multi-session monitor core: a session table keyed by
+/// (plant, certificate, policy) whose per-tick decision pass is batched.
+///
+/// Each serve() call is one tick.  Phase 1 walks the request batch in
+/// order: opens/closes mutate the session table, reloads re-resolve
+/// certificates and agents through the cert::Store hash guards (sessions
+/// keep their state across a swap), and decides are validated (residual
+/// reconstruction exactly mirrors IntermittentController::record_transition)
+/// and queued on their session's group.  Phase 2 runs each group's pending
+/// decisions as one fused SoA batch: the XI / X' membership checks go
+/// through linalg::batch_max_violation (bit-identical per row to
+/// HPolytope::violation, chunked over the service thread pool) and a DRL
+/// group's policy consultations run as a single Mlp::forward_batch_into
+/// pass.  The resulting z/forced stream is bit-identical to driving a
+/// per-session IntermittentController with the same states and inputs --
+/// the property tests/test_serve.cpp asserts.
+///
+/// The service itself is single-caller (the Server's tick thread); it is
+/// not internally thread-safe.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cert/store.hpp"
+#include "common/parallel.hpp"
+#include "core/w_history.hpp"
+#include "eval/policy_spec.hpp"
+#include "eval/registry.hpp"
+#include "rl/mlp.hpp"
+#include "serve/api.hpp"
+
+namespace oic::serve {
+
+/// Service configuration.
+struct ServiceConfig {
+  /// Certificate cache directory (cert::Store).  Empty = synthesize every
+  /// plant's artifacts fresh at first open; set, plants resolve through
+  /// the store and `reload` requests pick up hash-fresh rewrites.
+  std::string cert_dir;
+  std::size_t workers = 0;  ///< membership-check pool width; 0 = hardware
+  std::size_t max_sessions = 1u << 20;
+};
+
+/// Cumulative service statistics.
+struct ServiceCounters {
+  std::uint64_t decisions = 0;        ///< decision responses issued
+  std::uint64_t skipped = 0;          ///< decisions with z = 0
+  std::uint64_t forced = 0;           ///< monitor overrides (x outside X')
+  std::uint64_t errors = 0;           ///< error responses issued
+  std::uint64_t invariant_errors = 0; ///< sessions closed for leaving XI
+  std::uint64_t reloads = 0;          ///< reload requests handled
+  std::uint64_t cert_swaps = 0;       ///< certificates hot-swapped
+  std::uint64_t agent_swaps = 0;      ///< agents hot-swapped
+};
+
+/// The batched multi-session monitor (see file comment).
+class Service {
+ public:
+  /// The registry must outlive the service.
+  Service(const eval::ScenarioRegistry& registry, ServiceConfig config);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// One tick: answer every request, responses 1:1 in request order.
+  /// Never throws on malformed requests -- each becomes an error response.
+  void serve(const std::vector<Request>& in, std::vector<Response>& out);
+
+  const ServiceCounters& counters() const { return counters_; }
+  std::size_t open_sessions() const { return sessions_.size(); }
+
+ private:
+  struct PlantEntry;
+  struct Group;
+
+  /// One live control session.  The disturbance history and its residual
+  /// scratch mirror the per-session framework exactly (w_memory = the
+  /// episode constant kEpisodeWMemory); only periodic policies carry
+  /// per-session policy state.
+  struct Session {
+    std::size_t group = 0;           ///< index into groups_
+    bool seeded = false;             ///< first decide arrived
+    linalg::Vector x_prev;           ///< state of the previous decision
+    core::WHistory whist;            ///< residual ring, oldest first
+    linalg::Vector ew_scratch;       ///< record_transition residual scratch
+    std::unique_ptr<core::SkipPolicy> policy;  ///< periodic state only
+  };
+
+  /// Sentinel group index for a failed resolve (error holds the reason).
+  static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
+  PlantEntry* resolve_plant(const std::string& plant_id, std::string& error);
+  std::size_t resolve_group(const std::string& plant_id, const std::string& policy,
+                            std::string& error);
+  /// Hot-reload pass: hash-fresh certificate rewrites and changed agent
+  /// files swap in; sessions keep their state; invalid files keep the old
+  /// artifact.  Never throws.
+  void reload(std::uint64_t& certs_swapped, std::uint64_t& agents_swapped);
+  void run_group(Group& group, std::vector<Response>& out);
+
+  const eval::ScenarioRegistry& registry_;
+  ServiceConfig config_;
+  std::unique_ptr<cert::Store> store_;
+  cert::Provider provider_;
+  std::unique_ptr<ThreadPool> pool_;
+  ServiceCounters counters_;
+
+  /// Plant cache: one model + certificate per plant id, shared across
+  /// groups (node-stable addresses; groups hold PlantEntry*).
+  std::unordered_map<std::string, std::unique_ptr<PlantEntry>> plants_;
+  /// Groups keyed (plant id, policy text), creation order.
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::unordered_map<std::string, std::size_t> group_index_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+};
+
+}  // namespace oic::serve

@@ -146,10 +146,8 @@ std::string grid_json(const TrainGridSpec& spec, const std::vector<TrainJob>& jo
               "grid_json: job/result count mismatch");
   OIC_REQUIRE(agent_paths.empty() || agent_paths.size() == jobs.size(),
               "grid_json: agent path count mismatch");
-  std::string out;
-  out += "{\n";
-  out += "  \"bench\": \"oic_train\",\n";
-  out += "  \"meta\": " + build_meta_json() + ",\n";
+  jsonout::Doc doc("oic_train");
+  std::string& out = doc.body();
 
   append_format(out,
                 "  \"config\": {\"episodes\": %zu, \"steps\": %zu, \"workers\": %zu, "
@@ -200,10 +198,7 @@ std::string grid_json(const TrainGridSpec& spec, const std::vector<TrainJob>& jo
     out += (j + 1 < result.results.size()) ? ",\n" : "\n";
   }
   out += "  ],\n";
-  append_format(out, "  \"safety_violations\": %s\n",
-                result.safety_violations ? "true" : "false");
-  out += "}\n";
-  return out;
+  return std::move(doc).finish(result.safety_violations);
 }
 
 }  // namespace oic::train

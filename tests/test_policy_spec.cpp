@@ -1,0 +1,106 @@
+// Accept/reject enumeration of the policy spec grammar
+// (eval/policy_spec.hpp) -- the one token grammar every surface shares:
+// the oic_eval/oic_mc/oic_train CLIs, the `oic-serve v1` open request, and
+// make_policy.  parse_policy_spec is pure string classification (no
+// filesystem), so the reject cases must hold even for drl: paths that do
+// not exist; make_policy additionally materializes, so its drl: case is
+// where a missing file becomes an error.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "eval/policy_spec.hpp"
+
+namespace {
+
+using oic::eval::parse_policy_spec;
+using oic::eval::PolicySpec;
+
+TEST(PolicySpec, AcceptsEveryDocumentedForm) {
+  PolicySpec s = parse_policy_spec("always-run");
+  EXPECT_EQ(s.kind, PolicySpec::Kind::kAlwaysRun);
+  EXPECT_EQ(s.text, "always-run");
+
+  s = parse_policy_spec("bang-bang");
+  EXPECT_EQ(s.kind, PolicySpec::Kind::kBangBang);
+
+  s = parse_policy_spec("periodic-1");
+  EXPECT_EQ(s.kind, PolicySpec::Kind::kPeriodic);
+  EXPECT_EQ(s.count, 1u);
+
+  s = parse_policy_spec("periodic-12");
+  EXPECT_EQ(s.kind, PolicySpec::Kind::kPeriodic);
+  EXPECT_EQ(s.count, 12u);
+
+  // Nine digits is the documented ceiling of the count payload.
+  s = parse_policy_spec("periodic-999999999");
+  EXPECT_EQ(s.count, 999999999u);
+
+  s = parse_policy_spec("burst:1");
+  EXPECT_EQ(s.kind, PolicySpec::Kind::kBurst);
+  EXPECT_EQ(s.count, 1u);
+
+  s = parse_policy_spec("burst:4");
+  EXPECT_EQ(s.kind, PolicySpec::Kind::kBurst);
+  EXPECT_EQ(s.count, 4u);
+
+  // drl: accepts any non-empty path without touching the filesystem.
+  s = parse_policy_spec("drl:/no/such/file.agent");
+  EXPECT_EQ(s.kind, PolicySpec::Kind::kDrl);
+  EXPECT_EQ(s.path, "/no/such/file.agent");
+
+  s = parse_policy_spec("drl:relative/agent.txt");
+  EXPECT_EQ(s.path, "relative/agent.txt");
+}
+
+TEST(PolicySpec, RejectsEveryMalformedForm) {
+  const char* bad[] = {
+      "",                      // empty
+      "always",                // prefix of a known spec
+      "Bang-Bang",             // grammar is case-sensitive
+      "periodic",              // missing -N payload
+      "periodic-",             // empty period
+      "periodic-0",            // period must be >= 1
+      "periodic-x",            // non-numeric period
+      "periodic--3",           // sign is not a digit (strtoul would wrap it)
+      "periodic-+3",           // likewise
+      "periodic-3x",           // trailing junk
+      "periodic-1000000000",   // ten digits: over the payload ceiling
+      "burst",                 // missing :<k>
+      "burst:",                // empty depth
+      "burst:0",               // depth must be >= 1
+      "burst:-2",              // negative depth
+      "burst:two",             // non-numeric depth
+      "drl:",                  // missing path
+      "nonesuch",              // unknown policy
+      "bang bang",             // specs are single whitespace-free tokens
+      "periodic 3",            // likewise
+      "bang-bang\n",           // embedded newline
+      "drl:a b",               // whitespace inside the path
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(parse_policy_spec(spec), oic::PreconditionError)
+        << "spec '" << spec << "' should reject";
+  }
+}
+
+TEST(PolicySpec, MakePolicyMaterializesAndPropagatesErrors) {
+  EXPECT_NE(oic::eval::make_policy("always-run"), nullptr);
+  EXPECT_NE(oic::eval::make_policy("bang-bang"), nullptr);
+  EXPECT_NE(oic::eval::make_policy("periodic-3"), nullptr);
+  EXPECT_NE(oic::eval::make_policy("burst:2"), nullptr);
+  // Grammar errors and unloadable agents surface the same way, with the
+  // offending spec named in the message.
+  EXPECT_THROW(oic::eval::make_policy("periodic-0"), oic::PreconditionError);
+  try {
+    oic::eval::make_policy("drl:/no/such/file.agent");
+    FAIL() << "missing agent file should reject";
+  } catch (const oic::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("drl:/no/such/file.agent"),
+              std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,604 @@
+// Tests for the monitor service stack (src/serve): the `oic-serve v1`
+// wire grammar, the multi-session Service, the threaded Server, and the
+// headline guarantee of the serve layer -- batched decisions bit-identical
+// to the per-session EpisodeEngine/IntermittentController path.
+//
+// The parser corpus follows the PR-5 parser-fuzz discipline
+// (tests/test_parser_fuzz.cpp): the request stream crosses a trust
+// boundary (oic_serve --in reads arbitrary files / stdin), so truncation,
+// non-finite numbers, oversized counts and dimensions, unknown verbs, and
+// trailing junk must all reject with a clean oic::Error -- never crash,
+// hang, or allocate unboundedly.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "eval/registry.hpp"
+#include "rl/serialize.hpp"
+#include "serve/api.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using oic::Rng;
+using oic::serve::Request;
+using oic::serve::Response;
+
+// ---------------------------------------------------------------- helpers
+
+Request open_req(std::uint64_t ref, std::uint64_t sid, std::string plant,
+                 std::string policy) {
+  Request r;
+  r.kind = Request::Kind::kOpen;
+  r.ref = ref;
+  r.session = sid;
+  r.plant = std::move(plant);
+  r.policy = std::move(policy);
+  return r;
+}
+
+Request decide_req(std::uint64_t ref, std::uint64_t sid,
+                   const std::vector<double>& x) {
+  Request r;
+  r.kind = Request::Kind::kDecide;
+  r.ref = ref;
+  r.session = sid;
+  r.x.data() = x;
+  return r;
+}
+
+Request decide_req(std::uint64_t ref, std::uint64_t sid,
+                   const std::vector<double>& u, const std::vector<double>& x) {
+  Request r = decide_req(ref, sid, x);
+  r.has_u = true;
+  r.u.data() = u;
+  return r;
+}
+
+Request close_req(std::uint64_t ref, std::uint64_t sid) {
+  Request r;
+  r.kind = Request::Kind::kClose;
+  r.ref = ref;
+  r.session = sid;
+  return r;
+}
+
+Request reload_req(std::uint64_t ref) {
+  Request r;
+  r.kind = Request::Kind::kReload;
+  r.ref = ref;
+  return r;
+}
+
+/// A valid request document covering every verb and both decide shapes,
+/// with doubles chosen to stress the %.17g round trip.
+std::string request_doc() {
+  std::vector<Request> batch;
+  batch.push_back(open_req(1, 7, "toy2d", "bang-bang"));
+  batch.push_back(decide_req(2, 7, {0.1, -1.0 / 3.0}));
+  batch.push_back(decide_req(3, 7, {-2.5e-13}, {1e-300, 4.9406564584124654e-324}));
+  batch.push_back(close_req(4, 7));
+  batch.push_back(reload_req(5));
+  std::stringstream ss;
+  oic::serve::write_request_batch(batch, ss);
+  return ss.str();
+}
+
+std::string response_doc() {
+  std::vector<Response> batch(5);
+  batch[0].kind = Response::Kind::kOpened;
+  batch[0].ref = 1;
+  batch[0].session = 7;
+  batch[1].kind = Response::Kind::kDecision;
+  batch[1].ref = 2;
+  batch[1].session = 7;
+  batch[1].z = 0;
+  batch[1].forced = false;
+  batch[2].kind = Response::Kind::kClosed;
+  batch[2].ref = 4;
+  batch[2].session = 7;
+  batch[3].kind = Response::Kind::kReloaded;
+  batch[3].ref = 5;
+  batch[3].certs = 2;
+  batch[3].agents = 1;
+  batch[4].kind = Response::Kind::kError;
+  batch[4].ref = 6;
+  batch[4].error = "unknown session 9 (several words, echoed verbatim)";
+  std::stringstream ss;
+  oic::serve::write_response_batch(batch, ss);
+  return ss.str();
+}
+
+void expect_request_rejects(const std::string& text, const std::string& why) {
+  std::stringstream ss(text);
+  std::vector<Request> out;
+  EXPECT_THROW(oic::serve::read_request_batch(ss, out), oic::Error) << why;
+}
+
+void expect_response_rejects(const std::string& text, const std::string& why) {
+  std::stringstream ss(text);
+  std::vector<Response> out;
+  EXPECT_THROW(oic::serve::read_response_batch(ss, out), oic::Error) << why;
+}
+
+/// Write a deterministic toy2d skipping agent (memory 2, so state_dim =
+/// nx + 2*nx = 6) and return its path.  `seed` varies the weights so
+/// hot-reload tests can produce a genuinely different network.
+std::string write_toy2d_agent(const std::string& name, unsigned seed) {
+  Rng rng(seed);
+  oic::linalg::Vector scale(6);
+  for (std::size_t i = 0; i < 6; ++i) scale[i] = 0.5 + 0.1 * static_cast<double>(i);
+  oic::rl::AgentSnapshot snap{"toy2d", 2, std::move(scale),
+                              oic::rl::Mlp({6, 8, 2}, rng)};
+  const std::string path = ::testing::TempDir() + name;
+  oic::rl::save_agent_file(snap, path);
+  return path;
+}
+
+// ---------------------------------------------------------- wire grammar
+
+TEST(ServeApi, RequestRoundTripIsExact) {
+  const std::string doc = request_doc();
+  std::stringstream ss(doc);
+  std::vector<Request> got;
+  ASSERT_TRUE(oic::serve::read_request_batch(ss, got));
+  ASSERT_EQ(got.size(), 5u);
+
+  EXPECT_EQ(got[0].kind, Request::Kind::kOpen);
+  EXPECT_EQ(got[0].ref, 1u);
+  EXPECT_EQ(got[0].session, 7u);
+  EXPECT_EQ(got[0].plant, "toy2d");
+  EXPECT_EQ(got[0].policy, "bang-bang");
+
+  EXPECT_EQ(got[1].kind, Request::Kind::kDecide);
+  EXPECT_FALSE(got[1].has_u);
+  ASSERT_EQ(got[1].x.size(), 2u);
+  // %.17g round-trips doubles exactly, including subnormals.
+  EXPECT_EQ(got[1].x[0], 0.1);
+  EXPECT_EQ(got[1].x[1], -1.0 / 3.0);
+
+  EXPECT_EQ(got[2].kind, Request::Kind::kDecide);
+  ASSERT_TRUE(got[2].has_u);
+  ASSERT_EQ(got[2].u.size(), 1u);
+  EXPECT_EQ(got[2].u[0], -2.5e-13);
+  ASSERT_EQ(got[2].x.size(), 2u);
+  EXPECT_EQ(got[2].x[0], 1e-300);
+  EXPECT_EQ(got[2].x[1], 4.9406564584124654e-324);
+
+  EXPECT_EQ(got[3].kind, Request::Kind::kClose);
+  EXPECT_EQ(got[3].session, 7u);
+  EXPECT_EQ(got[4].kind, Request::Kind::kReload);
+  EXPECT_EQ(got[4].ref, 5u);
+
+  // Nothing further in the stream: the next read is a clean EOF.
+  std::vector<Request> more;
+  EXPECT_FALSE(oic::serve::read_request_batch(ss, more));
+}
+
+TEST(ServeApi, ResponseRoundTripIsExact) {
+  std::stringstream ss(response_doc());
+  std::vector<Response> got;
+  ASSERT_TRUE(oic::serve::read_response_batch(ss, got));
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0].kind, Response::Kind::kOpened);
+  EXPECT_EQ(got[1].kind, Response::Kind::kDecision);
+  EXPECT_EQ(got[1].z, 0);
+  EXPECT_FALSE(got[1].forced);
+  EXPECT_EQ(got[2].kind, Response::Kind::kClosed);
+  EXPECT_EQ(got[3].kind, Response::Kind::kReloaded);
+  EXPECT_EQ(got[3].certs, 2u);
+  EXPECT_EQ(got[3].agents, 1u);
+  EXPECT_EQ(got[4].kind, Response::Kind::kError);
+  EXPECT_EQ(got[4].error, "unknown session 9 (several words, echoed verbatim)");
+}
+
+TEST(ServeApi, ErrorNewlinesAreSanitized) {
+  // A diagnostic with embedded newlines must not forge extra response
+  // lines (the grammar is line-framed).
+  std::vector<Response> batch(1);
+  batch[0].kind = Response::Kind::kError;
+  batch[0].ref = 9;
+  batch[0].error = "line one\nclosed 1 session 2\rline three";
+  std::stringstream ss;
+  oic::serve::write_response_batch(batch, ss);
+  std::vector<Response> got;
+  ASSERT_TRUE(oic::serve::read_response_batch(ss, got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].error, "line one closed 1 session 2 line three");
+}
+
+TEST(ServeApi, CleanEofIsFalseNotError) {
+  for (const char* text : {"", "\n", "\n\n\n"}) {
+    std::stringstream ss(text);
+    std::vector<Request> reqs;
+    EXPECT_FALSE(oic::serve::read_request_batch(ss, reqs)) << '"' << text << '"';
+    std::stringstream ss2(text);
+    std::vector<Response> resps;
+    EXPECT_FALSE(oic::serve::read_response_batch(ss2, resps));
+  }
+}
+
+TEST(ServeApi, BackToBackBatchesStream) {
+  // Batches separated by blank lines stream one document at a time --
+  // the oic_serve lock-step loop relies on this.
+  std::stringstream ss(request_doc() + "\n" + request_doc());
+  std::vector<Request> out;
+  ASSERT_TRUE(oic::serve::read_request_batch(ss, out));
+  EXPECT_EQ(out.size(), 5u);
+  ASSERT_TRUE(oic::serve::read_request_batch(ss, out));
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_FALSE(oic::serve::read_request_batch(ss, out));
+}
+
+TEST(ServeApiFuzz, EveryTruncationRejects) {
+  // Any cut that loses part of the end sentinel (or anything before it)
+  // must reject; cut 0 is a clean EOF and returns false instead.
+  const std::string doc = request_doc();
+  const std::size_t sentinel_end = doc.rfind("end") + 3;
+  for (std::size_t cut = 1; cut < sentinel_end; ++cut) {
+    expect_request_rejects(doc.substr(0, cut),
+                           "request cut at " + std::to_string(cut));
+  }
+  const std::string resp = response_doc();
+  const std::size_t resp_end = resp.rfind("end") + 3;
+  for (std::size_t cut = 1; cut < resp_end; ++cut) {
+    expect_response_rejects(resp.substr(0, cut),
+                            "response cut at " + std::to_string(cut));
+  }
+}
+
+TEST(ServeApiFuzz, HeaderMutationsReject) {
+  expect_request_rejects("oic-serve v2\nrequests 0\nend\n", "future version");
+  expect_request_rejects("oic-cert v1\nrequests 0\nend\n", "wrong magic");
+  expect_request_rejects("garbage\n", "non-magic first line");
+  expect_request_rejects("oic-serve v1\n", "missing count line");
+  expect_request_rejects("oic-serve v1\nresponses 0\nend\n",
+                         "wrong direction keyword");
+  expect_request_rejects("oic-serve v1\nrequests\nend\n", "missing count");
+  expect_request_rejects("oic-serve v1\nrequests -1\nend\n", "negative count");
+  expect_request_rejects("oic-serve v1\nrequests x\nend\n", "non-numeric count");
+  expect_request_rejects("oic-serve v1\nrequests 3.5\nend\n", "fractional count");
+  expect_request_rejects("oic-serve v1\nrequests 0 junk\nend\n",
+                         "trailing token after count");
+  // The caps must reject before any allocation happens (allocation bombs).
+  expect_request_rejects("oic-serve v1\nrequests 1048577\nend\n",
+                         "count over the 1<<20 cap");
+  expect_request_rejects("oic-serve v1\nrequests 99999999999999999999\nend\n",
+                         "count overflowing u64");
+}
+
+TEST(ServeApiFuzz, RequestLineMutationsReject) {
+  const std::string head = "oic-serve v1\nrequests 1\n";
+  expect_request_rejects(head + "\nend\n", "blank request line");
+  expect_request_rejects(head + "ping 1\nend\n", "unknown verb");
+  expect_request_rejects(head + "open 1 session 2 plant toy2d\nend\n",
+                         "open missing policy");
+  expect_request_rejects(head + "open 1 sess 2 plant toy2d policy bang-bang\nend\n",
+                         "misspelled keyword");
+  expect_request_rejects(
+      head + "open 1 session 2 plant toy2d policy bang-bang junk\nend\n",
+      "trailing token on open");
+  expect_request_rejects(head + "open -1 session 2 plant a policy b\nend\n",
+                         "negative ref");
+  expect_request_rejects(head + "close 1 session 2 3\nend\n",
+                         "trailing token on close");
+  expect_request_rejects(head + "reload 1 2\nend\n", "trailing token on reload");
+  expect_request_rejects(head + "decide 1 session 2\nend\n",
+                         "decide without a state vector");
+  expect_request_rejects(head + "decide 1 session 2 y 1 0.5\nend\n",
+                         "decide with an unknown tag");
+  const std::string doc = request_doc();
+  expect_request_rejects(doc.substr(0, doc.size() - 4) + "fin\n",
+                         "wrong end sentinel");
+}
+
+TEST(ServeApiFuzz, VectorMutationsReject) {
+  const std::string head = "oic-serve v1\nrequests 1\n";
+  expect_request_rejects(head + "decide 1 session 2 x 0\nend\n", "zero dimension");
+  expect_request_rejects(head + "decide 1 session 2 x 65 0.0\nend\n",
+                         "dimension over the cap of 64");
+  expect_request_rejects(
+      head + "decide 1 session 2 x 18446744073709551616 0.0\nend\n",
+      "dimension overflowing u64");
+  expect_request_rejects(head + "decide 1 session 2 x 3 0.5 0.5\nend\n",
+                         "fewer values than the declared dimension");
+  expect_request_rejects(head + "decide 1 session 2 x 1 0.5 0.5\nend\n",
+                         "more values than the declared dimension");
+  for (const char* bad : {"nan", "-nan", "inf", "-inf", "1e999", "-1e999", "zero"}) {
+    expect_request_rejects(
+        head + "decide 1 session 2 x 2 0.5 " + std::string(bad) + "\nend\n",
+        std::string("non-finite state entry '") + bad + "'");
+    expect_request_rejects(head + "decide 1 session 2 u 1 " + std::string(bad) +
+                               " x 1 0.0\nend\n",
+                           std::string("non-finite input entry '") + bad + "'");
+  }
+}
+
+TEST(ServeApiFuzz, ResponseMutationsReject) {
+  const std::string head = "oic-serve v1\nresponses 1\n";
+  expect_response_rejects(head + "decision 1 session 2 z 2 forced 0\nend\n",
+                          "z outside {0,1}");
+  expect_response_rejects(head + "decision 1 session 2 z 0 forced 7\nend\n",
+                          "forced outside {0,1}");
+  expect_response_rejects(head + "decision 1 session 2 z 0\nend\n",
+                          "decision missing forced");
+  expect_response_rejects(head + "reloaded 1 certs 2\nend\n",
+                          "reloaded missing agents");
+  expect_response_rejects(head + "opened 1 session 2 junk\nend\n",
+                          "trailing token on opened");
+  expect_response_rejects(head + "pong 1\nend\n", "unknown response verb");
+  expect_response_rejects("oic-serve v1\nrequests 0\nend\n",
+                          "request header on the response reader");
+}
+
+TEST(ServeApi, WriterEnforcesTheGrammar) {
+  // Writers reject what readers would reject, so a bad batch fails at
+  // save time instead of corrupting the line grammar.
+  std::stringstream ss;
+  std::vector<Request> bad_policy{open_req(1, 2, "toy2d", "bang bang")};
+  EXPECT_THROW(oic::serve::write_request_batch(bad_policy, ss), oic::Error);
+  std::vector<Request> empty_plant{open_req(1, 2, "", "bang-bang")};
+  EXPECT_THROW(oic::serve::write_request_batch(empty_plant, ss), oic::Error);
+  std::vector<Request> empty_x{decide_req(1, 2, {})};
+  EXPECT_THROW(oic::serve::write_request_batch(empty_x, ss), oic::Error);
+  std::vector<Request> huge_x{decide_req(1, 2, std::vector<double>(65, 0.0))};
+  EXPECT_THROW(oic::serve::write_request_batch(huge_x, ss), oic::Error);
+}
+
+// -------------------------------------------------------------- service
+
+TEST(ServeService, SessionLifecycleAndValidation) {
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  const auto model = reg.make_model("toy2d");
+  const std::size_t nx = model.sys.nx();
+  const std::size_t nu = model.sys.nu();
+  const std::vector<double> x0(nx, 0.0);
+  const std::vector<double> u0(nu, 0.0);
+
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  oic::serve::Service svc(reg, cfg);
+
+  // Open + first decide (state only) in one batch, request order.
+  std::vector<Request> batch;
+  batch.push_back(open_req(1, 10, "toy2d", "bang-bang"));
+  batch.push_back(decide_req(2, 10, x0));
+  std::vector<Response> out;
+  svc.serve(batch, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, Response::Kind::kOpened);
+  ASSERT_EQ(out[1].kind, Response::Kind::kDecision) << out[1].error;
+  EXPECT_EQ(out[1].ref, 2u);
+  EXPECT_EQ(svc.open_sessions(), 1u);
+
+  // Validation corpus: every row is (requests, why) answered with kError.
+  struct Case {
+    Request req;
+    const char* why;
+  };
+  std::vector<Case> cases;
+  cases.push_back({open_req(3, 10, "toy2d", "bang-bang"), "duplicate open"});
+  cases.push_back({open_req(4, 11, "nonesuch", "bang-bang"), "unknown plant"});
+  cases.push_back({open_req(5, 11, "toy2d", "periodic-0"), "malformed policy"});
+  cases.push_back({open_req(6, 11, "toy2d", "burst:2"), "burst not served"});
+  cases.push_back({decide_req(7, 99, x0), "unknown session"});
+  cases.push_back({decide_req(8, 10, x0), "subsequent decide without u"});
+  cases.push_back(
+      {decide_req(9, 10, u0, std::vector<double>(nx + 1, 0.0)), "wrong x dim"});
+  cases.push_back(
+      {decide_req(10, 10, std::vector<double>(nu + 1, 0.0), x0), "wrong u dim"});
+  cases.push_back({close_req(11, 99), "close of an unknown session"});
+  for (const Case& c : cases) {
+    svc.serve({c.req}, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, Response::Kind::kError) << c.why;
+    EXPECT_EQ(out[0].ref, c.req.ref) << c.why;
+    EXPECT_FALSE(out[0].error.empty()) << c.why;
+  }
+  // None of the failed requests disturbed the session table.
+  EXPECT_EQ(svc.open_sessions(), 1u);
+
+  // A session may decide at most once per batch (one tick = one period).
+  batch.clear();
+  batch.push_back(decide_req(12, 10, u0, x0));
+  batch.push_back(decide_req(13, 10, u0, x0));
+  svc.serve(batch, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, Response::Kind::kDecision) << out[0].error;
+  EXPECT_EQ(out[1].kind, Response::Kind::kError);
+
+  // First decide of a session must not carry u (there is no previous
+  // actuation to reconstruct a disturbance from).
+  svc.serve({open_req(14, 20, "toy2d", "always-run"), decide_req(15, 20, u0, x0)},
+            out);
+  EXPECT_EQ(out[0].kind, Response::Kind::kOpened);
+  EXPECT_EQ(out[1].kind, Response::Kind::kError);
+
+  // Close ends the session; decides after it are unknown-session errors.
+  svc.serve({close_req(16, 10)}, out);
+  EXPECT_EQ(out[0].kind, Response::Kind::kClosed);
+  svc.serve({decide_req(17, 10, u0, x0)}, out);
+  EXPECT_EQ(out[0].kind, Response::Kind::kError);
+
+  // Reload with no cert store and no DRL groups swaps nothing.
+  svc.serve({reload_req(18)}, out);
+  ASSERT_EQ(out[0].kind, Response::Kind::kReloaded);
+  EXPECT_EQ(out[0].certs, 0u);
+  EXPECT_EQ(out[0].agents, 0u);
+
+  const auto& c = svc.counters();
+  EXPECT_GE(c.decisions, 2u);
+  EXPECT_GE(c.errors, cases.size());
+  EXPECT_EQ(c.reloads, 1u);
+  EXPECT_EQ(c.invariant_errors, 0u);
+}
+
+TEST(ServeService, SessionTableCapIsEnforced) {
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_sessions = 1;
+  oic::serve::Service svc(oic::eval::ScenarioRegistry::builtin(), cfg);
+  std::vector<Response> out;
+  svc.serve({open_req(1, 1, "toy2d", "bang-bang"),
+             open_req(2, 2, "toy2d", "bang-bang")},
+            out);
+  EXPECT_EQ(out[0].kind, Response::Kind::kOpened);
+  EXPECT_EQ(out[1].kind, Response::Kind::kError);
+  EXPECT_NE(out[1].error.find("full"), std::string::npos);
+}
+
+TEST(ServeService, DrlOpenValidatesTheAgent) {
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  oic::serve::Service svc(reg, cfg);
+  std::vector<Response> out;
+
+  // Missing file.
+  svc.serve({open_req(1, 1, "toy2d", "drl:" + ::testing::TempDir() + "nope.agent")},
+            out);
+  EXPECT_EQ(out[0].kind, Response::Kind::kError);
+
+  // Plant-tag mismatch: a toy2d-shaped agent labelled for another plant.
+  Rng rng(3);
+  oic::rl::AgentSnapshot wrong{"acc", 2, oic::linalg::Vector(),
+                               oic::rl::Mlp({6, 8, 2}, rng)};
+  const std::string wrong_path = ::testing::TempDir() + "wrong_plant.agent";
+  oic::rl::save_agent_file(wrong, wrong_path);
+  svc.serve({open_req(2, 1, "toy2d", "drl:" + wrong_path)}, out);
+  ASSERT_EQ(out[0].kind, Response::Kind::kError);
+  EXPECT_NE(out[0].error.find("trained on plant"), std::string::npos);
+
+  // Dimension mismatch: state_dim does not decompose over toy2d's nx.
+  oic::rl::AgentSnapshot misfit{"toy2d", 2, oic::linalg::Vector(),
+                                oic::rl::Mlp({9, 8, 2}, rng)};
+  const std::string misfit_path = ::testing::TempDir() + "misfit.agent";
+  oic::rl::save_agent_file(misfit, misfit_path);
+  svc.serve({open_req(3, 1, "toy2d", "drl:" + misfit_path)}, out);
+  ASSERT_EQ(out[0].kind, Response::Kind::kError);
+  EXPECT_NE(out[0].error.find("do not fit"), std::string::npos);
+
+  // A well-formed agent opens and decides.
+  const std::string good = write_toy2d_agent("good.agent", 17);
+  svc.serve({open_req(4, 1, "toy2d", "drl:" + good),
+             decide_req(5, 1, std::vector<double>(2, 0.0))},
+            out);
+  EXPECT_EQ(out[0].kind, Response::Kind::kOpened) << out[0].error;
+  EXPECT_EQ(out[1].kind, Response::Kind::kDecision) << out[1].error;
+}
+
+TEST(ServeService, AgentHotReloadSwapsWithoutDroppingSessions) {
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  const std::string path = write_toy2d_agent("hot.agent", 21);
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  oic::serve::Service svc(reg, cfg);
+  std::vector<Response> out;
+  svc.serve({open_req(1, 5, "toy2d", "drl:" + path),
+             decide_req(2, 5, std::vector<double>(2, 0.0))},
+            out);
+  ASSERT_EQ(out[1].kind, Response::Kind::kDecision) << out[1].error;
+
+  // Rewriting the file with identical parameters must NOT count as a swap
+  // (the bit-equality guard).
+  write_toy2d_agent("hot.agent", 21);
+  svc.serve({reload_req(3)}, out);
+  ASSERT_EQ(out[0].kind, Response::Kind::kReloaded);
+  EXPECT_EQ(out[0].agents, 0u);
+
+  // Different weights swap in; the open session keeps its state.
+  write_toy2d_agent("hot.agent", 22);
+  svc.serve({reload_req(4)}, out);
+  ASSERT_EQ(out[0].kind, Response::Kind::kReloaded);
+  EXPECT_EQ(out[0].agents, 1u);
+  EXPECT_EQ(svc.open_sessions(), 1u);
+  svc.serve({decide_req(5, 5, std::vector<double>(1, 0.0),
+                        std::vector<double>(2, 0.0))},
+            out);
+  EXPECT_EQ(out[0].kind, Response::Kind::kDecision) << out[0].error;
+
+  // A corrupt rewrite keeps the old agent serving.
+  {
+    std::ofstream os(path);
+    os << "oic-agent v1\ngarbage\n";
+  }
+  svc.serve({reload_req(6)}, out);
+  ASSERT_EQ(out[0].kind, Response::Kind::kReloaded);
+  EXPECT_EQ(out[0].agents, 0u);
+  svc.serve({decide_req(7, 5, std::vector<double>(1, 0.0),
+                        std::vector<double>(2, 0.0))},
+            out);
+  EXPECT_EQ(out[0].kind, Response::Kind::kDecision) << out[0].error;
+}
+
+// ------------------------------------------------------------ bit parity
+
+TEST(ServeParity, BatchedDecisionsMatchPerSessionPath) {
+  // The serve layer's headline guarantee: interleaved batched sessions
+  // reproduce the per-session IntermittentController decision stream --
+  // z, forced, the actuated input, and the state trajectory, all bitwise.
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  const std::string agent = write_toy2d_agent("parity.agent", 31);
+  const oic::serve::ParityReport report = oic::serve::check_batched_parity(
+      reg, "toy2d", {"bang-bang", "periodic-3", "always-run", "drl:" + agent},
+      12, 30, 99);
+  EXPECT_TRUE(report.identical) << report.detail;
+  EXPECT_EQ(report.decisions, 12u * 30u);
+}
+
+TEST(ServeParity, ParityHoldsAcrossWorkerCounts) {
+  // The batched membership checks chunk over a thread pool; the chunking
+  // must not change a single bit of any decision.
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  const oic::serve::ParityReport report = oic::serve::check_batched_parity(
+      reg, "toy2d", {"bang-bang", "periodic-2"}, 9, 15, 7);
+  EXPECT_TRUE(report.identical) << report.detail;
+  EXPECT_EQ(report.decisions, 9u * 15u);
+}
+
+// --------------------------------------------------------------- server
+
+TEST(ServeServer, ConnectionsShareOneTickThread) {
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  oic::serve::Server server(reg, cfg);
+  auto a = server.connect();
+  auto b = server.connect();
+
+  std::vector<Request> batch_a{open_req(1, 100, "toy2d", "bang-bang"),
+                               decide_req(2, 100, {0.0, 0.0})};
+  std::vector<Request> batch_b{open_req(1, 200, "toy2d", "periodic-2"),
+                               decide_req(2, 200, {0.0, 0.0})};
+  a->submit(batch_a);
+  b->submit(batch_b);
+  const std::vector<Response> ra = a->await(batch_a.size());
+  const std::vector<Response> rb = b->await(batch_b.size());
+  ASSERT_EQ(ra.size(), 2u);
+  ASSERT_EQ(rb.size(), 2u);
+  // Responses route back to the submitting connection, 1:1 in order.
+  EXPECT_EQ(ra[0].kind, Response::Kind::kOpened);
+  EXPECT_EQ(ra[0].session, 100u);
+  EXPECT_EQ(ra[1].kind, Response::Kind::kDecision) << ra[1].error;
+  EXPECT_EQ(rb[0].kind, Response::Kind::kOpened);
+  EXPECT_EQ(rb[0].session, 200u);
+  EXPECT_EQ(rb[1].kind, Response::Kind::kDecision) << rb[1].error;
+  EXPECT_GE(server.ticks(), 1u);
+  EXPECT_EQ(server.open_sessions(), 2u);
+
+  server.shutdown();
+  EXPECT_THROW(a->submit(batch_a), oic::Error);
+  EXPECT_THROW(b->await(1), oic::Error);
+  // Idempotent: a second shutdown (and the destructor) is a no-op.
+  server.shutdown();
+}
+
+}  // namespace

@@ -1,9 +1,11 @@
 #pragma once
 /// \file cli_util.hpp
-/// Shared CLI plumbing for the oic_* tools (oic_eval, oic_train): the
-/// --key value / --key=value argument parser, strict count parsing, CSV
-/// list splitting, and the registry listing.  One copy, so the binaries'
-/// flag grammar cannot drift apart.
+/// Shared CLI plumbing for the oic_* tools (oic_eval, oic_train, oic_cert,
+/// oic_mc, oic_serve, oic_loadgen): the --key value / --key=value argument
+/// parser, strict count parsing, CSV list splitting, the common-flag set
+/// (--cert-dir / --faults / --seed / --workers / --json), uniform
+/// unknown-flag rejection, JSON file emission, and the registry listing.
+/// One copy, so the binaries' flag grammar cannot drift apart.
 
 #include <cstdint>
 #include <cstdio>
@@ -64,6 +66,11 @@ class Args {
     return 0;
   }
 
+  /// The raw argv entry at index i -- relative to whatever argv this Args
+  /// was built over, so subcommand tools (oic_cert) that shift argv still
+  /// report the right token for first_unknown().
+  const char* arg(int i) const { return argv_[i]; }
+
  private:
   int argc_;
   char** argv_;
@@ -82,6 +89,31 @@ inline bool parse_count(const std::string& s, std::uint64_t& out) {
   return true;
 }
 
+/// --key with a strict integer value and a uniform diagnostic.  Returns
+/// true when the flag is absent (target untouched) or parsed; prints
+/// "<tool>: --<key> expects ..." and returns false on a bad value.
+inline bool u64_flag(Args& args, const char* tool, const char* key,
+                     std::uint64_t& target) {
+  std::string v;
+  if (!args.value(key, v)) return true;
+  std::uint64_t n = 0;
+  if (!parse_count(v, n)) {
+    std::fprintf(stderr, "%s: --%s expects a non-negative integer, got '%s'\n", tool,
+                 key, v.c_str());
+    return false;
+  }
+  target = n;
+  return true;
+}
+
+inline bool count_flag(Args& args, const char* tool, const char* key,
+                       std::size_t& target) {
+  std::uint64_t value = target;
+  if (!u64_flag(args, tool, key, value)) return false;
+  target = static_cast<std::size_t>(value);
+  return true;
+}
+
 /// Split a comma-separated list, dropping empty items.
 inline std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -95,6 +127,76 @@ inline std::vector<std::string> split_list(const std::string& csv) {
     start = comma + 1;
   }
   return out;
+}
+
+/// Uniform unknown-flag rejection: true when every argv entry was
+/// consumed, else the shared diagnostic and false.  Call after the last
+/// value()/flag() lookup.
+inline bool reject_unknown(const Args& args, const char* tool) {
+  if (const int unknown = args.first_unknown()) {
+    std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", tool,
+                 args.arg(unknown));
+    return false;
+  }
+  return true;
+}
+
+/// Write a JSON document to `path`, reporting like every tool does.
+inline bool write_json_file(const char* tool, const std::string& path,
+                            const std::string& doc) {
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "%s: could not write %s\n", tool, path.c_str());
+  return false;
+}
+
+/// The flag set every sweep-shaped binary shares.  One definition, so
+/// --cert-dir / --faults / --seed / --workers / --json mean the same thing
+/// (same spelling, same diagnostics) across the oic_* tools.
+struct CommonOpts {
+  std::string cert_dir;              ///< --cert-dir DIR (cert::Store cache)
+  std::string faults;                ///< --faults SPEC (preset or key:value)
+  std::vector<std::uint64_t> seeds;  ///< --seed N / --seeds a,b
+  std::size_t workers = 0;           ///< --workers N, 0 = hardware
+  std::string json_path;             ///< --json PATH
+  bool write_json = false;
+};
+
+/// Which of the shared flags a binary accepts (oic_cert takes no --faults,
+/// oic_serve no --seed); unaccepted ones fall through to reject_unknown.
+struct CommonFlagSet {
+  bool cert_dir = true;
+  bool faults = true;
+  bool seeds = true;
+  bool workers = true;
+  bool json = true;
+};
+
+/// Parse the shared flags; false (after a diagnostic) on a bad value.
+inline bool parse_common(Args& args, const char* tool, CommonOpts& out,
+                         CommonFlagSet accept = {}) {
+  std::string v;
+  if (accept.cert_dir) (void)args.value("cert-dir", out.cert_dir);
+  if (accept.faults) (void)args.value("faults", out.faults);
+  if (accept.seeds && (args.value("seed", v) || args.value("seeds", v))) {
+    out.seeds.clear();
+    for (const auto& s : split_list(v)) {
+      std::uint64_t n = 0;
+      if (!parse_count(s, n)) {
+        std::fprintf(stderr, "%s: --seeds expects non-negative integers, got '%s'\n",
+                     tool, s.c_str());
+        return false;
+      }
+      out.seeds.push_back(n);
+    }
+  }
+  if (accept.workers && !count_flag(args, tool, "workers", out.workers)) return false;
+  if (accept.json) out.write_json = args.value("json", out.json_path);
+  return true;
 }
 
 /// Print the registered plants and their scenario catalogues (--list).

@@ -2,9 +2,9 @@
 /// Offline certificate manager over the plant registry -- the "compute
 /// once" half of the certificate layer:
 ///
-///   oic_cert synth  --cert-dir certs [--plant a,b] [--force]
-///   oic_cert verify --cert-dir certs [--plant a,b]
-///   oic_cert ls     --cert-dir certs
+///   oic_cert synth  --cert-dir certs [--plant a,b] [--force] [--json PATH]
+///   oic_cert verify --cert-dir certs [--plant a,b] [--json PATH]
+///   oic_cert ls     --cert-dir certs [--json PATH]
 ///
 ///   synth    resolve each plant's certificate through the cert::Store
 ///            (load-or-synthesize; --force re-synthesizes and rewrites
@@ -19,6 +19,10 @@
 /// file-read-bound, and a stale file (model changed) is rejected by
 /// content hash and transparently re-synthesized.
 ///
+/// --json writes the machine-readable document (shared bench envelope:
+/// schema_version + build provenance; safety_violations reports verify
+/// failures).
+///
 /// Exit status: 0 on success, 1 on any verification failure or bad usage.
 
 #include <chrono>
@@ -29,6 +33,7 @@
 #include "cert/store.hpp"
 #include "cli_util.hpp"
 #include "common/error.hpp"
+#include "common/jsonout.hpp"
 
 namespace {
 
@@ -45,6 +50,7 @@ double ms_since(Clock::time_point t0) {
 void print_usage() {
   std::printf(
       "usage: oic_cert <synth|verify|ls> --cert-dir DIR [--plant a,b] [--force]\n"
+      "                [--json PATH]\n"
       "  synth   load-or-synthesize certificates into the cache directory\n"
       "          (--force: re-synthesize and rewrite unconditionally)\n"
       "  verify  re-check cached certificates (hash, nesting, Definition 3)\n"
@@ -58,8 +64,11 @@ std::vector<std::string> resolve_plants(const ScenarioRegistry& registry,
   return registry.plant_ids();
 }
 
+/// Per-plant result rows as JSON object strings; main joins them into the
+/// document's "results" array when --json was given.
 int run_synth(const ScenarioRegistry& registry, const std::vector<std::string>& plants,
-              const oic::cert::Store& store, bool force) {
+              const oic::cert::Store& store, bool force,
+              std::vector<std::string>& rows) {
   std::printf("%-10s %-18s %6s %6s %8s %10s  %s\n", "plant", "model-hash", "XI", "X'",
               "ladder", "wall[ms]", "source");
   for (const auto& pid : plants) {
@@ -80,33 +89,52 @@ int run_synth(const ScenarioRegistry& registry, const std::vector<std::string>& 
                 oic::cert::hash_hex(cert.model_hash).c_str(),
                 cert.sets.xi.num_constraints(), cert.sets.x_prime.num_constraints(),
                 cert.ladder.size(), wall, cached ? "cache" : "synthesized");
+    std::string row = "{\"plant\": ";
+    oic::jsonout::append_string(row, pid);
+    row += ", \"hash\": ";
+    oic::jsonout::append_string(row, oic::cert::hash_hex(cert.model_hash));
+    oic::jsonout::append_format(
+        row, ", \"xi\": %zu, \"x_prime\": %zu, \"ladder\": %zu, \"cached\": %s}",
+        cert.sets.xi.num_constraints(), cert.sets.x_prime.num_constraints(),
+        cert.ladder.size(), cached ? "true" : "false");
+    rows.push_back(std::move(row));
   }
   std::printf("certificates in %s\n", store.dir().c_str());
   return 0;
 }
 
 int run_verify(const ScenarioRegistry& registry,
-               const std::vector<std::string>& plants, const oic::cert::Store& store) {
+               const std::vector<std::string>& plants, const oic::cert::Store& store,
+               std::vector<std::string>& rows) {
   bool all_ok = true;
   for (const auto& pid : plants) {
     const oic::cert::PlantModel model = registry.make_model(pid);
     const std::string path = store.path_for(model);
+    std::string row = "{\"plant\": ";
+    oic::jsonout::append_string(row, pid);
     try {
       const oic::cert::PlantCertificate cert = oic::cert::load_certificate_file(path);
       oic::cert::verify(model, cert);
       std::printf("%-10s OK    %s (hash %s, ladder depth %zu)\n", pid.c_str(),
                   path.c_str(), oic::cert::hash_hex(cert.model_hash).c_str(),
                   cert.ladder.size());
+      row += ", \"ok\": true, \"hash\": ";
+      oic::jsonout::append_string(row, oic::cert::hash_hex(cert.model_hash));
+      row += ", \"error\": \"\"}";
     } catch (const oic::Error& e) {
       std::printf("%-10s FAIL  %s\n", pid.c_str(), e.what());
       all_ok = false;
+      row += ", \"ok\": false, \"hash\": \"\", \"error\": ";
+      oic::jsonout::append_string(row, e.what());
+      row += "}";
     }
+    rows.push_back(std::move(row));
   }
   std::printf("verify: %s\n", all_ok ? "all certificates hold" : "FAILURES (see above)");
   return all_ok ? 0 : 1;
 }
 
-int run_ls(const oic::cert::Store& store) {
+int run_ls(const oic::cert::Store& store, std::vector<std::string>& rows) {
   const auto entries = store.ls();
   if (entries.empty()) {
     std::printf("no certificates in %s\n", store.dir().c_str());
@@ -116,8 +144,37 @@ int run_ls(const oic::cert::Store& store) {
   for (const auto& e : entries) {
     std::printf("%-24s %-10s %-18s %s\n", e.filename.c_str(), e.plant.c_str(),
                 e.hash.c_str(), e.readable ? "ok" : "UNREADABLE");
+    std::string row = "{\"file\": ";
+    oic::jsonout::append_string(row, e.filename);
+    row += ", \"plant\": ";
+    oic::jsonout::append_string(row, e.plant);
+    row += ", \"hash\": ";
+    oic::jsonout::append_string(row, e.hash);
+    row += e.readable ? ", \"readable\": true}" : ", \"readable\": false}";
+    rows.push_back(std::move(row));
   }
   return 0;
+}
+
+std::string cert_json(const std::string& command, const std::string& cert_dir,
+                      const std::vector<std::string>& plants, bool force,
+                      const std::vector<std::string>& rows, bool failures) {
+  oic::jsonout::Doc doc("oic_cert");
+  std::string& out = doc.body();
+  out += "  \"config\": {\"command\": ";
+  oic::jsonout::append_string(out, command);
+  out += ", \"cert_dir\": ";
+  oic::jsonout::append_string(out, cert_dir);
+  out += ", \"plants\": ";
+  oic::jsonout::append_string_array(out, plants);
+  oic::jsonout::append_format(out, ", \"force\": %s},\n", force ? "true" : "false");
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += "    " + rows[i];
+    out += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  return std::move(doc).finish(failures);
 }
 
 }  // namespace
@@ -140,8 +197,13 @@ int main(int argc, char** argv) {
   Args args(argc - 1, argv + 1);
   const ScenarioRegistry& registry = ScenarioRegistry::builtin();
 
-  std::string cert_dir;
-  if (!args.value("cert-dir", cert_dir)) {
+  oic::cliutil::CommonOpts common;
+  oic::cliutil::CommonFlagSet accept;
+  accept.faults = false;   // certificates are a fault-free offline artifact
+  accept.seeds = false;    // synthesis is deterministic, no seed
+  accept.workers = false;  // per-plant work is serial file I/O
+  if (!oic::cliutil::parse_common(args, "oic_cert", common, accept)) return 1;
+  if (common.cert_dir.empty()) {
     std::fprintf(stderr, "oic_cert: --cert-dir DIR is required\n");
     return 1;
   }
@@ -151,16 +213,25 @@ int main(int argc, char** argv) {
     const std::vector<std::string> plants = resolve_plants(registry, args);
     for (const auto& pid : plants) (void)registry.plant(pid);  // typo check first
 
-    if (const int unknown = args.first_unknown()) {
-      std::fprintf(stderr, "oic_cert: unknown argument '%s' (try --help)\n",
-                   argv[unknown + 1]);
+    if (!oic::cliutil::reject_unknown(args, "oic_cert")) return 1;
+
+    const oic::cert::Store store(common.cert_dir);
+    std::vector<std::string> rows;
+    int rc = 0;
+    if (command == "synth") {
+      rc = run_synth(registry, plants, store, force, rows);
+    } else if (command == "verify") {
+      rc = run_verify(registry, plants, store, rows);
+    } else {
+      rc = run_ls(store, rows);
+    }
+    if (common.write_json &&
+        !oic::cliutil::write_json_file(
+            "oic_cert", common.json_path,
+            cert_json(command, common.cert_dir, plants, force, rows, rc != 0))) {
       return 1;
     }
-
-    const oic::cert::Store store(cert_dir);
-    if (command == "synth") return run_synth(registry, plants, store, force);
-    if (command == "verify") return run_verify(registry, plants, store);
-    return run_ls(store);
+    return rc;
   } catch (const oic::Error& e) {
     std::fprintf(stderr, "oic_cert: %s\n", e.what());
     return 1;

@@ -121,48 +121,23 @@ int main(int argc, char** argv) {
 
   SweepSpec spec;
   std::string v;
-  std::uint64_t n = 0;
-  const auto count_flag = [&](const char* key, std::size_t& target) {
-    if (!args.value(key, v)) return true;
-    if (!parse_count(v, n)) {
-      std::fprintf(stderr, "oic_eval: --%s expects a non-negative integer, got '%s'\n",
-                   key, v.c_str());
-      return false;
-    }
-    target = static_cast<std::size_t>(n);
-    return true;
-  };
   if (args.value("plant", v) || args.value("plants", v)) spec.plants = split_list(v);
   if (args.value("scenario", v) || args.value("scenarios", v)) {
     spec.scenarios = split_list(v);
   }
   if (args.value("policies", v)) spec.policies = split_list(v);
-  if (!count_flag("cases", spec.cases) || !count_flag("steps", spec.steps) ||
-      !count_flag("workers", spec.workers)) {
+  if (!oic::cliutil::count_flag(args, "oic_eval", "cases", spec.cases) ||
+      !oic::cliutil::count_flag(args, "oic_eval", "steps", spec.steps)) {
     return 1;
   }
-  if (args.value("seed", v) || args.value("seeds", v)) {
-    spec.seeds.clear();
-    for (const auto& s : split_list(v)) {
-      if (!parse_count(s, n)) {
-        std::fprintf(stderr,
-                     "oic_eval: --seeds expects non-negative integers, got '%s'\n",
-                     s.c_str());
-        return 1;
-      }
-      spec.seeds.push_back(n);
-    }
-  }
-  (void)args.value("cert-dir", spec.cert_dir);
-  (void)args.value("faults", spec.faults);
-  std::string json_path;
-  const bool write_json = args.value("json", json_path);
+  oic::cliutil::CommonOpts common;
+  if (!oic::cliutil::parse_common(args, "oic_eval", common)) return 1;
+  if (!common.seeds.empty()) spec.seeds = common.seeds;
+  spec.workers = common.workers;
+  spec.cert_dir = common.cert_dir;
+  spec.faults = common.faults;
 
-  if (const int unknown = args.first_unknown()) {
-    std::fprintf(stderr, "oic_eval: unknown argument '%s' (try --help)\n",
-                 argv[unknown]);
-    return 1;
-  }
+  if (!oic::cliutil::reject_unknown(args, "oic_eval")) return 1;
 
   try {
     std::printf("=== oic_eval sweep ===\n");
@@ -173,16 +148,10 @@ int main(int argc, char** argv) {
     const SweepResult result = oic::eval::run_sweep(registry, spec);
     print_summary(spec, result);
 
-    if (write_json) {
-      const std::string doc = oic::eval::sweep_json(spec, result);
-      if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-        std::fwrite(doc.data(), 1, doc.size(), f);
-        std::fclose(f);
-        std::printf("wrote %s\n", json_path.c_str());
-      } else {
-        std::fprintf(stderr, "oic_eval: could not write %s\n", json_path.c_str());
-        return 1;
-      }
+    if (common.write_json &&
+        !oic::cliutil::write_json_file("oic_eval", common.json_path,
+                                       oic::eval::sweep_json(spec, result))) {
+      return 1;
     }
     return result.safety_violations ? 1 : 0;
   } catch (const oic::Error& e) {

@@ -1,0 +1,169 @@
+/// \file oic_loadgen.cpp
+/// Load generator for the monitor service: spins up an in-process Server,
+/// replays mc::ScenarioFamily traffic against it from multiple client
+/// threads (src/serve/loadgen.hpp), and reports decision latency
+/// percentiles and throughput:
+///
+///   oic_loadgen --plants toy2d --sessions 10000 --steps 10 --clients 4
+///
+/// Every session is driven like a real plant-side deployment: open, one
+/// decide per control period carrying the previously actuated input and
+/// the measured state, close at the end.  Decisions are actuated through
+/// the client's own tube-MPC copy; disturbances are sampled from the
+/// plant's scenario family.
+///
+/// Flags (--key value and --key=value are both accepted):
+///   --plant/--plants a,b  registry plants            (default: all)
+///   --family ID           scenario family            (default mixed)
+///   --policy SPEC         skip policy per session    (default bang-bang)
+///   --sessions N          concurrent sessions        (default 10000)
+///   --steps N             control periods/session    (default 10)
+///   --clients N           client threads             (default 4)
+///   --seed N              traffic seed               (default 20200406)
+///   --workers N           server pool, 0 = hardware  (default 0)
+///   --cert-dir DIR        certificate cache (cert::Store)
+///   --emit PATH           capture all submitted request batches
+///                         (`oic-serve v1` documents, replayable through
+///                         oic_serve --in PATH)
+///   --json PATH           write the JSON report
+///
+/// Exit status: 0 on a clean run, 1 when any session got an error
+/// response (fault-free traffic must never) or on bad usage.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "common/error.hpp"
+#include "common/jsonout.hpp"
+#include "serve/loadgen.hpp"
+
+namespace {
+
+using oic::cliutil::Args;
+
+std::string loadgen_json(const oic::serve::LoadgenConfig& cfg,
+                         const oic::serve::LoadgenResult& res,
+                         const oic::serve::ServiceCounters& c) {
+  oic::jsonout::Doc doc("oic_loadgen");
+  std::string& out = doc.body();
+  out += "  \"config\": {\"plants\": ";
+  oic::jsonout::append_string_array(out, cfg.plants);
+  out += ", \"family\": ";
+  oic::jsonout::append_string(out, cfg.family);
+  out += ", \"policy\": ";
+  oic::jsonout::append_string(out, cfg.policy);
+  oic::jsonout::append_format(
+      out, ", \"sessions\": %zu, \"steps\": %zu, \"clients\": %zu, \"seed\": %llu, ",
+      cfg.sessions, cfg.steps, cfg.clients,
+      static_cast<unsigned long long>(cfg.seed));
+  out += "\"cert_dir\": ";
+  oic::jsonout::append_string(out, cfg.cert_dir);
+  out += "},\n";
+  oic::jsonout::append_format(
+      out,
+      "  \"loadgen\": {\"wall_s\": %.6f, \"sessions\": %zu, \"steps\": %zu, "
+      "\"decisions\": %llu, \"skipped\": %llu, \"forced\": %llu, "
+      "\"errors\": %llu, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
+      "\"decisions_per_s\": %.3f, \"sessions_per_s\": %.3f},\n",
+      res.wall_s, res.sessions, res.steps,
+      static_cast<unsigned long long>(res.decisions),
+      static_cast<unsigned long long>(res.skipped),
+      static_cast<unsigned long long>(res.forced),
+      static_cast<unsigned long long>(res.errors), res.p50_ms, res.p99_ms,
+      res.decisions_per_s, res.sessions_per_s);
+  return std::move(doc).finish(c.invariant_errors > 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  if (args.flag("help")) {
+    std::printf(
+        "usage: oic_loadgen [--plants a,b] [--family ID] [--policy SPEC]\n"
+        "                   [--sessions N] [--steps N] [--clients N] [--seed N]\n"
+        "                   [--workers N] [--cert-dir DIR] [--emit PATH]\n"
+        "                   [--json PATH]\n"
+        "Replays scenario-family traffic against an in-process monitor server\n"
+        "and reports decision latency percentiles and throughput.\n");
+    return 0;
+  }
+
+  oic::serve::LoadgenConfig cfg;
+  std::string v;
+  if (args.value("plant", v) || args.value("plants", v)) {
+    cfg.plants = oic::cliutil::split_list(v);
+  }
+  (void)args.value("family", cfg.family);
+  (void)args.value("policy", cfg.policy);
+  (void)args.value("emit", cfg.emit_path);
+  if (!oic::cliutil::count_flag(args, "oic_loadgen", "sessions", cfg.sessions) ||
+      !oic::cliutil::count_flag(args, "oic_loadgen", "steps", cfg.steps) ||
+      !oic::cliutil::count_flag(args, "oic_loadgen", "clients", cfg.clients)) {
+    return 1;
+  }
+  oic::serve::ServiceConfig server_cfg;
+  oic::cliutil::CommonOpts common;
+  oic::cliutil::CommonFlagSet accept;
+  accept.faults = false;  // the serve layer is fault-free (strict monitor)
+  if (!oic::cliutil::parse_common(args, "oic_loadgen", common, accept)) return 1;
+  if (common.seeds.size() > 1) {
+    std::fprintf(stderr, "oic_loadgen: --seed expects a single traffic seed\n");
+    return 1;
+  }
+  if (!common.seeds.empty()) cfg.seed = common.seeds.front();
+  cfg.cert_dir = common.cert_dir;
+  server_cfg.cert_dir = common.cert_dir;
+  server_cfg.workers = common.workers;
+  if (!oic::cliutil::reject_unknown(args, "oic_loadgen")) return 1;
+
+  try {
+    std::printf("=== oic_loadgen ===\n");
+    std::printf("sessions=%zu steps=%zu clients=%zu policy=%s family=%s seed=%llu\n",
+                cfg.sessions, cfg.steps, cfg.clients, cfg.policy.c_str(),
+                cfg.family.c_str(), static_cast<unsigned long long>(cfg.seed));
+
+    const auto& registry = oic::eval::ScenarioRegistry::builtin();
+    oic::serve::Server server(registry, server_cfg);
+    const oic::serve::LoadgenResult res =
+        oic::serve::run_loadgen(server, registry, cfg);
+    server.shutdown();
+    const auto& counters = server.counters();
+
+    std::printf("\n%llu decisions (%llu skipped, %llu forced), %llu errors, "
+                "%.2f s wall\n",
+                static_cast<unsigned long long>(res.decisions),
+                static_cast<unsigned long long>(res.skipped),
+                static_cast<unsigned long long>(res.forced),
+                static_cast<unsigned long long>(res.errors), res.wall_s);
+    std::printf("latency    : p50 %.3f ms  |  p99 %.3f ms (submit -> await)\n",
+                res.p50_ms, res.p99_ms);
+    std::printf("throughput : %.0f decisions/s  |  %.0f sessions/s sustained "
+                "(1 decision/session/period)\n",
+                res.decisions_per_s, res.sessions_per_s);
+    std::printf("server     : %llu ticks, %zu sessions open at shutdown\n",
+                static_cast<unsigned long long>(server.ticks()),
+                server.open_sessions());
+    if (!cfg.emit_path.empty()) {
+      std::printf("emitted request batches to %s\n", cfg.emit_path.c_str());
+    }
+
+    if (common.write_json &&
+        !oic::cliutil::write_json_file("oic_loadgen", common.json_path,
+                                       loadgen_json(cfg, res, counters))) {
+      return 1;
+    }
+    return res.errors > 0 || counters.invariant_errors > 0 ? 1 : 0;
+  } catch (const oic::Error& e) {
+    std::fprintf(stderr, "oic_loadgen: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything escaping the oic::Error hierarchy (bad_alloc, filesystem
+    // errors, ...) must still die with a diagnosable message and a
+    // nonzero exit, never a raw terminate().
+    std::fprintf(stderr, "oic_loadgen: unexpected error: %s\n", e.what());
+    return 1;
+  }
+}

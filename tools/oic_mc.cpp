@@ -144,46 +144,32 @@ int main(int argc, char** argv) {
 
   CampaignSpec spec;
   std::string v;
-  std::uint64_t n = 0;
-  const auto u64_flag = [&](const char* key, std::uint64_t& target) {
-    if (!args.value(key, v)) return true;
-    if (!parse_count(v, n)) {
-      std::fprintf(stderr, "oic_mc: --%s expects a non-negative integer, got '%s'\n",
-                   key, v.c_str());
-      return false;
-    }
-    target = n;
-    return true;
-  };
-  const auto count_flag = [&](const char* key, std::size_t& target) {
-    std::uint64_t value = target;
-    if (!u64_flag(key, value)) return false;
-    target = static_cast<std::size_t>(value);
-    return true;
-  };
   if (args.value("plant", v) || args.value("plants", v)) spec.plants = split_list(v);
   if (args.value("family", v) || args.value("families", v)) {
     spec.families = split_list(v);
   }
   if (args.value("policies", v)) spec.policies = split_list(v);
-  if (!u64_flag("episodes", spec.episodes) || !count_flag("steps", spec.steps) ||
-      !u64_flag("seed", spec.seed) || !count_flag("workers", spec.workers) ||
-      !u64_flag("block", spec.block) ||
-      !u64_flag("checkpoint-blocks", spec.checkpoint_blocks) ||
-      !u64_flag("max-blocks", spec.max_blocks)) {
+  if (!oic::cliutil::u64_flag(args, "oic_mc", "episodes", spec.episodes) ||
+      !oic::cliutil::count_flag(args, "oic_mc", "steps", spec.steps) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "block", spec.block) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "checkpoint-blocks",
+                              spec.checkpoint_blocks) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "max-blocks", spec.max_blocks)) {
     return 1;
   }
-  (void)args.value("cert-dir", spec.cert_dir);
+  oic::cliutil::CommonOpts common;
+  if (!oic::cliutil::parse_common(args, "oic_mc", common)) return 1;
+  if (common.seeds.size() > 1) {
+    std::fprintf(stderr, "oic_mc: --seed expects a single campaign seed\n");
+    return 1;
+  }
+  if (!common.seeds.empty()) spec.seed = common.seeds.front();
+  spec.workers = common.workers;
+  spec.cert_dir = common.cert_dir;
+  spec.faults = common.faults;
   (void)args.value("checkpoint", spec.checkpoint);
-  (void)args.value("faults", spec.faults);
-  std::string json_path;
-  const bool write_json = args.value("json", json_path);
 
-  if (const int unknown = args.first_unknown()) {
-    std::fprintf(stderr, "oic_mc: unknown argument '%s' (try --help)\n",
-                 argv[unknown]);
-    return 1;
-  }
+  if (!oic::cliutil::reject_unknown(args, "oic_mc")) return 1;
 
   try {
     std::printf("=== oic_mc campaign ===\n");
@@ -196,16 +182,10 @@ int main(int argc, char** argv) {
     const CampaignResult result = oic::mc::run_campaign(registry, spec);
     print_summary(spec, result);
 
-    if (write_json) {
-      const std::string doc = oic::mc::campaign_json(spec, result);
-      if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-        std::fwrite(doc.data(), 1, doc.size(), f);
-        std::fclose(f);
-        std::printf("wrote %s\n", json_path.c_str());
-      } else {
-        std::fprintf(stderr, "oic_mc: could not write %s\n", json_path.c_str());
-        return 1;
-      }
+    if (common.write_json &&
+        !oic::cliutil::write_json_file("oic_mc", common.json_path,
+                                       oic::mc::campaign_json(spec, result))) {
+      return 1;
     }
     return result.safety_violations ? 1 : 0;
   } catch (const oic::Error& e) {

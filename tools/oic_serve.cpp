@@ -1,0 +1,179 @@
+/// \file oic_serve.cpp
+/// Monitor-as-a-service front end: a long-running multi-session monitor
+/// server speaking the `oic-serve v1` text protocol (src/serve/api.hpp)
+/// over stdin/stdout or files:
+///
+///   oic_loadgen --sessions 256 --steps 5 --emit burst.reqs --json /dev/null
+///   oic_serve --in burst.reqs --out burst.resps --json report.json
+///
+/// Each request batch read from --in is answered with a matching response
+/// batch on --out, lock-step: open/close mutate the session table, decide
+/// requests are batched per (plant, policy) group through one fused SoA
+/// monitor/policy pass (Service), and reload re-resolves certificates and
+/// agents through the cert::Store hash guards without dropping sessions.
+/// EOF on --in shuts the server down cleanly.
+///
+/// Flags (--key value and --key=value are both accepted):
+///   --in PATH|-         request stream             (default: - = stdin)
+///   --out PATH|-        response stream            (default: - = stdout)
+///   --cert-dir DIR      certificate cache (cert::Store); enables hot
+///                       reload of rewritten certificates
+///   --workers N         membership-check pool, 0 = hardware (default 0)
+///   --max-sessions N    session-table cap          (default 1048576)
+///   --json PATH         write the JSON service report
+///
+/// Exit status: 0 on a clean run, 1 on a malformed request stream, an
+/// invariant violation (a session's state left XI -- Algorithm 1's
+/// precondition), or bad usage.  Human-readable progress goes to stderr:
+/// stdout is the response stream when --out is '-'.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "common/error.hpp"
+#include "common/jsonout.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using oic::cliutil::Args;
+
+std::string serve_json(const oic::serve::ServiceConfig& cfg,
+                       const oic::serve::ServiceCounters& c, std::size_t open_sessions,
+                       std::uint64_t ticks, std::uint64_t batches, double wall_s) {
+  oic::jsonout::Doc doc("oic_serve");
+  std::string& out = doc.body();
+  oic::jsonout::append_format(out,
+                              "  \"config\": {\"workers\": %zu, \"max_sessions\": %zu, "
+                              "\"cert_dir\": ",
+                              cfg.workers, cfg.max_sessions);
+  oic::jsonout::append_string(out, cfg.cert_dir);
+  out += "},\n";
+  oic::jsonout::append_format(
+      out,
+      "  \"serve\": {\"wall_s\": %.6f, \"ticks\": %llu, \"batches\": %llu, "
+      "\"decisions\": %llu, \"skipped\": %llu, \"forced\": %llu, "
+      "\"errors\": %llu, \"invariant_errors\": %llu, \"reloads\": %llu, "
+      "\"cert_swaps\": %llu, \"agent_swaps\": %llu, \"open_sessions\": %zu},\n",
+      wall_s, static_cast<unsigned long long>(ticks),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(c.decisions),
+      static_cast<unsigned long long>(c.skipped),
+      static_cast<unsigned long long>(c.forced),
+      static_cast<unsigned long long>(c.errors),
+      static_cast<unsigned long long>(c.invariant_errors),
+      static_cast<unsigned long long>(c.reloads),
+      static_cast<unsigned long long>(c.cert_swaps),
+      static_cast<unsigned long long>(c.agent_swaps), open_sessions);
+  // A session leaving XI is exactly the condition Theorem 1 rules out for
+  // honest clients; it is the serve-layer safety verdict.
+  return std::move(doc).finish(c.invariant_errors > 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  if (args.flag("help")) {
+    std::printf(
+        "usage: oic_serve [--in PATH|-] [--out PATH|-] [--cert-dir DIR]\n"
+        "                 [--workers N] [--max-sessions N] [--json PATH]\n"
+        "Reads `oic-serve v1` request batches from --in, answers each with a\n"
+        "response batch on --out (lock-step), shuts down cleanly at EOF.\n");
+    return 0;
+  }
+
+  std::string in_path = "-";
+  std::string out_path = "-";
+  (void)args.value("in", in_path);
+  (void)args.value("out", out_path);
+
+  oic::serve::ServiceConfig cfg;
+  oic::cliutil::CommonOpts common;
+  oic::cliutil::CommonFlagSet accept;
+  accept.faults = false;  // the serve layer is fault-free (strict monitor)
+  accept.seeds = false;   // the server is deterministic in its inputs
+  if (!oic::cliutil::parse_common(args, "oic_serve", common, accept)) return 1;
+  cfg.cert_dir = common.cert_dir;
+  cfg.workers = common.workers;
+  if (!oic::cliutil::count_flag(args, "oic_serve", "max-sessions",
+                                cfg.max_sessions)) {
+    return 1;
+  }
+  if (!oic::cliutil::reject_unknown(args, "oic_serve")) return 1;
+
+  std::ifstream in_file;
+  std::ofstream out_file;
+  if (in_path != "-") {
+    in_file.open(in_path);
+    if (!in_file) {
+      std::fprintf(stderr, "oic_serve: cannot open --in '%s'\n", in_path.c_str());
+      return 1;
+    }
+  }
+  if (out_path != "-") {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "oic_serve: cannot open --out '%s'\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = in_path == "-" ? std::cin : in_file;
+  std::ostream& out = out_path == "-" ? std::cout : out_file;
+
+  try {
+    const auto t0 = std::chrono::steady_clock::now();
+    oic::serve::Server server(oic::eval::ScenarioRegistry::builtin(), cfg);
+    auto conn = server.connect();
+
+    std::uint64_t batches = 0;
+    std::vector<oic::serve::Request> batch;
+    while (oic::serve::read_request_batch(in, batch)) {
+      conn->submit(batch);
+      const std::vector<oic::serve::Response> responses = conn->await(batch.size());
+      oic::serve::write_response_batch(responses, out);
+      out.flush();
+      ++batches;
+    }
+    server.shutdown();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    const auto& c = server.counters();
+    std::fprintf(stderr,
+                 "oic_serve: %llu batches, %llu ticks, %llu decisions "
+                 "(%llu skipped, %llu forced), %llu errors "
+                 "(%llu invariant), %zu sessions open at shutdown\n",
+                 static_cast<unsigned long long>(batches),
+                 static_cast<unsigned long long>(server.ticks()),
+                 static_cast<unsigned long long>(c.decisions),
+                 static_cast<unsigned long long>(c.skipped),
+                 static_cast<unsigned long long>(c.forced),
+                 static_cast<unsigned long long>(c.errors),
+                 static_cast<unsigned long long>(c.invariant_errors),
+                 server.open_sessions());
+
+    if (common.write_json &&
+        !oic::cliutil::write_json_file(
+            "oic_serve", common.json_path,
+            serve_json(cfg, c, server.open_sessions(), server.ticks(), batches,
+                       wall_s))) {
+      return 1;
+    }
+    return c.invariant_errors > 0 ? 1 : 0;
+  } catch (const oic::Error& e) {
+    std::fprintf(stderr, "oic_serve: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything escaping the oic::Error hierarchy (bad_alloc, filesystem
+    // errors, ...) must still die with a diagnosable message and a
+    // nonzero exit, never a raw terminate().
+    std::fprintf(stderr, "oic_serve: unexpected error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -76,25 +76,15 @@ int main(int argc, char** argv) {
 
   TrainGridSpec spec;
   std::string v;
-  std::uint64_t n = 0;
-  const auto count_flag = [&](const char* key, std::size_t& target) {
-    if (!args.value(key, v)) return true;
-    if (!parse_count(v, n)) {
-      std::fprintf(stderr, "oic_train: --%s expects a non-negative integer, got '%s'\n",
-                   key, v.c_str());
-      return false;
-    }
-    target = static_cast<std::size_t>(n);
-    return true;
-  };
   if (args.value("plant", v) || args.value("plants", v)) spec.plants = split_list(v);
   if (args.value("scenario", v) || args.value("scenarios", v)) {
     spec.scenarios = split_list(v);
   }
-  if (!count_flag("episodes", spec.trainer.episodes) ||
-      !count_flag("steps", spec.trainer.steps_per_episode) ||
-      !count_flag("memory", spec.trainer.memory) ||
-      !count_flag("workers", spec.workers)) {
+  if (!oic::cliutil::count_flag(args, "oic_train", "episodes",
+                                spec.trainer.episodes) ||
+      !oic::cliutil::count_flag(args, "oic_train", "steps",
+                                spec.trainer.steps_per_episode) ||
+      !oic::cliutil::count_flag(args, "oic_train", "memory", spec.trainer.memory)) {
     return 1;
   }
   if (args.value("energy", v)) {
@@ -108,29 +98,17 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (args.value("seed", v) || args.value("seeds", v)) {
-    spec.seeds.clear();
-    for (const auto& s : split_list(v)) {
-      if (!parse_count(s, n)) {
-        std::fprintf(stderr,
-                     "oic_train: --seeds expects non-negative integers, got '%s'\n",
-                     s.c_str());
-        return 1;
-      }
-      spec.seeds.push_back(n);
-    }
-  }
-  (void)args.value("cert-dir", spec.cert_dir);
+  oic::cliutil::CommonOpts common;
+  oic::cliutil::CommonFlagSet accept;
+  accept.faults = false;  // training has no network fault model
+  if (!oic::cliutil::parse_common(args, "oic_train", common, accept)) return 1;
+  if (!common.seeds.empty()) spec.seeds = common.seeds;
+  spec.workers = common.workers;
+  spec.cert_dir = common.cert_dir;
   std::string out_dir = ".";
   (void)args.value("out", out_dir);
-  std::string json_path;
-  const bool write_json = args.value("json", json_path);
 
-  if (const int unknown = args.first_unknown()) {
-    std::fprintf(stderr, "oic_train: unknown argument '%s' (try --help)\n",
-                 argv[unknown]);
-    return 1;
-  }
+  if (!oic::cliutil::reject_unknown(args, "oic_train")) return 1;
 
   try {
     const std::vector<TrainJob> jobs = oic::train::expand_jobs(registry, spec);
@@ -172,17 +150,11 @@ int main(int argc, char** argv) {
     std::printf("safety violations during training: %s (Theorem 1: must be none)\n",
                 result.safety_violations ? "YES (BUG!)" : "none");
 
-    if (write_json) {
-      const std::string doc =
-          oic::train::grid_json(spec, jobs, result, agent_paths);
-      if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-        std::fwrite(doc.data(), 1, doc.size(), f);
-        std::fclose(f);
-        std::printf("wrote %s\n", json_path.c_str());
-      } else {
-        std::fprintf(stderr, "oic_train: could not write %s\n", json_path.c_str());
-        return 1;
-      }
+    if (common.write_json &&
+        !oic::cliutil::write_json_file(
+            "oic_train", common.json_path,
+            oic::train::grid_json(spec, jobs, result, agent_paths))) {
+      return 1;
     }
     return result.safety_violations ? 1 : 0;
   } catch (const oic::Error& e) {
