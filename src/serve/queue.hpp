@@ -51,18 +51,16 @@ class Channel {
     return true;
   }
 
-  /// Block until `n` items arrived, append them to `out`.  Returns false if
-  /// the channel closed before delivering all `n`.
+  /// Block until `n` items arrived, then append them to `out` in one splice.
+  /// Returns false if the channel closed before all `n` were available; in
+  /// that case neither the queue nor `out` is touched, so a caller that can
+  /// tolerate partial delivery may still drain() the remainder.
   bool pop_n(std::size_t n, std::vector<T>& out) {
     std::unique_lock<std::mutex> lock(mu_);
-    while (n > 0) {
-      cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
-      if (items_.empty()) return false;
-      const std::size_t take = items_.size() < n ? items_.size() : n;
-      for (std::size_t i = 0; i < take; ++i) out.push_back(std::move(items_[i]));
-      items_.erase(items_.begin(), items_.begin() + static_cast<long>(take));
-      n -= take;
-    }
+    cv_.wait(lock, [&] { return closed_ || items_.size() >= n; });
+    if (items_.size() < n) return false;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(std::move(items_[i]));
+    items_.erase(items_.begin(), items_.begin() + static_cast<long>(n));
     return true;
   }
 

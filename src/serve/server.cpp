@@ -28,9 +28,13 @@ Server::Server(const eval::ScenarioRegistry& registry, ServiceConfig config)
 Server::~Server() { shutdown(); }
 
 std::shared_ptr<Connection> Server::connect() {
-  OIC_REQUIRE(!down_.load(), "oic-serve: server is shut down");
   auto conn = std::shared_ptr<Connection>(new Connection(this));
   std::lock_guard<std::mutex> lock(connections_mu_);
+  // Checked under connections_mu_: shutdown() closes the response channels
+  // of every registered connection while holding this lock, so a connection
+  // registered here is guaranteed to be seen by shutdown() (or the server
+  // is already down and we refuse).
+  OIC_REQUIRE(!down_.load(), "oic-serve: server is shut down");
   connections_.push_back(conn);
   return conn;
 }
@@ -55,19 +59,25 @@ void Server::run() {
     for (const Envelope& env : envelopes) {
       all.insert(all.end(), env.batch.begin(), env.batch.end());
     }
-    try {
-      service_.serve(all, responses);
-    } catch (const Error& e) {
-      // serve() answers malformed requests individually; this is the
-      // backstop for anything unexpected -- fail the whole tick's requests
-      // rather than wedging every waiting client.
+    // serve() answers malformed requests individually; this is the backstop
+    // for anything unexpected -- fail the whole tick's requests rather than
+    // letting an exception escape the tick thread (std::terminate) and
+    // wedging every waiting client.
+    auto fail_tick = [&](const char* what) {
       responses.assign(all.size(), Response{});
       for (std::size_t i = 0; i < all.size(); ++i) {
         responses[i].kind = Response::Kind::kError;
         responses[i].ref = all[i].ref;
         responses[i].session = all[i].session;
-        responses[i].error = e.what();
+        responses[i].error = what;
       }
+    };
+    try {
+      service_.serve(all, responses);
+    } catch (const std::exception& e) {
+      fail_tick(e.what());
+    } catch (...) {
+      fail_tick("oic-serve: unknown error while serving tick");
     }
     std::size_t cursor = 0;
     for (Envelope& env : envelopes) {

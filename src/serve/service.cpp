@@ -272,6 +272,19 @@ void Service::serve(const std::vector<Request>& in, std::vector<Response>& out) 
           fail(res, "unknown session " + std::to_string(r.session));
           break;
         }
+        // A decide queued earlier in this batch must not run against the
+        // erased session (or against a fresh one reopened under the same id
+        // later in the batch): fail it and drop it from its group.
+        Group& group = *groups_[it->second.group];
+        for (auto pit = group.pending.begin(); pit != group.pending.end(); ++pit) {
+          if (pit->session == r.session) {
+            fail(out[pit->out_index],
+                 "session " + std::to_string(r.session) +
+                     " was closed later in the same batch before its decision ran");
+            group.pending.erase(pit);
+            break;  // phase-1 dup check guarantees at most one pending entry
+          }
+        }
         sessions_.erase(it);
         res.kind = Response::Kind::kClosed;
         break;

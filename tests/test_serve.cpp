@@ -23,6 +23,7 @@
 #include "rl/serialize.hpp"
 #include "serve/api.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/queue.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 
@@ -441,6 +442,60 @@ TEST(ServeService, SessionLifecycleAndValidation) {
   EXPECT_EQ(c.invariant_errors, 0u);
 }
 
+TEST(ServeService, DecideThenCloseInOneBatchFailsTheDecide) {
+  // Regression: a decide queued in phase 1 used to survive a close of the
+  // same session later in the batch, so phase 2 looked up the erased
+  // session (std::out_of_range escaping serve(), killing the tick thread).
+  // The close must instead fail the stale pending decide.  Exercised for
+  // every policy kind that touches the session table in phase 2.
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  const std::string agent = write_toy2d_agent("close_race.agent", 41);
+  const std::vector<std::string> policies{"bang-bang", "periodic-2",
+                                          "drl:" + agent};
+  for (const std::string& policy : policies) {
+    oic::serve::ServiceConfig cfg;
+    cfg.workers = 1;
+    oic::serve::Service svc(reg, cfg);
+    std::vector<Response> out;
+    svc.serve({open_req(1, 3, "toy2d", policy), decide_req(2, 3, {0.0, 0.0}),
+               close_req(3, 3)},
+              out);
+    ASSERT_EQ(out.size(), 3u) << policy;
+    EXPECT_EQ(out[0].kind, Response::Kind::kOpened) << policy << out[0].error;
+    ASSERT_EQ(out[1].kind, Response::Kind::kError) << policy;
+    EXPECT_NE(out[1].error.find("closed later in the same batch"),
+              std::string::npos)
+        << policy << ": " << out[1].error;
+    EXPECT_EQ(out[2].kind, Response::Kind::kClosed) << policy;
+    EXPECT_EQ(svc.open_sessions(), 0u) << policy;
+  }
+}
+
+TEST(ServeService, CloseReopenInOneBatchStartsFresh) {
+  // Regression companion: close + reopen of the same id in one batch must
+  // not leak the pre-close pending decide into the fresh session.  The
+  // stale decide fails at the close; the reopened session is unseeded, so
+  // its first decide (state only) succeeds.
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  oic::serve::Service svc(reg, cfg);
+  std::vector<Response> out;
+  svc.serve({open_req(1, 8, "toy2d", "bang-bang"), decide_req(2, 8, {0.0, 0.0})},
+            out);
+  ASSERT_EQ(out[1].kind, Response::Kind::kDecision) << out[1].error;
+
+  svc.serve({decide_req(3, 8, {0.0}, {0.0, 0.0}), close_req(4, 8),
+             open_req(5, 8, "toy2d", "bang-bang"), decide_req(6, 8, {0.0, 0.0})},
+            out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].kind, Response::Kind::kError);
+  EXPECT_EQ(out[1].kind, Response::Kind::kClosed);
+  EXPECT_EQ(out[2].kind, Response::Kind::kOpened) << out[2].error;
+  EXPECT_EQ(out[3].kind, Response::Kind::kDecision) << out[3].error;
+  EXPECT_EQ(svc.open_sessions(), 1u);
+}
+
 TEST(ServeService, SessionTableCapIsEnforced) {
   oic::serve::ServiceConfig cfg;
   cfg.workers = 1;
@@ -565,6 +620,56 @@ TEST(ServeParity, ParityHoldsAcrossWorkerCounts) {
 }
 
 // --------------------------------------------------------------- server
+
+TEST(ServeQueue, PopNLeavesQueueAndOutIntactWhenClosedShort) {
+  // pop_n used to move a partial prefix into `out` before noticing the
+  // channel closed short of n, silently losing those items to an await()
+  // that throws.  On failure it must now leave both the queue and `out`
+  // untouched so the remainder is still drainable.
+  oic::serve::Channel<int> ch;
+  ch.push(1);
+  ch.push(2);
+  ch.close();
+  std::vector<int> out;
+  EXPECT_FALSE(ch.pop_n(3, out));
+  EXPECT_TRUE(out.empty());
+  std::vector<int> rest;
+  ASSERT_TRUE(ch.drain(rest));
+  EXPECT_EQ(rest, (std::vector<int>{1, 2}));
+  // Exactly-n still delivers, appending to existing contents.
+  oic::serve::Channel<int> ch2;
+  ch2.push(7);
+  ch2.close();
+  std::vector<int> out2{5};
+  EXPECT_TRUE(ch2.pop_n(1, out2));
+  EXPECT_EQ(out2, (std::vector<int>{5, 7}));
+}
+
+TEST(ServeServer, TickThreadSurvivesDecideCloseBatch) {
+  // Server-level regression for the decide+close crash: pre-fix this batch
+  // threw std::out_of_range past Server::run's Error-only backstop and
+  // std::terminate'd the process.  The server must answer and keep ticking.
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  oic::serve::Server server(reg, cfg);
+  auto conn = server.connect();
+  std::vector<Request> batch{open_req(1, 50, "toy2d", "periodic-2"),
+                             decide_req(2, 50, {0.0, 0.0}), close_req(3, 50)};
+  conn->submit(batch);
+  const std::vector<Response> res = conn->await(batch.size());
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].kind, Response::Kind::kOpened) << res[0].error;
+  EXPECT_EQ(res[1].kind, Response::Kind::kError);
+  EXPECT_EQ(res[2].kind, Response::Kind::kClosed);
+  // Still alive: a follow-up batch round-trips.
+  std::vector<Request> again{open_req(4, 51, "toy2d", "bang-bang"),
+                             decide_req(5, 51, {0.0, 0.0})};
+  conn->submit(again);
+  const std::vector<Response> res2 = conn->await(again.size());
+  ASSERT_EQ(res2.size(), 2u);
+  EXPECT_EQ(res2[1].kind, Response::Kind::kDecision) << res2[1].error;
+}
 
 TEST(ServeServer, ConnectionsShareOneTickThread) {
   const auto& reg = oic::eval::ScenarioRegistry::builtin();
