@@ -34,6 +34,7 @@
 #include "acc/engine.hpp"
 #include "acc/harness.hpp"
 #include "acc/scenarios.hpp"
+#include "bench_kernels.hpp"
 #include "bench_util.hpp"
 #include "cert/io.hpp"
 #include "cert/store.hpp"
@@ -276,6 +277,7 @@ struct ServeBenchResult {
   double wall_s = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  std::vector<oic::serve::TickLatency> tick_latency;
   double decisions_per_s = 0.0;
   double sessions_per_s = 0.0;
   bool bit_identical = true;
@@ -310,6 +312,7 @@ ServeBenchResult bench_serve(std::size_t sessions, std::size_t steps,
     out.wall_s = res.wall_s;
     out.p50_ms = res.p50_ms;
     out.p99_ms = res.p99_ms;
+    out.tick_latency = res.tick_latency;
     out.decisions_per_s = res.decisions_per_s;
     out.sessions_per_s = res.sessions_per_s;
   }
@@ -479,6 +482,11 @@ int main(int argc, char** argv) {
               srv.sessions, srv.steps, srv.clients, srv.wall_s);
   std::printf("latency    : p50 %8.3f ms  |  p99 %8.3f ms (submit -> await)\n",
               srv.p50_ms, srv.p99_ms);
+  for (const auto& tl : srv.tick_latency) {
+    std::printf("  tick %2zu  : p50 %8.3f ms  |  p99 %8.3f ms  |  max %8.3f ms "
+                "(%zu round trips)\n",
+                tl.tick, tl.p50_ms, tl.p99_ms, tl.max_ms, tl.samples);
+  }
   std::printf("throughput : %8.0f decisions/s  |  %8.0f sessions/s sustained\n",
               srv.decisions_per_s, srv.sessions_per_s);
   std::printf("batched decisions bit-identical to per-session path: %s "
@@ -489,6 +497,18 @@ int main(int argc, char** argv) {
   }
   std::printf("loadgen errors: %llu (must be 0)\n\n",
               static_cast<unsigned long long>(srv.errors));
+
+  // ---- Kernel microbench: per-ISA dispatch table ----
+  // A short budget keeps the smoke run fast; the standalone bench_kernels
+  // binary takes --budget-ms for the committed reference numbers.
+  const std::size_t kernel_budget_ms =
+      std::max<std::size_t>(1, benchutil::flag(argc, argv, "kernel-budget-ms", 10));
+  std::printf("=== Kernels: per-ISA dispatch table (budget %zu ms) ===\n",
+              kernel_budget_ms);
+  const std::vector<benchkernels::KernelStat> kernels =
+      benchkernels::run(static_cast<double>(kernel_budget_ms));
+  benchkernels::print(kernels);
+  std::printf("\n");
 
   // ---- JSON ----
   const char* json_path = json_flag(argc, argv);
@@ -545,6 +565,17 @@ int main(int argc, char** argv) {
                   srv.p50_ms, srv.p99_ms, srv.decisions_per_s, srv.sessions_per_s,
                   srv.bit_identical ? "true" : "false",
                   static_cast<unsigned long long>(srv.errors));
+    out += "  \"serve_tick_latency_ms\": [";
+    for (std::size_t i = 0; i < srv.tick_latency.size(); ++i) {
+      const auto& tl = srv.tick_latency[i];
+      append_format(out,
+                    "%s{\"tick\": %zu, \"samples\": %zu, \"p50\": %.6f, "
+                    "\"p99\": %.6f, \"max\": %.6f}",
+                    i ? ", " : "", tl.tick, tl.samples, tl.p50_ms, tl.p99_ms,
+                    tl.max_ms);
+    }
+    out += "],\n";
+    oic::benchkernels::append_json(out, kernels);
     const std::string body = std::move(doc).finish(violation);
     if (std::FILE* f = std::fopen(json_path, "w")) {
       std::fwrite(body.data(), 1, body.size(), f);

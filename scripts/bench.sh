@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Refresh the committed throughput numbers: builds (Release) and runs
-# bench_throughput, rewriting BENCH_throughput.json at the repo root.
+# bench_throughput twice -- once with the kernel dispatch free to pick the
+# best ISA, once pinned to the scalar tier (OIC_SIMD=off) -- rewriting
+# BENCH_throughput.json at the repo root and recording the simd/scalar
+# step_ns ratio next to the scalar document in the build tree.
 #
 #   scripts/bench.sh [--quick] [--json=PATH] [--cases=N] [--steps=N] [--workers=N]
 #
 #   --quick      CI smoke mode: reduced cases/steps, and the JSON goes to
 #                <build>/BENCH_smoke.json instead of the committed file
 #                (same schema; scripts/check_bench_json.py validates it).
-#   --json=PATH  explicit output path (overrides both defaults).
+#   --json=PATH  explicit output path for the main (simd) pass (overrides
+#                both defaults).  The scalar pass always lands in the build
+#                tree (<main-basename>_scalar.json there), alongside
+#                BENCH_simd_ratio.json -- scalar numbers are diagnostics,
+#                never the committed reference.
 #
 # Equivalent CMake target: cmake --build build --target bench-refresh
 set -euo pipefail
@@ -46,4 +53,25 @@ cmake --build "${build_dir}" --target bench_throughput -j"$(nproc)"
 
 "${build_dir}/bench_throughput" --json="${json_path}" \
   ${passthrough[@]+"${passthrough[@]}"}
+
+# Second pass with the kernel dispatch pinned to the scalar tier: the
+# simd/scalar step_ns ratio tracks what the vectorized kernels are worth
+# on this machine at this sizing (cold-start-heavy smoke sizings dilute
+# it; the full-size run is the representative number).
+scalar_json="${build_dir}/$(basename "${json_path%.json}")_scalar.json"
+OIC_SIMD=off "${build_dir}/bench_throughput" --json="${scalar_json}" \
+  ${passthrough[@]+"${passthrough[@]}"} >/dev/null
+ratio_json="${build_dir}/BENCH_simd_ratio.json"
+python3 - "${json_path}" "${scalar_json}" "${ratio_json}" <<'EOF'
+import json, sys
+simd, scalar = (json.load(open(p)) for p in sys.argv[1:3])
+s, c = simd["engine_serial"]["step_ns"], scalar["engine_serial"]["step_ns"]
+doc = {"isa": simd["meta"]["isa"], "step_ns_simd": s, "step_ns_scalar": c,
+       "scalar_over_simd": round(c / s, 4)}
+with open(sys.argv[3], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"simd pass ({doc['isa']}): {s:.0f} ns/step | scalar pass: {c:.0f} "
+      f"ns/step | ratio {doc['scalar_over_simd']:.2f}x -> {sys.argv[3]}")
+EOF
 echo "refreshed ${json_path}"

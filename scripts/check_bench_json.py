@@ -42,6 +42,11 @@ Also enforces the semantic invariants every bench document shares:
     every results[] entry must report left_x_episodes == 0: under faults
     XI excursions are measured degradation, but leaving the hard safe set
     X is a safety violation and fails the document;
+  * "kernels" (the per-ISA dispatch-table microbench), when present, must
+    report avx2_native as a bool and, for every kernel, a positive
+    bytes_per_op and positive ns_per_op / gb_per_s under both the scalar
+    and the avx2 table (the fallback contract keeps both columns
+    populated even on scalar-only hosts);
   * "bench_serve" (bench_throughput's monitor-service section), when
     present, must report bit_identical == true (batched decisions must
     reproduce the per-session IntermittentController path exactly),
@@ -112,6 +117,9 @@ def check_semantics(candidate, errors):
         for key in ("git_sha", "compiler", "build_type"):
             if not isinstance(meta.get(key), str) or not meta.get(key):
                 errors.append(f"meta.{key}: must be a non-empty string")
+        if "isa" in meta and meta["isa"] not in ("scalar", "avx2"):
+            errors.append("meta.isa: must be 'scalar' or 'avx2' (the kernel "
+                          "dispatch tier the producer resolved to)")
 
     train = candidate.get("train_minibatch")
     if train is not None and train.get("bit_identical") is not True:
@@ -202,6 +210,60 @@ def check_semantics(candidate, errors):
         if not isinstance(rate, (int, float)) or isinstance(rate, bool) \
                 or rate <= 0:
             errors.append("bench_serve.sessions_per_s: must be > 0")
+
+    ticks = candidate.get("serve_tick_latency_ms")
+    if ticks is not None:
+        if not isinstance(ticks, list) or not ticks:
+            errors.append("serve_tick_latency_ms: must be a non-empty array "
+                          "of per-control-period latency histograms")
+        else:
+            for i, tl in enumerate(ticks):
+                path = f"serve_tick_latency_ms[{i}]"
+                if not isinstance(tl, dict):
+                    errors.append(f"{path}: must be an object")
+                    continue
+                samples = tl.get("samples")
+                if not isinstance(samples, int) or isinstance(samples, bool) \
+                        or samples < 1:
+                    errors.append(f"{path}.samples: must be a positive integer")
+                vals = [tl.get(k) for k in ("p50", "p99", "max")]
+                if not all(isinstance(v, (int, float)) and
+                           not isinstance(v, bool) for v in vals) or \
+                        not 0 <= vals[0] <= vals[1] <= vals[2]:
+                    errors.append(f"{path}: must satisfy 0 <= p50 <= p99 <= max")
+
+    kernels = candidate.get("kernels")
+    if kernels is not None:
+        if kernels.get("avx2_native") not in (True, False):
+            errors.append("kernels.avx2_native: must be a bool (did the avx2 "
+                          "column run vector code or the scalar fallback?)")
+        results = kernels.get("results")
+        if not isinstance(results, list) or not results:
+            errors.append("kernels.results: must be a non-empty array of "
+                          "per-kernel measurements")
+        else:
+            for i, k in enumerate(results):
+                path = f"kernels.results[{i}]"
+                if not isinstance(k, dict):
+                    errors.append(f"{path}: must be an object")
+                    continue
+                if not isinstance(k.get("kernel"), str) or not k.get("kernel"):
+                    errors.append(f"{path}.kernel: must be a non-empty string")
+                bpo = k.get("bytes_per_op")
+                if not isinstance(bpo, int) or isinstance(bpo, bool) or bpo < 1:
+                    errors.append(f"{path}.bytes_per_op: must be a positive "
+                                  f"integer")
+                for isa in ("scalar", "avx2"):
+                    col = k.get(isa)
+                    if not isinstance(col, dict):
+                        errors.append(f"{path}.{isa}: missing timing object")
+                        continue
+                    for key in ("ns_per_op", "gb_per_s"):
+                        v = col.get(key)
+                        if not isinstance(v, (int, float)) \
+                                or isinstance(v, bool) or v <= 0:
+                            errors.append(f"{path}.{isa}.{key}: must be a "
+                                          f"positive number")
 
     cert = candidate.get("cert_cold_start")
     if cert is not None:

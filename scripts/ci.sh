@@ -9,9 +9,14 @@
 #                 [--train-only] [--cert-only] [--mc-only] [--fault-only]
 #                 [--serve-only] [--format-only]
 #
-#   build+test   configure with -Werror, build everything, ctest
-#   bench smoke  scripts/bench.sh --quick + JSON schema check against the
-#                committed BENCH_throughput.json
+#   build+test   configure with -Werror, build everything, ctest twice:
+#                once as built (AVX2 dispatch on capable hosts) and once
+#                with OIC_SIMD=off pinning the scalar kernel tier; under
+#                config Sanitize this runs the AVX2 TU under ASan/UBSan
+#   bench smoke  scripts/bench.sh --quick (simd + scalar passes, ratio
+#                recorded) + JSON schema check against the committed
+#                BENCH_throughput.json + the perf-smoke guard (step_ns
+#                must stay within 20% of the smoke-adjusted reference)
 #   train smoke  tiny-budget oic_train on lane-keep, then oic_eval deploys
 #                the serialized agent via --policies drl:<path>; both JSON
 #                documents pass check_bench_json.py --self
@@ -114,6 +119,15 @@ if [[ ${do_build} -eq 1 ]]; then
 
   echo "=== [${compiler}/${config}] ctest ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
+
+  # Same suite with the kernel dispatch pinned to the scalar tier: the
+  # env kill switch must leave every result bit-identical, and a host
+  # without AVX2 must be a first-class configuration, not a fallback we
+  # only think works.  (Under config Sanitize this also puts the AVX2 TU
+  # itself under ASan/UBSan in the first pass -- the sanitizer flags are
+  # global, the per-file -mavx2 only adds to them.)
+  echo "=== [${compiler}/${config}] ctest (OIC_SIMD=off, scalar tier) ==="
+  OIC_SIMD=off ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
 fi
 
 if [[ ${do_bench} -eq 1 ]]; then
@@ -121,6 +135,32 @@ if [[ ${do_bench} -eq 1 ]]; then
   "${repo_root}/scripts/bench.sh" --quick
   python3 "${repo_root}/scripts/check_bench_json.py" \
     "${repo_root}/BENCH_throughput.json" "${repo_root}/build/BENCH_smoke.json"
+
+  echo "=== perf smoke guard: engine_serial step_ns vs committed reference ==="
+  # The smoke sizing (cases=4, steps=40) amortizes cold starts over far
+  # fewer steps than the committed full-size run, which measures ~2.0x the
+  # full-size step_ns on the reference machine (OIC_PERF_SMOKE_FACTOR).
+  # Budget = ref * factor * tolerance: a regression >20% over the
+  # smoke-adjusted baseline (OIC_PERF_TOLERANCE=1.2) fails the job.
+  OIC_PERF_SMOKE_FACTOR="${OIC_PERF_SMOKE_FACTOR:-2.0}" \
+  OIC_PERF_TOLERANCE="${OIC_PERF_TOLERANCE:-1.2}" \
+  python3 - "${repo_root}/BENCH_throughput.json" \
+    "${repo_root}/build/BENCH_smoke.json" <<'EOF'
+import json, os, sys
+ref, smoke = (json.load(open(p)) for p in sys.argv[1:3])
+ref_ns = ref["engine_serial"]["step_ns"]
+got_ns = smoke["engine_serial"]["step_ns"]
+factor = float(os.environ["OIC_PERF_SMOKE_FACTOR"])
+tol = float(os.environ["OIC_PERF_TOLERANCE"])
+budget = ref_ns * factor * tol
+verdict = "ok" if got_ns <= budget else "REGRESSION"
+print(f"perf smoke: {got_ns:.0f} ns/step vs budget {budget:.0f} "
+      f"(ref {ref_ns:.0f} x smoke-sizing {factor} x tolerance {tol}): {verdict}")
+if got_ns > budget:
+    sys.exit("perf smoke: engine_serial step_ns regressed past the budget -- "
+             "rerun scripts/bench.sh on the reference machine if this is an "
+             "intentional trade, otherwise find the regression")
+EOF
 fi
 
 if [[ ${do_train} -eq 1 ]]; then

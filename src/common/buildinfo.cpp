@@ -8,6 +8,8 @@
 #include "oic_git_sha.h"
 #endif
 
+#include "linalg/simd.hpp"
+
 namespace oic {
 
 const char* git_sha() {
@@ -43,6 +45,8 @@ std::string build_meta_json() {
   out += compiler_id();
   out += "\", \"build_type\": \"";
   out += build_type();
+  out += "\", \"isa\": \"";
+  out += linalg::simd::active_isa_name();
   out += "\"}";
   return out;
 }

@@ -20,7 +20,11 @@ const char* compiler_id();
 const char* build_type();
 
 /// The shared "meta" JSON object:
-///   {"git_sha": "...", "compiler": "...", "build_type": "..."}
+///   {"git_sha": "...", "compiler": "...", "build_type": "...",
+///    "isa": "scalar"|"avx2"}
+/// `isa` is the kernel dispatch tier the producing process resolved to
+/// (linalg/simd.hpp) -- numbers are bit-identical across ISAs by contract,
+/// but timings are not, so the tier is provenance.
 std::string build_meta_json();
 
 }  // namespace oic

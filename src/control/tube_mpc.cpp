@@ -251,8 +251,17 @@ Vector TubeMpc::control(const Vector& x) {
   lp::Result r;
   if (config_.reuse_lp) {
     if (!prepared_) {
-      const lp::Problem p = build_lp(x, /*with_objective=*/true, layout);
+      // Build from the CANONICAL zero-state template, not from x: the x(0)
+      // equality rows enter the LP only through their right-hand sides (the
+      // structure is state-independent), and a state-independent template
+      // lets set_hot_rows capture one canonical warm-start seed shared by
+      // every copy of this controller -- which keeps parallel-worker
+      // episode schedules bit-identical to serial (see lp/prepared.hpp).
+      const lp::Problem p = build_lp(Vector(sys_.nx()), /*with_objective=*/true, layout);
       prepared_ = std::make_unique<lp::PreparedProblem>(p);
+      std::vector<std::size_t> x0_rows(sys_.nx());
+      for (std::size_t i = 0; i < sys_.nx(); ++i) x0_rows[i] = i;
+      prepared_->set_hot_rows(x0_rows);
     }
     for (std::size_t i = 0; i < sys_.nx(); ++i) prepared_->set_rhs(i, x[i]);
     r = config_.warm_start ? prepared_->solve_warm(ws_, warm_) : prepared_->solve(ws_);

@@ -6,6 +6,7 @@
 #include "linalg/kernels.hpp"
 #include "lp/problem.hpp"
 #include "lp/simplex.hpp"
+#include "poly/support_solver.hpp"
 
 namespace oic::core {
 
@@ -448,17 +449,19 @@ void IntermittentController::robustify_stale_input(StepDecision& d) {
   if (u_pull_.empty()) {
     const linalg::Matrix& b_mat = sys_.b();
     const std::size_t nu = sys_.nu();
-    Vector dir(nu);
-    u_pull_.reserve(xi.num_constraints());
+    linalg::Matrix dirs(xi.num_constraints(), nu);
     for (std::size_t i = 0; i < xi.num_constraints(); ++i) {
       for (std::size_t j = 0; j < nu; ++j) {
         double v = 0.0;
         for (std::size_t k = 0; k < sys_.nx(); ++k) {
           v += xi.a()(i, k) * b_mat(k, j);
         }
-        dir[j] = -v;
+        dirs(i, j) = -v;
       }
-      const poly::Support s = sys_.u_set().support(dir);
+    }
+    poly::SupportSolver u_solver(sys_.u_set());
+    u_pull_.reserve(xi.num_constraints());
+    for (const poly::Support& s : u_solver.support_batch(dirs)) {
       // U is bounded nonempty by construction; degrade to "never screen"
       // on a degenerate input set rather than excluding rescuable
       // branches.
@@ -528,32 +531,36 @@ const std::vector<double>& IntermittentController::stale_inflation(
     infl_cache_.emplace_back(faces, 0.0);  // S_0 = {0}
     infl_dirs_ = xi.a();                   // (A^T)^0 a_i
   }
-  while (infl_cache_.size() <= g) {
-    // Extend by one level: S_{L+1} = S_L + A^L E W, so each face gains
-    // the support of E W along (A^T)^L a_i; then propagate the carried
-    // directions by one more power of A (row-vector times A).
-    std::vector<double> next = infl_cache_.back();
-    Vector dir(nx);
-    for (std::size_t i = 0; i < faces; ++i) {
-      for (std::size_t k = 0; k < nx; ++k) dir[k] = infl_dirs_(i, k);
-      const poly::Support s = ew_set_.support(dir);
-      // E W is a bounded nonempty polytope by construction; guard anyway
-      // so a degenerate disturbance model degrades to no inflation
-      // rather than poisoning the cache.
-      next[i] += (s.bounded && s.feasible) ? s.value : 0.0;
-    }
-    linalg::Matrix propagated(faces, nx);
-    for (std::size_t i = 0; i < faces; ++i) {
-      for (std::size_t k = 0; k < nx; ++k) {
-        double v = 0.0;
-        for (std::size_t m = 0; m < nx; ++m) {
-          v += infl_dirs_(i, m) * sys_.a()(m, k);
-        }
-        propagated(i, k) = v;
+  if (infl_cache_.size() <= g) {
+    // One solver over E W answers every face of every missing level; the
+    // carried direction matrix feeds the batched entry as-is.
+    poly::SupportSolver ew_solver(ew_set_);
+    while (infl_cache_.size() <= g) {
+      // Extend by one level: S_{L+1} = S_L + A^L E W, so each face gains
+      // the support of E W along (A^T)^L a_i; then propagate the carried
+      // directions by one more power of A (row-vector times A).
+      std::vector<double> next = infl_cache_.back();
+      const std::vector<poly::Support> sup = ew_solver.support_batch(infl_dirs_);
+      for (std::size_t i = 0; i < faces; ++i) {
+        const poly::Support& s = sup[i];
+        // E W is a bounded nonempty polytope by construction; guard anyway
+        // so a degenerate disturbance model degrades to no inflation
+        // rather than poisoning the cache.
+        next[i] += (s.bounded && s.feasible) ? s.value : 0.0;
       }
+      linalg::Matrix propagated(faces, nx);
+      for (std::size_t i = 0; i < faces; ++i) {
+        for (std::size_t k = 0; k < nx; ++k) {
+          double v = 0.0;
+          for (std::size_t m = 0; m < nx; ++m) {
+            v += infl_dirs_(i, m) * sys_.a()(m, k);
+          }
+          propagated(i, k) = v;
+        }
+      }
+      infl_dirs_ = std::move(propagated);
+      infl_cache_.push_back(std::move(next));
     }
-    infl_dirs_ = std::move(propagated);
-    infl_cache_.push_back(std::move(next));
   }
   return infl_cache_[g];
 }

@@ -1,0 +1,58 @@
+#pragma once
+/// \file simd.hpp
+/// Runtime ISA selection for the vectorized kernel tier.
+///
+/// The hot kernels (linalg/kernels.hpp, the lp/prepared.cpp tableau
+/// primitives) dispatch through a per-ISA function table picked once at
+/// startup: AVX2 when the CPU reports avx2+fma and the AVX2 translation
+/// unit was compiled in, scalar otherwise.  The scalar reference path is
+/// always built, so binaries stay portable -- no -march=native anywhere.
+///
+/// Selection order:
+///   1. OIC_SIMD environment variable: "off"/"0"/"scalar" pins the scalar
+///      path (kill switch); "avx2" requests AVX2 (silently degrades to
+///      scalar when the CPU or build lacks it); "auto"/unset detects.
+///   2. cpuid (via __builtin_cpu_supports): both avx2 and fma must be
+///      present -- the AVX2 TU is compiled with -mfma enabled even though
+///      the kernels avoid fused contractions, so the stricter check keeps
+///      the dispatch decision conservative.
+///
+/// force()/reset() exist for tests (scalar-vs-SIMD parity suites) and for
+/// benchmarks that measure both paths in one process.  They are
+/// thread-safe but not synchronized against concurrently running kernels;
+/// flip them only between batches.
+
+namespace oic::linalg::simd {
+
+enum class Isa {
+  kScalar = 0,  ///< portable reference path, always available
+  kAvx2 = 1,    ///< AVX2 path (compiled separately, cpuid-gated)
+};
+
+/// The ISA the kernel dispatch table currently resolves to.  Resolved
+/// lazily on first use from OIC_SIMD + cpuid, then cached.
+Isa active();
+
+/// Pin the active ISA (test/bench hook).  Returns false -- leaving the
+/// selection unchanged -- when the requested ISA is not available on this
+/// CPU/build.
+bool force(Isa isa);
+
+/// Drop any cached/forced selection; the next active() re-resolves from
+/// the environment and cpuid.
+void reset();
+
+/// Stable lowercase name for JSON provenance ("scalar", "avx2").
+const char* isa_name(Isa isa);
+
+/// isa_name(active()).
+const char* active_isa_name();
+
+/// True when the CPU reports avx2 and fma.
+bool cpu_has_avx2();
+
+/// True when the AVX2 translation unit was compiled into this binary
+/// (CMake option OIC_SIMD, default ON when the compiler supports it).
+bool compiled_avx2();
+
+}  // namespace oic::linalg::simd

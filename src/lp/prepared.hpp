@@ -22,6 +22,18 @@
 ///     declare such rows "dynamic" at construction to reserve the extra
 ///     slack+artificial columns up front).
 ///
+/// The warm continuation (solve_warm) runs on a TRANSPOSED (column-major)
+/// copy of the working tableau: the dual pivot's rank-1 update touches only
+/// the pivot row's support columns (~10% dense on the MPC tableaus), and in
+/// column-major storage each of those is one contiguous streaming axpy
+/// instead of a scattered read-modify-write walk over every touched row.
+/// Receding-horizon callers that re-solve the same structure thousands of
+/// times additionally call set_hot_rows: this snapshots the
+/// construction-time template as a canonical warm-start seed -- every
+/// "cold" restart (episode reset, scheduled refactorization) then continues
+/// from the canonical optimum with a few dual pivots instead of re-running
+/// both phases.  See docs/perf.md.
+///
 /// This is the engine behind poly::SupportSolver (repeated support queries
 /// on one polytope) and the TubeMpc per-step solve (only the x(0) = x0
 /// equality rows change between control periods).
@@ -46,6 +58,20 @@ struct SolverWorkspace {
   std::vector<std::size_t> basis;
   std::vector<double> y;       ///< basic-solution scratch for recovery
   std::uint64_t warm_serial = 0;  ///< pairing token; see WarmState::serial
+
+  // Pivot scratch: the entering column gathered contiguously once per
+  // pivot, and the pivot row's nonzeros packed as (index, value) pairs so
+  // row updates touch only the ~10%-dense support instead of the full
+  // width (lp/prepared.cpp; bit-identical by the signed-zero argument in
+  // docs/perf.md).
+  std::vector<double> col;
+  std::vector<std::uint32_t> nz;
+  std::vector<double> nzv;
+
+  /// Transposed (column-major) working tableau for the warm continuation:
+  /// column j occupies [j*m, (j+1)*m).  Maintained bit-exactly through
+  /// every dual pivot; refreshed from `a` on true-cold transitions.
+  std::vector<double> at;
 };
 
 /// A Problem converted to standard form once, solvable many times.
@@ -71,6 +97,22 @@ class PreparedProblem {
 
   /// Replace the objective vector (minimized); dimension must be num_vars().
   void set_objective(const linalg::Vector& c);
+
+  /// Declare the constraint rows whose right-hand sides change between
+  /// warm solves (e.g. the x(0) = x0 equalities of an MPC step).  The
+  /// template AS IT STANDS RIGHT NOW is snapshotted as the canonical
+  /// warm-start seed: the first cold solve_warm lazily solves it once, and
+  /// every later cold restart (reset, scheduled refactorization)
+  /// re-anchors on that optimum with a short dual continuation instead of
+  /// a full two-phase solve.  Transparent to results up to LP argmin
+  /// selection on non-unique optima.
+  /// Call immediately after construction, BEFORE any set_rhs patch, so the
+  /// captured seed is a pure function of the problem structure -- that is
+  /// what keeps parallel-worker episode schedules bit-identical (every
+  /// copy of the controller shares one canonical restart point).  A later
+  /// set_objective disables the seed (restarts fall back to the two-phase
+  /// path).
+  void set_hot_rows(const std::vector<std::size_t>& rows);
 
   /// Solve with the current objective/rhs.  Identical semantics to
   /// lp::solve() of the equivalent Problem.
@@ -104,10 +146,12 @@ class PreparedProblem {
   /// columns of the final tableau hold B^-1, so the new basic solution is a
   /// rank-k rhs update followed by a handful of dual pivots -- versus ~50
   /// two-phase pivots for a cold MPC solve.  Falls back to the cold path on
-  /// any numerical trouble, after an objective change, or every 64 solves
-  /// (bounds round-off drift in the carried tableau).  The result is an
-  /// exact optimum either way; it may differ from the cold solve's argmin
-  /// only when the optimum is non-unique.
+  /// any numerical trouble, after an objective change, or every
+  /// kRefactorEvery solves (bounds round-off drift in the carried
+  /// tableau); when set_hot_rows captured a canonical seed, those cold
+  /// restarts are themselves dual continuations from the seed optimum.
+  /// The result is an exact optimum either way; it may differ from the
+  /// cold solve's argmin only when the optimum is non-unique.
   Result solve_warm(SolverWorkspace& ws, WarmState& warm,
                     const SimplexOptions& options = {}) const;
 
@@ -167,8 +211,30 @@ class PreparedProblem {
 
   linalg::Vector c_;  ///< original objective (objective recovery)
 
+  // ---- canonical warm-start seed (set_hot_rows) ----
+  // All seed state is mutable: it is a lazily materialized pure function
+  // of the structure captured by set_hot_rows, and PreparedProblem's
+  // concurrency contract is already per-instance single-threaded.
+  bool seed_captured_ = false;
+  std::size_t seed_obj_revision_ = 0;
+  mutable bool seed_built_ = false;  ///< build attempted (ok or not)
+  mutable bool seed_ok_ = false;     ///< canonical solve reached optimality
+  // Canonical template capture (freed once the seed is built).
+  mutable std::vector<double> seed_src_a_, seed_src_rhs_;
+  mutable std::vector<std::size_t> seed_src_basis_;
+  // Canonical optimum: transposed tableau/rhs/z/basis plus the pre-solve
+  // rhs+orientation it answers for (the warm snapshot every restart
+  // re-anchors on).
+  mutable std::vector<double> seed_at_, seed_rhs_, seed_z_, seed_b_;
+  mutable std::vector<std::size_t> seed_basis_;
+  mutable std::vector<unsigned char> seed_flip_;
+
   Result run_phases(SolverWorkspace& ws, const SimplexOptions& options) const;
   Result extract(SolverWorkspace& ws) const;
+  Result solve_warm_inner(SolverWorkspace& ws, WarmState& warm,
+                          const SimplexOptions& options, bool allow_seed) const;
+  void build_seed(SolverWorkspace& ws, const SimplexOptions& options) const;
+  void transpose_into(SolverWorkspace& ws) const;
 };
 
 }  // namespace oic::lp

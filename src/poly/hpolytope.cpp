@@ -95,14 +95,16 @@ bool HPolytope::is_empty() const {
 }
 
 bool HPolytope::is_bounded() const {
-  SupportSolver solver(*this);
-  Vector d(dim());
+  // Axis directions +-e_j, in the same order the per-direction loop asked
+  // them (+e_j before -e_j); one batched sweep over the shared tableau.
+  linalg::Matrix dirs(2 * dim(), dim());
   for (std::size_t j = 0; j < dim(); ++j) {
-    d[j] = 1.0;
-    if (!solver.support(d).bounded) return false;
-    d[j] = -1.0;
-    if (!solver.support(d).bounded) return false;
-    d[j] = 0.0;
+    dirs(2 * j, j) = 1.0;
+    dirs(2 * j + 1, j) = -1.0;
+  }
+  SupportSolver solver(*this);
+  for (const Support& s : solver.support_batch(dirs)) {
+    if (!s.bounded) return false;
   }
   return true;
 }
@@ -200,15 +202,14 @@ HPolytope HPolytope::affine_image_invertible(const Matrix& m, const Vector& t) c
 
 HPolytope HPolytope::pontryagin_diff(const HPolytope& q) const {
   OIC_REQUIRE(dim() == q.dim(), "HPolytope::pontryagin_diff: dimension mismatch");
-  // One LP per facet, all over Q's constraint system: build Q's tableau
-  // once and only swap objectives.
+  // One LP per facet, all over Q's constraint system: the facet-normal
+  // matrix goes straight into the batched entry (build Q's tableau once,
+  // swap objectives, no per-row Vector copies).
   SupportSolver q_support(q);
+  const std::vector<Support> sup = q_support.support_batch(a_);
   Vector b2 = b_;
-  Vector normal(dim());
   for (std::size_t i = 0; i < num_constraints(); ++i) {
-    const double* row = a_.row_data(i);
-    for (std::size_t j = 0; j < dim(); ++j) normal[j] = row[j];
-    const Support s = q_support.support(normal);
+    const Support& s = sup[i];
     OIC_REQUIRE(s.feasible, "pontryagin_diff: subtrahend is empty");
     OIC_REQUIRE(s.bounded, "pontryagin_diff: subtrahend unbounded along a facet normal");
     b2[i] -= s.value;
@@ -287,20 +288,23 @@ HPolytope HPolytope::remove_redundancy(double tol) const {
 }
 
 std::optional<std::pair<Vector, Vector>> HPolytope::bounding_box() const {
-  SupportSolver solver(*this);
-  Vector lo(dim()), hi(dim());
-  Vector d(dim());
+  // Axis sweep +-e_j per coordinate, batched over the shared tableau in
+  // the same order the per-direction loop issued (+e_j before -e_j).
+  linalg::Matrix dirs(2 * dim(), dim());
   for (std::size_t j = 0; j < dim(); ++j) {
-    d[j] = 1.0;
-    const Support up = solver.support(d);
-    if (!up.feasible) return std::nullopt;
-    if (!up.bounded) return std::nullopt;
-    d[j] = -1.0;
-    const Support dn = solver.support(d);
+    dirs(2 * j, j) = 1.0;
+    dirs(2 * j + 1, j) = -1.0;
+  }
+  SupportSolver solver(*this);
+  const std::vector<Support> sup = solver.support_batch(dirs);
+  Vector lo(dim()), hi(dim());
+  for (std::size_t j = 0; j < dim(); ++j) {
+    const Support& up = sup[2 * j];
+    const Support& dn = sup[2 * j + 1];
+    if (!up.feasible || !up.bounded) return std::nullopt;
     if (!dn.feasible || !dn.bounded) return std::nullopt;
     hi[j] = up.value;
     lo[j] = -dn.value;
-    d[j] = 0.0;
   }
   return std::make_pair(lo, hi);
 }
@@ -424,14 +428,13 @@ HPolytope HPolytope::from_vertices_2d(const std::vector<Vector>& pts) {
 bool contains_polytope(const HPolytope& outer, const HPolytope& inner, double tol) {
   OIC_REQUIRE(outer.dim() == inner.dim(), "contains_polytope: dimension mismatch");
   if (inner.is_empty()) return true;
+  // The outer face normals are exactly the rows of outer.a(): hand the
+  // matrix to the batched entry without per-row copies.
   SupportSolver inner_support(inner);
-  Vector normal(outer.dim());
-  for (std::size_t i = 0; i < outer.num_constraints(); ++i) {
-    const double* row = outer.a().row_data(i);
-    for (std::size_t j = 0; j < outer.dim(); ++j) normal[j] = row[j];
-    const Support s = inner_support.support(normal);
-    if (!s.bounded) return false;
-    if (s.value > outer.offset(i) + tol) return false;
+  const std::vector<Support> sup = inner_support.support_batch(outer.a());
+  for (std::size_t i = 0; i < sup.size(); ++i) {
+    if (!sup[i].bounded) return false;
+    if (sup[i].value > outer.offset(i) + tol) return false;
   }
   return true;
 }

@@ -20,10 +20,7 @@ lp::Problem constraint_system(const HPolytope& p) {
 SupportSolver::SupportSolver(const HPolytope& p)
     : dim_(p.dim()), prep_(constraint_system(p)), obj_(p.dim()) {}
 
-Support SupportSolver::support(const linalg::Vector& d) {
-  OIC_REQUIRE(d.size() == dim_, "SupportSolver::support: dimension mismatch");
-  // maximize d.x == minimize -d.x
-  for (std::size_t j = 0; j < dim_; ++j) obj_[j] = -d[j];
+Support SupportSolver::query() {
   prep_.set_objective(obj_);
   const lp::Result r = prep_.solve(ws_);
   Support s;
@@ -46,6 +43,26 @@ Support SupportSolver::support(const linalg::Vector& d) {
       throw NumericalError("SupportSolver::support: simplex iteration limit");
   }
   return s;
+}
+
+Support SupportSolver::support(const linalg::Vector& d) {
+  OIC_REQUIRE(d.size() == dim_, "SupportSolver::support: dimension mismatch");
+  // maximize d.x == minimize -d.x
+  for (std::size_t j = 0; j < dim_; ++j) obj_[j] = -d[j];
+  return query();
+}
+
+std::vector<Support> SupportSolver::support_batch(const linalg::Matrix& dirs) {
+  OIC_REQUIRE(dirs.cols() == dim_,
+              "SupportSolver::support_batch: direction dimension mismatch");
+  std::vector<Support> out;
+  out.reserve(dirs.rows());
+  for (std::size_t i = 0; i < dirs.rows(); ++i) {
+    const double* row = dirs.row_data(i);
+    for (std::size_t j = 0; j < dim_; ++j) obj_[j] = -row[j];
+    out.push_back(query());
+  }
+  return out;
 }
 
 }  // namespace oic::poly

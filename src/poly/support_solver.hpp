@@ -15,6 +15,9 @@
 /// workspace.  Answers are bit-identical to HPolytope::support(): the same
 /// Problem rows feed the same simplex.
 
+#include <vector>
+
+#include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 #include "lp/prepared.hpp"
 #include "poly/hpolytope.hpp"
@@ -31,10 +34,23 @@ class SupportSolver {
   /// h_P(d) = max { d.x | A x <= b }, exactly as HPolytope::support().
   Support support(const linalg::Vector& d);
 
+  /// Batched multi-direction queries: row i of `dirs` is direction d_i.
+  /// Answer i is bit-identical to support(d_i) -- the directions share the
+  /// prepared tableau and workspace but each solve is independent (no
+  /// cross-direction state), so callers may batch or not without changing
+  /// results.  This is the natural entry for per-facet sweeps
+  /// (pontryagin_diff, contains_polytope, bounding_box, the stale-mode
+  /// inflation ladder): the direction set usually already lives in a
+  /// constraint matrix, which is handed over without per-row copies.
+  std::vector<Support> support_batch(const linalg::Matrix& dirs);
+
   /// Dimension of the underlying polytope.
   std::size_t dim() const { return dim_; }
 
  private:
+  /// Runs one query for the objective currently staged in obj_.
+  Support query();
+
   std::size_t dim_;
   lp::PreparedProblem prep_;
   lp::SolverWorkspace ws_;

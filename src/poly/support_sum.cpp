@@ -1,6 +1,7 @@
 #include "poly/support_sum.hpp"
 
 #include "common/error.hpp"
+#include "poly/support_solver.hpp"
 
 namespace oic::poly {
 
@@ -36,13 +37,36 @@ double SupportSum::support(const Vector& d) const {
 }
 
 HPolytope SupportSum::outer_polytope(const std::vector<Vector>& dirs) const {
+  OIC_REQUIRE(!ms_.empty(), "SupportSum::outer_polytope: empty chain");
   OIC_REQUIRE(!dirs.empty(), "SupportSum::outer_polytope: need directions");
   Matrix a(dirs.size(), dim());
-  Vector b(dirs.size());
   for (std::size_t i = 0; i < dirs.size(); ++i) {
+    OIC_REQUIRE(dirs[i].size() == dim(),
+                "SupportSum::outer_polytope: dimension mismatch");
     a.set_row(i, dirs[i]);
-    b[i] = support(dirs[i]);
   }
+  // Term-major batching: one SupportSolver per term answers all directions
+  // before moving on, so each term's constraint system is prepared once
+  // instead of dirs.size() times.  The per-direction accumulation still
+  // runs in term order (acc[i] += h_t(d_i) for t = 0,1,...), which keeps
+  // every offset bit-identical to the direction-major support() loop.
+  Vector acc(dirs.size());
+  for (std::size_t t = 0; t < ms_.size(); ++t) {
+    Matrix td(dirs.size(), ms_[t].cols());
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      td.set_row(i, linalg::transpose_mul(ms_[t], dirs[i]));  // M^T d_i
+    }
+    SupportSolver solver(ws_[t]);
+    const std::vector<Support> sup = solver.support_batch(td);
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      OIC_REQUIRE(sup[i].feasible, "SupportSum::support: empty term polytope");
+      if (!sup[i].bounded)
+        throw NumericalError("SupportSum::support: unbounded term");
+      acc[i] += sup[i].value;
+    }
+  }
+  Vector b(dirs.size());
+  for (std::size_t i = 0; i < dirs.size(); ++i) b[i] = scale_ * acc[i];
   return HPolytope(std::move(a), std::move(b));
 }
 

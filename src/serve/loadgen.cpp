@@ -85,8 +85,13 @@ struct ClientStats {
   std::uint64_t skipped = 0;
   std::uint64_t forced = 0;
   std::uint64_t errors = 0;
-  std::vector<double> latency_ms;
+  std::vector<std::vector<double>> tick_ms;  ///< decide samples per period
 };
+
+double percentile(const std::vector<double>& sorted, std::size_t pct) {
+  const std::size_t idx = (sorted.size() * pct) / 100;
+  return sorted[idx >= sorted.size() ? sorted.size() - 1 : idx];
+}
 
 }  // namespace
 
@@ -158,14 +163,40 @@ LoadgenResult run_loadgen(Server& server, const eval::ScenarioRegistry& registry
         sessions.push_back(std::move(s));
       }
 
-      auto round_trip = [&](std::vector<Request> batch) {
+      st.tick_ms.resize(cfg.steps);
+
+      auto round_trip = [&](std::vector<Request> batch,
+                            std::vector<double>* tick) {
         const std::size_t n = batch.size();
         if (emit) emit->write(batch);
         const auto rt0 = Clock::now();
         conn->submit(std::move(batch));
         std::vector<Response> res = conn->await(n);
-        st.latency_ms.push_back(ms_since(rt0));
+        if (tick) tick->push_back(ms_since(rt0));
         return res;
+      };
+
+      // Submit `batch` in chunks of at most cfg.max_batch requests, one
+      // round trip per chunk; on_response sees (row index into `batch`,
+      // response).  Bounded chunks are what keeps the clients from
+      // convoying behind each other's whole partitions (see LoadgenConfig).
+      auto chunked = [&](std::vector<Request> batch, std::vector<double>* tick,
+                         auto&& on_response) {
+        const std::size_t chunk =
+            cfg.max_batch == 0 ? batch.size() : cfg.max_batch;
+        std::size_t off = 0;
+        while (off < batch.size()) {
+          const std::size_t m = std::min(chunk, batch.size() - off);
+          std::vector<Request> sub;
+          sub.reserve(m);
+          const auto first = batch.begin() + static_cast<std::ptrdiff_t>(off);
+          std::move(first, first + static_cast<std::ptrdiff_t>(m),
+                    std::back_inserter(sub));
+          const std::vector<Response> res = round_trip(std::move(sub), tick);
+          for (std::size_t k = 0; k < res.size(); ++k)
+            on_response(off + k, res[k]);
+          off += m;
+        }
       };
 
       // Open every session.
@@ -179,15 +210,12 @@ LoadgenResult run_loadgen(Server& server, const eval::ScenarioRegistry& registry
         r.policy = cfg.policy;
         batch.push_back(std::move(r));
       }
-      {
-        const std::vector<Response> res = round_trip(std::move(batch));
-        for (std::size_t i = 0; i < res.size(); ++i) {
-          if (res[i].kind != Response::Kind::kOpened) {
-            ++st.errors;
-            sessions[i].alive = false;
-          }
+      chunked(std::move(batch), nullptr, [&](std::size_t i, const Response& r) {
+        if (r.kind != Response::Kind::kOpened) {
+          ++st.errors;
+          sessions[i].alive = false;
         }
-      }
+      });
 
       // One decide per session per control period.
       for (std::size_t t = 0; t < cfg.steps; ++t) {
@@ -209,25 +237,25 @@ LoadgenResult run_loadgen(Server& server, const eval::ScenarioRegistry& registry
           index.push_back(i);
         }
         if (batch.empty()) break;
-        const std::vector<Response> res = round_trip(std::move(batch));
-        for (std::size_t k = 0; k < res.size(); ++k) {
+        chunked(std::move(batch), &st.tick_ms[t],
+                [&](std::size_t k, const Response& res) {
           ClientSession& s = sessions[index[k]];
           const eval::PlantCase& plant = *plants[s.plant_index];
-          if (res[k].kind != Response::Kind::kDecision) {
+          if (res.kind != Response::Kind::kDecision) {
             ++st.errors;
             s.alive = false;
-            continue;
+            return;
           }
           ++st.decisions;
-          if (res[k].z == 0) ++st.skipped;
-          if (res[k].forced) ++st.forced;
-          if (res[k].z == 1) {
+          if (res.z == 0) ++st.skipped;
+          if (res.forced) ++st.forced;
+          if (res.z == 1) {
             try {
               s.u = mpcs[s.plant_index].control(s.x);
             } catch (const NumericalError&) {
               ++st.errors;
               s.alive = false;
-              continue;
+              return;
             }
           } else {
             s.u = plant.u_skip();
@@ -236,7 +264,7 @@ LoadgenResult run_loadgen(Server& server, const eval::ScenarioRegistry& registry
           plant.system().step_into(s.x, s.u, s.w, s.xnext);
           s.x = s.xnext;
           s.first = false;
-        }
+        });
       }
 
       // Close what survived.
@@ -250,10 +278,10 @@ LoadgenResult run_loadgen(Server& server, const eval::ScenarioRegistry& registry
         batch.push_back(std::move(r));
       }
       if (!batch.empty()) {
-        const std::vector<Response> res = round_trip(std::move(batch));
-        for (const Response& r : res) {
+        chunked(std::move(batch), nullptr,
+                [&](std::size_t, const Response& r) {
           if (r.kind != Response::Kind::kClosed) ++st.errors;
-        }
+        });
       }
     });
   }
@@ -263,20 +291,34 @@ LoadgenResult run_loadgen(Server& server, const eval::ScenarioRegistry& registry
   out.sessions = cfg.sessions;
   out.steps = cfg.steps;
   out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
-  std::vector<double> latency;
   for (const ClientStats& st : stats) {
     out.decisions += st.decisions;
     out.skipped += st.skipped;
     out.forced += st.forced;
     out.errors += st.errors;
-    latency.insert(latency.end(), st.latency_ms.begin(), st.latency_ms.end());
+  }
+  std::vector<double> latency;  // all decide samples, for the headline
+  for (std::size_t t = 0; t < cfg.steps; ++t) {
+    std::vector<double> tick;
+    for (const ClientStats& st : stats) {
+      if (t < st.tick_ms.size())
+        tick.insert(tick.end(), st.tick_ms[t].begin(), st.tick_ms[t].end());
+    }
+    if (tick.empty()) continue;  // every session already dead
+    latency.insert(latency.end(), tick.begin(), tick.end());
+    std::sort(tick.begin(), tick.end());
+    TickLatency tl;
+    tl.tick = t;
+    tl.samples = tick.size();
+    tl.p50_ms = percentile(tick, 50);
+    tl.p99_ms = percentile(tick, 99);
+    tl.max_ms = tick.back();
+    out.tick_latency.push_back(tl);
   }
   if (!latency.empty()) {
     std::sort(latency.begin(), latency.end());
-    out.p50_ms = latency[latency.size() / 2];
-    out.p99_ms = latency[(latency.size() * 99) / 100 >= latency.size()
-                             ? latency.size() - 1
-                             : (latency.size() * 99) / 100];
+    out.p50_ms = percentile(latency, 50);
+    out.p99_ms = percentile(latency, 99);
   }
   if (out.wall_s > 0.0) {
     out.decisions_per_s = static_cast<double>(out.decisions) / out.wall_s;

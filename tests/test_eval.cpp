@@ -178,13 +178,16 @@ TEST(SweepDriver, ReproducesGoldenAccHarnessNumbers) {
   // bang-bang,periodic-5` must reproduce them bit for bit; test_engine
   // separately pins the engine to the per-episode harness.  Re-pinned
   // when Rng::split() moved to splitmix64 stream derivation (the case
-  // stream -- x0 draws and profile seeds -- changed with it); any further
+  // stream -- x0 draws and profile seeds -- changed with it), and again
+  // when warm-solve cold restarts moved to the canonical-seed dual
+  // continuation (equally-optimal argmins shifted by ~1e-13 on degenerate
+  // MPC steps; docs/perf.md quantifies the drift); any further
   // unintentional drift in sampling, dynamics, or solver behavior fails
   // here.
-  const double golden_bb[4] = {0.7262241205374534, 0.1285438409626795,
-                               0.5876510688940016, 0.609735884535233};
-  const double golden_p5[4] = {0.42436035407122324, 0.0869432215180449,
-                               0.43116050789058047, 0.4027530005619023};
+  const double golden_bb[4] = {0.7262241205374529, 0.1285438409626803,
+                               0.5876510688940028, 0.6097358845352306};
+  const double golden_p5[4] = {0.42436035407119083, 0.08694322151804597,
+                               0.43116050789058274, 0.40275300056190116};
 
   oic::eval::SweepSpec spec;
   spec.plants = {"acc"};

@@ -19,6 +19,9 @@
 ///   --sessions N          concurrent sessions        (default 10000)
 ///   --steps N             control periods/session    (default 10)
 ///   --clients N           client threads             (default 4)
+///   --max-batch N         requests per round trip, 0 = whole partition
+///                         (default 512; bounded chunks keep clients from
+///                         convoying behind each other's full partitions)
 ///   --seed N              traffic seed               (default 20200406)
 ///   --workers N           server pool, 0 = hardware  (default 0)
 ///   --cert-dir DIR        certificate cache (cert::Store)
@@ -55,8 +58,10 @@ std::string loadgen_json(const oic::serve::LoadgenConfig& cfg,
   out += ", \"policy\": ";
   oic::jsonout::append_string(out, cfg.policy);
   oic::jsonout::append_format(
-      out, ", \"sessions\": %zu, \"steps\": %zu, \"clients\": %zu, \"seed\": %llu, ",
-      cfg.sessions, cfg.steps, cfg.clients,
+      out,
+      ", \"sessions\": %zu, \"steps\": %zu, \"clients\": %zu, "
+      "\"max_batch\": %zu, \"seed\": %llu, ",
+      cfg.sessions, cfg.steps, cfg.clients, cfg.max_batch,
       static_cast<unsigned long long>(cfg.seed));
   out += "\"cert_dir\": ";
   oic::jsonout::append_string(out, cfg.cert_dir);
@@ -73,6 +78,16 @@ std::string loadgen_json(const oic::serve::LoadgenConfig& cfg,
       static_cast<unsigned long long>(res.forced),
       static_cast<unsigned long long>(res.errors), res.p50_ms, res.p99_ms,
       res.decisions_per_s, res.sessions_per_s);
+  out += "  \"serve_tick_latency_ms\": [";
+  for (std::size_t i = 0; i < res.tick_latency.size(); ++i) {
+    const oic::serve::TickLatency& tl = res.tick_latency[i];
+    oic::jsonout::append_format(
+        out,
+        "%s{\"tick\": %zu, \"samples\": %zu, \"p50\": %.6f, \"p99\": %.6f, "
+        "\"max\": %.6f}",
+        i ? ", " : "", tl.tick, tl.samples, tl.p50_ms, tl.p99_ms, tl.max_ms);
+  }
+  out += "],\n";
   return std::move(doc).finish(c.invariant_errors > 0);
 }
 
@@ -83,9 +98,9 @@ int main(int argc, char** argv) {
   if (args.flag("help")) {
     std::printf(
         "usage: oic_loadgen [--plants a,b] [--family ID] [--policy SPEC]\n"
-        "                   [--sessions N] [--steps N] [--clients N] [--seed N]\n"
-        "                   [--workers N] [--cert-dir DIR] [--emit PATH]\n"
-        "                   [--json PATH]\n"
+        "                   [--sessions N] [--steps N] [--clients N]\n"
+        "                   [--max-batch N] [--seed N] [--workers N]\n"
+        "                   [--cert-dir DIR] [--emit PATH] [--json PATH]\n"
         "Replays scenario-family traffic against an in-process monitor server\n"
         "and reports decision latency percentiles and throughput.\n");
     return 0;
@@ -101,7 +116,9 @@ int main(int argc, char** argv) {
   (void)args.value("emit", cfg.emit_path);
   if (!oic::cliutil::count_flag(args, "oic_loadgen", "sessions", cfg.sessions) ||
       !oic::cliutil::count_flag(args, "oic_loadgen", "steps", cfg.steps) ||
-      !oic::cliutil::count_flag(args, "oic_loadgen", "clients", cfg.clients)) {
+      !oic::cliutil::count_flag(args, "oic_loadgen", "clients", cfg.clients) ||
+      !oic::cliutil::count_flag(args, "oic_loadgen", "max-batch",
+                                cfg.max_batch)) {
     return 1;
   }
   oic::serve::ServiceConfig server_cfg;
