@@ -51,7 +51,11 @@ Also enforces the semantic invariants every bench document shares:
     present, must report bit_identical == true (batched decisions must
     reproduce the per-session IntermittentController path exactly),
     errors == 0, sessions >= 10000 (the service-capacity contract),
-    0 <= p50_ms <= p99_ms, and sessions_per_s > 0.
+    0 <= p50_ms <= p99_ms, sessions_per_s > 0, a known transport
+    ("socket"/"stdio"/"inproc"), tick_workers >= 1, and a non-negative
+    burst_sessions count; each serve_tick_latency_ms entry must also
+    carry ordered submit_/wait_ component percentiles (the round-trip
+    split that reads transport cost against tick cost).
 
 The CI bench-smoke job runs this over (committed BENCH_throughput.json,
 fresh smoke output); the train-smoke job uses --self on the oic_train and
@@ -210,6 +214,17 @@ def check_semantics(candidate, errors):
         if not isinstance(rate, (int, float)) or isinstance(rate, bool) \
                 or rate <= 0:
             errors.append("bench_serve.sessions_per_s: must be > 0")
+        if serve.get("transport") not in ("socket", "stdio", "inproc"):
+            errors.append("bench_serve.transport: must be 'socket', 'stdio', "
+                          "or 'inproc'")
+        tick_workers = serve.get("tick_workers")
+        if not isinstance(tick_workers, int) or isinstance(tick_workers, bool) \
+                or tick_workers < 1:
+            errors.append("bench_serve.tick_workers: must be a positive integer")
+        bursts = serve.get("burst_sessions")
+        if not isinstance(bursts, int) or isinstance(bursts, bool) or bursts < 0:
+            errors.append("bench_serve.burst_sessions: must be a non-negative "
+                          "integer")
 
     ticks = candidate.get("serve_tick_latency_ms")
     if ticks is not None:
@@ -231,6 +246,14 @@ def check_semantics(candidate, errors):
                            not isinstance(v, bool) for v in vals) or \
                         not 0 <= vals[0] <= vals[1] <= vals[2]:
                     errors.append(f"{path}: must satisfy 0 <= p50 <= p99 <= max")
+                for lo_key, hi_key in (("submit_p50", "submit_p99"),
+                                       ("wait_p50", "wait_p99")):
+                    lo, hi = tl.get(lo_key), tl.get(hi_key)
+                    if not all(isinstance(v, (int, float)) and
+                               not isinstance(v, bool) for v in (lo, hi)) or \
+                            not 0 <= lo <= hi:
+                        errors.append(f"{path}: must satisfy 0 <= {lo_key} "
+                                      f"<= {hi_key}")
 
     kernels = candidate.get("kernels")
     if kernels is not None:

@@ -36,10 +36,14 @@
 #                unknown preset) must exit nonzero with a diagnostic
 #   serve smoke  an oic_loadgen burst against the in-process monitor server
 #                (captured with --emit), the capture replayed through the
-#                standalone oic_serve, decision counts compared between the
-#                two runs, both JSON reports passing check_bench_json.py
-#                --self, and the malformed-request error path (garbage on
-#                --in must exit nonzero with an oic_serve: diagnostic)
+#                standalone oic_serve over stdio, the same traffic driven
+#                against a background `oic_serve --listen` over a real
+#                loopback socket (burst:<k> sessions and a sharded tick,
+#                shut down with SIGINT), decision counts diffed across the
+#                in-process, stdio, and socket runs, every JSON report
+#                passing check_bench_json.py --self, and the
+#                malformed-request error path (garbage on --in must exit
+#                nonzero with an oic_serve: diagnostic)
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/
 #                tools/ (blocking; skipped with a warning when clang-format
 #                is absent)
@@ -322,6 +326,54 @@ if want == 0 or got != want:
 if sv["serve"]["errors"] or sv["serve"]["invariant_errors"]:
     sys.exit("serve smoke: replay drew error responses from a clean capture")
 print(f"serve smoke: replay reproduced all {got} decisions, zero errors")
+EOF
+  # The same traffic over a real loopback socket: a background
+  # `oic_serve --listen` (ephemeral port published via --port-file, tick
+  # sharded across two workers) serves an oic_loadgen --connect fleet with
+  # burst:<k> sessions in the mix, then shuts down cleanly on SIGINT.  The
+  # decision count must match the in-process and stdio runs.
+  "${smoke_build}/oic_serve" --listen 0 --port-file "${serve_dir}/serve.port" \
+    --workers 2 --tick-workers 2 \
+    --json "${serve_dir}/SERVE_socket_smoke.json" 2>"${serve_dir}/serve.log" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "${serve_dir}/serve.port" ]] && break
+    sleep 0.1
+  done
+  [[ -s "${serve_dir}/serve.port" ]] || {
+    echo "serve smoke: oic_serve --listen never published its port" >&2
+    exit 1
+  }
+  "${smoke_build}/oic_loadgen" --plants toy2d --sessions 256 --steps 5 \
+    --clients 3 --policy "bang-bang,burst:3" \
+    --connect "127.0.0.1:$(cat "${serve_dir}/serve.port")" \
+    --json "${serve_dir}/LOADGEN_socket_smoke.json"
+  kill -INT "${serve_pid}"
+  wait "${serve_pid}"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${serve_dir}/LOADGEN_socket_smoke.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${serve_dir}/SERVE_socket_smoke.json"
+  python3 - "${serve_dir}/LOADGEN_smoke.json" \
+    "${serve_dir}/LOADGEN_socket_smoke.json" \
+    "${serve_dir}/SERVE_socket_smoke.json" <<'EOF'
+import json, sys
+inproc, socklg, socksv = (json.load(open(p)) for p in sys.argv[1:4])
+want = inproc["loadgen"]["decisions"]
+got_client = socklg["loadgen"]["decisions"]
+got_server = socksv["serve"]["decisions"]
+if want == 0 or got_client != want or got_server != want:
+    sys.exit(f"serve smoke: socket run decisions (client {got_client}, "
+             f"server {got_server}) != in-process run ({want})")
+if socklg["loadgen"]["errors"] or socksv["serve"]["errors"] \
+        or socksv["serve"]["invariant_errors"]:
+    sys.exit("serve smoke: socket run drew error responses")
+if socksv["config"]["transport"] != "socket":
+    sys.exit("serve smoke: oic_serve --listen must report transport=socket")
+if socklg["loadgen"]["burst_sessions"] == 0:
+    sys.exit("serve smoke: the socket fleet must include burst sessions")
+print(f"serve smoke: socket run reproduced all {want} decisions "
+      f"(stdio, socket, and in-process transports agree), zero errors")
 EOF
   # Error path: a malformed request stream must die with a diagnostic and
   # a nonzero exit, never hang or answer garbage.

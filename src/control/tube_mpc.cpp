@@ -278,17 +278,20 @@ Vector TubeMpc::control(const Vector& x) {
   const std::size_t nu = sys_.nu();
   const std::size_t n = config_.horizon;
   last_.cost = r.objective;
-  last_.planned_x.clear();
-  last_.planned_u.clear();
+  // Overwrite the previous plan in place: at serve throughput control()
+  // runs tens of thousands of times per second and reallocating ~2N small
+  // vectors per solve is measurable against the solve itself.
+  if (last_.planned_x.size() != n + 1) last_.planned_x.assign(n + 1, Vector(nx));
+  if (last_.planned_u.size() != n) last_.planned_u.assign(n, Vector(nu));
   for (std::size_t k = 0; k <= n; ++k) {
-    Vector xs(nx);
+    Vector& xs = last_.planned_x[k];
+    if (xs.size() != nx) xs = Vector(nx);
     for (std::size_t i = 0; i < nx; ++i) xs[i] = r.x[layout.x0 + k * nx + i];
-    last_.planned_x.push_back(std::move(xs));
   }
   for (std::size_t k = 0; k < n; ++k) {
-    Vector us(nu);
+    Vector& us = last_.planned_u[k];
+    if (us.size() != nu) us = Vector(nu);
     for (std::size_t i = 0; i < nu; ++i) us[i] = r.x[layout.u0 + k * nu + i];
-    last_.planned_u.push_back(std::move(us));
   }
   return last_.planned_u.front();
 }

@@ -1,11 +1,13 @@
 #include "serve/api.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <istream>
 #include <ostream>
-#include <sstream>
+#include <string_view>
+#include <system_error>
 
 #include "common/error.hpp"
 
@@ -13,98 +15,236 @@ namespace oic::serve {
 
 namespace {
 
+/// Line supplier the grammar readers run against.  Two implementations:
+/// one wraps std::getline for the one-shot entry points (any istream,
+/// never reads past what it returns), one block-buffers for the stateful
+/// Reader classes on long-lived connection streams.
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+  /// Next line without its terminator; false on end of stream.
+  virtual bool next(std::string& line) = 0;
+};
+
+class IstreamLines final : public LineSource {
+ public:
+  explicit IstreamLines(std::istream& is) : is_(is) {}
+  bool next(std::string& line) override {
+    return static_cast<bool>(std::getline(is_, line));
+  }
+
+ private:
+  std::istream& is_;
+};
+
+/// Block-buffered line splitter: refills from the streambuf with sgetn
+/// (blocking only for the first byte, then draining whatever in_avail
+/// reports) and cuts lines with memchr.  May hold bytes beyond the last
+/// returned line, which is why only the persistent Reader classes use it.
+class BufferedLines final : public LineSource {
+ public:
+  explicit BufferedLines(std::istream& is) : is_(is) {}
+
+  bool next(std::string& line) override {
+    for (;;) {
+      const char* base = buf_.data();
+      const void* nl = std::memchr(base + pos_, '\n', buf_.size() - pos_);
+      if (nl != nullptr) {
+        const std::size_t at =
+            static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+        line.assign(base + pos_, at - pos_);
+        pos_ = at + 1;
+        compact();
+        return true;
+      }
+      if (!refill()) {
+        if (pos_ < buf_.size()) {
+          // Final line without a trailing newline, same as std::getline.
+          line.assign(buf_.data() + pos_, buf_.size() - pos_);
+          pos_ = buf_.size();
+          compact();
+          return true;
+        }
+        return false;
+      }
+    }
+  }
+
+ private:
+  void compact() {
+    if (pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    } else if (pos_ > (std::size_t{1} << 16)) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
+  bool refill() {
+    using traits = std::char_traits<char>;
+    std::streambuf* sb = is_.rdbuf();
+    const traits::int_type c = sb->sbumpc();  // blocks for the next byte
+    if (traits::eq_int_type(c, traits::eof())) return false;
+    buf_.push_back(traits::to_char_type(c));
+    std::streamsize avail = sb->in_avail();
+    while (avail > 0) {
+      const std::size_t old = buf_.size();
+      buf_.resize(old + static_cast<std::size_t>(avail));
+      const std::streamsize got = sb->sgetn(buf_.data() + old, avail);
+      buf_.resize(old + static_cast<std::size_t>(std::max<std::streamsize>(got, 0)));
+      if (got <= 0) break;
+      // Enough buffered to make progress; stop once a full line arrived.
+      if (std::memchr(buf_.data() + old, '\n', static_cast<std::size_t>(got)) !=
+          nullptr) {
+        break;
+      }
+      avail = sb->in_avail();
+    }
+    return true;
+  }
+
+  std::istream& is_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Whitespace-tokenizing cursor over one line of a document.  The wire
+/// grammar is parsed at serve throughput (every decision crosses it twice
+/// on a socket transport), so tokens are cut as string_views over the
+/// line buffer and numbers go through std::from_chars -- no istringstream
+/// construction, no per-token std::string, no locale machinery.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  explicit Cursor(const std::string& line)
+      : p(line.data()), end(line.data() + line.size()) {}
+
+  static bool is_ws(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+  }
+
+  /// Next whitespace-delimited token; empty view when the line is spent.
+  std::string_view next() {
+    while (p != end && is_ws(*p)) ++p;
+    const char* b = p;
+    while (p != end && !is_ws(*p)) ++p;
+    return std::string_view(b, static_cast<std::size_t>(p - b));
+  }
+
+  /// Rest of the line verbatim (leading whitespace skipped once), for
+  /// free-text payloads like error diagnostics.
+  std::string_view rest() {
+    if (p != end && is_ws(*p)) ++p;
+    std::string_view r(p, static_cast<std::size_t>(end - p));
+    p = end;
+    return r;
+  }
+};
+
 /// Next line of the document; truncation (EOF mid-batch) is malformed.
-std::string next_line(std::istream& is, const char* what) {
-  std::string line;
-  if (!std::getline(is, line)) {
+/// The buffer is caller-owned and reused across lines.
+void next_line(LineSource& src, std::string& line, const char* what) {
+  if (!src.next(line)) {
     throw NumericalError(std::string("oic-serve: truncated document (expected ") +
                          what + ")");
   }
-  return line;
 }
 
-/// Strict u64 token: digits only, no sign, bounded length (strtoull would
-/// happily wrap "-1" to 2^64-1 and a hostile length would overflow it).
-std::uint64_t parse_u64(std::istringstream& iss, const char* what) {
-  std::string tok;
-  if (!(iss >> tok)) {
+/// Strict u64 token: digits only, no sign, bounded length (a permissive
+/// integer parse would happily wrap "-1" to 2^64-1, and 19 digits is the
+/// longest string that cannot overflow).
+std::uint64_t parse_u64(Cursor& cur, const char* what) {
+  const std::string_view tok = cur.next();
+  if (tok.empty()) {
     throw NumericalError(std::string("oic-serve: missing ") + what);
   }
-  if (tok.empty() || tok.size() > 19 ||
-      tok.find_first_not_of("0123456789") != std::string::npos) {
-    throw NumericalError(std::string("oic-serve: malformed ") + what + " '" + tok +
-                         "'");
+  if (tok.size() > 19) {
+    throw NumericalError(std::string("oic-serve: malformed ") + what + " '" +
+                         std::string(tok) + "'");
   }
-  return std::strtoull(tok.c_str(), nullptr, 10);
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') {
+      throw NumericalError(std::string("oic-serve: malformed ") + what + " '" +
+                           std::string(tok) + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
 }
 
-/// Finite double token: extraction failure or nan/inf (including overflow
-/// spellings like 1e999) is malformed -- a non-finite state would poison
-/// every membership LP downstream.
-double read_finite(std::istringstream& iss, const char* what) {
+/// Finite double token: parse failure, a partially-consumed token, or
+/// nan/inf (including overflow spellings like 1e999) is malformed -- a
+/// non-finite state would poison every membership LP downstream.
+double read_finite(Cursor& cur, const char* what) {
+  std::string_view tok = cur.next();
+  // std::from_chars takes no leading '+'; accept one like iostreams did.
+  if (!tok.empty() && tok.front() == '+') tok.remove_prefix(1);
   double v = 0.0;
-  if (!(iss >> v) || !std::isfinite(v)) {
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || ptr != tok.data() + tok.size() || !std::isfinite(v)) {
     throw NumericalError(std::string("oic-serve: non-finite or malformed ") + what);
   }
   return v;
 }
 
-void expect_keyword(std::istringstream& iss, const char* kw) {
-  std::string tok;
-  if (!(iss >> tok) || tok != kw) {
+void expect_keyword(Cursor& cur, const char* kw) {
+  const std::string_view tok = cur.next();
+  if (tok != kw) {
     throw NumericalError(std::string("oic-serve: expected keyword '") + kw +
-                         "', got '" + tok + "'");
+                         "', got '" + std::string(tok) + "'");
   }
 }
 
-void expect_line_end(std::istringstream& iss, const char* what) {
-  std::string extra;
-  if (iss >> extra) {
+void expect_line_end(Cursor& cur, const char* what) {
+  const std::string_view extra = cur.next();
+  if (!extra.empty()) {
     throw NumericalError(std::string("oic-serve: trailing tokens after ") + what +
-                         " ('" + extra + "')");
+                         " ('" + std::string(extra) + "')");
   }
 }
 
 /// A single whitespace-free token (plant ids, policy specs).
-std::string parse_token(std::istringstream& iss, const char* what) {
-  std::string tok;
-  if (!(iss >> tok)) {
+std::string parse_token(Cursor& cur, const char* what) {
+  const std::string_view tok = cur.next();
+  if (tok.empty()) {
     throw NumericalError(std::string("oic-serve: missing ") + what);
   }
   if (tok.size() > kMaxTokenLength) {
     throw NumericalError(std::string("oic-serve: oversized ") + what);
   }
-  return tok;
+  return std::string(tok);
 }
 
 /// `<dim> <v...>` vector payload (the tag keyword was already consumed).
-void parse_vector_body(std::istringstream& iss, linalg::Vector& out) {
-  const std::uint64_t dim = parse_u64(iss, "vector dimension");
+void parse_vector_body(Cursor& cur, linalg::Vector& out) {
+  const std::uint64_t dim = parse_u64(cur, "vector dimension");
   if (dim < 1 || dim > kMaxDim) {
     throw NumericalError("oic-serve: vector dimension out of range (1.." +
                          std::to_string(kMaxDim) + ")");
   }
   out.data().assign(static_cast<std::size_t>(dim), 0.0);
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = read_finite(iss, "vector entry");
+    out[i] = read_finite(cur, "vector entry");
   }
 }
 
 /// `<tag> <dim> <v...>` vector payload with the grammar's dimension cap.
-void parse_vector(std::istringstream& iss, const char* tag, linalg::Vector& out) {
-  expect_keyword(iss, tag);
-  parse_vector_body(iss, out);
+void parse_vector(Cursor& cur, const char* tag, linalg::Vector& out) {
+  expect_keyword(cur, tag);
+  parse_vector_body(cur, out);
 }
 
 /// Read the batch header shared by both directions; returns the count.
-std::uint64_t read_header(std::istream& is, std::string& first_line,
+std::uint64_t read_header(LineSource& src, std::string& line,
                           const char* count_keyword, bool& eof) {
   // Skip blank separator lines between batch documents; clean EOF before a
   // magic line is the normal end of stream.
   eof = false;
-  std::string line;
   do {
-    if (!std::getline(is, line)) {
+    if (!src.next(line)) {
       eof = true;
       return 0;
     }
@@ -113,29 +253,38 @@ std::uint64_t read_header(std::istream& is, std::string& first_line,
     throw NumericalError("oic-serve: bad magic/version line '" + line +
                          "' (expected '" + std::string(kMagic) + "')");
   }
-  first_line = next_line(is, count_keyword);
-  std::istringstream iss(first_line);
-  expect_keyword(iss, count_keyword);
-  const std::uint64_t n = parse_u64(iss, "batch count");
+  next_line(src, line, count_keyword);
+  Cursor cur(line);
+  expect_keyword(cur, count_keyword);
+  const std::uint64_t n = parse_u64(cur, "batch count");
   if (n > kMaxBatchRequests) {
     throw NumericalError("oic-serve: batch count " + std::to_string(n) +
                          " exceeds the cap of " + std::to_string(kMaxBatchRequests));
   }
-  expect_line_end(iss, "batch count");
+  expect_line_end(cur, "batch count");
   return n;
 }
 
-void read_end_sentinel(std::istream& is) {
-  const std::string line = next_line(is, "'end' sentinel");
+void read_end_sentinel(LineSource& src, std::string& line) {
+  next_line(src, line, "'end' sentinel");
   if (line != "end") {
     throw NumericalError("oic-serve: expected 'end' sentinel, got '" + line + "'");
   }
 }
 
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, p);
+}
+
+/// Shortest round-trip spelling (std::to_chars): reads back bit-exactly,
+/// including subnormals, at a fraction of the snprintf("%.17g") cost.
 void append_double(std::string& out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, " %.17g", v);
-  out += buf;
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.push_back(' ');
+  out.append(buf, p);
 }
 
 void append_vector(std::string& out, const char* tag, const linalg::Vector& v) {
@@ -144,7 +293,7 @@ void append_vector(std::string& out, const char* tag, const linalg::Vector& v) {
   out += ' ';
   out += tag;
   out += ' ';
-  out += std::to_string(v.size());
+  append_u64(out, v.size());
   for (const double x : v) append_double(out, x);
 }
 
@@ -158,101 +307,119 @@ void require_token(const std::string& s, const char* what) {
                   " must be a non-empty single token without whitespace");
 }
 
-}  // namespace
-
-bool read_request_batch(std::istream& is, std::vector<Request>& out) {
+bool read_request_lines(LineSource& src, std::vector<Request>& out) {
   out.clear();
   bool eof = false;
-  std::string header;
-  const std::uint64_t n = read_header(is, header, "requests", eof);
+  std::string line;
+  const std::uint64_t n = read_header(src, line, "requests", eof);
   if (eof) return false;
   out.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    std::istringstream iss(next_line(is, "request line"));
-    std::string verb;
-    if (!(iss >> verb)) {
+    next_line(src, line, "request line");
+    Cursor cur(line);
+    const std::string_view verb = cur.next();
+    if (verb.empty()) {
       throw NumericalError("oic-serve: empty request line");
     }
     Request r;
     if (verb == "open") {
       r.kind = Request::Kind::kOpen;
-      r.ref = parse_u64(iss, "request ref");
-      expect_keyword(iss, "session");
-      r.session = parse_u64(iss, "session id");
-      expect_keyword(iss, "plant");
-      r.plant = parse_token(iss, "plant id");
-      expect_keyword(iss, "policy");
-      r.policy = parse_token(iss, "policy spec");
-      expect_line_end(iss, "open request");
+      r.ref = parse_u64(cur, "request ref");
+      expect_keyword(cur, "session");
+      r.session = parse_u64(cur, "session id");
+      expect_keyword(cur, "plant");
+      r.plant = parse_token(cur, "plant id");
+      expect_keyword(cur, "policy");
+      r.policy = parse_token(cur, "policy spec");
+      expect_line_end(cur, "open request");
     } else if (verb == "decide") {
       r.kind = Request::Kind::kDecide;
-      r.ref = parse_u64(iss, "request ref");
-      expect_keyword(iss, "session");
-      r.session = parse_u64(iss, "session id");
+      r.ref = parse_u64(cur, "request ref");
+      expect_keyword(cur, "session");
+      r.session = parse_u64(cur, "session id");
       // Peek the next tag: `u` only on subsequent decides.
-      std::string tag;
-      if (!(iss >> tag)) {
+      const std::string_view tag = cur.next();
+      if (tag.empty()) {
         throw NumericalError("oic-serve: decide request missing state vector");
       }
       if (tag == "u") {
-        parse_vector_body(iss, r.u);
+        parse_vector_body(cur, r.u);
         r.has_u = true;
-        parse_vector(iss, "x", r.x);
+        parse_vector(cur, "x", r.x);
       } else if (tag == "x") {
-        parse_vector_body(iss, r.x);
+        parse_vector_body(cur, r.x);
       } else {
         throw NumericalError("oic-serve: decide request expected 'u' or 'x', got '" +
-                             tag + "'");
+                             std::string(tag) + "'");
       }
-      expect_line_end(iss, "decide request");
+      expect_line_end(cur, "decide request");
     } else if (verb == "close") {
       r.kind = Request::Kind::kClose;
-      r.ref = parse_u64(iss, "request ref");
-      expect_keyword(iss, "session");
-      r.session = parse_u64(iss, "session id");
-      expect_line_end(iss, "close request");
+      r.ref = parse_u64(cur, "request ref");
+      expect_keyword(cur, "session");
+      r.session = parse_u64(cur, "session id");
+      expect_line_end(cur, "close request");
     } else if (verb == "reload") {
       r.kind = Request::Kind::kReload;
-      r.ref = parse_u64(iss, "request ref");
-      expect_line_end(iss, "reload request");
+      r.ref = parse_u64(cur, "request ref");
+      expect_line_end(cur, "reload request");
     } else {
-      throw NumericalError("oic-serve: unknown request verb '" + verb + "'");
+      throw NumericalError("oic-serve: unknown request verb '" + std::string(verb) +
+                           "'");
     }
     out.push_back(std::move(r));
   }
-  read_end_sentinel(is);
+  read_end_sentinel(src, line);
   return true;
+}
+
+}  // namespace
+
+bool read_request_batch(std::istream& is, std::vector<Request>& out) {
+  IstreamLines src(is);
+  return read_request_lines(src, out);
 }
 
 void write_request_batch(const std::vector<Request>& batch, std::ostream& os) {
   OIC_REQUIRE(batch.size() <= kMaxBatchRequests,
               "oic-serve: batch exceeds the request cap");
   std::string out;
+  out.reserve(64 + batch.size() * 96);
   out += kMagic;
   out += "\nrequests ";
-  out += std::to_string(batch.size());
+  append_u64(out, batch.size());
   out += '\n';
   for (const Request& r : batch) {
     switch (r.kind) {
       case Request::Kind::kOpen:
         require_token(r.plant, "plant id");
         require_token(r.policy, "policy spec");
-        out += "open " + std::to_string(r.ref) + " session " +
-               std::to_string(r.session) + " plant " + r.plant + " policy " +
-               r.policy;
+        out += "open ";
+        append_u64(out, r.ref);
+        out += " session ";
+        append_u64(out, r.session);
+        out += " plant ";
+        out += r.plant;
+        out += " policy ";
+        out += r.policy;
         break;
       case Request::Kind::kDecide:
-        out += "decide " + std::to_string(r.ref) + " session " +
-               std::to_string(r.session);
+        out += "decide ";
+        append_u64(out, r.ref);
+        out += " session ";
+        append_u64(out, r.session);
         if (r.has_u) append_vector(out, "u", r.u);
         append_vector(out, "x", r.x);
         break;
       case Request::Kind::kClose:
-        out += "close " + std::to_string(r.ref) + " session " +
-               std::to_string(r.session);
+        out += "close ";
+        append_u64(out, r.ref);
+        out += " session ";
+        append_u64(out, r.session);
         break;
       case Request::Kind::kReload:
-        out += "reload " + std::to_string(r.ref);
+        out += "reload ";
+        append_u64(out, r.ref);
         break;
     }
     out += '\n';
@@ -262,94 +429,144 @@ void write_request_batch(const std::vector<Request>& batch, std::ostream& os) {
   OIC_REQUIRE(os.good(), "oic-serve: request write failed");
 }
 
-bool read_response_batch(std::istream& is, std::vector<Response>& out) {
+namespace {
+
+bool read_response_lines(LineSource& src, std::vector<Response>& out) {
   out.clear();
   bool eof = false;
-  std::string header;
-  const std::uint64_t n = read_header(is, header, "responses", eof);
+  std::string line;
+  const std::uint64_t n = read_header(src, line, "responses", eof);
   if (eof) return false;
   out.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    std::istringstream iss(next_line(is, "response line"));
-    std::string verb;
-    if (!(iss >> verb)) {
+    next_line(src, line, "response line");
+    Cursor cur(line);
+    const std::string_view verb = cur.next();
+    if (verb.empty()) {
       throw NumericalError("oic-serve: empty response line");
     }
     Response r;
     if (verb == "opened") {
       r.kind = Response::Kind::kOpened;
-      r.ref = parse_u64(iss, "response ref");
-      expect_keyword(iss, "session");
-      r.session = parse_u64(iss, "session id");
-      expect_line_end(iss, "opened response");
+      r.ref = parse_u64(cur, "response ref");
+      expect_keyword(cur, "session");
+      r.session = parse_u64(cur, "session id");
+      expect_line_end(cur, "opened response");
     } else if (verb == "decision") {
       r.kind = Response::Kind::kDecision;
-      r.ref = parse_u64(iss, "response ref");
-      expect_keyword(iss, "session");
-      r.session = parse_u64(iss, "session id");
-      expect_keyword(iss, "z");
-      const std::uint64_t z = parse_u64(iss, "decision z");
-      expect_keyword(iss, "forced");
-      const std::uint64_t forced = parse_u64(iss, "decision forced");
+      r.ref = parse_u64(cur, "response ref");
+      expect_keyword(cur, "session");
+      r.session = parse_u64(cur, "session id");
+      expect_keyword(cur, "z");
+      const std::uint64_t z = parse_u64(cur, "decision z");
+      expect_keyword(cur, "forced");
+      const std::uint64_t forced = parse_u64(cur, "decision forced");
       if (z > 1 || forced > 1) {
         throw NumericalError("oic-serve: decision flags must be 0 or 1");
       }
       r.z = static_cast<int>(z);
       r.forced = forced == 1;
-      expect_line_end(iss, "decision response");
+      expect_line_end(cur, "decision response");
     } else if (verb == "closed") {
       r.kind = Response::Kind::kClosed;
-      r.ref = parse_u64(iss, "response ref");
-      expect_keyword(iss, "session");
-      r.session = parse_u64(iss, "session id");
-      expect_line_end(iss, "closed response");
+      r.ref = parse_u64(cur, "response ref");
+      expect_keyword(cur, "session");
+      r.session = parse_u64(cur, "session id");
+      expect_line_end(cur, "closed response");
     } else if (verb == "reloaded") {
       r.kind = Response::Kind::kReloaded;
-      r.ref = parse_u64(iss, "response ref");
-      expect_keyword(iss, "certs");
-      r.certs = parse_u64(iss, "reload cert count");
-      expect_keyword(iss, "agents");
-      r.agents = parse_u64(iss, "reload agent count");
-      expect_line_end(iss, "reloaded response");
+      r.ref = parse_u64(cur, "response ref");
+      expect_keyword(cur, "certs");
+      r.certs = parse_u64(cur, "reload cert count");
+      expect_keyword(cur, "agents");
+      r.agents = parse_u64(cur, "reload agent count");
+      expect_line_end(cur, "reloaded response");
     } else if (verb == "error") {
       r.kind = Response::Kind::kError;
-      r.ref = parse_u64(iss, "response ref");
-      expect_keyword(iss, "message");
-      std::getline(iss, r.error);
-      if (!r.error.empty() && r.error.front() == ' ') r.error.erase(0, 1);
+      r.ref = parse_u64(cur, "response ref");
+      expect_keyword(cur, "message");
+      r.error = std::string(cur.rest());
     } else {
-      throw NumericalError("oic-serve: unknown response verb '" + verb + "'");
+      throw NumericalError("oic-serve: unknown response verb '" + std::string(verb) +
+                           "'");
     }
     out.push_back(std::move(r));
   }
-  read_end_sentinel(is);
+  read_end_sentinel(src, line);
   return true;
+}
+
+}  // namespace
+
+bool read_response_batch(std::istream& is, std::vector<Response>& out) {
+  IstreamLines src(is);
+  return read_response_lines(src, out);
+}
+
+struct RequestReader::Impl {
+  BufferedLines lines;
+  explicit Impl(std::istream& is) : lines(is) {}
+};
+
+RequestReader::RequestReader(std::istream& is)
+    : impl_(std::make_unique<Impl>(is)) {}
+RequestReader::~RequestReader() = default;
+
+bool RequestReader::read(std::vector<Request>& out) {
+  return read_request_lines(impl_->lines, out);
+}
+
+struct ResponseReader::Impl {
+  BufferedLines lines;
+  explicit Impl(std::istream& is) : lines(is) {}
+};
+
+ResponseReader::ResponseReader(std::istream& is)
+    : impl_(std::make_unique<Impl>(is)) {}
+ResponseReader::~ResponseReader() = default;
+
+bool ResponseReader::read(std::vector<Response>& out) {
+  return read_response_lines(impl_->lines, out);
 }
 
 void write_response_batch(const std::vector<Response>& batch, std::ostream& os) {
   std::string out;
+  out.reserve(64 + batch.size() * 48);
   out += kMagic;
   out += "\nresponses ";
-  out += std::to_string(batch.size());
+  append_u64(out, batch.size());
   out += '\n';
   for (const Response& r : batch) {
     switch (r.kind) {
       case Response::Kind::kOpened:
-        out += "opened " + std::to_string(r.ref) + " session " +
-               std::to_string(r.session);
+        out += "opened ";
+        append_u64(out, r.ref);
+        out += " session ";
+        append_u64(out, r.session);
         break;
       case Response::Kind::kDecision:
-        out += "decision " + std::to_string(r.ref) + " session " +
-               std::to_string(r.session) + " z " + std::to_string(r.z) +
-               " forced " + (r.forced ? std::string("1") : std::string("0"));
+        out += "decision ";
+        append_u64(out, r.ref);
+        out += " session ";
+        append_u64(out, r.session);
+        out += " z ";
+        append_u64(out, static_cast<std::uint64_t>(r.z));
+        out += " forced ";
+        out += r.forced ? '1' : '0';
         break;
       case Response::Kind::kClosed:
-        out += "closed " + std::to_string(r.ref) + " session " +
-               std::to_string(r.session);
+        out += "closed ";
+        append_u64(out, r.ref);
+        out += " session ";
+        append_u64(out, r.session);
         break;
       case Response::Kind::kReloaded:
-        out += "reloaded " + std::to_string(r.ref) + " certs " +
-               std::to_string(r.certs) + " agents " + std::to_string(r.agents);
+        out += "reloaded ";
+        append_u64(out, r.ref);
+        out += " certs ";
+        append_u64(out, r.certs);
+        out += " agents ";
+        append_u64(out, r.agents);
         break;
       case Response::Kind::kError: {
         // The grammar is line-framed: a diagnostic with embedded newlines
@@ -358,7 +575,10 @@ void write_response_batch(const std::vector<Response>& batch, std::ostream& os) 
         for (char& c : text) {
           if (c == '\n' || c == '\r') c = ' ';
         }
-        out += "error " + std::to_string(r.ref) + " message " + text;
+        out += "error ";
+        append_u64(out, r.ref);
+        out += " message ";
+        out += text;
         break;
       }
     }

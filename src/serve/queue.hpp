@@ -6,6 +6,7 @@
 /// exactly the shape the tick loop wants (gather all pending requests,
 /// answer them in one fused batch).
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -13,6 +14,13 @@
 #include <vector>
 
 namespace oic::serve {
+
+/// Outcome of a bounded-wait drain (Channel::drain_for).
+enum class DrainStatus {
+  kItems,    ///< at least one item was delivered
+  kTimeout,  ///< the wait expired with nothing pending (channel still open)
+  kClosed,   ///< closed and fully drained; no more items will ever arrive
+};
 
 template <typename T>
 class Channel {
@@ -49,6 +57,23 @@ class Channel {
     if (items_.empty()) return false;
     out.swap(items_);
     return true;
+  }
+
+  /// Bounded-wait drain: like drain(), but give up after `timeout` when
+  /// nothing arrives.  The consumer loop blocks on the condition variable
+  /// (no spinning) yet regains control at a bounded cadence, which is what
+  /// a tick thread wants: sleep while idle, still notice shutdown and do
+  /// periodic housekeeping.  Pending items always win over both closure
+  /// and the deadline, so a closed channel drains fully before kClosed.
+  DrainStatus drain_for(std::vector<T>& out, std::chrono::milliseconds timeout) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    if (!items_.empty()) {
+      out.swap(items_);
+      return DrainStatus::kItems;
+    }
+    return closed_ ? DrainStatus::kClosed : DrainStatus::kTimeout;
   }
 
   /// Block until `n` items arrived, then append them to `out` in one splice.

@@ -11,6 +11,10 @@ void Connection::submit(std::vector<Request> batch) {
   server_->inbox_.push(Server::Envelope{shared_from_this(), std::move(batch)});
 }
 
+bool Connection::await_any(std::vector<Response>& out) {
+  return responses_.drain(out);
+}
+
 std::vector<Response> Connection::await(std::size_t n) {
   std::vector<Response> out;
   out.reserve(n);
@@ -54,7 +58,15 @@ void Server::run() {
   std::vector<Envelope> envelopes;
   std::vector<Request> all;
   std::vector<Response> responses;
-  while (inbox_.drain(envelopes)) {
+  // Bounded condition-variable wait: the tick thread sleeps while the
+  // inbox is empty (no core burned polling) but wakes at a bounded
+  // cadence, so shutdown and any future idle housekeeping are never more
+  // than one period away even if a notification is missed.
+  constexpr std::chrono::milliseconds kIdleWait{50};
+  for (;;) {
+    const DrainStatus status = inbox_.drain_for(envelopes, kIdleWait);
+    if (status == DrainStatus::kClosed) break;
+    if (status == DrainStatus::kTimeout) continue;
     all.clear();
     for (const Envelope& env : envelopes) {
       all.insert(all.end(), env.batch.begin(), env.batch.end());

@@ -87,12 +87,23 @@ struct Service::Group {
   linalg::Matrix sbatch;           ///< DQN state rows (inside-X' rows only)
   rl::BatchWorkspace bws;          ///< forward_batch_into scratch
 
+  // Burst groups: deepest certifiable rung, min(spec.count, ladder size),
+  // recomputed on certificate hot-swap (the ladder may change depth).
+  std::size_t max_burst = 0;
+
   struct PendingDecide {
     std::uint64_t session = 0;
     std::size_t out_index = 0;
     const Request* req = nullptr;
   };
   std::vector<PendingDecide> pending;
+
+  // Per-tick side-effect buffer: run_group may execute on a tick-pool
+  // worker concurrently with other groups, so counter bumps and
+  // XI-violation session closures are staged here and merged into the
+  // shared state in deterministic group order after the join.
+  ServiceCounters tick_counters;
+  std::vector<std::uint64_t> tick_closed;
 };
 
 Service::Service(const eval::ScenarioRegistry& registry, ServiceConfig config)
@@ -103,6 +114,9 @@ Service::Service(const eval::ScenarioRegistry& registry, ServiceConfig config)
   }
   if (config_.workers != 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers);
+  }
+  if (config_.tick_workers != 1) {
+    tick_pool_ = std::make_unique<ThreadPool>(config_.tick_workers);
   }
 }
 
@@ -138,11 +152,6 @@ std::size_t Service::resolve_group(const std::string& plant_id,
     error = e.what();
     return kNoGroup;
   }
-  if (spec.kind == eval::PolicySpec::Kind::kBurst) {
-    error = "policy '" + policy +
-            "': burst policies are not yet served (per-period monitor only)";
-    return kNoGroup;
-  }
   PlantEntry* plant = resolve_plant(plant_id, error);
   if (plant == nullptr) return kNoGroup;
 
@@ -150,6 +159,16 @@ std::size_t Service::resolve_group(const std::string& plant_id,
   group->plant_id = plant_id;
   group->spec = spec;
   group->plant = plant;
+  if (spec.kind == eval::PolicySpec::Kind::kBurst) {
+    // Burst serving needs the certificate's k-step skip ladder -- the
+    // same precondition the per-session IntermittentController enforces.
+    if (plant->cert.ladder.empty()) {
+      error = "policy '" + policy + "': plant '" + plant_id +
+              "' has no certified skip ladder (burst mode needs one)";
+      return kNoGroup;
+    }
+    group->max_burst = std::min(spec.count, plant->cert.ladder.size());
+  }
   if (spec.kind == eval::PolicySpec::Kind::kDrl) {
     try {
       rl::AgentSnapshot snap = rl::load_agent_file(spec.path);
@@ -194,6 +213,15 @@ void Service::reload(std::uint64_t& certs_swapped, std::uint64_t& agents_swapped
         ++certs_swapped;
       }
     }
+    // A swapped certificate may carry a shallower (or deeper) ladder:
+    // re-clamp every burst group's rung ceiling so countdown starts never
+    // index past the live ladder.  Running countdowns stay valid -- they
+    // were certified against the rung that was live when they started.
+    for (auto& group : groups_) {
+      if (group->spec.kind != eval::PolicySpec::Kind::kBurst) continue;
+      group->max_burst =
+          std::min(group->spec.count, group->plant->cert.ladder.size());
+    }
   }
   for (auto& group : groups_) {
     if (group->spec.kind != eval::PolicySpec::Kind::kDrl) continue;
@@ -225,6 +253,7 @@ void Service::reload(std::uint64_t& certs_swapped, std::uint64_t& agents_swapped
 
 void Service::serve(const std::vector<Request>& in, std::vector<Response>& out) {
   out.assign(in.size(), Response{});
+  ++tick_serial_;
 
   auto fail = [&](Response& res, std::string msg) {
     res.kind = Response::Kind::kError;
@@ -315,9 +344,7 @@ void Service::serve(const std::vector<Request>& in, std::vector<Response>& out) 
                         std::to_string(r.x.size()) + ")");
           break;
         }
-        bool dup = false;
-        for (const auto& p : group.pending) dup = dup || p.session == r.session;
-        if (dup) {
+        if (session.last_decide_tick == tick_serial_) {
           fail(res, "session " + std::to_string(r.session) +
                         " already has a pending decision in this batch");
           break;
@@ -351,19 +378,76 @@ void Service::serve(const std::vector<Request>& in, std::vector<Response>& out) 
           session.whist.push(session.ew_scratch);
           session.x_prev = r.x;
         }
+        session.last_decide_tick = tick_serial_;
+        if (session.burst_remaining > 0) {
+          // Inside a certified burst: the X'_k membership established when
+          // the burst started guarantees this period's skip keeps the
+          // state in XI for every disturbance, so neither the monitor nor
+          // the policy runs -- the decide bypasses the group batch
+          // entirely, exactly the burst branch of
+          // IntermittentController::decide_at (no XI precondition check).
+          --session.burst_remaining;
+          res.kind = Response::Kind::kDecision;
+          res.z = 0;
+          res.forced = false;
+          ++counters_.decisions;
+          ++counters_.skipped;
+          ++counters_.burst_skips;
+          break;
+        }
         group.pending.push_back({r.session, i, &r});
         break;
       }
     }
   }
 
-  // Phase 2: one fused batch per group.
+  // Phase 2: one fused batch per group.  Groups are data-disjoint (own
+  // SoA workspaces, disjoint response slots, disjoint session sets), so
+  // independent groups shard across the tick pool; each group's side
+  // effects are buffered and merged below in group creation order, which
+  // makes the whole pass bit-identical for any tick worker count.
+  std::vector<Group*> active;
   for (auto& group : groups_) {
-    if (!group->pending.empty()) run_group(*group, out);
+    if (!group->pending.empty()) active.push_back(group.get());
+  }
+  try {
+    if (tick_pool_ && active.size() > 1) {
+      for (Group* group : active) {
+        // The intra-group membership pool is a single shared ThreadPool
+        // whose wait_idle() is global; concurrent run_groups must not race
+        // on it, so sharded groups chunk their membership pass inline.
+        tick_pool_->submit([this, group, &out] { run_group(*group, out, false); });
+      }
+      tick_pool_->wait_idle();
+    } else {
+      for (Group* group : active) run_group(*group, out, true);
+    }
+  } catch (...) {
+    // A group that threw (OOM, ...) leaves the tick unanswered -- the
+    // Server fails the whole batch.  Pending rows point into `in`, so
+    // they must never survive into the next tick.
+    for (Group* group : active) {
+      group->pending.clear();
+      group->tick_closed.clear();
+      group->tick_counters = ServiceCounters{};
+    }
+    throw;
+  }
+  for (Group* group : active) {
+    const ServiceCounters& tc = group->tick_counters;
+    counters_.decisions += tc.decisions;
+    counters_.skipped += tc.skipped;
+    counters_.forced += tc.forced;
+    counters_.errors += tc.errors;
+    counters_.invariant_errors += tc.invariant_errors;
+    group->tick_counters = ServiceCounters{};
+    for (std::uint64_t sid : group->tick_closed) sessions_.erase(sid);
+    group->tick_closed.clear();
+    group->pending.clear();
   }
 }
 
-void Service::run_group(Group& group, std::vector<Response>& out) {
+void Service::run_group(Group& group, std::vector<Response>& out, bool allow_pool) {
   const std::size_t n = group.pending.size();
   const std::size_t nx = group.plant->model.sys.nx();
 
@@ -392,7 +476,7 @@ void Service::run_group(Group& group, std::vector<Response>& out) {
     linalg::batch_max_violation(xp.a(), xp.b().data().data(), rows, count, nx,
                                 group.xp_viol.data() + begin);
   };
-  if (pool_ && n >= 256) {
+  if (allow_pool && pool_ && n >= 256) {
     const std::size_t chunks = pool_->size();
     const std::size_t base = n / chunks, rem = n % chunks;
     std::size_t begin = 0;
@@ -466,9 +550,9 @@ void Service::run_group(Group& group, std::vector<Response>& out) {
       res.error = "session " + std::to_string(p.session) +
                   ": state left the robust invariant set XI (Algorithm 1 "
                   "precondition); session closed";
-      ++counters_.errors;
-      ++counters_.invariant_errors;
-      sessions_.erase(p.session);
+      ++group.tick_counters.errors;
+      ++group.tick_counters.invariant_errors;
+      group.tick_closed.push_back(p.session);
       if (group.spec.kind == eval::PolicySpec::Kind::kDrl &&
           drl_cursor < drl_row.size() && drl_row[drl_cursor] == r) {
         ++drl_cursor;  // unreachable (outside XI is never inside X'), kept safe
@@ -507,17 +591,35 @@ void Service::run_group(Group& group, std::vector<Response>& out) {
         }
         break;
       }
-      case eval::PolicySpec::Kind::kBurst:
-        break;  // rejected at open
+      case eval::PolicySpec::Kind::kBurst: {
+        // BurstSkipPolicy always requests the skip, so the monitor alone
+        // decides: inside X' skip, outside force.  Every granted skip
+        // certifies the deepest containing ladder rung (the exact search
+        // of IntermittentController::decide_at -- same order, same
+        // HPolytope::contains tolerance), arming the session's countdown
+        // so the next k-1 decides bypass the batch in phase 1.
+        z = inside ? 0 : 1;
+        forced = !inside;
+        if (z == 0 && group.max_burst >= 2) {
+          Session& session = sessions_.at(p.session);
+          const auto& ladder = group.plant->cert.ladder;
+          for (std::size_t k = group.max_burst; k >= 2; --k) {
+            if (ladder[k - 1].contains(p.req->x)) {
+              session.burst_remaining = k - 1;
+              break;
+            }
+          }
+        }
+        break;
+      }
     }
     res.kind = Response::Kind::kDecision;
     res.z = z;
     res.forced = forced;
-    ++counters_.decisions;
-    if (z == 0) ++counters_.skipped;
-    if (forced) ++counters_.forced;
+    ++group.tick_counters.decisions;
+    if (z == 0) ++group.tick_counters.skipped;
+    if (forced) ++group.tick_counters.forced;
   }
-  group.pending.clear();
 }
 
 }  // namespace oic::serve

@@ -13,7 +13,12 @@
 /// through linalg::batch_max_violation (bit-identical per row to
 /// HPolytope::violation, chunked over the service thread pool) and a DRL
 /// group's policy consultations run as a single Mlp::forward_batch_into
-/// pass.  The resulting z/forced stream is bit-identical to driving a
+/// pass.  With tick_workers > 1 the independent group batches of one tick
+/// run concurrently (see ServiceConfig::tick_workers for why the result
+/// stays bit-identical).  burst:<k> sessions inside their certified skip
+/// countdown are answered straight from a per-session counter in phase 1
+/// -- no membership row, no group batch -- exactly the per-session burst
+/// branch.  The resulting z/forced stream is bit-identical to driving a
 /// per-session IntermittentController with the same states and inputs --
 /// the property tests/test_serve.cpp asserts.
 ///
@@ -44,6 +49,15 @@ struct ServiceConfig {
   /// the store and `reload` requests pick up hash-fresh rewrites.
   std::string cert_dir;
   std::size_t workers = 0;  ///< membership-check pool width; 0 = hardware
+  /// Tick-shard pool width: independent (plant, cert, policy) group
+  /// batches of one tick run concurrently, one worker job per group.
+  /// Groups are data-disjoint (each owns its SoA workspace, its pending
+  /// rows land in disjoint response slots, and a session belongs to
+  /// exactly one group), and per-group side effects (counters, sessions
+  /// closed for leaving XI) are buffered and merged in group creation
+  /// order after the join -- so the decision stream is bit-identical for
+  /// any worker count.  1 = serve groups serially; 0 = hardware.
+  std::size_t tick_workers = 1;
   std::size_t max_sessions = 1u << 20;
 };
 
@@ -51,6 +65,7 @@ struct ServiceConfig {
 struct ServiceCounters {
   std::uint64_t decisions = 0;        ///< decision responses issued
   std::uint64_t skipped = 0;          ///< decisions with z = 0
+  std::uint64_t burst_skips = 0;      ///< skips answered from a burst countdown
   std::uint64_t forced = 0;           ///< monitor overrides (x outside X')
   std::uint64_t errors = 0;           ///< error responses issued
   std::uint64_t invariant_errors = 0; ///< sessions closed for leaving XI
@@ -91,6 +106,15 @@ class Service {
     core::WHistory whist;            ///< residual ring, oldest first
     linalg::Vector ew_scratch;       ///< record_transition residual scratch
     std::unique_ptr<core::SkipPolicy> policy;  ///< periodic state only
+    /// Certified-skip countdown (burst groups): while positive, decides
+    /// are answered z = 0 straight from phase 1 -- no XI / X' membership
+    /// work, no group batch row -- exactly the per-session burst branch
+    /// of IntermittentController::decide_at.
+    std::uint64_t burst_remaining = 0;
+    /// Tick serial of this session's last accepted decide; the
+    /// decide-at-most-once-per-batch guard in O(1) (the pending-list scan
+    /// it replaces was quadratic in the tick's decide count).
+    std::uint64_t last_decide_tick = 0;
   };
 
   /// Sentinel group index for a failed resolve (error holds the reason).
@@ -103,14 +127,21 @@ class Service {
   /// files swap in; sessions keep their state; invalid files keep the old
   /// artifact.  Never throws.
   void reload(std::uint64_t& certs_swapped, std::uint64_t& agents_swapped);
-  void run_group(Group& group, std::vector<Response>& out);
+  /// Run one group's fused batch.  Side effects land in the group's
+  /// per-tick outcome buffer (counters, sessions to close), never in the
+  /// shared table -- callable concurrently for distinct groups.
+  /// `allow_pool` gates the intra-group membership chunking over pool_
+  /// (safe only when this is the sole run_group in flight).
+  void run_group(Group& group, std::vector<Response>& out, bool allow_pool);
 
   const eval::ScenarioRegistry& registry_;
   ServiceConfig config_;
   std::unique_ptr<cert::Store> store_;
   cert::Provider provider_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;       ///< intra-group membership chunks
+  std::unique_ptr<ThreadPool> tick_pool_;  ///< inter-group tick shards
   ServiceCounters counters_;
+  std::uint64_t tick_serial_ = 0;  ///< serve() calls; decide-dup stamps
 
   /// Plant cache: one model + certificate per plant id, shared across
   /// groups (node-stable addresses; groups hold PlantEntry*).

@@ -1,0 +1,103 @@
+#pragma once
+/// \file socket.hpp
+/// TCP front end for the monitor server: a loopback listener that speaks
+/// the exact `oic-serve v1` line grammar of api.hpp over sockets, and the
+/// matching client.
+///
+/// Framing on the wire is identical to the stdio mode -- each request
+/// batch document is answered by one response batch document, in
+/// submission order per connection -- so a capture replayed over stdio
+/// and a live socket run produce byte-identical response streams.  Every
+/// accepted connection gets a reader thread (parses request batches,
+/// submits each as one Server envelope) and a writer thread (awaits each
+/// batch's responses in submission order and writes them back), so a
+/// client may pipeline many batches without waiting; responses then
+/// correlate by `ref`.
+///
+/// A malformed request document poisons only its own connection: the
+/// reader stops, every batch already submitted is still answered, and the
+/// socket is closed.  The server and the other connections keep running
+/// (unlike the stdio front end, where a malformed stream is fatal --
+/// there the stream IS the one client).
+///
+/// The listener binds 127.0.0.1 only: the wire protocol is plain text
+/// with no authentication, so exposure stays host-local by construction.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/api.hpp"
+
+namespace oic::serve {
+
+class Server;
+
+/// Thread-per-connection acceptor feeding a Server's envelope inbox.
+class SocketListener {
+ public:
+  /// Bind 127.0.0.1:`port` (0 = ephemeral; see port()) and start
+  /// accepting.  Throws PreconditionError when the bind fails.  The
+  /// server must outlive the listener.
+  SocketListener(Server& server, std::uint16_t port);
+  ~SocketListener();  ///< implies stop()
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// The bound port (the actual one when constructed with port 0).
+  std::uint16_t port() const;
+
+  /// Stop accepting, shut down every live connection socket, and join
+  /// all reader/writer threads.  Idempotent.  Does NOT shut down the
+  /// Server itself.
+  void stop();
+
+  /// Connections accepted over the listener's lifetime.
+  std::uint64_t connections_accepted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Client side of the socket transport.  submit() serializes one request
+/// batch onto the wire; responses stream back per batch document, in
+/// submission order, through a background reader into await()/await_any().
+/// Not internally synchronized for concurrent submits: one owner thread
+/// submits, the same or another consumes.
+class SocketClient {
+ public:
+  /// Connect to `host`:`port`.  Throws PreconditionError on failure.
+  SocketClient(const std::string& host, std::uint16_t port);
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  /// Serialize + flush one request batch (one `oic-serve v1` document).
+  /// The submit->enqueue cost a caller measures around this call is the
+  /// full client-side wire cost: formatting plus the socket write.
+  void submit(const std::vector<Request>& batch);
+
+  /// Block until at least one response is pending and move everything
+  /// pending into `out`.  False when the server closed the connection and
+  /// the stream is drained.
+  bool await_any(std::vector<Response>& out);
+
+  /// Block until exactly `n` responses arrived and return them in wire
+  /// order.  Throws NumericalError when the connection closes first.
+  std::vector<Response> await(std::size_t n);
+
+  /// Half-close the sending side: the server sees EOF, answers whatever
+  /// is in flight, and closes.  await_any() then drains to false.
+  void close_send();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace oic::serve

@@ -12,9 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -80,7 +82,8 @@ Request reload_req(std::uint64_t ref) {
 }
 
 /// A valid request document covering every verb and both decide shapes,
-/// with doubles chosen to stress the %.17g round trip.
+/// with doubles chosen to stress the shortest-round-trip (to_chars)
+/// encoding.
 std::string request_doc() {
   std::vector<Request> batch;
   batch.push_back(open_req(1, 7, "toy2d", "bang-bang"));
@@ -162,7 +165,8 @@ TEST(ServeApi, RequestRoundTripIsExact) {
   EXPECT_EQ(got[1].kind, Request::Kind::kDecide);
   EXPECT_FALSE(got[1].has_u);
   ASSERT_EQ(got[1].x.size(), 2u);
-  // %.17g round-trips doubles exactly, including subnormals.
+  // Shortest-round-trip to_chars recovers doubles exactly, including
+  // subnormals.
   EXPECT_EQ(got[1].x[0], 0.1);
   EXPECT_EQ(got[1].x[1], -1.0 / 3.0);
 
@@ -354,6 +358,80 @@ TEST(ServeApi, WriterEnforcesTheGrammar) {
   EXPECT_THROW(oic::serve::write_request_batch(huge_x, ss), oic::Error);
 }
 
+// A pathological streambuf that surfaces one byte per underflow and never
+// reports readahead (in_avail() == 0), forcing the stateful readers down
+// their slow refill path on every byte -- lines split across arbitrarily
+// many refills, exactly what a trickling socket produces.
+class DripBuf final : public std::streambuf {
+ public:
+  explicit DripBuf(std::string data) : data_(std::move(data)) {}
+
+ private:
+  int_type underflow() override {
+    if (pos_ >= data_.size()) return traits_type::eof();
+    ch_ = data_[pos_++];
+    setg(&ch_, &ch_, &ch_ + 1);
+    return traits_type::to_int_type(ch_);
+  }
+  std::string data_;
+  std::size_t pos_ = 0;
+  char ch_ = 0;
+};
+
+TEST(ServeApi, StatefulReadersMatchOneShotAcrossChunkedArrival) {
+  // RequestReader/ResponseReader block-buffer the stream themselves; they
+  // must parse identically to the one-shot istream functions whether bytes
+  // arrive in one block (stringbuf) or one at a time (DripBuf), across
+  // several back-to-back batches, ending in false at clean EOF.
+  const std::string reqs = request_doc() + request_doc() + request_doc();
+  const auto parse_requests = [](std::streambuf* sb) {
+    std::istream is(sb);
+    oic::serve::RequestReader reader(is);
+    std::ostringstream os;
+    std::vector<Request> batch;
+    std::size_t batches = 0;
+    while (reader.read(batch)) {
+      oic::serve::write_request_batch(batch, os);
+      ++batches;
+    }
+    EXPECT_EQ(batches, 3u);
+    return os.str();
+  };
+  std::stringbuf block_rq(reqs);
+  DripBuf drip_rq(reqs);
+  EXPECT_EQ(parse_requests(&block_rq), reqs);
+  EXPECT_EQ(parse_requests(&drip_rq), reqs);
+
+  const std::string resps = response_doc() + response_doc();
+  const auto parse_responses = [](std::streambuf* sb) {
+    std::istream is(sb);
+    oic::serve::ResponseReader reader(is);
+    std::ostringstream os;
+    std::vector<Response> batch;
+    while (reader.read(batch)) oic::serve::write_response_batch(batch, os);
+    return os.str();
+  };
+  std::stringbuf block_rs(resps);
+  DripBuf drip_rs(resps);
+  EXPECT_EQ(parse_responses(&block_rs), resps);
+  EXPECT_EQ(parse_responses(&drip_rs), resps);
+
+  // Strictness carries over: a truncated document throws, it never
+  // silently returns false.
+  const std::string cut = reqs.substr(0, reqs.size() / 2);
+  DripBuf drip_cut(cut);
+  std::istream is(&drip_cut);
+  oic::serve::RequestReader reader(is);
+  std::vector<Request> batch;
+  ASSERT_TRUE(reader.read(batch));
+  EXPECT_THROW(
+      {
+        while (reader.read(batch)) {
+        }
+      },
+      oic::Error);
+}
+
 // -------------------------------------------------------------- service
 
 TEST(ServeService, SessionLifecycleAndValidation) {
@@ -389,7 +467,7 @@ TEST(ServeService, SessionLifecycleAndValidation) {
   cases.push_back({open_req(3, 10, "toy2d", "bang-bang"), "duplicate open"});
   cases.push_back({open_req(4, 11, "nonesuch", "bang-bang"), "unknown plant"});
   cases.push_back({open_req(5, 11, "toy2d", "periodic-0"), "malformed policy"});
-  cases.push_back({open_req(6, 11, "toy2d", "burst:2"), "burst not served"});
+  cases.push_back({open_req(6, 11, "toy2d", "burst:0"), "malformed burst"});
   cases.push_back({decide_req(7, 99, x0), "unknown session"});
   cases.push_back({decide_req(8, 10, x0), "subsequent decide without u"});
   cases.push_back(
@@ -619,6 +697,70 @@ TEST(ServeParity, ParityHoldsAcrossWorkerCounts) {
   EXPECT_EQ(report.decisions, 9u * 15u);
 }
 
+TEST(ServeParity, BurstSessionsMatchPerSessionBurstMode) {
+  // burst:<k> serve sessions answer k-1 decides per burst from a certified
+  // countdown without a group batch row; the stream must still be
+  // bit-identical to the per-session IntermittentController burst branch.
+  // Mixed with every other policy kind so burst groups shard a tick
+  // alongside non-burst groups.
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  const std::string agent = write_toy2d_agent("burst_parity.agent", 37);
+  const oic::serve::ParityReport report = oic::serve::check_batched_parity(
+      reg, "toy2d",
+      {"burst:4", "burst:2", "bang-bang", "periodic-3", "always-run",
+       "drl:" + agent},
+      12, 40, 123);
+  EXPECT_TRUE(report.identical) << report.detail;
+  EXPECT_EQ(report.decisions, 12u * 40u);
+}
+
+TEST(ServeParity, TickOutputByteIdenticalAcrossTickWorkerCounts) {
+  // The sharded parallel tick must be invisible in the output: replaying
+  // one recorded request stream through services with 1, 2, and 4 tick
+  // workers yields byte-identical response streams.  The policy mix spans
+  // three (plant, cert, policy) groups so the 2- and 4-worker runs really
+  // do serve groups concurrently.
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  const std::string reqs = ::testing::TempDir() + "tick_sweep.reqs";
+  {
+    oic::serve::ServiceConfig scfg;
+    scfg.workers = 1;
+    oic::serve::Server server(reg, scfg);
+    oic::serve::LoadgenConfig lc;
+    lc.plants = {"toy2d"};
+    lc.policy = "bang-bang,burst:3,periodic-2";
+    lc.sessions = 24;
+    lc.steps = 12;
+    lc.clients = 1;  // one client + lock-step window = deterministic capture
+    lc.pipeline_window = 1;
+    lc.max_batch = 8;
+    lc.emit_path = reqs;
+    const oic::serve::LoadgenResult res = oic::serve::run_loadgen(server, reg, lc);
+    ASSERT_EQ(res.errors, 0u);
+    ASSERT_GT(res.burst_sessions, 0u);
+  }
+  const auto replay = [&](std::size_t tick_workers) {
+    oic::serve::ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.tick_workers = tick_workers;
+    oic::serve::Service svc(reg, cfg);
+    std::ifstream in(reqs);
+    oic::serve::RequestReader reader(in);
+    std::ostringstream os;
+    std::vector<Request> batch;
+    std::vector<Response> out;
+    while (reader.read(batch)) {
+      svc.serve(batch, out);
+      oic::serve::write_response_batch(out, os);
+    }
+    return os.str();
+  };
+  const std::string w1 = replay(1);
+  ASSERT_FALSE(w1.empty());
+  EXPECT_EQ(w1, replay(2));
+  EXPECT_EQ(w1, replay(4));
+}
+
 // --------------------------------------------------------------- server
 
 TEST(ServeQueue, PopNLeavesQueueAndOutIntactWhenClosedShort) {
@@ -643,6 +785,103 @@ TEST(ServeQueue, PopNLeavesQueueAndOutIntactWhenClosedShort) {
   std::vector<int> out2{5};
   EXPECT_TRUE(ch2.pop_n(1, out2));
   EXPECT_EQ(out2, (std::vector<int>{5, 7}));
+}
+
+TEST(ServeQueue, DrainForDeliversTimesOutAndDrainsClosed) {
+  // The tick thread idles on drain_for instead of spinning: nothing
+  // pending -> kTimeout at the cadence bound; pending items win over both
+  // the deadline and closure; a closed channel drains fully before
+  // reporting kClosed.
+  using oic::serve::DrainStatus;
+  oic::serve::Channel<int> ch;
+  std::vector<int> out{9};
+  EXPECT_EQ(ch.drain_for(out, std::chrono::milliseconds(1)),
+            DrainStatus::kTimeout);
+  EXPECT_TRUE(out.empty());  // drain_for clears `out` like drain()
+  ch.push(1);
+  EXPECT_EQ(ch.drain_for(out, std::chrono::milliseconds(0)),
+            DrainStatus::kItems);
+  EXPECT_EQ(out, (std::vector<int>{1}));
+  ch.push(2);
+  ch.close();
+  EXPECT_EQ(ch.drain_for(out, std::chrono::milliseconds(0)),
+            DrainStatus::kItems);
+  EXPECT_EQ(out, (std::vector<int>{2}));
+  EXPECT_EQ(ch.drain_for(out, std::chrono::milliseconds(0)),
+            DrainStatus::kClosed);
+}
+
+TEST(ServeService, BurstCountdownAnswersSkipsWithoutMembershipRows) {
+  // A burst:<k> session deep inside the certified ladder starts a burst on
+  // its first skip; the following decides are answered from the per-session
+  // countdown (burst_skips) without a group batch row.
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  oic::serve::Service svc(reg, cfg);
+  std::vector<Response> out;
+  const std::vector<double> x0(2, 0.0);
+  const std::vector<double> u0(1, 0.0);
+  svc.serve({open_req(1, 1, "toy2d", "burst:4"), decide_req(2, 1, x0)}, out);
+  ASSERT_EQ(out[0].kind, Response::Kind::kOpened) << out[0].error;
+  ASSERT_EQ(out[1].kind, Response::Kind::kDecision) << out[1].error;
+  EXPECT_EQ(out[1].z, 0);  // the origin sits deep inside every rung
+  const std::uint64_t before = svc.counters().burst_skips;
+  for (std::uint64_t ref = 3; ref < 6; ++ref) {
+    svc.serve({decide_req(ref, 1, u0, x0)}, out);
+    ASSERT_EQ(out[0].kind, Response::Kind::kDecision) << out[0].error;
+    EXPECT_EQ(out[0].z, 0);
+  }
+  EXPECT_GT(svc.counters().burst_skips, before);
+  EXPECT_EQ(svc.counters().forced, 0u);
+}
+
+TEST(ServeServer, ResponsesCorrelateByRefAcrossInterleavedBatches) {
+  // The out-of-order consumption path: several batches in flight across
+  // three (plant, policy) groups, refs deliberately non-monotone, consumed
+  // via await_any and correlated by ref alone (never arrival order).
+  const auto& reg = oic::eval::ScenarioRegistry::builtin();
+  oic::serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  oic::serve::Server server(reg, cfg);
+  auto conn = server.connect();
+  const std::vector<double> x0(2, 0.0);
+
+  // Two batches in flight at once (one tick may fuse them: opens run in
+  // phase 1 ahead of decides, so the decides still land).  Closes go out
+  // after the decides drained -- a close fused into the same tick as a
+  // pending decide fails that decide by design.
+  conn->submit({open_req(301, 1, "toy2d", "bang-bang"),
+                open_req(102, 2, "toy2d", "periodic-2"),
+                open_req(203, 3, "toy2d", "burst:2")});
+  conn->submit({decide_req(907, 2, x0), decide_req(505, 1, x0),
+                decide_req(708, 3, x0)});
+
+  std::unordered_map<std::uint64_t, Response> by_ref;
+  std::vector<Response> got;
+  while (by_ref.size() < 6 && conn->await_any(got)) {
+    for (Response& r : got) by_ref[r.ref] = std::move(r);
+  }
+  conn->submit({close_req(44, 3), close_req(66, 1), close_req(55, 2)});
+  while (by_ref.size() < 9 && conn->await_any(got)) {
+    for (Response& r : got) by_ref[r.ref] = std::move(r);
+  }
+  ASSERT_EQ(by_ref.size(), 9u);
+  EXPECT_EQ(by_ref.at(301).kind, Response::Kind::kOpened);
+  EXPECT_EQ(by_ref.at(301).session, 1u);
+  EXPECT_EQ(by_ref.at(102).session, 2u);
+  EXPECT_EQ(by_ref.at(203).kind, Response::Kind::kOpened);
+  ASSERT_EQ(by_ref.at(505).kind, Response::Kind::kDecision)
+      << by_ref.at(505).error;
+  EXPECT_EQ(by_ref.at(505).session, 1u);
+  ASSERT_EQ(by_ref.at(907).kind, Response::Kind::kDecision)
+      << by_ref.at(907).error;
+  EXPECT_EQ(by_ref.at(907).session, 2u);
+  EXPECT_EQ(by_ref.at(708).session, 3u);
+  EXPECT_EQ(by_ref.at(44).kind, Response::Kind::kClosed);
+  EXPECT_EQ(by_ref.at(66).kind, Response::Kind::kClosed);
+  EXPECT_EQ(by_ref.at(55).kind, Response::Kind::kClosed);
+  EXPECT_EQ(server.open_sessions(), 0u);
 }
 
 TEST(ServeServer, TickThreadSurvivesDecideCloseBatch) {
