@@ -178,7 +178,7 @@ CertBenchResult bench_cert_cold_start() {
   const oic::cert::Store store(dir);
 
   CertBenchResult out;
-  for (const auto& pid : registry.plant_ids()) {
+  for (const auto& pid : registry.production_plant_ids()) {
     const oic::cert::PlantModel model = registry.make_model(pid);
     auto t0 = Clock::now();
     const oic::cert::PlantCertificate fresh = oic::cert::synthesize(model);

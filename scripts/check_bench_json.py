@@ -42,6 +42,15 @@ Also enforces the semantic invariants every bench document shares:
     every results[] entry must report left_x_episodes == 0: under faults
     XI excursions are measured degradation, but leaving the hard safe set
     X is a safety violation and fails the document;
+  * "mc_splitting" (an oic_mc --splitting / --falsify document), when
+    present, requires config.splitting or config.falsify plus positive
+    split_trials / split_batches / split_stages and split_quantile in
+    (0, 1); every cell must name a plant and family, every unit must
+    carry p_hat in [0, 1], a well-ordered ci95 containing p_hat, an
+    extinct_batches count consistent with its batches[], and per batch
+    a level ladder with matching survivor counts, each <= trials (an
+    all-splitting campaign legitimately emits an empty "results" array,
+    which is tolerated when config.splitting is true);
   * "kernels" (the per-ISA dispatch-table microbench), when present, must
     report avx2_native as a bool and, for every kernel, a positive
     bytes_per_op and positive ns_per_op / gb_per_s under both the scalar
@@ -80,7 +89,7 @@ def type_name(value):
     return "null"
 
 
-def compare(reference, candidate, path, errors):
+def compare(reference, candidate, path, errors, allow_empty=frozenset()):
     ref_type, cand_type = type_name(reference), type_name(candidate)
     if ref_type != cand_type:
         errors.append(f"{path or '<root>'}: type {cand_type}, expected {ref_type}")
@@ -91,16 +100,16 @@ def compare(reference, candidate, path, errors):
                 errors.append(f"{path or '<root>'}: missing key '{key}'")
             else:
                 compare(reference[key], candidate[key], f"{path}.{key}".lstrip("."),
-                        errors)
+                        errors, allow_empty)
         for key in candidate:
             if key not in reference:
                 errors.append(f"{path or '<root>'}: unexpected key '{key}'")
     elif ref_type == "array" and reference:
-        if not candidate:
+        if not candidate and path not in allow_empty:
             errors.append(f"{path or '<root>'}: empty array, expected elements "
                           f"shaped like the reference's")
         for i, item in enumerate(candidate):
-            compare(reference[0], item, f"{path}[{i}]", errors)
+            compare(reference[0], item, f"{path}[{i}]", errors, allow_empty)
 
 
 def check_semantics(candidate, errors):
@@ -190,6 +199,112 @@ def check_semantics(candidate, errors):
                     errors.append(f"{path}.left_x_episodes: must be 0 -- a "
                                   f"faulted campaign may degrade (XI "
                                   f"excursions) but never leave X")
+
+    split = candidate.get("mc_splitting")
+    if split is not None:
+        config = candidate.get("config") or {}
+        if config.get("splitting") is not True and \
+                config.get("falsify") is not True:
+            errors.append("mc_splitting: present without config.splitting or "
+                          "config.falsify")
+        for key in ("split_trials", "split_batches", "split_stages"):
+            v = config.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                errors.append(f"config.{key}: must be a positive integer on "
+                              f"a splitting document")
+        q = config.get("split_quantile")
+        if not isinstance(q, (int, float)) or isinstance(q, bool) \
+                or not 0.0 < q < 1.0:
+            errors.append("config.split_quantile: must be a number in (0, 1)")
+
+        def prob(value):
+            return isinstance(value, (int, float)) and \
+                not isinstance(value, bool) and 0.0 <= value <= 1.0
+
+        cells = split.get("cells")
+        if not isinstance(cells, list) or not cells:
+            errors.append("mc_splitting.cells: must be a non-empty array")
+            cells = []
+        for i, cell in enumerate(cells):
+            path = f"mc_splitting.cells[{i}]"
+            if not isinstance(cell, dict):
+                errors.append(f"{path}: must be an object")
+                continue
+            for key in ("plant", "family"):
+                if not isinstance(cell.get(key), str) or not cell.get(key):
+                    errors.append(f"{path}.{key}: must be a non-empty string")
+            p_true = cell.get("p_true")
+            if p_true is not None and not (prob(p_true) and 0.0 < p_true < 1.0):
+                errors.append(f"{path}.p_true: must be a probability in (0, 1)")
+            for j, unit in enumerate(cell.get("units") or []):
+                upath = f"{path}.units[{j}]"
+                if not isinstance(unit, dict):
+                    errors.append(f"{upath}: must be an object")
+                    continue
+                if not isinstance(unit.get("policy"), str) \
+                        or not unit.get("policy"):
+                    errors.append(f"{upath}.policy: must be a non-empty string")
+                if not prob(unit.get("p_hat")):
+                    errors.append(f"{upath}.p_hat: must be a probability "
+                                  f"in [0, 1]")
+                ci = unit.get("ci95")
+                if not (isinstance(ci, list) and len(ci) == 2 and
+                        all(prob(v) for v in ci) and ci[0] <= ci[1]):
+                    errors.append(f"{upath}.ci95: must be a [lo, hi] interval "
+                                  f"with 0 <= lo <= hi <= 1")
+                trials = unit.get("trials")
+                if not isinstance(trials, int) or isinstance(trials, bool) \
+                        or trials < 1:
+                    errors.append(f"{upath}.trials: must be a positive integer")
+                    trials = None
+                episodes = unit.get("episodes")
+                if not isinstance(episodes, int) or isinstance(episodes, bool) \
+                        or episodes < 0:
+                    errors.append(f"{upath}.episodes: must be a non-negative "
+                                  f"integer")
+                batches = unit.get("batches")
+                if not isinstance(batches, list) or not batches:
+                    errors.append(f"{upath}.batches: must be a non-empty array")
+                    batches = []
+                extinct = sum(1 for b in batches if isinstance(b, dict) and
+                              b.get("extinct") is True)
+                if unit.get("extinct_batches") != extinct:
+                    errors.append(f"{upath}.extinct_batches: must equal the "
+                                  f"number of extinct batches[] entries")
+                for k, batch in enumerate(batches):
+                    bpath = f"{upath}.batches[{k}]"
+                    if not isinstance(batch, dict):
+                        errors.append(f"{bpath}: must be an object")
+                        continue
+                    for key in ("done", "extinct"):
+                        if batch.get(key) not in (True, False):
+                            errors.append(f"{bpath}.{key}: must be a bool")
+                    if not prob(batch.get("p_hat")):
+                        errors.append(f"{bpath}.p_hat: must be a probability "
+                                      f"in [0, 1]")
+                    levels = batch.get("levels")
+                    survivors = batch.get("survivors")
+                    if not isinstance(levels, list) \
+                            or not isinstance(survivors, list) \
+                            or len(levels) != len(survivors):
+                        errors.append(f"{bpath}: levels and survivors must be "
+                                      f"arrays of equal length")
+                        continue
+                    numeric = all(isinstance(v, (int, float)) and
+                                  not isinstance(v, bool) for v in levels)
+                    if not numeric or any(v > 0.0 for v in levels) or \
+                            any(lo >= hi for lo, hi in zip(levels, levels[1:])):
+                        errors.append(f"{bpath}.levels: must be a strictly "
+                                      f"increasing ladder ending at or "
+                                      f"below 0")
+                    for s in survivors:
+                        if not isinstance(s, int) or isinstance(s, bool) \
+                                or s < 0 or \
+                                (trials is not None and s > trials):
+                            errors.append(f"{bpath}.survivors: each count "
+                                          f"must be an integer in "
+                                          f"[0, trials]")
+                            break
 
     serve = candidate.get("bench_serve")
     if serve is not None:
@@ -318,7 +433,11 @@ def main(argv):
 
     errors = []
     if reference is not None:
-        compare(reference, candidate, "", errors)
+        # An all-splitting campaign aggregates nothing into the crude
+        # counting section; its empty results[] is legitimate.
+        splitting = bool((candidate.get("config") or {}).get("splitting"))
+        allow_empty = frozenset({"results"}) if splitting else frozenset()
+        compare(reference, candidate, "", errors, allow_empty)
     check_semantics(candidate, errors)
 
     if errors:

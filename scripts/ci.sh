@@ -6,8 +6,8 @@
 #
 #   scripts/ci.sh [--compiler gcc|clang] [--config Release|Sanitize]
 #                 [--build-dir DIR] [--build-only] [--bench-only]
-#                 [--train-only] [--cert-only] [--mc-only] [--fault-only]
-#                 [--serve-only] [--format-only]
+#                 [--train-only] [--cert-only] [--mc-only] [--mc-rare-only]
+#                 [--fault-only] [--serve-only] [--format-only]
 #
 #   build+test   configure with -Werror, build everything, ctest twice:
 #                once as built (AVX2 dispatch on capable hosts) and once
@@ -27,6 +27,13 @@
 #                resuming a checkpoint vs one uninterrupted reference; the
 #                statistics must be bit-identical, and the campaign JSON
 #                (violation-rate Wilson CIs included) passes
+#                check_bench_json.py --self
+#   mc-rare      a rare1d importance-splitting campaign run three ways
+#                (uninterrupted reference, interrupted checkpoint slice,
+#                resume -- each at a different worker count): the
+#                mc_splitting statistics must be bit-identical, the
+#                batched 95% CI must cover the analytic p_true (~1.5e-8),
+#                no batch may go extinct, and both JSON documents pass
 #                check_bench_json.py --self
 #   fault smoke  an oic_mc campaign under the lossy fault preset: the run
 #                must degrade (degraded steps > 0) without ever leaving the
@@ -62,6 +69,7 @@ do_bench=1
 do_train=1
 do_cert=1
 do_mc=1
+do_mcrare=1
 do_fault=1
 do_serve=1
 do_format=1
@@ -74,22 +82,24 @@ while [[ $# -gt 0 ]]; do
     --config=*) config="${1#*=}"; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --build-dir=*) build_dir="${1#*=}"; shift ;;
-    --build-only) do_bench=0; do_train=0; do_cert=0; do_mc=0; do_fault=0
-                  do_serve=0; do_format=0; shift ;;
-    --bench-only) do_build=0; do_train=0; do_cert=0; do_mc=0; do_fault=0
-                  do_serve=0; do_format=0; shift ;;
-    --train-only) do_build=0; do_bench=0; do_cert=0; do_mc=0; do_fault=0
-                  do_serve=0; do_format=0; shift ;;
-    --cert-only) do_build=0; do_bench=0; do_train=0; do_mc=0; do_fault=0
-                 do_serve=0; do_format=0; shift ;;
-    --mc-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_fault=0
-               do_serve=0; do_format=0; shift ;;
+    --build-only) do_bench=0; do_train=0; do_cert=0; do_mc=0; do_mcrare=0
+                  do_fault=0; do_serve=0; do_format=0; shift ;;
+    --bench-only) do_build=0; do_train=0; do_cert=0; do_mc=0; do_mcrare=0
+                  do_fault=0; do_serve=0; do_format=0; shift ;;
+    --train-only) do_build=0; do_bench=0; do_cert=0; do_mc=0; do_mcrare=0
+                  do_fault=0; do_serve=0; do_format=0; shift ;;
+    --cert-only) do_build=0; do_bench=0; do_train=0; do_mc=0; do_mcrare=0
+                 do_fault=0; do_serve=0; do_format=0; shift ;;
+    --mc-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mcrare=0
+               do_fault=0; do_serve=0; do_format=0; shift ;;
+    --mc-rare-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
+                    do_fault=0; do_serve=0; do_format=0; shift ;;
     --fault-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
-                  do_serve=0; do_format=0; shift ;;
+                  do_mcrare=0; do_serve=0; do_format=0; shift ;;
     --serve-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
-                  do_fault=0; do_format=0; shift ;;
+                  do_mcrare=0; do_fault=0; do_format=0; shift ;;
     --format-only) do_build=0; do_bench=0; do_train=0; do_cert=0; do_mc=0
-                   do_fault=0; do_serve=0; shift ;;
+                   do_mcrare=0; do_fault=0; do_serve=0; shift ;;
     *) echo "ci.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -237,6 +247,62 @@ if a != b:
     sys.exit("mc smoke: resumed campaign statistics differ from the "
              "uninterrupted reference")
 print("mc smoke: checkpoint-resumed statistics are bit-identical")
+EOF
+fi
+
+if [[ ${do_mcrare} -eq 1 ]]; then
+  echo "=== mc-rare: importance splitting vs the rare1d analytic ground truth ==="
+  smoke_build="${repo_root}/build"
+  cmake -B "${smoke_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${smoke_build}" --target oic_mc -j"$(nproc)"
+  rare_dir="${smoke_build}/ci-mc-rare"
+  rm -rf "${rare_dir}"
+  mkdir -p "${rare_dir}"
+  # One seed of the coverage bed from tests/test_mc_splitting.cpp: the
+  # batched estimator's own 95% CI must cover the closed-form p_true
+  # (~1.5e-8, a probability crude counting at this budget cannot even
+  # see).  Sizing matches the test's coverage assertion (512 clones x 16
+  # independent batches, ~2 s).
+  rare_args=(--plants rare1d --splitting --split-trials 512 --split-batches 16
+             --steps 100 --seed 7)
+  # Uninterrupted reference...
+  "${smoke_build}/oic_mc" "${rare_args[@]}" --workers 2 \
+    --json "${rare_dir}/MC_rare_ref.json"
+  # ...vs an interrupted slice (checkpoint granularity is one splitting
+  # stage) resumed at a third worker count: neither slicing nor sharding
+  # may change a single reported digit.
+  "${smoke_build}/oic_mc" "${rare_args[@]}" --workers 1 --max-blocks 5 \
+    --checkpoint "${rare_dir}/rare.ck"
+  "${smoke_build}/oic_mc" "${rare_args[@]}" --workers 3 \
+    --checkpoint "${rare_dir}/rare.ck" --json "${rare_dir}/MC_rare_resumed.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${rare_dir}/MC_rare_ref.json"
+  python3 "${repo_root}/scripts/check_bench_json.py" --self \
+    "${rare_dir}/MC_rare_resumed.json"
+  python3 - "${rare_dir}/MC_rare_ref.json" \
+    "${rare_dir}/MC_rare_resumed.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+for doc in (a, b):  # drop timing / execution-only fields
+    doc["campaign"] = None
+    doc["config"]["workers"] = doc["config"]["checkpoint"] = None
+if a != b:
+    sys.exit("mc-rare: resumed splitting statistics differ from the "
+             "uninterrupted reference")
+cell = a["mc_splitting"]["cells"][0]
+unit = cell["units"][0]
+p_true = cell["p_true"]
+lo, hi = unit["ci95"]
+if not (0.0 < p_true < 1.0):
+    sys.exit("mc-rare: rare1d must report its analytic p_true")
+if not (lo <= p_true <= hi):
+    sys.exit(f"mc-rare: 95% CI [{lo:.3e}, {hi:.3e}] misses the analytic "
+             f"p_true {p_true:.3e}")
+if unit["extinct_batches"] != 0:
+    sys.exit("mc-rare: no batch may go extinct at this sizing")
+print(f"mc-rare: resume bit-identical; CI [{lo:.3e}, {hi:.3e}] covers "
+      f"p_true {p_true:.3e} ({unit['episodes']} episodes, "
+      f"p_hat {unit['p_hat']:.3e})")
 EOF
 fi
 

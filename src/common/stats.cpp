@@ -100,10 +100,25 @@ double Welford::max() const {
   return max_;
 }
 
+double t_quantile_975(std::size_t dof) {
+  // Standard two-sided 95% Student-t critical values; the asymptote past
+  // dof 30 is within 0.9% of exact (t_31 = 2.0395 vs 2.0423 at 30).
+  static const double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  OIC_REQUIRE(dof >= 1, "t_quantile_975: need at least one degree of freedom");
+  if (dof <= 30) return kTable[dof - 1];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return kZ95;
+}
+
 Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
-  OIC_REQUIRE(trials > 0, "wilson_interval: need at least one trial");
   OIC_REQUIRE(successes <= trials, "wilson_interval: successes exceed trials");
   OIC_REQUIRE(z > 0.0, "wilson_interval: z must be positive");
+  if (trials == 0) return Interval{0.0, 1.0};
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
   const double z2 = z * z;

@@ -83,12 +83,19 @@ struct Interval {
 /// Two-sided standard-normal quantile for 95% coverage (z_{0.975}).
 inline constexpr double kZ95 = 1.959963984540054;
 
+/// Two-sided Student-t quantile t_{dof, 0.975} for small-sample 95%
+/// intervals over independent replicate estimates (the splitting layer's
+/// batch combiner).  Exact table for dof <= 30, kZ95 asymptote above;
+/// throws PreconditionError for dof == 0 (one replicate has no spread).
+double t_quantile_975(std::size_t dof);
+
 /// Wilson score interval for a binomial proportion: `successes` out of
 /// `trials`, normal quantile `z`.  Well-behaved at the boundaries the
 /// campaign layer cares about -- zero observed violations still yields a
 /// strictly positive upper bound of order z^2 / n, which is the honest
-/// "no violations seen over N episodes" statement.  Throws
-/// PreconditionError when trials == 0 or successes > trials.
+/// "no violations seen over N episodes" statement.  Zero trials carry no
+/// information, so trials == 0 returns the vacuous interval [0, 1].
+/// Throws PreconditionError when successes > trials.
 Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
                          double z = kZ95);
 

@@ -44,6 +44,7 @@ EpisodeResult EpisodeEngine::run(const CaseData& data) {
     if (!out.left_x && !ic_.sets().x.contains(x_next_, 1e-6)) {
       out.left_x = true;
     }
+    if (observer_) observer_(t, x_next_);
     x_ = x_next_;
   }
   out.skipped = ic_.skipped_steps();
@@ -96,6 +97,7 @@ EpisodeResult EpisodeEngine::run_faulted(const CaseData& data) {
       prev_meas_x_ = meas.x;
       prev_u_cmd_ = d.u;
     }
+    if (observer_) observer_(t, x_next_);
     x_ = x_next_;
   }
   out.skipped = ic_.skipped_steps();

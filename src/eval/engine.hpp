@@ -60,6 +60,16 @@ class EpisodeEngine {
   /// The policy driving this engine.
   const core::SkipPolicy& policy() const { return policy_; }
 
+  /// Per-step trajectory observer: called after every simulated step with
+  /// (t, x_{t+1}).  The importance-splitting layer hooks this to compute
+  /// level traces (distance-to-boundary) without the engine storing
+  /// trajectories.  Pass {} to clear.  Observers must not touch the
+  /// engine (re-entrancy is undefined); they do not affect any result
+  /// field, so the bit-parity contract is unchanged.
+  void set_observer(std::function<void(std::size_t, const linalg::Vector&)> obs) {
+    observer_ = std::move(obs);
+  }
+
  private:
   EpisodeResult run_faulted(const CaseData& data);
 
@@ -73,6 +83,7 @@ class EpisodeEngine {
   linalg::Vector w_;        ///< disturbance scratch (dimension nw)
   linalg::Vector prev_meas_x_;  ///< last fresh measured state (fault path)
   linalg::Vector prev_u_cmd_;   ///< input commanded at that step (fault path)
+  std::function<void(std::size_t, const linalg::Vector&)> observer_;
 };
 
 /// Per-worker policy set builder for the parallel sweep.  Invoked once per

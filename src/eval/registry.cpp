@@ -181,6 +181,39 @@ PlantInfo toy2d_info() {
   return info;
 }
 
+// ---- Analytic rare-event bed (test-only) ----------------------------------
+
+PlantInfo rare1d_info() {
+  PlantInfo info;
+  info.id = "rare1d";
+  info.description =
+      "analytic rare-event bed: scalar bounded+Gaussian excitation with a "
+      "closed-form rare-hit-count probability (splitting validation only)";
+  // The bed has no dynamics, controller, or certificate: its trajectories
+  // are simulated analytically inside mc::splitting, and the closed-form
+  // answer is what the splitting estimator is validated against.  Any
+  // attempt to build it as a control plant fails loudly.
+  info.make_plant = [](const cert::Provider&) -> std::unique_ptr<PlantCase> {
+    throw PreconditionError(
+        "plant 'rare1d' is an analytic splitting test bed; it has no "
+        "controller -- use oic_mc --splitting");
+  };
+  info.make_model = []() -> cert::PlantModel {
+    throw PreconditionError(
+        "plant 'rare1d' is an analytic splitting test bed; it has no "
+        "certificate model");
+  };
+  info.scenario_ids = {"analytic"};
+  info.make_scenario = [](const std::string&) -> Scenario {
+    throw PreconditionError(
+        "plant 'rare1d' is an analytic splitting test bed; it has no "
+        "deterministic scenarios");
+  };
+  info.signal_band = {-1.0, 1.0};
+  info.test_only = true;
+  return info;
+}
+
 }  // namespace
 
 void ScenarioRegistry::add(PlantInfo info) {
@@ -205,6 +238,15 @@ std::vector<std::string> ScenarioRegistry::plant_ids() const {
   std::vector<std::string> ids;
   ids.reserve(plants_.size());
   for (const auto& p : plants_) ids.push_back(p.id);
+  return ids;
+}
+
+std::vector<std::string> ScenarioRegistry::production_plant_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(plants_.size());
+  for (const auto& p : plants_) {
+    if (!p.test_only) ids.push_back(p.id);
+  }
   return ids;
 }
 
@@ -270,6 +312,7 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     r.add(lane_keep_info());
     r.add(quad_alt_info());
     r.add(toy2d_info());
+    r.add(rare1d_info());
     for (const auto& preset : fault::standard_fault_presets()) {
       r.add_fault_preset(preset);
     }

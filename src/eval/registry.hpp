@@ -41,6 +41,10 @@ struct PlantInfo {
   /// The plant's scalar-signal envelope: what the Monte-Carlo campaign
   /// layer samples randomized scenario families within (mc::ScenarioFamily).
   SignalBand signal_band;
+  /// Ground-truth / validation plants (e.g. "rare1d", the analytic
+  /// rare-event bed): listed and addressable by id, but excluded from
+  /// every default sweep/cert/bench grid.  Their factories may throw.
+  bool test_only = false;
 };
 
 /// Ordered plant catalogue with by-id lookup.
@@ -54,6 +58,10 @@ class ScenarioRegistry {
 
   /// Registered plant ids, in registration order.
   std::vector<std::string> plant_ids() const;
+
+  /// Plant ids with test_only plants filtered out -- the set every driver
+  /// uses when the user did not name plants explicitly.
+  std::vector<std::string> production_plant_ids() const;
 
   bool has_plant(const std::string& id) const;
 
@@ -90,9 +98,9 @@ class ScenarioRegistry {
   fault::FaultSpec resolve_faults(const std::string& text) const;
 
   /// The built-in catalogue: the ACC case study (Fig.4, Ex.1..Ex.10, Jam),
-  /// lane keeping, quadrotor altitude hold, and the plain second-order
-  /// demo plant ("toy2d"), plus the standard fault presets.  Built once,
-  /// immutable.
+  /// lane keeping, quadrotor altitude hold, the plain second-order demo
+  /// plant ("toy2d"), the test-only analytic rare-event bed ("rare1d"),
+  /// plus the standard fault presets.  Built once, immutable.
   static const ScenarioRegistry& builtin();
 
  private:

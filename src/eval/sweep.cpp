@@ -65,7 +65,7 @@ SweepResult run_sweep(const ScenarioRegistry& registry, const SweepSpec& spec) {
 
   const bool plants_defaulted = spec.plants.empty();
   const std::vector<std::string> plant_ids =
-      plants_defaulted ? registry.plant_ids() : spec.plants;
+      plants_defaulted ? registry.production_plant_ids() : spec.plants;
   OIC_REQUIRE(!plant_ids.empty(), "run_sweep: registry is empty");
 
   // Resolve the grid up front: ids, scenario membership, policies.  Plants

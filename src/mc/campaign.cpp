@@ -41,9 +41,26 @@ struct Grid {
 
 Grid resolve_grid(const eval::ScenarioRegistry& registry, const CampaignSpec& spec) {
   Grid grid;
-  grid.plants = spec.plants.empty() ? registry.plant_ids() : spec.plants;
+  // Defaulted grids take the production catalogue only: test-only plants
+  // (the rare1d analytic bed) must be named explicitly.
+  grid.plants = spec.plants.empty() ? registry.production_plant_ids() : spec.plants;
   OIC_REQUIRE(!grid.plants.empty(), "run_campaign: registry is empty");
   for (const auto& pid : grid.plants) (void)registry.plant(pid);  // typo check
+  const bool rare = std::find(grid.plants.begin(), grid.plants.end(),
+                              std::string(kRare1dPlantId)) != grid.plants.end();
+  if (rare) {
+    // The analytic bed has no real scenario families (its episodes are
+    // i.i.d. by construction); it forms exactly one cell.
+    OIC_REQUIRE(grid.plants.size() == 1,
+                "run_campaign: the rare1d analytic bed cannot share a grid "
+                "with other plants");
+    grid.families = spec.families.empty() ? std::vector<std::string>{"analytic"}
+                                          : spec.families;
+    OIC_REQUIRE(grid.families == std::vector<std::string>{"analytic"},
+                "run_campaign: rare1d supports only the 'analytic' "
+                "pseudo-family");
+    return grid;
+  }
   grid.families = spec.families.empty() ? standard_family_ids() : spec.families;
   // Families are band-generic; validate the ids once against any band.
   const eval::SignalBand& band = registry.plant(grid.plants.front()).signal_band;
@@ -120,6 +137,227 @@ PolicyStats read_policy_stats(std::istream& is) {
   ps.skipped = read_welford(is);
   ps.degraded = read_welford(is);
   return ps;
+}
+
+double read_finite(std::istream& is, const char* what) {
+  double v = 0.0;
+  if (!(is >> v)) {
+    throw NumericalError(std::string("mc checkpoint: truncated ") + what);
+  }
+  if (!std::isfinite(v)) {
+    throw NumericalError(std::string("mc checkpoint: non-finite ") + what);
+  }
+  return v;
+}
+
+/// Read a level ladder of `n` entries and reject non-monotone / NaN /
+/// non-negative ladders (validate_levels) -- a corrupted checkpoint must
+/// not seed a nonsense splitting run.
+std::vector<double> read_ladder(std::istream& is, std::size_t n, const char* what) {
+  if (n > 64) {
+    throw NumericalError(std::string("mc checkpoint: oversized ") + what);
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(read_finite(is, what));
+  validate_levels(out);
+  return out;
+}
+
+void write_split_cell(std::ostream& os, const SplitCellResult& sc) {
+  check_token(sc.plant, "plant id");
+  check_token(sc.family, "family id");
+  os << "scell " << sc.plant << ' ' << sc.family << ' ' << (sc.falsified ? 1 : 0)
+     << ' ' << sc.seeded_levels.size();
+  for (double lv : sc.seeded_levels) os << ' ' << lv;
+  os << ' ' << sc.units.size() << '\n';
+  if (sc.falsified) {
+    const FalsifyResult& f = sc.falsify;
+    os << "falsify " << f.worst_level << ' ' << (f.violation ? 1 : 0) << ' '
+       << f.episodes << ' ' << f.suggested_levels.size();
+    for (double lv : f.suggested_levels) os << ' ' << lv;
+    os << '\n';
+    const MixtureParams& p = f.worst;
+    check_token(p.label, "falsify label");
+    os << "params " << p.label << ' ' << p.center << ' ' << p.lo << ' ' << p.hi
+       << ' ' << p.noise_gain << ' ' << p.noise_alpha << ' ' << p.burst_rate
+       << ' ' << p.burst_len_min << ' ' << p.burst_len_max << ' ' << p.burst_amp
+       << ' ' << p.ramp_rate << ' ' << p.ramp_span << ' ' << p.ramp_slew << ' '
+       << p.sines.size();
+    for (const auto& s : p.sines) {
+      os << ' ' << s.amplitude << ' ' << s.omega << ' ' << s.phase;
+    }
+    os << '\n';
+  }
+  for (const auto& unit : sc.units) {
+    check_token(unit.policy, "unit policy name");
+    std::uint64_t trials = 0;
+    for (const SplitBatch& b : unit.state.batches) {
+      trials = std::max(trials, b.estimate.trials);
+    }
+    os << "unit " << unit.policy << ' ' << (unit.state.done ? 1 : 0) << ' '
+       << trials << ' ' << unit.state.batches.size() << '\n';
+    for (const SplitBatch& b : unit.state.batches) {
+      const SplitEstimate& e = b.estimate;
+      os << "batch " << (b.done ? 1 : 0) << ' ' << e.episodes << ' '
+         << e.levels.size() << '\n';
+      for (std::size_t k = 0; k < e.levels.size(); ++k) {
+        os << "stage " << e.levels[k] << ' ' << e.survivors[k] << '\n';
+      }
+      os << "frontier " << b.frontier.size() << '\n';
+      for (const Lineage& lin : b.frontier) {
+        os << "lin " << lin.size();
+        for (const LineageEntry& le : lin) {
+          os << ' ' << le.from_step << ' ' << le.seed;
+        }
+        os << '\n';
+      }
+    }
+  }
+}
+
+SplitCellResult read_split_cell(std::istream& is) {
+  std::string tag;
+  SplitCellResult sc;
+  int falsified = 0;
+  std::size_t nseeded = 0;
+  if (!(is >> tag) || tag != "scell" ||
+      !(is >> sc.plant >> sc.family >> falsified >> nseeded) ||
+      (falsified != 0 && falsified != 1)) {
+    throw NumericalError("mc checkpoint: bad splitting cell header");
+  }
+  sc.falsified = falsified == 1;
+  sc.seeded_levels = read_ladder(is, nseeded, "seeded ladder");
+  std::size_t nunits = 0;
+  if (!(is >> nunits) || nunits > 256) {
+    throw NumericalError("mc checkpoint: bad splitting unit count");
+  }
+  if (sc.falsified) {
+    FalsifyResult& f = sc.falsify;
+    int viol = 0;
+    std::size_t nsug = 0;
+    if (!(is >> tag) || tag != "falsify") {
+      throw NumericalError("mc checkpoint: expected a falsify line");
+    }
+    f.worst_level = read_finite(is, "falsify objective");
+    if (!(is >> viol >> f.episodes >> nsug) || (viol != 0 && viol != 1)) {
+      throw NumericalError("mc checkpoint: truncated falsify line");
+    }
+    f.violation = viol == 1;
+    OIC_REQUIRE(f.violation == (f.worst_level >= 0.0),
+                "mc checkpoint: falsify violation flag disagrees with the "
+                "objective");
+    f.suggested_levels = read_ladder(is, nsug, "suggested ladder");
+    MixtureParams& p = f.worst;
+    if (!(is >> tag) || tag != "params" || !(is >> p.label)) {
+      throw NumericalError("mc checkpoint: expected a params line");
+    }
+    p.center = read_finite(is, "falsify params");
+    p.lo = read_finite(is, "falsify params");
+    p.hi = read_finite(is, "falsify params");
+    p.noise_gain = read_finite(is, "falsify params");
+    p.noise_alpha = read_finite(is, "falsify params");
+    p.burst_rate = read_finite(is, "falsify params");
+    std::size_t nsines = 0;
+    if (!(is >> p.burst_len_min >> p.burst_len_max)) {
+      throw NumericalError("mc checkpoint: truncated params line");
+    }
+    p.burst_amp = read_finite(is, "falsify params");
+    p.ramp_rate = read_finite(is, "falsify params");
+    p.ramp_span = read_finite(is, "falsify params");
+    p.ramp_slew = read_finite(is, "falsify params");
+    if (!(is >> nsines) || nsines > 16) {
+      throw NumericalError("mc checkpoint: bad sine count");
+    }
+    for (std::size_t i = 0; i < nsines; ++i) {
+      SineComponent s;
+      s.amplitude = read_finite(is, "sine component");
+      s.omega = read_finite(is, "sine component");
+      s.phase = read_finite(is, "sine component");
+      p.sines.push_back(s);
+    }
+    // Constructing the profile runs the full MixtureParams validation, so
+    // a corrupted parameter vector is rejected here and not at use time.
+    (void)MixtureProfile(p);
+  }
+  for (std::size_t u = 0; u < nunits; ++u) {
+    SplitUnitResult unit;
+    int done = 0;
+    std::uint64_t trials = 0;
+    std::size_t nbatches = 0;
+    if (!(is >> tag) || tag != "unit" ||
+        !(is >> unit.policy >> done >> trials >> nbatches) ||
+        (done != 0 && done != 1) || nbatches > 4096) {
+      throw NumericalError("mc checkpoint: bad splitting unit header");
+    }
+    unit.state.done = done == 1;
+    OIC_REQUIRE(nbatches == 0 || trials >= 1,
+                "mc checkpoint: splitting unit with batches but zero trials");
+    OIC_REQUIRE(!unit.state.done || nbatches > 0,
+                "mc checkpoint: a done unit must carry its batches");
+    for (std::size_t bi = 0; bi < nbatches; ++bi) {
+      SplitBatch batch;
+      SplitEstimate& e = batch.estimate;
+      e.trials = trials;
+      int bdone = 0;
+      std::size_t nstages = 0;
+      if (!(is >> tag) || tag != "batch" ||
+          !(is >> bdone >> e.episodes >> nstages) ||
+          (bdone != 0 && bdone != 1) || nstages > 4096) {
+        throw NumericalError("mc checkpoint: bad splitting batch header");
+      }
+      batch.done = bdone == 1;
+      for (std::size_t k = 0; k < nstages; ++k) {
+        std::uint64_t survivors = 0;
+        if (!(is >> tag) || tag != "stage") {
+          throw NumericalError("mc checkpoint: expected a stage line");
+        }
+        const double level = read_finite(is, "stage level");
+        if (!(is >> survivors)) {
+          throw NumericalError("mc checkpoint: truncated stage line");
+        }
+        OIC_REQUIRE(survivors <= e.trials,
+                    "mc checkpoint: stage survivors exceed the trial count");
+        OIC_REQUIRE(level <= 0.0, "mc checkpoint: stage level above the boundary");
+        OIC_REQUIRE(e.levels.empty() || level > e.levels.back(),
+                    "mc checkpoint: stage ladder must be strictly increasing");
+        e.levels.push_back(level);
+        e.survivors.push_back(survivors);
+      }
+      std::size_t nfront = 0;
+      if (!(is >> tag) || tag != "frontier" || !(is >> nfront) || nfront > 65536) {
+        throw NumericalError("mc checkpoint: bad frontier header");
+      }
+      OIC_REQUIRE(nfront == 0 || nfront == e.trials,
+                  "mc checkpoint: frontier size must be 0 or the trial count");
+      OIC_REQUIRE(!batch.done || nfront == 0,
+                  "mc checkpoint: a done batch cannot carry a frontier");
+      for (std::size_t j = 0; j < nfront; ++j) {
+        std::size_t nentries = 0;
+        if (!(is >> tag) || tag != "lin" || !(is >> nentries) || nentries > 4096) {
+          throw NumericalError("mc checkpoint: bad lineage header");
+        }
+        Lineage lin;
+        lin.reserve(nentries);
+        for (std::size_t i = 0; i < nentries; ++i) {
+          LineageEntry le;
+          if (!(is >> le.from_step >> le.seed)) {
+            throw NumericalError("mc checkpoint: truncated lineage");
+          }
+          lin.push_back(le);
+        }
+        // Structural validation only; the episode-length bound is enforced
+        // against the resuming spec in run_campaign.
+        validate_lineage(lin, static_cast<std::size_t>(1) << 20);
+        batch.frontier.push_back(std::move(lin));
+      }
+      OIC_REQUIRE(!unit.state.done || batch.done,
+                  "mc checkpoint: a done unit cannot carry an unfinished batch");
+      unit.state.batches.push_back(std::move(batch));
+    }
+    sc.units.push_back(std::move(unit));
+  }
+  return sc;
 }
 
 /// Accumulate the fault accounting of one episode (all zero when the
@@ -232,6 +470,23 @@ void append_fault_json(std::string& out, const PolicyStats& ps) {
                 ps.degraded_rate(), wilson.lo, wilson.hi);
 }
 
+void append_double_array(std::string& out, const std::vector<double>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    jsonout::append_format(out, i ? ", %.17g" : "%.17g", v[i]);
+  }
+  out += ']';
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    jsonout::append_format(out, i ? ", %llu" : "%llu",
+                           static_cast<unsigned long long>(v[i]));
+  }
+  out += ']';
+}
+
 }  // namespace
 
 void PolicyStats::merge(const PolicyStats& other) {
@@ -270,6 +525,23 @@ std::uint64_t spec_fingerprint(const eval::ScenarioRegistry& registry,
   // equally regardless of CLI spelling ("" for fault-free campaigns).  A
   // lossless checkpoint can then never resume a lossy campaign.
   h.str(registry.resolve_faults(spec.faults).canonical());
+  // Rare-event mode joins the fingerprint only when active, so every
+  // pre-splitting checkpoint keeps its historical fingerprint.
+  if (spec.splitting || spec.falsify) {
+    h.str("split");
+    h.u64(spec.splitting ? 1 : 0);
+    h.u64(spec.falsify ? 1 : 0);
+    h.u64(spec.split_trials);
+    h.u64(spec.split_batches);
+    h.u64(spec.split_stages);
+    h.f64(spec.split_quantile);
+    h.u64(spec.levels.size());
+    for (double lv : spec.levels) h.f64(lv);
+    h.u64(spec.falsify_iterations);
+    h.u64(spec.falsify_population);
+    h.u64(spec.falsify_elites);
+    h.u64(spec.falsify_probes);
+  }
   return h.value();
 }
 
@@ -285,6 +557,10 @@ void save_checkpoint(const Checkpoint& ck, std::ostream& os) {
        << ' ' << cell.episodes << ' ' << cell.policies.size() << '\n';
     write_policy_stats(os, cell.baseline);
     for (const auto& ps : cell.policies) write_policy_stats(os, ps);
+  }
+  if (!ck.split_cells.empty()) {
+    os << "splitting " << ck.split_cells.size() << '\n';
+    for (const auto& sc : ck.split_cells) write_split_cell(os, sc);
   }
   os << "end\n";
   if (!os) throw NumericalError("save_checkpoint: stream write failed");
@@ -322,7 +598,22 @@ Checkpoint load_checkpoint(std::istream& is) {
     }
     ck.cells.push_back(std::move(cell));
   }
-  if (!(is >> tag) || tag != "end") {
+  if (!(is >> tag)) {
+    throw NumericalError("load_checkpoint: truncated document (missing end)");
+  }
+  if (tag == "splitting") {
+    std::size_t n = 0;
+    if (!(is >> n) || n > 65536) {
+      throw NumericalError("load_checkpoint: bad splitting cell count");
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      ck.split_cells.push_back(read_split_cell(is));
+    }
+    if (!(is >> tag)) {
+      throw NumericalError("load_checkpoint: truncated document (missing end)");
+    }
+  }
+  if (tag != "end") {
     throw NumericalError("load_checkpoint: truncated document (missing end)");
   }
   return ck;
@@ -373,8 +664,239 @@ Checkpoint load_checkpoint_file(const std::string& path) {
   return load_checkpoint(is);
 }
 
+namespace {
+
+/// The rare-event campaign body (spec.splitting || spec.falsify): per
+/// (plant, family) cell, optionally run the CE falsifier, then estimate
+/// each unit (always-run baseline + every policy; the rare1d bed has one
+/// analytic unit) by fixed-effort splitting.  The checkpoint granularity
+/// is one splitting stage (or one falsifier run), and max_blocks counts
+/// stages -- the determinism contract of the crude campaign carries over
+/// because every trajectory is a pure function of (seed, cell, unit,
+/// stage, trial).
+CampaignResult run_split_campaign(const eval::ScenarioRegistry& registry,
+                                  const CampaignSpec& spec) {
+  OIC_REQUIRE(spec.steps >= 1, "run_campaign: need at least one step");
+  OIC_REQUIRE(spec.split_trials >= 1,
+              "run_campaign: need at least one splitting trial per stage");
+  OIC_REQUIRE(spec.split_stages >= 1,
+              "run_campaign: need at least one splitting stage");
+  OIC_REQUIRE(spec.split_quantile > 0.0 && spec.split_quantile < 1.0,
+              "run_campaign: split quantile must lie in (0, 1)");
+  validate_levels(spec.levels);
+  OIC_REQUIRE(spec.max_blocks == 0 || !spec.checkpoint.empty(),
+              "run_campaign: max_blocks without a checkpoint discards the "
+              "executed blocks; set spec.checkpoint to make slices resumable");
+  const fault::FaultSpec faults = registry.resolve_faults(spec.faults);
+  OIC_REQUIRE(!faults.active(),
+              "run_campaign: splitting/falsification requires fault-free "
+              "episodes (lineage replay carries no fault-stream hand-off)");
+
+  const Grid grid = resolve_grid(registry, spec);
+  const bool rare = grid.plants.front() == kRare1dPlantId;
+  OIC_REQUIRE(spec.splitting || !rare,
+              "run_campaign: the rare1d analytic bed is splitting-only "
+              "(enable spec.splitting)");
+
+  const eval::PolicySetFactory factory = eval::make_policy_factory(spec.policies);
+  const std::size_t num_policies = spec.policies.size();
+  std::vector<std::string> policy_names;
+  if (!rare) {
+    eval::require_policies_trained_for(spec.policies, grid.plants, "run_campaign");
+    const auto probe = factory();
+    for (const auto& p : probe) policy_names.push_back(p->name());
+  }
+
+  std::unique_ptr<cert::Store> store;
+  cert::Provider provider;
+  if (!spec.cert_dir.empty()) {
+    store = std::make_unique<cert::Store>(spec.cert_dir);
+    provider = store->provider();
+  }
+
+  const std::uint64_t fingerprint = spec_fingerprint(registry, spec);
+  Checkpoint restored;
+  bool have_checkpoint = false;
+  if (!spec.checkpoint.empty() && std::filesystem::exists(spec.checkpoint)) {
+    restored = load_checkpoint_file(spec.checkpoint);
+    OIC_REQUIRE(restored.fingerprint == fingerprint,
+                "run_campaign: checkpoint '" + spec.checkpoint +
+                    "' belongs to a different campaign (fingerprint mismatch); "
+                    "delete it or fix the spec");
+    have_checkpoint = true;
+  }
+
+  CampaignResult out;
+  out.faults = faults;
+  const auto t0 = Clock::now();
+  std::unique_ptr<eval::PlantCase> plant;
+  std::string plant_built;
+  std::size_t cell_index = 0;
+  std::uint64_t budget_used = 0;
+  bool stopped = false;
+
+  const auto write_ck = [&](const SplitCellResult& current) {
+    if (spec.checkpoint.empty()) return;
+    Checkpoint ck;
+    ck.fingerprint = fingerprint;
+    ck.split_cells = out.split_cells;
+    ck.split_cells.push_back(current);
+    save_checkpoint_file(ck, spec.checkpoint);
+  };
+  const auto budget_tick = [&] {
+    ++budget_used;
+    if (spec.max_blocks > 0 && budget_used >= spec.max_blocks) stopped = true;
+  };
+
+  for (const auto& pid : grid.plants) {
+    const eval::PlantInfo& info = registry.plant(pid);
+    for (const auto& fid : grid.families) {
+      SplitCellResult cell;
+      if (have_checkpoint && cell_index < restored.split_cells.size()) {
+        cell = restored.split_cells[cell_index];
+        OIC_REQUIRE(cell.plant == pid && cell.family == fid,
+                    "run_campaign: checkpoint cell grid mismatch");
+        if (cell.falsified) ++out.resumed_blocks;
+        for (const auto& unit : cell.units) {
+          out.resumed_blocks += unit.state.stages_done();
+          for (const SplitBatch& batch : unit.state.batches) {
+            for (const Lineage& lin : batch.frontier) {
+              validate_lineage(lin, spec.steps);
+            }
+          }
+        }
+      } else {
+        cell.plant = pid;
+        cell.family = fid;
+      }
+      const std::uint64_t cell_seed = derive_stream(spec.seed, cell_index);
+
+      if (rare) {
+        cell.p_true = rare1d_episode_p(Rare1dParams{}, spec.steps);
+        if (cell.units.empty()) cell.units.push_back({"analytic", {}});
+        OIC_REQUIRE(cell.units.size() == 1 && cell.units[0].policy == "analytic",
+                    "run_campaign: checkpoint unit set mismatch");
+        cell.seeded_levels = spec.levels;
+      } else {
+        if (plant_built != pid) {
+          plant = info.make_plant(provider);
+          plant_built = pid;
+        }
+        const ScenarioFamily family = family_by_id(info.signal_band, fid);
+        if (spec.falsify && !cell.falsified && !stopped) {
+          FalsifyConfig fc;
+          fc.iterations = spec.falsify_iterations;
+          fc.population = spec.falsify_population;
+          fc.elites = spec.falsify_elites;
+          fc.probes = spec.falsify_probes;
+          fc.steps = spec.steps;
+          fc.workers = spec.workers;
+          // Own stream tag, so falsification never perturbs unit seeds.
+          fc.seed = derive_stream(cell_seed, 0xFA15);
+          cell.falsify = run_falsification(*plant, family, factory, fc);
+          cell.falsified = true;
+          out.episodes_run += cell.falsify.episodes;
+          write_ck(cell);
+          budget_tick();
+        }
+        if (spec.splitting) {
+          if (cell.units.empty()) {
+            cell.units.push_back({"always-run", {}});
+            for (const auto& name : policy_names) cell.units.push_back({name, {}});
+          }
+          OIC_REQUIRE(cell.units.size() == 1 + num_policies &&
+                          cell.units[0].policy == "always-run",
+                      "run_campaign: checkpoint unit set mismatch");
+          for (std::size_t p = 0; p < num_policies; ++p) {
+            OIC_REQUIRE(cell.units[1 + p].policy == policy_names[p],
+                        "run_campaign: checkpoint policy set mismatch");
+          }
+          if (cell.seeded_levels.empty()) {
+            cell.seeded_levels = !spec.levels.empty()
+                                     ? spec.levels
+                                     : (cell.falsified
+                                            ? cell.falsify.suggested_levels
+                                            : std::vector<double>{});
+          }
+        }
+      }
+
+      if (spec.splitting) {
+        for (std::size_t u = 0; u < cell.units.size() && !stopped; ++u) {
+          SplitUnitResult& unit = cell.units[u];
+          if (unit.state.done) continue;
+          SplitConfig scfg;
+          scfg.trials = spec.split_trials;
+          scfg.batches = spec.split_batches;
+          scfg.max_stages = spec.split_stages;
+          scfg.levels = cell.seeded_levels;
+          scfg.quantile = spec.split_quantile;
+          scfg.seed = derive_stream(cell_seed, 0x5147 + u);
+          scfg.workers = spec.workers;
+          SplitProcessFactory pf;
+          if (rare) {
+            pf = [steps = spec.steps] {
+              return make_rare1d_process(Rare1dParams{}, steps);
+            };
+          } else {
+            pf = [&plant = *plant, &factory, u, steps = spec.steps,
+                  &info, &fid] {
+              const ScenarioFamily fam = family_by_id(info.signal_band, fid);
+              std::unique_ptr<core::SkipPolicy> pol;
+              if (u > 0) {
+                auto set = factory();
+                pol = std::move(set[u - 1]);
+              }
+              return make_plant_split_process(plant, fam, std::move(pol), steps);
+            };
+          }
+          SplitRunner runner(std::move(pf), scfg);
+          while (!unit.state.done && !stopped) {
+            const std::uint64_t before = unit.state.episodes();
+            runner.advance(unit.state);
+            out.episodes_run += unit.state.episodes() - before;
+            write_ck(cell);
+            budget_tick();
+          }
+        }
+      }
+
+      out.split_cells.push_back(std::move(cell));
+      ++cell_index;
+      if (stopped) break;
+    }
+    if (stopped) break;
+  }
+
+  out.wall_s = seconds_since(t0);
+  out.total_steps = out.episodes_run * spec.steps;
+  for (const auto& cell : out.split_cells) {
+    if (cell.falsified) out.episodes += cell.falsify.episodes;
+    const bool analytic = cell.p_true >= 0.0;
+    if (cell.falsified && cell.falsify.violation) out.safety_violations = true;
+    for (const auto& unit : cell.units) {
+      out.episodes += unit.state.episodes();
+      // A real plant reaching the violation boundary with a surviving
+      // clone is a hard safety violation (Theorem 1 says: never).  The
+      // rare1d bed is *supposed* to violate -- that is the ground truth.
+      if (analytic) continue;
+      for (const SplitBatch& b : unit.state.batches) {
+        const SplitEstimate& e = b.estimate;
+        if (!e.levels.empty() && e.levels.back() >= 0.0 &&
+            e.survivors.back() > 0) {
+          out.safety_violations = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const eval::ScenarioRegistry& registry,
                             const CampaignSpec& spec) {
+  if (spec.splitting || spec.falsify) return run_split_campaign(registry, spec);
   OIC_REQUIRE(spec.episodes >= 1, "run_campaign: need at least one episode");
   OIC_REQUIRE(spec.steps >= 1, "run_campaign: need at least one step");
   OIC_REQUIRE(spec.block >= 1, "run_campaign: need a positive block size");
@@ -601,6 +1123,19 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
   append_string(out, spec.checkpoint);
   out += ", \"faults\": ";
   append_string(out, result.faults.canonical());
+  out += ", \"splitting\": ";
+  out += spec.splitting ? "true" : "false";
+  out += ", \"falsify\": ";
+  out += spec.falsify ? "true" : "false";
+  append_format(out,
+                ", \"split_trials\": %llu, \"split_batches\": %llu, "
+                "\"split_stages\": %llu, "
+                "\"split_quantile\": %.17g, \"levels\": ",
+                static_cast<unsigned long long>(spec.split_trials),
+                static_cast<unsigned long long>(spec.split_batches),
+                static_cast<unsigned long long>(spec.split_stages),
+                spec.split_quantile);
+  append_double_array(out, spec.levels);
   out += "},\n";
 
   append_format(out,
@@ -611,6 +1146,92 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
                 static_cast<unsigned long long>(result.episodes_run),
                 result.episodes_per_s(), result.step_ns(), result.cells.size(),
                 static_cast<unsigned long long>(result.resumed_blocks));
+
+  if (spec.splitting || spec.falsify) {
+    out += "  \"mc_splitting\": {\"cells\": [\n";
+    for (std::size_t i = 0; i < result.split_cells.size(); ++i) {
+      const SplitCellResult& cell = result.split_cells[i];
+      out += "    {\"plant\": ";
+      append_string(out, cell.plant);
+      out += ", \"family\": ";
+      append_string(out, cell.family);
+      if (cell.p_true >= 0.0) {
+        append_format(out, ", \"p_true\": %.17g", cell.p_true);
+      }
+      out += ", \"seeded_levels\": ";
+      append_double_array(out, cell.seeded_levels);
+      if (cell.falsified) {
+        const FalsifyResult& f = cell.falsify;
+        append_format(out,
+                      ",\n     \"falsify\": {\"worst_level\": %.17g, "
+                      "\"violation\": %s, \"episodes\": %llu, "
+                      "\"suggested_levels\": ",
+                      f.worst_level, f.violation ? "true" : "false",
+                      static_cast<unsigned long long>(f.episodes));
+        append_double_array(out, f.suggested_levels);
+        const MixtureParams& p = f.worst;
+        out += ", \"worst\": {\"label\": ";
+        append_string(out, p.label);
+        append_format(out, ", \"center\": %.17g, \"sines\": [", p.center);
+        for (std::size_t s = 0; s < p.sines.size(); ++s) {
+          append_format(out, s ? ", [%.17g, %.17g, %.17g]" : "[%.17g, %.17g, %.17g]",
+                        p.sines[s].amplitude, p.sines[s].omega, p.sines[s].phase);
+        }
+        append_format(out,
+                      "], \"noise_gain\": %.17g, \"noise_alpha\": %.17g, "
+                      "\"burst_rate\": %.17g, \"burst_len\": [%zu, %zu], "
+                      "\"burst_amp\": %.17g, \"ramp_rate\": %.17g, "
+                      "\"ramp_span\": %.17g, \"ramp_slew\": %.17g}}",
+                      p.noise_gain, p.noise_alpha, p.burst_rate, p.burst_len_min,
+                      p.burst_len_max, p.burst_amp, p.ramp_rate, p.ramp_span,
+                      p.ramp_slew);
+      }
+      out += ",\n     \"units\": [\n";
+      for (std::size_t u = 0; u < cell.units.size(); ++u) {
+        const SplitUnitResult& unit = cell.units[u];
+        const SplitState& st = unit.state;
+        std::uint64_t trials = 0;
+        for (const SplitBatch& b : st.batches) {
+          trials = std::max(trials, b.estimate.trials);
+        }
+        out += "      {\"policy\": ";
+        append_string(out, unit.policy);
+        const Interval ci = st.ci95();
+        append_format(out,
+                      ", \"done\": %s, \"trials\": %llu, "
+                      "\"episodes\": %llu, \"extinct_batches\": %zu,\n       "
+                      "\"p_hat\": %.17g, \"ci95\": [%.17g, %.17g], "
+                      "\"batches\": [\n",
+                      st.done ? "true" : "false",
+                      static_cast<unsigned long long>(trials),
+                      static_cast<unsigned long long>(st.episodes()),
+                      st.extinct_batches(), st.p_hat(), ci.lo, ci.hi);
+        for (std::size_t b = 0; b < st.batches.size(); ++b) {
+          const SplitEstimate& e = st.batches[b].estimate;
+          append_format(out,
+                        "        {\"done\": %s, \"extinct\": %s, "
+                        "\"p_hat\": %.17g, \"log_sigma\": ",
+                        st.batches[b].done ? "true" : "false",
+                        e.extinct() ? "true" : "false", e.p_hat());
+          const double ls = e.log_sigma();
+          if (std::isfinite(ls)) {
+            append_format(out, "%.17g", ls);
+          } else {
+            out += "null";  // extinct runs: the log-scale error is unbounded
+          }
+          out += ", \"levels\": ";
+          append_double_array(out, e.levels);
+          out += ", \"survivors\": ";
+          append_u64_array(out, e.survivors);
+          out += (b + 1 < st.batches.size()) ? "},\n" : "}\n";
+        }
+        out += "       ]";
+        out += (u + 1 < cell.units.size()) ? "},\n" : "}\n";
+      }
+      out += (i + 1 < result.split_cells.size()) ? "     ]},\n" : "     ]}\n";
+    }
+    out += "  ]},\n";
+  }
 
   out += "  \"results\": [\n";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {

@@ -36,7 +36,9 @@
 
 #include "common/stats.hpp"
 #include "eval/registry.hpp"
+#include "mc/falsify.hpp"
 #include "mc/family.hpp"
+#include "mc/splitting.hpp"
 
 namespace oic::mc {
 
@@ -69,6 +71,35 @@ struct CampaignSpec {
   /// stream is a pure function of (seed, cell, episode) -- worker-count
   /// and resume bit-invariance hold with faults on.
   std::string faults;
+
+  // ---- Rare-event mode (splitting / falsification) -------------------
+  // These fields select an alternative campaign body: instead of crude
+  // per-episode violation counting, each (plant, family) cell is estimated
+  // by fixed-effort multilevel splitting (mc/splitting.hpp) and/or probed
+  // by the CE falsifier (mc/falsify.hpp).  All of them (when either mode
+  // is on) join the spec fingerprint; fault models must be inactive
+  // (lineage replay carries no fault-stream hand-off).
+
+  /// Estimate violation probabilities by importance splitting.
+  bool splitting = false;
+  /// Run the cross-entropy falsifier per cell.  Combined with `splitting`
+  /// its peak-level quantiles seed the ladder when `levels` is empty;
+  /// alone it reports the worst-case profile per cell.
+  bool falsify = false;
+  /// Explicit splitting ladder (strictly increasing, finite, all < 0);
+  /// empty = falsify-seeded (when enabled) else adaptive placement.
+  std::vector<double> levels;
+  std::uint64_t split_trials = 256;   ///< fixed effort N per stage PER BATCH
+  /// Independent splitting replicates per unit (>= 2).  The combined CI is
+  /// the empirical spread across batches (see mc::SplitState::ci95), which
+  /// is what makes it honest under clone correlation.
+  std::uint64_t split_batches = 16;
+  std::uint64_t split_stages = 24;   ///< adaptive stage cap per batch
+  double split_quantile = 0.25;      ///< adaptive survivor fraction
+  std::uint64_t falsify_iterations = 6;
+  std::uint64_t falsify_population = 24;
+  std::uint64_t falsify_elites = 6;
+  std::uint64_t falsify_probes = 3;
 };
 
 /// Streaming statistics of one policy within one cell.
@@ -115,9 +146,36 @@ struct CellStats {
   std::uint64_t episodes = 0;     ///< episodes aggregated (per policy)
 };
 
+/// One splitting estimation unit inside a cell: the always-run baseline,
+/// one policy, or the rare1d analytic bed.  Carries the full resumable
+/// SplitState so checkpoints can stop between stages and resume with
+/// bit-identical results.
+struct SplitUnitResult {
+  std::string policy;  ///< "always-run", a policy display name, or "analytic"
+  SplitState state;
+};
+
+/// One (plant, family) cell of a splitting / falsification campaign.
+struct SplitCellResult {
+  std::string plant;
+  std::string family;
+  bool falsified = false;  ///< the falsifier ran (falsify below is valid)
+  FalsifyResult falsify;
+  /// The explicit ladder the units ran with (spec levels, else the
+  /// falsifier's suggestion); empty = adaptive placement.
+  std::vector<double> seeded_levels;
+  /// Analytic ground-truth violation probability; < 0 = none (real plants).
+  /// The rare1d bed sets it, and tests assert the estimate's CI covers it.
+  double p_true = -1.0;
+  std::vector<SplitUnitResult> units;
+};
+
 /// Whole-campaign outcome.
 struct CampaignResult {
   std::vector<CellStats> cells;
+  /// Splitting / falsification cells (empty unless spec.splitting or
+  /// spec.falsify; `cells` is empty in that mode).
+  std::vector<SplitCellResult> split_cells;
   double wall_s = 0.0;
   std::uint64_t episodes = 0;       ///< episode runs aggregated (incl. baseline)
   std::uint64_t episodes_run = 0;   ///< episode runs executed this process
@@ -146,9 +204,15 @@ std::uint64_t spec_fingerprint(const eval::ScenarioRegistry& registry,
 
 /// Serialized campaign progress (the `oic-mc-checkpoint v2` text format;
 /// v2 added the per-policy fault accounting, so v1 files are rejected).
+/// Splitting / falsification campaigns append an optional `splitting`
+/// section before the end sentinel: per-cell falsifier outcomes plus each
+/// unit's per-batch completed-stage counters and frontier lineages --
+/// integers and levels only; every estimate is re-derived from them on
+/// load, which is what makes resume bit-exact.
 struct Checkpoint {
   std::uint64_t fingerprint = 0;
-  std::vector<CellStats> cells;  ///< prefix of cells with progress
+  std::vector<CellStats> cells;             ///< prefix of cells with progress
+  std::vector<SplitCellResult> split_cells; ///< splitting-mode progress
 };
 
 void save_checkpoint(const Checkpoint& ck, std::ostream& os);

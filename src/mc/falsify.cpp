@@ -1,0 +1,305 @@
+#include "mc/falsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/policy.hpp"
+#include "eval/harness.hpp"
+#include "mc/splitting.hpp"
+
+namespace oic::mc {
+namespace {
+
+constexpr std::size_t kDim = 10;
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Map an unconstrained CE coordinate vector into a *valid* MixtureParams
+/// for the band: every coordinate is clamped into MixtureProfile's
+/// validity region, so CE can wander freely in R^10 and still always
+/// produce a constructible profile that clips to the band.
+///
+/// Coordinates: 0 sine amplitude, 1 sine period [steps], 2 noise gain,
+/// 3 noise pole alpha, 4 burst rate, 5 burst amplitude, 6 burst length,
+/// 7 ramp rate, 8 ramp span, 9 ramp slew.
+MixtureParams params_from_theta(const eval::SignalBand& band,
+                                const std::vector<double>& theta) {
+  const double h = band.halfwidth();
+  MixtureParams p;
+  p.label = "falsify";
+  p.center = band.center();
+  p.lo = band.lo;
+  p.hi = band.hi;
+
+  SineComponent s;
+  s.amplitude = clamp(theta[0], 0.0, 2.0 * h);
+  s.omega = kTwoPi / clamp(theta[1], 4.0, 240.0);
+  s.phase = 0.0;
+  p.sines.push_back(s);
+
+  p.noise_gain = clamp(theta[2], 0.0, 2.0 * h);
+  p.noise_alpha = clamp(theta[3], 0.0, 0.98);
+
+  p.burst_rate = clamp(theta[4], 0.0, 0.5);
+  p.burst_amp = clamp(theta[5], 0.0, 2.0 * h);
+  p.burst_len_min = 3;
+  p.burst_len_max = static_cast<std::size_t>(
+      clamp(std::round(theta[6]), 3.0, 60.0));
+
+  p.ramp_rate = clamp(theta[7], 0.0, 0.5);
+  p.ramp_span = clamp(theta[8], 0.0, 2.0 * h);
+  p.ramp_slew = clamp(theta[9], 1e-3 * h, h);
+  return p;
+}
+
+/// Inverse map for pilot initialization: project a family-sampled
+/// MixtureParams back onto the CE coordinates (collapsing a sine mixture
+/// onto its dominant component).
+std::vector<double> theta_from_params(const MixtureParams& p) {
+  std::vector<double> th(kDim, 0.0);
+  double amp = 0.0;
+  for (const auto& s : p.sines) amp += s.amplitude;
+  double dom_omega = 0.0;
+  double dom_amp = -1.0;
+  for (const auto& s : p.sines) {
+    if (s.amplitude > dom_amp) {
+      dom_amp = s.amplitude;
+      dom_omega = s.omega;
+    }
+  }
+  th[0] = amp;
+  th[1] = dom_omega > 1e-12 ? kTwoPi / dom_omega : 60.0;
+  th[2] = p.noise_gain;
+  th[3] = p.noise_alpha;
+  th[4] = p.burst_rate;
+  th[5] = p.burst_amp;
+  th[6] = static_cast<double>(p.burst_len_max == 0 ? 8 : p.burst_len_max);
+  th[7] = p.ramp_rate;
+  th[8] = p.ramp_span;
+  th[9] = p.ramp_slew;
+  return th;
+}
+
+/// Per-coordinate CE stddev floors: keep the search alive even when the
+/// elites collapse (premature convergence is the classic CE failure mode).
+std::vector<double> std_floors(double h) {
+  return {0.05 * h, 4.0,      0.05 * h, 0.02,     0.01,
+          0.05 * h, 1.0,      0.01,     0.05 * h, 0.01 * h};
+}
+
+/// Per-worker evaluation context: the baseline + policy engines, built
+/// once per slot (controller construction runs nesting-verification LPs).
+struct EvalCtx {
+  core::AlwaysRunPolicy baseline;
+  std::vector<std::unique_ptr<core::SkipPolicy>> policies;
+  std::vector<std::unique_ptr<eval::EpisodeEngine>> engines;  ///< baseline first
+
+  EvalCtx(const eval::PlantCase& plant, const eval::PolicySetFactory& factory,
+          std::size_t num_policies) {
+    if (factory) {
+      policies = factory();
+      OIC_REQUIRE(policies.size() == num_policies,
+                  "run_falsification: policy factory is not stable");
+    }
+    engines.reserve(1 + policies.size());
+    engines.push_back(std::make_unique<eval::EpisodeEngine>(plant, baseline));
+    for (auto& p : policies) {
+      engines.push_back(std::make_unique<eval::EpisodeEngine>(plant, *p));
+    }
+  }
+};
+
+}  // namespace
+
+FalsifyResult run_falsification(const eval::PlantCase& plant,
+                                const ScenarioFamily& family,
+                                const eval::PolicySetFactory& policies,
+                                const FalsifyConfig& cfg) {
+  OIC_REQUIRE(cfg.iterations >= 1, "run_falsification: need >= 1 iteration");
+  OIC_REQUIRE(cfg.population >= 2, "run_falsification: need population >= 2");
+  OIC_REQUIRE(cfg.elites >= 1 && cfg.elites <= cfg.population,
+              "run_falsification: need 1 <= elites <= population");
+  OIC_REQUIRE(cfg.probes >= 1, "run_falsification: need >= 1 probe");
+  OIC_REQUIRE(cfg.steps >= 1, "run_falsification: need >= 1 step");
+  const eval::SignalBand& band = family.band();
+  OIC_REQUIRE(band.hi > band.lo, "run_falsification: degenerate signal band");
+
+  // Policy count probe (factory invoked once on the calling thread).
+  std::size_t num_policies = 0;
+  if (policies) num_policies = policies().size();
+
+  const LevelFunction level(plant.sets().x);
+
+  // Pilot: initialize the CE Gaussian from the family's own samples, so
+  // iteration 0 explores the certified distribution and CE only then
+  // drifts toward its dangerous corner.
+  std::vector<double> mean(kDim, 0.0);
+  std::vector<double> stddev(kDim, 0.0);
+  {
+    Rng pilot(derive_stream(cfg.seed, 0));
+    std::vector<std::vector<double>> pilots;
+    pilots.reserve(cfg.population);
+    for (std::uint64_t i = 0; i < cfg.population; ++i) {
+      eval::Scenario sc = family.sample(pilot);
+      const auto* mp = dynamic_cast<const MixtureProfile*>(sc.profile.get());
+      OIC_REQUIRE(mp != nullptr,
+                  "run_falsification: family sample is not a MixtureProfile");
+      pilots.push_back(theta_from_params(mp->params()));
+    }
+    for (std::size_t c = 0; c < kDim; ++c) {
+      double m = 0.0;
+      for (const auto& th : pilots) m += th[c];
+      m /= static_cast<double>(pilots.size());
+      double v = 0.0;
+      for (const auto& th : pilots) v += (th[c] - m) * (th[c] - m);
+      v /= static_cast<double>(pilots.size());
+      mean[c] = m;
+      stddev[c] = std::sqrt(v);
+    }
+  }
+  const std::vector<double> floors = std_floors(band.halfwidth());
+  for (std::size_t c = 0; c < kDim; ++c) {
+    stddev[c] = std::max(stddev[c], floors[c]);
+  }
+
+  // Common random numbers: one fixed probe-seed set, shared by every
+  // candidate in every iteration, so objective differences are parameter
+  // differences and never luck.
+  std::vector<std::uint64_t> probe_seeds;
+  probe_seeds.reserve(cfg.probes);
+  {
+    const std::uint64_t probe_root = derive_stream(cfg.seed, 2);
+    for (std::uint64_t k = 0; k < cfg.probes; ++k) {
+      probe_seeds.push_back(derive_stream(probe_root, k));
+    }
+  }
+
+  FalsifyResult out;
+  out.worst_level = -std::numeric_limits<double>::infinity();
+  std::vector<double> all_objs;  // deterministic order: iteration-major
+  all_objs.reserve(cfg.iterations * cfg.population);
+
+  std::vector<std::unique_ptr<EvalCtx>> slots(
+      cfg.workers != 0 ? cfg.workers
+                       : std::max(1u, std::thread::hardware_concurrency()));
+
+  for (std::uint64_t it = 0; it < cfg.iterations; ++it) {
+    // Candidate generation is serial on a per-iteration stream: the
+    // population is a pure function of (seed, iteration, mean, stddev).
+    Rng cand_rng(derive_stream(derive_stream(cfg.seed, 1), it));
+    std::vector<std::vector<double>> thetas(cfg.population);
+    for (auto& th : thetas) {
+      th.resize(kDim);
+      for (std::size_t c = 0; c < kDim; ++c) {
+        th[c] = mean[c] + stddev[c] * cand_rng.normal(0.0, 1.0);
+      }
+    }
+
+    // Evaluation is embarrassingly parallel: each candidate's objective is
+    // a pure function of (theta, probe seeds).
+    std::vector<double> objs(cfg.population, 0.0);
+    run_chunked(cfg.population, cfg.workers,
+                [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                  if (!slots[chunk]) {
+                    slots[chunk] =
+                        std::make_unique<EvalCtx>(plant, policies, num_policies);
+                  }
+                  EvalCtx& ctx = *slots[chunk];
+                  for (std::size_t j = begin; j < end; ++j) {
+                    const MixtureParams params =
+                        params_from_theta(band, thetas[j]);
+                    eval::Scenario sc("falsify", "CE candidate",
+                                      std::make_unique<MixtureProfile>(params));
+                    double obj = -std::numeric_limits<double>::infinity();
+                    for (std::uint64_t k = 0; k < cfg.probes; ++k) {
+                      Rng pr(probe_seeds[k]);
+                      const eval::CaseData data =
+                          eval::make_case(plant, sc, pr, cfg.steps);
+                      obj = std::max(obj, level(data.x0));
+                      for (auto& engine : ctx.engines) {
+                        double peak = level(data.x0);
+                        engine->set_observer(
+                            [&](std::size_t, const linalg::Vector& x) {
+                              peak = std::max(peak, level(x));
+                            });
+                        engine->run(data);
+                        engine->set_observer({});
+                        obj = std::max(obj, peak);
+                      }
+                    }
+                    objs[j] = obj;
+                  }
+                });
+    out.episodes += cfg.population * cfg.probes *
+                    static_cast<std::uint64_t>(1 + num_policies);
+
+    // Deterministic elite selection: objective descending, index ascending.
+    std::vector<std::size_t> order(cfg.population);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (objs[a] != objs[b]) return objs[a] > objs[b];
+      return a < b;
+    });
+
+    if (objs[order[0]] > out.worst_level) {
+      out.worst_level = objs[order[0]];
+      out.worst = params_from_theta(band, thetas[order[0]]);
+    }
+    for (std::uint64_t j = 0; j < cfg.population; ++j) {
+      all_objs.push_back(objs[j]);
+    }
+
+    // Refit the Gaussian on the elites, stddev floored.
+    for (std::size_t c = 0; c < kDim; ++c) {
+      double m = 0.0;
+      for (std::uint64_t e = 0; e < cfg.elites; ++e) {
+        m += thetas[order[e]][c];
+      }
+      m /= static_cast<double>(cfg.elites);
+      double v = 0.0;
+      for (std::uint64_t e = 0; e < cfg.elites; ++e) {
+        const double d = thetas[order[e]][c] - m;
+        v += d * d;
+      }
+      v /= static_cast<double>(cfg.elites);
+      mean[c] = m;
+      stddev[c] = std::max(std::sqrt(v), floors[c]);
+    }
+  }
+
+  out.violation = out.worst_level >= 0.0;
+
+  // Ladder seed: strictly negative, strictly increasing quantiles of the
+  // whole evaluated population.  A violating population contributes
+  // nothing above 0 (those runs need no splitting help).
+  std::vector<double> neg;
+  neg.reserve(all_objs.size());
+  for (double o : all_objs) {
+    if (std::isfinite(o) && o < 0.0) neg.push_back(o);
+  }
+  std::sort(neg.begin(), neg.end());
+  if (!neg.empty()) {
+    const double qs[] = {0.25, 0.5, 0.75, 0.9};
+    for (double q : qs) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(neg.size() - 1));
+      const double lv = neg[idx];
+      if (out.suggested_levels.empty() || lv > out.suggested_levels.back()) {
+        out.suggested_levels.push_back(lv);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace oic::mc

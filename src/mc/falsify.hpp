@@ -1,0 +1,71 @@
+#pragma once
+/// \file falsify.hpp
+/// Adversarial falsification: cross-entropy (CE) search over
+/// mc::MixtureProfile parameters that actively maximizes near-violation.
+///
+/// A splitting ladder is only as good as its level placement, and a
+/// "defensible small-probability estimate" should come with the most
+/// dangerous disturbance the family can express.  The falsifier searches
+/// the MixtureParams space of one (plant x family) cell for the profile
+/// maximizing the episode's peak level (LevelFunction over the hard safe
+/// set X), evaluated under the always-run baseline AND every campaign
+/// policy on common-random-number probe episodes -- so candidates are
+/// compared on identical luck, and a profile that only endangers a
+/// skipping policy still scores.
+///
+/// The search is gradient-free CE: a Gaussian over a fixed 10-coordinate
+/// parameterization (sine amplitude/period, filtered-noise gain/pole,
+/// burst rate/amplitude/length, ramp rate/span/slew), initialized from
+/// pilot samples of the family itself (so the search starts inside the
+/// family's own distribution), elites re-fit mean/stddev each iteration
+/// with a stddev floor.  Every coordinate maps into the profile's
+/// validity region and the profile clips to the plant's signal band, so
+/// the falsifier can never leave the certified disturbance envelope W.
+///
+/// All randomness derives from FalsifyConfig::seed via splitmix64 streams:
+/// results are bit-identical for any worker count, and the observed
+/// peak-level distribution seeds a splitting ladder (suggested_levels).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "eval/engine.hpp"
+#include "mc/family.hpp"
+#include "mc/profile.hpp"
+
+namespace oic::mc {
+
+/// CE search configuration.
+struct FalsifyConfig {
+  std::uint64_t iterations = 6;   ///< CE refits
+  std::uint64_t population = 24;  ///< candidates per iteration
+  std::uint64_t elites = 6;       ///< refit sample (<= population)
+  std::uint64_t probes = 3;       ///< CRN episodes per candidate evaluation
+  std::size_t steps = 100;        ///< episode length
+  std::uint64_t seed = 0;         ///< sole randomness knob
+  std::size_t workers = 0;        ///< 0 = hardware concurrency
+};
+
+/// Search outcome for one (plant x family) cell.
+struct FalsifyResult {
+  MixtureParams worst;        ///< most dangerous profile found
+  double worst_level = 0.0;   ///< its objective (peak level; >= 0 = violation!)
+  bool violation = false;     ///< worst_level >= 0: an actual counterexample
+  /// Strictly increasing, strictly negative peak-level quantiles of the
+  /// whole evaluated population -- a data-driven splitting ladder seed.
+  /// May be empty (e.g. every candidate violated).
+  std::vector<double> suggested_levels;
+  std::uint64_t episodes = 0;  ///< episodes simulated by the search
+};
+
+/// Run the CE search (see file comment).  `policies` builds the campaign
+/// policy set (the baseline is always added); it must be stable across
+/// calls.  Throws PreconditionError on a degenerate config (zero
+/// population/elites/probes, elites > population).
+FalsifyResult run_falsification(const eval::PlantCase& plant,
+                                const ScenarioFamily& family,
+                                const eval::PolicySetFactory& policies,
+                                const FalsifyConfig& cfg);
+
+}  // namespace oic::mc

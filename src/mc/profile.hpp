@@ -68,6 +68,12 @@ class MixtureProfile final : public sim::VelocityProfile {
   double v_min() const override { return params_.lo; }
   double v_max() const override { return params_.hi; }
 
+  /// Mid-episode stream swap for splitting clones: replaces only the Rng;
+  /// the clock, filter state, and any active burst/ramp carry over, so a
+  /// child trajectory diverges from its parent exactly at the branch step.
+  bool supports_reseed() const override { return true; }
+  void reseed(Rng rng) override { rng_ = rng; }
+
   const MixtureParams& params() const { return params_; }
 
  private:

@@ -181,7 +181,7 @@ LoadgenResult run_clients(const eval::ScenarioRegistry& registry,
                   "' (known: rmpc, gain)");
 
   const std::vector<std::string> plant_ids =
-      cfg.plants.empty() ? registry.plant_ids() : cfg.plants;
+      cfg.plants.empty() ? registry.production_plant_ids() : cfg.plants;
   OIC_REQUIRE(!plant_ids.empty(), "run_loadgen: registry is empty");
 
   std::unique_ptr<cert::Store> store;

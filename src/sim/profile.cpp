@@ -8,6 +8,11 @@
 
 namespace oic::sim {
 
+void VelocityProfile::reseed(Rng) {
+  throw PreconditionError("VelocityProfile::reseed: profile '" + name() +
+                          "' does not support mid-episode reseeding");
+}
+
 // ---------------------------------------------------------------- Sinusoidal
 
 SinusoidalProfile::SinusoidalProfile(double ve, double af, double dt, double noise,

@@ -30,6 +30,17 @@ class VelocityProfile {
   /// Restart the sequence; all randomness must come from `rng`.
   virtual void reset(Rng rng) = 0;
 
+  /// Whether reseed() is implemented for this profile.
+  virtual bool supports_reseed() const { return false; }
+
+  /// Swap the random stream *without* resetting the deterministic state
+  /// (clock, filters, active bursts/ramps).  The importance-splitting layer
+  /// uses this to clone an episode mid-flight: replaying the parent's
+  /// draws up to the branch step and reseeding there yields the child
+  /// trajectory.  Only profiles that opt in (supports_reseed()) implement
+  /// it; the default throws PreconditionError.
+  virtual void reseed(Rng rng);
+
   /// Velocity at the current step, then advance the internal clock.
   virtual double next() = 0;
 

@@ -39,7 +39,7 @@ std::vector<TrainJob> expand_jobs(const eval::ScenarioRegistry& registry,
   OIC_REQUIRE(!spec.seeds.empty(), "expand_jobs: need at least one seed");
   const bool plants_defaulted = spec.plants.empty();
   const std::vector<std::string> plant_ids =
-      plants_defaulted ? registry.plant_ids() : spec.plants;
+      plants_defaulted ? registry.production_plant_ids() : spec.plants;
   OIC_REQUIRE(!plant_ids.empty(), "expand_jobs: registry is empty");
 
   // Same per-plant scenario intersection semantics as eval::run_sweep: a

@@ -244,6 +244,20 @@ TEST(Intervals, WilsonKnownValuesAndEdges) {
   EXPECT_NEAR(half.hi - half.lo, 0.19, 0.01);
   EXPECT_THROW(oic::wilson_interval(1, 0), oic::PreconditionError);
   EXPECT_THROW(oic::wilson_interval(3, 2), oic::PreconditionError);
+  // Zero trials carry no information: the vacuous interval, not a throw
+  // (splitting reports it when a stage goes extinct before any trial ran).
+  const auto none = oic::wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_DOUBLE_EQ(none.hi, 1.0);
+  // One trial, no hit: lo pinned at 0, hi = z^2 / (1 + z^2) exactly.
+  const auto miss1 = oic::wilson_interval(0, 1);
+  EXPECT_DOUBLE_EQ(miss1.lo, 0.0);
+  EXPECT_NEAR(miss1.hi, z2 / (1.0 + z2), 1e-15);
+  // One trial, one hit: the mirror image.
+  const auto hit1 = oic::wilson_interval(1, 1);
+  EXPECT_DOUBLE_EQ(hit1.hi, 1.0);
+  EXPECT_NEAR(hit1.lo, 1.0 / (1.0 + z2), 1e-15);
+  EXPECT_NEAR(hit1.lo, 1.0 - miss1.hi, 1e-15);
 }
 
 TEST(Intervals, NormalIntervalShrinksWithN) {

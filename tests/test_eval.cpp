@@ -42,24 +42,37 @@ oic::eval::PlantCase& shared_plant(const std::string& id) {
 TEST(Registry, ListsBuiltinPlants) {
   const auto& reg = ScenarioRegistry::builtin();
   const auto ids = reg.plant_ids();
-  ASSERT_EQ(ids.size(), 4u);
+  ASSERT_EQ(ids.size(), 5u);
   EXPECT_EQ(ids[0], "acc");
   EXPECT_EQ(ids[1], "lane-keep");
   EXPECT_EQ(ids[2], "quad-alt");
   EXPECT_EQ(ids[3], "toy2d");
+  EXPECT_EQ(ids[4], "rare1d");
+  // The analytic rare-event bed is test-only: every sweeping driver
+  // defaults to the production list, which filters it out.
+  const auto prod = reg.production_plant_ids();
+  ASSERT_EQ(prod.size(), 4u);
+  EXPECT_EQ(prod[0], "acc");
+  EXPECT_EQ(prod[3], "toy2d");
+  EXPECT_TRUE(reg.plant("rare1d").test_only);
+  EXPECT_FALSE(reg.plant("acc").test_only);
   EXPECT_TRUE(reg.has_plant("acc"));
   EXPECT_FALSE(reg.has_plant("submarine"));
   EXPECT_THROW(reg.plant("submarine"), oic::PreconditionError);
   EXPECT_THROW(reg.make_scenario("acc", "sine"), oic::PreconditionError);
   EXPECT_THROW(reg.make_scenario("lane-keep", "Ex.1"), oic::PreconditionError);
   EXPECT_THROW(reg.make_scenario("toy2d", "gusts"), oic::PreconditionError);
-  // Every plant exposes its declarative model with a matching id.
-  for (const auto& pid : ids) EXPECT_EQ(reg.make_model(pid).id, pid);
+  // Every production plant exposes its declarative model with a matching
+  // id; the analytic bed has no controller/certificate and throws from
+  // every factory.
+  for (const auto& pid : prod) EXPECT_EQ(reg.make_model(pid).id, pid);
+  EXPECT_THROW(reg.make_model("rare1d"), oic::PreconditionError);
+  EXPECT_THROW(reg.make_scenario("rare1d", "analytic"), oic::PreconditionError);
 }
 
 TEST(Registry, EveryScenarioConstructsClonesAndReseedsDeterministically) {
   const auto& reg = ScenarioRegistry::builtin();
-  for (const auto& pid : reg.plant_ids()) {
+  for (const auto& pid : reg.production_plant_ids()) {
     for (const auto& sid : reg.plant(pid).scenario_ids) {
       const auto scenario = reg.make_scenario(pid, sid);
       EXPECT_EQ(scenario.id, sid) << pid;
@@ -316,7 +329,7 @@ TEST(SweepDriver, EndToEndMicroSweepPerPlantEmitsValidJson) {
   const auto result = oic::eval::run_sweep(reg, spec);
 
   std::size_t expected_cells = 0;
-  for (const auto& pid : reg.plant_ids()) {
+  for (const auto& pid : reg.production_plant_ids()) {
     expected_cells += reg.plant(pid).scenario_ids.size();
   }
   EXPECT_EQ(result.cells.size(), expected_cells);

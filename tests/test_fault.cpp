@@ -350,7 +350,7 @@ TEST(FaultedSweep, LossyPresetKeepsEveryRegistryPlantInsideTheHardSafeSet) {
       total_degraded += cell.result.mean_degraded[p];
     }
   }
-  EXPECT_EQ(plants_seen, registry.plant_ids().size());
+  EXPECT_EQ(plants_seen, registry.production_plant_ids().size());
   EXPECT_GT(total_degraded, 0.0);
   EXPECT_FALSE(result.safety_violations);
   EXPECT_TRUE(result.faults.active());

@@ -159,9 +159,11 @@ TEST(GoldenTrace, EveryRegistryPlantReplaysByteExact) {
 }
 
 TEST(GoldenTrace, CoversTheWholeRegistry) {
-  // A new registry plant must come with a golden trace: this fails until
-  // kCases (and the corpus) grow with it.
-  const auto ids = ScenarioRegistry::builtin().plant_ids();
+  // A new production plant must come with a golden trace: this fails
+  // until kCases (and the corpus) grow with it.  Test-only plants (the
+  // rare1d analytic bed) have no harness episode to trace and are
+  // pinned by their own closed-form tests instead.
+  const auto ids = ScenarioRegistry::builtin().production_plant_ids();
   ASSERT_EQ(ids.size(), std::size(kCases));
   for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], kCases[i].plant);
 }

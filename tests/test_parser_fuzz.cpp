@@ -1,12 +1,14 @@
-// Adversarial parser tests for the two text formats that cross trust
+// Adversarial parser tests for the text formats that cross trust
 // boundaries: safety certificates (`oic-cert v1`, cert/io +
-// cert/certificate) and serialized agents (`oic-agent v1` / `oic-mlp v1`,
-// rl/serialize).  Both are loaded from user-supplied paths (--cert-dir,
-// --policies drl:<path>), so a corrupted, truncated, or hostile file must
-// reject with a clean oic::Error -- never crash, hang, or allocate
-// unboundedly.  The whole suite runs under the CI Sanitize matrix leg, so
-// any UB a mutation provokes fails the ASan/UBSan job even when the parse
-// "succeeds".
+// cert/certificate), serialized agents (`oic-agent v1` / `oic-mlp v1`,
+// rl/serialize), and the campaign checkpoint's splitting section
+// (`oic-mc-checkpoint v2`, mc/campaign) plus the `--levels` ladder
+// grammar (mc/splitting).  All are loaded from user-supplied paths
+// (--cert-dir, --policies drl:<path>, --checkpoint) or flags, so a
+// corrupted, truncated, or hostile input must reject with a clean
+// oic::Error -- never crash, hang, or allocate unboundedly.  The whole
+// suite runs under the CI Sanitize matrix leg, so any UB a mutation
+// provokes fails the ASan/UBSan job even when the parse "succeeds".
 //
 // Beyond test_cert's example-based rejection cases, this fuzz-style
 // corpus sweeps: systematic truncations at many offsets, NaN/Inf and
@@ -24,6 +26,8 @@
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "eval/registry.hpp"
+#include "mc/campaign.hpp"
+#include "mc/splitting.hpp"
 #include "rl/serialize.hpp"
 
 namespace {
@@ -264,6 +268,184 @@ TEST(AgentFuzz, OversizedNetworkShapesReject) {
     std::stringstream ss(std::string("oic-mlp v1\n") + sizes + tail);
     EXPECT_THROW(oic::rl::load_mlp(ss), oic::Error) << sizes;
   }
+}
+
+// --------------------------------------------- splitting checkpoints
+
+/// A checkpoint with a splitting section mid-progress: one unfinished
+/// batch carrying a frontier (stage, frontier, and lin lines all present)
+/// and one finished batch -- hand-built from power-of-two levels so the
+/// serialized text is byte-stable and string mutations can target exact
+/// lines.
+const std::string& split_ck_doc() {
+  static const std::string doc = [] {
+    oic::mc::Checkpoint ck;
+    ck.fingerprint = 11259375;
+    oic::mc::SplitCellResult cell;
+    cell.plant = "rare1d";
+    cell.family = "analytic";
+    cell.seeded_levels = {-0.5, -0.25};
+    oic::mc::SplitUnitResult unit;
+    unit.policy = "analytic";
+    oic::mc::SplitBatch live;
+    live.estimate.trials = 4;
+    live.estimate.episodes = 8;
+    live.estimate.levels = {-0.75, -0.5};
+    live.estimate.survivors = {3, 2};
+    live.frontier = {{{0, 11}}, {{0, 12}, {2, 13}}, {{0, 14}}, {{0, 15}}};
+    oic::mc::SplitBatch finished;
+    finished.estimate.trials = 4;
+    finished.estimate.episodes = 12;
+    finished.estimate.levels = {-0.75, -0.5, 0.0};
+    finished.estimate.survivors = {3, 2, 1};
+    finished.done = true;
+    unit.state.batches = {live, finished};
+    cell.units.push_back(std::move(unit));
+    ck.split_cells.push_back(std::move(cell));
+    std::stringstream ss;
+    oic::mc::save_checkpoint(ck, ss);
+    return ss.str();
+  }();
+  return doc;
+}
+
+/// A checkpoint whose splitting cell carries a falsifier outcome (the
+/// falsify and params lines).
+const std::string& falsify_ck_doc() {
+  static const std::string doc = [] {
+    oic::mc::Checkpoint ck;
+    ck.fingerprint = 7;
+    oic::mc::SplitCellResult cell;
+    cell.plant = "toy2d";
+    cell.family = "bursts";
+    cell.falsified = true;
+    cell.falsify.worst_level = -0.5;
+    cell.falsify.violation = false;
+    cell.falsify.episodes = 100;
+    cell.falsify.suggested_levels = {-0.75, -0.5};
+    oic::mc::MixtureParams p;
+    p.label = "fuzz";
+    p.lo = -1.0;
+    p.hi = 1.0;
+    cell.falsify.worst = p;
+    ck.split_cells.push_back(std::move(cell));
+    std::stringstream ss;
+    oic::mc::save_checkpoint(ck, ss);
+    return ss.str();
+  }();
+  return doc;
+}
+
+void expect_ck_rejects(const std::string& text, const std::string& why) {
+  std::stringstream ss(text);
+  EXPECT_THROW(oic::mc::load_checkpoint(ss), oic::Error) << why;
+}
+
+/// Replace the first occurrence of `from` (which must exist) with `to`.
+std::string mutate_ck(const std::string& doc, const std::string& from,
+                      const std::string& to) {
+  const std::size_t at = doc.find(from);
+  EXPECT_NE(at, std::string::npos) << from;
+  return doc.substr(0, at) + to + doc.substr(at + from.size());
+}
+
+TEST(SplitCheckpointFuzz, ValidDocumentsRoundTrip) {
+  for (const std::string& doc : {split_ck_doc(), falsify_ck_doc()}) {
+    std::stringstream in(doc);
+    const oic::mc::Checkpoint ck = oic::mc::load_checkpoint(in);
+    std::stringstream out;
+    oic::mc::save_checkpoint(ck, out);
+    EXPECT_EQ(doc, out.str());  // byte-exact round trip
+  }
+}
+
+TEST(SplitCheckpointFuzz, EveryTruncationRejects) {
+  for (const std::string& doc : {split_ck_doc(), falsify_ck_doc()}) {
+    const std::size_t sentinel_end = doc.rfind("end") + 3;
+    for (std::size_t n = 0; n < sentinel_end; ++n) {
+      expect_ck_rejects(doc.substr(0, n),
+                        "truncation at byte " + std::to_string(n));
+    }
+  }
+}
+
+TEST(SplitCheckpointFuzz, NonFiniteAndOverflowFieldsReject) {
+  // Every numeric token in the splitting grammar -- flags, counts, levels,
+  // survivors, lineage steps and seeds -- must reject the classic hostile
+  // replacements.  (A partial integer parse like "1e999" -> 1 derails the
+  // tag that follows instead; either way the load throws.)
+  for (const std::string& doc : {split_ck_doc(), falsify_ck_doc()}) {
+    for (std::size_t index = 2; index < 200; ++index) {
+      if (!token_is_number(doc, index)) continue;
+      for (const char* bad : {"nan", "inf", "-inf", "1e999", "bogus"}) {
+        expect_ck_rejects(replace_token(doc, index, bad),
+                          std::string("token ") + std::to_string(index) +
+                              " -> " + bad);
+      }
+    }
+  }
+}
+
+TEST(SplitCheckpointFuzz, StructuralAbuseRejects) {
+  const std::string& doc = split_ck_doc();
+  const auto reject = [&](const std::string& from, const std::string& to) {
+    expect_ck_rejects(mutate_ck(doc, from, to), from + " -> " + to);
+  };
+  // Counters breaking their invariants.
+  reject("stage -0.75 3", "stage -0.75 9");      // survivors > trials
+  reject("stage -0.5 2\nfrontier", "stage 0.5 2\nfrontier");  // level > 0
+  reject("stage -0.75 3\nstage -0.5 2\nfrontier",
+         "stage -0.5 3\nstage -0.75 2\nfrontier");  // non-monotone ladder
+  // Allocation bombs in the size headers.
+  reject("splitting 1", "splitting 999999");
+  reject("analytic 0 2 -0.5", "analytic 0 99 -0.5");  // oversized seeded ladder
+  reject("unit analytic 0 4 2", "unit analytic 0 4 9999");  // batch count
+  reject("batch 0 8 2", "batch 0 8 9999");                  // stage count
+  reject("lin 2 0 12 2 13", "lin 9999 0 12 2 13");          // lineage entries
+  // Frontier / done-flag consistency.
+  reject("frontier 4", "frontier 3");        // neither 0 nor the trial count
+  reject("unit analytic 0 4 2", "unit analytic 0 0 2");  // batches, 0 trials
+  reject("unit analytic 0 4 2", "unit analytic 1 4 2");  // done unit, live batch
+  reject("frontier 0", "frontier 4");  // a done batch cannot carry a frontier
+  // Malformed lineages.
+  reject("lin 2 0 12 2 13", "lin 2 5 12 2 13");  // does not start at step 0
+  reject("lin 2 0 12 2 13", "lin 2 0 12 0 13");  // non-increasing steps
+}
+
+TEST(SplitCheckpointFuzz, FalsifySectionAbuseRejects) {
+  const std::string& doc = falsify_ck_doc();
+  const auto reject = [&](const std::string& from, const std::string& to) {
+    expect_ck_rejects(mutate_ck(doc, from, to), from + " -> " + to);
+  };
+  reject("falsify -0.5 0", "falsify -0.5 1");  // flag disagrees with objective
+  reject("falsify -0.5 0 100 2", "falsify -0.5 0 100 99");  // oversized ladder
+  reject("falsify -0.5 0 100 2 -0.75 -0.5",
+         "falsify -0.5 0 100 2 -0.5 -0.75");  // non-monotone suggestion
+  // The params line re-runs the full MixtureProfile validation on load.
+  reject("params fuzz 0 -1 1", "params fuzz 5 -1 1");   // center outside band
+  reject("params fuzz 0 -1 1", "params fuzz 0 1 -1");   // inverted band
+  const std::size_t at = doc.find(" 0\nunit");  // trailing sine count
+  if (at == std::string::npos) {
+    // No units follow a falsify-only cell; the sine count is the last
+    // token of the params line.
+    reject(" 0\nend", " 99\nend");
+  } else {
+    reject(" 0\nunit", " 99\nunit");
+  }
+}
+
+// --------------------------------------------------- level ladders
+
+TEST(SplitLevelsFuzz, HostileLadderStringsReject) {
+  for (const char* text :
+       {"", ",", "-0.5,,-0.25", "--0.5", "-1e999", "-0.5;-0.25", "-0.5 -0.25",
+        "0x1p-1", "-0.25,-0.25", "-0.1,-0.2", "1.0", "-0.5,-0.25,0"}) {
+    EXPECT_THROW(oic::mc::parse_levels(text), oic::Error) << "'" << text << "'";
+  }
+  // 65 strictly increasing negative levels: one past the cap.
+  std::string many = "-65";
+  for (int i = 64; i >= 1; --i) many += "," + std::to_string(-i);
+  EXPECT_THROW(oic::mc::parse_levels(many), oic::Error) << "65 levels";
 }
 
 }  // namespace

@@ -61,7 +61,7 @@ std::vector<std::string> resolve_plants(const ScenarioRegistry& registry,
                                         Args& args) {
   std::string v;
   if (args.value("plant", v) || args.value("plants", v)) return split_list(v);
-  return registry.plant_ids();
+  return registry.production_plant_ids();
 }
 
 /// Per-plant result rows as JSON object strings; main joins them into the

@@ -37,12 +37,39 @@
 ///   --json PATH              write the JSON document
 ///   --list                   list plants/families/fault presets and exit
 ///
+/// Rare-event mode (see docs/mc_stats.md):
+///   --splitting              estimate violation probabilities by fixed-
+///                            effort multilevel splitting instead of crude
+///                            counting (per cell: baseline + each policy;
+///                            the test-only "rare1d" plant runs its single
+///                            analytic unit and reports p_true)
+///   --falsify                per-cell cross-entropy falsification: search
+///                            the family's MixtureProfile space for the
+///                            most dangerous profile; with --splitting its
+///                            peak-level quantiles seed the ladder
+///   --levels a,b,c           explicit splitting ladder (strictly
+///                            increasing negative distances-to-boundary);
+///                            default: falsify-seeded or adaptive
+///   --split-trials N         clones per stage per batch    (default 256)
+///   --split-batches N        independent replicate runs whose empirical
+///                            spread forms the combined CI  (default 16)
+///   --split-stages N         adaptive stage cap per batch  (default 24)
+///   --split-quantile Q       adaptive survivor fraction    (default 0.25)
+///   --falsify-iterations N   CE refits                     (default 6)
+///   --falsify-population N   CE candidates per refit       (default 24)
+///   --falsify-elites N       CE elite refit sample         (default 6)
+///   --falsify-probes N       CRN probe episodes/candidate  (default 3)
+///
 /// Exit status: 0 on a clean campaign, 1 on safety violations or bad usage.
 /// Under --faults, "safety violation" means leaving the hard safe set X;
-/// XI excursions are the measured degradation, reported not fatal.
+/// XI excursions are the measured degradation, reported not fatal.  In
+/// rare-event mode a violation is a falsifier counterexample or a real
+/// plant's splitting run reaching the boundary with a surviving clone
+/// (the rare1d bed's violations are the point, not a bug).
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -84,7 +111,60 @@ void print_families(const ScenarioRegistry& registry) {
   }
 }
 
+void print_split_summary(const CampaignSpec& spec, const CampaignResult& result) {
+  std::printf("\n%-10s %-15s %-14s %6s %9s %12s %26s\n", "plant", "family",
+              "unit", "stages", "episodes", "p_hat", "ci95");
+  for (const auto& cell : result.split_cells) {
+    if (cell.falsified) {
+      std::printf("%-10s %-15s %-14s worst_level=%.4g %s (%llu episodes)\n",
+                  cell.plant.c_str(), cell.family.c_str(), "falsify",
+                  cell.falsify.worst_level,
+                  cell.falsify.violation ? "VIOLATION" : "no violation",
+                  static_cast<unsigned long long>(cell.falsify.episodes));
+    }
+    for (const auto& unit : cell.units) {
+      const oic::mc::SplitState& st = unit.state;
+      const oic::Interval ci = st.ci95();
+      std::printf("%-10s %-15s %-14s %6llu %9llu %12.4e [%10.4e, %10.4e]%s%s\n",
+                  cell.plant.c_str(), cell.family.c_str(), unit.policy.c_str(),
+                  static_cast<unsigned long long>(st.stages_done()),
+                  static_cast<unsigned long long>(st.episodes()), st.p_hat(),
+                  ci.lo, ci.hi,
+                  st.extinct_batches()
+                      ? (" (" + std::to_string(st.extinct_batches()) +
+                         " extinct batches)")
+                            .c_str()
+                      : "",
+                  st.done ? "" : " (in progress)");
+    }
+    if (cell.p_true >= 0.0) {
+      std::printf("%-10s %-15s %-14s p_true=%.4e (analytic ground truth)\n",
+                  cell.plant.c_str(), cell.family.c_str(), "ground-truth",
+                  cell.p_true);
+    }
+  }
+  std::printf("\ncampaign: %zu cells, %llu episodes aggregated "
+              "(%llu run now, %llu stages resumed), %.2f s wall\n",
+              result.split_cells.size(),
+              static_cast<unsigned long long>(result.episodes),
+              static_cast<unsigned long long>(result.episodes_run),
+              static_cast<unsigned long long>(result.resumed_blocks),
+              result.wall_s);
+  std::printf(
+      "split: trials=%llu batches=%llu stages<=%llu quantile=%g workers=%zu\n",
+      static_cast<unsigned long long>(spec.split_trials),
+      static_cast<unsigned long long>(spec.split_batches),
+      static_cast<unsigned long long>(spec.split_stages), spec.split_quantile,
+      spec.workers);
+  std::printf("safety violations: %s\n",
+              result.safety_violations ? "YES (BUG!)" : "none");
+}
+
 void print_summary(const CampaignSpec& spec, const CampaignResult& result) {
+  if (spec.splitting || spec.falsify) {
+    print_split_summary(spec, result);
+    return;
+  }
   const bool faulted = result.faults.active();
   std::printf("\n%-10s %-15s %-14s %12s %22s %10s %10s %12s\n", "plant", "family",
               "policy", "saving[%]", "ci95[%]", "skipped", "degraded", "viol-ub95");
@@ -129,6 +209,11 @@ int main(int argc, char** argv) {
         "              [--episodes N] [--steps N] [--seed N] [--workers N]\n"
         "              [--block N] [--cert-dir DIR] [--checkpoint PATH]\n"
         "              [--checkpoint-blocks N] [--max-blocks N] [--faults SPEC]\n"
+        "              [--splitting] [--falsify] [--levels a,b,c]\n"
+        "              [--split-trials N] [--split-batches N] [--split-stages N]\n"
+        "              [--split-quantile Q]\n"
+        "              [--falsify-iterations N] [--falsify-population N]\n"
+        "              [--falsify-elites N] [--falsify-probes N]\n"
         "              [--json PATH] [--list]\n"
         "policies: always-run | bang-bang | periodic-N | burst:<k> | "
         "drl:<agent file>\n");
@@ -168,6 +253,43 @@ int main(int argc, char** argv) {
   spec.cert_dir = common.cert_dir;
   spec.faults = common.faults;
   (void)args.value("checkpoint", spec.checkpoint);
+
+  spec.splitting = args.flag("splitting");
+  spec.falsify = args.flag("falsify");
+  if (!oic::cliutil::u64_flag(args, "oic_mc", "split-trials", spec.split_trials) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "split-batches",
+                              spec.split_batches) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "split-stages", spec.split_stages) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "falsify-iterations",
+                              spec.falsify_iterations) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "falsify-population",
+                              spec.falsify_population) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "falsify-elites",
+                              spec.falsify_elites) ||
+      !oic::cliutil::u64_flag(args, "oic_mc", "falsify-probes",
+                              spec.falsify_probes)) {
+    return 1;
+  }
+  if (args.value("levels", v)) {
+    try {
+      spec.levels = oic::mc::parse_levels(v);
+    } catch (const oic::Error& e) {
+      std::fprintf(stderr, "oic_mc: --levels: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (args.value("split-quantile", v)) {
+    char* end = nullptr;
+    const double q = std::strtod(v.c_str(), &end);
+    if (end != v.c_str() + v.size() || !(q > 0.0 && q < 1.0)) {
+      std::fprintf(stderr,
+                   "oic_mc: --split-quantile expects a number in (0, 1), got "
+                   "'%s'\n",
+                   v.c_str());
+      return 1;
+    }
+    spec.split_quantile = q;
+  }
 
   if (!oic::cliutil::reject_unknown(args, "oic_mc")) return 1;
 
